@@ -1,0 +1,321 @@
+// Benchmarks, one per experiment table E1–E10 (see DESIGN.md §5 and
+// EXPERIMENTS.md). Each benchmark isolates the measured core of its
+// experiment: setup (workload generation, optimization) happens once,
+// and the timed loop runs the operation the table's columns report.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/eval"
+	"repro/internal/iqa"
+	"repro/internal/magic"
+	"repro/internal/parser"
+	"repro/internal/residue"
+	"repro/internal/sdgraph"
+	"repro/internal/semopt"
+	"repro/internal/storage"
+	"repro/internal/subsume"
+	"repro/internal/transform"
+	"repro/internal/unfold"
+	"repro/internal/workload"
+)
+
+// runOn evaluates prog over a clone of db once.
+func runOn(b *testing.B, prog *ast.Program, db *storage.Database) {
+	b.Helper()
+	work := db.Clone()
+	e := eval.New(prog, work)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func optimizeScenario(b *testing.B, s workload.Scenario) *semopt.Result {
+	b.Helper()
+	res, err := semopt.Optimize(s.Program, s.ICs, semopt.Options{
+		Residue: residue.Options{IntroducePreds: s.SmallPreds},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkE1AtomElimination(b *testing.B) {
+	s := workload.Organization()
+	res := optimizeScenario(b, s)
+	db := workload.OrgDB(rand.New(rand.NewSource(1)), 2, 8, 2, 0.5)
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Rectified, db)
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Optimized, db)
+		}
+	})
+}
+
+func BenchmarkE2AtomIntroduction(b *testing.B) {
+	s := workload.Academic()
+	res := optimizeScenario(b, s)
+	db := workload.AcademicDB(rand.New(rand.NewSource(2)), 6, 5, 800, 4, 0.3)
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Rectified, db)
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Optimized, db)
+		}
+	})
+}
+
+func BenchmarkE3SubtreePruning(b *testing.B) {
+	s := workload.Genealogy()
+	res := optimizeScenario(b, s)
+	db := workload.GenealogyDB(rand.New(rand.NewSource(3)), 100, 12)
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Rectified, db)
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Optimized, db)
+		}
+	})
+}
+
+func BenchmarkE4ResidueGeneration(b *testing.B) {
+	src := `
+p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(Y2, X3), c(Y3, Y4, X5), d(Y5, X6), p(X1, Y2, Y3, Y4, Y5, Y6).
+p(X1, X2, X3, X4, X5, X6) :- e(X1, X2, X3, X4, X5, X6).
+p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), f(X2, X3, X5), p(X1, X2, X3, X4, X5, X6).
+`
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rect, _ := ast.Rectify(prog)
+	ic, _ := parser.ParseIC(`a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).`)
+	for _, maxLen := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("graph/len%d", maxLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sdgraph.Detect(rect, "p", ic, maxLen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("exhaustive/len%d", maxLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sdgraph.DetectExhaustive(rect, "p", ic, maxLen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE5MagicComparison(b *testing.B) {
+	s := workload.Genealogy()
+	res := optimizeScenario(b, s)
+	db := workload.GenealogyDB(rand.New(rand.NewSource(5)), 150, 10)
+	goal := ast.NewAtom("anc", ast.Sym("g0_0"), ast.Var("Xa"), ast.Var("Y"), ast.Var("Ya"))
+	magicProg, err := magic.Rewrite(res.Rectified, goal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	both, err := magic.Rewrite(res.Optimized, goal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		prog *ast.Program
+	}{
+		{"plain", res.Rectified},
+		{"magic", magicProg},
+		{"semantic", res.Optimized},
+		{"magic+semantic", both},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runOn(b, v.prog, db)
+			}
+		})
+	}
+}
+
+func BenchmarkE6IsolationOverhead(b *testing.B) {
+	s := workload.Genealogy()
+	rect, _ := ast.Rectify(s.Program)
+	seq := unfold.Sequence{"r1", "r1", "r1"}
+	chainProg, err := transform.Isolate(rect, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iso, err := transform.IsolateFlat(rect, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := workload.GenealogyDB(rand.New(rand.NewSource(6)), 150, 10)
+	for _, v := range []struct {
+		name string
+		prog *ast.Program
+	}{{"original", rect}, {"chain", chainProg}, {"flat", iso.Prog}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runOn(b, v.prog, db)
+			}
+		})
+	}
+}
+
+func BenchmarkE7IQA(b *testing.B) {
+	sc, _ := workload.Honors()
+	goal, _ := parser.ParseAtom("honors(Stud)")
+	ctx, _ := parser.ParseRule(`q(Stud) :- major(Stud, cs), graduated(Stud, College), topten(College), hobby(Stud, chess).`)
+	q := iqa.Query{Goal: goal, Context: ctx.Body}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iqa.Describe(sc.Program, q, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8ChainVsFlat(b *testing.B) {
+	// Same measurement as E6 but on the optimized workload shape, for
+	// the ablation table.
+	s := workload.Genealogy()
+	rect, _ := ast.Rectify(s.Program)
+	seq := unfold.Sequence{"r1", "r1", "r1"}
+	chainProg, _ := transform.Isolate(rect, seq)
+	iso, _ := transform.IsolateFlat(rect, seq)
+	db := workload.GenealogyDB(rand.New(rand.NewSource(8)), 200, 14)
+	b.Run("chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, chainProg, db)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, iso.Prog, db)
+		}
+	})
+}
+
+func BenchmarkE9Chase(b *testing.B) {
+	sym, _ := parser.ParseIC(`e(X, Y) -> e(Y, X).`)
+	tt, _ := parser.ParseIC(`e(X, Y), e(Y, Z) -> t(X, Z).`)
+	ics := []ast.IC{sym, tt}
+	for _, n := range []int{4, 8, 16} {
+		var body []ast.Literal
+		for i := 0; i < n; i++ {
+			body = append(body, ast.Pos(ast.NewAtom("e",
+				ast.Var(fmt.Sprintf("V%d", i)), ast.Var(fmt.Sprintf("V%d", i+1)))))
+		}
+		q := chase.CQ{Head: ast.NewAtom("q", ast.Var("V0")), Body: body}
+		b.Run(fmt.Sprintf("chase/atoms%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chase.Run(q.Body, ics, 2000)
+			}
+		})
+		b.Run(fmt.Sprintf("containment/atoms%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chase.Contained(q, q, ics, 2000)
+			}
+		})
+	}
+}
+
+func BenchmarkE10EvalVsTransform(b *testing.B) {
+	s := workload.Genealogy()
+	res := optimizeScenario(b, s)
+	db := workload.GenealogyDB(rand.New(rand.NewSource(10)), 100, 12)
+	b.Run("transformed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOn(b, res.Optimized, db)
+		}
+	})
+	b.Run("evalparadigm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work := db.Clone()
+			if _, _, _, err := semopt.EvalParadigmRun(s.Program, s.ICs, work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := semopt.Optimize(s.Program, s.ICs, semopt.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Microbenchmarks for the substrates.
+
+func BenchmarkEvalTransitiveClosure(b *testing.B) {
+	prog, _ := parser.ParseProgram(`
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+`)
+	db := workload.ChainDB(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOn(b, prog, db)
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	src := `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+pays(M, G, S, T), M > 10000 -> doctoral(S).
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsumption(b *testing.B) {
+	prog, _ := parser.ParseProgram(`
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+`)
+	rect, _ := ast.Rectify(prog)
+	ic, _ := parser.ParseIC(`works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`)
+	u, err := unfold.Unfold(rect, unfold.Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var target []ast.Atom
+	for _, l := range u.DatabaseAtoms() {
+		target = append(target, l.Atom)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detectFreeMaximal(ic, target)
+	}
+}
+
+// detectFreeMaximal is a tiny indirection so the subsumption benchmark
+// reads at the call site like the operation it measures.
+func detectFreeMaximal(ic ast.IC, target []ast.Atom) {
+	subsume.FreeMaximalResidues(ic, target)
+}

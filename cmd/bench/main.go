@@ -1,0 +1,59 @@
+// Command bench runs the experiment suite E1–E10 (DESIGN.md §5) and
+// prints each table. It regenerates the numbers recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bench            # full suite
+//	bench -quick     # reduced sweeps
+//	bench -only E4   # a single experiment
+//	bench -markdown  # markdown tables (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	only := flag.String("only", "", "run a single experiment, e.g. E4")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	for _, t := range experiments.All(cfg) {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		if *markdown {
+			printMarkdown(t)
+		} else {
+			fmt.Println(t)
+		}
+	}
+	_ = os.Stdout
+}
+
+func printMarkdown(t experiments.Table) {
+	fmt.Printf("### %s — %s\n\n", t.ID, t.Title)
+	fmt.Printf("*Claim:* %s\n\n", t.Claim)
+	fmt.Println("| " + strings.Join(t.Columns, " | ") + " |")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Println("| " + strings.Join(sep, " | ") + " |")
+	for _, r := range t.Rows {
+		fmt.Println("| " + strings.Join(r, " | ") + " |")
+	}
+	for _, n := range t.Notes {
+		fmt.Printf("\n*Note:* %s\n", n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,262 @@
+// Package cmd_test builds the three command-line tools once and drives
+// them end to end through real invocations, checking output shapes and
+// exit codes.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "repro-cmds")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"dlog", "semopt", "bench", "paper"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const ancestry = `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+par(ann, bea).
+par(bea, cal).
+par(cal, dee).
+`
+
+const genealogy = `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .
+par(dan, 21, carla, 47).
+par(carla, 47, bob, 72).
+par(bob, 72, alice, 95).
+`
+
+func TestDlogQuery(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	stdout, stderr, err := run(t, "dlog", "-query", "anc(ann, Y)", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	for _, want := range []string{"anc(ann, bea)", "anc(ann, cal)", "anc(ann, dee)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %q in %q", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "3 answers") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestDlogAllAndStats(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	stdout, stderr, err := run(t, "dlog", "-all", "-stats", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if c := strings.Count(stdout, "anc("); c != 6 {
+		t.Errorf("anc tuples = %d, want 6:\n%s", c, stdout)
+	}
+	if strings.Contains(stdout, "par(") {
+		t.Error("-all must print IDB relations only")
+	}
+	if !strings.Contains(stderr, "iterations=") {
+		t.Errorf("stats missing: %q", stderr)
+	}
+}
+
+func TestDlogExplain(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	stdout, stderr, err := run(t, "dlog", "-explain", "anc(ann, dee)", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "[fact]") || !strings.Contains(stdout, "anc(ann, dee)") {
+		t.Errorf("explain output = %q", stdout)
+	}
+}
+
+func TestDlogOptimize(t *testing.T) {
+	f := writeFile(t, "gen.dl", genealogy)
+	stdout, stderr, err := run(t, "dlog", "-optimize", "-query", "anc(dan, A, B, C)", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if c := strings.Count(stdout, "anc(dan"); c != 3 {
+		t.Errorf("answers = %d, want 3:\n%s\n%s", c, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "isolated") {
+		t.Errorf("optimizer report missing: %q", stderr)
+	}
+}
+
+func TestDlogErrors(t *testing.T) {
+	if _, _, err := run(t, "dlog"); err == nil {
+		t.Error("no arguments must fail")
+	}
+	f := writeFile(t, "bad.dl", "p(X :- q(X).")
+	if _, _, err := run(t, "dlog", "-all", f); err == nil {
+		t.Error("parse error must fail")
+	}
+	if _, _, err := run(t, "dlog", "-all", "/nonexistent/file.dl"); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestSemoptPipeline(t *testing.T) {
+	f := writeFile(t, "gen.dl", genealogy)
+	stdout, stderr, err := run(t, "semopt", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	for _, want := range []string{
+		"% opportunities:",
+		"subtree pruning",
+		"% optimized program:",
+		"X4 > 50",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %q in semopt output:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestSemoptShowGraph(t *testing.T) {
+	f := writeFile(t, "gen.dl", genealogy)
+	stdout, _, err := run(t, "semopt", "-pred", "anc", "-show-graph", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "SD-graph for anc") {
+		t.Errorf("graph output = %q", stdout)
+	}
+	dotOut, _, err := run(t, "semopt", "-pred", "anc", "-show-graph", "-dot", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dotOut, "digraph sd_anc") {
+		t.Errorf("dot output = %q", dotOut)
+	}
+	// -show-graph without -pred fails.
+	if _, _, err := run(t, "semopt", "-show-graph", f); err == nil {
+		t.Error("-show-graph without -pred must fail")
+	}
+}
+
+func TestSemoptShowIsolation(t *testing.T) {
+	f := writeFile(t, "gen.dl", genealogy)
+	stdout, _, err := run(t, "semopt", "-pred", "anc", "-show-isolation", "r1 r1", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "Algorithm 4.1") || !strings.Contains(stdout, "flat isolation") {
+		t.Errorf("isolation output = %q", stdout)
+	}
+	if !strings.Contains(stdout, "alpha1") {
+		t.Errorf("missing alpha rules:\n%s", stdout)
+	}
+}
+
+func TestPaperReplay(t *testing.T) {
+	stdout, stderr, err := run(t, "paper")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	for _, want := range []string{
+		"Example 2.1",
+		"computed classical residue: Y2 = X2, Y3 = X3 -> d(X5, V7).",
+		"sequence r0 r0 r0   maximally subsumed: true",
+		"computed: sequence r1 r1   residue: true -> expert(X1, F_1).",
+		"atom elimination on sequence r1 r1 r1 r1 when R_11 = executive",
+		"atom introduction on sequence r2 when X4 > 10000: add doctoral(X2)",
+		"subtree pruning on sequence r1 r1 r1 when X4 <= 50",
+		"every object satisfying the context is an answer",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("paper replay missing %q", want)
+		}
+	}
+}
+
+func TestBenchQuickSingle(t *testing.T) {
+	stdout, stderr, err := run(t, "bench", "-quick", "-only", "E7")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "E7 — Intelligent query answering") {
+		t.Errorf("bench output = %q", stdout)
+	}
+	if strings.Contains(stdout, "E4") {
+		t.Error("-only must filter other experiments")
+	}
+	md, _, err := run(t, "bench", "-quick", "-only", "E7", "-markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "### E7") || !strings.Contains(md, "| --- |") {
+		t.Errorf("markdown output = %q", md)
+	}
+}
+
+func TestDlogREPL(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	cmd := exec.Command(filepath.Join(binDir, "dlog"), "-i", f)
+	cmd.Stdin = strings.NewReader("anc(ann, Y)\npar(dee, eli).\nanc(ann, eli)\n:explain anc(ann, eli)\n:dump\n:stats\nbad syntax here\n:quit\n")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"anc(ann, dee)",  // initial query
+		"anc(ann, eli)",  // after adding the fact
+		"[fact]",         // explanation
+		"par(dee, eli).", // dump includes the new fact
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "error:") {
+		t.Error("bad input must report an error")
+	}
+	if !strings.Contains(out, "iterations=") {
+		t.Error(":stats must print counters")
+	}
+}

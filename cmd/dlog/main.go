@@ -1,0 +1,180 @@
+// Command dlog is a Datalog evaluator: it loads a program (rules,
+// facts, and optionally integrity constraints) from files, evaluates it
+// bottom-up, and answers queries.
+//
+// Usage:
+//
+//	dlog -query 'anc(ann, Y)' program.dl [facts.dl ...]
+//	dlog -all program.dl            # print every IDB relation
+//	dlog -optimize -query '...' program.dl
+//	dlog -i program.dl              # interactive REPL
+//
+// With -optimize, the semantic optimizer of the paper is run against
+// the integrity constraints found in the input before evaluation, and
+// the transformation report is printed to stderr. The REPL accepts
+// goals ("anc(ann, Y)"), new facts ("par(x, y)."), and the commands
+// :explain ATOM, :dump, :stats, :quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	query := flag.String("query", "", "goal to answer, e.g. 'anc(ann, Y)'")
+	all := flag.Bool("all", false, "print every computed IDB relation")
+	optimize := flag.Bool("optimize", false, "run the semantic optimizer before evaluating")
+	explain := flag.String("explain", "", "print a proof tree for a ground atom, e.g. 'anc(ann, dee)'")
+	small := flag.String("small", "", "comma-separated small predicates for atom introduction")
+	stats := flag.Bool("stats", false, "print evaluation work counters to stderr")
+	interactive := flag.Bool("i", false, "interactive query loop on stdin")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dlog [-query GOAL | -all] [-optimize] file.dl ...")
+		os.Exit(2)
+	}
+
+	var src strings.Builder
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		src.Write(data)
+		src.WriteByte('\n')
+	}
+	sys, err := repro.Load(src.String())
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		smallPreds := map[string]bool{}
+		for _, p := range strings.Split(*small, ",") {
+			if p != "" {
+				smallPreds[p] = true
+			}
+		}
+		res, err := sys.Optimize(repro.OptimizeOptions{SmallPreds: smallPreds})
+		if err != nil {
+			fatal(err)
+		}
+		for _, rep := range res.Reports {
+			fmt.Fprintln(os.Stderr, rep)
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintln(os.Stderr, "note:", n)
+		}
+	}
+
+	if *interactive {
+		repl(sys)
+		return
+	}
+
+	st, err := sys.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *explain != "" {
+		d, err := sys.Explain(*explain)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d)
+	}
+	switch {
+	case *query != "":
+		goal, err := repro.ParseAtom(*query)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sys.QueryAtom(goal)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range res {
+			fmt.Printf("%s%s\n", goal.Pred, t)
+		}
+		fmt.Fprintf(os.Stderr, "%d answers\n", len(res))
+	case *all:
+		idb := sys.Program.IDBPreds()
+		for _, pred := range sys.DB.Preds() {
+			if !idb[pred] {
+				continue
+			}
+			for _, t := range sys.DB.Relation(pred).Sorted() {
+				fmt.Printf("%s%s\n", pred, t)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "evaluated %d tuples; use -query or -all to inspect\n", sys.DB.TotalTuples())
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "iterations=%d firings=%d probes=%d derived=%d inserted=%d\n",
+			st.Iterations, st.RuleFirings, st.Probes, st.Derived, st.Inserted)
+	}
+}
+
+// repl reads goals, facts and commands from stdin until EOF or :quit.
+func repl(sys *repro.System) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprintln(os.Stderr, "dlog: enter a goal like anc(ann, Y); a fact like par(x, y).; or :explain ATOM, :dump, :stats, :quit")
+	for {
+		fmt.Fprint(os.Stderr, "?- ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":dump":
+			fmt.Print(sys.DumpDB())
+		case line == ":stats":
+			st := sys.Stats()
+			fmt.Printf("iterations=%d firings=%d probes=%d derived=%d inserted=%d\n",
+				st.Iterations, st.RuleFirings, st.Probes, st.Derived, st.Inserted)
+		case strings.HasPrefix(line, ":explain "):
+			d, err := sys.Explain(strings.TrimSpace(strings.TrimPrefix(line, ":explain")))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Print(d)
+		case strings.HasSuffix(line, "."):
+			if err := sys.LoadFacts(line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "ok")
+		default:
+			goal, err := repro.ParseAtom(line)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			res, err := sys.QueryAtom(goal)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			for _, t := range res {
+				fmt.Printf("%s%s\n", goal.Pred, t)
+			}
+			fmt.Fprintf(os.Stderr, "%d answers\n", len(res))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlog:", err)
+	os.Exit(1)
+}

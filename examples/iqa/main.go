@@ -1,0 +1,80 @@
+// Intelligent query answering: Example 5.1 of the paper (§5). A
+// knowledge query "describe honors(Stud) where <context>" is answered
+// descriptively: irrelevant context is discarded by reachability
+// analysis, and the relevant context is subsumption-tested against each
+// proof tree of the query predicate. A fully subsumed tree means the
+// context alone guarantees membership.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys, err := repro.Load(`
+honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Cred >= 30, Gpa >= 4.
+honors(Stud) :- transcript(Stud, Major, Cred, Gpa), Gpa >= 4, exceptional(Stud).
+exceptional(Stud) :- publication(Stud, P), appears(P, Jl), reputed(Jl).
+honors(Stud) :- graduated(Stud, College), topten(College).
+
+transcript(ann, cs, 36, 4).
+transcript(bob, math, 24, 4).
+publication(bob, paper1).
+appears(paper1, tods).
+reputed(tods).
+graduated(dee, mit).
+topten(mit).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Conventional answer, for contrast.
+	answers, err := sys.Query("honors(S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conventional answer to honors(S):")
+	for _, t := range answers {
+		fmt.Printf("  honors%s\n", t)
+	}
+
+	// Knowledge query of Example 5.1.
+	fmt.Println("\nknowledge query (Example 5.1):")
+	a, err := sys.Describe("honors(Stud)",
+		"major(Stud, cs), graduated(Stud, College), topten(College), hobby(Stud, chess)", 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(a)
+
+	fmt.Println("\nmost informative descriptions:")
+	for _, t := range a.BestTrees() {
+		if t.FullyCovered {
+			fmt.Println("  the context alone qualifies a student as honors")
+		} else {
+			fmt.Printf("  requires additionally: %v\n", t.Residue)
+		}
+	}
+
+	// The same answer grounded against the data: who satisfies the
+	// context, and who qualifies through each proof tree.
+	ev, err := sys.DescribeGrounded("honors(Stud)",
+		"major(Stud, cs), graduated(Stud, College), topten(College), hobby(Stud, chess)", 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngrounded against the database:")
+	fmt.Print(ev)
+
+	// A second query whose context is entirely irrelevant.
+	fmt.Println("\nsecond query, irrelevant context:")
+	b, err := sys.Describe("honors(Stud)", "hobby(Stud, chess), likes(Stud, pizza)", 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b)
+}

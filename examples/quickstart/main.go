@@ -1,0 +1,64 @@
+// Quickstart: load a recursive program with an integrity constraint,
+// run the semantic optimizer, and query both the original and the
+// optimized program. This is the ancestor/age example of the paper's
+// Example 4.3 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys, err := repro.Load(`
+% People: par(Child, ChildAge, Parent, ParentAge).
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+
+% Nobody aged 50 or less has three generations of descendants.
+Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .
+
+par(dan, 21, carla, 47).
+par(carla, 47, bob, 72).
+par(bob, 72, alice, 95).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("program:")
+	fmt.Print(sys.Program)
+	fmt.Println("\nconstraints:")
+	for _, ic := range sys.ICs {
+		fmt.Println(" ", ic)
+	}
+
+	// Optimize: the constraint maximally subsumes the expansion
+	// sequence r1 r1 r1 and yields a conditional null residue, pushed
+	// as subtree pruning.
+	res, err := sys.Optimize(repro.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimizer found:")
+	for _, o := range res.Opportunities {
+		fmt.Println(" ", o)
+	}
+	fmt.Println("\noptimized program:")
+	fmt.Print(res.Optimized)
+
+	// Query through the optimized program.
+	answers, err := sys.Query("anc(dan, A, Y, Ya)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nancestors of dan:")
+	for _, t := range answers {
+		fmt.Printf("  anc%s\n", t)
+	}
+	st := sys.Stats()
+	fmt.Printf("\nwork: %d iterations, %d probes, %d tuples inserted\n",
+		st.Iterations, st.Probes, st.Inserted)
+}

@@ -1,0 +1,113 @@
+package ast
+
+import (
+	"testing"
+)
+
+func atom(pred string, args ...Term) Atom { return NewAtom(pred, args...) }
+
+func TestAtomBasics(t *testing.T) {
+	a := atom("boss", Var("E"), Var("B"), Sym("executive"))
+	if a.Arity() != 3 {
+		t.Fatalf("arity = %d, want 3", a.Arity())
+	}
+	if a.IsEvaluable() {
+		t.Error("boss must not be evaluable")
+	}
+	if a.IsGround() {
+		t.Error("atom with vars must not be ground")
+	}
+	if got := a.String(); got != "boss(E, B, executive)" {
+		t.Errorf("String = %q", got)
+	}
+	g := atom("p", Sym("a"), Int(1))
+	if !g.IsGround() {
+		t.Error("constant atom must be ground")
+	}
+}
+
+func TestAtomCloneIsDeep(t *testing.T) {
+	a := atom("p", Var("X"), Var("Y"))
+	b := a.Clone()
+	b.Args[0] = Sym("mutated")
+	if a.Args[0] != Term(Var("X")) {
+		t.Error("Clone shares the argument slice")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must be Equal to original")
+	}
+}
+
+func TestEvaluableAtoms(t *testing.T) {
+	for _, op := range []string{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		a := atom(op, Var("X"), Int(5))
+		if !a.IsEvaluable() {
+			t.Errorf("%s must be evaluable", op)
+		}
+	}
+	if got := atom(OpGt, Var("X"), Int(100)).String(); got != "X > 100" {
+		t.Errorf("infix rendering = %q", got)
+	}
+}
+
+func TestNegateOpInvolution(t *testing.T) {
+	for _, op := range []string{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if NegateOp(NegateOp(op)) != op {
+			t.Errorf("NegateOp not an involution on %s", op)
+		}
+	}
+}
+
+func TestNegCompilesComparisons(t *testing.T) {
+	// not (X <= 50) must become X > 50 rather than a negated literal.
+	l := Neg(atom(OpLe, Var("Ya"), Int(50)))
+	if l.Neg {
+		t.Fatal("negated comparison should compile to the complement operator")
+	}
+	if l.Atom.Pred != OpGt {
+		t.Fatalf("pred = %s, want >", l.Atom.Pred)
+	}
+	// Database atoms keep an explicit negation flag.
+	d := Neg(atom("expert", Var("P"), Var("F")))
+	if !d.Neg {
+		t.Fatal("database negation must keep the Neg flag")
+	}
+	if got := d.String(); got != "not expert(P, F)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVarsAndVarSet(t *testing.T) {
+	a := atom("p", Var("X"), Sym("c"), Var("Y"), Var("X"))
+	vars := a.Vars(nil)
+	if len(vars) != 3 || vars[0] != "X" || vars[1] != "Y" || vars[2] != "X" {
+		t.Errorf("Vars = %v", vars)
+	}
+	set := a.VarSet()
+	if len(set) != 2 || !set["X"] || !set["Y"] {
+		t.Errorf("VarSet = %v", set)
+	}
+}
+
+func TestBodyHelpers(t *testing.T) {
+	b := []Literal{
+		Pos(atom("a", Var("X"), Var("Y"))),
+		Pos(atom(OpGt, Var("Y"), Int(0))),
+	}
+	if got := BodyString(b); got != "a(X, Y), Y > 0" {
+		t.Errorf("BodyString = %q", got)
+	}
+	vars := BodyVars(b)
+	if len(vars) != 2 {
+		t.Errorf("BodyVars = %v", vars)
+	}
+	sorted := SortedVars(vars)
+	if len(sorted) != 2 || sorted[0] != "X" || sorted[1] != "Y" {
+		t.Errorf("SortedVars = %v", sorted)
+	}
+	cl := CloneBody(b)
+	cl[0].Atom.Args[0] = Sym("z")
+	if b[0].Atom.Args[0] != Term(Var("X")) {
+		t.Error("CloneBody must deep copy")
+	}
+}

@@ -1,0 +1,275 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a finite set of rules (kept in source order).
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program, assigning default labels r0, r1, … to
+// rules that lack one.
+func NewProgram(rules ...Rule) *Program {
+	p := &Program{Rules: rules}
+	p.EnsureLabels()
+	return p
+}
+
+// EnsureLabels assigns r<i> labels to unlabeled rules and disambiguates
+// duplicates by appending an index.
+func (p *Program) EnsureLabels() {
+	seen := make(map[string]bool)
+	for i := range p.Rules {
+		if p.Rules[i].Label == "" {
+			p.Rules[i].Label = fmt.Sprintf("r%d", i)
+		}
+		for seen[p.Rules[i].Label] {
+			p.Rules[i].Label += "'"
+		}
+		seen[p.Rules[i].Label] = true
+	}
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	for i := range p.Rules {
+		rules[i] = p.Rules[i].Clone()
+	}
+	return &Program{Rules: rules}
+}
+
+// RuleByLabel returns the rule with the given label, or false.
+func (p *Program) RuleByLabel(label string) (Rule, bool) {
+	for _, r := range p.Rules {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// IDBPreds returns the set of intensional predicates: those appearing in
+// some rule head (facts included — a predicate defined only by facts in
+// the program text is still treated as IDB by this function; callers
+// that load facts into storage instead will not see them here).
+func (p *Program) IDBPreds() map[string]bool {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// EDBPreds returns the set of extensional predicates: database
+// predicates appearing in bodies but never in a head.
+func (p *Program) EDBPreds() map[string]bool {
+	idb := p.IDBPreds()
+	edb := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if !l.Atom.IsEvaluable() && !idb[l.Atom.Pred] {
+				edb[l.Atom.Pred] = true
+			}
+		}
+	}
+	return edb
+}
+
+// Preds returns all database predicate names mentioned in the program,
+// sorted.
+func (p *Program) Preds() []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		set[r.Head.Pred] = true
+		for _, l := range r.Body {
+			if !l.Atom.IsEvaluable() {
+				set[l.Atom.Pred] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RulesFor returns the rules whose head predicate is pred, in order.
+func (p *Program) RulesFor(pred string) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DependencyGraph returns the predicate dependency relation:
+// dep[p][q] is true when q occurs in the body of a rule for p.
+// Only database predicates are tracked.
+func (p *Program) DependencyGraph() map[string]map[string]bool {
+	dep := make(map[string]map[string]bool)
+	for _, r := range p.Rules {
+		m := dep[r.Head.Pred]
+		if m == nil {
+			m = make(map[string]bool)
+			dep[r.Head.Pred] = m
+		}
+		for _, l := range r.Body {
+			if !l.Atom.IsEvaluable() {
+				m[l.Atom.Pred] = true
+			}
+		}
+	}
+	return dep
+}
+
+// DependsOn reports whether pred p transitively depends on q
+// (reflexively: every predicate depends on itself).
+func (p *Program) DependsOn(from, to string) bool {
+	if from == to {
+		return true
+	}
+	dep := p.DependencyGraph()
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range dep[cur] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// RecursivePreds returns the predicates that transitively depend on
+// themselves.
+func (p *Program) RecursivePreds() map[string]bool {
+	out := make(map[string]bool)
+	for pred := range p.IDBPreds() {
+		dep := p.DependencyGraph()
+		// pred is recursive iff reachable from one of its body preds.
+		seen := make(map[string]bool)
+		var stack []string
+		for q := range dep[pred] {
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == pred {
+				out[pred] = true
+				break
+			}
+			for next := range dep[cur] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsRecursiveRule reports whether r is a recursive rule for its own head
+// predicate (the head predicate occurs in the body).
+func IsRecursiveRule(r Rule) bool {
+	for _, l := range r.Body {
+		if l.Atom.Pred == r.Head.Pred {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckClass verifies the assumptions of the paper (§1): all rules
+// range-restricted and connected; recursion linear (each recursive rule
+// has exactly one occurrence of its head predicate in the body) and free
+// of mutual recursion; no negated database literals. It returns a
+// descriptive error for the first violation found, or nil.
+func (p *Program) CheckClass() error {
+	recs := p.RecursivePreds()
+	for _, r := range p.Rules {
+		if !r.IsRangeRestricted() {
+			return fmt.Errorf("rule %s (%s) is not range restricted", r.Label, r)
+		}
+		if !r.IsConnected() {
+			return fmt.Errorf("rule %s (%s) is not connected", r.Label, r)
+		}
+		selfOccs := 0
+		for _, l := range r.Body {
+			if l.Neg && !l.Atom.IsEvaluable() {
+				return fmt.Errorf("rule %s negates database atom %s", r.Label, l.Atom)
+			}
+			if l.Atom.Pred == r.Head.Pred {
+				selfOccs++
+			}
+			// Mutual recursion: a body predicate other than the head
+			// that transitively depends back on the head.
+			if !l.Atom.IsEvaluable() && l.Atom.Pred != r.Head.Pred &&
+				recs[r.Head.Pred] && p.DependsOn(l.Atom.Pred, r.Head.Pred) {
+				return fmt.Errorf("mutual recursion between %s and %s", r.Head.Pred, l.Atom.Pred)
+			}
+		}
+		if selfOccs > 1 {
+			return fmt.Errorf("rule %s is non-linear: %d occurrences of %s in the body",
+				r.Label, selfOccs, r.Head.Pred)
+		}
+	}
+	return nil
+}
+
+// Reachable returns the subprogram containing only the rules of
+// predicates transitively reachable from pred — what a query-driven
+// evaluation actually needs to compute. Facts of reachable predicates
+// are kept.
+func (p *Program) Reachable(pred string) *Program {
+	dep := p.DependencyGraph()
+	need := map[string]bool{pred: true}
+	stack := []string{pred}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range dep[cur] {
+			if !need[next] {
+				need[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	out := &Program{}
+	for _, r := range p.Rules {
+		if need[r.Head.Pred] {
+			out.Rules = append(out.Rules, r.Clone())
+		}
+	}
+	return out
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

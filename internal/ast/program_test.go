@@ -1,0 +1,228 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalProgram builds the running example of the paper (Example 3.2).
+func evalProgram() *Program {
+	return NewProgram(
+		NewRule("r0",
+			NewAtom("eval", Var("P"), Var("S"), Var("T")),
+			NewAtom("super", Var("P"), Var("S"), Var("T"))),
+		NewRule("r1",
+			NewAtom("eval", Var("P"), Var("S"), Var("T")),
+			NewAtom("works_with", Var("P"), Var("P0")),
+			NewAtom("eval", Var("P0"), Var("S"), Var("T")),
+			NewAtom("expert", Var("P"), Var("F")),
+			NewAtom("field", Var("T"), Var("F"))),
+	)
+}
+
+func TestEDBIDBClassification(t *testing.T) {
+	p := evalProgram()
+	idb := p.IDBPreds()
+	if !idb["eval"] || len(idb) != 1 {
+		t.Errorf("IDBPreds = %v", idb)
+	}
+	edb := p.EDBPreds()
+	for _, pred := range []string{"super", "works_with", "expert", "field"} {
+		if !edb[pred] {
+			t.Errorf("EDBPreds missing %s (got %v)", pred, edb)
+		}
+	}
+	if edb["eval"] {
+		t.Error("eval must not be EDB")
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	p := evalProgram()
+	recs := p.RecursivePreds()
+	if !recs["eval"] {
+		t.Error("eval must be recursive")
+	}
+	if !IsRecursiveRule(p.Rules[1]) {
+		t.Error("r1 must be a recursive rule")
+	}
+	if IsRecursiveRule(p.Rules[0]) {
+		t.Error("r0 must not be recursive")
+	}
+	// Indirect recursion through another predicate.
+	q := NewProgram(
+		NewRule("a", NewAtom("p", Var("X")), NewAtom("q", Var("X"))),
+		NewRule("b", NewAtom("q", Var("X")), NewAtom("p", Var("X"))),
+	)
+	recs = q.RecursivePreds()
+	if !recs["p"] || !recs["q"] {
+		t.Errorf("mutual recursion not detected: %v", recs)
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	p := NewProgram(
+		NewRule("", NewAtom("a", Var("X")), NewAtom("b", Var("X"))),
+		NewRule("", NewAtom("b", Var("X")), NewAtom("c", Var("X"))),
+	)
+	if !p.DependsOn("a", "c") {
+		t.Error("a depends on c transitively")
+	}
+	if p.DependsOn("c", "a") {
+		t.Error("c must not depend on a")
+	}
+	if !p.DependsOn("a", "a") {
+		t.Error("DependsOn is reflexive")
+	}
+}
+
+func TestCheckClass(t *testing.T) {
+	if err := evalProgram().CheckClass(); err != nil {
+		t.Errorf("paper example must pass CheckClass: %v", err)
+	}
+	nonlinear := NewProgram(NewRule("",
+		NewAtom("p", Var("X"), Var("Y")),
+		NewAtom("p", Var("X"), Var("Z")),
+		NewAtom("p", Var("Z"), Var("Y"))))
+	if err := nonlinear.CheckClass(); err == nil || !strings.Contains(err.Error(), "non-linear") {
+		t.Errorf("nonlinear check = %v", err)
+	}
+	mutual := NewProgram(
+		NewRule("", NewAtom("p", Var("X")), NewAtom("q", Var("X"))),
+		NewRule("", NewAtom("q", Var("X")), NewAtom("p", Var("X"))),
+	)
+	if err := mutual.CheckClass(); err == nil || !strings.Contains(err.Error(), "mutual") {
+		t.Errorf("mutual check = %v", err)
+	}
+	unsafe := NewProgram(NewRule("", NewAtom("p", Var("X"), Var("Y")), NewAtom("q", Var("X"))))
+	if err := unsafe.CheckClass(); err == nil || !strings.Contains(err.Error(), "range restricted") {
+		t.Errorf("range check = %v", err)
+	}
+	negdb := &Program{Rules: []Rule{{
+		Head: NewAtom("p", Var("X")),
+		Body: []Literal{Pos(NewAtom("q", Var("X"))), Neg(NewAtom("r", Var("X")))},
+	}}}
+	negdb.EnsureLabels()
+	if err := negdb.CheckClass(); err == nil || !strings.Contains(err.Error(), "negates") {
+		t.Errorf("negation check = %v", err)
+	}
+}
+
+func TestEnsureLabels(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: NewAtom("p", Var("X")), Body: []Literal{Pos(NewAtom("q", Var("X")))}},
+		{Label: "r0", Head: NewAtom("p", Var("X")), Body: []Literal{Pos(NewAtom("s", Var("X")))}},
+	}}
+	p.EnsureLabels()
+	if p.Rules[0].Label != "r0" || p.Rules[1].Label == "r0" {
+		t.Errorf("labels = %q, %q (must be unique)", p.Rules[0].Label, p.Rules[1].Label)
+	}
+	if _, ok := p.RuleByLabel(p.Rules[1].Label); !ok {
+		t.Error("RuleByLabel must find disambiguated label")
+	}
+}
+
+func TestProgramCloneAndString(t *testing.T) {
+	p := evalProgram()
+	c := p.Clone()
+	c.Rules[0].Head.Args[0] = Sym("mut")
+	if p.Rules[0].Head.Args[0] != Term(Var("P")) {
+		t.Error("Clone must deep copy")
+	}
+	s := p.String()
+	if !strings.Contains(s, "eval(P, S, T) :- super(P, S, T).") {
+		t.Errorf("String = %q", s)
+	}
+	preds := p.Preds()
+	if len(preds) != 5 {
+		t.Errorf("Preds = %v", preds)
+	}
+}
+
+func TestRectify(t *testing.T) {
+	// Head with constant and repeated variable:
+	// p(X, a, X) :- q(X) becomes
+	// p(X1, X2, X3) :- q(X1), X2 = a, X3 = X1.
+	r := NewRule("r", NewAtom("p", Var("X"), Sym("a"), Var("X")), NewAtom("q", Var("X")))
+	rect, err := RectifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, arg := range rect.Head.Args {
+		if arg != Term(HeadVar(i+1)) {
+			t.Errorf("head arg %d = %v", i, arg)
+		}
+	}
+	if !rect.IsRangeRestricted() {
+		t.Error("rectified rule must stay range restricted")
+	}
+	// Evaluate the shape: q(X1) plus two equalities.
+	eqs := 0
+	for _, l := range rect.Body {
+		if l.Atom.Pred == OpEq {
+			eqs++
+		}
+	}
+	if eqs != 2 {
+		t.Errorf("expected 2 equality subgoals, got %d in %s", eqs, rect)
+	}
+
+	p, err := Rectify(evalProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsRectified(p) {
+		t.Errorf("program not rectified:\n%s", p)
+	}
+}
+
+func TestRectifyCollidingNames(t *testing.T) {
+	// A body variable already named X1 must be renamed apart.
+	r := NewRule("r", NewAtom("p", Var("A")), NewAtom("q", Var("A"), Var("X1")))
+	rect, err := RectifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.Head.Args[0] != Term(HeadVar(1)) {
+		t.Fatalf("head = %s", rect.Head)
+	}
+	// The original X1 must not be captured: q's second argument must not
+	// be X1 unless A == X1 semantically, which it is not.
+	if rect.Body[0].Atom.Args[1] == Term(HeadVar(1)) {
+		t.Errorf("variable capture in %s", rect)
+	}
+}
+
+func TestRecursiveOccurrence(t *testing.T) {
+	p := evalProgram()
+	if got := RecursiveOccurrence(p.Rules[1]); got != 1 {
+		t.Errorf("occurrence = %d, want 1", got)
+	}
+	if got := RecursiveOccurrence(p.Rules[0]); got != -1 {
+		t.Errorf("occurrence = %d, want -1", got)
+	}
+}
+
+func TestRenamer(t *testing.T) {
+	rn := NewRenamer(map[Var]bool{"X_1": true})
+	v1 := rn.Fresh("X")
+	if v1 == "X_1" {
+		t.Error("renamer must avoid X_1")
+	}
+	v2 := rn.Fresh("X")
+	if v1 == v2 {
+		t.Error("fresh vars must be distinct")
+	}
+	r := NewRule("r", NewAtom("p", Var("X")), NewAtom("q", Var("X"), Var("Y")))
+	ren, sub := rn.RenameApart(r)
+	if ren.Head.Args[0] == Term(Var("X")) {
+		t.Error("rename apart must rename X")
+	}
+	if sub.Lookup(Var("X")) != ren.Head.Args[0] {
+		t.Error("returned substitution must witness the renaming")
+	}
+	// Structure preserved.
+	if ren.Body[0].Atom.Args[0] != ren.Head.Args[0] {
+		t.Error("shared variables must stay shared after renaming")
+	}
+}

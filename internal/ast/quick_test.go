@@ -1,0 +1,145 @@
+package ast
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genAtom draws a small random atom over shared variable/constant pools
+// so that unification succeeds often enough to be informative.
+func genAtom(rng *rand.Rand) Atom {
+	preds := []string{"p", "q", "r"}
+	terms := []Term{Var("X"), Var("Y"), Var("Z"), Var("W"), Sym("a"), Sym("b"), Int(1), Int(2)}
+	n := 1 + rng.Intn(3)
+	args := make([]Term, n)
+	for i := range args {
+		args[i] = terms[rng.Intn(len(terms))]
+	}
+	return Atom{Pred: preds[rng.Intn(len(preds))], Args: args}
+}
+
+type atomPair struct{ A, B Atom }
+
+// Generate implements quick.Generator.
+func (atomPair) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(atomPair{A: genAtom(rng), B: genAtom(rng)})
+}
+
+// Unification soundness: a successful unifier makes the atoms
+// syntactically identical.
+func TestQuickUnifySound(t *testing.T) {
+	prop := func(p atomPair) bool {
+		s := NewSubst()
+		if !UnifyAtoms(s, p.A, p.B) {
+			return true
+		}
+		return s.ApplyAtom(p.A).Equal(s.ApplyAtom(p.B))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Unification completeness on the identical atom: an atom always
+// unifies with itself under the empty substitution.
+func TestQuickUnifyReflexive(t *testing.T) {
+	prop := func(p atomPair) bool {
+		s := NewSubst()
+		return UnifyAtoms(s, p.A, p.A)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Matching implies unifiability, and matching binds only pattern
+// variables (subject variables survive untouched).
+func TestQuickMatchImpliesUnify(t *testing.T) {
+	prop := func(p atomPair) bool {
+		m := NewSubst()
+		if !MatchAtom(m, p.A, p.B) {
+			return true
+		}
+		// Every binding key must occur in the pattern.
+		patVars := p.A.VarSet()
+		for k := range m {
+			if !patVars[k] {
+				return false
+			}
+		}
+		u := NewSubst()
+		return UnifyAtoms(u, p.A, p.B)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Substitution application is idempotent for match results (the bound
+// terms come from the ground side and are never themselves keys after
+// resolution).
+func TestQuickApplyIdempotentOnMatches(t *testing.T) {
+	prop := func(p atomPair) bool {
+		m := NewSubst()
+		if !MatchAtom(m, p.A, p.B) {
+			return true
+		}
+		once := m.ApplyAtom(p.A)
+		return m.ApplyAtom(once).Equal(once)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Renaming apart preserves rule structure: the renamed rule matches the
+// original shape and shares no variables with it.
+func TestQuickRenameApart(t *testing.T) {
+	prop := func(p atomPair) bool {
+		r := Rule{Label: "r", Head: p.A, Body: []Literal{Pos(p.B)}}
+		if !r.IsRangeRestricted() {
+			// Make it range restricted by using the body atom as head.
+			r = Rule{Label: "r", Head: p.B, Body: []Literal{Pos(p.B)}}
+		}
+		rn := NewRenamer(r.VarSet())
+		ren, sub := rn.RenameApart(r)
+		// No shared variables.
+		orig := r.VarSet()
+		for v := range ren.VarSet() {
+			if orig[v] {
+				return false
+			}
+		}
+		// The substitution witnesses the renaming.
+		return sub.ApplyRule(r).Equal(ren)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rectification preserves the head predicate and arity and always
+// yields canonical heads.
+func TestQuickRectify(t *testing.T) {
+	prop := func(p atomPair) bool {
+		r := Rule{Label: "r", Head: p.A, Body: []Literal{Pos(p.A), Pos(p.B)}}
+		rect, err := RectifyRule(r)
+		if err != nil {
+			return true // e.g. unfixable range restriction
+		}
+		if rect.Head.Pred != r.Head.Pred || rect.Head.Arity() != r.Head.Arity() {
+			return false
+		}
+		for i, a := range rect.Head.Args {
+			if a != Term(HeadVar(i+1)) {
+				return false
+			}
+		}
+		return rect.IsRangeRestricted()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

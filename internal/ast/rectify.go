@@ -1,0 +1,172 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Renamer produces fresh variables, guaranteed distinct from any
+// variable it has been told to avoid. Fresh variables have the shape
+// base_<n>.
+type Renamer struct {
+	counter int
+	avoid   map[Var]bool
+}
+
+// NewRenamer builds a renamer avoiding every variable of the given sets.
+func NewRenamer(avoid ...map[Var]bool) *Renamer {
+	r := &Renamer{avoid: make(map[Var]bool)}
+	for _, set := range avoid {
+		r.Avoid(set)
+	}
+	return r
+}
+
+// Avoid adds variables the renamer must never generate.
+func (rn *Renamer) Avoid(set map[Var]bool) {
+	for v := range set {
+		rn.avoid[v] = true
+	}
+}
+
+// Fresh returns a new variable not seen before, derived from base.
+func (rn *Renamer) Fresh(base string) Var {
+	base = strings.TrimRight(base, "0123456789_")
+	if base == "" {
+		base = "V"
+	}
+	for {
+		rn.counter++
+		v := Var(fmt.Sprintf("%s_%d", base, rn.counter))
+		if !rn.avoid[v] {
+			rn.avoid[v] = true
+			return v
+		}
+	}
+}
+
+// RenameApart returns a variant of r with every variable replaced by a
+// fresh one, plus the renaming used. Standardizing rules apart is needed
+// before unfolding or subsumption tests. Variables are processed in
+// sorted order so the generated names are deterministic across calls.
+func (rn *Renamer) RenameApart(r Rule) (Rule, Subst) {
+	s := NewSubst()
+	for _, v := range SortedVars(r.VarSet()) {
+		s[v] = rn.Fresh(string(v))
+	}
+	return s.ApplyRule(r), s
+}
+
+// RenameICApart returns a variant of ic with fresh variables, assigned
+// deterministically (sorted variable order).
+func (rn *Renamer) RenameICApart(ic IC) (IC, Subst) {
+	s := NewSubst()
+	for _, v := range SortedVars(ic.VarSet()) {
+		s[v] = rn.Fresh(string(v))
+	}
+	out := IC{Label: ic.Label, Body: s.ApplyBody(ic.Body)}
+	if ic.Head != nil {
+		h := s.ApplyAtom(*ic.Head)
+		out.Head = &h
+	}
+	return out, s
+}
+
+// HeadVar returns the canonical i-th head variable name X1, X2, …
+// used by rectification (1-based).
+func HeadVar(i int) Var { return Var(fmt.Sprintf("X%d", i)) }
+
+// Rectify rewrites the program so that all rules defining the same
+// predicate have the identical head p(X1,…,Xn), following Ullman. Head
+// constants and repeated head variables are compiled into equality
+// subgoals; body variables that would collide with the canonical names
+// are renamed apart first. Facts are left untouched (they are already
+// ground and are loaded into storage, not transformed).
+func Rectify(p *Program) (*Program, error) {
+	out := &Program{Rules: make([]Rule, 0, len(p.Rules))}
+	for _, r := range p.Rules {
+		if r.IsFact() {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		rect, err := RectifyRule(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rules = append(out.Rules, rect)
+	}
+	return out, nil
+}
+
+// RectifyRule rewrites one rule into rectified form (see Rectify).
+func RectifyRule(r Rule) (Rule, error) {
+	n := r.Head.Arity()
+	// First rename every existing variable away from the canonical
+	// names X1..Xn to avoid capture.
+	canonical := make(map[Var]bool, n)
+	for i := 1; i <= n; i++ {
+		canonical[HeadVar(i)] = true
+	}
+	rn := NewRenamer(r.VarSet(), canonical)
+	pre := NewSubst()
+	for _, v := range SortedVars(r.VarSet()) {
+		if canonical[v] {
+			pre[v] = rn.Fresh(string(v))
+		}
+	}
+	r = pre.ApplyRule(r)
+
+	s := NewSubst()
+	var extra []Literal
+	head := Atom{Pred: r.Head.Pred, Args: make([]Term, n)}
+	for i, t := range r.Head.Args {
+		x := HeadVar(i + 1)
+		head.Args[i] = x
+		switch tt := t.(type) {
+		case Var:
+			if prev, bound := s[tt]; bound {
+				// Repeated head variable: X_i = earlier position.
+				extra = append(extra, Pos(Atom{Pred: OpEq, Args: []Term{x, prev}}))
+			} else {
+				s[tt] = x
+			}
+		default:
+			// Head constant: X_i = c.
+			extra = append(extra, Pos(Atom{Pred: OpEq, Args: []Term{x, tt}}))
+		}
+	}
+	body := append(s.ApplyBody(r.Body), extra...)
+	rect := Rule{Label: r.Label, Head: head, Body: body}
+	if !rect.IsRangeRestricted() {
+		return Rule{}, fmt.Errorf("rule %s not range restricted after rectification: %s", r.Label, rect)
+	}
+	return rect, nil
+}
+
+// IsRectified reports whether every non-fact rule head is of the
+// canonical p(X1,…,Xn) form.
+func IsRectified(p *Program) bool {
+	for _, r := range p.Rules {
+		if r.IsFact() {
+			continue
+		}
+		for i, t := range r.Head.Args {
+			if t != Term(HeadVar(i+1)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RecursiveOccurrence returns the index of the (unique, by linearity)
+// body literal whose predicate equals the head predicate, or -1 for
+// non-recursive (exit) rules.
+func RecursiveOccurrence(r Rule) int {
+	for i, l := range r.Body {
+		if l.Atom.Pred == r.Head.Pred {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,254 @@
+package ast
+
+import "strings"
+
+// Rule is a Horn clause Head :- Body. A rule with an empty body and a
+// ground head is a fact. Label is an optional identifier (r0, r1, …)
+// used when printing expansion sequences and transformation reports.
+type Rule struct {
+	Label string
+	Head  Atom
+	Body  []Literal
+}
+
+// NewRule builds a rule from a head and positive body atoms; it is a
+// convenience for tests and examples.
+func NewRule(label string, head Atom, body ...Atom) Rule {
+	lits := make([]Literal, len(body))
+	for i, a := range body {
+		lits[i] = Pos(a)
+	}
+	return Rule{Label: label, Head: head, Body: lits}
+}
+
+// IsFact reports whether the rule has an empty body.
+func (r Rule) IsFact() bool { return len(r.Body) == 0 }
+
+// Clone deep-copies the rule.
+func (r Rule) Clone() Rule {
+	return Rule{Label: r.Label, Head: r.Head.Clone(), Body: CloneBody(r.Body)}
+}
+
+// Equal reports syntactic identity of head and body (labels ignored).
+func (r Rule) Equal(o Rule) bool {
+	if !r.Head.Equal(o.Head) || len(r.Body) != len(o.Body) {
+		return false
+	}
+	for i := range r.Body {
+		if !r.Body[i].Equal(o.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VarSet returns the set of variables occurring anywhere in the rule.
+func (r Rule) VarSet() map[Var]bool {
+	set := r.Head.VarSet()
+	for v := range BodyVars(r.Body) {
+		set[v] = true
+	}
+	return set
+}
+
+// LocalVars returns the variables that appear only in the body
+// (the paper's "local variables").
+func (r Rule) LocalVars() map[Var]bool {
+	head := r.Head.VarSet()
+	out := make(map[Var]bool)
+	for v := range BodyVars(r.Body) {
+		if !head[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// DatabaseAtoms returns the positive database (non-evaluable) atoms of
+// the body, in order.
+func (r Rule) DatabaseAtoms() []Atom {
+	var out []Atom
+	for _, l := range r.Body {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+// BodyOccurrences returns the indices of body literals whose atom has
+// the given predicate.
+func (r Rule) BodyOccurrences(pred string) []int {
+	var out []int
+	for i, l := range r.Body {
+		if l.Atom.Pred == pred {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsRangeRestricted reports whether every head variable occurs in some
+// positive body literal (assumption (1) of the paper). Facts must be
+// ground.
+func (r Rule) IsRangeRestricted() bool {
+	if r.IsFact() {
+		return r.Head.IsGround()
+	}
+	bound := make(map[Var]bool)
+	for _, l := range r.Body {
+		if l.Neg {
+			continue
+		}
+		for _, t := range l.Atom.Args {
+			if v, ok := t.(Var); ok {
+				bound[v] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if v, ok := t.(Var); ok && !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConnected reports whether the body is connected in the paper's
+// sense: between any two subgoals there is a chain of subgoals each
+// sharing a variable with the next. Bodies of length <= 1 are connected.
+// The head is included as a pseudo-subgoal so that rules like
+// p(X, Y) :- q(X), r(Y) count as connected through the head, matching
+// the paper's reading of "connected to a common subgoal".
+func (r Rule) IsConnected() bool {
+	if len(r.Body) <= 1 {
+		return true
+	}
+	n := len(r.Body) + 1 // +1 for the head pseudo-node
+	varSets := make([]map[Var]bool, n)
+	for i, l := range r.Body {
+		varSets[i] = l.Atom.VarSet()
+	}
+	varSets[n-1] = r.Head.VarSet()
+	// Union-find over subgoals sharing variables.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	byVar := make(map[Var]int)
+	for i, vs := range varSets {
+		for v := range vs {
+			if j, seen := byVar[v]; seen {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	root := find(0)
+	for i := 1; i < len(r.Body); i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule in the Prolog-like notation of the paper:
+// head :- body. Facts render as "head.".
+func (r Rule) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.Head.String())
+	if len(r.Body) > 0 {
+		sb.WriteString(" :- ")
+		sb.WriteString(BodyString(r.Body))
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}
+
+// IC is an integrity constraint written, as in the paper, with the body
+// on the left of the implication: D1,…,Dk,E1,…,Em -> A. Head == nil
+// denotes a denial (empty head), i.e. the body is unsatisfiable.
+type IC struct {
+	Label string
+	Body  []Literal
+	Head  *Atom
+}
+
+// NewIC builds a constraint from positive body atoms and an optional
+// head (pass nil for a denial).
+func NewIC(label string, head *Atom, body ...Atom) IC {
+	lits := make([]Literal, len(body))
+	for i, a := range body {
+		lits[i] = Pos(a)
+	}
+	return IC{Label: label, Body: lits, Head: head}
+}
+
+// Clone deep-copies the constraint.
+func (ic IC) Clone() IC {
+	out := IC{Label: ic.Label, Body: CloneBody(ic.Body)}
+	if ic.Head != nil {
+		h := ic.Head.Clone()
+		out.Head = &h
+	}
+	return out
+}
+
+// DatabaseAtoms returns the database atoms of the body, in order
+// (the D_i of §3).
+func (ic IC) DatabaseAtoms() []Atom {
+	var out []Atom
+	for _, l := range ic.Body {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+// EvaluableLiterals returns the evaluable literals of the body
+// (the E_j of §3).
+func (ic IC) EvaluableLiterals() []Literal {
+	var out []Literal
+	for _, l := range ic.Body {
+		if l.Atom.IsEvaluable() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// VarSet returns the set of variables occurring anywhere in ic.
+func (ic IC) VarSet() map[Var]bool {
+	set := BodyVars(ic.Body)
+	if ic.Head != nil {
+		for v := range ic.Head.VarSet() {
+			set[v] = true
+		}
+	}
+	return set
+}
+
+// String renders the constraint as "body -> head." ("body -> ." for
+// denials).
+func (ic IC) String() string {
+	var sb strings.Builder
+	sb.WriteString(BodyString(ic.Body))
+	sb.WriteString(" -> ")
+	if ic.Head != nil {
+		sb.WriteString(ic.Head.String())
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuleString(t *testing.T) {
+	r := NewRule("r1",
+		NewAtom("eval", Var("P"), Var("S"), Var("T")),
+		NewAtom("works_with", Var("P"), Var("P0")),
+		NewAtom("eval", Var("P0"), Var("S"), Var("T")),
+		NewAtom("expert", Var("P"), Var("F")),
+		NewAtom("field", Var("T"), Var("F")),
+	)
+	want := "eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F)."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q\nwant %q", got, want)
+	}
+	fact := Rule{Head: NewAtom("p", Sym("a"))}
+	if got := fact.String(); got != "p(a)." {
+		t.Errorf("fact String = %q", got)
+	}
+	if !fact.IsFact() {
+		t.Error("empty body must be a fact")
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	good := NewRule("", NewAtom("p", Var("X")), NewAtom("q", Var("X"), Var("Y")))
+	if !good.IsRangeRestricted() {
+		t.Error("good rule must be range restricted")
+	}
+	bad := NewRule("", NewAtom("p", Var("X"), Var("Z")), NewAtom("q", Var("X"), Var("Y")))
+	if bad.IsRangeRestricted() {
+		t.Error("Z unbound: not range restricted")
+	}
+	groundFact := Rule{Head: NewAtom("p", Sym("a"))}
+	if !groundFact.IsRangeRestricted() {
+		t.Error("ground fact is range restricted")
+	}
+	varFact := Rule{Head: NewAtom("p", Var("X"))}
+	if varFact.IsRangeRestricted() {
+		t.Error("non-ground fact is not range restricted")
+	}
+	// A head variable bound only by a negated literal does not count.
+	negOnly := Rule{Head: NewAtom("p", Var("X")), Body: []Literal{Neg(NewAtom("q", Var("X")))}}
+	if negOnly.IsRangeRestricted() {
+		t.Error("negated binding must not satisfy range restriction")
+	}
+}
+
+func TestConnectedness(t *testing.T) {
+	conn := NewRule("", NewAtom("p", Var("X"), Var("Z")),
+		NewAtom("a", Var("X"), Var("Y")), NewAtom("b", Var("Y"), Var("Z")))
+	if !conn.IsConnected() {
+		t.Error("chain rule must be connected")
+	}
+	// Disconnected through the head: q(X) and r(Y) share nothing and the
+	// head mentions only X.
+	disc := NewRule("", NewAtom("p", Var("X")),
+		NewAtom("q", Var("X")), NewAtom("r", Var("Y")))
+	if disc.IsConnected() {
+		t.Error("q(X), r(Y) with head p(X) must be disconnected")
+	}
+	// Connected via the head: p(X, Y) :- q(X), r(Y).
+	viaHead := NewRule("", NewAtom("p", Var("X"), Var("Y")),
+		NewAtom("q", Var("X")), NewAtom("r", Var("Y")))
+	if !viaHead.IsConnected() {
+		t.Error("subgoals connected through the head count as connected")
+	}
+	single := NewRule("", NewAtom("p", Var("X")), NewAtom("q", Var("X")))
+	if !single.IsConnected() {
+		t.Error("single subgoal is trivially connected")
+	}
+}
+
+func TestLocalVarsAndDatabaseAtoms(t *testing.T) {
+	r := NewRule("",
+		NewAtom("p", Var("X")),
+		NewAtom("q", Var("X"), Var("Y")),
+		NewAtom(OpGt, Var("Y"), Int(0)),
+	)
+	locals := r.LocalVars()
+	if len(locals) != 1 || !locals["Y"] {
+		t.Errorf("LocalVars = %v, want {Y}", locals)
+	}
+	dbs := r.DatabaseAtoms()
+	if len(dbs) != 1 || dbs[0].Pred != "q" {
+		t.Errorf("DatabaseAtoms = %v", dbs)
+	}
+	occ := r.BodyOccurrences("q")
+	if len(occ) != 1 || occ[0] != 0 {
+		t.Errorf("BodyOccurrences = %v", occ)
+	}
+}
+
+func TestICBasics(t *testing.T) {
+	head := NewAtom("experienced", Var("B"))
+	ic := NewIC("ic1", &head,
+		NewAtom("boss", Var("E"), Var("B"), Var("R")),
+		NewAtom(OpEq, Var("R"), Sym("executive")),
+	)
+	want := "boss(E, B, R), R = executive -> experienced(B)."
+	if got := ic.String(); got != want {
+		t.Errorf("IC String = %q\nwant %q", got, want)
+	}
+	if n := len(ic.DatabaseAtoms()); n != 1 {
+		t.Errorf("DatabaseAtoms = %d, want 1", n)
+	}
+	if n := len(ic.EvaluableLiterals()); n != 1 {
+		t.Errorf("EvaluableLiterals = %d, want 1", n)
+	}
+	vars := ic.VarSet()
+	for _, v := range []Var{"E", "B", "R"} {
+		if !vars[v] {
+			t.Errorf("VarSet missing %s", v)
+		}
+	}
+	// Denial rendering.
+	denial := NewIC("d", nil, NewAtom("p", Var("X")))
+	if got := denial.String(); !strings.HasSuffix(got, "-> .") {
+		t.Errorf("denial String = %q", got)
+	}
+	// Clone is deep.
+	cl := ic.Clone()
+	cl.Body[0].Atom.Args[0] = Sym("mut")
+	cl.Head.Args[0] = Sym("mut")
+	if ic.Body[0].Atom.Args[0] != Term(Var("E")) || ic.Head.Args[0] != Term(Var("B")) {
+		t.Error("IC.Clone must deep copy")
+	}
+}
+
+func TestRuleEqual(t *testing.T) {
+	a := NewRule("x", NewAtom("p", Var("X")), NewAtom("q", Var("X")))
+	b := NewRule("y", NewAtom("p", Var("X")), NewAtom("q", Var("X")))
+	if !a.Equal(b) {
+		t.Error("labels must not affect Equal")
+	}
+	c := NewRule("", NewAtom("p", Var("X")), NewAtom("q", Var("Y")))
+	if a.Equal(c) {
+		t.Error("different bodies must not be Equal")
+	}
+}

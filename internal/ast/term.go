@@ -1,0 +1,104 @@
+// Package ast defines the abstract syntax of the deductive-database
+// dialect used throughout this repository: Datalog with evaluable
+// (built-in) comparison predicates, integrity constraints written as
+// implications, and the structural analyses (rectification, linearity,
+// range restriction, connectedness) assumed by Lakshmanan & Missaoui,
+// "Pushing Semantics inside Recursion" (ICDE 1995).
+//
+// Terms are function-free: a term is a variable, a symbolic constant, or
+// an integer constant. This matches the paper's language class and keeps
+// unification linear-time.
+package ast
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Term is a Datalog term: a Var, a Sym, or an Int.
+// The type set is closed; code may exhaustively type-switch on it.
+type Term interface {
+	fmt.Stringer
+	// isTerm restricts implementations to this package's three kinds.
+	isTerm()
+}
+
+// Var is a logical variable. By convention (enforced by the parser)
+// variable names begin with an upper-case letter or underscore.
+type Var string
+
+// Sym is a symbolic constant such as 'executive' or alice.
+type Sym string
+
+// Int is an integer constant.
+type Int int64
+
+func (Var) isTerm() {}
+func (Sym) isTerm() {}
+func (Int) isTerm() {}
+
+func (v Var) String() string { return string(v) }
+func (s Sym) String() string { return string(s) }
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// IsGround reports whether t contains no variables, i.e. t is a constant.
+func IsGround(t Term) bool {
+	_, isVar := t.(Var)
+	return !isVar
+}
+
+// TermEq reports whether two terms are identical.
+func TermEq(a, b Term) bool { return a == b }
+
+// CompareTerms defines a total order over terms, used for deterministic
+// output: Int < Sym < Var, then by value. It returns -1, 0 or +1.
+func CompareTerms(a, b Term) int {
+	ra, rb := termRank(a), termRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch x := a.(type) {
+	case Int:
+		y := b.(Int)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case Sym:
+		y := b.(Sym)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case Var:
+		y := b.(Var)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func termRank(t Term) int {
+	switch t.(type) {
+	case Int:
+		return 0
+	case Sym:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,79 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	cases := []struct {
+		term   Term
+		ground bool
+		str    string
+	}{
+		{Var("X"), false, "X"},
+		{Var("_foo"), false, "_foo"},
+		{Sym("alice"), true, "alice"},
+		{Int(42), true, "42"},
+		{Int(-7), true, "-7"},
+	}
+	for _, c := range cases {
+		if got := IsGround(c.term); got != c.ground {
+			t.Errorf("IsGround(%v) = %v, want %v", c.term, got, c.ground)
+		}
+		if got := c.term.String(); got != c.str {
+			t.Errorf("String(%v) = %q, want %q", c.term, got, c.str)
+		}
+	}
+}
+
+func TestCompareTermsOrder(t *testing.T) {
+	// Int < Sym < Var; within a kind, natural order.
+	ordered := []Term{Int(-5), Int(0), Int(10), Sym("a"), Sym("b"), Var("A"), Var("Z")}
+	for i := range ordered {
+		for j := range ordered {
+			got := CompareTerms(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("CompareTerms(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareTermsProperties(t *testing.T) {
+	gen := func(a, b int64, s1, s2 string, pick int) bool {
+		terms := []Term{Int(a), Int(b), Sym(s1), Sym(s2), Var(s1), Var(s2)}
+		x := terms[((pick%6)+6)%6]
+		y := terms[(((pick/6)%6)+6)%6]
+		// Antisymmetry.
+		if CompareTerms(x, y) != -CompareTerms(y, x) {
+			return false
+		}
+		// Reflexivity / consistency with equality.
+		if (CompareTerms(x, y) == 0) != (x == y) {
+			return false
+		}
+		return CompareTerms(x, x) == 0
+	}
+	if err := quick.Check(gen, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermEq(t *testing.T) {
+	if !TermEq(Sym("a"), Sym("a")) {
+		t.Error("identical syms must be equal")
+	}
+	if TermEq(Sym("1"), Int(1)) {
+		t.Error("sym \"1\" must differ from int 1")
+	}
+	if TermEq(Var("X"), Sym("X")) {
+		t.Error("var X must differ from sym X")
+	}
+}

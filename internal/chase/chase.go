@@ -1,0 +1,442 @@
+// Package chase implements the classical chase of a conjunctive query
+// with integrity constraints of the paper's class (database atoms plus
+// evaluable conditions implying a single atom or a denial), and
+// chase-based conjunctive-query containment and equivalence.
+//
+// The chase is the formal tool that justifies the optimizations of §4:
+// an atom B of a sequence clause Q may be eliminated exactly when
+// Q - B is equivalent to Q on every database satisfying the ICs, which
+// holds iff there is a homomorphism from Q into chase(Q - B); a
+// sequence clause may be pruned under condition E exactly when
+// chase(Q + E) is inconsistent (a denial fires). The usefulness test of
+// §3 is a sufficient syntactic condition for the former; package
+// residue uses this chase as the complete check (see DESIGN.md).
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// CQ is a conjunctive query: a head atom and a body of positive
+// database literals and evaluable literals.
+type CQ struct {
+	Head ast.Atom
+	Body []ast.Literal
+}
+
+// FromRule views a rule as a conjunctive query.
+func FromRule(r ast.Rule) CQ { return CQ{Head: r.Head.Clone(), Body: ast.CloneBody(r.Body)} }
+
+// String renders the query as a rule.
+func (q CQ) String() string {
+	return (ast.Rule{Head: q.Head, Body: q.Body}).String()
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Atoms is the saturated set of literals (original body plus every
+	// atom added by constraint firings).
+	Atoms []ast.Literal
+	// Inconsistent is set when a denial constraint fired: the query is
+	// unsatisfiable on every database obeying the constraints.
+	Inconsistent bool
+	// Fired counts constraint applications.
+	Fired int
+	// Truncated is set when MaxSteps was reached before saturation;
+	// callers must treat containment answers as "unknown" then.
+	Truncated bool
+}
+
+// DefaultMaxSteps bounds chase firings; the paper's IC class (EDB-only,
+// chain-shaped) rarely needs more than a handful.
+const DefaultMaxSteps = 256
+
+// Run chases the body with the constraints. Evaluable conditions of a
+// constraint body must be entailed by the query's evaluable literals
+// (syntactically, by comparison weakening, or by being ground and
+// true) for the constraint to fire. Head atoms are added with fresh
+// variables for existential positions; a constraint with a nil head
+// marks the result inconsistent.
+func Run(body []ast.Literal, ics []ast.IC, maxSteps int) Result {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	res := Result{Atoms: ast.CloneBody(body)}
+	present := make(map[string]bool)
+	for _, l := range res.Atoms {
+		present[litKey(l)] = true
+	}
+	rn := ast.NewRenamer(ast.BodyVars(res.Atoms))
+
+	for changed := true; changed && !res.Inconsistent; {
+		changed = false
+		for _, ic := range ics {
+			work := renameICApart(ic, res.Atoms, rn)
+			dbAtoms := collectDB(res.Atoms)
+			for _, m := range allMatches(work.DatabaseAtoms(), dbAtoms) {
+				// Evaluable conditions must be entailed.
+				ok := true
+				for _, e := range work.EvaluableLiterals() {
+					if !EntailsCmp(res.Atoms, m.ApplyLiteral(e)) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if work.Head == nil {
+					res.Inconsistent = true
+					res.Fired++
+					return res
+				}
+				// Existential head variables get fresh labeled nulls.
+				inst := m.ApplyAtom(*work.Head)
+				inst = freshenUnbound(inst, work.VarSet(), m, rn)
+				l := ast.Pos(inst)
+				if !inst.IsEvaluable() {
+					if present[litKey(l)] {
+						continue
+					}
+				} else {
+					// An evaluable head is a derived condition; ground
+					// false means inconsistency, ground true adds
+					// nothing, non-ground is recorded as a constraint
+					// literal.
+					if inst.IsGround() {
+						holds, err := groundCmp(inst)
+						if err == nil && !holds {
+							res.Inconsistent = true
+							res.Fired++
+							return res
+						}
+						continue
+					}
+					if present[litKey(l)] {
+						continue
+					}
+				}
+				present[litKey(l)] = true
+				res.Atoms = append(res.Atoms, l)
+				res.Fired++
+				changed = true
+				if res.Fired >= maxSteps {
+					res.Truncated = true
+					return res
+				}
+			}
+		}
+	}
+	return res
+}
+
+// freshenUnbound replaces head variables that the match left unbound
+// with fresh variables (labeled nulls), recording them in m so repeated
+// applications of the same head share nulls within this instantiation.
+func freshenUnbound(a ast.Atom, icVars map[ast.Var]bool, m ast.Subst, rn *ast.Renamer) ast.Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		if v, ok := t.(ast.Var); ok && icVars[v] {
+			if bound, has := m[v]; has {
+				out.Args[i] = bound
+			} else {
+				f := rn.Fresh("N")
+				m[v] = f
+				out.Args[i] = f
+			}
+		}
+	}
+	return out
+}
+
+func collectDB(lits []ast.Literal) []ast.Atom {
+	var out []ast.Atom
+	for _, l := range lits {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+func litKey(l ast.Literal) string { return l.String() }
+
+// renameICApart renames ic away from the current atom set when names
+// collide.
+func renameICApart(ic ast.IC, atoms []ast.Literal, rn *ast.Renamer) ast.IC {
+	vars := ast.BodyVars(atoms)
+	shared := false
+	for v := range ic.VarSet() {
+		if vars[v] {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		return ic
+	}
+	ren, _ := rn.RenameICApart(ic)
+	return ren
+}
+
+// allMatches enumerates one-way matches of the pattern atom list into
+// the target atoms (same backtracking as package subsume; duplicated
+// here to keep the package dependency graph acyclic).
+func allMatches(patterns, target []ast.Atom) []ast.Subst {
+	var out []ast.Subst
+	seen := make(map[string]bool)
+	theta := ast.NewSubst()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(patterns) {
+			k := theta.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, theta.Clone())
+			}
+			return
+		}
+		for _, tAtom := range target {
+			saved := theta.Clone()
+			if ast.MatchAtom(theta, patterns[i], tAtom) {
+				rec(i + 1)
+			}
+			for k := range theta {
+				delete(theta, k)
+			}
+			for k, v := range saved {
+				theta[k] = v
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+func groundCmp(a ast.Atom) (bool, error) {
+	if len(a.Args) != 2 {
+		return false, fmt.Errorf("chase: malformed comparison %s", a)
+	}
+	c := ast.CompareTerms(a.Args[0], a.Args[1])
+	switch a.Pred {
+	case ast.OpEq:
+		return c == 0, nil
+	case ast.OpNe:
+		return c != 0, nil
+	case ast.OpLt:
+		return c < 0, nil
+	case ast.OpLe:
+		return c <= 0, nil
+	case ast.OpGt:
+		return c > 0, nil
+	case ast.OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("chase: unknown comparison %s", a.Pred)
+}
+
+// EntailsCmp reports whether the literal set entails the evaluable
+// literal want: want is ground and true, appears syntactically, or is a
+// weakening of a present comparison over the same terms (X = Y entails
+// X <= Y; X < Y entails X <= Y and X != Y), including argument-swapped
+// forms (X < Y entails Y > X).
+func EntailsCmp(have []ast.Literal, want ast.Literal) bool {
+	if want.Neg || !want.Atom.IsEvaluable() || len(want.Atom.Args) != 2 {
+		return false
+	}
+	if want.Atom.IsGround() {
+		ok, err := groundCmp(want.Atom)
+		return err == nil && ok
+	}
+	wa, wb := want.Atom.Args[0], want.Atom.Args[1]
+	for _, l := range have {
+		if l.Neg || !l.Atom.IsEvaluable() || len(l.Atom.Args) != 2 {
+			continue
+		}
+		ha, hb := l.Atom.Args[0], l.Atom.Args[1]
+		if ha == wa && hb == wb && opEntails(l.Atom.Pred, want.Atom.Pred) {
+			return true
+		}
+		if ha == wb && hb == wa && opEntails(swapOp(l.Atom.Pred), want.Atom.Pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// opEntails reports whether "x have y" implies "x want y".
+func opEntails(have, want string) bool {
+	if have == want {
+		return true
+	}
+	switch have {
+	case ast.OpEq:
+		return want == ast.OpLe || want == ast.OpGe
+	case ast.OpLt:
+		return want == ast.OpLe || want == ast.OpNe
+	case ast.OpGt:
+		return want == ast.OpGe || want == ast.OpNe
+	}
+	return false
+}
+
+// swapOp rewrites "x op y" as the operator of the equivalent "y op' x".
+func swapOp(op string) string {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGt
+	case ast.OpLe:
+		return ast.OpGe
+	case ast.OpGt:
+		return ast.OpLt
+	case ast.OpGe:
+		return ast.OpLe
+	}
+	return op // = and != are symmetric
+}
+
+// Homomorphism searches for a homomorphism from pattern into target
+// that maps pattern's head onto target's head: the witness for
+// target ⊆ pattern as conjunctive queries. Pattern is renamed apart
+// first. targetExtra supplies additional (chased) literals of the
+// target. It returns the mapping and whether one exists.
+func Homomorphism(pattern CQ, targetHead ast.Atom, targetLits []ast.Literal) (ast.Subst, bool) {
+	// Rename pattern apart from target.
+	rn := ast.NewRenamer(targetHead.VarSet(), ast.BodyVars(targetLits))
+	sub := ast.NewSubst()
+	vars := pattern.Head.VarSet()
+	for v := range ast.BodyVars(pattern.Body) {
+		vars[v] = true
+	}
+	for v := range vars {
+		sub[v] = rn.Fresh(string(v))
+	}
+	pHead := sub.ApplyAtom(pattern.Head)
+	pBody := sub.ApplyBody(pattern.Body)
+
+	theta := ast.NewSubst()
+	if !ast.MatchAtom(theta, pHead, targetHead) {
+		return nil, false
+	}
+	dbTargets := collectDB(targetLits)
+	var dbPats []ast.Atom
+	var evalPats []ast.Literal
+	for _, l := range pBody {
+		if l.Atom.IsEvaluable() {
+			evalPats = append(evalPats, l)
+		} else if !l.Neg {
+			dbPats = append(dbPats, l.Atom)
+		}
+	}
+	var found ast.Subst
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(dbPats) {
+			for _, e := range evalPats {
+				if !EntailsCmp(targetLits, theta.ApplyLiteral(e)) {
+					return false
+				}
+			}
+			found = theta.Clone()
+			return true
+		}
+		for _, tAtom := range dbTargets {
+			saved := theta.Clone()
+			if ast.MatchAtom(theta, dbPats[i], tAtom) {
+				if rec(i + 1) {
+					return true
+				}
+			}
+			for k := range theta {
+				delete(theta, k)
+			}
+			for k, v := range saved {
+				theta[k] = v
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return found, true
+	}
+	return nil, false
+}
+
+// Contained reports whether sub ⊆ super holds on every database
+// satisfying the constraints: there is a homomorphism from super into
+// the chase of sub. A truncated chase yields (false, true): unknown.
+func Contained(sub, super CQ, ics []ast.IC, maxSteps int) (contained, unknown bool) {
+	ch := Run(sub.Body, ics, maxSteps)
+	if ch.Inconsistent {
+		return true, false // the empty query is contained in everything
+	}
+	_, ok := Homomorphism(super, sub.Head, ch.Atoms)
+	if !ok && ch.Truncated {
+		return false, true
+	}
+	return ok, false
+}
+
+// Equivalent reports whether the two queries agree on every database
+// satisfying the constraints.
+func Equivalent(q1, q2 CQ, ics []ast.IC, maxSteps int) (equiv, unknown bool) {
+	c1, u1 := Contained(q1, q2, ics, maxSteps)
+	if u1 {
+		return false, true
+	}
+	if !c1 {
+		return false, false
+	}
+	c2, u2 := Contained(q2, q1, ics, maxSteps)
+	if u2 {
+		return false, true
+	}
+	return c2, false
+}
+
+// AtomRedundant reports whether dropping body literal drop from q
+// preserves equivalence under the constraints: the formal licence for
+// §4's atom elimination. q minus the literal always contains q; the
+// check is the converse, via a homomorphism from q into the chase of
+// the reduced body.
+func AtomRedundant(q CQ, drop int, ics []ast.IC, maxSteps int) (redundant, unknown bool) {
+	if drop < 0 || drop >= len(q.Body) {
+		return false, false
+	}
+	reduced := CQ{Head: q.Head, Body: removeAt(q.Body, drop)}
+	return Contained(reduced, q, ics, maxSteps)
+}
+
+// Unsatisfiable reports whether the query can never produce a tuple on
+// a database satisfying the constraints: some denial fires during the
+// chase. It is the formal licence for §4's subtree pruning.
+func Unsatisfiable(q CQ, ics []ast.IC, maxSteps int) (unsat, unknown bool) {
+	ch := Run(q.Body, ics, maxSteps)
+	if ch.Inconsistent {
+		return true, false
+	}
+	return false, ch.Truncated
+}
+
+func removeAt(b []ast.Literal, i int) []ast.Literal {
+	out := make([]ast.Literal, 0, len(b)-1)
+	out = append(out, b[:i]...)
+	out = append(out, b[i+1:]...)
+	return ast.CloneBody(out)
+}
+
+// DescribeResult summarizes a chase result for diagnostics.
+func DescribeResult(r Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chase: %d literals, %d firings", len(r.Atoms), r.Fired)
+	if r.Inconsistent {
+		sb.WriteString(", inconsistent")
+	}
+	if r.Truncated {
+		sb.WriteString(", truncated")
+	}
+	return sb.String()
+}

@@ -1,0 +1,316 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/unfold"
+)
+
+func mustRule(t *testing.T, src string) ast.Rule {
+	t.Helper()
+	r, err := parser.ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustIC(t *testing.T, src string) ast.IC {
+	t.Helper()
+	ic, err := parser.ParseIC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func mustRect(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rect
+}
+
+func TestEntailsCmp(t *testing.T) {
+	x, y := ast.Var("X"), ast.Var("Y")
+	lt := ast.Pos(ast.NewAtom(ast.OpLt, x, y))
+	have := []ast.Literal{lt}
+	cases := []struct {
+		want ast.Literal
+		ok   bool
+	}{
+		{ast.Pos(ast.NewAtom(ast.OpLt, x, y)), true},
+		{ast.Pos(ast.NewAtom(ast.OpLe, x, y)), true},
+		{ast.Pos(ast.NewAtom(ast.OpNe, x, y)), true},
+		{ast.Pos(ast.NewAtom(ast.OpGt, y, x)), true}, // swapped
+		{ast.Pos(ast.NewAtom(ast.OpGe, y, x)), true},
+		{ast.Pos(ast.NewAtom(ast.OpEq, x, y)), false},
+		{ast.Pos(ast.NewAtom(ast.OpLt, y, x)), false},
+		{ast.Pos(ast.NewAtom(ast.OpGt, x, y)), false},
+	}
+	for _, c := range cases {
+		if got := EntailsCmp(have, c.want); got != c.ok {
+			t.Errorf("X<Y entails %s = %v, want %v", c.want, got, c.ok)
+		}
+	}
+	// Ground truths need no support.
+	if !EntailsCmp(nil, ast.Pos(ast.NewAtom(ast.OpLt, ast.Int(1), ast.Int(2)))) {
+		t.Error("1 < 2 must be entailed by anything")
+	}
+	if EntailsCmp(nil, ast.Pos(ast.NewAtom(ast.OpLt, ast.Int(3), ast.Int(2)))) {
+		t.Error("3 < 2 must not be entailed")
+	}
+	// Equality entails both weak orders.
+	eq := []ast.Literal{ast.Pos(ast.NewAtom(ast.OpEq, x, y))}
+	if !EntailsCmp(eq, ast.Pos(ast.NewAtom(ast.OpLe, x, y))) ||
+		!EntailsCmp(eq, ast.Pos(ast.NewAtom(ast.OpGe, y, x))) {
+		t.Error("= must entail <= and >=")
+	}
+}
+
+func TestRunFiresTGD(t *testing.T) {
+	// Expertise transitivity (ic1 of Example 3.2).
+	ic := mustIC(t, `works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`)
+	body := mustRule(t, `q(A) :- works_with(a, b), expert(b, db).`).Body
+	res := Run(body, []ast.IC{ic}, 0)
+	if res.Inconsistent || res.Truncated {
+		t.Fatalf("%s", DescribeResult(res))
+	}
+	found := false
+	for _, l := range res.Atoms {
+		if l.Atom.Equal(ast.NewAtom("expert", ast.Sym("a"), ast.Sym("db"))) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expert(a, db) not derived: %v", res.Atoms)
+	}
+	if res.Fired != 1 {
+		t.Errorf("fired = %d, want 1", res.Fired)
+	}
+}
+
+func TestRunConditionalTGD(t *testing.T) {
+	ic := mustIC(t, `boss(E, B, R), R = executive -> experienced(B).`)
+	// Condition entailed syntactically.
+	body := mustRule(t, `q(A) :- boss(joe, mary, R0), R0 = executive.`).Body
+	res := Run(body, []ast.IC{ic}, 0)
+	if len(res.Atoms) != len(body)+1 {
+		t.Errorf("conditional TGD did not fire: %v", res.Atoms)
+	}
+	// Condition not entailed: no firing.
+	body2 := mustRule(t, `q(A) :- boss(joe, mary, R0).`).Body
+	res2 := Run(body2, []ast.IC{ic}, 0)
+	if res2.Fired != 0 {
+		t.Errorf("TGD fired without its condition: %v", res2.Atoms)
+	}
+	// Ground condition that holds.
+	body3 := mustRule(t, `q(A) :- boss(joe, mary, executive).`).Body
+	res3 := Run(body3, []ast.IC{ic}, 0)
+	if res3.Fired != 1 {
+		t.Errorf("ground condition: fired = %d", res3.Fired)
+	}
+}
+
+func TestRunDenial(t *testing.T) {
+	ic := mustIC(t, `minor(P), drives(P) -> .`)
+	body := mustRule(t, `q(A) :- minor(sam), drives(sam).`).Body
+	res := Run(body, []ast.IC{ic}, 0)
+	if !res.Inconsistent {
+		t.Error("denial must fire")
+	}
+	body2 := mustRule(t, `q(A) :- minor(sam), drives(pat).`).Body
+	if res := Run(body2, []ast.IC{ic}, 0); res.Inconsistent {
+		t.Error("denial must not fire across different constants")
+	}
+}
+
+func TestRunExistentialNulls(t *testing.T) {
+	// Every employee has a department: existential head variable.
+	ic := mustIC(t, `emp(E) -> dept(E, D).`)
+	body := mustRule(t, `q(A) :- emp(ann).`).Body
+	res := Run(body, []ast.IC{ic}, 0)
+	var dept *ast.Atom
+	for _, l := range res.Atoms {
+		if l.Atom.Pred == "dept" {
+			a := l.Atom
+			dept = &a
+		}
+	}
+	if dept == nil {
+		t.Fatal("dept atom not created")
+	}
+	if dept.Args[0] != ast.Term(ast.Sym("ann")) {
+		t.Errorf("dept = %s", dept)
+	}
+	if _, isVar := dept.Args[1].(ast.Var); !isVar {
+		t.Errorf("existential position must hold a fresh null, got %s", dept)
+	}
+}
+
+func TestRunTerminatesOnCyclicTGD(t *testing.T) {
+	// e(X,Y) -> e(Y,Z) generates an infinite chain of nulls; the bound
+	// must kick in and be reported.
+	ic := mustIC(t, `e(X, Y) -> e(Y, Z).`)
+	body := mustRule(t, `q(A) :- e(a, b).`).Body
+	res := Run(body, []ast.IC{ic}, 20)
+	if !res.Truncated {
+		t.Errorf("expected truncation: %s", DescribeResult(res))
+	}
+}
+
+func TestHomomorphismAndContainment(t *testing.T) {
+	// q1(X) :- e(X, Y), e(Y, Z)  is contained in  q2(X) :- e(X, Y).
+	q1 := FromRule(mustRule(t, `q(X) :- e(X, Y), e(Y, Z).`))
+	q2 := FromRule(mustRule(t, `q(X) :- e(X, Y).`))
+	if got, unknown := Contained(q1, q2, nil, 0); !got || unknown {
+		t.Error("two-step walk must be contained in one-step walk")
+	}
+	if got, _ := Contained(q2, q1, nil, 0); got {
+		t.Error("one-step walk must not be contained in two-step walk")
+	}
+	// Head variables must be preserved: q(X) vs q(Y) over swapped args.
+	q3 := FromRule(mustRule(t, `q(X) :- e(Y, X).`))
+	if got, _ := Contained(q3, q2, nil, 0); got {
+		t.Error("head positions must anchor the homomorphism")
+	}
+}
+
+func TestContainmentUnderICs(t *testing.T) {
+	// Without ICs, q1 ⊄ q2; with symmetry of e, containment holds.
+	q1 := FromRule(mustRule(t, `q(X) :- e(X, a).`))
+	q2 := FromRule(mustRule(t, `q(X) :- e(a, X).`))
+	if got, _ := Contained(q1, q2, nil, 0); got {
+		t.Error("no containment without constraints")
+	}
+	sym := mustIC(t, `e(X, Y) -> e(Y, X).`)
+	if got, unknown := Contained(q1, q2, []ast.IC{sym}, 0); !got || unknown {
+		t.Error("containment must hold under symmetry")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	q1 := FromRule(mustRule(t, `q(X) :- e(X, Y), e(X, Z).`))
+	q2 := FromRule(mustRule(t, `q(X) :- e(X, Y).`))
+	if got, _ := Equivalent(q1, q2, nil, 0); !got {
+		t.Error("duplicate-atom query must be equivalent to its core")
+	}
+	q3 := FromRule(mustRule(t, `q(X) :- e(X, Y), f(Y).`))
+	if got, _ := Equivalent(q2, q3, nil, 0); got {
+		t.Error("distinct queries must not be equivalent")
+	}
+}
+
+func TestAtomRedundantExample42(t *testing.T) {
+	// Example 4.2: in the r1 r1 unfolding of the eval program, the
+	// outer expert subgoal is redundant under expertise transitivity.
+	prog := mustRect(t, `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+`)
+	ic := mustIC(t, `works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`)
+	u, err := unfold.Unfold(prog, unfold.Sequence{"r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := FromRule(u.AsRule("s"))
+	// Find the index of step 1's expert atom: its first argument is X1.
+	drop := -1
+	for i, l := range q.Body {
+		if l.Atom.Pred == "expert" && l.Atom.Args[0] == ast.Term(ast.HeadVar(1)) {
+			drop = i
+		}
+	}
+	if drop < 0 {
+		t.Fatal("outer expert atom not found")
+	}
+	red, unknown := AtomRedundant(q, drop, []ast.IC{ic}, 0)
+	if unknown {
+		t.Fatal("chase truncated")
+	}
+	if !red {
+		t.Errorf("outer expert must be redundant in %s", q)
+	}
+	// Without the IC it is not redundant.
+	red, _ = AtomRedundant(q, drop, nil, 0)
+	if red {
+		t.Error("redundancy must require the constraint")
+	}
+	// The inner expert atom is not redundant even with the IC.
+	inner := -1
+	for i, l := range q.Body {
+		if l.Atom.Pred == "expert" && l.Atom.Args[0] != ast.Term(ast.HeadVar(1)) {
+			inner = i
+		}
+	}
+	red, _ = AtomRedundant(q, inner, []ast.IC{ic}, 0)
+	if red {
+		t.Error("inner expert must not be redundant")
+	}
+}
+
+func TestUnsatisfiableExample43(t *testing.T) {
+	prog := mustRect(t, `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+`)
+	ic := mustIC(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)
+	u, err := unfold.Unfold(prog, unfold.Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := FromRule(u.AsRule("s"))
+	// Without the pruning condition the query is satisfiable.
+	if unsat, _ := Unsatisfiable(q, []ast.IC{ic}, 0); unsat {
+		t.Error("unconditioned sequence must be satisfiable")
+	}
+	// With Ya <= 50 (head variable X4) appended, the denial fires.
+	q.Body = append(q.Body, ast.Pos(ast.NewAtom(ast.OpLe, ast.HeadVar(4), ast.Int(50))))
+	unsat, unknown := Unsatisfiable(q, []ast.IC{ic}, 0)
+	if unknown {
+		t.Fatal("chase truncated")
+	}
+	if !unsat {
+		t.Errorf("sequence with Ya <= 50 must be unsatisfiable: %s", q)
+	}
+}
+
+func TestAtomRedundantBounds(t *testing.T) {
+	q := FromRule(mustRule(t, `q(X) :- e(X, Y).`))
+	if red, _ := AtomRedundant(q, -1, nil, 0); red {
+		t.Error("out-of-range index must be false")
+	}
+	if red, _ := AtomRedundant(q, 5, nil, 0); red {
+		t.Error("out-of-range index must be false")
+	}
+}
+
+func TestContainedOfInconsistentQuery(t *testing.T) {
+	ic := mustIC(t, `p(X) -> .`)
+	bot := FromRule(mustRule(t, `q(X) :- p(X).`))
+	any := FromRule(mustRule(t, `q(X) :- r(X).`))
+	if got, _ := Contained(bot, any, []ast.IC{ic}, 0); !got {
+		t.Error("the unsatisfiable query is contained in everything")
+	}
+}
+
+func TestFromRuleAndString(t *testing.T) {
+	r := mustRule(t, `q(X) :- e(X, Y), Y > 3.`)
+	q := FromRule(r)
+	if q.String() != r.String() {
+		t.Errorf("String = %q", q.String())
+	}
+	// Deep copy.
+	q.Body[0].Atom.Args[0] = ast.Sym("mut")
+	if r.Body[0].Atom.Args[0] != ast.Term(ast.Var("X")) {
+		t.Error("FromRule must deep copy")
+	}
+}

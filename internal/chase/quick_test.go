@@ -1,0 +1,115 @@
+package chase
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// randomCQ generates small conjunctive queries over a fixed schema.
+type randomCQ struct{ Q CQ }
+
+func genCQ(rng *rand.Rand) CQ {
+	preds := []struct {
+		name  string
+		arity int
+	}{{"e", 2}, {"f", 2}, {"g", 1}}
+	vars := []ast.Term{ast.Var("A"), ast.Var("B"), ast.Var("C"), ast.Var("D"), ast.Sym("k")}
+	n := 1 + rng.Intn(4)
+	var body []ast.Literal
+	for i := 0; i < n; i++ {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]ast.Term, p.arity)
+		for j := range args {
+			args[j] = vars[rng.Intn(len(vars))]
+		}
+		body = append(body, ast.Pos(ast.Atom{Pred: p.name, Args: args}))
+	}
+	// Head over variables that occur in the body, to keep the query
+	// well-formed.
+	headVars := ast.BodyVars(body)
+	headArgs := []ast.Term{ast.Sym("k")}
+	for v := range headVars {
+		headArgs = []ast.Term{v}
+		break
+	}
+	return CQ{Head: ast.Atom{Pred: "q", Args: headArgs}, Body: body}
+}
+
+// Generate implements quick.Generator.
+func (randomCQ) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomCQ{Q: genCQ(rng)})
+}
+
+var quickICs = func() []ast.IC {
+	sym := ast.IC{Label: "sym", Body: []ast.Literal{ast.Pos(ast.NewAtom("e", ast.Var("X"), ast.Var("Y")))}}
+	h := ast.NewAtom("e", ast.Var("Y"), ast.Var("X"))
+	sym.Head = &h
+	return []ast.IC{sym}
+}()
+
+// The chase only adds literals: the result is a superset of the input.
+func TestQuickChaseExtends(t *testing.T) {
+	prop := func(r randomCQ) bool {
+		res := Run(r.Q.Body, quickICs, 500)
+		if res.Inconsistent {
+			return true
+		}
+		if len(res.Atoms) < len(r.Q.Body) {
+			return false
+		}
+		for i, l := range r.Q.Body {
+			if !res.Atoms[i].Equal(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Containment is reflexive and preserved under body extension of the
+// smaller side (adding atoms can only shrink the result set).
+func TestQuickContainmentReflexiveAndAntitone(t *testing.T) {
+	prop := func(r randomCQ) bool {
+		if ok, unknown := Contained(r.Q, r.Q, quickICs, 500); !ok && !unknown {
+			return false
+		}
+		// Q ∧ extra ⊆ Q.
+		ext := CQ{Head: r.Q.Head, Body: append(ast.CloneBody(r.Q.Body),
+			ast.Pos(ast.NewAtom("g", ast.Var("A"))))}
+		ok, unknown := Contained(ext, r.Q, quickICs, 500)
+		return ok || unknown
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// AtomRedundant is sound: dropping a redundant atom keeps the query
+// equivalent (checked by the independent Equivalent decision).
+func TestQuickAtomRedundantSound(t *testing.T) {
+	prop := func(r randomCQ) bool {
+		for i := range r.Q.Body {
+			red, unknown := AtomRedundant(r.Q, i, quickICs, 500)
+			if unknown || !red {
+				continue
+			}
+			reduced := CQ{Head: r.Q.Head, Body: append(append([]ast.Literal{},
+				r.Q.Body[:i]...), r.Q.Body[i+1:]...)}
+			eq, unk := Equivalent(r.Q, reduced, quickICs, 500)
+			if !eq && !unk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package eval implements the bottom-up evaluation engine: naive and
+// semi-naive fixpoint computation over linear (and more generally
+// non-mutually-recursive) Datalog programs, with an index-backed
+// left-deep join evaluator and support for evaluable comparison
+// subgoals, including the negated comparisons introduced by the
+// semantic transformations of §4 of the paper.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Compare evaluates the built-in comparison op over two ground terms.
+// Integers compare numerically, symbols lexicographically; terms of
+// different kinds are ordered by ast.CompareTerms (Int < Sym), so every
+// comparison is total and deterministic. Equality across kinds is
+// always false.
+func Compare(op string, a, b ast.Term) (bool, error) {
+	if !ast.IsGround(a) || !ast.IsGround(b) {
+		return false, fmt.Errorf("eval: comparison %s %s %s has unbound arguments", a, op, b)
+	}
+	c := ast.CompareTerms(a, b)
+	switch op {
+	case ast.OpEq:
+		return c == 0, nil
+	case ast.OpNe:
+		return c != 0, nil
+	case ast.OpLt:
+		return c < 0, nil
+	case ast.OpLe:
+		return c <= 0, nil
+	case ast.OpGt:
+		return c > 0, nil
+	case ast.OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("eval: unknown comparison operator %q", op)
+}
+
+// EvalLiteral evaluates a fully-bound evaluable literal under env.
+func EvalLiteral(l ast.Literal, env ast.Subst) (bool, error) {
+	if !l.Atom.IsEvaluable() || len(l.Atom.Args) != 2 {
+		return false, fmt.Errorf("eval: %s is not a binary evaluable literal", l)
+	}
+	a := env.Lookup(l.Atom.Args[0])
+	b := env.Lookup(l.Atom.Args[1])
+	ok, err := Compare(l.Atom.Pred, a, b)
+	if err != nil {
+		return false, err
+	}
+	if l.Neg {
+		ok = !ok
+	}
+	return ok, nil
+}

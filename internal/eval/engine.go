@@ -1,0 +1,549 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Stats accumulates deterministic work counters, so experiments can
+// report machine-independent effort alongside wall-clock time.
+type Stats struct {
+	Iterations  int64 // semi-naive rounds across all strata
+	RuleFirings int64 // rule evaluations started
+	Probes      int64 // tuples examined during joins
+	Derived     int64 // head tuples produced (before dedup)
+	Inserted    int64 // new tuples actually added
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Iterations += other.Iterations
+	s.RuleFirings += other.RuleFirings
+	s.Probes += other.Probes
+	s.Derived += other.Derived
+	s.Inserted += other.Inserted
+}
+
+// Engine computes the IDB relations of a program bottom-up over a
+// database. The database is mutated in place: computed IDB relations
+// are stored alongside the EDB.
+type Engine struct {
+	prog  *ast.Program
+	db    *storage.Database
+	naive bool
+	stats Stats
+
+	// InsertFilter, when non-nil, is consulted before inserting a
+	// derived tuple; returning false discards the derivation. It is the
+	// hook used by the evaluation-paradigm semantic optimizer, which
+	// checks residues at run time instead of transforming the program.
+	InsertFilter func(pred string, t storage.Tuple) bool
+
+	// IterationHook, when non-nil, runs at the start of every fixpoint
+	// round. The evaluation-paradigm baseline of §1 uses it to re-apply
+	// residue analysis to the subqueries of each iteration, which is
+	// exactly the run-time overhead the paper's compile-time
+	// transformation avoids.
+	IterationHook func(round int)
+}
+
+// New creates an engine for prog over db. The program is validated for
+// safety lazily, when plans are built.
+func New(prog *ast.Program, db *storage.Database) *Engine {
+	return &Engine{prog: prog, db: db}
+}
+
+// UseNaive switches the engine to naive (full re-evaluation) fixpoint
+// iteration; the default is semi-naive. Used by tests and experiment E10.
+func (e *Engine) UseNaive() { e.naive = true }
+
+// Stats returns the accumulated work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// DB returns the engine's database.
+func (e *Engine) DB() *storage.Database { return e.db }
+
+// Run computes all IDB predicates to fixpoint. Predicates are grouped
+// into strongly connected components of the dependency graph and the
+// components are evaluated in topological order; inside a component the
+// member predicates are computed together by a (multi-predicate)
+// semi-naive fixpoint. Input programs of the paper's class have
+// singleton components, but the isolation transformation of §4
+// (Algorithm 4.1) introduces mutually recursive auxiliary predicates,
+// which this engine must evaluate.
+func (e *Engine) Run() error {
+	// Load program facts first.
+	for _, r := range e.prog.Rules {
+		if r.IsFact() {
+			if !r.Head.IsGround() {
+				return fmt.Errorf("eval: non-ground fact %s", r.Head)
+			}
+			e.db.AddFact(r.Head)
+		}
+	}
+	for _, scc := range e.sccOrder() {
+		if err := e.fixpoint(scc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sccOrder returns the strongly connected components of the IDB
+// dependency graph in topological (callee-first) order, using Tarjan's
+// algorithm with deterministic neighbor ordering.
+func (e *Engine) sccOrder() [][]string {
+	idb := e.prog.IDBPreds()
+	dep := e.prog.DependencyGraph()
+	var preds []string
+	for p := range idb {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for q := range dep[v] {
+			if idb[q] {
+				succs = append(succs, q)
+			}
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, p := range preds {
+		if _, seen := index[p]; !seen {
+			strongconnect(p)
+		}
+	}
+	// Tarjan completes a component only after every component reachable
+	// from it: callees come out first, which is exactly evaluation
+	// order.
+	return sccs
+}
+
+// estimator returns a fan-out predictor backed by current relation
+// statistics: the estimate for an atom is the relation size divided by
+// the distinct-value count of its most selective bound column.
+// Relations still being computed are typically empty at plan time,
+// which makes their atoms cheap to order early — they are exactly the
+// small (delta-like) side of the join.
+func (e *Engine) estimator() estimator {
+	return func(a ast.Atom, bound map[ast.Var]bool) float64 {
+		rel := e.db.Relation(a.Pred)
+		if rel == nil || rel.Len() == 0 {
+			return 0
+		}
+		best := float64(rel.Len())
+		for i, t := range a.Args {
+			isBound := true
+			if v, ok := t.(ast.Var); ok {
+				isBound = bound[v]
+			}
+			if !isBound {
+				continue
+			}
+			if distinct := len(rel.EnsureIndex(i)); distinct > 0 {
+				if f := float64(rel.Len()) / float64(distinct); f < best {
+					best = f
+				}
+			}
+		}
+		return best
+	}
+}
+
+// arityOf determines the arity of pred from the program.
+func (e *Engine) arityOf(pred string) int {
+	for _, r := range e.prog.Rules {
+		if r.Head.Pred == pred {
+			return r.Head.Arity()
+		}
+	}
+	return 0
+}
+
+// fixpoint computes one strongly connected component of predicates to
+// fixpoint.
+func (e *Engine) fixpoint(scc []string) error {
+	inSCC := make(map[string]bool, len(scc))
+	for _, p := range scc {
+		inSCC[p] = true
+		e.db.Ensure(p, e.arityOf(p))
+	}
+	var rules []ast.Rule
+	for _, r := range e.prog.Rules {
+		if inSCC[r.Head.Pred] && !r.IsFact() {
+			// Negation through the component's own recursion is not
+			// stratified and has no least fixpoint; negation of lower
+			// strata (already complete) is safe.
+			for _, l := range r.Body {
+				if l.Neg && inSCC[l.Atom.Pred] {
+					return fmt.Errorf("eval: rule %s negates %s inside its own recursion (not stratified)",
+						r.Label, l.Atom.Pred)
+				}
+			}
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	if e.naive {
+		return e.naiveFixpoint(inSCC, rules)
+	}
+	return e.semiNaiveFixpoint(inSCC, rules)
+}
+
+func (e *Engine) insert(pred string, rel *storage.Relation, t storage.Tuple) bool {
+	e.stats.Derived++
+	if e.InsertFilter != nil && !e.InsertFilter(pred, t) {
+		return false
+	}
+	if rel.Insert(t) {
+		e.stats.Inserted++
+		return true
+	}
+	return false
+}
+
+// naiveFixpoint re-evaluates every rule of the component against the
+// full relations until no new tuple appears.
+func (e *Engine) naiveFixpoint(inSCC map[string]bool, rules []ast.Rule) error {
+	for {
+		e.startIteration()
+		changed := false
+		for _, r := range rules {
+			plan, err := planBody(r.Body, -1, e.estimator())
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			rel := e.db.Relation(r.Head.Pred)
+			e.stats.RuleFirings++
+			err = e.runPlan(plan, 0, nil, ast.NewSubst(), func(env ast.Subst) error {
+				t := headTuple(r.Head, env)
+				if e.insert(r.Head.Pred, rel, t) {
+					changed = true
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// semiNaiveFixpoint runs differential evaluation over a component: an
+// initial round over the current state, then rounds in which, for every
+// rule and every body occurrence of a component predicate, that
+// occurrence ranges over the previous round's delta of its predicate.
+// For linear single-predicate components this is textbook semi-naive;
+// for the multi-occurrence rules a transformation may introduce, each
+// occurrence gets its own delta variant (a sound, set-semantics-safe
+// form that can re-derive a tuple at most once per variant).
+func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, rules []ast.Rule) error {
+	delta := make(map[string]*storage.Relation)
+	for p := range inSCC {
+		rel := e.db.Relation(p)
+		delta[p] = storage.NewRelation(p, rel.Arity)
+	}
+
+	// Round 0: all rules against current state. Component occurrences
+	// see whatever is already stored (normally empty, but seeds are
+	// permitted).
+	e.startIteration()
+	for _, r := range rules {
+		plan, err := planBody(r.Body, -1, e.estimator())
+		if err != nil {
+			return fmt.Errorf("rule %s: %w", r.Label, err)
+		}
+		rel := e.db.Relation(r.Head.Pred)
+		e.stats.RuleFirings++
+		err = e.runPlan(plan, 0, nil, ast.NewSubst(), func(env ast.Subst) error {
+			t := headTuple(r.Head, env)
+			if e.insert(r.Head.Pred, rel, t) {
+				delta[r.Head.Pred].Insert(t)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Delta variants: one per (rule, component-predicate occurrence).
+	type planned struct {
+		rule      ast.Rule
+		plan      []planStep
+		deltaPred string
+	}
+	var recPlans []planned
+	for _, r := range rules {
+		for i, l := range r.Body {
+			if l.Neg || !inSCC[l.Atom.Pred] {
+				continue
+			}
+			plan, err := planBody(r.Body, i, e.estimator())
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			recPlans = append(recPlans, planned{r, plan, l.Atom.Pred})
+		}
+	}
+	for len(recPlans) > 0 {
+		total := 0
+		for _, d := range delta {
+			total += d.Len()
+		}
+		if total == 0 {
+			return nil
+		}
+		e.startIteration()
+		next := make(map[string]*storage.Relation)
+		for p := range inSCC {
+			next[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
+		}
+		for _, pr := range recPlans {
+			d := delta[pr.deltaPred]
+			if d.Len() == 0 {
+				continue
+			}
+			rel := e.db.Relation(pr.rule.Head.Pred)
+			e.stats.RuleFirings++
+			err := e.runPlan(pr.plan, 0, d, ast.NewSubst(), func(env ast.Subst) error {
+				t := headTuple(pr.rule.Head, env)
+				if e.insert(pr.rule.Head.Pred, rel, t) {
+					next[pr.rule.Head.Pred].Insert(t)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+// headTuple instantiates the head atom under env. Range restriction
+// guarantees groundness; a variable slipping through panics loudly in
+// Tuple.Key.
+func headTuple(head ast.Atom, env ast.Subst) storage.Tuple {
+	t := make(storage.Tuple, len(head.Args))
+	for i, a := range head.Args {
+		t[i] = env.Lookup(a)
+	}
+	return t
+}
+
+// runPlan executes the planned body steps depth-first from step i,
+// extending env, and calls emit for every complete binding.
+func (e *Engine) runPlan(plan []planStep, i int, delta *storage.Relation, env ast.Subst, emit func(ast.Subst) error) error {
+	if i == len(plan) {
+		return emit(env)
+	}
+	step := plan[i]
+	switch step.kind {
+	case stepFilter:
+		ok, err := EvalLiteral(step.lit, env)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return e.runPlan(plan, i+1, delta, env, emit)
+
+	case stepBind:
+		a := env.Lookup(step.lit.Atom.Args[0])
+		b := env.Lookup(step.lit.Atom.Args[1])
+		if va, ok := a.(ast.Var); ok {
+			if !ast.IsGround(b) {
+				return fmt.Errorf("eval: unbound equality %s", step.lit)
+			}
+			env[va] = b
+			err := e.runPlan(plan, i+1, delta, env, emit)
+			delete(env, va)
+			return err
+		}
+		if vb, ok := b.(ast.Var); ok {
+			env[vb] = a
+			err := e.runPlan(plan, i+1, delta, env, emit)
+			delete(env, vb)
+			return err
+		}
+		ok, err := Compare(ast.OpEq, a, b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return e.runPlan(plan, i+1, delta, env, emit)
+
+	case stepNegCheck:
+		// Safe negation as failure: every argument is bound; the
+		// derivation survives only if the instantiated tuple is absent.
+		negAtom := step.lit.Atom
+		t := make(storage.Tuple, len(negAtom.Args))
+		for k, arg := range negAtom.Args {
+			t[k] = env.Lookup(arg)
+			if !ast.IsGround(t[k]) {
+				return fmt.Errorf("eval: negated literal %s not fully bound", step.lit)
+			}
+		}
+		e.stats.Probes++
+		if rel := e.db.Relation(negAtom.Pred); rel != nil && rel.Arity == len(t) && rel.Contains(t) {
+			return nil
+		}
+		return e.runPlan(plan, i+1, delta, env, emit)
+
+	case stepScan:
+		atom := step.lit.Atom
+		var rel *storage.Relation
+		if step.useDelta {
+			rel = delta
+		} else {
+			rel = e.db.Relation(atom.Pred)
+		}
+		if rel == nil || rel.Len() == 0 {
+			return nil
+		}
+		if rel.Arity != len(atom.Args) {
+			return fmt.Errorf("eval: %s used with arity %d but stored with arity %d",
+				atom.Pred, len(atom.Args), rel.Arity)
+		}
+		// Resolve argument constraints under env.
+		resolved := make([]ast.Term, len(atom.Args))
+		firstBound := -1
+		for k, arg := range atom.Args {
+			resolved[k] = env.Lookup(arg)
+			if firstBound < 0 && ast.IsGround(resolved[k]) {
+				firstBound = k
+			}
+		}
+		tryTuple := func(t storage.Tuple) error {
+			e.stats.Probes++
+			var trail []ast.Var
+			ok := true
+			for k := range resolved {
+				cur := env.Lookup(resolved[k])
+				if v, isVar := cur.(ast.Var); isVar {
+					env[v] = t[k]
+					trail = append(trail, v)
+					continue
+				}
+				if cur != t[k] {
+					ok = false
+					break
+				}
+			}
+			var err error
+			if ok {
+				err = e.runPlan(plan, i+1, delta, env, emit)
+			}
+			for _, v := range trail {
+				delete(env, v)
+			}
+			return err
+		}
+		if firstBound >= 0 {
+			for _, pos := range rel.Lookup(firstBound, resolved[firstBound]) {
+				if err := tryTuple(rel.At(pos)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, t := range rel.Tuples() {
+			if err := tryTuple(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("eval: unknown plan step kind %d", step.kind)
+}
+
+// Query returns the tuples of the goal's relation matching the goal's
+// constant bindings, after Run has completed. Repeated variables in the
+// goal act as equality constraints.
+func (e *Engine) Query(goal ast.Atom) ([]storage.Tuple, error) {
+	rel := e.db.Relation(goal.Pred)
+	if rel == nil {
+		return nil, nil
+	}
+	if rel.Arity != len(goal.Args) {
+		return nil, fmt.Errorf("eval: query %s has arity %d, relation has %d", goal, len(goal.Args), rel.Arity)
+	}
+	var out []storage.Tuple
+	for _, t := range rel.Tuples() {
+		env := ast.NewSubst()
+		if ast.MatchAtom(env, goal, ast.Atom{Pred: goal.Pred, Args: t}) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// RunAndQuery is a convenience: Run the program, then Query the goal.
+func RunAndQuery(prog *ast.Program, db *storage.Database, goal ast.Atom) ([]storage.Tuple, Stats, error) {
+	e := New(prog, db)
+	if err := e.Run(); err != nil {
+		return nil, e.Stats(), err
+	}
+	res, err := e.Query(goal)
+	return res, e.Stats(), err
+}
+
+// startIteration counts a fixpoint round and invokes the hook.
+func (e *Engine) startIteration() {
+	e.stats.Iterations++
+	if e.IterationHook != nil {
+		e.IterationHook(int(e.stats.Iterations))
+	}
+}

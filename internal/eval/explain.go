@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// Derivation is a proof tree for a derived ground atom: the rule whose
+// instance produced it and the derivations of that instance's database
+// subgoals. EDB facts are leaves with an empty Rule.
+type Derivation struct {
+	Atom     ast.Atom
+	Rule     string
+	Children []*Derivation
+}
+
+// String renders the derivation as an indented tree.
+func (d *Derivation) String() string {
+	var sb strings.Builder
+	d.render(&sb, 0)
+	return sb.String()
+}
+
+func (d *Derivation) render(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(d.Atom.String())
+	if d.Rule != "" {
+		fmt.Fprintf(sb, "   [%s]", d.Rule)
+	} else {
+		sb.WriteString("   [fact]")
+	}
+	sb.WriteByte('\n')
+	for _, c := range d.Children {
+		c.render(sb, depth+1)
+	}
+}
+
+// Size counts the nodes of the derivation.
+func (d *Derivation) Size() int {
+	n := 1
+	for _, c := range d.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// errFound stops the join search after the first witness.
+var errFound = errors.New("eval: witness found")
+
+// Explain returns a proof tree for the ground goal atom, searched
+// top-down against the already-computed relations (call Run first).
+// Minimal derivations exist for every stored tuple, so depth-first
+// search that forbids revisiting an atom along the current path is
+// complete; budget caps the total nodes explored to keep adversarial
+// cases bounded (0 means a generous default).
+func (e *Engine) Explain(goal ast.Atom, budget int) (*Derivation, error) {
+	if !goal.IsGround() {
+		return nil, fmt.Errorf("eval: Explain needs a ground atom, got %s", goal)
+	}
+	if budget <= 0 {
+		budget = 100000
+	}
+	b := budget
+	d := e.explain(goal, make(map[string]bool), &b)
+	if d == nil {
+		if b <= 0 {
+			return nil, fmt.Errorf("eval: explanation budget exhausted for %s", goal)
+		}
+		return nil, fmt.Errorf("eval: %s is not derivable", goal)
+	}
+	return d, nil
+}
+
+func (e *Engine) explain(goal ast.Atom, onPath map[string]bool, budget *int) *Derivation {
+	if *budget <= 0 {
+		return nil
+	}
+	*budget--
+	rel := e.db.Relation(goal.Pred)
+	if rel == nil || !rel.Contains(storage.Tuple(goal.Args)) {
+		return nil
+	}
+	rules := e.prog.RulesFor(goal.Pred)
+	isIDB := false
+	for _, r := range rules {
+		if !r.IsFact() {
+			isIDB = true
+		}
+	}
+	if !isIDB {
+		return &Derivation{Atom: goal.Clone()}
+	}
+	key := goal.String()
+	if onPath[key] {
+		return nil
+	}
+	onPath[key] = true
+	defer delete(onPath, key)
+
+	// Facts for IDB predicates explain directly.
+	for _, r := range rules {
+		if r.IsFact() && r.Head.Equal(goal) {
+			return &Derivation{Atom: goal.Clone(), Rule: r.Label}
+		}
+	}
+	for _, r := range rules {
+		if r.IsFact() {
+			continue
+		}
+		env := ast.NewSubst()
+		if !ast.MatchAtom(env, r.Head, goal) {
+			continue
+		}
+		plan, err := planBody(r.Body, -1, e.estimator())
+		if err != nil {
+			continue
+		}
+		// Collect several witnesses: the first one found may be
+		// circular (tc(a,a) via tc(a,a)) while another instance of the
+		// same rule explains the goal acyclically.
+		const maxWitnesses = 32
+		var witnesses []ast.Subst
+		err = e.runPlan(plan, 0, nil, env, func(w ast.Subst) error {
+			witnesses = append(witnesses, w.Clone())
+			if len(witnesses) >= maxWitnesses {
+				return errFound
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errFound) {
+			continue
+		}
+		for _, witness := range witnesses {
+			d := &Derivation{Atom: goal.Clone(), Rule: r.Label}
+			ok := true
+			for _, l := range r.Body {
+				if l.Neg || l.Atom.IsEvaluable() {
+					continue
+				}
+				sub := e.explain(witness.ApplyAtom(l.Atom), onPath, budget)
+				if sub == nil {
+					ok = false
+					break
+				}
+				d.Children = append(d.Children, sub)
+			}
+			if ok {
+				return d
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+func TestSafeNegation(t *testing.T) {
+	// unreached(X) = nodes with no incoming edge from a.
+	prog := mustProgram(t, `
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+unreached(X) :- node(X), \+ edge(a, X).
+`)
+	db := storage.NewDatabase()
+	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
+	db.Add("edge", ast.Sym("b"), ast.Sym("c"))
+	e := New(prog, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(ast.NewAtom("unreached", ast.Var("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: a, b, c. edge(a, b) exists, so b is reached; a and c are
+	// not.
+	if len(res) != 2 {
+		t.Fatalf("unreached = %v, want a and c", res)
+	}
+}
+
+func TestNegationOverLowerStratumIDB(t *testing.T) {
+	prog := mustProgram(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+unreachable(X, Y) :- node(X), node(Y), \+ tc(X, Y).
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+`)
+	db := storage.NewDatabase()
+	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
+	db.Add("edge", ast.Sym("c"), ast.Sym("d"))
+	e := New(prog, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(ast.NewAtom("unreachable", ast.Sym("a"), ast.Sym("d")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Error("a cannot reach d")
+	}
+	res, _ = e.Query(ast.NewAtom("unreachable", ast.Sym("a"), ast.Sym("b")))
+	if len(res) != 0 {
+		t.Error("a reaches b")
+	}
+}
+
+func TestNonStratifiedNegationRejected(t *testing.T) {
+	prog := mustProgram(t, `
+win(X) :- move(X, Y), \+ win(Y).
+`)
+	db := storage.NewDatabase()
+	db.Add("move", ast.Sym("a"), ast.Sym("b"))
+	e := New(prog, db)
+	if err := e.Run(); err == nil {
+		t.Fatal("negation through recursion must be rejected")
+	}
+}
+
+func TestNegationUnboundRejected(t *testing.T) {
+	// A negated literal whose variable is never bound is unsafe.
+	prog := mustProgram(t, `
+p(X) :- q(X), \+ r(X, Z).
+`)
+	db := storage.NewDatabase()
+	db.Add("q", ast.Sym("a"))
+	e := New(prog, db)
+	if err := e.Run(); err == nil {
+		t.Fatal("unbound negation must be rejected")
+	}
+}
+
+func TestNegationMissingRelationPasses(t *testing.T) {
+	// Negating a predicate with no stored tuples always succeeds.
+	prog := mustProgram(t, `p(X) :- q(X), \+ forbidden(X).`)
+	db := storage.NewDatabase()
+	db.Add("q", ast.Sym("a"))
+	e := New(prog, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("p") != 1 {
+		t.Error("negation over an empty relation must pass")
+	}
+}

@@ -1,0 +1,133 @@
+package eval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+)
+
+// Naive and semi-naive evaluation agree on random in-class programs and
+// random databases — the core fixpoint invariant, checked beyond the
+// curated examples.
+func TestQuickNaiveEqualsSemiNaiveOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for round := 0; round < 30; round++ {
+		prog, arities := testutil.RandProgram(rng, testutil.RandProgramConfig{
+			Arity:     2 + rng.Intn(2),
+			EDBPreds:  2 + rng.Intn(2),
+			RecRules:  1 + rng.Intn(2),
+			ExitRules: 1 + rng.Intn(2),
+		})
+		db := testutil.RandDB(rng, arities, 5, 12)
+		d1 := db.Clone()
+		e1 := eval.New(prog, d1)
+		if err := e1.Run(); err != nil {
+			t.Fatalf("round %d: semi-naive: %v\n%s", round, err, prog)
+		}
+		d2 := db.Clone()
+		e2 := eval.New(prog, d2)
+		e2.UseNaive()
+		if err := e2.Run(); err != nil {
+			t.Fatalf("round %d: naive: %v", round, err)
+		}
+		if !d1.Equal(d2) {
+			t.Fatalf("round %d: fixpoints differ\nprogram:\n%s\nsemi-naive p=%d naive p=%d",
+				round, prog, d1.Count("p"), d2.Count("p"))
+		}
+		// Semi-naive never derives more raw tuples than naive.
+		if e1.Stats().Derived > e2.Stats().Derived {
+			t.Errorf("round %d: semi-naive derived %d > naive %d",
+				round, e1.Stats().Derived, e2.Stats().Derived)
+		}
+	}
+}
+
+// Monotonicity: adding EDB tuples never removes IDB answers.
+func TestQuickMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(556))
+	for round := 0; round < 20; round++ {
+		prog, arities := testutil.RandProgram(rng, testutil.RandProgramConfig{
+			Arity: 2, EDBPreds: 2, RecRules: 1, ExitRules: 1,
+		})
+		small := testutil.RandDB(rng, arities, 4, 6)
+		big := small.Clone()
+		extra := testutil.RandDB(rng, arities, 4, 6)
+		for _, pred := range extra.Preds() {
+			for _, tp := range extra.Relation(pred).Tuples() {
+				big.Add(pred, tp...)
+			}
+		}
+		dSmall := small.Clone()
+		if err := eval.New(prog, dSmall).Run(); err != nil {
+			t.Fatal(err)
+		}
+		dBig := big.Clone()
+		if err := eval.New(prog, dBig).Run(); err != nil {
+			t.Fatal(err)
+		}
+		rs := dSmall.Relation("p")
+		rb := dBig.Relation("p")
+		if rs == nil {
+			continue
+		}
+		for _, tp := range rs.Tuples() {
+			if rb == nil || !rb.Contains(tp) {
+				t.Fatalf("round %d: lost tuple p%s after adding facts\n%s", round, tp, prog)
+			}
+		}
+	}
+}
+
+// Explain succeeds for every derived tuple of random programs, and the
+// explanation's leaves are genuine facts.
+func TestQuickExplainTotalOnDerived(t *testing.T) {
+	rng := rand.New(rand.NewSource(557))
+	for round := 0; round < 12; round++ {
+		prog, arities := testutil.RandProgram(rng, testutil.RandProgramConfig{
+			Arity: 2, EDBPreds: 2, RecRules: 1, ExitRules: 1,
+		})
+		db := testutil.RandDB(rng, arities, 4, 8)
+		e := eval.New(prog, db)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		rel := db.Relation("p")
+		if rel == nil {
+			continue
+		}
+		checked := 0
+		for _, tp := range rel.Tuples() {
+			if checked >= 10 {
+				break
+			}
+			checked++
+			goal := ast.Atom{Pred: "p", Args: append([]ast.Term{}, tp...)}
+			d, err := e.Explain(goal, 0)
+			if err != nil {
+				t.Fatalf("round %d: explain %s: %v\n%s", round, goal, err, prog)
+			}
+			var walk func(x *eval.Derivation) bool
+			walk = func(x *eval.Derivation) bool {
+				if len(x.Children) == 0 {
+					r := db.Relation(x.Atom.Pred)
+					if r == nil || !r.Contains(storage.Tuple(x.Atom.Args)) {
+						return false
+					}
+				}
+				for _, c := range x.Children {
+					if !walk(c) {
+						return false
+					}
+				}
+				return true
+			}
+			if !walk(d) {
+				t.Fatalf("round %d: bad leaf in derivation of %s:\n%s", round, goal, d)
+			}
+		}
+	}
+}

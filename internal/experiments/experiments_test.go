@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The suite in quick mode must run, produce rows, and contain no error
+// notes.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	tables := All(Config{Quick: true})
+	if len(tables) != 10 {
+		t.Fatalf("tables = %d, want 10", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		ids[tab.ID] = true
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows (notes: %v)", tab.ID, tab.Notes)
+		}
+		for _, n := range tab.Notes {
+			if strings.Contains(strings.ToLower(n), "failed") {
+				t.Errorf("%s: %s", tab.ID, n)
+			}
+		}
+		s := tab.String()
+		if !strings.Contains(s, tab.ID) || !strings.Contains(s, "claim:") {
+			t.Errorf("%s: malformed rendering", tab.ID)
+		}
+		// Every row has the full column count.
+		for _, r := range tab.Rows {
+			if len(r) != len(tab.Columns) {
+				t.Errorf("%s: row width %d vs %d columns", tab.ID, len(r), len(tab.Columns))
+			}
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		ID: "EX", Title: "t", Claim: "c",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	s := tab.String()
+	for _, want := range []string{"EX — t", "claim: c", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"repro/internal/ast"
+	"repro/internal/transform"
+	"repro/internal/unfold"
+)
+
+// transformIsolateChain wraps transform.Isolate (Algorithm 4.1).
+func transformIsolateChain(p *ast.Program, seq []string) (*ast.Program, error) {
+	return transform.Isolate(p, unfold.Sequence(seq))
+}
+
+// transformIsolateFlat wraps transform.IsolateFlat and returns the
+// program.
+func transformIsolateFlat(p *ast.Program, seq []string) (*ast.Program, error) {
+	iso, err := transform.IsolateFlat(p, unfold.Sequence(seq))
+	if err != nil {
+		return nil, err
+	}
+	return iso.Prog, nil
+}

@@ -1,0 +1,140 @@
+package iqa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/storage"
+)
+
+// Evaluated augments a descriptive Answer with data: which objects of
+// the database satisfy the relevant context at all, and which of them
+// qualify as answers through each proof tree (i.e. also satisfy that
+// tree's residue). Motro & Yuan's knowledge queries return intensional
+// descriptions; grounding them against the instance is the natural
+// "show me" companion.
+type Evaluated struct {
+	Answer *Answer
+	// GoalVars are the goal's variable arguments, in order — the schema
+	// of the tuples below.
+	GoalVars []ast.Var
+	// ContextMatches lists the objects satisfying the relevant context
+	// (nil when the relevant context has no database atoms to anchor
+	// them).
+	ContextMatches []storage.Tuple
+	// PerTree[i] lists the objects qualifying through Answer.Trees[i].
+	PerTree [][]storage.Tuple
+}
+
+// Evaluate grounds the answer against db. The program supplies any IDB
+// predicates the context or residues mention; db is cloned, never
+// mutated.
+func Evaluate(p *ast.Program, db *storage.Database, a *Answer) (*Evaluated, error) {
+	out := &Evaluated{Answer: a}
+	for _, t := range a.Query.Goal.Args {
+		if v, ok := t.(ast.Var); ok {
+			out.GoalVars = append(out.GoalVars, v)
+		}
+	}
+	if len(out.GoalVars) == 0 {
+		return nil, fmt.Errorf("iqa: goal %s has no variables to ground", a.Query.Goal)
+	}
+	headArgs := make([]ast.Term, len(out.GoalVars))
+	for i, v := range out.GoalVars {
+		headArgs[i] = v
+	}
+
+	work := p.Clone()
+	probe := func(pred string, body []ast.Literal) bool {
+		// The probe rule is only safe if every goal variable occurs in
+		// a positive database atom of the body.
+		bound := make(map[ast.Var]bool)
+		for _, l := range body {
+			if !l.Neg && !l.Atom.IsEvaluable() {
+				for v := range l.Atom.VarSet() {
+					bound[v] = true
+				}
+			}
+		}
+		for _, v := range out.GoalVars {
+			if !bound[v] {
+				return false
+			}
+		}
+		work.Rules = append(work.Rules, ast.Rule{
+			Label: pred,
+			Head:  ast.Atom{Pred: pred, Args: headArgs},
+			Body:  ast.CloneBody(body),
+		})
+		return true
+	}
+
+	haveCtx := probe("iqa_ctx", a.Relevant)
+	treePred := make([]string, len(a.Trees))
+	for i, tr := range a.Trees {
+		// Context plus this tree's residue: the conditions an object
+		// must meet to be an answer through this tree given the
+		// context.
+		body := append(ast.CloneBody(a.Relevant), ast.CloneBody(tr.Residue)...)
+		name := fmt.Sprintf("iqa_tree%d", i)
+		if probe(name, body) {
+			treePred[i] = name
+		}
+	}
+
+	work.EnsureLabels()
+	run := db.Clone()
+	e := eval.New(work, run)
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("iqa: grounding failed: %w", err)
+	}
+	if haveCtx {
+		if rel := run.Relation("iqa_ctx"); rel != nil {
+			out.ContextMatches = rel.Sorted()
+		} else {
+			out.ContextMatches = []storage.Tuple{}
+		}
+	}
+	out.PerTree = make([][]storage.Tuple, len(a.Trees))
+	for i, name := range treePred {
+		if name == "" {
+			continue
+		}
+		if rel := run.Relation(name); rel != nil {
+			out.PerTree[i] = rel.Sorted()
+		} else {
+			out.PerTree[i] = []storage.Tuple{}
+		}
+	}
+	return out, nil
+}
+
+// String renders the grounded answer.
+func (ev *Evaluated) String() string {
+	var sb strings.Builder
+	sb.WriteString(ev.Answer.String())
+	if ev.ContextMatches != nil {
+		fmt.Fprintf(&sb, "objects satisfying the context: %s\n", tuplesString(ev.ContextMatches))
+	}
+	for i, tuples := range ev.PerTree {
+		if tuples == nil {
+			continue
+		}
+		rules := strings.Join(ev.Answer.Trees[i].Tree.Rules, " ")
+		fmt.Fprintf(&sb, "qualify via %s: %s\n", rules, tuplesString(tuples))
+	}
+	return sb.String()
+}
+
+func tuplesString(ts []storage.Tuple) string {
+	if len(ts) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}

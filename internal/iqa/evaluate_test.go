@@ -1,0 +1,124 @@
+package iqa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func honorsDB() *storage.Database {
+	db := storage.NewDatabase()
+	db.Add("transcript", ast.Sym("ann"), ast.Sym("cs"), ast.Int(36), ast.Int(4))
+	db.Add("transcript", ast.Sym("dee"), ast.Sym("math"), ast.Int(10), ast.Int(3))
+	db.Add("graduated", ast.Sym("dee"), ast.Sym("mit"))
+	db.Add("graduated", ast.Sym("eli"), ast.Sym("podunk"))
+	db.Add("topten", ast.Sym("mit"))
+	return db
+}
+
+func TestEvaluateGroundsTheAnswer(t *testing.T) {
+	p := mustProgram(t, honorsSrc)
+	q := example51Query(t)
+	a, err := Describe(p, q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(p, honorsDB(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.GoalVars) != 1 || ev.GoalVars[0] != "Stud" {
+		t.Fatalf("goal vars = %v", ev.GoalVars)
+	}
+	// Only dee satisfies graduated ∧ topten.
+	if len(ev.ContextMatches) != 1 || ev.ContextMatches[0][0] != ast.Term(ast.Sym("dee")) {
+		t.Fatalf("context matches = %v", ev.ContextMatches)
+	}
+	// Through the fully covered tree (r3), dee qualifies with no further
+	// conditions; through r0 nobody does (dee's grades are too low and
+	// ann is not in the context).
+	for i, tr := range a.Trees {
+		rules := strings.Join(tr.Tree.Rules, " ")
+		switch rules {
+		case "r3":
+			if len(ev.PerTree[i]) != 1 || ev.PerTree[i][0][0] != ast.Term(ast.Sym("dee")) {
+				t.Errorf("r3 qualifiers = %v", ev.PerTree[i])
+			}
+		case "r0":
+			if len(ev.PerTree[i]) != 0 {
+				t.Errorf("r0 qualifiers = %v", ev.PerTree[i])
+			}
+		}
+	}
+	s := ev.String()
+	if !strings.Contains(s, "objects satisfying the context: (dee)") {
+		t.Errorf("rendering = %q", s)
+	}
+	if !strings.Contains(s, "(none)") {
+		t.Errorf("rendering should show empty qualifier lists: %q", s)
+	}
+}
+
+func TestEvaluateIDBContext(t *testing.T) {
+	// A context over an IDB predicate (exceptional) grounds through the
+	// program's own rules.
+	p := mustProgram(t, honorsSrc)
+	goal, _ := parser.ParseAtom("honors(Stud)")
+	ctx, _ := parser.ParseRule(`q(Stud) :- exceptional(Stud).`)
+	a, err := Describe(p, Query{Goal: goal, Context: ctx.Body}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := honorsDB()
+	db.Add("publication", ast.Sym("bob"), ast.Sym("paper1"))
+	db.Add("appears", ast.Sym("paper1"), ast.Sym("tods"))
+	db.Add("reputed", ast.Sym("tods"))
+	ev, err := Evaluate(p, db, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.ContextMatches) != 1 || ev.ContextMatches[0][0] != ast.Term(ast.Sym("bob")) {
+		t.Errorf("context matches = %v", ev.ContextMatches)
+	}
+}
+
+func TestEvaluateNoAnchoringContext(t *testing.T) {
+	// With no relevant database atoms, the objects cannot be
+	// enumerated: ContextMatches stays nil, trees still ground.
+	p := mustProgram(t, honorsSrc)
+	goal, _ := parser.ParseAtom("honors(Stud)")
+	ctx, _ := parser.ParseRule(`q(Stud) :- hobby(Stud, chess).`)
+	a, err := Describe(p, Query{Goal: goal, Context: ctx.Body}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(p, honorsDB(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ContextMatches != nil {
+		t.Errorf("expected nil context matches, got %v", ev.ContextMatches)
+	}
+	// The r0 tree's residue anchors Stud via transcript: ann qualifies.
+	found := false
+	for i, tr := range a.Trees {
+		if strings.Join(tr.Tree.Rules, " ") == "r0" && len(ev.PerTree[i]) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r0 grounding missing: %v", ev.PerTree)
+	}
+}
+
+func TestEvaluateGroundGoalRejected(t *testing.T) {
+	p := mustProgram(t, honorsSrc)
+	goal, _ := parser.ParseAtom("honors(ann)")
+	a := &Answer{Query: Query{Goal: goal}}
+	if _, err := Evaluate(p, honorsDB(), a); err == nil {
+		t.Error("variable-free goal must be rejected")
+	}
+}

@@ -1,0 +1,248 @@
+// Package iqa implements §5 of the paper: intelligent answering of
+// knowledge queries in the style of Motro & Yuan,
+//
+//	describe φ(X) where ψ(X),
+//
+// via semantic-optimization machinery. The context ψ is filtered to its
+// relevant part by reachability analysis over the program's predicate
+// graph; each proof tree of the query predicate is then compared
+// against the relevant context by partial subsumption, and the
+// *residue* — the leaves the context does not cover — is exactly the
+// additional qualification an object satisfying the context must meet.
+// A fully covered tree means the context alone guarantees membership
+// (Example 5.1's top-ten-college graduates).
+package iqa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/subsume"
+	"repro/internal/unfold"
+)
+
+// Query is a knowledge query: describe Goal where Context.
+type Query struct {
+	Goal    ast.Atom
+	Context []ast.Literal
+}
+
+// String renders the query in the paper's syntax.
+func (q Query) String() string {
+	return fmt.Sprintf("describe %s where %s", q.Goal, ast.BodyString(q.Context))
+}
+
+// TreeAnswer is the analysis of one proof tree of the goal.
+type TreeAnswer struct {
+	// Tree is the fully expanded proof tree (a conjunctive query).
+	Tree unfold.ConjQuery
+	// Covered lists the tree's leaves matched by the context.
+	Covered []ast.Literal
+	// Residue lists the leaves the context does not cover: what an
+	// object satisfying the context must additionally satisfy to be an
+	// answer through this tree.
+	Residue []ast.Literal
+	// FullyCovered reports an empty residue: the context alone implies
+	// membership through this tree.
+	FullyCovered bool
+}
+
+// Answer is the intelligent answer to a knowledge query.
+type Answer struct {
+	Query      Query
+	Relevant   []ast.Literal // context literals reachable from the goal
+	Irrelevant []ast.Literal // context literals discarded by relevance
+	Trees      []TreeAnswer
+}
+
+// Describe computes the intelligent answer for q over program p. Proof
+// trees are enumerated with at most maxExpansions rule applications
+// (recursion is cut off there).
+func Describe(p *ast.Program, q Query, maxExpansions int) (*Answer, error) {
+	if len(q.Goal.Args) == 0 {
+		return nil, fmt.Errorf("iqa: goal must have arguments")
+	}
+	if !p.IDBPreds()[q.Goal.Pred] {
+		return nil, fmt.Errorf("iqa: goal predicate %s is not defined by the program", q.Goal.Pred)
+	}
+	a := &Answer{Query: q}
+
+	// Relevance: a context literal is relevant when its predicate is
+	// connected to the goal predicate in the (undirected) predicate
+	// graph of the program. Evaluable context literals are relevant
+	// when they constrain a variable of some relevant literal or the
+	// goal.
+	conn := connectedPreds(p, q.Goal.Pred)
+	relevantVars := q.Goal.VarSet()
+	for _, l := range q.Context {
+		if l.Atom.IsEvaluable() {
+			continue
+		}
+		if conn[l.Atom.Pred] {
+			a.Relevant = append(a.Relevant, l)
+			for v := range l.Atom.VarSet() {
+				relevantVars[v] = true
+			}
+		} else {
+			a.Irrelevant = append(a.Irrelevant, l)
+		}
+	}
+	for _, l := range q.Context {
+		if !l.Atom.IsEvaluable() {
+			continue
+		}
+		touches := false
+		for v := range l.Atom.VarSet() {
+			if relevantVars[v] {
+				touches = true
+			}
+		}
+		if touches {
+			a.Relevant = append(a.Relevant, l)
+		} else {
+			a.Irrelevant = append(a.Irrelevant, l)
+		}
+	}
+
+	// Proof trees of the goal.
+	trees := unfold.Expansions(p, q.Goal, maxExpansions)
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("iqa: no proof trees for %s (is %s defined?)", q.Goal, q.Goal.Pred)
+	}
+	for _, tree := range trees {
+		a.Trees = append(a.Trees, analyzeTree(q, a.Relevant, tree))
+	}
+	return a, nil
+}
+
+// analyzeTree matches the relevant context into the tree's leaves.
+// Goal variables are frozen (skolemized) on both sides so the context's
+// mention of the described object can only map onto the tree's mention
+// of it.
+func analyzeTree(q Query, relevant []ast.Literal, tree unfold.ConjQuery) TreeAnswer {
+	ta := TreeAnswer{Tree: tree}
+	skolem := ast.NewSubst()
+	for i, t := range q.Goal.Args {
+		if v, ok := t.(ast.Var); ok {
+			skolem[v] = ast.Sym(fmt.Sprintf("$goal%d", i))
+		}
+	}
+	var ctxAtoms []ast.Atom
+	for _, l := range relevant {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			ctxAtoms = append(ctxAtoms, skolem.ApplyAtom(l.Atom))
+		}
+	}
+	var leafAtoms []ast.Atom
+	leafIdx := make([]int, 0, len(tree.Body))
+	for i, l := range tree.Body {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			leafAtoms = append(leafAtoms, skolem.ApplyAtom(l.Atom))
+			leafIdx = append(leafIdx, i)
+		}
+	}
+
+	coveredLeaf := make(map[int]bool)
+	if len(ctxAtoms) > 0 {
+		if ms := subsume.Partial(ctxAtoms, leafAtoms); len(ms) > 0 {
+			m := ms[0]
+			for pi, ti := range m.AtomMap {
+				_ = pi
+				if ti >= 0 {
+					coveredLeaf[leafIdx[ti]] = true
+				}
+			}
+		}
+	}
+	for i, l := range tree.Body {
+		if coveredLeaf[i] {
+			ta.Covered = append(ta.Covered, l)
+		} else {
+			ta.Residue = append(ta.Residue, l)
+		}
+	}
+	ta.FullyCovered = len(ta.Residue) == 0
+	return ta
+}
+
+// connectedPreds returns the predicates in the same connected component
+// as pred in the undirected head/body predicate graph of p.
+func connectedPreds(p *ast.Program, pred string) map[string]bool {
+	adj := make(map[string]map[string]bool)
+	link := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = make(map[string]bool)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[string]bool)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if !l.Atom.IsEvaluable() {
+				link(r.Head.Pred, l.Atom.Pred)
+			}
+		}
+	}
+	out := map[string]bool{pred: true}
+	stack := []string{pred}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range adj[cur] {
+			if !out[next] {
+				out[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the intelligent answer as prose, in the spirit of
+// Motro & Yuan's descriptive answers.
+func (a *Answer) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", a.Query)
+	if len(a.Irrelevant) > 0 {
+		fmt.Fprintf(&sb, "ignoring irrelevant context: %s\n", ast.BodyString(a.Irrelevant))
+	}
+	if len(a.Relevant) > 0 {
+		fmt.Fprintf(&sb, "relevant context: %s\n", ast.BodyString(a.Relevant))
+	} else {
+		sb.WriteString("no relevant context: answers are described by the proof trees alone\n")
+	}
+	for i, t := range a.Trees {
+		rules := strings.Join(t.Tree.Rules, " ")
+		if t.FullyCovered {
+			fmt.Fprintf(&sb, "via %s: every object satisfying the context is an answer\n", rules)
+			continue
+		}
+		fmt.Fprintf(&sb, "via %s: additionally requires %s\n", rules, ast.BodyString(t.Residue))
+		_ = i
+	}
+	return sb.String()
+}
+
+// BestTrees returns the answers whose residues are minimal in size —
+// the most informative descriptions (a fully covered tree dominates
+// everything, as its residue, the empty conjunction, is implied by all
+// others; cf. Example 5.1).
+func (a *Answer) BestTrees() []TreeAnswer {
+	best := -1
+	for _, t := range a.Trees {
+		if best < 0 || len(t.Residue) < best {
+			best = len(t.Residue)
+		}
+	}
+	var out []TreeAnswer
+	for _, t := range a.Trees {
+		if len(t.Residue) == best {
+			out = append(out, t)
+		}
+	}
+	return out
+}

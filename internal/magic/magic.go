@@ -1,0 +1,235 @@
+// Package magic implements the magic-sets rewriting for the programs of
+// the paper's class (no mutual recursion; left-to-right sideways
+// information passing). The paper positions its semantic transformation
+// as the analogue of magic sets — "just as the magic sets method pushes
+// the goal selectivity of queries inside recursion, our approach tries
+// to push the semantics (in ICs) inside the recursion" (§6) — so this
+// package provides both the comparison baseline (experiment E5) and the
+// combination of the two rewritings.
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Adornment is a string over 'b' (bound) and 'f' (free), one letter per
+// argument position.
+type Adornment string
+
+// adorn computes the adornment of an atom given the set of bound
+// variables: constants and bound variables are 'b'.
+func adorn(a ast.Atom, bound map[ast.Var]bool) Adornment {
+	sb := make([]byte, len(a.Args))
+	for i, t := range a.Args {
+		switch tt := t.(type) {
+		case ast.Var:
+			if bound[tt] {
+				sb[i] = 'b'
+			} else {
+				sb[i] = 'f'
+			}
+		default:
+			_ = tt
+			sb[i] = 'b'
+		}
+	}
+	return Adornment(sb)
+}
+
+// boundArgs selects the arguments at the adornment's 'b' positions.
+func boundArgs(a ast.Atom, ad Adornment) []ast.Term {
+	var out []ast.Term
+	for i, c := range ad {
+		if c == 'b' {
+			out = append(out, a.Args[i])
+		}
+	}
+	return out
+}
+
+// HasBound reports whether the adornment binds at least one position.
+func (a Adornment) HasBound() bool { return strings.ContainsRune(string(a), 'b') }
+
+// magicName builds the magic predicate name for pred with adornment ad.
+func magicName(pred string, ad Adornment) string {
+	return "m_" + pred + "_" + string(ad)
+}
+
+// Rewrite produces the magic-sets program for the given query goal.
+// The goal's constant arguments determine the adornment. If the goal
+// binds nothing, the original program is returned unchanged (magic sets
+// degenerate to full evaluation). The returned program includes the
+// magic seed as a fact, the magic rules, and the guarded original
+// rules; evaluating it and reading the goal's predicate yields exactly
+// the goal's answers.
+func Rewrite(p *ast.Program, goal ast.Atom) (*ast.Program, error) {
+	idb := p.IDBPreds()
+	if !idb[goal.Pred] {
+		return nil, fmt.Errorf("magic: goal %s is not an IDB predicate", goal)
+	}
+	queryAd := adorn(goal, nil)
+	if !queryAd.HasBound() {
+		return p.Clone(), nil
+	}
+
+	out := &ast.Program{}
+	// Seed fact: m_goal(bound constants).
+	seedHead := ast.Atom{Pred: magicName(goal.Pred, queryAd), Args: boundArgs(goal, queryAd)}
+	if !seedHead.IsGround() {
+		return nil, fmt.Errorf("magic: goal %s mixes variables into bound positions", goal)
+	}
+	out.Rules = append(out.Rules, ast.Rule{Label: "magic_seed", Head: seedHead})
+
+	type job struct {
+		pred string
+		ad   Adornment
+	}
+	seen := map[string]bool{}
+	var queue []job
+	push := func(pred string, ad Adornment) {
+		k := pred + "/" + string(ad)
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, job{pred, ad})
+		}
+	}
+	push(goal.Pred, queryAd)
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		for _, r := range p.RulesFor(j.pred) {
+			if r.IsFact() {
+				out.Rules = append(out.Rules, r.Clone())
+				continue
+			}
+			// Head-bound variables per the adornment.
+			bound := make(map[ast.Var]bool)
+			for i, c := range j.ad {
+				if c == 'b' {
+					if v, ok := r.Head.Args[i].(ast.Var); ok {
+						bound[v] = true
+					}
+				}
+			}
+			// An all-free adornment means the subgoal must be computed
+			// in full: its rules are emitted unguarded.
+			guarded := j.ad.HasBound()
+			var prefix []ast.Literal
+			var magicGuard ast.Literal
+			if guarded {
+				magicGuard = ast.Pos(ast.Atom{
+					Pred: magicName(j.pred, j.ad),
+					Args: boundArgs(r.Head, j.ad),
+				})
+				prefix = []ast.Literal{magicGuard}
+			}
+			// Walk the body left to right, emitting magic rules for IDB
+			// subgoals and accumulating the SIP prefix. Sideways
+			// information passing uses the *bound closure*: only
+			// literals connected (through shared variables) to the
+			// head-bound variables extend the binding set and enter
+			// magic-rule bodies. Unconnected prefix atoms would turn
+			// the magic set into a cross product of unrelated scans —
+			// more "bound" positions, but a far more expensive filter
+			// than the bindings are worth.
+			for _, l := range r.Body {
+				if !l.Neg && !l.Atom.IsEvaluable() && idb[l.Atom.Pred] {
+					ad := adorn(l.Atom, bound)
+					if ad.HasBound() {
+						push(l.Atom.Pred, ad)
+						out.Rules = append(out.Rules, ast.Rule{
+							Label: fmt.Sprintf("magic_%s_%s_%s", r.Label, l.Atom.Pred, ad),
+							Head: ast.Atom{
+								Pred: magicName(l.Atom.Pred, ad),
+								Args: boundArgs(l.Atom, ad),
+							},
+							Body: sipPrefix(prefix),
+						})
+					} else {
+						push(l.Atom.Pred, ad)
+					}
+				}
+				if l.Neg {
+					continue
+				}
+				connected := false
+				for v := range l.Atom.VarSet() {
+					if bound[v] {
+						connected = true
+					}
+				}
+				if !connected {
+					continue
+				}
+				prefix = append(prefix, l.Clone())
+				for _, t := range l.Atom.Args {
+					if v, ok := t.(ast.Var); ok {
+						bound[v] = true
+					}
+				}
+			}
+			// Guarded original rule, specialized to this adornment. The
+			// head predicate stays the same: different adornments of one
+			// predicate share the relation, which is sound (a superset
+			// of each adornment's answers) and keeps queries simple.
+			mod := r.Clone()
+			mod.Label = fmt.Sprintf("%s_%s", r.Label, j.ad)
+			if guarded {
+				mod.Body = append([]ast.Literal{magicGuard.Clone()}, mod.Body...)
+			}
+			out.Rules = append(out.Rules, mod)
+		}
+	}
+	// Rules for predicates never reached stay out: magic prunes them.
+	out.EnsureLabels()
+	dedupRules(out)
+	return out, nil
+}
+
+// sipPrefix keeps the prefix literals that are safe to evaluate:
+// database and IDB atoms always, evaluable literals only when their
+// variables are bound by the preceding atoms (unbound comparisons are
+// dropped, which only weakens the magic filter and stays sound).
+func sipPrefix(prefix []ast.Literal) []ast.Literal {
+	var out []ast.Literal
+	seenVars := make(map[ast.Var]bool)
+	for _, l := range prefix {
+		if l.Atom.IsEvaluable() {
+			ok := true
+			for v := range l.Atom.VarSet() {
+				if !seenVars[v] {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+		} else if !l.Neg {
+			for v := range l.Atom.VarSet() {
+				seenVars[v] = true
+			}
+		}
+		out = append(out, l.Clone())
+	}
+	return out
+}
+
+// dedupRules removes syntactically identical rules (the worklist can
+// visit one rule under several adornments that coincide after
+// guarding).
+func dedupRules(p *ast.Program) {
+	seen := make(map[string]bool)
+	var out []ast.Rule
+	for _, r := range p.Rules {
+		k := r.Head.String() + " :- " + ast.BodyString(r.Body)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	p.Rules = out
+}

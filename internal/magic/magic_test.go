@@ -1,0 +1,250 @@
+package magic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const rightTC = `
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+`
+
+const leftTC = `
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+`
+
+func chainDB(n int) *storage.Database {
+	db := storage.NewDatabase()
+	for i := 0; i < n; i++ {
+		db.Add("edge", ast.Sym(fmt.Sprintf("n%d", i)), ast.Sym(fmt.Sprintf("n%d", i+1)))
+	}
+	return db
+}
+
+// answers evaluates prog on a clone of db and returns the sorted goal
+// answers.
+func answers(t *testing.T, prog *ast.Program, db *storage.Database, goal ast.Atom) []string {
+	t.Helper()
+	work := db.Clone()
+	e := eval.New(prog, work)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(res))
+	for i, tp := range res {
+		out[i] = tp.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMagicRightLinearBoundFirst(t *testing.T) {
+	prog := mustProgram(t, rightTC)
+	goal := ast.NewAtom("tc", ast.Sym("n0"), ast.Var("Y"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(30)
+	want := answers(t, prog, db, goal)
+	got := answers(t, mp, db, goal)
+	if strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("answers differ:\nwant %v\ngot  %v\nprogram:\n%s", want, got, mp)
+	}
+	if len(got) != 30 {
+		t.Errorf("answers = %d, want 30", len(got))
+	}
+}
+
+func TestMagicComputesFewerTuples(t *testing.T) {
+	// On a chain with a bound source near the end, magic must avoid
+	// computing the full closure.
+	prog := mustProgram(t, rightTC)
+	goal := ast.NewAtom("tc", ast.Sym("n28"), ast.Var("Y"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPlain, dbMagic := chainDB(30), chainDB(30)
+	ePlain := eval.New(prog, dbPlain)
+	if err := ePlain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	eMagic := eval.New(mp, dbMagic)
+	if err := eMagic.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dbMagic.Count("tc") >= dbPlain.Count("tc") {
+		t.Errorf("magic computed %d tc tuples, plain %d: expected strictly fewer",
+			dbMagic.Count("tc"), dbPlain.Count("tc"))
+	}
+	if eMagic.Stats().Derived >= ePlain.Stats().Derived {
+		t.Errorf("magic derived %d, plain %d", eMagic.Stats().Derived, ePlain.Stats().Derived)
+	}
+}
+
+func TestMagicLeftLinear(t *testing.T) {
+	// Left-linear tc with bound first argument: the magic set for
+	// tc(X, Z) is just {n0}; answers must still be exact.
+	prog := mustProgram(t, leftTC)
+	goal := ast.NewAtom("tc", ast.Sym("n0"), ast.Var("Y"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(12)
+	want := answers(t, prog, db, goal)
+	got := answers(t, mp, db, goal)
+	if strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("answers differ:\nwant %v\ngot  %v", want, got)
+	}
+}
+
+func TestMagicSecondArgumentBound(t *testing.T) {
+	prog := mustProgram(t, rightTC)
+	goal := ast.NewAtom("tc", ast.Var("X"), ast.Sym("n5"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(10)
+	want := answers(t, prog, db, goal)
+	got := answers(t, mp, db, goal)
+	if strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("answers differ:\nwant %v\ngot  %v\n%s", want, got, mp)
+	}
+	if len(got) != 5 {
+		t.Errorf("answers = %d, want 5", len(got))
+	}
+}
+
+func TestMagicFreeGoalIsIdentity(t *testing.T) {
+	prog := mustProgram(t, rightTC)
+	goal := ast.NewAtom("tc", ast.Var("X"), ast.Var("Y"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Rules) != len(prog.Rules) {
+		t.Errorf("free goal must return the program unchanged:\n%s", mp)
+	}
+}
+
+func TestMagicNonIDBGoal(t *testing.T) {
+	prog := mustProgram(t, rightTC)
+	if _, err := Rewrite(prog, ast.NewAtom("edge", ast.Sym("a"), ast.Var("Y"))); err == nil {
+		t.Error("EDB goal must be rejected")
+	}
+}
+
+func TestMagicMultiPredicate(t *testing.T) {
+	prog := mustProgram(t, `
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+rich_anc(X, Y) :- anc(X, Y), rich(Y).
+`)
+	goal := ast.NewAtom("rich_anc", ast.Sym("p0"), ast.Var("Y"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase()
+	for i := 0; i < 8; i++ {
+		db.Add("par", ast.Sym(fmt.Sprintf("p%d", i)), ast.Sym(fmt.Sprintf("p%d", i+1)))
+		if i%2 == 0 {
+			db.Add("rich", ast.Sym(fmt.Sprintf("p%d", i)))
+		}
+	}
+	want := answers(t, prog, db, goal)
+	got := answers(t, mp, db, goal)
+	if strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("answers differ:\nwant %v\ngot  %v\n%s", want, got, mp)
+	}
+}
+
+func TestMagicRandomized(t *testing.T) {
+	// Property: on random graphs and random bound queries, the magic
+	// program answers exactly like the plain program.
+	progs := []string{rightTC, leftTC}
+	rng := rand.New(rand.NewSource(7))
+	for pi, src := range progs {
+		prog := mustProgram(t, src)
+		for round := 0; round < 10; round++ {
+			db := testutil.RandDB(rng, map[string]int{"edge": 2}, 8, 20)
+			src := ast.Sym(fmt.Sprintf("c%d", rng.Intn(8)))
+			goal := ast.NewAtom("tc", src, ast.Var("Y"))
+			mp, err := Rewrite(prog, goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := answers(t, prog, db, goal)
+			got := answers(t, mp, db, goal)
+			if strings.Join(want, ";") != strings.Join(got, ";") {
+				t.Fatalf("prog %d round %d: want %v, got %v", pi, round, want, got)
+			}
+		}
+	}
+}
+
+func TestMagicWithComparisons(t *testing.T) {
+	prog := mustProgram(t, `
+bigtc(X, Y, N) :- edge(X, Y), weight(X, N), N > 2.
+bigtc(X, Y, N) :- edge(X, Z), bigtc(Z, Y, N).
+`)
+	db := chainDB(6)
+	for i := 0; i <= 6; i++ {
+		db.Add("weight", ast.Sym(fmt.Sprintf("n%d", i)), ast.Int(i))
+	}
+	goal := ast.NewAtom("bigtc", ast.Sym("n1"), ast.Var("Y"), ast.Var("N"))
+	mp, err := Rewrite(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := answers(t, prog, db, goal)
+	got := answers(t, mp, db, goal)
+	if strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("want %v, got %v\n%s", want, got, mp)
+	}
+}
+
+func TestAdornmentHelpers(t *testing.T) {
+	a := ast.NewAtom("p", ast.Sym("c"), ast.Var("X"), ast.Var("Y"))
+	ad := adorn(a, map[ast.Var]bool{"X": true})
+	if ad != "bbf" {
+		t.Errorf("adorn = %s", ad)
+	}
+	if !ad.HasBound() || Adornment("fff").HasBound() {
+		t.Error("HasBound broken")
+	}
+	args := boundArgs(a, ad)
+	if len(args) != 2 || args[0] != ast.Term(ast.Sym("c")) {
+		t.Errorf("boundArgs = %v", args)
+	}
+	if magicName("p", ad) != "m_p_bbf" {
+		t.Errorf("magicName = %s", magicName("p", ad))
+	}
+}

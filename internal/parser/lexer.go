@@ -1,0 +1,265 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// Prolog-like notation used in the paper: rules (head :- body.), facts,
+// and integrity constraints written as implications (body -> head.).
+//
+// Grammar sketch:
+//
+//	program    := (statement)*
+//	statement  := rule | fact | ic
+//	rule       := atom ":-" body "."
+//	fact       := atom "."
+//	ic         := body "->" [atom] "."
+//	body       := literal ("," literal)*
+//	literal    := ["not"] atom | term cmp term
+//	atom       := ident "(" term ("," term)* ")"
+//	term       := VARIABLE | SYMBOL | INTEGER | "'" chars "'"
+//	cmp        := "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Variables begin with an upper-case letter or '_'; symbols begin with a
+// lower-case letter or are single-quoted. Comments run from '%' or "//"
+// to end of line.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokPeriod
+	tokIf      // :-
+	tokImplies // ->
+	tokOp      // comparison operator
+	tokNot     // "not" keyword (also "\+")
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokIf:
+		return "':-'"
+	case tokImplies:
+		return "'->'"
+	case tokOp:
+		return "comparison operator"
+	case tokNot:
+		return "'not'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '%':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token. Identifier-like tokens are classified as
+// variables (upper-case or '_' initial) or plain identifiers.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.peek()
+	switch c {
+	case '(':
+		lx.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case ')':
+		lx.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case ',':
+		lx.advance()
+		return token{tokComma, ",", line, col}, nil
+	case '.':
+		lx.advance()
+		return token{tokPeriod, ".", line, col}, nil
+	case ':':
+		lx.advance()
+		if lx.peek() == '-' {
+			lx.advance()
+			return token{tokIf, ":-", line, col}, nil
+		}
+		return token{}, lx.errorf(line, col, "expected ':-' after ':'")
+	case '-':
+		lx.advance()
+		if lx.peek() == '>' {
+			lx.advance()
+			return token{tokImplies, "->", line, col}, nil
+		}
+		// Negative integer literal.
+		if unicode.IsDigit(rune(lx.peek())) {
+			return lx.lexNumber(line, col, "-")
+		}
+		return token{}, lx.errorf(line, col, "expected '->' or digit after '-'")
+	case '=':
+		lx.advance()
+		if lx.peek() == '<' { // tolerate Prolog-style =<
+			lx.advance()
+			return token{tokOp, "<=", line, col}, nil
+		}
+		if lx.peek() == '=' {
+			lx.advance()
+		}
+		return token{tokOp, "=", line, col}, nil
+	case '!':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return token{tokOp, "!=", line, col}, nil
+		}
+		return token{}, lx.errorf(line, col, "expected '=' after '!'")
+	case '<':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return token{tokOp, "<=", line, col}, nil
+		}
+		if lx.peek() == '>' {
+			lx.advance()
+			return token{tokOp, "!=", line, col}, nil
+		}
+		return token{tokOp, "<", line, col}, nil
+	case '>':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return token{tokOp, ">=", line, col}, nil
+		}
+		return token{tokOp, ">", line, col}, nil
+	case '\\':
+		lx.advance()
+		if lx.peek() == '+' {
+			lx.advance()
+			return token{tokNot, "not", line, col}, nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected '\\'")
+	case '\'':
+		lx.advance()
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.peek() != '\'' {
+			sb.WriteByte(lx.advance())
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errorf(line, col, "unterminated quoted symbol")
+		}
+		lx.advance() // closing quote
+		return token{tokIdent, sb.String(), line, col}, nil
+	}
+	if unicode.IsDigit(rune(c)) {
+		return lx.lexNumber(line, col, "")
+	}
+	if isIdentStart(c) {
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			sb.WriteByte(lx.advance())
+		}
+		text := sb.String()
+		if text == "not" {
+			return token{tokNot, text, line, col}, nil
+		}
+		first := rune(text[0])
+		if first == '_' || unicode.IsUpper(first) {
+			return token{tokVar, text, line, col}, nil
+		}
+		return token{tokIdent, text, line, col}, nil
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", c)
+}
+
+func (lx *lexer) lexNumber(line, col int, prefix string) (token, error) {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peek())) {
+		sb.WriteByte(lx.advance())
+	}
+	return token{tokInt, sb.String(), line, col}, nil
+}

@@ -1,0 +1,309 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Result holds everything a source text can declare: rules (including
+// facts) and integrity constraints.
+type Result struct {
+	Program *ast.Program
+	ICs     []ast.IC
+}
+
+// Parse parses a complete source text.
+func Parse(src string) (*Result, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	res := &Result{Program: &ast.Program{}}
+	for p.cur.kind != tokEOF {
+		if err := p.statement(res); err != nil {
+			return nil, err
+		}
+	}
+	res.Program.EnsureLabels()
+	return res, nil
+}
+
+// ParseProgram parses a source text that must contain only rules/facts.
+func ParseProgram(src string) (*ast.Program, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.ICs) > 0 {
+		return nil, fmt.Errorf("unexpected integrity constraint %s in program text", res.ICs[0])
+	}
+	return res.Program, nil
+}
+
+// ParseRule parses a single rule or fact.
+func ParseRule(src string) (ast.Rule, error) {
+	p, err := ParseProgram(src)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if len(p.Rules) != 1 {
+		return ast.Rule{}, fmt.Errorf("expected exactly one rule, found %d", len(p.Rules))
+	}
+	return p.Rules[0], nil
+}
+
+// ParseIC parses a single integrity constraint.
+func ParseIC(src string) (ast.IC, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return ast.IC{}, err
+	}
+	if len(res.ICs) != 1 || len(res.Program.Rules) != 0 {
+		return ast.IC{}, fmt.Errorf("expected exactly one integrity constraint")
+	}
+	return res.ICs[0], nil
+}
+
+// ParseAtom parses a single atom such as "p(X, a)".
+func ParseAtom(src string) (ast.Atom, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return ast.Atom{}, err
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if lit.Neg {
+		return ast.Atom{}, fmt.Errorf("unexpected negation in atom")
+	}
+	if p.cur.kind != tokEOF {
+		return ast.Atom{}, fmt.Errorf("trailing input after atom")
+	}
+	return lit.Atom, nil
+}
+
+type parser struct {
+	lx  *lexer
+	cur token
+}
+
+func (p *parser) prime() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) advance() error { return p.prime() }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur.kind != k {
+		return token{}, fmt.Errorf("%d:%d: expected %s, found %s %q",
+			p.cur.line, p.cur.col, k, p.cur.kind, p.cur.text)
+	}
+	t := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// statement parses one rule, fact, or IC, appending it to res.
+func (p *parser) statement(res *Result) error {
+	first, err := p.literal()
+	if err != nil {
+		return err
+	}
+	switch p.cur.kind {
+	case tokIf: // rule: first is the head
+		if first.Neg || first.Atom.IsEvaluable() {
+			return fmt.Errorf("%d:%d: rule head must be a database atom", p.cur.line, p.cur.col)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		body, err := p.body()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		res.Program.Rules = append(res.Program.Rules, ast.Rule{Head: first.Atom, Body: body})
+		return nil
+	case tokPeriod: // fact
+		if first.Neg || first.Atom.IsEvaluable() {
+			return fmt.Errorf("fact must be a database atom, found %s", first)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		res.Program.Rules = append(res.Program.Rules, ast.Rule{Head: first.Atom})
+		return nil
+	case tokComma, tokImplies: // integrity constraint
+		body := []ast.Literal{first}
+		for p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			lit, err := p.literal()
+			if err != nil {
+				return err
+			}
+			body = append(body, lit)
+		}
+		if _, err := p.expect(tokImplies); err != nil {
+			return err
+		}
+		ic := ast.IC{Body: body}
+		if p.cur.kind != tokPeriod {
+			head, err := p.literal()
+			if err != nil {
+				return err
+			}
+			if head.Neg {
+				return fmt.Errorf("constraint head cannot be negated")
+			}
+			ic.Head = &head.Atom
+		}
+		if _, err := p.expect(tokPeriod); err != nil {
+			return err
+		}
+		ic.Label = fmt.Sprintf("ic%d", len(res.ICs))
+		res.ICs = append(res.ICs, ic)
+		return nil
+	}
+	return fmt.Errorf("%d:%d: expected ':-', '->', ',' or '.' after %s, found %s %q",
+		p.cur.line, p.cur.col, first, p.cur.kind, p.cur.text)
+}
+
+// body parses a comma-separated conjunction of literals.
+func (p *parser) body() ([]ast.Literal, error) {
+	var out []ast.Literal
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lit)
+		if p.cur.kind != tokComma {
+			return out, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// literal parses "not atom", a database atom, or an infix comparison.
+// Parenthesized comparisons such as (M > 10000) are also accepted, as
+// used in the paper.
+func (p *parser) literal() (ast.Literal, error) {
+	if p.cur.kind == tokNot {
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		inner, err := p.literal()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		if inner.Neg {
+			return ast.Literal{}, fmt.Errorf("double negation is not supported")
+		}
+		return ast.Neg(inner.Atom), nil
+	}
+	if p.cur.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		inner, err := p.literal()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return ast.Literal{}, err
+		}
+		return inner, nil
+	}
+	// An atom starts with an identifier followed by '('; otherwise we
+	// are looking at "term op term".
+	if p.cur.kind == tokIdent {
+		name := p.cur.text
+		save := *p.lx
+		saveTok := p.cur
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		if p.cur.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return ast.Literal{}, err
+			}
+			args, err := p.termList()
+			if err != nil {
+				return ast.Literal{}, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return ast.Literal{}, err
+			}
+			return ast.Pos(ast.Atom{Pred: name, Args: args}), nil
+		}
+		// Not an application: rewind and treat as a constant term in a
+		// comparison.
+		*p.lx = save
+		p.cur = saveTok
+	}
+	left, err := p.term()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	op, err := p.expect(tokOp)
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	return ast.Pos(ast.Atom{Pred: op.text, Args: []ast.Term{left, right}}), nil
+}
+
+func (p *parser) termList() ([]ast.Term, error) {
+	var out []ast.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if p.cur.kind != tokComma {
+			return out, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) term() (ast.Term, error) {
+	switch p.cur.kind {
+	case tokVar:
+		v := ast.Var(p.cur.text)
+		return v, p.advance()
+	case tokIdent:
+		s := ast.Sym(p.cur.text)
+		return s, p.advance()
+	case tokInt:
+		n, err := strconv.ParseInt(p.cur.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%d:%d: bad integer %q", p.cur.line, p.cur.col, p.cur.text)
+		}
+		return ast.Int(n), p.advance()
+	}
+	return nil, fmt.Errorf("%d:%d: expected term, found %s %q",
+		p.cur.line, p.cur.col, p.cur.kind, p.cur.text)
+}

@@ -1,0 +1,106 @@
+package parser
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// genTerm draws terms whose printed form the lexer can read back:
+// variables, lower-case symbols, integers.
+func genTerm(rng *rand.Rand) ast.Term {
+	switch rng.Intn(3) {
+	case 0:
+		names := []string{"X", "Y", "Zed", "_w", "Var1"}
+		return ast.Var(names[rng.Intn(len(names))])
+	case 1:
+		names := []string{"a", "bob", "c3", "exec_utive"}
+		return ast.Sym(names[rng.Intn(len(names))])
+	default:
+		return ast.Int(int64(rng.Intn(2000) - 1000))
+	}
+}
+
+func genLiteral(rng *rand.Rand) ast.Literal {
+	if rng.Intn(5) == 0 {
+		ops := []string{ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe}
+		return ast.Pos(ast.NewAtom(ops[rng.Intn(len(ops))], genTerm(rng), genTerm(rng)))
+	}
+	preds := []string{"p", "q", "works_with", "r2d2"}
+	n := 1 + rng.Intn(3)
+	args := make([]ast.Term, n)
+	for i := range args {
+		args[i] = genTerm(rng)
+	}
+	l := ast.Pos(ast.Atom{Pred: preds[rng.Intn(len(preds))], Args: args})
+	if rng.Intn(6) == 0 {
+		l = ast.Neg(l.Atom)
+	}
+	return l
+}
+
+type randomRule struct{ R ast.Rule }
+
+// Generate implements quick.Generator: random rules over printable
+// terms whose heads are database atoms.
+func (randomRule) Generate(rng *rand.Rand, _ int) reflect.Value {
+	headArgs := make([]ast.Term, 1+rng.Intn(3))
+	for i := range headArgs {
+		headArgs[i] = genTerm(rng)
+	}
+	r := ast.Rule{Head: ast.Atom{Pred: "head", Args: headArgs}}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		r.Body = append(r.Body, genLiteral(rng))
+	}
+	return reflect.ValueOf(randomRule{R: r})
+}
+
+// Printing then reparsing any generated rule yields the identical AST.
+func TestQuickRuleRoundTrip(t *testing.T) {
+	prop := func(rr randomRule) bool {
+		src := rr.R.String()
+		back, err := ParseRule(src)
+		if err != nil {
+			t.Logf("reparse %q: %v", src, err)
+			return false
+		}
+		return rr.R.Equal(back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ICs round-trip the same way, including denials.
+func TestQuickICRoundTrip(t *testing.T) {
+	prop := func(rr randomRule, denial bool) bool {
+		ic := ast.IC{Label: "ic", Body: rr.R.Body}
+		if len(ic.Body) == 0 {
+			return true
+		}
+		// Negated database literals cannot appear in IC bodies per the
+		// paper's form; skip those draws.
+		for _, l := range ic.Body {
+			if l.Neg {
+				return true
+			}
+		}
+		if !denial {
+			h := rr.R.Head
+			ic.Head = &h
+		}
+		src := ic.String()
+		back, err := ParseIC(src)
+		if err != nil {
+			t.Logf("reparse %q: %v", src, err)
+			return false
+		}
+		return ic.String() == back.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

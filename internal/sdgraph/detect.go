@@ -1,0 +1,289 @@
+package sdgraph
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/subsume"
+	"repro/internal/unfold"
+)
+
+// Detection is the output of Algorithm 3.1 for one expansion sequence:
+// the sequence the IC maximally subsumes, the unfolding it was tested
+// against (whose variable namespace the residues are expressed in), and
+// the residues generated from the subsumption.
+type Detection struct {
+	Seq      unfold.Sequence
+	U        *unfold.Unfolding
+	Residues []subsume.Residue
+}
+
+// Detect runs Algorithm 3.1: build the SD-graph and the IC's pattern
+// graph, search for a directed SD path isomorphic to the pattern (in
+// either direction) with label containment, and verify each candidate
+// sequence by unfolding it and running the free maximal subsumption
+// test, which also yields the residues. maxDepth bounds both the
+// SD-graph's pass-through chains and the candidate sequence length.
+//
+// The program must be rectified. ICs outside the §3 chain class are
+// reported as an error by NewPattern.
+func Detect(p *ast.Program, pred string, ic ast.IC, maxDepth int) ([]Detection, error) {
+	pat, err := NewPattern(ic)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Build(p, pred, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	pats := []*Pattern{pat, pat.Reversed()}
+	for _, ext := range pat.HeadExtended() {
+		pats = append(pats, ext, ext.Reversed())
+	}
+	var seqs []unfold.Sequence
+	for _, pp := range pats {
+		seqs = append(seqs, candidates(g, pp, maxDepth)...)
+	}
+	seqs = dedupSeqs(seqs)
+
+	var out []Detection
+	for _, seq := range seqs {
+		u, err := unfold.Unfold(p, seq)
+		if err != nil {
+			continue // e.g. a candidate ending mid-way through an exit rule
+		}
+		var target []ast.Atom
+		for _, l := range u.DatabaseAtoms() {
+			target = append(target, l.Atom)
+		}
+		res := subsume.FreeMaximalResidues(ic, target)
+		if len(res) > 0 {
+			out = append(out, Detection{Seq: seq, U: u, Residues: res})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Seq) != len(out[j].Seq) {
+			return len(out[i].Seq) < len(out[j].Seq)
+		}
+		return out[i].Seq.String() < out[j].Seq.String()
+	})
+	return out, nil
+}
+
+// candidates finds, for a fixed pattern direction, the expansion
+// sequences suggested by the SD-graph. The search assigns each pattern
+// atom an occurrence and a *step offset*; an SD edge realizes a pattern
+// edge either forward (the target atom sits len(Path)-1 steps below the
+// source) or backward (with the argument pairs swapped), so anchorings
+// whose atoms zig-zag across steps — which the paper's directed-path
+// reading of Lemma 3.1 misses — are found too. Every rule along an
+// edge's path constrains the sequence at the corresponding offsets; the
+// final candidate is the assigned rule labels normalized to start at
+// offset zero, with D1's rule as the anchor (Algorithm 3.1, step 3, is
+// the special case where offsets increase monotonically).
+func candidates(g *Graph, pat *Pattern, maxLen int) []unfold.Sequence {
+	var out []unfold.Sequence
+	// Single-atom patterns: the sequence is just the rule containing an
+	// occurrence of the predicate.
+	if len(pat.Atoms) == 1 {
+		for _, oi := range g.byPred[pat.Atoms[0].Pred] {
+			out = append(out, unfold.Sequence{g.Occs[oi].RuleLabel})
+		}
+		return out
+	}
+
+	edgesFrom := make(map[int][]SDEdge)
+	edgesTo := make(map[int][]SDEdge)
+	for _, e := range g.Edges {
+		edgesFrom[g.occIndex(e.From)] = append(edgesFrom[g.occIndex(e.From)], e)
+		edgesTo[g.occIndex(e.To)] = append(edgesTo[g.occIndex(e.To)], e)
+	}
+
+	// steps maps a step offset (possibly negative during the search) to
+	// the rule label the sequence must apply there.
+	steps := make(map[int]string)
+	assign := func(start int, path []string) (added []int, ok bool) {
+		for i, label := range path {
+			off := start + i
+			if have, exists := steps[off]; exists {
+				if have != label {
+					for _, a := range added {
+						delete(steps, a)
+					}
+					return nil, false
+				}
+				continue
+			}
+			steps[off] = label
+			added = append(added, off)
+		}
+		return added, true
+	}
+	unassign := func(added []int) {
+		for _, a := range added {
+			delete(steps, a)
+		}
+	}
+	emit := func() {
+		lo, hi := 0, 0
+		first := true
+		for off := range steps {
+			if first {
+				lo, hi = off, off
+				first = false
+			} else {
+				if off < lo {
+					lo = off
+				}
+				if off > hi {
+					hi = off
+				}
+			}
+		}
+		if hi-lo+1 > maxLen {
+			return
+		}
+		seq := make(unfold.Sequence, 0, hi-lo+1)
+		for off := lo; off <= hi; off++ {
+			label, okStep := steps[off]
+			if !okStep {
+				return // non-contiguous assignment: not a sequence
+			}
+			seq = append(seq, label)
+		}
+		out = append(out, seq)
+	}
+
+	swapPairs := func(pairs []ArgPair) []ArgPair {
+		outp := make([]ArgPair, len(pairs))
+		for i, p := range pairs {
+			outp[i] = ArgPair{p.J, p.I}
+		}
+		return outp
+	}
+
+	var rec func(occ, offset, pe int)
+	rec = func(occ, offset, pe int) {
+		if pe == len(pat.Edges) {
+			emit()
+			return
+		}
+		want := pat.Atoms[pe+1].Pred
+		cur := g.Occs[occ]
+		// Same occurrence, when the atom's own arguments realize the
+		// pairs (non-injective matches).
+		if cur.Atom.Pred == want && pairsSubset(pat.Edges[pe].Pairs, selfPairs(cur.Atom)) {
+			rec(occ, offset, pe+1)
+		}
+		// Forward edges: the next atom sits deeper.
+		for _, e := range edgesFrom[occ] {
+			toIdx := g.occIndex(e.To)
+			if g.Occs[toIdx].Atom.Pred != want ||
+				!pairsSubset(pat.Edges[pe].Pairs, e.Pairs) ||
+				e.Path[0] != cur.RuleLabel {
+				continue
+			}
+			if added, ok := assign(offset, e.Path); ok {
+				rec(toIdx, offset+len(e.Path)-1, pe+1)
+				unassign(added)
+			}
+		}
+		// Backward edges: the next atom sits above the current one.
+		for _, e := range edgesTo[occ] {
+			fromIdx := g.occIndex(e.From)
+			if g.Occs[fromIdx].Atom.Pred != want ||
+				!pairsSubset(pat.Edges[pe].Pairs, swapPairs(e.Pairs)) ||
+				e.Path[len(e.Path)-1] != cur.RuleLabel {
+				continue
+			}
+			start := offset - (len(e.Path) - 1)
+			if added, ok := assign(start, e.Path); ok {
+				rec(fromIdx, start, pe+1)
+				unassign(added)
+			}
+		}
+	}
+	for _, oi := range g.byPred[pat.Atoms[0].Pred] {
+		steps[0] = g.Occs[oi].RuleLabel
+		rec(oi, 0, 0)
+		delete(steps, 0)
+	}
+	return out
+}
+
+// selfPairs lists the argument-position pairs at which an atom shares a
+// variable with itself: (i, i) for every variable position, plus (i, j)
+// for repeated variables.
+func selfPairs(a ast.Atom) []ArgPair {
+	var out []ArgPair
+	for i, ti := range a.Args {
+		if _, ok := ti.(ast.Var); !ok {
+			continue
+		}
+		for j, tj := range a.Args {
+			if ti == tj {
+				out = append(out, ArgPair{i + 1, j + 1})
+			}
+		}
+	}
+	return out
+}
+
+func dedupSeqs(seqs []unfold.Sequence) []unfold.Sequence {
+	seen := make(map[string]bool)
+	var out []unfold.Sequence
+	for _, s := range seqs {
+		k := s.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DetectExhaustive is the brute-force detector the paper argues
+// against: it enumerates every expansion sequence up to maxLen and
+// tests each for maximal subsumption. It serves as the correctness
+// oracle for Detect (property-tested) and as the baseline of
+// experiment E4.
+func DetectExhaustive(p *ast.Program, pred string, ic ast.IC, maxLen int) ([]Detection, error) {
+	var out []Detection
+	for _, seq := range unfold.Sequences(p, pred, maxLen) {
+		u, err := unfold.Unfold(p, seq)
+		if err != nil {
+			continue
+		}
+		var target []ast.Atom
+		for _, l := range u.DatabaseAtoms() {
+			target = append(target, l.Atom)
+		}
+		res := subsume.FreeMaximalResidues(ic, target)
+		if len(res) > 0 {
+			out = append(out, Detection{Seq: seq, U: u, Residues: res})
+		}
+	}
+	return out, nil
+}
+
+// MinimalSequences filters detections to those whose sequence is not an
+// extension of a shorter detected sequence (a maximal subsumption of
+// r0 r0 r0 implies one of every longer sequence with that prefix; only
+// the minimal one drives the transformation).
+func MinimalSequences(ds []Detection) []Detection {
+	var out []Detection
+	for _, d := range ds {
+		minimal := true
+		for _, e := range ds {
+			if len(e.Seq) < len(d.Seq) && strings.HasPrefix(d.Seq.String(), e.Seq.String()) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package sdgraph
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// PatternEdge is an edge of an IC's pattern graph: consecutive database
+// atoms D_i, D_{i+1} with the argument-position pairs of their shared
+// variables.
+type PatternEdge struct {
+	Pairs []ArgPair // positions in D_i paired with positions in D_{i+1}
+}
+
+// Pattern is the pattern graph of an IC (§3): an undirected path over
+// its database atoms D_1 … D_k.
+type Pattern struct {
+	IC    ast.IC
+	Atoms []ast.Atom    // D_1 … D_k
+	Edges []PatternEdge // Edges[i] connects Atoms[i] and Atoms[i+1]
+}
+
+// NewPattern builds the pattern graph, verifying that the IC belongs to
+// the class of §3: database atoms form a chain in which D_i shares
+// variables with exactly its neighbors D_{i-1} and D_{i+1} (evaluable
+// literals and the head may share with anything).
+func NewPattern(ic ast.IC) (*Pattern, error) {
+	atoms := ic.DatabaseAtoms()
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("sdgraph: IC %s has no database atoms", ic.Label)
+	}
+	p := &Pattern{IC: ic, Atoms: atoms}
+	for i := 0; i+1 < len(atoms); i++ {
+		pairs := sharedPairs(atoms[i], atoms[i+1])
+		if len(pairs) == 0 {
+			return nil, fmt.Errorf("sdgraph: IC %s: %s and %s share no variable (not a chain)",
+				ic.Label, atoms[i], atoms[i+1])
+		}
+		p.Edges = append(p.Edges, PatternEdge{Pairs: pairs})
+	}
+	// Non-adjacent atoms must not share variables.
+	for i := 0; i < len(atoms); i++ {
+		for j := i + 2; j < len(atoms); j++ {
+			if len(sharedPairs(atoms[i], atoms[j])) > 0 {
+				return nil, fmt.Errorf("sdgraph: IC %s: non-adjacent atoms %s and %s share a variable",
+					ic.Label, atoms[i], atoms[j])
+			}
+		}
+	}
+	return p, nil
+}
+
+// Reversed returns the pattern read D_k … D_1, used to probe the second
+// possible direction of the SD-graph path (Algorithm 3.1, step 3).
+func (p *Pattern) Reversed() *Pattern {
+	r := &Pattern{IC: p.IC}
+	for i := len(p.Atoms) - 1; i >= 0; i-- {
+		r.Atoms = append(r.Atoms, p.Atoms[i])
+	}
+	for i := len(p.Edges) - 1; i >= 0; i-- {
+		var pairs []ArgPair
+		for _, pr := range p.Edges[i].Pairs {
+			pairs = append(pairs, ArgPair{pr.J, pr.I})
+		}
+		r.Edges = append(r.Edges, PatternEdge{Pairs: pairs})
+	}
+	return r
+}
+
+// HeadExtended returns pattern variants in which the IC's head atom is
+// appended to (or prepended before) the database-atom chain, connected
+// by its shared variables. For a fact residue to be *useful* (§3), the
+// head atom must meet an occurrence of its predicate somewhere in the
+// expansion sequence; extending the pattern with the head is how the
+// detector steers the SD-path search toward such sequences (Example
+// 4.1's boss/experienced constraint needs the four-step sequence
+// r2 r2 r2 r2, which the bare single-atom chain would never suggest).
+// It returns nil when the head is absent, evaluable, or shares no
+// variables with the chain's endpoints.
+func (p *Pattern) HeadExtended() []*Pattern {
+	if p.IC.Head == nil || p.IC.Head.IsEvaluable() {
+		return nil
+	}
+	head := *p.IC.Head
+	var out []*Pattern
+	if pairs := sharedPairs(p.Atoms[len(p.Atoms)-1], head); len(pairs) > 0 {
+		ext := &Pattern{IC: p.IC}
+		ext.Atoms = append(append([]ast.Atom(nil), p.Atoms...), head)
+		ext.Edges = append(append([]PatternEdge(nil), p.Edges...), PatternEdge{Pairs: pairs})
+		out = append(out, ext)
+	}
+	if pairs := sharedPairs(head, p.Atoms[0]); len(pairs) > 0 {
+		ext := &Pattern{IC: p.IC}
+		ext.Atoms = append([]ast.Atom{head}, p.Atoms...)
+		ext.Edges = append([]PatternEdge{{Pairs: pairs}}, p.Edges...)
+		out = append(out, ext)
+	}
+	return out
+}
+
+// sharedPairs lists the argument-position pairs (1-based) at which a
+// and b hold a common variable.
+func sharedPairs(a, b ast.Atom) []ArgPair {
+	var out []ArgPair
+	for i, at := range a.Args {
+		v, ok := at.(ast.Var)
+		if !ok {
+			continue
+		}
+		for j, bt := range b.Args {
+			if bt == ast.Term(v) {
+				out = append(out, ArgPair{i + 1, j + 1})
+			}
+		}
+	}
+	return out
+}
+
+// pairsSubset reports whether every pair of want appears in have
+// (Lemma 3.1's label-containment test).
+func pairsSubset(want, have []ArgPair) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if w == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

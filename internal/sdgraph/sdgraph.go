@@ -1,0 +1,264 @@
+// Package sdgraph implements §3 of the paper: the argument/predicate
+// graph (AP-graph), the subgoal dependency graph (SD-graph), the
+// pattern graph of an integrity constraint, and Algorithm 3.1, which
+// detects — without enumerating expansion sequences — the sequences an
+// IC maximally subsumes, and generates their residues.
+//
+// The construction follows Definition 3.2. A subgoal occurrence's
+// argument can connect to a later expansion step in two ways: it can
+// share a variable with an argument position of the recursive subgoal
+// (an undirected (a, p_k) edge), after which the value surfaces as the
+// head variable X_k of the next rule applied; head variables either
+// appear in that rule's subgoals (directed <p_k, b> edges) or are passed
+// to the next recursive call unchanged (directed <p_i, p_j> edges).
+// Composing these edges yields the SD-graph's directed edges, labeled
+// with the expansion sequence traversed and the set of argument-position
+// pairs carried. Dummy subgoals connect same-rule co-occurrences
+// (distance-0 sharing).
+//
+// Detection is two-phase, as in the paper: phase one finds directed
+// paths in the SD-graph isomorphic to the IC's pattern graph with
+// label containment (Lemma 3.1); phase two verifies each candidate by
+// unfolding it and running the free maximal subsumption test of
+// package subsume, which also produces the residue.
+package sdgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// OccRef identifies a database subgoal occurrence: rule index in the
+// program and body literal index.
+type OccRef struct {
+	Rule int
+	Body int
+}
+
+// Occ is a database subgoal occurrence.
+type Occ struct {
+	Ref       OccRef
+	RuleLabel string
+	Atom      ast.Atom
+}
+
+// ArgPair is a pair of argument positions (1-based) shared between two
+// subgoals, as used in SD-graph and pattern-graph edge labels.
+type ArgPair struct {
+	I, J int
+}
+
+// SDEdge is a directed edge of the SD-graph: the value at From's
+// argument positions reappears at To's positions after applying the
+// rules of Path top-down. Path[0] is the rule containing From and
+// Path[len-1] the rule containing To; len(Path) == 1 encodes same-rule
+// (distance-0) sharing, the paper's dummy-subgoal case.
+type SDEdge struct {
+	From, To OccRef
+	Path     []string
+	Pairs    []ArgPair
+}
+
+func (e SDEdge) pathKey() string { return strings.Join(e.Path, " ") }
+
+// Graph holds the AP-graph-derived structures for one recursive (or
+// non-recursive) predicate of a program.
+type Graph struct {
+	Pred  string
+	Occs  []Occ
+	Edges []SDEdge
+
+	prog   *ast.Program
+	byPred map[string][]int // occurrence indices by predicate
+}
+
+// occIndex locates an occurrence by reference.
+func (g *Graph) occIndex(ref OccRef) int {
+	for i, o := range g.Occs {
+		if o.Ref == ref {
+			return i
+		}
+	}
+	return -1
+}
+
+// Build constructs the SD-graph for predicate pred of the rectified
+// program p, tracing variable flows through at most maxDepth expansion
+// steps. maxDepth bounds the pass-through (<p_i, p_j>) chains; paths
+// longer than the number of distinct (rule, position) states are never
+// needed, so a small bound suffices in practice.
+func Build(p *ast.Program, pred string, maxDepth int) (*Graph, error) {
+	if !ast.IsRectified(p) {
+		return nil, fmt.Errorf("sdgraph: program must be rectified")
+	}
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	g := &Graph{Pred: pred, prog: p, byPred: make(map[string][]int)}
+
+	// Collect database subgoal occurrences of the predicate's rules
+	// (the EDB subgoals a, b, … of Definition 3.2; other IDB subgoals
+	// are excluded just like the recursive one — constraints range over
+	// EDB relations only).
+	idb := p.IDBPreds()
+	ruleIdx := make(map[string]int)
+	for ri, r := range p.Rules {
+		if r.Head.Pred != pred || r.IsFact() {
+			continue
+		}
+		ruleIdx[r.Label] = ri
+		for bi, l := range r.Body {
+			if l.Neg || l.Atom.IsEvaluable() || idb[l.Atom.Pred] {
+				continue
+			}
+			occ := Occ{Ref: OccRef{Rule: ri, Body: bi}, RuleLabel: r.Label, Atom: l.Atom}
+			g.byPred[l.Atom.Pred] = append(g.byPred[l.Atom.Pred], len(g.Occs))
+			g.Occs = append(g.Occs, occ)
+		}
+	}
+
+	// Distance-0 edges: two occurrences in the same rule sharing a
+	// variable (the dummy-subgoal construction).
+	for i, a := range g.Occs {
+		for j, b := range g.Occs {
+			if i == j || a.Ref.Rule != b.Ref.Rule {
+				continue
+			}
+			var pairs []ArgPair
+			for ai, at := range a.Atom.Args {
+				av, ok := at.(ast.Var)
+				if !ok {
+					continue
+				}
+				for bi, bt := range b.Atom.Args {
+					if bt == ast.Term(av) {
+						pairs = append(pairs, ArgPair{ai + 1, bi + 1})
+					}
+				}
+			}
+			if len(pairs) > 0 {
+				label := p.Rules[a.Ref.Rule].Label
+				g.Edges = append(g.Edges, SDEdge{
+					From: a.Ref, To: b.Ref, Path: []string{label}, Pairs: pairs,
+				})
+			}
+		}
+	}
+
+	// Cross-step edges: follow each occurrence argument through the
+	// recursive call and the pass-through positions.
+	type flowState struct {
+		pos  int // 1-based argument position of the recursive predicate
+		path []string
+	}
+	recRules := make([]ast.Rule, 0)
+	allRules := make([]ast.Rule, 0)
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred || r.IsFact() {
+			continue
+		}
+		allRules = append(allRules, r)
+		if ast.RecursiveOccurrence(r) >= 0 {
+			recRules = append(recRules, r)
+		}
+	}
+	_ = recRules
+
+	// edgeSet dedups (from, to, path) triples, merging pairs.
+	edgeSet := make(map[string]*SDEdge)
+	addEdge := func(from OccRef, fi int, to OccRef, ti int, path []string) {
+		key := fmt.Sprintf("%v|%v|%s", from, to, strings.Join(path, " "))
+		e := edgeSet[key]
+		if e == nil {
+			e = &SDEdge{From: from, To: to, Path: append([]string(nil), path...)}
+			edgeSet[key] = e
+		}
+		pair := ArgPair{fi + 1, ti + 1}
+		for _, pr := range e.Pairs {
+			if pr == pair {
+				return
+			}
+		}
+		e.Pairs = append(e.Pairs, pair)
+	}
+
+	for _, a := range g.Occs {
+		srcRule := p.Rules[a.Ref.Rule]
+		srcRec := ast.RecursiveOccurrence(srcRule)
+		if srcRec < 0 {
+			continue // exit rules have no next step
+		}
+		recAtom := srcRule.Body[srcRec].Atom
+		for ai, at := range a.Atom.Args {
+			av, ok := at.(ast.Var)
+			if !ok {
+				continue
+			}
+			// Initial descents: the variable appears at recursive
+			// position k.
+			var frontier []flowState
+			for k, rt := range recAtom.Args {
+				if rt == ast.Term(av) {
+					frontier = append(frontier, flowState{pos: k + 1, path: []string{srcRule.Label}})
+				}
+			}
+			for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+				var next []flowState
+				for _, st := range frontier {
+					x := ast.HeadVar(st.pos)
+					for _, r2 := range allRules {
+						path := append(append([]string(nil), st.path...), r2.Label)
+						// Landings: X_pos appears in a database subgoal
+						// of r2.
+						r2rec := ast.RecursiveOccurrence(r2)
+						for bi, l := range r2.Body {
+							if bi == r2rec || l.Neg || l.Atom.IsEvaluable() || idb[l.Atom.Pred] {
+								continue
+							}
+							for ti, tt := range l.Atom.Args {
+								if tt == ast.Term(x) {
+									to := OccRef{Rule: ruleIdx[r2.Label], Body: bi}
+									addEdge(a.Ref, ai, to, ti, path)
+								}
+							}
+						}
+						// Pass-throughs: X_pos appears at recursive
+						// position k' of r2.
+						if r2rec >= 0 {
+							for k2, rt := range r2.Body[r2rec].Atom.Args {
+								if rt == ast.Term(x) {
+									next = append(next, flowState{pos: k2 + 1, path: path})
+								}
+							}
+						}
+					}
+				}
+				frontier = next
+			}
+		}
+	}
+	keys := make([]string, 0, len(edgeSet))
+	for k := range edgeSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g.Edges = append(g.Edges, *edgeSet[k])
+	}
+	return g, nil
+}
+
+// String renders the SD-graph edges deterministically, for debugging
+// and golden tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SD-graph for %s: %d occurrences\n", g.Pred, len(g.Occs))
+	for _, e := range g.Edges {
+		fo, to := g.Occs[g.occIndex(e.From)], g.Occs[g.occIndex(e.To)]
+		fmt.Fprintf(&sb, "  <%s, %s> label <%s, %v>\n", fo.Atom.Pred, to.Atom.Pred, e.pathKey(), e.Pairs)
+	}
+	return sb.String()
+}

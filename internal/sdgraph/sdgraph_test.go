@@ -1,0 +1,336 @@
+package sdgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/subsume"
+	"repro/internal/unfold"
+)
+
+func mustRect(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rect
+}
+
+func mustIC(t *testing.T, src string) ast.IC {
+	t.Helper()
+	ic, err := parser.ParseIC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+// Example 2.1 / 3.1 program and IC.
+const ex21Src = `
+p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(Y2, X3), c(Y3, Y4, X5), d(Y5, X6), p(X1, Y2, Y3, Y4, Y5, Y6).
+p(X1, X2, X3, X4, X5, X6) :- e(X1, X2, X3, X4, X5, X6).
+`
+
+const ex21IC = `a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).`
+
+// Example 3.2 program and IC.
+const evalSrc = `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+`
+
+const evalIC = `works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`
+
+// Example 4.3 program and IC.
+const ancSrc = `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+`
+
+const ancIC = `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`
+
+func TestBuildGraphEvalExample(t *testing.T) {
+	p := mustRect(t, evalSrc)
+	g, err := Build(p, "eval", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occurrences: super (r0); works_with, expert, field (r1).
+	if len(g.Occs) != 4 {
+		t.Fatalf("occurrences = %d, want 4\n%s", len(g.Occs), g)
+	}
+	// The paper names the edge <works_with, expert> with label
+	// <r1, {(2,1)}>: works_with's 2nd argument flows to expert's 1st in
+	// the next application of r1.
+	found := false
+	for _, e := range g.Edges {
+		from := g.Occs[g.occIndex(e.From)]
+		to := g.Occs[g.occIndex(e.To)]
+		if from.Atom.Pred == "works_with" && to.Atom.Pred == "expert" &&
+			len(e.Path) == 2 && e.Path[0] == "r1" && e.Path[1] == "r1" {
+			for _, pr := range e.Pairs {
+				if pr == (ArgPair{2, 1}) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("missing <works_with, expert> edge with pair (2,1):\n%s", g)
+	}
+}
+
+func TestBuildRequiresRectified(t *testing.T) {
+	raw, _ := parser.ParseProgram(evalSrc)
+	if _, err := Build(raw, "eval", 3); err == nil {
+		t.Error("unrectified program must be rejected")
+	}
+}
+
+func TestPatternGraph(t *testing.T) {
+	pat, err := NewPattern(mustIC(t, ex21IC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pat.Atoms) != 3 || len(pat.Edges) != 2 {
+		t.Fatalf("pattern = %d atoms, %d edges", len(pat.Atoms), len(pat.Edges))
+	}
+	// a-b share V2 at (2,1); b-c share V4 at (2,1).
+	if pat.Edges[0].Pairs[0] != (ArgPair{2, 1}) {
+		t.Errorf("edge 0 pairs = %v", pat.Edges[0].Pairs)
+	}
+	rev := pat.Reversed()
+	if rev.Atoms[0].Pred != "c" || rev.Edges[0].Pairs[0] != (ArgPair{1, 2}) {
+		t.Errorf("reversed = %v %v", rev.Atoms[0], rev.Edges[0].Pairs)
+	}
+}
+
+func TestPatternGraphRejectsNonChain(t *testing.T) {
+	// D1 and D3 share a variable: not a chain.
+	if _, err := NewPattern(mustIC(t, "a(X, Y), b(Y, Z), c(Z, X) -> .")); err == nil {
+		t.Error("triangle IC must be rejected")
+	}
+	// Disconnected database atoms.
+	if _, err := NewPattern(mustIC(t, "a(X), b(Y) -> .")); err == nil {
+		t.Error("disconnected IC must be rejected")
+	}
+	// No database atoms.
+	if _, err := NewPattern(mustIC(t, "X > 3 -> .")); err == nil {
+		t.Error("evaluable-only IC must be rejected")
+	}
+}
+
+func TestDetectExample31(t *testing.T) {
+	p := mustRect(t, ex21Src)
+	ic := mustIC(t, ex21IC)
+	ds, err := Detect(p, "p", ic, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = MinimalSequences(ds)
+	if len(ds) != 1 {
+		t.Fatalf("detections = %d, want 1: %+v", len(ds), ds)
+	}
+	if got := ds[0].Seq.String(); got != "r0 r0 r0" {
+		t.Errorf("sequence = %q, want r0 r0 r0", got)
+	}
+	r := ds[0].Residues[0]
+	if !r.IsUnconditional() || r.IsNull() || r.Head.Pred != "d" {
+		t.Errorf("residue = %s", r)
+	}
+}
+
+func TestDetectExample32(t *testing.T) {
+	p := mustRect(t, evalSrc)
+	ic := mustIC(t, evalIC)
+	ds, err := Detect(p, "eval", ic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = MinimalSequences(ds)
+	if len(ds) != 1 {
+		t.Fatalf("detections = %d, want 1: %+v", len(ds), ds)
+	}
+	if got := ds[0].Seq.String(); got != "r1 r1" {
+		t.Errorf("sequence = %q, want r1 r1", got)
+	}
+	r := ds[0].Residues[0]
+	if !r.IsUnconditional() || r.Head == nil || r.Head.Pred != "expert" {
+		t.Errorf("residue = %s", r)
+	}
+}
+
+func TestDetectExample43Denial(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	ic := mustIC(t, ancIC)
+	ds, err := Detect(p, "anc", ic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = MinimalSequences(ds)
+	if len(ds) == 0 {
+		t.Fatal("no detections")
+	}
+	// The paper reports the sequence r1 r1 r1; r1 r1 r0 is also
+	// maximally subsumed (its exit step contributes the third par) and
+	// is legitimate. The canonical minimal all-recursive sequence must
+	// be present.
+	var seqs []string
+	for _, d := range ds {
+		seqs = append(seqs, d.Seq.String())
+		if !d.Residues[0].IsNull() {
+			t.Errorf("sequence %s: residue %s is not null", d.Seq, d.Residues[0])
+		}
+	}
+	joined := strings.Join(seqs, "; ")
+	if !strings.Contains(joined, "r1 r1 r1") {
+		t.Errorf("sequences = %v, want r1 r1 r1 among them", seqs)
+	}
+	// The residue's condition is Ya <= 50 over the unfolding head
+	// variable X4.
+	for _, d := range ds {
+		if d.Seq.String() != "r1 r1 r1" {
+			continue
+		}
+		r := d.Residues[0]
+		if len(r.Body) != 1 || r.Body[0].Atom.Pred != ast.OpLe ||
+			r.Body[0].Atom.Args[0] != ast.Term(ast.HeadVar(4)) {
+			t.Errorf("residue = %s", r)
+		}
+	}
+}
+
+func TestDetectExample42SingleAtomIC(t *testing.T) {
+	// ic2: pays(M,G,S,T), M > 10000 -> doctoral(S) has a single database
+	// atom; it subsumes the rule containing pays (here a non-recursive
+	// rule r2 of an extended program).
+	p := mustRect(t, evalSrc+`
+eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+`)
+	ic := mustIC(t, `pays(M, G, S, T), M > 10000 -> doctoral(S).`)
+	ds, err := Detect(p, "eval_support", ic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("detections = %d, want 1", len(ds))
+	}
+	if ds[0].Seq.String() != "r2" {
+		t.Errorf("sequence = %q", ds[0].Seq)
+	}
+	r := ds[0].Residues[0]
+	if r.IsUnconditional() || r.Head == nil || r.Head.Pred != "doctoral" {
+		t.Errorf("residue = %s", r)
+	}
+}
+
+func TestDetectAgreesWithExhaustive(t *testing.T) {
+	cases := []struct {
+		src, ic, pred string
+	}{
+		{ex21Src, ex21IC, "p"},
+		{evalSrc, evalIC, "eval"},
+		{ancSrc, ancIC, "anc"},
+	}
+	for _, c := range cases {
+		p := mustRect(t, c.src)
+		ic := mustIC(t, c.ic)
+		fast, err := Detect(p, c.pred, ic, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := DetectExhaustive(p, c.pred, ic, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowSet := make(map[string]bool)
+		for _, d := range slow {
+			slowSet[d.Seq.String()] = true
+		}
+		// Everything the graph method finds must be confirmed by the
+		// oracle.
+		for _, d := range fast {
+			if !slowSet[d.Seq.String()] {
+				t.Errorf("%s: Detect found %s, oracle did not", c.pred, d.Seq)
+			}
+		}
+		// Every minimal oracle sequence must be found by the graph
+		// method.
+		fastSet := make(map[string]bool)
+		for _, d := range fast {
+			fastSet[d.Seq.String()] = true
+		}
+		for _, d := range MinimalSequences(slow) {
+			if !fastSet[d.Seq.String()] {
+				t.Errorf("%s: oracle minimal sequence %s missed by Detect", c.pred, d.Seq)
+			}
+		}
+	}
+}
+
+func TestDetectNoMatch(t *testing.T) {
+	p := mustRect(t, evalSrc)
+	ic := mustIC(t, `super(P, S, T), works_with(P, Q) -> works_with(Q, P).`)
+	ds, err := Detect(p, "eval", ic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// super and works_with never chain through the recursion in the
+	// required direction with these positions.
+	if len(ds) != 0 {
+		t.Errorf("detections = %v, want none", ds)
+	}
+}
+
+func TestMinimalSequences(t *testing.T) {
+	ds := []Detection{
+		{Seq: unfold.Sequence{"r1", "r1"}},
+		{Seq: unfold.Sequence{"r1", "r1", "r1"}},
+		{Seq: unfold.Sequence{"r0"}},
+	}
+	min := MinimalSequences(ds)
+	if len(min) != 2 {
+		t.Fatalf("minimal = %v", min)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	p := mustRect(t, evalSrc)
+	g, _ := Build(p, "eval", 3)
+	s := g.String()
+	if !strings.Contains(s, "works_with") || !strings.Contains(s, "SD-graph") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Residues found through detection must agree with direct subsumption
+// against the unfolding.
+func TestDetectionResiduesMatchDirectSubsumption(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	ic := mustIC(t, ancIC)
+	ds, err := Detect(p, "anc", ic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		u, err := unfold.Unfold(p, d.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var target []ast.Atom
+		for _, l := range u.DatabaseAtoms() {
+			target = append(target, l.Atom)
+		}
+		direct := subsume.FreeMaximalResidues(ic, target)
+		if len(direct) != len(d.Residues) {
+			t.Errorf("%s: %d residues vs %d direct", d.Seq, len(d.Residues), len(direct))
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package semopt is the end-to-end semantic optimizer — the system the
+// paper describes, assembled from the substrates: rectify the program,
+// run the §3 residue analysis per predicate (Algorithm 3.1 +
+// classification + usefulness + chase verification), and push the
+// resulting opportunities inside the recursion (§4). It also implements
+// the two baselines the repository's experiments compare against:
+// rule-level semantic optimization (what Chakravarthy et al.'s
+// compile-time residues can see without expansion sequences) and the
+// evaluation-paradigm runner, which re-applies residue analysis at
+// every fixpoint iteration (the run-time overhead the transformation
+// approach avoids, §1).
+package semopt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/eval"
+	"repro/internal/residue"
+	"repro/internal/storage"
+	"repro/internal/subsume"
+	"repro/internal/transform"
+)
+
+// Options configures Optimize.
+type Options struct {
+	// Residue configures the §3 analysis.
+	Residue residue.Options
+	// Preds restricts optimization to the named predicates; empty means
+	// every IDB predicate.
+	Preds []string
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	// Rectified is the rectified input program (the baseline all
+	// transformed variants are compared against).
+	Rectified *ast.Program
+	// Optimized is the transformed program.
+	Optimized *ast.Program
+	// Opportunities lists every verified opportunity found, including
+	// ones not applied (e.g. a second sequence on the same predicate).
+	Opportunities []residue.Opportunity
+	// Reports describes the pushes performed, one per isolated
+	// sequence.
+	Reports []transform.Report
+	// Notes carries diagnostics (skipped ICs, failed verifications,
+	// unapplied opportunity groups).
+	Notes []string
+	// CompileTime is the wall-clock cost of the whole analysis and
+	// transformation — the "one shot at compile time" of §1.
+	CompileTime time.Duration
+}
+
+// Optimize runs the full pipeline. The input program may be
+// unrectified; integrity constraints must be over EDB predicates and
+// evaluable literals (assumption (4) of §1; violations are noted and
+// the offending IC skipped).
+func Optimize(p *ast.Program, ics []ast.IC, opts Options) (*Result, error) {
+	start := time.Now()
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		return nil, fmt.Errorf("semopt: %w", err)
+	}
+	res := &Result{Rectified: rect, Optimized: rect.Clone()}
+	usable, notes := filterICs(rect, ics)
+	res.Notes = append(res.Notes, notes...)
+
+	explicit := len(opts.Preds) > 0
+	preds := opts.Preds
+	if !explicit {
+		for pr := range rect.IDBPreds() {
+			preds = append(preds, pr)
+		}
+	}
+	// Deterministic order.
+	sortStrings(preds)
+
+	current := res.Optimized
+	for _, pred := range preds {
+		// The paper's class assumptions apply to the rules being
+		// transformed: check the subprogram the predicate depends on.
+		// Out-of-class predicates are a hard error when named
+		// explicitly and a skip-with-note otherwise (the rest of the
+		// program may use features — negation, non-linearity — the
+		// evaluation substrate supports but the optimizer does not).
+		if err := rect.Reachable(pred).CheckClass(); err != nil {
+			if explicit {
+				return nil, fmt.Errorf("semopt: %s outside the accepted class: %w", pred, err)
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf("%s skipped: %v", pred, err))
+			continue
+		}
+		ops, ns, err := residue.Analyze(rect, pred, usable, opts.Residue)
+		res.Notes = append(res.Notes, ns...)
+		if err != nil {
+			return nil, fmt.Errorf("semopt: analyzing %s: %w", pred, err)
+		}
+		res.Opportunities = append(res.Opportunities, ops...)
+		if len(ops) == 0 {
+			continue
+		}
+		groups := transform.GroupBySequence(ops)
+		// One isolation per predicate. Prefer groups whose sequence is
+		// all-recursive: they isolate a proof-tree *prefix*, so deeper
+		// derivations ride the isolated rule instead of being recomputed
+		// by a deviation chain (an exit-terminated sequence covers only
+		// trees of exactly its depth and pushes everything deeper through
+		// the duplicating deviations). Ties break toward more
+		// opportunities, then the shorter sequence.
+		best := 0
+		for i := 1; i < len(groups); i++ {
+			if betterGroup(rect, groups[i], groups[best]) {
+				best = i
+			}
+		}
+		// Opportunities from other groups are handed to Push as well:
+		// compatible ones (e.g. the exit-terminated variant of the same
+		// pruning) are folded into the isolation's deviation rules, the
+		// rest are reported as skipped.
+		ordered := append([]residue.Opportunity{}, groups[best]...)
+		for i, g := range groups {
+			if i != best {
+				ordered = append(ordered, g...)
+			}
+		}
+		next, rep, err := transform.Push(current, ordered)
+		if err != nil {
+			return nil, fmt.Errorf("semopt: pushing into %s: %w", pred, err)
+		}
+		current = next
+		res.Reports = append(res.Reports, rep)
+	}
+	res.Optimized = current
+	res.CompileTime = time.Since(start)
+	return res, nil
+}
+
+// filterICs keeps constraints that mention only EDB predicates and
+// comparisons (assumption (4) of §1).
+func filterICs(p *ast.Program, ics []ast.IC) ([]ast.IC, []string) {
+	idb := p.IDBPreds()
+	var out []ast.IC
+	var notes []string
+	for _, ic := range ics {
+		ok := true
+		for _, l := range ic.Body {
+			if !l.Atom.IsEvaluable() && idb[l.Atom.Pred] {
+				ok = false
+			}
+		}
+		if ic.Head != nil && !ic.Head.IsEvaluable() && idb[ic.Head.Pred] {
+			ok = false
+		}
+		if ok {
+			out = append(out, ic)
+		} else {
+			notes = append(notes, fmt.Sprintf("IC %s skipped: mentions IDB predicates", ic.Label))
+		}
+	}
+	return out, notes
+}
+
+// betterGroup reports whether opportunity group a should be chosen over
+// b for the single isolation a predicate gets.
+func betterGroup(p *ast.Program, a, b []residue.Opportunity) bool {
+	ar, br := allRecursive(p, a[0].Seq), allRecursive(p, b[0].Seq)
+	if ar != br {
+		return ar
+	}
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	return len(a[0].Seq) < len(b[0].Seq)
+}
+
+func allRecursive(p *ast.Program, seq []string) bool {
+	for _, label := range seq {
+		r, ok := p.RuleByLabel(label)
+		if !ok || ast.RecursiveOccurrence(r) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// RuleLevelOptimize is the compile-time baseline restricted to single
+// rules: residues are computed against each rule body alone (no
+// expansion sequences), and only chase-verified rewrites are applied
+// in place — null residues constrain the rule, fact residues eliminate
+// a redundant atom. This is what the residue method of Chakravarthy et
+// al. yields without the paper's §3 machinery.
+func RuleLevelOptimize(p *ast.Program, ics []ast.IC, chaseSteps int) (*ast.Program, []string) {
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		return p.Clone(), []string{err.Error()}
+	}
+	var notes []string
+	out := rect.Clone()
+	usable, ns := filterICs(rect, ics)
+	notes = append(notes, ns...)
+	for ri := range out.Rules {
+		r := out.Rules[ri].Clone()
+		if r.IsFact() {
+			continue
+		}
+		target := r.DatabaseAtoms()
+		for _, ic := range usable {
+			for _, res := range subsume.FreeMaximalResidues(ic, target) {
+				kind, err := residue.Classify(res)
+				if err != nil {
+					continue
+				}
+				q := chase.FromRule(r)
+				q.Body = append(ast.CloneBody(q.Body), ast.CloneBody(res.Body)...)
+				switch kind {
+				case residue.NullConditional, residue.NullUnconditional:
+					unsat, unknown := chase.Unsatisfiable(q, usable, chaseSteps)
+					if unknown || !unsat {
+						continue
+					}
+					if len(res.Body) == 0 {
+						// The rule can never produce tuples: drop it by
+						// making it trivially false.
+						notes = append(notes, fmt.Sprintf("rule %s: unsatisfiable, removed", r.Label))
+						r.Body = append(r.Body, ast.Pos(ast.NewAtom(ast.OpNe, ast.Int(0), ast.Int(0))))
+					} else {
+						for _, e := range res.Body {
+							neg := ast.Neg(e.Atom.Clone())
+							r.Body = append(r.Body, neg)
+						}
+						notes = append(notes, fmt.Sprintf("rule %s: constrained by %s", r.Label, res))
+					}
+					out.Rules[ri] = r
+				case residue.FactUnconditional, residue.FactConditional:
+					if res.Head == nil || res.Head.IsEvaluable() || len(res.Body) > 0 {
+						continue
+					}
+					for i, l := range r.Body {
+						if l.Neg || l.Atom.Pred != res.Head.Pred {
+							continue
+						}
+						qr := chase.FromRule(r)
+						red, unknown := chase.AtomRedundant(qr, i, usable, chaseSteps)
+						if !red || unknown {
+							continue
+						}
+						r.Body = append(r.Body[:i], r.Body[i+1:]...)
+						out.Rules[ri] = r
+						notes = append(notes, fmt.Sprintf("rule %s: eliminated %s", r.Label, l.Atom))
+						break
+					}
+				}
+			}
+		}
+	}
+	return out, notes
+}
+
+// EvalParadigmRun evaluates the program while re-running the residue
+// analysis for every rule at the start of every fixpoint round — the
+// evaluation-paradigm approach of Chakravarthy et al. and Lee & Han,
+// whose residue application is interleaved with evaluation. It returns
+// the evaluation stats, the number of residue computations performed at
+// run time, and the wall-clock time they consumed (the overhead the
+// paper's one-shot compile-time transformation avoids).
+func EvalParadigmRun(p *ast.Program, ics []ast.IC, db *storage.Database) (eval.Stats, int, time.Duration, error) {
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		return eval.Stats{}, 0, 0, err
+	}
+	usable, _ := filterICs(rect, ics)
+	e := eval.New(rect, db)
+	checks := 0
+	var overhead time.Duration
+	e.IterationHook = func(round int) {
+		// Re-derive the residues for the subqueries of this iteration
+		// (each rule body joined with the current deltas is the
+		// subquery; its residues are those of the rule body).
+		start := time.Now()
+		for _, r := range rect.Rules {
+			if r.IsFact() {
+				continue
+			}
+			target := r.DatabaseAtoms()
+			for _, ic := range usable {
+				subsume.FreeMaximalResidues(ic, target)
+				checks++
+			}
+		}
+		overhead += time.Since(start)
+	}
+	err = e.Run()
+	return e.Stats(), checks, overhead, err
+}

@@ -1,0 +1,354 @@
+package semopt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/residue"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustICs(t *testing.T, srcs ...string) []ast.IC {
+	t.Helper()
+	var out []ast.IC
+	for _, s := range srcs {
+		ic, err := parser.ParseIC(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic.Label = "ic" + string(rune('0'+len(out)))
+		out = append(out, ic)
+	}
+	return out
+}
+
+const orgSrc = `
+triple(E1, E2, E3) :- same_level(E1, E2, E3).
+triple(E1, E2, E3) :- boss(U, E3, R), experienced(U), triple(U, E1, E2).
+`
+
+const ancSrc = `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+`
+
+func TestOptimizeEndToEndOrg(t *testing.T) {
+	p := mustProgram(t, orgSrc)
+	ics := mustICs(t, `boss(E, B, R), R = executive -> experienced(B).`)
+	res, err := Optimize(p, ics, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Opportunities) == 0 || len(res.Reports) == 0 {
+		t.Fatalf("no optimization: %+v", res.Notes)
+	}
+	if res.CompileTime <= 0 {
+		t.Error("compile time must be recorded")
+	}
+	// Equivalence on repaired random databases.
+	rng := rand.New(rand.NewSource(5))
+	ar := map[string]int{"same_level": 3, "boss": 3, "experienced": 1}
+	checked := 0
+	for i := 0; i < 8; i++ {
+		db := testutil.RandDB(rng, ar, 6, 14)
+		if !testutil.Repair(db, ics, 400) {
+			continue
+		}
+		d1, _, err := testutil.RunProgram(res.Rectified, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _, err := testutil.RunProgram(res.Optimized, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.SamePredicate(d1, d2, "triple") {
+			t.Fatalf("round %d: %s", i, testutil.Diff(d1, d2, "triple"))
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no database was checkable")
+	}
+}
+
+func TestOptimizeEndToEndGenealogy(t *testing.T) {
+	p := mustProgram(t, ancSrc)
+	ics := mustICs(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)
+	res, err := Optimize(p, ics, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasPrune := false
+	for _, o := range res.Opportunities {
+		if o.Kind == residue.Prune {
+			hasPrune = true
+		}
+	}
+	if !hasPrune {
+		t.Fatalf("no pruning found: %v", res.Notes)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 6; i++ {
+		db := testutil.RandDB(rng, map[string]int{"par": 4}, 6, 12)
+		if !testutil.Repair(db, ics, 400) {
+			continue
+		}
+		d1, _, err := testutil.RunProgram(res.Rectified, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _, err := testutil.RunProgram(res.Optimized, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.SamePredicate(d1, d2, "anc") {
+			t.Fatalf("round %d: %s", i, testutil.Diff(d1, d2, "anc"))
+		}
+	}
+}
+
+func TestOptimizeSkipsIDBICs(t *testing.T) {
+	p := mustProgram(t, ancSrc)
+	ics := mustICs(t, `anc(X, Xa, Y, Ya) -> par(X, Xa, Y, Ya).`)
+	res, err := Optimize(p, ics, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "mentions IDB") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("IDB IC must be noted: %v", res.Notes)
+	}
+	if len(res.Opportunities) != 0 {
+		t.Error("no opportunities expected")
+	}
+}
+
+func TestOptimizeRejectsOutOfClassPrograms(t *testing.T) {
+	p := mustProgram(t, `
+p(X, Y) :- p(X, Z), p(Z, Y).
+p(X, Y) :- e(X, Y).
+`)
+	// Explicitly requesting an out-of-class predicate is a hard error.
+	if _, err := Optimize(p, nil, Options{Preds: []string{"p"}}); err == nil {
+		t.Error("non-linear program must be rejected when named explicitly")
+	}
+	// By default the predicate is skipped with a note and the rest of
+	// the program is untouched.
+	res, err := Optimize(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 {
+		t.Error("nothing should be transformed")
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "skipped") && strings.Contains(n, "non-linear") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("skip note missing: %v", res.Notes)
+	}
+}
+
+func TestOptimizePredsFilter(t *testing.T) {
+	p := mustProgram(t, ancSrc)
+	ics := mustICs(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)
+	res, err := Optimize(p, ics, Options{Preds: []string{"nonexistent"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Opportunities) != 0 || len(res.Reports) != 0 {
+		t.Error("filtered predicates must yield nothing")
+	}
+}
+
+func TestRuleLevelOptimizeNullResidue(t *testing.T) {
+	// An IC contradicting a rule's own body: rule-level optimization
+	// must constrain or remove it.
+	p := mustProgram(t, `
+risky(P) :- minor(P), drives(P).
+safe(P) :- adult(P).
+`)
+	ics := mustICs(t, `minor(P), drives(P) -> .`)
+	out, notes := RuleLevelOptimize(p, ics, 0)
+	if len(notes) == 0 {
+		t.Fatalf("expected notes, got none; program:\n%s", out)
+	}
+	// The risky rule must never produce a tuple on a consistent DB.
+	db := storage.NewDatabase()
+	db.Add("minor", ast.Sym("kid"))
+	db.Add("adult", ast.Sym("al"))
+	db.Add("drives", ast.Sym("al"))
+	d, _, err := testutil.RunProgram(out, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count("risky") != 0 {
+		t.Error("risky must be empty")
+	}
+	if d.Count("safe") != 1 {
+		t.Error("safe must survive")
+	}
+}
+
+func TestRuleLevelOptimizeCannotSeeSequences(t *testing.T) {
+	// Example 4.1's IC only pays off across four expansion steps;
+	// rule-level optimization must leave the program unchanged (modulo
+	// rectification), which is exactly the paper's argument for
+	// sequence-level residues.
+	p := mustProgram(t, orgSrc)
+	ics := mustICs(t, `boss(E, B, R), R = executive -> experienced(B).`)
+	out, _ := RuleLevelOptimize(p, ics, 0)
+	rect, _ := ast.Rectify(p)
+	if out.String() != rect.String() {
+		t.Errorf("rule-level changed the program:\n%s\nvs\n%s", out, rect)
+	}
+}
+
+func TestEvalParadigmRunCountsOverhead(t *testing.T) {
+	p := mustProgram(t, ancSrc)
+	ics := mustICs(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)
+	db := storage.NewDatabase()
+	names := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i+1 < len(names); i++ {
+		db.Add("par", ast.Sym(names[i]), ast.Int(60+i), ast.Sym(names[i+1]), ast.Int(61+i))
+	}
+	stats, checks, overhead, err := EvalParadigmRun(p, ics, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	if checks == 0 {
+		t.Error("per-iteration residue checks must be nonzero")
+	}
+	if overhead <= 0 {
+		t.Error("overhead duration must be recorded")
+	}
+	if db.Count("anc") == 0 {
+		t.Error("anc must be computed")
+	}
+}
+
+func TestOptimizeMultiplePredicates(t *testing.T) {
+	// Both eval (elimination via ic1) and eval_support (introduction
+	// via ic2) get optimized in one pass.
+	p := mustProgram(t, `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+`)
+	ics := mustICs(t,
+		`works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`,
+		`pays(M, G, S, T), M > 10000 -> doctoral(S).`,
+	)
+	res, err := Optimize(p, ics, Options{
+		Residue: residue.Options{IntroducePreds: map[string]bool{"doctoral": true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (eval and eval_support): %v", len(res.Reports), res.Notes)
+	}
+	// Equivalence over random repaired DBs.
+	rng := rand.New(rand.NewSource(12))
+	ar := map[string]int{"super": 3, "works_with": 2, "expert": 2, "field": 2, "pays": 4, "doctoral": 1}
+	for i := 0; i < 6; i++ {
+		db := testutil.RandDB(rng, ar, 6, 12)
+		if !testutil.Repair(db, ics, 500) {
+			continue
+		}
+		d1, _, err := testutil.RunProgram(res.Rectified, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _, err := testutil.RunProgram(res.Optimized, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pred := range []string{"eval", "eval_support"} {
+			if !testutil.SamePredicate(d1, d2, pred) {
+				t.Fatalf("round %d, %s: %s", i, pred, testutil.Diff(d1, d2, pred))
+			}
+		}
+	}
+}
+
+func TestRuleLevelOptimizeElimination(t *testing.T) {
+	// A single non-recursive rule whose last subgoal is implied by the
+	// expertise-transitivity constraint: rule-level optimization can
+	// eliminate it without any expansion-sequence machinery.
+	p := mustProgram(t, `
+covered(P, F) :- works_with(P, P1), expert(P1, F), expert(P, F).
+`)
+	ics := mustICs(t, `works_with(A, B), expert(B, G) -> expert(A, G).`)
+	out, notes := RuleLevelOptimize(p, ics, 0)
+	if len(out.Rules) != 1 {
+		t.Fatalf("rules = %d", len(out.Rules))
+	}
+	experts := 0
+	for _, l := range out.Rules[0].Body {
+		if l.Atom.Pred == "expert" {
+			experts++
+		}
+	}
+	if experts != 1 {
+		t.Fatalf("experts = %d, want 1 after elimination:\n%s\nnotes: %v", experts, out, notes)
+	}
+	// Semantics preserved on a consistent database.
+	db := storage.NewDatabase()
+	db.Add("works_with", ast.Sym("p"), ast.Sym("q"))
+	db.Add("expert", ast.Sym("q"), ast.Sym("db"))
+	db.Add("expert", ast.Sym("p"), ast.Sym("db")) // required by the IC
+	d1, _, err := testutil.RunProgram(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := testutil.RunProgram(out, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.SamePredicate(d1, d2, "covered") {
+		t.Fatalf("differs: %s", testutil.Diff(d1, d2, "covered"))
+	}
+	if d1.Count("covered") != 1 {
+		t.Fatal("expected one covered tuple")
+	}
+}
+
+func TestRuleLevelOptimizeUnrectifiable(t *testing.T) {
+	// A program that cannot be rectified (unsafe after head rewriting)
+	// is returned unchanged with a note.
+	p := &ast.Program{Rules: []ast.Rule{{
+		Label: "r0",
+		Head:  ast.NewAtom("p", ast.Var("X"), ast.Sym("k")),
+		Body:  []ast.Literal{ast.Neg(ast.NewAtom("q", ast.Var("X")))},
+	}}}
+	out, notes := RuleLevelOptimize(p, nil, 0)
+	if len(notes) == 0 {
+		t.Errorf("expected a note; got program:\n%s", out)
+	}
+}

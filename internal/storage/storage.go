@@ -1,0 +1,289 @@
+// Package storage implements the extensional layer of the deductive
+// database: set-semantics relations over ground tuples, per-column hash
+// indexes, and a catalog (Database) keyed by predicate name.
+//
+// Tuples are slices of ground ast.Term values. Relations preserve
+// insertion order (for deterministic iteration) while enforcing set
+// semantics through an encoded-key map. Column indexes are created
+// lazily by the join engine and maintained incrementally afterwards.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Tuple is a ground sequence of terms.
+type Tuple []ast.Term
+
+// Key encodes a tuple as a string usable as a map key. Encoding is
+// injective: each value is tagged with its kind and separated by NUL.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	for _, v := range t {
+		switch x := v.(type) {
+		case ast.Int:
+			sb.WriteByte('i')
+			sb.WriteString(strconv.FormatInt(int64(x), 10))
+		case ast.Sym:
+			sb.WriteByte('s')
+			sb.WriteString(string(x))
+		default:
+			// Variables must never reach storage; make the failure loud.
+			panic(fmt.Sprintf("storage: non-ground term %v in tuple", v))
+		}
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders tuples lexicographically using ast.CompareTerms.
+func (t Tuple) Less(u Tuple) bool {
+	for i := 0; i < len(t) && i < len(u); i++ {
+		switch ast.CompareTerms(t[i], u[i]) {
+		case -1:
+			return true
+		case 1:
+			return false
+		}
+	}
+	return len(t) < len(u)
+}
+
+// String renders the tuple as (a, b, c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a set of equal-arity tuples with optional per-column hash
+// indexes.
+type Relation struct {
+	Name  string
+	Arity int
+
+	tuples  []Tuple
+	present map[string]bool
+	// colIndex[i] maps a column-i value to the positions of tuples
+	// holding it; nil until EnsureIndex(i) is called.
+	colIndex []map[ast.Term][]int
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{
+		Name:     name,
+		Arity:    arity,
+		present:  make(map[string]bool),
+		colIndex: make([]map[ast.Term][]int, arity),
+	}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple if absent; it reports whether the tuple was new.
+// The tuple must have the relation's arity.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("storage: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
+	}
+	k := t.Key()
+	if r.present[k] {
+		return false
+	}
+	r.present[k] = true
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for col, idx := range r.colIndex {
+		if idx != nil {
+			idx[t[col]] = append(idx[t[col]], pos)
+		}
+	}
+	return true
+}
+
+// Contains reports whether the relation holds t.
+func (r *Relation) Contains(t Tuple) bool { return r.present[t.Key()] }
+
+// Tuples returns the backing slice (callers must not mutate it).
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// EnsureIndex builds (if needed) and returns the hash index on column
+// col.
+func (r *Relation) EnsureIndex(col int) map[ast.Term][]int {
+	if r.colIndex[col] == nil {
+		idx := make(map[ast.Term][]int)
+		for pos, t := range r.tuples {
+			idx[t[col]] = append(idx[t[col]], pos)
+		}
+		r.colIndex[col] = idx
+	}
+	return r.colIndex[col]
+}
+
+// Lookup returns the positions of tuples whose column col equals v,
+// using (and building if necessary) the column index.
+func (r *Relation) Lookup(col int, v ast.Term) []int {
+	return r.EnsureIndex(col)[v]
+}
+
+// At returns the tuple at position pos.
+func (r *Relation) At(pos int) Tuple { return r.tuples[pos] }
+
+// Sorted returns the tuples in lexicographic order (a fresh slice).
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep copy (indexes are not copied; they rebuild
+// lazily).
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Name, r.Arity)
+	for _, t := range r.tuples {
+		tt := make(Tuple, len(t))
+		copy(tt, t)
+		out.Insert(tt)
+	}
+	return out
+}
+
+// Database is a catalog of relations keyed by predicate name.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{rels: make(map[string]*Relation)} }
+
+// Relation returns the relation for pred, or nil if absent.
+func (db *Database) Relation(pred string) *Relation { return db.rels[pred] }
+
+// Ensure returns the relation for pred, creating it with the given
+// arity if absent. It panics on an arity clash, which indicates an
+// inconsistent program.
+func (db *Database) Ensure(pred string, arity int) *Relation {
+	if r, ok := db.rels[pred]; ok {
+		if r.Arity != arity {
+			panic(fmt.Sprintf("storage: predicate %s used with arities %d and %d", pred, r.Arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(pred, arity)
+	db.rels[pred] = r
+	return r
+}
+
+// Replace installs rel under its name, overwriting any existing
+// relation. It is used by repair utilities that rebuild a relation
+// without some tuples (relations have no delete, matching Datalog's
+// monotone evaluation).
+func (db *Database) Replace(rel *Relation) { db.rels[rel.Name] = rel }
+
+// Add inserts a tuple for pred, creating the relation on first use.
+// It reports whether the tuple was new.
+func (db *Database) Add(pred string, vals ...ast.Term) bool {
+	return db.Ensure(pred, len(vals)).Insert(Tuple(vals))
+}
+
+// AddFact inserts a ground atom.
+func (db *Database) AddFact(a ast.Atom) bool {
+	if !a.IsGround() {
+		panic(fmt.Sprintf("storage: non-ground fact %s", a))
+	}
+	return db.Add(a.Pred, a.Args...)
+}
+
+// Preds returns the predicate names present, sorted.
+func (db *Database) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of tuples stored for pred (0 if absent).
+func (db *Database) Count(pred string) int {
+	if r := db.rels[pred]; r != nil {
+		return r.Len()
+	}
+	return 0
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Database) TotalTuples() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for p, r := range db.rels {
+		out.rels[p] = r.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two databases hold exactly the same relations
+// and tuples (insertion order ignored).
+func (db *Database) Equal(other *Database) bool {
+	if len(db.rels) != len(other.rels) {
+		// Allow empty relations to match missing ones.
+		return db.subset(other) && other.subset(db)
+	}
+	return db.subset(other) && other.subset(db)
+}
+
+func (db *Database) subset(other *Database) bool {
+	for p, r := range db.rels {
+		o := other.rels[p]
+		for _, t := range r.tuples {
+			if o == nil || !o.Contains(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the database deterministically, one fact per line.
+func (db *Database) String() string {
+	var sb strings.Builder
+	for _, p := range db.Preds() {
+		for _, t := range db.rels[p].Sorted() {
+			sb.WriteString(p)
+			sb.WriteString(t.String())
+			sb.WriteString(".\n")
+		}
+	}
+	return sb.String()
+}

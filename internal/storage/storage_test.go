@@ -1,0 +1,199 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func tup(vals ...ast.Term) Tuple { return Tuple(vals) }
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Values that would collide under naive string concatenation.
+	a := tup(ast.Sym("ab"), ast.Sym("c"))
+	b := tup(ast.Sym("a"), ast.Sym("bc"))
+	if a.Key() == b.Key() {
+		t.Error("keys must distinguish (ab,c) from (a,bc)")
+	}
+	c := tup(ast.Int(1))
+	d := tup(ast.Sym("1"))
+	if c.Key() == d.Key() {
+		t.Error("keys must distinguish int 1 from sym \"1\"")
+	}
+}
+
+func TestTupleKeyProperty(t *testing.T) {
+	f := func(x1, x2 int64, s1, s2 string) bool {
+		a := tup(ast.Int(x1), ast.Sym(s1))
+		b := tup(ast.Int(x2), ast.Sym(s2))
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyPanicsOnVariable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Key on a tuple containing a variable must panic")
+		}
+	}()
+	_ = tup(ast.Var("X")).Key()
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation("p", 2)
+	if !r.Insert(tup(ast.Sym("a"), ast.Int(1))) {
+		t.Error("first insert must report new")
+	}
+	if r.Insert(tup(ast.Sym("a"), ast.Int(1))) {
+		t.Error("duplicate insert must report not-new")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(tup(ast.Sym("a"), ast.Int(1))) {
+		t.Error("Contains must find the tuple")
+	}
+	if r.Contains(tup(ast.Sym("b"), ast.Int(1))) {
+		t.Error("Contains must not find absent tuple")
+	}
+}
+
+func TestRelationIndexMaintenance(t *testing.T) {
+	r := NewRelation("p", 2)
+	r.Insert(tup(ast.Sym("a"), ast.Int(1)))
+	// Build the index, then insert more: the index must stay current.
+	if got := len(r.Lookup(0, ast.Sym("a"))); got != 1 {
+		t.Fatalf("lookup a = %d positions", got)
+	}
+	r.Insert(tup(ast.Sym("a"), ast.Int(2)))
+	r.Insert(tup(ast.Sym("b"), ast.Int(3)))
+	if got := len(r.Lookup(0, ast.Sym("a"))); got != 2 {
+		t.Errorf("lookup a after insert = %d positions, want 2", got)
+	}
+	if got := len(r.Lookup(1, ast.Int(3))); got != 1 {
+		t.Errorf("lookup col1=3 = %d positions, want 1", got)
+	}
+	if got := len(r.Lookup(0, ast.Sym("zzz"))); got != 0 {
+		t.Errorf("lookup missing = %d positions", got)
+	}
+	for _, pos := range r.Lookup(0, ast.Sym("a")) {
+		if r.At(pos)[0] != ast.Term(ast.Sym("a")) {
+			t.Error("index points at wrong tuple")
+		}
+	}
+}
+
+func TestRelationArityPanics(t *testing.T) {
+	r := NewRelation("p", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch must panic")
+		}
+	}()
+	r.Insert(tup(ast.Sym("a")))
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	r := NewRelation("p", 1)
+	r.Insert(tup(ast.Sym("b")))
+	r.Insert(tup(ast.Sym("a")))
+	r.Insert(tup(ast.Int(5)))
+	s := r.Sorted()
+	if s[0][0] != ast.Term(ast.Int(5)) || s[1][0] != ast.Term(ast.Sym("a")) || s[2][0] != ast.Term(ast.Sym("b")) {
+		t.Errorf("Sorted = %v", s)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	if db.Relation("p") != nil {
+		t.Error("missing relation must be nil")
+	}
+	db.Add("p", ast.Sym("a"), ast.Int(1))
+	db.Add("p", ast.Sym("a"), ast.Int(1))
+	db.Add("q", ast.Sym("x"))
+	if db.Count("p") != 1 || db.Count("q") != 1 || db.Count("zzz") != 0 {
+		t.Errorf("counts = %d %d %d", db.Count("p"), db.Count("q"), db.Count("zzz"))
+	}
+	if db.TotalTuples() != 2 {
+		t.Errorf("TotalTuples = %d", db.TotalTuples())
+	}
+	preds := db.Preds()
+	if len(preds) != 2 || preds[0] != "p" || preds[1] != "q" {
+		t.Errorf("Preds = %v", preds)
+	}
+}
+
+func TestDatabaseAddFact(t *testing.T) {
+	db := NewDatabase()
+	db.AddFact(ast.NewAtom("p", ast.Sym("a")))
+	if db.Count("p") != 1 {
+		t.Error("AddFact must insert")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddFact of non-ground atom must panic")
+		}
+	}()
+	db.AddFact(ast.NewAtom("p", ast.Var("X")))
+}
+
+func TestDatabaseCloneAndEqual(t *testing.T) {
+	db := NewDatabase()
+	db.Add("p", ast.Sym("a"))
+	db.Add("q", ast.Int(1), ast.Int(2))
+	c := db.Clone()
+	if !db.Equal(c) || !c.Equal(db) {
+		t.Error("clone must be Equal")
+	}
+	c.Add("p", ast.Sym("b"))
+	if db.Equal(c) {
+		t.Error("after divergence, Equal must fail")
+	}
+	// An empty relation should not break equality with a missing one.
+	d := db.Clone()
+	d.Ensure("empty", 1)
+	if !db.Equal(d) || !d.Equal(db) {
+		t.Error("empty relation must compare equal to absent relation")
+	}
+}
+
+func TestDatabaseString(t *testing.T) {
+	db := NewDatabase()
+	db.Add("p", ast.Sym("b"))
+	db.Add("p", ast.Sym("a"))
+	want := "p(a).\np(b).\n"
+	if got := db.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEnsureArityClash(t *testing.T) {
+	db := NewDatabase()
+	db.Ensure("p", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("arity clash must panic")
+		}
+	}()
+	db.Ensure("p", 3)
+}
+
+func TestTupleLess(t *testing.T) {
+	a := tup(ast.Int(1), ast.Sym("a"))
+	b := tup(ast.Int(1), ast.Sym("b"))
+	if !a.Less(b) || b.Less(a) {
+		t.Error("lexicographic order broken")
+	}
+	short := tup(ast.Int(1))
+	if !short.Less(a) {
+		t.Error("prefix must order first")
+	}
+	if a.Less(a) {
+		t.Error("irreflexive")
+	}
+}

@@ -1,0 +1,163 @@
+package subsume
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// clausePair generates small random clauses over shared pools.
+type clausePair struct{ C, D []ast.Atom }
+
+func genClause(rng *rand.Rand, varPrefix string) []ast.Atom {
+	preds := []string{"a", "b", "c"}
+	mkTerm := func() ast.Term {
+		switch rng.Intn(3) {
+		case 0:
+			return ast.Var(ast.Var(varPrefix + string(rune('A'+rng.Intn(4)))))
+		case 1:
+			return ast.Sym(string(rune('s' + rng.Intn(3))))
+		default:
+			return ast.Int(int64(rng.Intn(3)))
+		}
+	}
+	n := 1 + rng.Intn(3)
+	out := make([]ast.Atom, n)
+	for i := range out {
+		args := make([]ast.Term, 1+rng.Intn(2))
+		for j := range args {
+			args[j] = mkTerm()
+		}
+		out[i] = ast.Atom{Pred: preds[rng.Intn(len(preds))], Args: args}
+	}
+	return out
+}
+
+// Generate implements quick.Generator.
+func (clausePair) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(clausePair{C: genClause(rng, "P"), D: genClause(rng, "Q")})
+}
+
+// Soundness: every match returned by AllMaximal really maps each
+// pattern atom onto the claimed target atom.
+func TestQuickAllMaximalSound(t *testing.T) {
+	prop := func(p clausePair) bool {
+		for _, m := range AllMaximal(p.C, p.D) {
+			for i, a := range p.C {
+				ti := m.AtomMap[i]
+				if ti < 0 || ti >= len(p.D) {
+					return false
+				}
+				if !m.Theta.ApplyAtom(a).Equal(p.D[ti]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reflexivity: every clause subsumes itself (identity mapping).
+func TestQuickSubsumesReflexive(t *testing.T) {
+	prop := func(p clausePair) bool {
+		_, ok := Subsumes(p.C, p.C)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity: adding atoms to the target can only preserve
+// subsumption.
+func TestQuickSubsumesMonotone(t *testing.T) {
+	prop := func(p clausePair) bool {
+		if _, ok := Subsumes(p.C, p.D); !ok {
+			return true
+		}
+		bigger := append(append([]ast.Atom{}, p.D...), genClause(rand.New(rand.NewSource(1)), "R")...)
+		_, ok := Subsumes(p.C, bigger)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Partial subsumption dominates: Partial's matched count is maximal,
+// so no AllMaximal-style submatch can beat it, and whenever full
+// subsumption holds Partial matches everything.
+func TestQuickPartialDominates(t *testing.T) {
+	prop := func(p clausePair) bool {
+		full := len(AllMaximal(p.C, p.D)) > 0
+		part := Partial(p.C, p.D)
+		if full {
+			if len(part) == 0 || part[0].Matched() != len(p.C) {
+				return false
+			}
+		}
+		for _, m := range part {
+			if m.Matched() > len(p.C) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The expanded form is always linear in its database-atom arguments
+// (each position a fresh variable) and logically records the erased
+// structure as equalities.
+func TestQuickExpandedFormShape(t *testing.T) {
+	prop := func(p clausePair) bool {
+		ic := ast.IC{Label: "ic", Body: nil}
+		for _, a := range p.C {
+			ic.Body = append(ic.Body, ast.Pos(a))
+		}
+		e := ExpandedForm(ic)
+		seen := map[ast.Term]bool{}
+		eq := 0
+		for _, l := range e.Body {
+			if l.Atom.Pred == ast.OpEq {
+				eq++
+				continue
+			}
+			for _, arg := range l.Atom.Args {
+				if _, isVar := arg.(ast.Var); !isVar {
+					return false
+				}
+				if seen[arg] {
+					return false
+				}
+				seen[arg] = true
+			}
+		}
+		// One equality per erased constant or repeated variable.
+		erased := 0
+		vseen := map[ast.Term]bool{}
+		for _, a := range p.C {
+			for _, arg := range a.Args {
+				if _, isVar := arg.(ast.Var); !isVar {
+					erased++
+				} else if vseen[arg] {
+					erased++
+				} else {
+					vseen[arg] = true
+				}
+			}
+		}
+		return eq == erased
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}

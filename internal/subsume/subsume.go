@@ -1,0 +1,302 @@
+// Package subsume implements the subsumption machinery of §2 of the
+// paper: clause subsumption, partial subsumption with residue
+// extraction (Chakravarthy, Grant & Minker), the *expanded form* of an
+// integrity constraint, and the paper's *free* variant, where the IC is
+// matched as written (no expansion), so the residues never acquire
+// equality conditions and — under maximal subsumption — contain only
+// evaluable literals in their bodies.
+package subsume
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Match is one way of mapping a list of pattern atoms into a target
+// conjunction. Theta binds pattern variables only (one-way matching).
+// AtomMap[i] is the index of the target atom that pattern atom i was
+// mapped to, or -1 if the atom was skipped (partial subsumption).
+type Match struct {
+	Theta   ast.Subst
+	AtomMap []int
+}
+
+// Matched counts the mapped pattern atoms.
+func (m Match) Matched() int {
+	n := 0
+	for _, t := range m.AtomMap {
+		if t >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// key produces a canonical signature for deduplication.
+func (m Match) key() string {
+	var sb strings.Builder
+	for _, t := range m.AtomMap {
+		sb.WriteString(strconv.Itoa(t))
+		sb.WriteByte(',')
+	}
+	sb.WriteString(m.Theta.String())
+	return sb.String()
+}
+
+// AllMaximal returns every substitution under which *all* pattern atoms
+// map into target (the paper's maximal free subsumption when patterns
+// are the IC's database atoms and target is an expansion sequence's
+// database atoms). Matching is one-way: only pattern variables are
+// bound. Non-injective maps (two patterns onto one target atom) are
+// permitted, as in standard θ-subsumption.
+func AllMaximal(patterns, target []ast.Atom) []Match {
+	return match(patterns, target, false)
+}
+
+// Partial returns the matches that map a maximum number of pattern
+// atoms into target (Chakravarthy-style partial subsumption). If not
+// even one atom can be mapped, it returns nil.
+func Partial(patterns, target []ast.Atom) []Match {
+	all := match(patterns, target, true)
+	best := 0
+	for _, m := range all {
+		if m.Matched() > best {
+			best = m.Matched()
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	var out []Match
+	for _, m := range all {
+		if m.Matched() == best {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// match runs the backtracking matcher. When allowSkip is false every
+// pattern atom must be mapped.
+func match(patterns, target []ast.Atom, allowSkip bool) []Match {
+	var out []Match
+	seen := make(map[string]bool)
+	theta := ast.NewSubst()
+	atomMap := make([]int, len(patterns))
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(patterns) {
+			m := Match{Theta: theta.Clone(), AtomMap: append([]int(nil), atomMap...)}
+			// Restrict theta to pattern variables for a canonical key.
+			if k := m.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, m)
+			}
+			return
+		}
+		for ti, tAtom := range target {
+			saved := theta.Clone()
+			if ast.MatchAtom(theta, patterns[i], tAtom) {
+				atomMap[i] = ti
+				rec(i + 1)
+			}
+			// Roll back.
+			for k := range theta {
+				delete(theta, k)
+			}
+			for k, v := range saved {
+				theta[k] = v
+			}
+		}
+		if allowSkip {
+			atomMap[i] = -1
+			rec(i + 1)
+			atomMap[i] = 0
+		}
+	}
+	rec(0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Matched() > out[j].Matched() })
+	return out
+}
+
+// Subsumes reports whether clause c θ-subsumes clause d: some
+// substitution maps every atom of c into d. It is the classical test
+// used to compare conjunctive queries.
+func Subsumes(c, d []ast.Atom) (ast.Subst, bool) {
+	ms := AllMaximal(c, d)
+	if len(ms) == 0 {
+		return nil, false
+	}
+	return ms[0].Theta, true
+}
+
+// ExpandedForm rewrites ic so that no constant appears among the
+// arguments of a database atom and every such argument is a distinct
+// variable, adding the corresponding equality literals (Chakravarthy et
+// al.; see Example 2.1 of the paper). Evaluable literals and the head
+// are left unchanged.
+func ExpandedForm(ic ast.IC) ast.IC {
+	rn := ast.NewRenamer(ic.VarSet())
+	out := ast.IC{Label: ic.Label}
+	if ic.Head != nil {
+		h := ic.Head.Clone()
+		out.Head = &h
+	}
+	seen := make(map[ast.Var]bool)
+	var equalities []ast.Literal
+	for _, l := range ic.Body {
+		if l.Neg || l.Atom.IsEvaluable() {
+			out.Body = append(out.Body, l.Clone())
+			continue
+		}
+		a := l.Atom.Clone()
+		for i, t := range a.Args {
+			switch tt := t.(type) {
+			case ast.Var:
+				if seen[tt] {
+					fresh := rn.Fresh(string(tt))
+					a.Args[i] = fresh
+					equalities = append(equalities, ast.Pos(ast.NewAtom(ast.OpEq, fresh, tt)))
+				} else {
+					seen[tt] = true
+				}
+			default:
+				fresh := rn.Fresh("C")
+				a.Args[i] = fresh
+				equalities = append(equalities, ast.Pos(ast.NewAtom(ast.OpEq, fresh, tt)))
+			}
+		}
+		out.Body = append(out.Body, ast.Pos(a))
+	}
+	out.Body = append(out.Body, equalities...)
+	return out
+}
+
+// Residue is the part of an IC left over after a (partial) subsumption:
+// the unmatched body literals and the head, instantiated by the
+// subsuming substitution. For *free maximal* subsumption the body
+// contains only evaluable literals; for partial subsumption it may also
+// contain database atoms (which make the residue unusable for
+// query-independent optimization, per §3).
+type Residue struct {
+	IC    ast.IC    // the originating constraint
+	Theta ast.Subst // the subsuming substitution
+	Body  []ast.Literal
+	Head  *ast.Atom // nil for a denial residue
+}
+
+// String renders the residue as "body -> head." with an empty body
+// printed as "true".
+func (r Residue) String() string {
+	var sb strings.Builder
+	if len(r.Body) == 0 {
+		sb.WriteString("true")
+	} else {
+		sb.WriteString(ast.BodyString(r.Body))
+	}
+	sb.WriteString(" -> ")
+	if r.Head != nil {
+		sb.WriteString(r.Head.String())
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}
+
+// IsNull reports whether the residue has an empty head (a denial):
+// whenever its body holds, the matched conjunction is unsatisfiable.
+func (r Residue) IsNull() bool { return r.Head == nil }
+
+// IsUnconditional reports whether the residue has an empty body.
+func (r Residue) IsUnconditional() bool { return len(r.Body) == 0 }
+
+// ResidueOf builds the residue of ic under match m computed against
+// ic's database atoms: the evaluable body literals and any *skipped*
+// database atoms are instantiated by θ, as is the head. Unmatched IC
+// variables remain as (free) variables of the residue, as in Example
+// 3.1, where the residue head keeps the fresh variable V7.
+func ResidueOf(ic ast.IC, m Match) Residue {
+	res := Residue{IC: ic, Theta: m.Theta}
+	dbIdx := 0
+	for _, l := range ic.Body {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			if dbIdx < len(m.AtomMap) && m.AtomMap[dbIdx] < 0 {
+				res.Body = append(res.Body, m.Theta.ApplyLiteral(l))
+			}
+			dbIdx++
+			continue
+		}
+		res.Body = append(res.Body, m.Theta.ApplyLiteral(l))
+	}
+	if ic.Head != nil {
+		h := m.Theta.ApplyAtom(*ic.Head)
+		res.Head = &h
+	}
+	return res
+}
+
+// renameApartFrom returns a variant of ic whose variables are disjoint
+// from those of target, so that the subsuming substitution can never
+// chain a pattern binding through an accidentally shared variable name.
+func renameApartFrom(ic ast.IC, target []ast.Atom) ast.IC {
+	shared := false
+	icVars := ic.VarSet()
+	for _, a := range target {
+		for v := range a.VarSet() {
+			if icVars[v] {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		return ic
+	}
+	rn := ast.NewRenamer(icVars)
+	for _, a := range target {
+		rn.Avoid(a.VarSet())
+	}
+	ren, _ := rn.RenameICApart(ic)
+	ren.Label = ic.Label
+	return ren
+}
+
+// FreeMaximalResidues computes the residues of ic against the target
+// conjunction via free maximal subsumption: every database atom of ic
+// must map into target. This is the residue-generation core of §3.
+// The IC is renamed apart from the target first; the returned residues'
+// IC field keeps the original constraint for reporting.
+func FreeMaximalResidues(ic ast.IC, target []ast.Atom) []Residue {
+	work := renameApartFrom(ic, target)
+	matches := AllMaximal(work.DatabaseAtoms(), target)
+	out := make([]Residue, 0, len(matches))
+	for _, m := range matches {
+		r := ResidueOf(work, m)
+		r.IC = ic
+		out = append(out, r)
+	}
+	return out
+}
+
+// PartialResidues computes Chakravarthy-style residues: the maximum
+// number of database atoms of (the expanded form of) ic are mapped into
+// target, and the remainder — equalities, evaluables, skipped atoms,
+// head — forms the residue. Pass expand=false to match the IC as
+// written (free partial subsumption).
+func PartialResidues(ic ast.IC, target []ast.Atom, expand bool) []Residue {
+	src := ic
+	if expand {
+		src = ExpandedForm(ic)
+	}
+	src = renameApartFrom(src, target)
+	matches := Partial(src.DatabaseAtoms(), target)
+	out := make([]Residue, 0, len(matches))
+	for _, m := range matches {
+		r := ResidueOf(src, m)
+		r.IC = ic
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+package subsume
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/unfold"
+)
+
+func mustIC(t *testing.T, src string) ast.IC {
+	t.Helper()
+	ic, err := parser.ParseIC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func mustRect(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rect
+}
+
+func atoms(t *testing.T, srcs ...string) []ast.Atom {
+	t.Helper()
+	out := make([]ast.Atom, len(srcs))
+	for i, s := range srcs {
+		a, err := parser.ParseAtom(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+func TestSubsumesBasic(t *testing.T) {
+	c := atoms(t, "p(X, Y)")
+	d := atoms(t, "p(a, b)", "q(c)")
+	theta, ok := Subsumes(c, d)
+	if !ok {
+		t.Fatal("p(X,Y) must subsume p(a,b)")
+	}
+	if theta.Lookup(ast.Var("X")) != ast.Term(ast.Sym("a")) {
+		t.Errorf("theta = %v", theta)
+	}
+	if _, ok := Subsumes(atoms(t, "p(X, X)"), d); ok {
+		t.Error("p(X,X) must not subsume p(a,b)")
+	}
+	// Non-injective mapping is allowed: both patterns onto one atom.
+	if _, ok := Subsumes(atoms(t, "p(X, Y)", "p(U, V)"), atoms(t, "p(a, b)")); !ok {
+		t.Error("two patterns may map onto one target atom")
+	}
+	// Subsumption is one-way: target variables must not be bound.
+	if _, ok := Subsumes(atoms(t, "p(a)"), atoms(t, "p(X)")); ok {
+		t.Error("constant pattern must not subsume variable target")
+	}
+}
+
+func TestAllMaximalEnumeratesAlternatives(t *testing.T) {
+	ms := AllMaximal(atoms(t, "e(X, Y)"), atoms(t, "e(a, b)", "e(b, c)"))
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2", len(ms))
+	}
+	// Deduplication: matching twice in the same way collapses.
+	ms = AllMaximal(atoms(t, "e(X, X)"), atoms(t, "e(a, a)", "e(a, a)"))
+	if len(ms) < 1 {
+		t.Fatal("self-loop must match")
+	}
+}
+
+func TestPartialPrefersMaximum(t *testing.T) {
+	// Patterns a(X), b(X): target has a(1) and b(2) (not chainable) and
+	// a(3), b(3) (chainable). The maximum maps both.
+	target := atoms(t, "a(1)", "b(2)", "a(3)", "b(3)")
+	ms := Partial(atoms(t, "a(X)", "b(X)"), target)
+	if len(ms) == 0 {
+		t.Fatal("expected matches")
+	}
+	for _, m := range ms {
+		if m.Matched() != 2 {
+			t.Errorf("partial kept non-maximum match %v", m.AtomMap)
+		}
+	}
+	// Nothing matchable at all: nil.
+	if ms := Partial(atoms(t, "z(X)"), target); ms != nil {
+		t.Errorf("unmatched pattern must give nil, got %v", ms)
+	}
+}
+
+func TestExpandedFormExample21(t *testing.T) {
+	// ic: a(V1,V2,V3), b(V2,V4), c(V4,V5,V6) -> d(V6,V7).
+	ic := mustIC(t, "a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).")
+	e := ExpandedForm(ic)
+	// Expanded form: repeated V2 and V4 replaced by fresh vars with two
+	// equalities appended.
+	if got := len(e.Body); got != 5 {
+		t.Fatalf("expanded body size = %d, want 5: %s", got, e)
+	}
+	eqs := 0
+	for _, l := range e.Body {
+		if l.Atom.Pred == ast.OpEq {
+			eqs++
+		}
+	}
+	if eqs != 2 {
+		t.Errorf("equalities = %d, want 2: %s", eqs, e)
+	}
+	// All database-atom argument positions hold distinct variables.
+	seen := make(map[ast.Term]bool)
+	for _, a := range e.DatabaseAtoms() {
+		for _, arg := range a.Args {
+			if _, isVar := arg.(ast.Var); !isVar {
+				t.Errorf("constant %v left in expanded form", arg)
+			}
+			if seen[arg] {
+				t.Errorf("repeated variable %v in expanded form", arg)
+			}
+			seen[arg] = true
+		}
+	}
+	// Head untouched.
+	if !e.Head.Equal(*ic.Head) {
+		t.Errorf("head changed: %s", e.Head)
+	}
+}
+
+func TestExpandedFormConstants(t *testing.T) {
+	ic := mustIC(t, "boss(E, B, executive) -> experienced(B).")
+	e := ExpandedForm(ic)
+	if len(e.DatabaseAtoms()) != 1 {
+		t.Fatalf("expanded = %s", e)
+	}
+	a := e.DatabaseAtoms()[0]
+	if _, isVar := a.Args[2].(ast.Var); !isVar {
+		t.Errorf("constant must be pulled out: %s", e)
+	}
+	found := false
+	for _, l := range e.Body {
+		if l.Atom.Pred == ast.OpEq && l.Atom.Args[1] == ast.Term(ast.Sym("executive")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing equality for constant: %s", e)
+	}
+}
+
+// The program of Example 2.1 / 3.1.
+const ex21Src = `
+p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(Y2, X3), c(Y3, Y4, X5), d(Y5, X6), p(X1, Y2, Y3, Y4, Y5, Y6).
+p(X1, X2, X3, X4, X5, X6) :- e(X1, X2, X3, X4, X5, X6).
+`
+
+const ex21IC = `a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).`
+
+func TestExample21PartialResidueViaExpansion(t *testing.T) {
+	// The expanded IC partially subsumes r0 itself, leaving equality
+	// conditions in the residue (the classical residue of [3]).
+	prog := mustRect(t, ex21Src)
+	ic := mustIC(t, ex21IC)
+	r0, _ := prog.RuleByLabel("r0")
+	res := PartialResidues(ic, r0.DatabaseAtoms(), true)
+	if len(res) == 0 {
+		t.Fatal("expanded IC must partially subsume r0")
+	}
+	// The best match maps all three database atoms (a, b, c) and leaves
+	// the two equalities as the residue body, with head d(...).
+	r := res[0]
+	if r.Head == nil || r.Head.Pred != "d" {
+		t.Fatalf("residue = %s", r)
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("residue body = %s, want two equalities", r)
+	}
+	for _, l := range r.Body {
+		if l.Atom.Pred != ast.OpEq {
+			t.Errorf("unexpected residue literal %s", l)
+		}
+	}
+}
+
+func TestExample21FreeResidues(t *testing.T) {
+	// Free subsumption of the unexpanded IC against r0: V2 must equal
+	// both X2 (via a) and Y2 (via b), so maximal free subsumption fails
+	// on r0 alone.
+	prog := mustRect(t, ex21Src)
+	ic := mustIC(t, ex21IC)
+	r0, _ := prog.RuleByLabel("r0")
+	if ms := AllMaximal(ic.DatabaseAtoms(), r0.DatabaseAtoms()); len(ms) != 0 {
+		t.Fatalf("IC must not maximally subsume r0 freely, got %d matches", len(ms))
+	}
+	// Partial free subsumption yields residues containing database
+	// atoms (Example 2.1 lists b(X2,Y3') -> d(X5,V7) among them).
+	res := PartialResidues(ic, r0.DatabaseAtoms(), false)
+	if len(res) == 0 {
+		t.Fatal("free partial subsumption must succeed")
+	}
+	foundBResidue := false
+	for _, r := range res {
+		for _, l := range r.Body {
+			if l.Atom.Pred == "b" {
+				foundBResidue = true
+			}
+		}
+	}
+	if !foundBResidue {
+		t.Errorf("expected a residue with b in its body, got %v", res)
+	}
+}
+
+func TestExample31MaximalSubsumptionNeedsThreeSteps(t *testing.T) {
+	prog := mustRect(t, ex21Src)
+	ic := mustIC(t, ex21IC)
+	for _, tc := range []struct {
+		seq  unfold.Sequence
+		want int
+	}{
+		{unfold.Sequence{"r0"}, 0},
+		{unfold.Sequence{"r0", "r0"}, 0},
+		{unfold.Sequence{"r0", "r0", "r0"}, 1},
+	} {
+		u, err := unfold.Unfold(prog, tc.seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var target []ast.Atom
+		for _, l := range u.DatabaseAtoms() {
+			target = append(target, l.Atom)
+		}
+		res := FreeMaximalResidues(ic, target)
+		if len(res) != tc.want {
+			t.Errorf("sequence %s: %d residues, want %d", tc.seq, len(res), tc.want)
+			continue
+		}
+		if tc.want == 1 {
+			r := res[0]
+			// Residue: -> d(X5, V7): empty body, head d, first arg the
+			// head variable X5 of the unfolding.
+			if !r.IsUnconditional() || r.IsNull() || r.Head.Pred != "d" {
+				t.Fatalf("residue = %s", r)
+			}
+			if r.Head.Args[0] != ast.Term(ast.HeadVar(5)) {
+				t.Errorf("residue head = %s, want first arg X5", r.Head)
+			}
+		}
+	}
+}
+
+// Example 3.2: the eval program and the expertise-transitivity IC.
+const evalSrc = `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+`
+
+const evalIC = `works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`
+
+func TestExample32PartialResidueIsTrivial(t *testing.T) {
+	// The classical (expanded) partial subsumption against r1 alone
+	// produces the trivial residue P = P0 -> expert(P, F): an equality
+	// between two distinct rule variables, useless for optimization.
+	prog := mustRect(t, evalSrc)
+	ic := mustIC(t, evalIC)
+	r1, _ := prog.RuleByLabel("r1")
+	res := PartialResidues(ic, r1.DatabaseAtoms(), true)
+	if len(res) == 0 {
+		t.Fatal("expanded IC must partially subsume r1")
+	}
+	best := res[0]
+	// Both database atoms map; residue body is the equality P1 = P
+	// (the paper's P = P0 after renaming). Head is expert.
+	if best.Head == nil || best.Head.Pred != "expert" {
+		t.Fatalf("residue = %s", best)
+	}
+	if len(best.Body) != 1 || best.Body[0].Atom.Pred != ast.OpEq {
+		t.Fatalf("residue body = %s, want a single equality", best)
+	}
+}
+
+func TestExample32FreeMaximalOnR1R1(t *testing.T) {
+	prog := mustRect(t, evalSrc)
+	ic := mustIC(t, evalIC)
+	// r1 alone: no maximal free subsumption (expert's first argument
+	// cannot be the same professor as works_with's second).
+	u1, _ := unfold.Unfold(prog, unfold.Sequence{"r1"})
+	if res := FreeMaximalResidues(ic, atomsOf(u1)); len(res) != 0 {
+		t.Fatalf("r1: unexpected residues %v", res)
+	}
+	// r1 r1: works_with of step 1 chains into expert of step 2, giving
+	// the unconditional fact residue -> expert(P, F2).
+	u2, _ := unfold.Unfold(prog, unfold.Sequence{"r1", "r1"})
+	res := FreeMaximalResidues(ic, atomsOf(u2))
+	if len(res) != 1 {
+		t.Fatalf("r1 r1: %d residues, want 1", len(res))
+	}
+	r := res[0]
+	if !r.IsUnconditional() || r.Head == nil || r.Head.Pred != "expert" {
+		t.Fatalf("residue = %s", r)
+	}
+	// The head's first argument is the outer professor: the unfolding
+	// head's X1.
+	if r.Head.Args[0] != ast.Term(ast.HeadVar(1)) {
+		t.Errorf("residue head = %s, want first arg X1", r.Head)
+	}
+}
+
+func atomsOf(u *unfold.Unfolding) []ast.Atom {
+	var out []ast.Atom
+	for _, l := range u.DatabaseAtoms() {
+		out = append(out, l.Atom)
+	}
+	return out
+}
+
+func TestResidueOfDenial(t *testing.T) {
+	// Example 4.3's IC is a denial; its residue must be null.
+	ic := mustIC(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)
+	prog := mustRect(t, `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+`)
+	u, err := unfold.Unfold(prog, unfold.Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := FreeMaximalResidues(ic, atomsOf(u))
+	if len(res) == 0 {
+		t.Fatal("denial must maximally subsume r1 r1 r1")
+	}
+	r := res[0]
+	if !r.IsNull() {
+		t.Fatalf("residue = %s, want null", r)
+	}
+	if len(r.Body) != 1 || r.Body[0].Atom.Pred != ast.OpLe {
+		t.Fatalf("residue body = %s, want Ya <= 50", r)
+	}
+	// The condition constrains the head variable X4 (= Ya).
+	if r.Body[0].Atom.Args[0] != ast.Term(ast.HeadVar(4)) {
+		t.Errorf("condition = %s, want on X4", r.Body[0])
+	}
+}
+
+func TestResidueStringForms(t *testing.T) {
+	h := ast.NewAtom("d", ast.Var("X"))
+	r := Residue{Head: &h}
+	if got := r.String(); got != "true -> d(X)." {
+		t.Errorf("String = %q", got)
+	}
+	r2 := Residue{Body: []ast.Literal{ast.Pos(ast.NewAtom(ast.OpGt, ast.Var("X"), ast.Int(5)))}}
+	if got := r2.String(); got != "X > 5 -> ." {
+		t.Errorf("String = %q", got)
+	}
+	if !r2.IsNull() || r2.IsUnconditional() {
+		t.Error("classification broken")
+	}
+}
+
+func TestMatchKeyDedup(t *testing.T) {
+	// Two distinct target atoms with identical content cannot occur in
+	// set semantics, but identical matches arising from symmetric
+	// targets must deduplicate by (theta, atom map).
+	ms := AllMaximal(atoms(t, "e(X, Y)", "e(Y, X)"), atoms(t, "e(a, b)", "e(b, a)"))
+	keys := make(map[string]bool)
+	for _, m := range ms {
+		k := m.key()
+		if keys[k] {
+			t.Errorf("duplicate match %s", k)
+		}
+		keys[k] = true
+	}
+	if len(ms) != 2 {
+		t.Errorf("matches = %d, want 2", len(ms))
+	}
+}
+
+func TestPartialResidueKeepsSkippedAtoms(t *testing.T) {
+	ic := mustIC(t, "a(X), b(X), X > 3 -> c(X).")
+	res := PartialResidues(ic, atoms(t, "a(Q)"), false)
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	r := res[0]
+	var preds []string
+	for _, l := range r.Body {
+		preds = append(preds, l.Atom.Pred)
+	}
+	joined := strings.Join(preds, " ")
+	if joined != "b >" {
+		t.Errorf("residue body preds = %q, want skipped b plus evaluable", joined)
+	}
+	if r.Body[0].Atom.Args[0] != ast.Term(ast.Var("Q")) {
+		t.Errorf("skipped atom must be instantiated: %s", r)
+	}
+}

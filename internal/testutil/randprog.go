@@ -1,0 +1,185 @@
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+)
+
+// RandProgramConfig scales RandProgram.
+type RandProgramConfig struct {
+	// Arity of the recursive predicate (2..4 is sensible).
+	Arity int
+	// EDBPreds is the number of extensional predicates to draw from.
+	EDBPreds int
+	// RecRules and ExitRules count the rules generated (at least 1
+	// each).
+	RecRules, ExitRules int
+}
+
+func (c RandProgramConfig) norm() RandProgramConfig {
+	if c.Arity < 2 {
+		c.Arity = 2
+	}
+	if c.EDBPreds < 2 {
+		c.EDBPreds = 2
+	}
+	if c.RecRules < 1 {
+		c.RecRules = 1
+	}
+	if c.ExitRules < 1 {
+		c.ExitRules = 1
+	}
+	return c
+}
+
+// RandProgram generates a random program inside the paper's class: one
+// linearly recursive predicate p, range-restricted and connected rules,
+// EDB subgoals only besides the single recursive occurrence. It also
+// returns the arities of the EDB predicates for database generation.
+func RandProgram(rng *rand.Rand, cfg RandProgramConfig) (*ast.Program, map[string]int) {
+	cfg = cfg.norm()
+	arities := make(map[string]int)
+	edb := make([]string, cfg.EDBPreds)
+	for i := range edb {
+		edb[i] = fmt.Sprintf("e%d", i)
+		arities[edb[i]] = 2 + rng.Intn(2) // arity 2 or 3
+	}
+	// A dedicated base predicate guarantees a productive exit rule.
+	arities["base"] = cfg.Arity
+
+	n := cfg.Arity
+	head := ast.Atom{Pred: "p", Args: make([]ast.Term, n)}
+	for i := range head.Args {
+		head.Args[i] = ast.HeadVar(i + 1)
+	}
+
+	prog := &ast.Program{}
+	// Exit rules: base(X1..Xn) possibly with an extra connected EDB
+	// atom.
+	for r := 0; r < cfg.ExitRules; r++ {
+		body := []ast.Literal{ast.Pos(ast.Atom{Pred: "base", Args: append([]ast.Term(nil), head.Args...)})}
+		if rng.Intn(2) == 0 {
+			e := edb[rng.Intn(len(edb))]
+			args := make([]ast.Term, arities[e])
+			for i := range args {
+				args[i] = head.Args[rng.Intn(n)]
+			}
+			body = append(body, ast.Pos(ast.Atom{Pred: e, Args: args}))
+		}
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head.Clone(), Body: body})
+	}
+	// Recursive rules.
+	for r := 0; r < cfg.RecRules; r++ {
+		var body []ast.Literal
+		// Recursive arguments: pass-throughs or fresh locals.
+		recArgs := make([]ast.Term, n)
+		var localAt []int
+		for i := range recArgs {
+			if rng.Intn(2) == 0 {
+				recArgs[i] = head.Args[i]
+			} else {
+				recArgs[i] = ast.Var(fmt.Sprintf("L%d_%d", r, i))
+				localAt = append(localAt, i)
+			}
+		}
+		// Each local at position i is bound by an EDB atom that also
+		// contains X_i, so every head variable occurs in the body and
+		// the rule stays connected and range-restricted.
+		for _, i := range localAt {
+			e := edb[rng.Intn(len(edb))]
+			args := make([]ast.Term, arities[e])
+			args[0] = head.Args[i]
+			args[len(args)-1] = recArgs[i]
+			for j := 1; j < len(args)-1; j++ {
+				args[j] = head.Args[rng.Intn(n)]
+			}
+			body = append(body, ast.Pos(ast.Atom{Pred: e, Args: args}))
+		}
+		// An extra EDB atom over head variables; mandatory when the
+		// rule would otherwise be the degenerate p :- p identity.
+		if len(localAt) == 0 || rng.Intn(2) == 0 {
+			e := edb[rng.Intn(len(edb))]
+			args := make([]ast.Term, arities[e])
+			for i := range args {
+				args[i] = head.Args[rng.Intn(n)]
+			}
+			body = append(body, ast.Pos(ast.Atom{Pred: e, Args: args}))
+		}
+		body = append(body, ast.Pos(ast.Atom{Pred: "p", Args: recArgs}))
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head.Clone(), Body: body})
+	}
+	prog.EnsureLabels()
+	return prog, arities
+}
+
+// RandChainIC generates a random integrity constraint in the §3 chain
+// class over the given EDB predicates: 1..3 database atoms, consecutive
+// ones sharing exactly one fresh variable, optionally one comparison
+// condition and either no head (denial), a comparison head, or an EDB
+// head sharing a variable with the chain.
+func RandChainIC(rng *rand.Rand, arities map[string]int, label string) ast.IC {
+	var preds []string
+	for p := range arities {
+		preds = append(preds, p)
+	}
+	// Deterministic order for reproducibility under a fixed seed.
+	for i := 1; i < len(preds); i++ {
+		for j := i; j > 0 && preds[j] < preds[j-1]; j-- {
+			preds[j], preds[j-1] = preds[j-1], preds[j]
+		}
+	}
+	fresh := 0
+	newVar := func() ast.Var {
+		fresh++
+		return ast.Var(fmt.Sprintf("V%d", fresh))
+	}
+	k := 1 + rng.Intn(3)
+	var body []ast.Literal
+	var link ast.Var
+	var allVars []ast.Var
+	for i := 0; i < k; i++ {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]ast.Term, arities[p])
+		for j := range args {
+			v := newVar()
+			args[j] = v
+			allVars = append(allVars, v)
+		}
+		if i > 0 {
+			// Share exactly one variable with the previous atom.
+			args[rng.Intn(len(args))] = link
+		}
+		link = args[len(args)-1].(ast.Var)
+		body = append(body, ast.Pos(ast.Atom{Pred: p, Args: args}))
+	}
+	// Optional evaluable condition on some chain variable.
+	if rng.Intn(2) == 0 {
+		v := allVars[rng.Intn(len(allVars))]
+		ops := []string{ast.OpLe, ast.OpGt, ast.OpLt, ast.OpGe}
+		body = append(body, ast.Pos(ast.NewAtom(ops[rng.Intn(len(ops))], v, ast.Int(int64(rng.Intn(8))))))
+	}
+	ic := ast.IC{Label: label, Body: body}
+	switch rng.Intn(3) {
+	case 0:
+		// Denial.
+	case 1:
+		// Comparison head.
+		v := allVars[rng.Intn(len(allVars))]
+		h := ast.NewAtom(ast.OpGe, v, ast.Int(0))
+		ic.Head = &h
+	default:
+		// EDB head sharing one chain variable; other positions fresh
+		// (existential).
+		p := preds[rng.Intn(len(preds))]
+		args := make([]ast.Term, arities[p])
+		for j := range args {
+			args[j] = newVar()
+		}
+		args[rng.Intn(len(args))] = allVars[rng.Intn(len(allVars))]
+		h := ast.Atom{Pred: p, Args: args}
+		ic.Head = &h
+	}
+	return ic
+}

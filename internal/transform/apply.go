@@ -1,0 +1,368 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/residue"
+	"repro/internal/unfold"
+)
+
+// Report describes what Push did to a program.
+type Report struct {
+	Pred     string
+	Seq      unfold.Sequence
+	Applied  []residue.Opportunity
+	Skipped  []string // human-readable reasons
+	RuleDiff int      // rules added minus rules removed
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "isolated %s on %s: %d optimizations applied", r.Seq, r.Pred, len(r.Applied))
+	for _, o := range r.Applied {
+		fmt.Fprintf(&sb, "\n  + %s", o)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&sb, "\n  - skipped: %s", s)
+	}
+	return sb.String()
+}
+
+// taggedLit is a body literal carrying its index in the original
+// unfolding body (-1 for literals added by the transformation), so that
+// elimination targets survive earlier splits.
+type taggedLit struct {
+	lit  ast.Literal
+	orig int
+}
+
+// variant is one split copy of the big rule under construction.
+type variant struct {
+	body []taggedLit
+}
+
+func (v variant) clone() variant {
+	out := variant{body: make([]taggedLit, len(v.body))}
+	for i, tl := range v.body {
+		out.body[i] = taggedLit{lit: tl.lit.Clone(), orig: tl.orig}
+	}
+	return out
+}
+
+// Push isolates the common sequence of the opportunities and pushes
+// each of them into the isolated (flat) big rule, following §4:
+//
+//   - atom elimination of A under condition E: one copy with E added
+//     and A removed, plus copies covering ¬E;
+//   - atom introduction of A under condition E: one copy with A added,
+//     plus copies covering ¬E (for unconditional residues, A is simply
+//     added);
+//   - subtree pruning under condition E: the big rule is constrained to
+//     ¬E (unconditional: the big rule is deleted).
+//
+// A conjunction E = e1 ∧ … ∧ em is split disjointly: the i-th ¬E copy
+// carries e1, …, e_{i-1}, ¬e_i, so the union of all copies is exactly
+// the original rule's derivations. All opportunities must target the
+// same predicate and sequence; incompatible ones are reported in
+// Report.Skipped.
+func Push(p *ast.Program, ops []residue.Opportunity) (*ast.Program, Report, error) {
+	if len(ops) == 0 {
+		return nil, Report{}, fmt.Errorf("transform: no opportunities to push")
+	}
+	seq := ops[0].Seq
+	iso, err := IsolateFlat(p, seq)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep := Report{Pred: iso.Pred, Seq: seq}
+
+	big, _ := iso.Prog.RuleByLabel(iso.BigLabel)
+	base := variant{}
+	for i, l := range iso.U.Body {
+		base.body = append(base.body, taggedLit{lit: l.Literal.Clone(), orig: i})
+	}
+	if iso.U.Recursive != nil {
+		base.body = append(base.body, taggedLit{lit: ast.Pos(iso.U.Recursive.Clone()), orig: -1})
+	}
+	variants := []variant{base}
+	deleted := false
+
+	// devEdits collects prunes whose sequence deviates from the
+	// isolated one only at the last rule and is the *only* possible
+	// deviation there: the prune can then be folded into that
+	// deviation rule (Example 4.3's r1 r1 r0 variant of the r1 r1 r1
+	// pruning lands on the dev3 rule).
+	devEdits := make(map[string][]residue.Opportunity)
+
+	for _, op := range ops {
+		if !op.Seq.Equal(seq) {
+			if label, ok := deviationTarget(p, iso, op); ok {
+				devEdits[label] = append(devEdits[label], op)
+				rep.Applied = append(rep.Applied, op)
+				continue
+			}
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: different sequence (isolated %s)", op, seq))
+			continue
+		}
+		if deleted {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: sequence already pruned unconditionally", op))
+			continue
+		}
+		switch op.Kind {
+		case residue.Prune:
+			if len(op.Condition) == 0 {
+				variants = nil
+				deleted = true
+				rep.Applied = append(rep.Applied, op)
+				continue
+			}
+			var next []variant
+			for _, v := range variants {
+				next = append(next, negativeSplits(v, op.Condition)...)
+			}
+			variants = next
+			rep.Applied = append(rep.Applied, op)
+
+		case residue.Eliminate:
+			var next []variant
+			applied := false
+			for _, v := range variants {
+				idx := -1
+				for i, tl := range v.body {
+					if tl.orig == op.Target {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					// The atom is already gone in this copy; keep as is.
+					next = append(next, v)
+					continue
+				}
+				applied = true
+				// Positive copy: condition added, atom removed.
+				pos := v.clone()
+				pos.body = append(pos.body[:idx], pos.body[idx+1:]...)
+				for _, e := range op.Condition {
+					pos.body = append(pos.body, taggedLit{lit: e.Clone(), orig: -1})
+				}
+				next = append(next, pos)
+				// Negative copies keep the atom.
+				next = append(next, negativeSplits(v, op.Condition)...)
+			}
+			if applied {
+				variants = next
+				rep.Applied = append(rep.Applied, op)
+			} else {
+				rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: target atom not present in any copy", op))
+			}
+
+		case residue.Introduce:
+			var next []variant
+			for _, v := range variants {
+				pos := v.clone()
+				pos.body = append(pos.body, taggedLit{lit: ast.Pos(op.Atom.Clone()), orig: -1})
+				next = append(next, pos)
+				next = append(next, negativeSplits(v, op.Condition)...)
+			}
+			variants = next
+			rep.Applied = append(rep.Applied, op)
+
+		default:
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: unknown kind", op))
+		}
+	}
+
+	// Rebuild the program with the big rule replaced by its variants
+	// and deviation rules constrained by their folded prunes.
+	out := &ast.Program{}
+	for _, r := range iso.Prog.Rules {
+		if edits, ok := devEdits[r.Label]; ok {
+			devVariants := []variant{ruleVariant(r)}
+			for _, op := range edits {
+				if len(op.Condition) == 0 {
+					devVariants = nil
+					break
+				}
+				var next []variant
+				for _, v := range devVariants {
+					next = append(next, negativeSplits(v, op.Condition)...)
+				}
+				devVariants = next
+			}
+			for vi, v := range devVariants {
+				label := r.Label
+				if len(devVariants) > 1 {
+					label = fmt.Sprintf("%s_%d", r.Label, vi)
+				}
+				body := make([]ast.Literal, len(v.body))
+				for i, tl := range v.body {
+					body[i] = tl.lit
+				}
+				out.Rules = append(out.Rules, ast.Rule{Label: label, Head: r.Head.Clone(), Body: body})
+			}
+			continue
+		}
+		if r.Label != iso.BigLabel {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		for vi, v := range variants {
+			body := make([]ast.Literal, len(v.body))
+			for i, tl := range v.body {
+				body[i] = tl.lit
+			}
+			label := iso.BigLabel
+			if len(variants) > 1 {
+				label = fmt.Sprintf("%s_%d", iso.BigLabel, vi)
+			}
+			rule := ast.Rule{Label: label, Head: big.Head.Clone(), Body: body}
+			// Atom elimination can strand an existential partner atom
+			// (dropping expert(X1,F) leaves field(X3,F) with F used
+			// nowhere else, folded onto the surviving field atom);
+			// conjunctive-query minimization (Sagiv [13]) removes it.
+			rule = MinimizeRule(rule)
+			out.Rules = append(out.Rules, rule)
+		}
+	}
+	// After an unconditional prune deletes the isolated rule, auxiliary
+	// predicates can become unreachable; the paper notes the cascade
+	// ("once the rule for p_{k-1} is deleted every rule making use of
+	// p_{k-1} can be deleted"). Keep exactly the rules reachable from
+	// the original program's predicates.
+	if deleted {
+		out = retainReachable(out, p)
+	}
+	out.EnsureLabels()
+	rep.RuleDiff = len(out.Rules) - len(p.Rules)
+	return out, rep, nil
+}
+
+// retainReachable drops rules of auxiliary predicates that no original
+// predicate can reach anymore.
+func retainReachable(out, original *ast.Program) *ast.Program {
+	need := make(map[string]bool)
+	for pred := range original.IDBPreds() {
+		for _, r := range out.Reachable(pred).Rules {
+			need[r.Head.Pred] = true
+		}
+		need[pred] = true
+	}
+	trimmed := &ast.Program{}
+	for _, r := range out.Rules {
+		if need[r.Head.Pred] {
+			trimmed.Rules = append(trimmed.Rules, r.Clone())
+		}
+	}
+	return trimmed
+}
+
+// ruleVariant views a rule's body as a variant (all literals tagged as
+// transformation-added, since deviation-rule edits never target
+// unfolding indices).
+func ruleVariant(r ast.Rule) variant {
+	v := variant{}
+	for _, l := range r.Body {
+		v.body = append(v.body, taggedLit{lit: l.Clone(), orig: -1})
+	}
+	return v
+}
+
+// deviationTarget decides whether op can be folded into a deviation
+// rule of the isolation: op must be a pruning whose sequence agrees
+// with the isolated one except at the last position, the isolation's
+// position-k deviation must have op's last rule as its only
+// alternative, and op's condition variables must all be visible in the
+// deviation rule's body (the shared unfolded prefix guarantees this
+// for conditions over prefix steps; the check below keeps the fold
+// sound if they are not).
+func deviationTarget(p *ast.Program, iso *Isolated, op residue.Opportunity) (string, bool) {
+	if op.Kind != residue.Prune {
+		return "", false
+	}
+	k := len(iso.Seq)
+	if len(op.Seq) != k || k < 2 {
+		return "", false
+	}
+	for i := 0; i < k-1; i++ {
+		if op.Seq[i] != iso.Seq[i] {
+			return "", false
+		}
+	}
+	if op.Seq[k-1] == iso.Seq[k-1] {
+		return "", false
+	}
+	// The only rule for the predicate other than iso.Seq[k-1] must be
+	// op.Seq[k-1]; otherwise the deviation rule covers other branches
+	// the pruning does not license.
+	for _, r := range p.RulesFor(iso.Pred) {
+		if r.IsFact() {
+			continue
+		}
+		if r.Label != iso.Seq[k-1] && r.Label != op.Seq[k-1] {
+			return "", false
+		}
+	}
+	label := fmt.Sprintf("dev%d", k)
+	dev, ok := iso.Prog.RuleByLabel(label)
+	if !ok {
+		return "", false
+	}
+	devVars := ast.BodyVars(dev.Body)
+	for v := range dev.Head.VarSet() {
+		devVars[v] = true
+	}
+	for _, l := range op.Condition {
+		for v := range l.Atom.VarSet() {
+			if !devVars[v] {
+				return "", false
+			}
+		}
+	}
+	return label, true
+}
+
+// negativeSplits returns the copies of v covering ¬(e1 ∧ … ∧ em)
+// disjointly: copy i carries e1..e_{i-1} and ¬e_i. An empty condition
+// yields no copies (¬true = false).
+func negativeSplits(v variant, cond []ast.Literal) []variant {
+	var out []variant
+	for i := range cond {
+		c := v.clone()
+		for j := 0; j < i; j++ {
+			c.body = append(c.body, taggedLit{lit: cond[j].Clone(), orig: -1})
+		}
+		neg := ast.Neg(cond[i].Atom.Clone())
+		if cond[i].Neg {
+			neg = ast.Pos(cond[i].Atom.Clone())
+		}
+		c.body = append(c.body, taggedLit{lit: neg, orig: -1})
+		out = append(out, c)
+	}
+	return out
+}
+
+// GroupBySequence partitions opportunities by (predicate, sequence), in
+// deterministic order, so callers can isolate each sequence once and
+// push its opportunities together.
+func GroupBySequence(ops []residue.Opportunity) [][]residue.Opportunity {
+	groups := make(map[string][]residue.Opportunity)
+	for _, o := range ops {
+		k := o.Unfolding.Head.Pred + "|" + o.Seq.String()
+		groups[k] = append(groups[k], o)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]residue.Opportunity, 0, len(groups))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}

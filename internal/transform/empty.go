@@ -1,0 +1,42 @@
+package transform
+
+import (
+	"repro/internal/ast"
+	"repro/internal/chase"
+)
+
+// ProvablyEmpty reports whether the query "pred(X1..Xn) with the given
+// evaluable filters" can be answered with certainty by "no answers" on
+// every database satisfying the constraints — the fifth fundamental
+// optimization of Chakravarthy et al. that §2 of the paper lists
+// (detecting that queries have no answers by virtue of the ICs), lifted
+// to the recursive case.
+//
+// The decision is sound and incomplete: it pushes the selection into
+// the (ideally already §4-transformed) program, and answers true only
+// when the specialized predicate's rules either vanish by static
+// contradiction or are non-recursive conjunctive queries whose chase
+// under the constraints is inconsistent. A program whose pruned rules
+// carry the negation of the query's own condition (experiment E3's
+// shape) is the intended caller.
+func ProvablyEmpty(p *ast.Program, pred string, filters []ast.Literal, ics []ast.IC, chaseSteps int) (bool, error) {
+	selProg, sel, err := PushSelection(p, pred, filters)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range selProg.RulesFor(sel) {
+		// Any surviving rule that still references an IDB predicate
+		// (the recursion or another derived relation) leaves the
+		// answer open.
+		for _, l := range r.Body {
+			if !l.Atom.IsEvaluable() && selProg.IDBPreds()[l.Atom.Pred] {
+				return false, nil
+			}
+		}
+		unsat, unknown := chase.Unsatisfiable(chase.FromRule(r), ics, chaseSteps)
+		if unknown || !unsat {
+			return false, nil
+		}
+	}
+	return true, nil
+}

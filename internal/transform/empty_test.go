@@ -1,0 +1,89 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/residue"
+	"repro/internal/workload"
+)
+
+// pushGenealogyPrunes runs the §3 analysis on the genealogy scenario
+// and pushes the prunes, preferring the all-recursive sequence.
+func pushGenealogyPrunes(t *testing.T) (*ast.Program, []ast.IC) {
+	t.Helper()
+	s := workload.Genealogy()
+	rect, err := ast.Rectify(s.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _, err := residue.Analyze(rect, "anc", s.ICs, residue.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []residue.Opportunity
+	for _, g := range GroupBySequence(ops) {
+		flat = append(flat, g...)
+	}
+	for i, o := range flat {
+		if o.Seq.String() == "r1 r1 r1" {
+			flat[0], flat[i] = flat[i], flat[0]
+		}
+	}
+	pruned, _, err := Push(rect, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pruned, s.ICs
+}
+
+func TestProvablyEmpty(t *testing.T) {
+	pruned, ics := pushGenealogyPrunes(t)
+
+	// "Young ancestors exist only at shallow depth" — not empty.
+	young := []ast.Literal{lit(t, "X4 <= 50")}
+	empty, err := ProvablyEmpty(pruned, "anc", young, ics, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Error("young ancestors at depth <= 2 are possible: must not be empty")
+	}
+
+	// Contradictory filters: provably empty regardless of recursion.
+	contra := []ast.Literal{lit(t, "X4 <= 50"), lit(t, "X4 > 60")}
+	empty, err = ProvablyEmpty(pruned, "anc", contra, ics, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Error("contradictory filters must be provably empty")
+	}
+
+	// On the ORIGINAL (unpruned) program, the same contradictory query
+	// is also caught (static contradiction), but a merely constrained
+	// one is not decidable because the recursion survives.
+	s := workload.Genealogy()
+	rect, _ := ast.Rectify(s.Program)
+	empty, err = ProvablyEmpty(rect, "anc", contra, ics, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty {
+		t.Error("contradiction must be caught on the original program too")
+	}
+	empty, err = ProvablyEmpty(rect, "anc", young, ics, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty {
+		t.Error("the unpruned recursion must leave the question open")
+	}
+}
+
+func TestProvablyEmptyErrors(t *testing.T) {
+	pruned, ics := pushGenealogyPrunes(t)
+	if _, err := ProvablyEmpty(pruned, "nosuch", nil, ics, 0); err == nil {
+		t.Error("unknown predicate must error")
+	}
+}

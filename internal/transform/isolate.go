@@ -1,0 +1,276 @@
+// Package transform implements §4 of the paper: rewriting a linear
+// recursive program into an equivalent one that isolates a given
+// expansion sequence, and pushing residues into the isolating rules as
+// atom elimination, atom introduction, and subtree pruning.
+//
+// Two isolation back-ends are provided. Isolate is the paper's
+// Algorithm 4.1: auxiliary predicates p_i / q_i with α-rules (follow the
+// sequence), β-rules (follow one more step, then deviate) and γ-rules
+// (deviate now). IsolateFlat is the fixpoint of the algorithm's step
+// (5): the α-chain collapsed into a single unfolded rule plus one
+// deviation rule per position. Both are proof-tree partitions of the
+// original program — every derivation either begins with the full
+// sequence or deviates from it at a unique first position — and are
+// therefore equivalent to it (Theorem 4.1); the equivalence is
+// property-tested over random databases. The flat form makes every
+// variable of the sequence clause visible in one rule, which is what
+// residue pushing needs when a conditional residue's condition and its
+// target atom come from different steps (Example 4.1).
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/unfold"
+)
+
+// auxName builds an auxiliary predicate name that does not collide with
+// any predicate of the program.
+func auxName(p *ast.Program, base string) string {
+	used := make(map[string]bool)
+	for _, pr := range p.Preds() {
+		used[pr] = true
+	}
+	name := base
+	for used[name] {
+		name += "x"
+	}
+	return name
+}
+
+// sequenceRules resolves and validates the rules of a sequence for
+// isolation: every rule must define the same predicate, every non-final
+// rule must be recursive (or the sequence could not continue), and none
+// may be a fact. The final rule may be an exit rule, in which case the
+// isolated clause is a complete proof tree rather than a prefix.
+func sequenceRules(p *ast.Program, seq unfold.Sequence) ([]ast.Rule, string, error) {
+	if len(seq) == 0 {
+		return nil, "", fmt.Errorf("transform: empty sequence")
+	}
+	if !ast.IsRectified(p) {
+		return nil, "", fmt.Errorf("transform: program must be rectified")
+	}
+	rules := make([]ast.Rule, len(seq))
+	for i, label := range seq {
+		r, ok := p.RuleByLabel(label)
+		if !ok {
+			return nil, "", fmt.Errorf("transform: no rule labeled %q", label)
+		}
+		if r.IsFact() {
+			return nil, "", fmt.Errorf("transform: rule %q in sequence is a fact", label)
+		}
+		if i < len(seq)-1 && ast.RecursiveOccurrence(r) < 0 {
+			return nil, "", fmt.Errorf("transform: non-final rule %q in sequence is not recursive", label)
+		}
+		rules[i] = r
+	}
+	pred := rules[0].Head.Pred
+	for i, r := range rules {
+		if r.Head.Pred != pred {
+			return nil, "", fmt.Errorf("transform: rule %q defines %s, sequence is for %s", seq[i], r.Head.Pred, pred)
+		}
+	}
+	return rules, pred, nil
+}
+
+// replaceRecursive returns r's body with the recursive occurrence's
+// predicate renamed to newPred.
+func replaceRecursive(r ast.Rule, newPred string) []ast.Literal {
+	body := ast.CloneBody(r.Body)
+	occ := ast.RecursiveOccurrence(r)
+	if occ >= 0 {
+		body[occ].Atom.Pred = newPred
+	}
+	return body
+}
+
+// Isolate is Algorithm 4.1: it returns a program equivalent to p in
+// which the expansion sequence seq for its predicate is isolated by the
+// α/β/γ-rule construction. Rules defining other predicates are copied
+// unchanged.
+func Isolate(p *ast.Program, seq unfold.Sequence) (*ast.Program, error) {
+	rules, pred, err := sequenceRules(p, seq)
+	if err != nil {
+		return nil, err
+	}
+	k := len(seq)
+
+	// Auxiliary predicate names; p_0 = p_k = q_0 = q_k = pred.
+	pName := make([]string, k+1)
+	qName := make([]string, k+1)
+	pName[0], pName[k], qName[0], qName[k] = pred, pred, pred, pred
+	out := &ast.Program{}
+	for i := 1; i < k; i++ {
+		pName[i] = auxName(p, fmt.Sprintf("%s__p%d", pred, i))
+		qName[i] = auxName(p, fmt.Sprintf("%s__q%d", pred, i))
+	}
+
+	// Rules for predicates other than pred are kept as they are.
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			out.Rules = append(out.Rules, r.Clone())
+		}
+	}
+
+	headFor := func(name string, model ast.Atom) ast.Atom {
+		h := model.Clone()
+		h.Pred = name
+		return h
+	}
+
+	// α-rules: p_{i-1} :- r_{ji} with p replaced by p_i.
+	for i := 1; i <= k; i++ {
+		out.Rules = append(out.Rules, ast.Rule{
+			Label: fmt.Sprintf("alpha%d", i),
+			Head:  headFor(pName[i-1], rules[i-1].Head),
+			Body:  replaceRecursive(rules[i-1], pName[i]),
+		})
+	}
+	// β-rules: p_{i-1} :- r_{ji} with p replaced by q_i. The k-th
+	// β-rule coincides with the k-th α-rule (q_k = p_k = p) and is
+	// omitted.
+	for i := 1; i < k; i++ {
+		out.Rules = append(out.Rules, ast.Rule{
+			Label: fmt.Sprintf("beta%d", i),
+			Head:  headFor(pName[i-1], rules[i-1].Head),
+			Body:  replaceRecursive(rules[i-1], qName[i]),
+		})
+	}
+	// γ-rules: q_{i-1} :- r_l for every rule r_l of pred with l ≠ j_i;
+	// the recursive occurrence (if any) stays p.
+	for i := 1; i <= k; i++ {
+		for _, r := range p.RulesFor(pred) {
+			if r.Label == seq[i-1] {
+				continue
+			}
+			out.Rules = append(out.Rules, ast.Rule{
+				Label: fmt.Sprintf("gamma%d_%s", i, r.Label),
+				Head:  headFor(qName[i-1], r.Head),
+				Body:  ast.CloneBody(r.Body),
+			})
+		}
+	}
+	out.EnsureLabels()
+	return out, nil
+}
+
+// Isolated is the result of IsolateFlat: the transformed program and
+// the label of the "big rule" — the single rule whose body is the
+// sequence clause — which is where residues are pushed.
+type Isolated struct {
+	Prog *ast.Program
+	// BigLabel names the unfolded sequence rule inside Prog.
+	BigLabel string
+	// Pred is the isolated predicate.
+	Pred string
+	// Seq is the isolated sequence.
+	Seq unfold.Sequence
+	// U is the unfolding whose variable namespace the big rule uses.
+	U *unfold.Unfolding
+}
+
+// IsolateFlat returns a program equivalent to p in which the sequence
+// is isolated as one unfolded rule plus first-deviation rules: for each
+// position i, a rule that follows s up to i-1 and then applies any rule
+// other than s[i] (via an auxiliary predicate q_i whose recursive
+// occurrences restart at p).
+func IsolateFlat(p *ast.Program, seq unfold.Sequence) (*Isolated, error) {
+	_, pred, err := sequenceRules(p, seq)
+	if err != nil {
+		return nil, err
+	}
+	k := len(seq)
+	u, err := unfold.Unfold(p, seq)
+	if err != nil {
+		return nil, err
+	}
+	out := &ast.Program{}
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			out.Rules = append(out.Rules, r.Clone())
+		}
+	}
+
+	// The big rule: the sequence clause itself.
+	bigLabel := "seq_" + pred
+	big := u.AsRule(bigLabel)
+	out.Rules = append(out.Rules, big)
+
+	// Deviation rules. Position 1 deviations are inlined: p gets every
+	// rule other than s[0] verbatim. Positions 2..k get an auxiliary
+	// predicate q_i defined by every rule other than s[i-1], reached
+	// through the unfolding of the first i-1 sequence steps.
+	for _, r := range p.RulesFor(pred) {
+		if r.Label == seq[0] {
+			continue
+		}
+		c := r.Clone()
+		c.Label = "dev1_" + r.Label
+		out.Rules = append(out.Rules, c)
+	}
+	for i := 2; i <= k; i++ {
+		prefix, err := unfold.Unfold(p, seq[:i-1])
+		if err != nil {
+			return nil, err
+		}
+		devRule := prefix.AsRule(fmt.Sprintf("dev%d", i))
+		occ := ast.RecursiveOccurrence(devRule)
+		if occ < 0 {
+			return nil, fmt.Errorf("transform: prefix %v has no recursive subgoal", seq[:i-1])
+		}
+		var alts []ast.Rule
+		allNonRec := true
+		for _, r := range p.RulesFor(pred) {
+			if r.Label == seq[i-1] {
+				continue
+			}
+			alts = append(alts, r)
+			if ast.RecursiveOccurrence(r) >= 0 {
+				allNonRec = false
+			}
+		}
+		if allNonRec && len(alts) > 0 {
+			// Inline each non-recursive alternative into the deviation
+			// rule in place of the redirected subgoal: no auxiliary
+			// predicate, and so no materialized copy of the
+			// alternative's relation. A single alternative keeps the
+			// plain dev<i> label (the prune-folding of Push looks it
+			// up by that name).
+			target := devRule.Body[occ].Atom
+			rn := ast.NewRenamer(devRule.VarSet())
+			for ai, alt := range alts {
+				ren, _ := rn.RenameApart(alt)
+				sub := ast.NewSubst()
+				for j, arg := range ren.Head.Args {
+					sub[arg.(ast.Var)] = target.Args[j]
+				}
+				spliced := devRule.Clone()
+				var body []ast.Literal
+				body = append(body, spliced.Body[:occ]...)
+				body = append(body, sub.ApplyBody(ren.Body)...)
+				body = append(body, spliced.Body[occ+1:]...)
+				label := fmt.Sprintf("dev%d", i)
+				if len(alts) > 1 {
+					label = fmt.Sprintf("dev%d_%s", i, alt.Label)
+				}
+				_ = ai
+				out.Rules = append(out.Rules, ast.Rule{Label: label, Head: spliced.Head, Body: body})
+			}
+			continue
+		}
+		// Some alternative is recursive: keep the auxiliary predicate
+		// so its recursion can restart at the original predicate.
+		qi := auxName(p, fmt.Sprintf("%s__dev%d", pred, i))
+		devRule.Body[occ].Atom.Pred = qi
+		out.Rules = append(out.Rules, devRule)
+		for _, r := range alts {
+			c := r.Clone()
+			c.Head.Pred = qi
+			c.Label = fmt.Sprintf("dev%d_%s", i, r.Label)
+			out.Rules = append(out.Rules, c)
+		}
+	}
+	out.EnsureLabels()
+	return &Isolated{Prog: out, BigLabel: bigLabel, Pred: pred, Seq: seq, U: u}, nil
+}

@@ -1,0 +1,46 @@
+package transform
+
+import (
+	"repro/internal/ast"
+	"repro/internal/chase"
+)
+
+// MinimizeRule computes a minimal equivalent of the rule's body by
+// classical conjunctive-query minimization (Sagiv, "Optimizing datalog
+// programs", PODS 1987 — reference [13] of the paper): a positive
+// database literal is dropped when the reduced body still maps
+// homomorphically onto the original with the head fixed. Evaluable and
+// negated literals are never candidates (they are filters, not join
+// atoms), and literals over the rule's own head predicate are kept so
+// the recursive structure is untouched. The §4 pushes call this on
+// every rewritten rule: eliminating an atom can strand an existential
+// partner that only the fold onto its surviving sibling removes.
+func MinimizeRule(r ast.Rule) ast.Rule {
+	out := r.Clone()
+	for changed := true; changed; {
+		changed = false
+		for i, l := range out.Body {
+			if l.Neg || l.Atom.IsEvaluable() || l.Atom.Pred == out.Head.Pred {
+				continue
+			}
+			q := chase.CQ{Head: out.Head, Body: out.Body}
+			red, unknown := chase.AtomRedundant(q, i, nil, 64)
+			if unknown || !red {
+				continue
+			}
+			out.Body = append(out.Body[:i:i], out.Body[i+1:]...)
+			changed = true
+			break
+		}
+	}
+	return out
+}
+
+// MinimizeProgram applies MinimizeRule to every rule.
+func MinimizeProgram(p *ast.Program) *ast.Program {
+	out := &ast.Program{Rules: make([]ast.Rule, 0, len(p.Rules))}
+	for _, r := range p.Rules {
+		out.Rules = append(out.Rules, MinimizeRule(r))
+	}
+	return out
+}

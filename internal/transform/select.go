@@ -1,0 +1,187 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// PushSelection specializes a program for a selective query: it defines
+// a new predicate pred__sel whose rules are pred's rules with the given
+// evaluable filters (over the rectified head variables X1..Xn) appended,
+// dropping any rule whose body becomes statically unsatisfiable. Body
+// occurrences of pred are left pointing at the full relation, which is
+// always sound.
+//
+// On its own this is routine selection pushdown. Combined with §4's
+// subtree pruning it is where the paper's transformation pays off most
+// visibly: a pruned recursive rule carries the negation of the pruning
+// condition, so a query selecting *for* that condition contradicts the
+// rule statically and the recursion disappears from the specialized
+// predicate — the constraint has turned an unbounded recursion into a
+// bounded union of conjunctive queries (see experiment E3).
+//
+// It returns the extended program and the name of the specialized
+// predicate.
+func PushSelection(p *ast.Program, pred string, filters []ast.Literal) (*ast.Program, string, error) {
+	if !ast.IsRectified(p) {
+		return nil, "", fmt.Errorf("transform: program must be rectified")
+	}
+	for _, f := range filters {
+		if !f.Atom.IsEvaluable() {
+			return nil, "", fmt.Errorf("transform: filter %s is not evaluable", f)
+		}
+	}
+	rules := p.RulesFor(pred)
+	if len(rules) == 0 {
+		return nil, "", fmt.Errorf("transform: no rules for %s", pred)
+	}
+	sel := auxName(p, pred+"__sel")
+	out := p.Clone()
+	for _, r := range rules {
+		if r.IsFact() {
+			continue
+		}
+		c := r.Clone()
+		c.Head.Pred = sel
+		c.Label = "sel_" + r.Label
+		c.Body = append(c.Body, ast.CloneBody(filters)...)
+		if UnsatisfiableBody(c.Body) {
+			continue
+		}
+		out.Rules = append(out.Rules, c)
+	}
+	out.EnsureLabels()
+	return out, sel, nil
+}
+
+// UnsatisfiableBody reports whether the conjunction of the body's
+// positive evaluable literals is unsatisfiable, by (i) pairwise
+// contradiction between comparisons over the same two terms and (ii)
+// interval analysis of integer bounds per term. It is sound but
+// incomplete — false means "not provably unsatisfiable".
+func UnsatisfiableBody(body []ast.Literal) bool {
+	type cmp struct {
+		op   string
+		a, b ast.Term
+	}
+	var cmps []cmp
+	for _, l := range body {
+		if l.Neg || !l.Atom.IsEvaluable() || len(l.Atom.Args) != 2 {
+			continue
+		}
+		cmps = append(cmps, cmp{l.Atom.Pred, l.Atom.Args[0], l.Atom.Args[1]})
+	}
+	// Pairwise contradictions over identical term pairs.
+	for i := 0; i < len(cmps); i++ {
+		for j := i + 1; j < len(cmps); j++ {
+			x, y := cmps[i], cmps[j]
+			if x.a == y.a && x.b == y.b && opsContradict(x.op, y.op) {
+				return true
+			}
+			if x.a == y.b && x.b == y.a && opsContradict(x.op, swapCmpOp(y.op)) {
+				return true
+			}
+		}
+	}
+	// Integer interval analysis per term.
+	iv := make(map[ast.Term]*bounds)
+	get := func(t ast.Term) *bounds {
+		if iv[t] == nil {
+			iv[t] = &bounds{}
+		}
+		return iv[t]
+	}
+	for _, c := range cmps {
+		t, op, k := c.a, c.op, c.b
+		if _, ok := c.a.(ast.Int); ok {
+			if _, ok2 := c.b.(ast.Int); !ok2 {
+				t, op, k = c.b, swapCmpOp(c.op), c.a
+			}
+		}
+		n, ok := k.(ast.Int)
+		if !ok {
+			continue
+		}
+		if _, isInt := t.(ast.Int); isInt {
+			continue // ground; the evaluator handles it
+		}
+		v := get(t)
+		switch op {
+		case ast.OpEq:
+			v.tightenLo(int64(n), false)
+			v.tightenHi(int64(n), false)
+		case ast.OpLt:
+			v.tightenHi(int64(n), true)
+		case ast.OpLe:
+			v.tightenHi(int64(n), false)
+		case ast.OpGt:
+			v.tightenLo(int64(n), true)
+		case ast.OpGe:
+			v.tightenLo(int64(n), false)
+		}
+	}
+	for _, v := range iv {
+		if v.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// bounds tracks an integer interval with optional strict endpoints.
+type bounds struct {
+	lo, hi             int64
+	hasLo, hasHi       bool
+	loStrict, hiStrict bool
+}
+
+func (b *bounds) tightenLo(v int64, strict bool) {
+	if !b.hasLo || v > b.lo || (v == b.lo && strict && !b.loStrict) {
+		b.lo, b.loStrict, b.hasLo = v, strict, true
+	}
+}
+
+func (b *bounds) tightenHi(v int64, strict bool) {
+	if !b.hasHi || v < b.hi || (v == b.hi && strict && !b.hiStrict) {
+		b.hi, b.hiStrict, b.hasHi = v, strict, true
+	}
+}
+
+func (b *bounds) empty() bool {
+	if !b.hasLo || !b.hasHi {
+		return false
+	}
+	if b.lo > b.hi {
+		return true
+	}
+	return b.lo == b.hi && (b.loStrict || b.hiStrict)
+}
+
+func opsContradict(a, b string) bool {
+	bad := map[[2]string]bool{
+		{ast.OpEq, ast.OpNe}: true,
+		{ast.OpEq, ast.OpLt}: true,
+		{ast.OpEq, ast.OpGt}: true,
+		{ast.OpLt, ast.OpGt}: true,
+		{ast.OpLt, ast.OpGe}: true,
+		{ast.OpLe, ast.OpGt}: true,
+	}
+	return bad[[2]string{a, b}] || bad[[2]string{b, a}]
+}
+
+// swapCmpOp rewrites "x op y" as the operator of the equivalent
+// "y op' x".
+func swapCmpOp(op string) string {
+	switch op {
+	case ast.OpLt:
+		return ast.OpGt
+	case ast.OpLe:
+		return ast.OpGe
+	case ast.OpGt:
+		return ast.OpLt
+	case ast.OpGe:
+		return ast.OpLe
+	}
+	return op
+}

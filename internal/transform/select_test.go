@@ -1,0 +1,243 @@
+package transform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/residue"
+	"repro/internal/testutil"
+	"repro/internal/workload"
+)
+
+func lit(t *testing.T, src string) ast.Literal {
+	t.Helper()
+	r, err := parser.ParseRule("x(A) :- " + src + ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Body[0]
+}
+
+func TestUnsatisfiableBodyPairwise(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		unsat bool
+	}{
+		{"X > 50", "X <= 50", true},
+		{"X > 50", "X < 50", true},
+		{"X = 5", "X != 5", true},
+		{"X = Y", "X != Y", true},
+		{"X < Y", "Y < X", true}, // swapped-argument contradiction
+		{"X < Y", "X > 50", false},
+		{"X > 50", "X > 60", false},
+		{"X <= Y", "Y <= X", false}, // X = Y satisfies both
+	}
+	for _, c := range cases {
+		body := []ast.Literal{lit(t, c.a), lit(t, c.b)}
+		if got := UnsatisfiableBody(body); got != c.unsat {
+			t.Errorf("%s, %s: unsat = %v, want %v", c.a, c.b, got, c.unsat)
+		}
+	}
+}
+
+func TestUnsatisfiableBodyIntervals(t *testing.T) {
+	cases := []struct {
+		lits  []string
+		unsat bool
+	}{
+		{[]string{"X > 50", "X < 40"}, true},
+		{[]string{"X >= 50", "X <= 49"}, true},
+		{[]string{"X > 50", "X = 20"}, true},
+		{[]string{"50 < X", "X < 40"}, true}, // constant on the left
+		{[]string{"X > 50", "X <= 51"}, false},
+		{[]string{"X > 10", "Y < 5"}, false},
+		{[]string{"X >= 50", "X <= 50"}, false}, // X = 50 works
+		{[]string{"X > 50", "X < 51"}, true},    // hmm: no integer… see below
+	}
+	for _, c := range cases {
+		var body []ast.Literal
+		for _, s := range c.lits {
+			body = append(body, lit(t, s))
+		}
+		got := UnsatisfiableBody(body)
+		// The (50, 51) open interval contains no integer but our
+		// analysis is over ordered values, not integers, so it reports
+		// satisfiable; that is the sound direction. Adjust expectation.
+		if strings.Join(c.lits, ",") == "X > 50,X < 51" {
+			c.unsat = false
+		}
+		if got != c.unsat {
+			t.Errorf("%v: unsat = %v, want %v", c.lits, got, c.unsat)
+		}
+	}
+}
+
+func TestPushSelectionPlain(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	filters := []ast.Literal{lit(t, "X4 <= 50")}
+	out, sel, err := PushSelection(p, "anc", filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != "anc__sel" {
+		t.Errorf("sel = %s", sel)
+	}
+	// Both rules survive (no contradiction without the pruning).
+	if got := len(out.RulesFor(sel)); got != 2 {
+		t.Errorf("sel rules = %d, want 2:\n%s", got, out)
+	}
+	// Answers equal filtering after the fact.
+	rng := rand.New(rand.NewSource(41))
+	db := workload.GenealogyDB(rng, 10, 6)
+	d1, _, err := testutil.RunProgram(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := testutil.RunProgram(out, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tp := range d1.Relation("anc").Tuples() {
+		if v, ok := tp[3].(ast.Int); ok && v <= 50 {
+			want++
+		}
+	}
+	if got := d2.Count(sel); got != want {
+		t.Errorf("sel count = %d, want %d", got, want)
+	}
+}
+
+func TestPushSelectionBoundsPrunedRecursion(t *testing.T) {
+	// The headline effect (experiment E3): after §4 pruning, selecting
+	// for young ancestors contradicts every recursive rule, so the
+	// specialized predicate is non-recursive and evaluates without
+	// computing anc at all.
+	s := workload.Genealogy()
+	rect, err := ast.Rectify(s.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _, err := residue.Analyze(rect, "anc", s.ICs, residue.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := GroupBySequence(ops)
+	var flat []residue.Opportunity
+	for _, g := range ordered {
+		flat = append(flat, g...)
+	}
+	// Put the all-recursive sequence first, as semopt does.
+	for i, o := range flat {
+		if o.Seq.String() == "r1 r1 r1" {
+			flat[0], flat[i] = flat[i], flat[0]
+		}
+	}
+	pruned, _, err := Push(rect, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []ast.Literal{lit(t, "X4 <= 50")}
+	selProg, sel, err := PushSelection(pruned, "anc", filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range selProg.RulesFor(sel) {
+		for _, l := range r.Body {
+			if l.Atom.Pred == "anc" {
+				t.Fatalf("specialized rule still recursive: %s", r)
+			}
+		}
+	}
+	// Compare against filtering the full original computation.
+	rng := rand.New(rand.NewSource(43))
+	db := workload.GenealogyDB(rng, 20, 10)
+	dFull, fullStats, err := testutil.RunProgram(rect, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tp := range dFull.Relation("anc").Tuples() {
+		if v, ok := tp[3].(ast.Int); ok && v <= 50 {
+			want++
+		}
+	}
+	// Evaluate only the specialized predicate's subprogram: drop the
+	// anc rules entirely — the point is they are not needed.
+	sub := &ast.Program{}
+	for _, r := range selProg.Rules {
+		if r.Head.Pred == sel {
+			sub.Rules = append(sub.Rules, r)
+		}
+	}
+	sub.EnsureLabels()
+	work := db.Clone()
+	e := eval.New(sub, work)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := work.Count(sel); got != want {
+		t.Errorf("sel = %d, want %d", got, want)
+	}
+	if e.Stats().Probes >= fullStats.Probes {
+		t.Errorf("bounded query did %d probes, full computation %d — expected far fewer",
+			e.Stats().Probes, fullStats.Probes)
+	}
+}
+
+func TestPushSelectionErrors(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	if _, _, err := PushSelection(p, "nosuch", nil); err == nil {
+		t.Error("unknown predicate must fail")
+	}
+	if _, _, err := PushSelection(p, "anc", []ast.Literal{lit(t, "par(X1, X2, X3, X4)")}); err == nil {
+		t.Error("non-evaluable filter must fail")
+	}
+	raw, _ := parser.ParseProgram(ancSrc)
+	if _, _, err := PushSelection(raw, "anc", nil); err == nil {
+		t.Error("unrectified program must fail")
+	}
+}
+
+func TestMinimizeRule(t *testing.T) {
+	// A duplicated atom folds away.
+	r, _ := parser.ParseRule(`q(X) :- e(X, Y), e(X, Z).`)
+	m := MinimizeRule(r)
+	if len(m.Body) != 1 {
+		t.Errorf("minimized = %s", m)
+	}
+	// A genuinely needed atom stays.
+	r2, _ := parser.ParseRule(`q(X) :- e(X, Y), f(Y).`)
+	if m2 := MinimizeRule(r2); len(m2.Body) != 2 {
+		t.Errorf("minimized = %s", m2)
+	}
+	// Head-predicate (recursive) atoms are never dropped, even when a
+	// homomorphism exists.
+	r3, _ := parser.ParseRule(`tc(X, Y) :- tc(X, Y), tc(X, Z).`)
+	if m3 := MinimizeRule(r3); len(m3.Body) != 2 {
+		t.Errorf("minimized = %s", m3)
+	}
+	// The stranded-existential case from Example 4.2's elimination.
+	r4, _ := parser.ParseRule(`eval(X1, X2, X3) :- works_with(X1, P0), field(X3, F), works_with(P0, P2), expert(P0, F1), field(X3, F1), eval2(P2, X2, X3).`)
+	m4 := MinimizeRule(r4)
+	fields := 0
+	for _, l := range m4.Body {
+		if l.Atom.Pred == "field" {
+			fields++
+		}
+	}
+	if fields != 1 {
+		t.Errorf("stranded field atom not folded: %s", m4)
+	}
+	// MinimizeProgram maps over all rules.
+	p := &ast.Program{Rules: []ast.Rule{r, r2}}
+	p.EnsureLabels()
+	mp := MinimizeProgram(p)
+	if len(mp.Rules[0].Body) != 1 || len(mp.Rules[1].Body) != 2 {
+		t.Errorf("MinimizeProgram = %s", mp)
+	}
+}

@@ -1,0 +1,592 @@
+package transform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/residue"
+	"repro/internal/storage"
+	"repro/internal/testutil"
+	"repro/internal/unfold"
+)
+
+func mustRect(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rect
+}
+
+func mustIC(t *testing.T, src string) ast.IC {
+	t.Helper()
+	ic, err := parser.ParseIC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+const orgSrc = `
+triple(E1, E2, E3) :- same_level(E1, E2, E3).
+triple(E1, E2, E3) :- boss(U, E3, R), experienced(U), triple(U, E1, E2).
+`
+
+const acadSrc = `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+`
+
+const ancSrc = `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+`
+
+// arities for random database generation per program.
+var arities = map[string]map[string]int{
+	"triple": {"same_level": 3, "boss": 3, "experienced": 1},
+	"eval":   {"super": 3, "works_with": 2, "expert": 2, "field": 2},
+	"anc":    {"par": 4},
+	"path":   {"edge": 2, "jump": 2},
+}
+
+// checkEquivalent runs both programs over several random databases
+// (repaired to satisfy ics) and requires identical results for pred.
+func checkEquivalent(t *testing.T, p1, p2 *ast.Program, pred string, ics []ast.IC, seed int64, rounds int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rounds; i++ {
+		db := testutil.RandDB(rng, arities[pred], 6, 14)
+		if len(ics) > 0 && !testutil.Repair(db, ics, 400) {
+			continue
+		}
+		d1, _, err := testutil.RunProgram(p1, db)
+		if err != nil {
+			t.Fatalf("round %d: p1: %v", i, err)
+		}
+		d2, _, err := testutil.RunProgram(p2, db)
+		if err != nil {
+			t.Fatalf("round %d: p2: %v", i, err)
+		}
+		if !testutil.SamePredicate(d1, d2, pred) {
+			t.Fatalf("round %d: %s differs: %s\np1:\n%s\np2:\n%s\ndb:\n%s",
+				i, pred, testutil.Diff(d1, d2, pred), p1, p2, db)
+		}
+	}
+}
+
+func TestIsolateChainStructure(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	q, err := Isolate(p, unfold.Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect aux predicates anc__p1, anc__p2, anc__q1, anc__q2.
+	preds := strings.Join(q.Preds(), " ")
+	for _, want := range []string{"anc__p1", "anc__p2", "anc__q1", "anc__q2"} {
+		if !strings.Contains(preds, want) {
+			t.Errorf("missing predicate %s in %v", want, q.Preds())
+		}
+	}
+	// α-rules: 3; β-rules: 2; γ-rules: one per non-sequence rule per
+	// position (r0 for each of 3 positions).
+	alphas, betas, gammas := 0, 0, 0
+	for _, r := range q.Rules {
+		switch {
+		case strings.HasPrefix(r.Label, "alpha"):
+			alphas++
+		case strings.HasPrefix(r.Label, "beta"):
+			betas++
+		case strings.HasPrefix(r.Label, "gamma"):
+			gammas++
+		}
+	}
+	if alphas != 3 || betas != 2 || gammas != 3 {
+		t.Errorf("alpha/beta/gamma = %d/%d/%d, want 3/2/3\n%s", alphas, betas, gammas, q)
+	}
+}
+
+func TestIsolateChainEquivalence(t *testing.T) {
+	cases := []struct {
+		src  string
+		pred string
+		seq  unfold.Sequence
+	}{
+		{ancSrc, "anc", unfold.Sequence{"r1", "r1", "r1"}},
+		{ancSrc, "anc", unfold.Sequence{"r1"}},
+		{acadSrc, "eval", unfold.Sequence{"r1", "r1"}},
+		{orgSrc, "triple", unfold.Sequence{"r1", "r1", "r1", "r1"}},
+	}
+	for _, c := range cases {
+		p := mustRect(t, c.src)
+		q, err := Isolate(p, c.seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquivalent(t, p, q, c.pred, nil, 11, 8)
+	}
+}
+
+func TestIsolateFlatEquivalence(t *testing.T) {
+	cases := []struct {
+		src  string
+		pred string
+		seq  unfold.Sequence
+	}{
+		{ancSrc, "anc", unfold.Sequence{"r1", "r1", "r1"}},
+		{ancSrc, "anc", unfold.Sequence{"r1"}},
+		{acadSrc, "eval", unfold.Sequence{"r1", "r1"}},
+		{orgSrc, "triple", unfold.Sequence{"r1", "r1", "r1", "r1"}},
+	}
+	for _, c := range cases {
+		p := mustRect(t, c.src)
+		iso, err := IsolateFlat(p, c.seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquivalent(t, p, iso.Prog, c.pred, nil, 13, 8)
+	}
+}
+
+func TestIsolateFlatStructure(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	iso, err := IsolateFlat(p, unfold.Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, ok := iso.Prog.RuleByLabel(iso.BigLabel)
+	if !ok {
+		t.Fatalf("big rule missing:\n%s", iso.Prog)
+	}
+	// 3 par atoms plus the trailing recursive anc subgoal.
+	if len(big.Body) != 4 {
+		t.Errorf("big rule = %s", big)
+	}
+	// Deviation rules dev1 (r0 verbatim) plus dev2 and dev3 with the
+	// single non-recursive alternative r0 inlined (no aux predicates).
+	labels := make(map[string]bool)
+	for _, r := range iso.Prog.Rules {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"dev1_r0", "dev2", "dev3"} {
+		if !labels[want] {
+			t.Errorf("missing rule %s:\n%s", want, iso.Prog)
+		}
+	}
+	for _, pred := range iso.Prog.Preds() {
+		if strings.Contains(pred, "__dev") {
+			t.Errorf("aux predicate %s should have been inlined:\n%s", pred, iso.Prog)
+		}
+	}
+	// dev2 is the two-par rule, dev3 the three-par rule, neither
+	// recursive.
+	dev2, _ := iso.Prog.RuleByLabel("dev2")
+	dev3, _ := iso.Prog.RuleByLabel("dev3")
+	if len(dev2.Body) != 2 || len(dev3.Body) != 3 {
+		t.Errorf("dev shapes: %s / %s", dev2, dev3)
+	}
+	if ast.IsRecursiveRule(dev2) || ast.IsRecursiveRule(dev3) {
+		t.Error("inlined deviations must not be recursive")
+	}
+}
+
+func TestIsolateFlatKeepsAuxForRecursiveAlternatives(t *testing.T) {
+	// With two recursive rules, deviations must keep the auxiliary
+	// predicate (the alternative's recursion restarts at the original).
+	p := mustRect(t, `
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- path(X, Z), jump(Z, Y).
+`)
+	iso, err := IsolateFlat(p, unfold.Sequence{"r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pred := range iso.Prog.Preds() {
+		if strings.Contains(pred, "__dev") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("aux predicate expected with recursive alternatives:\n%s", iso.Prog)
+	}
+	checkEquivalent(t, p, iso.Prog, "path", nil, 37, 6)
+}
+
+func TestIsolationErrors(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	if _, err := Isolate(p, nil); err == nil {
+		t.Error("empty sequence must fail")
+	}
+	if _, err := Isolate(p, unfold.Sequence{"r0", "r1"}); err == nil {
+		t.Error("non-final non-recursive rule in sequence must fail")
+	}
+	// A sequence ending in an exit rule is legal (a complete tree).
+	if _, err := Isolate(p, unfold.Sequence{"r1", "r0"}); err != nil {
+		t.Errorf("exit-terminated sequence must isolate: %v", err)
+	}
+	if _, err := Isolate(p, unfold.Sequence{"zzz"}); err == nil {
+		t.Error("unknown label must fail")
+	}
+	raw, _ := parser.ParseProgram(ancSrc)
+	if _, err := Isolate(raw, unfold.Sequence{"r1"}); err == nil {
+		t.Error("unrectified program must fail")
+	}
+	if _, err := IsolateFlat(raw, unfold.Sequence{"r1"}); err == nil {
+		t.Error("unrectified program must fail flat too")
+	}
+}
+
+// analyzeOps is a helper running the full §3 analysis.
+func analyzeOps(t *testing.T, p *ast.Program, pred string, ics []ast.IC, opts residue.Options) []residue.Opportunity {
+	t.Helper()
+	ops, _, err := residue.Analyze(p, pred, ics, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+func TestPushExample43PruningEquivalence(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	ics := []ast.IC{mustIC(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)}
+	ops := analyzeOps(t, p, "anc", ics, residue.Options{})
+	var prune []residue.Opportunity
+	for _, o := range ops {
+		if o.Kind == residue.Prune && o.Seq.String() == "r1 r1 r1" {
+			prune = append(prune, o)
+		}
+	}
+	if len(prune) == 0 {
+		t.Fatal("no pruning opportunity")
+	}
+	q, rep, err := Push(p, prune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) != len(prune) {
+		t.Errorf("report = %s", rep)
+	}
+	// The pruned big rule must carry the negated condition Ya > 50.
+	found := false
+	for _, r := range q.Rules {
+		if strings.HasPrefix(r.Label, "seq_anc") {
+			for _, l := range r.Body {
+				if l.Atom.Pred == ast.OpGt && l.Atom.Args[1] == ast.Term(ast.Int(50)) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("negated condition missing:\n%s", q)
+	}
+	checkEquivalent(t, p, q, "anc", ics, 17, 10)
+
+	// On a deep over-50 genealogy, both agree too (handcrafted, the IC
+	// satisfied by construction).
+	db := storage.NewDatabase()
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for i := 0; i+1 < len(names); i++ {
+		db.Add("par", ast.Sym(names[i]), ast.Int(60+i), ast.Sym(names[i+1]), ast.Int(61+i))
+	}
+	if !testutil.Satisfies(db, ics) {
+		t.Fatal("handcrafted db must satisfy the IC")
+	}
+	d1, _, err := testutil.RunProgram(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := testutil.RunProgram(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.SamePredicate(d1, d2, "anc") {
+		t.Fatalf("deep genealogy differs: %s", testutil.Diff(d1, d2, "anc"))
+	}
+	if d1.Count("anc") == 0 {
+		t.Fatal("expected nonempty anc")
+	}
+}
+
+func TestPushExample42EliminationEquivalence(t *testing.T) {
+	p := mustRect(t, acadSrc)
+	ics := []ast.IC{mustIC(t, `works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).`)}
+	ops := analyzeOps(t, p, "eval", ics, residue.Options{})
+	var elim []residue.Opportunity
+	for _, o := range ops {
+		if o.Kind == residue.Eliminate {
+			elim = append(elim, o)
+		}
+	}
+	if len(elim) == 0 {
+		t.Fatal("no elimination opportunity")
+	}
+	q, rep, err := Push(p, elim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) == 0 {
+		t.Fatalf("nothing applied: %s", rep)
+	}
+	// Unconditional elimination: the big rule must have lost the outer
+	// expert subgoal without gaining a condition split.
+	var bigRules []ast.Rule
+	for _, r := range q.Rules {
+		if strings.HasPrefix(r.Label, "seq_eval") {
+			bigRules = append(bigRules, r)
+		}
+	}
+	if len(bigRules) != 1 {
+		t.Fatalf("big rule variants = %d, want 1 (unconditional)", len(bigRules))
+	}
+	experts := 0
+	for _, l := range bigRules[0].Body {
+		if l.Atom.Pred == "expert" {
+			experts++
+		}
+	}
+	if experts != 1 {
+		t.Errorf("big rule experts = %d, want 1 after elimination: %s", experts, bigRules[0])
+	}
+	checkEquivalent(t, p, q, "eval", ics, 23, 10)
+}
+
+func TestPushExample41ConditionalElimination(t *testing.T) {
+	p := mustRect(t, orgSrc)
+	ics := []ast.IC{mustIC(t, `boss(E, B, R), R = executive -> experienced(B).`)}
+	ops := analyzeOps(t, p, "triple", ics, residue.Options{})
+	var elim []residue.Opportunity
+	for _, o := range ops {
+		if o.Kind == residue.Eliminate && o.Seq.String() == "r1 r1 r1 r1" {
+			elim = append(elim, o)
+		}
+	}
+	if len(elim) == 0 {
+		t.Fatal("no elimination opportunity on r1^4")
+	}
+	q, rep, err := Push(p, elim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) == 0 {
+		t.Fatalf("nothing applied: %s", rep)
+	}
+	// Conditional split: two big-rule variants, one with R = executive
+	// and one experienced dropped, one with R != executive.
+	var bigRules []ast.Rule
+	for _, r := range q.Rules {
+		if strings.HasPrefix(r.Label, "seq_triple") {
+			bigRules = append(bigRules, r)
+		}
+	}
+	if len(bigRules) != 2 {
+		t.Fatalf("variants = %d, want 2:\n%s", len(bigRules), q)
+	}
+	checkEquivalent(t, p, q, "triple", ics, 29, 10)
+}
+
+func TestPushIntroduction(t *testing.T) {
+	src := acadSrc + `
+eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+`
+	p := mustRect(t, src)
+	ics := []ast.IC{mustIC(t, `pays(M, G, S, T), M > 10000 -> doctoral(S).`)}
+	ops := analyzeOps(t, p, "eval_support", ics, residue.Options{
+		IntroducePreds: map[string]bool{"doctoral": true},
+	})
+	var intro []residue.Opportunity
+	for _, o := range ops {
+		if o.Kind == residue.Introduce {
+			intro = append(intro, o)
+		}
+	}
+	if len(intro) == 0 {
+		t.Fatal("no introduction opportunity")
+	}
+	q, rep, err := Push(p, intro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) == 0 {
+		t.Fatalf("nothing applied: %s", rep)
+	}
+	// Variants: one with doctoral added, one with M <= 10000.
+	var bigs []ast.Rule
+	for _, r := range q.Rules {
+		if strings.HasPrefix(r.Label, "seq_eval_support") {
+			bigs = append(bigs, r)
+		}
+	}
+	if len(bigs) != 2 {
+		t.Fatalf("variants = %d, want 2:\n%s", len(bigs), q)
+	}
+	hasDoc, hasNeg := false, false
+	for _, r := range bigs {
+		for _, l := range r.Body {
+			if l.Atom.Pred == "doctoral" {
+				hasDoc = true
+			}
+			if l.Atom.Pred == ast.OpLe {
+				hasNeg = true
+			}
+		}
+	}
+	if !hasDoc || !hasNeg {
+		t.Errorf("introduction shape wrong:\n%s", q)
+	}
+	// Equivalence over random DBs with pays/doctoral present.
+	rng := rand.New(rand.NewSource(31))
+	ar := map[string]int{"super": 3, "works_with": 2, "expert": 2, "field": 2, "pays": 4, "doctoral": 1}
+	for i := 0; i < 8; i++ {
+		db := testutil.RandDB(rng, ar, 6, 12)
+		if !testutil.Repair(db, ics, 400) {
+			continue
+		}
+		d1, _, err := testutil.RunProgram(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _, err := testutil.RunProgram(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.SamePredicate(d1, d2, "eval_support") {
+			t.Fatalf("round %d: %s", i, testutil.Diff(d1, d2, "eval_support"))
+		}
+	}
+}
+
+func TestPushSkipsMismatchedSequences(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	ics := []ast.IC{mustIC(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)}
+	ops := analyzeOps(t, p, "anc", ics, residue.Options{})
+	// Find two ops with different sequences (r1 r1 r1 and r1 r1 r0-ish
+	// extensions may exist); if only one sequence, synthesize mismatch.
+	if len(ops) == 0 {
+		t.Fatal("no ops")
+	}
+	mismatch := ops[0]
+	mismatch.Seq = unfold.Sequence{"r1"}
+	_, rep, err := Push(p, []residue.Opportunity{ops[0], mismatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) == 0 {
+		t.Errorf("mismatched sequence must be skipped: %s", rep)
+	}
+}
+
+func TestPushEmptyOps(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	if _, _, err := Push(p, nil); err == nil {
+		t.Error("empty ops must fail")
+	}
+}
+
+func TestGroupBySequence(t *testing.T) {
+	p := mustRect(t, ancSrc)
+	ics := []ast.IC{mustIC(t, `Ya <= 50, par(Z, Za, Y, Ya), par(Z1, Za1, Z, Za), par(Z2, Za2, Z1, Za1) -> .`)}
+	ops := analyzeOps(t, p, "anc", ics, residue.Options{})
+	groups := GroupBySequence(ops)
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		for _, o := range g {
+			if !o.Seq.Equal(g[0].Seq) {
+				t.Error("group mixes sequences")
+			}
+		}
+	}
+	if total != len(ops) {
+		t.Errorf("groups lose ops: %d vs %d", total, len(ops))
+	}
+}
+
+func TestNegativeSplitsDisjointCover(t *testing.T) {
+	// Two-literal condition: copies are (¬e1) and (e1, ¬e2).
+	v := variant{body: []taggedLit{{lit: ast.Pos(ast.NewAtom("p", ast.Var("X"), ast.Var("Y"))), orig: 0}}}
+	cond := []ast.Literal{
+		ast.Pos(ast.NewAtom(ast.OpGt, ast.Var("X"), ast.Int(1))),
+		ast.Pos(ast.NewAtom(ast.OpLt, ast.Var("Y"), ast.Int(5))),
+	}
+	splits := negativeSplits(v, cond)
+	if len(splits) != 2 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	// First: ¬(X>1) = X<=1.
+	if splits[0].body[1].lit.Atom.Pred != ast.OpLe {
+		t.Errorf("split 0 = %v", splits[0].body)
+	}
+	// Second: X>1, ¬(Y<5) = Y>=5.
+	if splits[1].body[1].lit.Atom.Pred != ast.OpGt || splits[1].body[2].lit.Atom.Pred != ast.OpGe {
+		t.Errorf("split 1 = %v", splits[1].body)
+	}
+}
+
+func TestPushUnconditionalPruneDeletesAndCascades(t *testing.T) {
+	// An IC forbidding any use of the relation joined by the recursive
+	// rule makes every recursive derivation impossible: the isolated
+	// rule is deleted outright and unreachable auxiliaries cascade away
+	// (§4's "once the rule for p_{k-1} is deleted…").
+	p := mustRect(t, `
+p(X1, X2) :- base(X1, X2).
+p(X1, X2) :- e(X1, Z), p(Z, X2).
+`)
+	ics := []ast.IC{mustIC(t, `e(V1, V2) -> .`)}
+	ops := analyzeOps(t, p, "p", ics, residue.Options{})
+	var prune []residue.Opportunity
+	for _, o := range ops {
+		if o.Kind == residue.Prune && len(o.Condition) == 0 {
+			prune = append(prune, o)
+		}
+	}
+	if len(prune) == 0 {
+		t.Fatalf("no unconditional prune found: %v", ops)
+	}
+	q, rep, err := Push(p, prune[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+	// The recursive structure must be gone: only the base rule remains
+	// (plus possibly non-recursive deviations, which for seq [r1] is
+	// just the exit rule).
+	for _, r := range q.Rules {
+		if ast.IsRecursiveRule(r) {
+			t.Errorf("recursive rule survived: %s", r)
+		}
+		if strings.Contains(r.Head.Pred, "__") {
+			t.Errorf("dead auxiliary survived: %s", r)
+		}
+	}
+	// Equivalence on consistent databases (which have no e tuples).
+	db := storage.NewDatabase()
+	db.Add("base", ast.Sym("a"), ast.Sym("b"))
+	db.Ensure("e", 2)
+	d1, _, err := testutil.RunProgram(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := testutil.RunProgram(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.SamePredicate(d1, d2, "p") {
+		t.Fatalf("differs: %s", testutil.Diff(d1, d2, "p"))
+	}
+}

@@ -1,0 +1,84 @@
+package unfold
+
+import (
+	"repro/internal/ast"
+)
+
+// ConjQuery is a fully expanded proof tree for a goal: a conjunctive
+// query whose body contains only EDB and evaluable literals. Rules
+// records the labels of the rules applied, in expansion order. Head is
+// the goal atom, instantiated by any bindings the expansion imposed
+// (e.g. unifying with a rule whose head carries a constant).
+type ConjQuery struct {
+	Head  ast.Atom
+	Body  []ast.Literal
+	Rules []string
+}
+
+// AsRule renders the query as a rule for printing.
+func (q ConjQuery) AsRule() ast.Rule {
+	return ast.Rule{Label: "proof", Head: q.Head, Body: q.Body}
+}
+
+// Expansions enumerates the complete proof trees for goal over program
+// p, expanding IDB subgoals top-down, up to maxExpansions rule
+// applications per tree. Trees still containing IDB subgoals at the
+// budget are discarded (they are incomplete prefixes, not conjunctive
+// queries). This is the proof-tree view of a query used by §5
+// (intelligent query answering), where recursion is cut off at a
+// configurable depth.
+func Expansions(p *ast.Program, goal ast.Atom, maxExpansions int) []ConjQuery {
+	idb := p.IDBPreds()
+	rn := ast.NewRenamer(goal.VarSet())
+	for _, r := range p.Rules {
+		rn.Avoid(r.VarSet())
+	}
+	var out []ConjQuery
+
+	type state struct {
+		head  ast.Atom
+		body  []ast.Literal
+		rules []string
+	}
+	var expand func(st state, budget int)
+	expand = func(st state, budget int) {
+		// Find the first IDB literal.
+		idx := -1
+		for i, l := range st.body {
+			if !l.Neg && !l.Atom.IsEvaluable() && idb[l.Atom.Pred] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			out = append(out, ConjQuery{
+				Head:  st.head.Clone(),
+				Body:  ast.CloneBody(st.body),
+				Rules: append([]string(nil), st.rules...),
+			})
+			return
+		}
+		if budget == 0 {
+			return
+		}
+		target := st.body[idx].Atom
+		for _, r := range p.RulesFor(target.Pred) {
+			ren, _ := rn.RenameApart(r)
+			s := ast.NewSubst()
+			if !ast.UnifyAtoms(s, ren.Head, target) {
+				continue
+			}
+			var body []ast.Literal
+			body = append(body, s.ApplyBody(st.body[:idx])...)
+			body = append(body, s.ApplyBody(ren.Body)...)
+			body = append(body, s.ApplyBody(st.body[idx+1:])...)
+			expand(state{
+				head:  s.ApplyAtom(st.head),
+				body:  body,
+				rules: append(st.rules, r.Label),
+			}, budget-1)
+		}
+	}
+	expand(state{head: goal, body: []ast.Literal{ast.Pos(goal)}}, maxExpansions)
+	return out
+}

@@ -1,0 +1,285 @@
+// Package unfold implements expansion sequences (§2 of the paper):
+// compositions r_{j1} … r_{jk} of rules of a linear program, in 1-1
+// correspondence with proof-tree prefixes. The unfolding of a sequence
+// is the conjunctive clause obtained by repeatedly resolving the
+// recursive subgoal with the next rule, and it carries *provenance*:
+// for every step, the substitution from the original rule's variables
+// into the unfolding's variable namespace. Provenance is what lets the
+// transformation stage (§4) map a residue's variables back onto the
+// isolating rules.
+package unfold
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Sequence is an expansion sequence, identified by rule labels in
+// top-down application order (e.g. ["r0", "r0", "r0"] for r0r0r0).
+type Sequence []string
+
+// String renders the sequence as the paper writes it: "r0 r0 r0".
+func (s Sequence) String() string { return strings.Join([]string(s), " ") }
+
+// Equal reports element-wise equality.
+func (s Sequence) Equal(t Sequence) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lit is a body literal of an unfolding together with the (1-based)
+// step that contributed it.
+type Lit struct {
+	ast.Literal
+	Step int
+}
+
+// Step records, for one expansion step, the rule applied and the
+// substitution from that rule's variables into the unfolding namespace.
+type Step struct {
+	Rule ast.Rule
+	Sub  ast.Subst
+}
+
+// Unfolding is the conjunctive clause of an expansion sequence.
+type Unfolding struct {
+	Seq  Sequence
+	Head ast.Atom // p(X1, …, Xn)
+	Body []Lit    // non-recursive subgoals, in expansion order
+	// Recursive is the trailing recursive subgoal (the continuation of
+	// the proof tree) when the last rule of the sequence is recursive;
+	// nil when the sequence ends in an exit rule. RecursiveStep is the
+	// step that contributed it.
+	Recursive     *ast.Atom
+	RecursiveStep int
+	Steps         []Step
+}
+
+// Unfold composes the rules named by seq. The program must be
+// rectified; every rule but the last must be recursive (otherwise the
+// sequence could not continue); facts are rejected.
+func Unfold(p *ast.Program, seq Sequence) (*Unfolding, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("unfold: empty sequence")
+	}
+	if !ast.IsRectified(p) {
+		return nil, fmt.Errorf("unfold: program must be rectified")
+	}
+	rules := make([]ast.Rule, len(seq))
+	for i, label := range seq {
+		r, ok := p.RuleByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("unfold: no rule labeled %q", label)
+		}
+		if r.IsFact() {
+			return nil, fmt.Errorf("unfold: rule %q is a fact", label)
+		}
+		rules[i] = r
+	}
+	pred := rules[0].Head.Pred
+	for i, r := range rules {
+		if r.Head.Pred != pred {
+			return nil, fmt.Errorf("unfold: rule %q defines %s, sequence is for %s", seq[i], r.Head.Pred, pred)
+		}
+		if i < len(rules)-1 && ast.RecursiveOccurrence(r) < 0 {
+			return nil, fmt.Errorf("unfold: non-final rule %q is not recursive", seq[i])
+		}
+	}
+
+	u := &Unfolding{Seq: append(Sequence(nil), seq...), Head: rules[0].Head.Clone()}
+	rn := ast.NewRenamer()
+	for _, r := range rules {
+		rn.Avoid(r.VarSet())
+	}
+
+	// cur is the pending recursive subgoal to resolve; nil before step 1.
+	var cur *ast.Atom
+	for i, r := range rules {
+		step := i + 1
+		// prov maps the original rule's variables into the unfolding
+		// namespace; work (applied to the rule body) uses standardized-
+		// apart variables so that no binding target is itself a key,
+		// avoiding accidental chains through colliding local names.
+		var work ast.Rule
+		prov := ast.NewSubst()
+		if i == 0 {
+			// Step 1 keeps the rule's own variables: identity.
+			work = r.Clone()
+		} else {
+			ren, renSub := rn.RenameApart(r)
+			sub := ast.NewSubst()
+			for j, arg := range ren.Head.Args {
+				sub[arg.(ast.Var)] = cur.Args[j]
+			}
+			work = sub.ApplyRule(ren)
+			for v := range r.VarSet() {
+				prov[v] = sub.Lookup(renSub.Lookup(v))
+			}
+		}
+		occ := ast.RecursiveOccurrence(work)
+		for bi, l := range work.Body {
+			if bi == occ {
+				continue
+			}
+			u.Body = append(u.Body, Lit{Literal: l, Step: step})
+		}
+		if occ >= 0 {
+			next := work.Body[occ].Atom
+			cur = &next
+			u.RecursiveStep = step
+		} else {
+			cur = nil
+			u.RecursiveStep = 0
+		}
+		u.Steps = append(u.Steps, Step{Rule: r, Sub: prov})
+	}
+	u.Recursive = cur
+	return u, nil
+}
+
+// AsRule renders the unfolding as a single rule: the head, the body
+// literals in order, and the trailing recursive subgoal if present.
+// This is the "sequence clause" used for subsumption testing and for
+// flat isolation.
+func (u *Unfolding) AsRule(label string) ast.Rule {
+	body := make([]ast.Literal, 0, len(u.Body)+1)
+	pos := 0
+	for step := 1; step <= len(u.Steps); step++ {
+		for _, l := range u.Body {
+			if l.Step == step {
+				body = append(body, l.Literal)
+			}
+		}
+		if u.Recursive != nil && u.RecursiveStep == step {
+			body = append(body, ast.Pos(*u.Recursive))
+			pos++
+		}
+	}
+	return ast.Rule{Label: label, Head: u.Head.Clone(), Body: ast.CloneBody(body)}
+}
+
+// DatabaseAtoms returns the positive database atoms of the body
+// (excluding the trailing recursive subgoal) with their steps.
+func (u *Unfolding) DatabaseAtoms() []Lit {
+	var out []Lit
+	for _, l := range u.Body {
+		if !l.Neg && !l.Atom.IsEvaluable() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// StepOfVar returns the steps (ascending) in which variable v is
+// visible, i.e. the steps whose substitution maps some original rule
+// variable to v, or — for step 1 — contains v directly.
+func (u *Unfolding) StepOfVar(v ast.Var) []int {
+	var out []int
+	for i, st := range u.Steps {
+		if stepSeesVar(st, v) {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// VisibleAt reports whether every variable of vars is visible at the
+// given (1-based) step, and returns a reverse mapping from those
+// unfolding variables to the step's original rule variables.
+func (u *Unfolding) VisibleAt(step int, vars map[ast.Var]bool) (ast.Subst, bool) {
+	if step < 1 || step > len(u.Steps) {
+		return nil, false
+	}
+	st := u.Steps[step-1]
+	back := ast.NewSubst()
+	for v := range vars {
+		rv, ok := backMap(st, v)
+		if !ok {
+			return nil, false
+		}
+		back[v] = rv
+	}
+	return back, true
+}
+
+// stepSeesVar reports whether unfolding variable v corresponds to some
+// variable of the step's original rule.
+func stepSeesVar(st Step, v ast.Var) bool {
+	_, ok := backMap(st, v)
+	return ok
+}
+
+// backMap finds an original rule variable that the step's substitution
+// maps to the unfolding variable v. For step 1 the substitution is the
+// identity, so any rule variable equal to v maps to itself.
+func backMap(st Step, v ast.Var) (ast.Var, bool) {
+	for rv := range st.Rule.VarSet() {
+		if st.Sub.Lookup(rv) == ast.Term(v) {
+			return rv, true
+		}
+	}
+	return "", false
+}
+
+// String renders the unfolding as its sequence clause.
+func (u *Unfolding) String() string {
+	return u.AsRule(u.Seq.String()).String()
+}
+
+// Sequences enumerates the expansion sequences for pred of length 1..maxLen
+// whose non-final elements are recursive rules (final element may be any
+// non-fact rule for pred). This is the exhaustive enumeration that
+// Algorithm 3.1 avoids; it serves as a cross-validation oracle and as
+// the fallback detector for programs outside the chain-IC class.
+func Sequences(p *ast.Program, pred string, maxLen int) []Sequence {
+	var recs, all []string
+	for _, r := range p.RulesFor(pred) {
+		if r.IsFact() {
+			continue
+		}
+		all = append(all, r.Label)
+		if ast.RecursiveOccurrence(r) >= 0 {
+			recs = append(recs, r.Label)
+		}
+	}
+	var out []Sequence
+	var build func(prefix Sequence)
+	build = func(prefix Sequence) {
+		if len(prefix) > 0 {
+			cp := append(Sequence(nil), prefix...)
+			out = append(out, cp)
+		}
+		if len(prefix) == maxLen {
+			return
+		}
+		for _, lbl := range all {
+			// A continuation is only possible if every earlier element
+			// is recursive; enforce by only extending prefixes whose
+			// last element is recursive (or empty prefixes).
+			if len(prefix) > 0 && !contains(recs, prefix[len(prefix)-1]) {
+				continue
+			}
+			build(append(prefix, lbl))
+		}
+	}
+	build(nil)
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

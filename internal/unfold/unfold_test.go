@@ -1,0 +1,306 @@
+package unfold
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func mustRectified(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := ast.Rectify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rect
+}
+
+// The eval program of Example 3.2.
+const evalSrc = `
+eval(P, S, T) :- super(P, S, T).
+eval(P, S, T) :- works_with(P, P0), eval(P0, S, T), expert(P, F), field(T, F).
+`
+
+// The anc program of Example 4.3.
+const ancSrc = `
+anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+`
+
+func TestUnfoldSingleRule(t *testing.T) {
+	p := mustRectified(t, evalSrc)
+	u, err := Unfold(p, Sequence{"r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Recursive == nil {
+		t.Fatal("r1 is recursive: trailing subgoal expected")
+	}
+	if len(u.Body) != 3 {
+		t.Errorf("body atoms = %d, want 3 (works_with, expert, field)", len(u.Body))
+	}
+	for _, l := range u.Body {
+		if l.Step != 1 {
+			t.Errorf("step of %s = %d, want 1", l.Literal, l.Step)
+		}
+	}
+}
+
+func TestUnfoldR1R1(t *testing.T) {
+	// Example 3.2: r1 r1 has two works_with atoms chained through the
+	// recursive argument.
+	p := mustRectified(t, evalSrc)
+	u, err := Unfold(p, Sequence{"r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ww []ast.Atom
+	for _, l := range u.DatabaseAtoms() {
+		if l.Atom.Pred == "works_with" {
+			ww = append(ww, l.Atom)
+		}
+	}
+	if len(ww) != 2 {
+		t.Fatalf("works_with atoms = %d, want 2", len(ww))
+	}
+	// Chained: second argument of the first equals first argument of
+	// the second.
+	if ww[0].Args[1] != ww[1].Args[0] {
+		t.Errorf("not chained: %s then %s", ww[0], ww[1])
+	}
+	// The recursive subgoal's first argument is the inner professor.
+	if u.Recursive.Args[0] != ww[1].Args[1] {
+		t.Errorf("recursive = %s, inner works_with = %s", u.Recursive, ww[1])
+	}
+	// Steps recorded.
+	if len(u.Steps) != 2 || u.RecursiveStep != 2 {
+		t.Errorf("steps = %d, recursive step = %d", len(u.Steps), u.RecursiveStep)
+	}
+}
+
+func TestUnfoldEndsWithExitRule(t *testing.T) {
+	p := mustRectified(t, ancSrc)
+	u, err := Unfold(p, Sequence{"r1", "r1", "r0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Recursive != nil {
+		t.Error("sequence ending in exit rule must have no recursive subgoal")
+	}
+	if got := len(u.DatabaseAtoms()); got != 3 {
+		t.Errorf("par atoms = %d, want 3", got)
+	}
+}
+
+func TestUnfoldErrors(t *testing.T) {
+	p := mustRectified(t, ancSrc)
+	if _, err := Unfold(p, nil); err == nil {
+		t.Error("empty sequence must fail")
+	}
+	if _, err := Unfold(p, Sequence{"nope"}); err == nil {
+		t.Error("unknown label must fail")
+	}
+	if _, err := Unfold(p, Sequence{"r0", "r1"}); err == nil {
+		t.Error("non-recursive non-final rule must fail")
+	}
+	// Unrectified program rejected.
+	raw, _ := parser.ParseProgram(ancSrc)
+	if _, err := Unfold(raw, Sequence{"r1"}); err == nil {
+		t.Error("unrectified program must fail")
+	}
+	// Facts rejected.
+	pf := mustRectified(t, "p(a).\np(X) :- p(X).")
+	if _, err := Unfold(pf, Sequence{"r0"}); err == nil {
+		t.Error("fact in sequence must fail")
+	}
+	// Mixed predicates rejected.
+	pm := mustRectified(t, "p(X) :- p(X), e(X).\nq(X) :- e(X).")
+	if _, err := Unfold(pm, Sequence{"r0", "r1"}); err == nil {
+		t.Error("mixed-predicate sequence must fail")
+	}
+}
+
+func TestAsRuleMatchesPaperShape(t *testing.T) {
+	// Example 4.3 unfolds r1 r1 r1 into a 3-generation chain of par
+	// atoms with the recursive anc at the front of step 3.
+	p := mustRectified(t, ancSrc)
+	u, err := Unfold(p, Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := u.AsRule("s")
+	// 3 par atoms + 1 anc atom.
+	if len(r.Body) != 4 {
+		t.Fatalf("body = %s", r)
+	}
+	pars := 0
+	for _, l := range r.Body {
+		if l.Atom.Pred == "par" {
+			pars++
+		}
+	}
+	if pars != 3 {
+		t.Errorf("par atoms = %d", pars)
+	}
+	// The head's Y, Ya (3rd and 4th args) appear in step 1's par atom.
+	head := r.Head
+	found := false
+	for _, l := range u.Body {
+		if l.Step == 1 && l.Atom.Pred == "par" {
+			if l.Atom.Args[2] == head.Args[2] && l.Atom.Args[3] == head.Args[3] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("head variables must surface in step 1's par atom: %s", r)
+	}
+}
+
+func TestVariableProvenance(t *testing.T) {
+	p := mustRectified(t, ancSrc)
+	u, err := Unfold(p, Sequence{"r1", "r1", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head variable X4 (= Ya) is visible at step 1 only: steps 2 and 3
+	// rebind the 3rd/4th positions to fresh locals.
+	ya := ast.HeadVar(4)
+	steps := u.StepOfVar(ya)
+	if len(steps) != 1 || steps[0] != 1 {
+		t.Errorf("steps of %s = %v, want [1]", ya, steps)
+	}
+	// X1 is passed through unchanged by the recursion, so it is visible
+	// at every step.
+	x1 := ast.HeadVar(1)
+	if got := u.StepOfVar(x1); len(got) != 3 {
+		t.Errorf("steps of X1 = %v, want all three", got)
+	}
+	// VisibleAt returns a usable back-mapping.
+	back, ok := u.VisibleAt(1, map[ast.Var]bool{ya: true})
+	if !ok {
+		t.Fatal("Ya must be visible at step 1")
+	}
+	if back[ya] != ast.Term(ast.HeadVar(4)) {
+		t.Errorf("back map = %v", back)
+	}
+	if _, ok := u.VisibleAt(3, map[ast.Var]bool{ya: true}); ok {
+		t.Error("Ya must not be visible at step 3")
+	}
+	if _, ok := u.VisibleAt(0, nil); ok {
+		t.Error("step 0 is invalid")
+	}
+}
+
+func TestSequencesEnumeration(t *testing.T) {
+	p := mustRectified(t, ancSrc)
+	seqs := Sequences(p, "anc", 3)
+	// Length 1: r0, r1. Length 2: r1 r0, r1 r1. Length 3: r1 r1 r0,
+	// r1 r1 r1. Total 6.
+	if len(seqs) != 6 {
+		t.Fatalf("sequences = %d: %v", len(seqs), seqs)
+	}
+	want := map[string]bool{
+		"r0": true, "r1": true, "r1 r0": true, "r1 r1": true,
+		"r1 r1 r0": true, "r1 r1 r1": true,
+	}
+	for _, s := range seqs {
+		if !want[s.String()] {
+			t.Errorf("unexpected sequence %q", s)
+		}
+	}
+}
+
+func TestSequenceEqualAndString(t *testing.T) {
+	a := Sequence{"r1", "r0"}
+	if !a.Equal(Sequence{"r1", "r0"}) || a.Equal(Sequence{"r1"}) || a.Equal(Sequence{"r0", "r1"}) {
+		t.Error("Sequence.Equal broken")
+	}
+	if a.String() != "r1 r0" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestUnfoldingString(t *testing.T) {
+	p := mustRectified(t, ancSrc)
+	u, _ := Unfold(p, Sequence{"r1"})
+	s := u.String()
+	if !strings.Contains(s, "anc(") || !strings.Contains(s, "par(") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExpansionsNonRecursive(t *testing.T) {
+	// Example 5.1's honors program (simplified field names).
+	p, err := parser.ParseProgram(`
+honors(S) :- transcript(S, M, C, G), C >= 30, G >= 4.
+honors(S) :- transcript(S, M, C, G), G >= 4, exceptional(S).
+exceptional(S) :- publication(S, P), appears(P, J), reputed(J).
+honors(S) :- graduated(S, C), topten(C).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := Expansions(p, ast.NewAtom("honors", ast.Var("S")), 5)
+	if len(qs) != 3 {
+		t.Fatalf("proof trees = %d, want 3", len(qs))
+	}
+	// The tree through r1 must inline exceptional's definition.
+	var viaExceptional *ConjQuery
+	for i := range qs {
+		for _, l := range qs[i].Body {
+			if l.Atom.Pred == "publication" {
+				viaExceptional = &qs[i]
+			}
+		}
+	}
+	if viaExceptional == nil {
+		t.Fatal("no tree expanded exceptional")
+	}
+	if len(viaExceptional.Rules) != 2 {
+		t.Errorf("rules = %v", viaExceptional.Rules)
+	}
+	for _, l := range viaExceptional.Body {
+		if l.Atom.Pred == "exceptional" {
+			t.Error("IDB atom left in complete proof tree")
+		}
+	}
+}
+
+func TestExpansionsRecursiveCutoff(t *testing.T) {
+	p, _ := parser.ParseProgram(`
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+`)
+	qs := Expansions(p, ast.NewAtom("tc", ast.Var("A"), ast.Var("B")), 4)
+	// Depth 4 budget yields chains of 1..4 edges: 4 complete trees.
+	if len(qs) != 4 {
+		t.Fatalf("trees = %d, want 4", len(qs))
+	}
+	for _, q := range qs {
+		if q.Head.Pred != "tc" {
+			t.Errorf("head = %s", q.Head)
+		}
+		if len(q.Body) == 0 || len(q.Body) > 4 {
+			t.Errorf("body size = %d", len(q.Body))
+		}
+	}
+}
+
+func TestExpansionsHeadInstantiation(t *testing.T) {
+	// A rule with a constant head must instantiate the goal.
+	p, _ := parser.ParseProgram(`special(gold) :- vault(V).`)
+	qs := Expansions(p, ast.NewAtom("special", ast.Var("W")), 2)
+	if len(qs) != 1 {
+		t.Fatalf("trees = %d", len(qs))
+	}
+	if qs[0].Head.Args[0] != ast.Term(ast.Sym("gold")) {
+		t.Errorf("head not instantiated: %s", qs[0].Head)
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/testutil"
+)
+
+func TestScenariosWellFormed(t *testing.T) {
+	for _, s := range []Scenario{Organization(), Academic(), Genealogy()} {
+		rect, err := ast.Rectify(s.Program)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := rect.CheckClass(); err != nil {
+			t.Errorf("%s: outside class: %v", s.Name, err)
+		}
+		if len(s.ICs) == 0 {
+			t.Errorf("%s: no ICs", s.Name)
+		}
+	}
+}
+
+func TestOrgDBSatisfiesIC(t *testing.T) {
+	s := Organization()
+	rng := rand.New(rand.NewSource(1))
+	for _, exec := range []float64{0, 0.3, 1} {
+		db := OrgDB(rng, 2, 3, 2, exec)
+		if !testutil.Satisfies(db, s.ICs) {
+			t.Fatalf("execFrac %v: generated database violates the IC", exec)
+		}
+		if db.Count("boss") == 0 || db.Count("same_level") == 0 {
+			t.Errorf("execFrac %v: empty relations: %v", exec, db.Preds())
+		}
+	}
+	// The recursion must actually produce tuples.
+	db := OrgDB(rng, 1, 4, 2, 0.5)
+	e := eval.New(s.Program, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("triple") <= db.Count("same_level") {
+		t.Errorf("recursion unproductive: triple=%d same_level=%d",
+			db.Count("triple"), db.Count("same_level"))
+	}
+}
+
+func TestAcademicDBSatisfiesICs(t *testing.T) {
+	s := Academic()
+	rng := rand.New(rand.NewSource(2))
+	db := AcademicDB(rng, 3, 4, 20, 3, 0.4)
+	if !testutil.Satisfies(db, s.ICs) {
+		t.Fatal("generated academic database violates an IC")
+	}
+	for _, pred := range []string{"works_with", "expert", "field", "super", "pays"} {
+		if db.Count(pred) == 0 {
+			t.Errorf("empty %s", pred)
+		}
+	}
+	// Evaluation produces recursive eval tuples (chains of
+	// collaborators above supervisors).
+	e := eval.New(s.Program, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("eval") <= db.Count("super") {
+		t.Errorf("recursion unproductive: eval=%d super=%d", db.Count("eval"), db.Count("super"))
+	}
+	if db.Count("eval_support") == 0 {
+		t.Error("eval_support empty")
+	}
+}
+
+func TestGenealogyDBSatisfiesIC(t *testing.T) {
+	s := Genealogy()
+	rng := rand.New(rand.NewSource(3))
+	db := GenealogyDB(rng, 4, 6)
+	if !testutil.Satisfies(db, s.ICs) {
+		t.Fatal("generated genealogy violates the IC")
+	}
+	if db.Count("par") != 4*6 {
+		t.Errorf("par = %d, want 24", db.Count("par"))
+	}
+	e := eval.New(s.Program, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A depth-6 chain yields 6+5+...+1 = 21 anc tuples per family.
+	if db.Count("anc") != 4*21 {
+		t.Errorf("anc = %d, want 84", db.Count("anc"))
+	}
+}
+
+func TestChainAndRandomGraph(t *testing.T) {
+	db := ChainDB(5)
+	if db.Count("edge") != 5 {
+		t.Errorf("edge = %d", db.Count("edge"))
+	}
+	rng := rand.New(rand.NewSource(4))
+	g := RandomGraphDB(rng, 10, 30)
+	if g.Count("edge") == 0 || g.Count("edge") > 30 {
+		t.Errorf("edge = %d", g.Count("edge"))
+	}
+}
+
+func TestHonorsScenario(t *testing.T) {
+	s, db := Honors()
+	e := eval.New(s.Program, db)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ann (grades), bob (exceptional), dee (top-ten college).
+	if len(res) != 3 {
+		t.Errorf("honors = %v", res)
+	}
+}
