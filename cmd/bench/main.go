@@ -1,13 +1,15 @@
-// Command bench runs the experiment suite E1–E10 (DESIGN.md §5) and
+// Command bench runs the experiment suite E1–E11 (DESIGN.md §5) and
 // prints each table. It regenerates the numbers recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
-//	bench            # full suite
-//	bench -quick     # reduced sweeps
-//	bench -only E4   # a single experiment
-//	bench -markdown  # markdown tables (for EXPERIMENTS.md)
+//	bench                        # full suite
+//	bench -quick                 # reduced sweeps
+//	bench -only E4               # a single experiment
+//	bench -markdown              # markdown tables (for EXPERIMENTS.md)
+//	bench -parallel 4            # evaluate with 4 workers
+//	bench -json BENCH_eval.json  # also write machine-readable records
 package main
 
 import (
@@ -24,10 +26,17 @@ func main() {
 	only := flag.String("only", "", "run a single experiment, e.g. E4")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	seed := flag.Int64("seed", 42, "workload seed")
+	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write machine-readable bench records to this file")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
-	for _, t := range experiments.All(cfg) {
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	if *jsonOut != "" {
+		cfg.Rec = &experiments.Recorder{}
+	}
+	tables := experiments.All(cfg)
+	tables = append(tables, experiments.E11ParallelScaling(cfg))
+	for _, t := range tables {
 		if *only != "" && !strings.EqualFold(t.ID, *only) {
 			continue
 		}
@@ -37,7 +46,21 @@ func main() {
 			fmt.Println(t)
 		}
 	}
-	_ = os.Stdout
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := cfg.Rec.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func printMarkdown(t experiments.Table) {

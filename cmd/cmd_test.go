@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -229,6 +230,77 @@ func TestBenchQuickSingle(t *testing.T) {
 	}
 	if !strings.Contains(md, "### E7") || !strings.Contains(md, "| --- |") {
 		t.Errorf("markdown output = %q", md)
+	}
+}
+
+func TestDlogParallelQuery(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	stdout, stderr, err := run(t, "dlog", "-parallel", "4", "-query", "anc(ann, Y)", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	for _, want := range []string{"anc(ann, bea)", "anc(ann, cal)", "anc(ann, dee)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %q in %q", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "3 answers") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestSemoptVerify(t *testing.T) {
+	f := writeFile(t, "gen.dl", genealogy)
+	_, stderr, err := run(t, "semopt", "-verify", "-parallel", "2", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "verify: answers agree on every visible predicate") {
+		t.Errorf("verify report missing: %q", stderr)
+	}
+	if !strings.Contains(stderr, "verify: original") || !strings.Contains(stderr, "verify: optimized") {
+		t.Errorf("verify timings missing: %q", stderr)
+	}
+}
+
+func TestBenchJSONRecords(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	_, stderr, err := run(t, "bench", "-quick", "-only", "E11", "-json", out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		GoMaxProcs int `json:"gomaxprocs"`
+		Records    []struct {
+			Experiment string `json:"experiment"`
+			Label      string `json:"label"`
+			Parallel   int    `json:"parallel"`
+			NsPerOp    int64  `json:"ns_per_op"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if doc.GoMaxProcs < 1 || len(doc.Records) == 0 {
+		t.Fatalf("empty bench document: %s", data)
+	}
+	seen := map[int]bool{}
+	for _, r := range doc.Records {
+		if r.NsPerOp <= 0 {
+			t.Errorf("record %s/%s: ns_per_op = %d", r.Experiment, r.Label, r.NsPerOp)
+		}
+		if r.Experiment == "E11" {
+			seen[r.Parallel] = true
+		}
+	}
+	for _, w := range []int{1, 2, 4} {
+		if !seen[w] {
+			t.Errorf("missing E11 scaling record at %d workers", w)
+		}
 	}
 }
 

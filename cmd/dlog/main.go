@@ -34,6 +34,7 @@ func main() {
 	small := flag.String("small", "", "comma-separated small predicates for atom introduction")
 	stats := flag.Bool("stats", false, "print evaluation work counters to stderr")
 	interactive := flag.Bool("i", false, "interactive query loop on stdin")
+	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dlog [-query GOAL | -all] [-optimize] file.dl ...")
@@ -53,6 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sys.Parallel = *parallel
 	if *optimize {
 		smallPreds := map[string]bool{}
 		for _, p := range strings.Split(*small, ",") {

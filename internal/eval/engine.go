@@ -2,14 +2,18 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/storage"
 )
 
 // Stats accumulates deterministic work counters, so experiments can
-// report machine-independent effort alongside wall-clock time.
+// report machine-independent effort alongside wall-clock time. In
+// parallel mode each worker counts into a private Stats that is merged
+// at the round barrier, so totals stay exact.
 type Stats struct {
 	Iterations  int64 // semi-naive rounds across all strata
 	RuleFirings int64 // rule evaluations started
@@ -31,34 +35,57 @@ func (s *Stats) Add(other Stats) {
 // database. The database is mutated in place: computed IDB relations
 // are stored alongside the EDB.
 type Engine struct {
-	prog  *ast.Program
-	db    *storage.Database
-	naive bool
-	stats Stats
+	prog     *ast.Program
+	db       *storage.Database
+	naive    bool
+	parallel int
+	stats    Stats
+	arity    map[string]int // head predicate -> arity, precomputed
 
 	// InsertFilter, when non-nil, is consulted before inserting a
 	// derived tuple; returning false discards the derivation. It is the
 	// hook used by the evaluation-paradigm semantic optimizer, which
 	// checks residues at run time instead of transforming the program.
+	// In parallel mode the filter runs at the round barrier
+	// (single-threaded), after per-worker dedup, so it sees each
+	// candidate tuple at most once per round.
 	InsertFilter func(pred string, t storage.Tuple) bool
 
 	// IterationHook, when non-nil, runs at the start of every fixpoint
-	// round. The evaluation-paradigm baseline of §1 uses it to re-apply
-	// residue analysis to the subqueries of each iteration, which is
-	// exactly the run-time overhead the paper's compile-time
-	// transformation avoids.
+	// round (always single-threaded, in parallel mode too). The
+	// evaluation-paradigm baseline of §1 uses it to re-apply residue
+	// analysis to the subqueries of each iteration, which is exactly
+	// the run-time overhead the paper's compile-time transformation
+	// avoids.
 	IterationHook func(round int)
 }
 
 // New creates an engine for prog over db. The program is validated for
 // safety lazily, when plans are built.
 func New(prog *ast.Program, db *storage.Database) *Engine {
-	return &Engine{prog: prog, db: db}
+	arity := make(map[string]int)
+	for _, r := range prog.Rules {
+		if _, ok := arity[r.Head.Pred]; !ok {
+			arity[r.Head.Pred] = r.Head.Arity()
+		}
+	}
+	return &Engine{prog: prog, db: db, arity: arity}
 }
 
 // UseNaive switches the engine to naive (full re-evaluation) fixpoint
 // iteration; the default is semi-naive. Used by tests and experiment E10.
 func (e *Engine) UseNaive() { e.naive = true }
+
+// SetParallel sets the number of worker goroutines for semi-naive
+// fixpoint rounds. n <= 0 selects runtime.GOMAXPROCS(0); n == 1 keeps
+// evaluation fully sequential. The computed fixpoint (and the Inserted
+// counter) is identical in every mode; only scheduling differs.
+func (e *Engine) SetParallel(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.parallel = n
+}
 
 // Stats returns the accumulated work counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -192,14 +219,66 @@ func (e *Engine) estimator() estimator {
 	}
 }
 
-// arityOf determines the arity of pred from the program.
-func (e *Engine) arityOf(pred string) int {
-	for _, r := range e.prog.Rules {
-		if r.Head.Pred == pred {
-			return r.Head.Arity()
+// arityOf determines the arity of pred from the precomputed head map.
+func (e *Engine) arityOf(pred string) int { return e.arity[pred] }
+
+// compiledRule is one rule of a component, lowered once per stratum:
+// the base plan (all occurrences against full relations, used by round
+// 0 and by naive iteration) plus one delta variant per body occurrence
+// of a component predicate. Compiling here — instead of re-deriving
+// plans every round, as the interpreter did — is the stratum-level plan
+// cache.
+type compiledRule struct {
+	rule     ast.Rule
+	headPred string
+	headRel  *storage.Relation
+	base     *compiled
+	deltas   []deltaPlan
+}
+
+type deltaPlan struct {
+	pred string
+	plan *compiled
+}
+
+// compileStratum plans and slot-compiles every rule of the component,
+// and pre-builds every index the compiled programs will probe (so
+// parallel rounds only read).
+func (e *Engine) compileStratum(inSCC map[string]bool, rules []ast.Rule) ([]compiledRule, error) {
+	est := e.estimator()
+	crs := make([]compiledRule, 0, len(rules))
+	for _, r := range rules {
+		cr := compiledRule{rule: r, headPred: r.Head.Pred, headRel: e.db.Relation(r.Head.Pred)}
+		plan, err := planBody(r.Body, -1, est, nil)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Label, err)
 		}
+		if cr.base, err = compilePlan(plan, r.Head, e.db, nil); err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Label, err)
+		}
+		cr.base.prepareIndexes()
+		for i, l := range r.Body {
+			if l.Neg || !inSCC[l.Atom.Pred] {
+				continue
+			}
+			if rel := e.db.Relation(l.Atom.Pred); rel != nil && rel.Arity != len(l.Atom.Args) {
+				return nil, fmt.Errorf("eval: %s used with arity %d but stored with arity %d",
+					l.Atom.Pred, len(l.Atom.Args), rel.Arity)
+			}
+			plan, err := planBody(r.Body, i, est, nil)
+			if err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			dp, err := compilePlan(plan, r.Head, e.db, nil)
+			if err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			dp.prepareIndexes()
+			cr.deltas = append(cr.deltas, deltaPlan{pred: l.Atom.Pred, plan: dp})
+		}
+		crs = append(crs, cr)
 	}
-	return 0
+	return crs, nil
 }
 
 // fixpoint computes one strongly connected component of predicates to
@@ -228,10 +307,17 @@ func (e *Engine) fixpoint(scc []string) error {
 	if len(rules) == 0 {
 		return nil
 	}
-	if e.naive {
-		return e.naiveFixpoint(inSCC, rules)
+	crs, err := e.compileStratum(inSCC, rules)
+	if err != nil {
+		return err
 	}
-	return e.semiNaiveFixpoint(inSCC, rules)
+	if e.naive {
+		return e.naiveFixpoint(crs)
+	}
+	if e.parallel > 1 {
+		return e.parallelFixpoint(inSCC, crs)
+	}
+	return e.semiNaiveFixpoint(inSCC, crs)
 }
 
 func (e *Engine) insert(pred string, rel *storage.Relation, t storage.Tuple) bool {
@@ -247,21 +333,18 @@ func (e *Engine) insert(pred string, rel *storage.Relation, t storage.Tuple) boo
 }
 
 // naiveFixpoint re-evaluates every rule of the component against the
-// full relations until no new tuple appears.
-func (e *Engine) naiveFixpoint(inSCC map[string]bool, rules []ast.Rule) error {
+// full relations until no new tuple appears. Plans are compiled once
+// for the whole fixpoint, not per round.
+func (e *Engine) naiveFixpoint(crs []compiledRule) error {
 	for {
 		e.startIteration()
 		changed := false
-		for _, r := range rules {
-			plan, err := planBody(r.Body, -1, e.estimator())
-			if err != nil {
-				return fmt.Errorf("rule %s: %w", r.Label, err)
-			}
-			rel := e.db.Relation(r.Head.Pred)
+		for i := range crs {
+			cr := &crs[i]
 			e.stats.RuleFirings++
-			err = e.runPlan(plan, 0, nil, ast.NewSubst(), func(env ast.Subst) error {
-				t := headTuple(r.Head, env)
-				if e.insert(r.Head.Pred, rel, t) {
+			err := e.runCompiled(cr.base, nil, nil, &e.stats, func(fr frame) error {
+				e.stats.Derived++
+				if e.insertPrecounted(cr.headPred, cr.headRel, cr.base.headTuple(fr)) {
 					changed = true
 				}
 				return nil
@@ -276,6 +359,19 @@ func (e *Engine) naiveFixpoint(inSCC map[string]bool, rules []ast.Rule) error {
 	}
 }
 
+// insertPrecounted is insert without the Derived increment (the caller
+// already counted the derivation).
+func (e *Engine) insertPrecounted(pred string, rel *storage.Relation, t storage.Tuple) bool {
+	if e.InsertFilter != nil && !e.InsertFilter(pred, t) {
+		return false
+	}
+	if rel.Insert(t) {
+		e.stats.Inserted++
+		return true
+	}
+	return false
+}
+
 // semiNaiveFixpoint runs differential evaluation over a component: an
 // initial round over the current state, then rounds in which, for every
 // rule and every body occurrence of a component predicate, that
@@ -284,7 +380,7 @@ func (e *Engine) naiveFixpoint(inSCC map[string]bool, rules []ast.Rule) error {
 // for the multi-occurrence rules a transformation may introduce, each
 // occurrence gets its own delta variant (a sound, set-semantics-safe
 // form that can re-derive a tuple at most once per variant).
-func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, rules []ast.Rule) error {
+func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) error {
 	delta := make(map[string]*storage.Relation)
 	for p := range inSCC {
 		rel := e.db.Relation(p)
@@ -295,17 +391,14 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, rules []ast.Rule) erro
 	// see whatever is already stored (normally empty, but seeds are
 	// permitted).
 	e.startIteration()
-	for _, r := range rules {
-		plan, err := planBody(r.Body, -1, e.estimator())
-		if err != nil {
-			return fmt.Errorf("rule %s: %w", r.Label, err)
-		}
-		rel := e.db.Relation(r.Head.Pred)
+	for i := range crs {
+		cr := &crs[i]
 		e.stats.RuleFirings++
-		err = e.runPlan(plan, 0, nil, ast.NewSubst(), func(env ast.Subst) error {
-			t := headTuple(r.Head, env)
-			if e.insert(r.Head.Pred, rel, t) {
-				delta[r.Head.Pred].Insert(t)
+		err := e.runCompiled(cr.base, nil, nil, &e.stats, func(fr frame) error {
+			e.stats.Derived++
+			t := cr.base.headTuple(fr)
+			if e.insertPrecounted(cr.headPred, cr.headRel, t) {
+				delta[cr.headPred].Insert(t)
 			}
 			return nil
 		})
@@ -314,26 +407,13 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, rules []ast.Rule) erro
 		}
 	}
 
-	// Delta variants: one per (rule, component-predicate occurrence).
-	type planned struct {
-		rule      ast.Rule
-		plan      []planStep
-		deltaPred string
-	}
-	var recPlans []planned
-	for _, r := range rules {
-		for i, l := range r.Body {
-			if l.Neg || !inSCC[l.Atom.Pred] {
-				continue
-			}
-			plan, err := planBody(r.Body, i, e.estimator())
-			if err != nil {
-				return fmt.Errorf("rule %s: %w", r.Label, err)
-			}
-			recPlans = append(recPlans, planned{r, plan, l.Atom.Pred})
+	hasDeltas := false
+	for i := range crs {
+		if len(crs[i].deltas) > 0 {
+			hasDeltas = true
 		}
 	}
-	for len(recPlans) > 0 {
+	for hasDeltas {
 		total := 0
 		for _, d := range delta {
 			total += d.Len()
@@ -346,22 +426,26 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, rules []ast.Rule) erro
 		for p := range inSCC {
 			next[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
 		}
-		for _, pr := range recPlans {
-			d := delta[pr.deltaPred]
-			if d.Len() == 0 {
-				continue
-			}
-			rel := e.db.Relation(pr.rule.Head.Pred)
-			e.stats.RuleFirings++
-			err := e.runPlan(pr.plan, 0, d, ast.NewSubst(), func(env ast.Subst) error {
-				t := headTuple(pr.rule.Head, env)
-				if e.insert(pr.rule.Head.Pred, rel, t) {
-					next[pr.rule.Head.Pred].Insert(t)
+		for i := range crs {
+			cr := &crs[i]
+			for _, dp := range cr.deltas {
+				d := delta[dp.pred]
+				if d.Len() == 0 {
+					continue
 				}
-				return nil
-			})
-			if err != nil {
-				return err
+				e.stats.RuleFirings++
+				plan := dp.plan
+				err := e.runCompiled(plan, d.Tuples(), nil, &e.stats, func(fr frame) error {
+					e.stats.Derived++
+					t := plan.headTuple(fr)
+					if e.insertPrecounted(cr.headPred, cr.headRel, t) {
+						next[cr.headPred].Insert(t)
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
 			}
 		}
 		delta = next
@@ -369,149 +453,191 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, rules []ast.Rule) erro
 	return nil
 }
 
-// headTuple instantiates the head atom under env. Range restriction
-// guarantees groundness; a variable slipping through panics loudly in
-// Tuple.Key.
-func headTuple(head ast.Atom, env ast.Subst) storage.Tuple {
-	t := make(storage.Tuple, len(head.Args))
-	for i, a := range head.Args {
-		t[i] = env.Lookup(a)
-	}
-	return t
+// evalTask is one unit of parallel work: a compiled plan, possibly
+// restricted to a chunk of the round's delta, deriving into the named
+// head relation.
+type evalTask struct {
+	plan     *compiled
+	headPred string
+	headRel  *storage.Relation
+	delta    []storage.Tuple
 }
 
-// runPlan executes the planned body steps depth-first from step i,
-// extending env, and calls emit for every complete binding.
-func (e *Engine) runPlan(plan []planStep, i int, delta *storage.Relation, env ast.Subst, emit func(ast.Subst) error) error {
-	if i == len(plan) {
-		return emit(env)
+type taskResult struct {
+	buf   *storage.TupleSet
+	stats Stats
+	err   error
+}
+
+// parallelFixpoint is semiNaiveFixpoint with round-internal
+// parallelism: each round's rule firings (and chunks of each delta) fan
+// out over a bounded worker pool; workers derive into private
+// TupleSet buffers against frozen relations, and the buffers are merged
+// into the relations and next-round deltas at the round barrier, in
+// deterministic task order. The merge (and the InsertFilter, if any)
+// runs single-threaded, so set semantics, the final fixpoint, and the
+// Inserted count are identical to sequential evaluation.
+func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) error {
+	delta := make(map[string]*storage.Relation)
+	for p := range inSCC {
+		delta[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
 	}
-	step := plan[i]
-	switch step.kind {
-	case stepFilter:
-		ok, err := EvalLiteral(step.lit, env)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		return e.runPlan(plan, i+1, delta, env, emit)
 
-	case stepBind:
-		a := env.Lookup(step.lit.Atom.Args[0])
-		b := env.Lookup(step.lit.Atom.Args[1])
-		if va, ok := a.(ast.Var); ok {
-			if !ast.IsGround(b) {
-				return fmt.Errorf("eval: unbound equality %s", step.lit)
-			}
-			env[va] = b
-			err := e.runPlan(plan, i+1, delta, env, emit)
-			delete(env, va)
-			return err
-		}
-		if vb, ok := b.(ast.Var); ok {
-			env[vb] = a
-			err := e.runPlan(plan, i+1, delta, env, emit)
-			delete(env, vb)
-			return err
-		}
-		ok, err := Compare(ast.OpEq, a, b)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		return e.runPlan(plan, i+1, delta, env, emit)
+	// Round 0: one task per rule, over the full current state.
+	e.startIteration()
+	var tasks []evalTask
+	for i := range crs {
+		cr := &crs[i]
+		e.stats.RuleFirings++
+		tasks = append(tasks, evalTask{plan: cr.base, headPred: cr.headPred, headRel: cr.headRel})
+	}
+	if err := e.runRound(tasks, delta); err != nil {
+		return err
+	}
 
-	case stepNegCheck:
-		// Safe negation as failure: every argument is bound; the
-		// derivation survives only if the instantiated tuple is absent.
-		negAtom := step.lit.Atom
-		t := make(storage.Tuple, len(negAtom.Args))
-		for k, arg := range negAtom.Args {
-			t[k] = env.Lookup(arg)
-			if !ast.IsGround(t[k]) {
-				return fmt.Errorf("eval: negated literal %s not fully bound", step.lit)
-			}
+	hasDeltas := false
+	for i := range crs {
+		if len(crs[i].deltas) > 0 {
+			hasDeltas = true
 		}
-		e.stats.Probes++
-		if rel := e.db.Relation(negAtom.Pred); rel != nil && rel.Arity == len(t) && rel.Contains(t) {
+	}
+	for hasDeltas {
+		total := 0
+		for _, d := range delta {
+			total += d.Len()
+		}
+		if total == 0 {
 			return nil
 		}
-		return e.runPlan(plan, i+1, delta, env, emit)
-
-	case stepScan:
-		atom := step.lit.Atom
-		var rel *storage.Relation
-		if step.useDelta {
-			rel = delta
-		} else {
-			rel = e.db.Relation(atom.Pred)
+		e.startIteration()
+		next := make(map[string]*storage.Relation)
+		for p := range inSCC {
+			next[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
 		}
-		if rel == nil || rel.Len() == 0 {
-			return nil
-		}
-		if rel.Arity != len(atom.Args) {
-			return fmt.Errorf("eval: %s used with arity %d but stored with arity %d",
-				atom.Pred, len(atom.Args), rel.Arity)
-		}
-		// Resolve argument constraints under env.
-		resolved := make([]ast.Term, len(atom.Args))
-		firstBound := -1
-		for k, arg := range atom.Args {
-			resolved[k] = env.Lookup(arg)
-			if firstBound < 0 && ast.IsGround(resolved[k]) {
-				firstBound = k
-			}
-		}
-		tryTuple := func(t storage.Tuple) error {
-			e.stats.Probes++
-			var trail []ast.Var
-			ok := true
-			for k := range resolved {
-				cur := env.Lookup(resolved[k])
-				if v, isVar := cur.(ast.Var); isVar {
-					env[v] = t[k]
-					trail = append(trail, v)
+		tasks = tasks[:0]
+		for i := range crs {
+			cr := &crs[i]
+			for _, dp := range cr.deltas {
+				d := delta[dp.pred]
+				if d.Len() == 0 {
 					continue
 				}
-				if cur != t[k] {
-					ok = false
-					break
+				e.stats.RuleFirings++
+				for _, chunk := range chunkTuples(d.Tuples(), e.parallel) {
+					tasks = append(tasks, evalTask{
+						plan: dp.plan, headPred: cr.headPred, headRel: cr.headRel, delta: chunk,
+					})
 				}
 			}
-			var err error
-			if ok {
-				err = e.runPlan(plan, i+1, delta, env, emit)
-			}
-			for _, v := range trail {
-				delete(env, v)
-			}
+		}
+		if err := e.runRound(tasks, next); err != nil {
 			return err
 		}
-		if firstBound >= 0 {
-			for _, pos := range rel.Lookup(firstBound, resolved[firstBound]) {
-				if err := tryTuple(rel.At(pos)); err != nil {
-					return err
-				}
-			}
-			return nil
+		delta = next
+	}
+	return nil
+}
+
+// chunkTuples splits ts into at most parts contiguous chunks of near
+// equal size. Tiny deltas stay in one chunk: below this size the
+// per-task overhead outweighs the parallelism.
+const minChunk = 32
+
+func chunkTuples(ts []storage.Tuple, parts int) [][]storage.Tuple {
+	if parts <= 1 || len(ts) <= minChunk {
+		return [][]storage.Tuple{ts}
+	}
+	size := (len(ts) + parts - 1) / parts
+	if size < minChunk {
+		size = minChunk
+	}
+	var out [][]storage.Tuple
+	for start := 0; start < len(ts); start += size {
+		end := start + size
+		if end > len(ts) {
+			end = len(ts)
 		}
-		for _, t := range rel.Tuples() {
-			if err := tryTuple(t); err != nil {
-				return err
-			}
-		}
+		out = append(out, ts[start:end])
+	}
+	return out
+}
+
+// runRound executes the round's tasks over the worker pool and merges
+// the results. During execution every reachable relation is frozen
+// (workers only read); all mutation happens here after the barrier, in
+// task order, which makes the merge deterministic.
+func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relation) error {
+	if len(tasks) == 0 {
 		return nil
 	}
-	return fmt.Errorf("eval: unknown plan step kind %d", step.kind)
+	workers := e.parallel
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]taskResult, len(tasks))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range ch {
+				t := &tasks[ti]
+				buf := storage.NewTupleSet()
+				var st Stats
+				err := e.runCompiled(t.plan, t.delta, nil, &st, func(fr frame) error {
+					st.Derived++
+					ht := t.plan.headTuple(fr)
+					// Dedup against the frozen relation and within this
+					// task's buffer; cross-task duplicates fall out at
+					// the merge.
+					if !t.headRel.Contains(ht) {
+						buf.Add(ht)
+					}
+					return nil
+				})
+				results[ti] = taskResult{buf: buf, stats: st, err: err}
+			}
+		}()
+	}
+	for i := range tasks {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return r.err
+		}
+		e.stats.Add(r.stats)
+		t := &tasks[i]
+		if e.InsertFilter == nil {
+			news := t.headRel.InsertAll(r.buf.Tuples())
+			e.stats.Inserted += int64(len(news))
+			for _, ht := range news {
+				nextDelta[t.headPred].Insert(ht)
+			}
+			continue
+		}
+		for _, ht := range r.buf.Tuples() {
+			if !e.InsertFilter(t.headPred, ht) {
+				continue
+			}
+			if t.headRel.Insert(ht) {
+				e.stats.Inserted++
+				nextDelta[t.headPred].Insert(ht)
+			}
+		}
+	}
+	return nil
 }
 
 // Query returns the tuples of the goal's relation matching the goal's
 // constant bindings, after Run has completed. Repeated variables in the
-// goal act as equality constraints.
+// goal act as equality constraints. When the goal has a ground
+// argument, the relation's column index narrows the scan to the
+// matching positions instead of walking every tuple.
 func (e *Engine) Query(goal ast.Atom) ([]storage.Tuple, error) {
 	rel := e.db.Relation(goal.Pred)
 	if rel == nil {
@@ -520,12 +646,28 @@ func (e *Engine) Query(goal ast.Atom) ([]storage.Tuple, error) {
 	if rel.Arity != len(goal.Args) {
 		return nil, fmt.Errorf("eval: query %s has arity %d, relation has %d", goal, len(goal.Args), rel.Arity)
 	}
+	col := -1
+	for i, t := range goal.Args {
+		if ast.IsGround(t) {
+			col = i
+			break
+		}
+	}
 	var out []storage.Tuple
-	for _, t := range rel.Tuples() {
+	match := func(t storage.Tuple) {
 		env := ast.NewSubst()
 		if ast.MatchAtom(env, goal, ast.Atom{Pred: goal.Pred, Args: t}) {
 			out = append(out, t)
 		}
+	}
+	if col >= 0 {
+		for _, pos := range rel.Lookup(col, goal.Args[col]) {
+			match(rel.At(pos))
+		}
+		return out, nil
+	}
+	for _, t := range rel.Tuples() {
+		match(t)
 	}
 	return out, nil
 }

@@ -115,7 +115,26 @@ func (e *Engine) explain(goal ast.Atom, onPath map[string]bool, budget *int) *De
 		if !ast.MatchAtom(env, r.Head, goal) {
 			continue
 		}
-		plan, err := planBody(r.Body, -1, e.estimator())
+		// Plan and compile the body with the goal's head bindings
+		// prebound: the compiler allocates prebound slots first, and the
+		// seed below fills them before execution. Plans are not cached
+		// across Explain calls — facts may be loaded between calls, and
+		// compiled plans pin relation pointers.
+		preboundSet := make(map[ast.Var]bool, len(env))
+		var prebound []ast.Var
+		var seed []ast.Term
+		for _, arg := range r.Head.Args {
+			if v, ok := arg.(ast.Var); ok && !preboundSet[v] {
+				preboundSet[v] = true
+				prebound = append(prebound, v)
+				seed = append(seed, env[v])
+			}
+		}
+		plan, err := planBody(r.Body, -1, e.estimator(), preboundSet)
+		if err != nil {
+			continue
+		}
+		c, err := compilePlan(plan, r.Head, e.db, prebound)
 		if err != nil {
 			continue
 		}
@@ -124,8 +143,8 @@ func (e *Engine) explain(goal ast.Atom, onPath map[string]bool, budget *int) *De
 		// same rule explains the goal acyclically.
 		const maxWitnesses = 32
 		var witnesses []ast.Subst
-		err = e.runPlan(plan, 0, nil, env, func(w ast.Subst) error {
-			witnesses = append(witnesses, w.Clone())
+		err = e.runCompiled(c, nil, seed, &e.stats, func(fr frame) error {
+			witnesses = append(witnesses, c.subst(fr))
 			if len(witnesses) >= maxWitnesses {
 				return errFound
 			}

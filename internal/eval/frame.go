@@ -1,0 +1,258 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// This file implements slot compilation: a planned rule body
+// ([]planStep from planBody) is lowered once into a flat instruction
+// program over an integer-indexed register frame — one slot per
+// distinct variable, assigned at compile time. Execution (exec.go) then
+// binds and probes through slice indexing instead of the
+// map[ast.Var]ast.Term substitutions the interpreter used before, and
+// the compiled program is cached for the whole fixpoint instead of
+// being re-derived every round.
+
+// frame is the register file of a compiled plan: one ast.Term per
+// variable slot, nil while unbound.
+type frame []ast.Term
+
+// argRef refers to either a constant or a variable slot.
+type argRef struct {
+	slot int      // valid when >= 0
+	c    ast.Term // valid when slot < 0
+}
+
+func constRef(t ast.Term) argRef { return argRef{slot: -1, c: t} }
+func slotRef(s int) argRef       { return argRef{slot: s} }
+
+// resolve reads the value of a reference under fr. Bound slots hold
+// ground terms by construction.
+func (r argRef) resolve(fr frame) ast.Term {
+	if r.slot >= 0 {
+		return fr[r.slot]
+	}
+	return r.c
+}
+
+// scanArgKind classifies one column of a scan step.
+type scanArgKind uint8
+
+const (
+	argConst     scanArgKind = iota // column must equal a constant
+	argCheckSlot                    // column must equal an already-bound slot
+	argBindSlot                     // column binds this slot
+)
+
+type scanArg struct {
+	kind scanArgKind
+	slot int      // argCheckSlot / argBindSlot
+	c    ast.Term // argConst
+}
+
+// instr is one compiled instruction. A tagged struct (rather than an
+// interface) keeps dispatch a jump table and the program contiguous.
+type instr struct {
+	kind stepKind
+
+	// stepScan
+	pred      string
+	rel       *storage.Relation // resolved at compile time; nil if the relation did not exist yet
+	useDelta  bool
+	scanArgs  []scanArg
+	lookupCol int    // column probed through the hash index; -1 = full scan
+	lookupRef argRef // value for lookupCol
+	binds     []int  // slots bound by this scan, reset on backtrack
+	member    bool   // all columns bound: a single membership probe
+
+	// stepFilter (op, neg, a, b) and stepBind (slot, a)
+	op   string
+	neg  bool
+	a, b argRef
+	slot int
+
+	// stepNegCheck
+	refs []argRef
+}
+
+// compiled is an executable rule body plus its head projection.
+type compiled struct {
+	ops    []instr
+	nSlots int
+	head   []argRef  // head projection, all const or bound slots
+	vars   []ast.Var // slot -> variable, for witness reconstruction
+}
+
+// headTuple projects the head tuple out of a complete frame.
+func (c *compiled) headTuple(fr frame) storage.Tuple {
+	t := make(storage.Tuple, len(c.head))
+	for i, r := range c.head {
+		t[i] = r.resolve(fr)
+	}
+	return t
+}
+
+// subst reconstructs a substitution from a frame — used by Explain,
+// which needs named bindings to instantiate body atoms.
+func (c *compiled) subst(fr frame) ast.Subst {
+	s := make(ast.Subst, len(fr))
+	for i, v := range fr {
+		if v != nil {
+			s[c.vars[i]] = v
+		}
+	}
+	return s
+}
+
+// compiler tracks slot allocation and static boundness while lowering
+// plan steps. Boundness mirrors planBody's tracking exactly, so every
+// dynamic env.Lookup of the old interpreter becomes a compile-time
+// classification.
+type compiler struct {
+	slots map[ast.Var]int
+	bound map[int]bool
+	vars  []ast.Var
+}
+
+func (cp *compiler) slotOf(v ast.Var) int {
+	if s, ok := cp.slots[v]; ok {
+		return s
+	}
+	s := len(cp.vars)
+	cp.slots[v] = s
+	cp.vars = append(cp.vars, v)
+	return s
+}
+
+// ref classifies a term as a constant or a slot; ok reports whether the
+// term is ground-or-bound at this point of the plan.
+func (cp *compiler) ref(t ast.Term) (argRef, bool) {
+	if v, isVar := t.(ast.Var); isVar {
+		s := cp.slotOf(v)
+		return slotRef(s), cp.bound[s]
+	}
+	return constRef(t), true
+}
+
+// compilePlan lowers a planned body into an executable program. db
+// resolves database relations at compile time (relations are never
+// replaced during a fixpoint; ones created later are re-resolved at
+// run time). prebound lists variables whose slots the caller seeds
+// before execution, in slot order 0..len-1.
+func compilePlan(plan []planStep, head ast.Atom, db *storage.Database, prebound []ast.Var) (*compiled, error) {
+	cp := &compiler{slots: make(map[ast.Var]int), bound: make(map[int]bool)}
+	for _, v := range prebound {
+		cp.bound[cp.slotOf(v)] = true
+	}
+	c := &compiled{}
+	for _, step := range plan {
+		switch step.kind {
+		case stepScan:
+			atom := step.lit.Atom
+			in := instr{kind: stepScan, pred: atom.Pred, useDelta: step.useDelta, lookupCol: -1}
+			if !step.useDelta {
+				in.rel = db.Relation(atom.Pred)
+				if in.rel != nil && in.rel.Arity != len(atom.Args) {
+					return nil, fmt.Errorf("eval: %s used with arity %d but stored with arity %d",
+						atom.Pred, len(atom.Args), in.rel.Arity)
+				}
+			}
+			in.scanArgs = make([]scanArg, len(atom.Args))
+			for k, arg := range atom.Args {
+				r, isBound := cp.ref(arg)
+				switch {
+				case r.slot < 0:
+					in.scanArgs[k] = scanArg{kind: argConst, c: r.c}
+				case isBound:
+					in.scanArgs[k] = scanArg{kind: argCheckSlot, slot: r.slot}
+				default:
+					in.scanArgs[k] = scanArg{kind: argBindSlot, slot: r.slot}
+					in.binds = append(in.binds, r.slot)
+					cp.bound[r.slot] = true
+				}
+				// The first bound column drives the index probe; the
+				// delta occurrence is always scanned linearly (it is
+				// step 0 and arrives as a plain slice).
+				if !step.useDelta && in.lookupCol < 0 && in.scanArgs[k].kind != argBindSlot {
+					in.lookupCol = k
+					in.lookupRef = r
+				}
+			}
+			in.member = len(in.binds) == 0 && !step.useDelta
+			c.ops = append(c.ops, in)
+
+		case stepFilter:
+			atom := step.lit.Atom
+			if !atom.IsEvaluable() || len(atom.Args) != 2 {
+				return nil, fmt.Errorf("eval: %s is not a binary evaluable literal", step.lit)
+			}
+			a, okA := cp.ref(atom.Args[0])
+			b, okB := cp.ref(atom.Args[1])
+			if !okA || !okB {
+				return nil, fmt.Errorf("eval: comparison %s has unbound arguments", step.lit)
+			}
+			c.ops = append(c.ops, instr{kind: stepFilter, op: atom.Pred, neg: step.lit.Neg, a: a, b: b})
+
+		case stepBind:
+			atom := step.lit.Atom
+			a, okA := cp.ref(atom.Args[0])
+			b, okB := cp.ref(atom.Args[1])
+			var slot int
+			var src argRef
+			switch {
+			case !okA && okB:
+				slot, src = a.slot, b
+			case okA && !okB:
+				slot, src = b.slot, a
+			default:
+				return nil, fmt.Errorf("eval: unbound equality %s", step.lit)
+			}
+			cp.bound[slot] = true
+			c.ops = append(c.ops, instr{kind: stepBind, slot: slot, a: src})
+
+		case stepNegCheck:
+			atom := step.lit.Atom
+			in := instr{kind: stepNegCheck, pred: atom.Pred, rel: db.Relation(atom.Pred)}
+			in.refs = make([]argRef, len(atom.Args))
+			for k, arg := range atom.Args {
+				r, isBound := cp.ref(arg)
+				if !isBound {
+					return nil, fmt.Errorf("eval: negated literal %s not fully bound", step.lit)
+				}
+				in.refs[k] = r
+			}
+			c.ops = append(c.ops, in)
+
+		default:
+			return nil, fmt.Errorf("eval: unknown plan step kind %d", step.kind)
+		}
+	}
+	c.head = make([]argRef, len(head.Args))
+	for i, arg := range head.Args {
+		r, isBound := cp.ref(arg)
+		if !isBound {
+			return nil, fmt.Errorf("eval: head variable %s of %s is not range restricted", arg, head)
+		}
+		c.head[i] = r
+	}
+	c.nSlots = len(cp.vars)
+	c.vars = cp.vars
+	return c, nil
+}
+
+// prepareIndexes builds every hash index the compiled program will
+// probe. Under the parallel engine this must happen before workers
+// start, so rounds only read; indexes on still-growing component
+// relations stay valid because Insert maintains them incrementally at
+// the (single-threaded) round barrier.
+func (c *compiled) prepareIndexes() {
+	for i := range c.ops {
+		in := &c.ops[i]
+		if in.kind == stepScan && in.rel != nil && in.lookupCol >= 0 && !in.member {
+			in.rel.EnsureIndex(in.lookupCol)
+		}
+	}
+}

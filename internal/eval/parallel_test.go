@@ -1,0 +1,232 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// runBoth evaluates prog sequentially and with workers parallel workers
+// on clones of db, asserts identical fixpoints and Inserted counts, and
+// returns the parallel engine for further inspection.
+func runBoth(t *testing.T, prog *ast.Program, db *storage.Database, workers int) (*Engine, *storage.Database) {
+	t.Helper()
+	dSeq := db.Clone()
+	eSeq := New(prog, dSeq)
+	if err := eSeq.Run(); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	dPar := db.Clone()
+	ePar := New(prog, dPar)
+	ePar.SetParallel(workers)
+	if err := ePar.Run(); err != nil {
+		t.Fatalf("parallel(%d): %v", workers, err)
+	}
+	if !dSeq.Equal(dPar) {
+		t.Fatalf("parallel(%d) fixpoint differs from sequential", workers)
+	}
+	if eSeq.Stats().Inserted != ePar.Stats().Inserted {
+		t.Fatalf("Inserted differs: sequential %d, parallel(%d) %d",
+			eSeq.Stats().Inserted, workers, ePar.Stats().Inserted)
+	}
+	return ePar, dPar
+}
+
+func TestParallelTransitiveClosure(t *testing.T) {
+	prog := mustProgram(t, tcSrc)
+	for _, workers := range []int{2, 4, 8} {
+		e, db := runBoth(t, prog, chainDB(40), workers)
+		if got := db.Count("tc"); got != 41*40/2 {
+			t.Errorf("workers=%d: tc count = %d, want %d", workers, got, 41*40/2)
+		}
+		if e.Stats().Inserted == 0 {
+			t.Errorf("workers=%d: Inserted = 0", workers)
+		}
+	}
+}
+
+func TestParallelCyclicGraph(t *testing.T) {
+	prog := mustProgram(t, tcSrc)
+	db := storage.NewDatabase()
+	// Two cycles joined by a bridge: every node reaches every node.
+	for i := 0; i < 6; i++ {
+		db.Add("edge", ast.Sym(fmt.Sprintf("a%d", i)), ast.Sym(fmt.Sprintf("a%d", (i+1)%6)))
+		db.Add("edge", ast.Sym(fmt.Sprintf("b%d", i)), ast.Sym(fmt.Sprintf("b%d", (i+1)%6)))
+	}
+	db.Add("edge", ast.Sym("a0"), ast.Sym("b0"))
+	db.Add("edge", ast.Sym("b0"), ast.Sym("a0"))
+	_, dPar := runBoth(t, prog, db, 4)
+	if got := dPar.Count("tc"); got != 12*12 {
+		t.Errorf("tc count = %d, want 144", got)
+	}
+}
+
+func TestParallelMutualRecursion(t *testing.T) {
+	prog := mustProgram(t, `
+even(X) :- zero(X).
+even(Y) :- odd(X), succ(X, Y).
+odd(Y) :- even(X), succ(X, Y).
+`)
+	db := storage.NewDatabase()
+	db.Add("zero", ast.Int(0))
+	for i := 0; i < 50; i++ {
+		db.Add("succ", ast.Int(int64(i)), ast.Int(int64(i+1)))
+	}
+	_, dPar := runBoth(t, prog, db, 4)
+	if got := dPar.Count("even"); got != 26 {
+		t.Errorf("even count = %d, want 26", got)
+	}
+	if got := dPar.Count("odd"); got != 25 {
+		t.Errorf("odd count = %d, want 25", got)
+	}
+}
+
+func TestParallelStrataWithNegation(t *testing.T) {
+	prog := mustProgram(t, `
+reach(X) :- source(X).
+reach(Y) :- reach(X), edge(X, Y).
+unreached(X) :- node(X), not reach(X).
+`)
+	db := chainDB(10)
+	for i := 0; i <= 10; i++ {
+		db.Add("node", ast.Sym(fmt.Sprintf("n%d", i)))
+	}
+	db.Add("node", ast.Sym("island"))
+	db.Add("source", ast.Sym("n0"))
+	_, dPar := runBoth(t, prog, db, 4)
+	if got := dPar.Count("reach"); got != 11 {
+		t.Errorf("reach count = %d, want 11", got)
+	}
+	if got := dPar.Count("unreached"); got != 1 {
+		t.Errorf("unreached count = %d, want 1", got)
+	}
+}
+
+// Seeded recursion: IDB facts in the program participate in round 0
+// under the parallel engine exactly as they do sequentially.
+func TestParallelSeededRecursion(t *testing.T) {
+	prog := mustProgram(t, `
+tc(n5, n99).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+`)
+	_, dPar := runBoth(t, prog, chainDB(8), 4)
+	rel := dPar.Relation("tc")
+	if rel == nil || !rel.Contains(storage.Tuple{ast.Sym("n0"), ast.Sym("n99")}) {
+		t.Error("seeded tuple did not propagate: want tc(n0, n99)")
+	}
+}
+
+// The InsertFilter hook runs single-threaded at the merge barrier and
+// discards derivations under the parallel engine just as it does
+// sequentially.
+func TestParallelInsertFilter(t *testing.T) {
+	prog := mustProgram(t, tcSrc)
+	db := chainDB(12)
+	e := New(prog, db)
+	e.SetParallel(4)
+	banned := ast.Sym("n0")
+	e.InsertFilter = func(pred string, tp storage.Tuple) bool {
+		return pred != "tc" || tp[0] != banned
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rel := db.Relation("tc")
+	for _, tp := range rel.Tuples() {
+		if tp[0] == banned {
+			t.Fatalf("filter leaked tuple tc%v under parallel evaluation", tp)
+		}
+	}
+	// 13 nodes, closure without any pair starting at n0: 12*13/2 - 12.
+	if got := rel.Len(); got != 13*12/2-12 {
+		t.Errorf("tc count = %d, want %d", got, 13*12/2-12)
+	}
+}
+
+// The IterationHook fires once per round, single-threaded, in parallel
+// mode too.
+func TestParallelIterationHook(t *testing.T) {
+	prog := mustProgram(t, tcSrc)
+	db := chainDB(10)
+	e := New(prog, db)
+	e.SetParallel(4)
+	var rounds []int
+	e.IterationHook = func(round int) { rounds = append(rounds, round) }
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("IterationHook never fired")
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("rounds not sequential: %v", rounds)
+		}
+	}
+}
+
+// SetParallel(0) resolves to GOMAXPROCS and must still agree with
+// sequential evaluation regardless of the host's core count.
+func TestParallelAutoWidth(t *testing.T) {
+	prog := mustProgram(t, tcSrc)
+	runBoth(t, prog, chainDB(20), 0)
+}
+
+// A delta large enough to be split into several chunks exercises the
+// chunked-task path (minChunk tuples per task).
+func TestParallelLargeDeltaChunking(t *testing.T) {
+	prog := mustProgram(t, `
+hop(X, Y) :- link(X, Y).
+hop(X, Y) :- hop(X, Z), link(Z, Y).
+`)
+	db := storage.NewDatabase()
+	// A star through a hub: round deltas reach hundreds of tuples.
+	for i := 0; i < 120; i++ {
+		db.Add("link", ast.Sym(fmt.Sprintf("s%d", i)), ast.Sym("hub"))
+		db.Add("link", ast.Sym("hub"), ast.Sym(fmt.Sprintf("t%d", i)))
+	}
+	_, dPar := runBoth(t, prog, db, 4)
+	// s_i -> hub, hub -> t_j, s_i -> t_j = 120 + 120 + 120*120.
+	if got := dPar.Count("hop"); got != 120+120+120*120 {
+		t.Errorf("hop count = %d, want %d", got, 120+120+120*120)
+	}
+}
+
+func TestChunkTuples(t *testing.T) {
+	mk := func(n int) []storage.Tuple {
+		ts := make([]storage.Tuple, n)
+		for i := range ts {
+			ts[i] = storage.Tuple{ast.Int(int64(i))}
+		}
+		return ts
+	}
+	cases := []struct {
+		n, parts int
+	}{
+		{0, 4}, {1, 4}, {31, 4}, {32, 4}, {33, 4}, {100, 4}, {1000, 8}, {50, 1},
+	}
+	for _, c := range cases {
+		chunks := chunkTuples(mk(c.n), c.parts)
+		total := 0
+		seen := make(map[int64]bool)
+		for _, ch := range chunks {
+			total += len(ch)
+			for _, tp := range ch {
+				v := int64(tp[0].(ast.Int))
+				if seen[v] {
+					t.Fatalf("n=%d parts=%d: duplicate tuple %d", c.n, c.parts, v)
+				}
+				seen[v] = true
+			}
+		}
+		if total != c.n {
+			t.Fatalf("n=%d parts=%d: chunks cover %d tuples", c.n, c.parts, total)
+		}
+		if len(chunks) > c.parts+1 {
+			t.Errorf("n=%d parts=%d: %d chunks", c.n, c.parts, len(chunks))
+		}
+	}
+}

@@ -43,11 +43,17 @@ type estimator func(a ast.Atom, bound map[ast.Var]bool) float64
 //     is available, else by most bound arguments; with no sharing
 //     literal, source order decides.
 //
+// Variables in prebound are treated as already bound before the first
+// step (the top-down Explain search seeds them from the ground goal).
+//
 // It returns an error if some evaluable literal can never be bound
 // (an unsafe rule).
-func planBody(body []ast.Literal, deltaIdx int, est estimator) ([]planStep, error) {
+func planBody(body []ast.Literal, deltaIdx int, est estimator, prebound map[ast.Var]bool) ([]planStep, error) {
 	used := make([]bool, len(body))
-	bound := make(map[ast.Var]bool)
+	bound := make(map[ast.Var]bool, len(prebound))
+	for v := range prebound {
+		bound[v] = true
+	}
 	var plan []planStep
 
 	bindAtomVars := func(a ast.Atom) {

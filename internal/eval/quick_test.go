@@ -46,6 +46,56 @@ func TestQuickNaiveEqualsSemiNaiveOnRandomPrograms(t *testing.T) {
 	}
 }
 
+// Parallel, sequential, and naive evaluation agree on random programs:
+// identical final relations and identical Inserted counts. Iterations,
+// Probes, and Derived may legitimately differ between strategies, but
+// the fixpoint and the number of genuinely new tuples must not.
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(558))
+	for round := 0; round < 25; round++ {
+		prog, arities := testutil.RandProgram(rng, testutil.RandProgramConfig{
+			Arity:     2 + rng.Intn(2),
+			EDBPreds:  2 + rng.Intn(2),
+			RecRules:  1 + rng.Intn(2),
+			ExitRules: 1 + rng.Intn(2),
+		})
+		db := testutil.RandDB(rng, arities, 5, 12)
+
+		dSeq := db.Clone()
+		eSeq := eval.New(prog, dSeq)
+		if err := eSeq.Run(); err != nil {
+			t.Fatalf("round %d: sequential: %v\n%s", round, err, prog)
+		}
+		dPar := db.Clone()
+		ePar := eval.New(prog, dPar)
+		ePar.SetParallel(4)
+		if err := ePar.Run(); err != nil {
+			t.Fatalf("round %d: parallel: %v\n%s", round, err, prog)
+		}
+		dNaive := db.Clone()
+		eNaive := eval.New(prog, dNaive)
+		eNaive.UseNaive()
+		if err := eNaive.Run(); err != nil {
+			t.Fatalf("round %d: naive: %v", round, err)
+		}
+
+		if !dSeq.Equal(dPar) {
+			t.Fatalf("round %d: parallel fixpoint differs from sequential\nprogram:\n%s", round, prog)
+		}
+		if !dSeq.Equal(dNaive) {
+			t.Fatalf("round %d: naive fixpoint differs from sequential\nprogram:\n%s", round, prog)
+		}
+		if eSeq.Stats().Inserted != ePar.Stats().Inserted {
+			t.Fatalf("round %d: Inserted differs: sequential %d, parallel %d\nprogram:\n%s",
+				round, eSeq.Stats().Inserted, ePar.Stats().Inserted, prog)
+		}
+		if eSeq.Stats().Inserted != eNaive.Stats().Inserted {
+			t.Fatalf("round %d: Inserted differs: sequential %d, naive %d\nprogram:\n%s",
+				round, eSeq.Stats().Inserted, eNaive.Stats().Inserted, prog)
+		}
+	}
+}
+
 // Monotonicity: adding EDB tuples never removes IDB answers.
 func TestQuickMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(556))

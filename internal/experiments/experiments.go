@@ -8,8 +8,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -86,6 +89,12 @@ type Config struct {
 	// Quick shrinks every sweep for CI-speed runs.
 	Quick bool
 	Seed  int64
+	// Parallel sets the eval engine's worker count for every measured
+	// run (0 or 1 = sequential; <0 = GOMAXPROCS).
+	Parallel int
+	// Rec, when non-nil, collects a machine-readable record for every
+	// measured evaluation (cmd/bench -json writes them out).
+	Rec *Recorder
 }
 
 func (c Config) seed() int64 {
@@ -93,6 +102,44 @@ func (c Config) seed() int64 {
 		return 42
 	}
 	return c.Seed
+}
+
+// BenchRecord is one measured evaluation in machine-readable form.
+type BenchRecord struct {
+	Experiment string     `json:"experiment"`
+	Label      string     `json:"label"`
+	Parallel   int        `json:"parallel"`
+	NsPerOp    int64      `json:"ns_per_op"`
+	Stats      eval.Stats `json:"stats"`
+}
+
+// Recorder accumulates BenchRecords across a suite run. A nil Recorder
+// discards.
+type Recorder struct {
+	Records []BenchRecord
+}
+
+func (r *Recorder) add(rec BenchRecord) {
+	if r != nil {
+		r.Records = append(r.Records, rec)
+	}
+}
+
+// WriteJSON emits the records plus environment metadata as one
+// indented JSON document (the BENCH_eval.json format).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		GoMaxProcs int           `json:"gomaxprocs"`
+		NumCPU     int           `json:"num_cpu"`
+		Records    []BenchRecord `json:"records"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Records:    r.Records,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // All runs the full suite in order.
@@ -113,13 +160,18 @@ func All(cfg Config) []Table {
 
 // runMeasured evaluates prog over clones of db three times and returns
 // the minimum duration (with the stats of that run), damping timing
-// jitter and first-touch effects.
-func runMeasured(prog *ast.Program, db *storage.Database) (time.Duration, eval.Stats, error) {
+// jitter and first-touch effects. The engine's worker count follows
+// cfg.Parallel, and cfg.Rec (if any) gets one record per call, tagged
+// with the experiment id and a row label.
+func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Database) (time.Duration, eval.Stats, error) {
 	var best time.Duration
 	var bestStats eval.Stats
 	for rep := 0; rep < 3; rep++ {
 		work := db.Clone()
 		e := eval.New(prog, work)
+		if cfg.Parallel != 0 {
+			e.SetParallel(cfg.Parallel)
+		}
 		start := time.Now()
 		if err := e.Run(); err != nil {
 			return 0, eval.Stats{}, err
@@ -129,6 +181,18 @@ func runMeasured(prog *ast.Program, db *storage.Database) (time.Duration, eval.S
 			best, bestStats = d, e.Stats()
 		}
 	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		if parallel < 0 {
+			parallel = runtime.GOMAXPROCS(0)
+		} else {
+			parallel = 1
+		}
+	}
+	cfg.Rec.add(BenchRecord{
+		Experiment: id, Label: label, Parallel: parallel,
+		NsPerOp: best.Nanoseconds(), Stats: bestStats,
+	})
 	return best, bestStats, nil
 }
 
@@ -180,17 +244,18 @@ func E1AtomElimination(cfg Config) Table {
 	for _, sh := range shapes {
 		for _, exec := range []float64{0.1, 0.9} {
 			db := workload.OrgDB(rng, 2, sh.levels, sh.branch, exec)
-			d1, s1, err := runMeasured(res.Rectified, db)
+			lab := fmt.Sprintf("levels=%d,branch=%d,exec=%v", sh.levels, sh.branch, exec)
+			d1, s1, err := runMeasured(cfg, "E1", lab+"/orig", res.Rectified, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
 			}
-			d2, s2, err := runMeasured(res.Optimized, db)
+			d2, s2, err := runMeasured(cfg, "E1", lab+"/opt", res.Optimized, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
 			}
-			dIso, _, err := runMeasured(iso.Prog, db)
+			dIso, _, err := runMeasured(cfg, "E1", lab+"/iso", iso.Prog, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
@@ -232,12 +297,13 @@ func E2AtomIntroduction(cfg Config) Table {
 	for _, n := range sizes {
 		for _, hp := range []float64{0.1, 0.6} {
 			db := workload.AcademicDB(rng, 6, 5, n, 4, hp)
-			d1, s1, err := runMeasured(res.Rectified, db)
+			lab := fmt.Sprintf("students=%d,highPay=%v", n, hp)
+			d1, s1, err := runMeasured(cfg, "E2", lab+"/orig", res.Rectified, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
 			}
-			d2, s2, err := runMeasured(res.Optimized, db)
+			d2, s2, err := runMeasured(cfg, "E2", lab+"/opt", res.Optimized, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
@@ -297,22 +363,23 @@ func E3SubtreePruning(cfg Config) Table {
 	rng := rand.New(rand.NewSource(cfg.seed()))
 	for _, sh := range shapes {
 		db := workload.GenealogyDB(rng, sh.fam, sh.depth)
-		d1, _, err := runMeasured(res.Rectified, db)
+		lab := fmt.Sprintf("fam=%d,depth=%d", sh.fam, sh.depth)
+		d1, _, err := runMeasured(cfg, "E3", lab+"/full-orig", res.Rectified, db)
 		if err != nil {
 			t.Notes = append(t.Notes, err.Error())
 			continue
 		}
-		d2, _, err := runMeasured(res.Optimized, db)
+		d2, _, err := runMeasured(cfg, "E3", lab+"/full-opt", res.Optimized, db)
 		if err != nil {
 			t.Notes = append(t.Notes, err.Error())
 			continue
 		}
-		d3, s3, err := runMeasured(selOrig, db)
+		d3, s3, err := runMeasured(cfg, "E3", lab+"/sel-orig", selOrig, db)
 		if err != nil {
 			t.Notes = append(t.Notes, err.Error())
 			continue
 		}
-		d4, s4, err := runMeasured(selOpt, db)
+		d4, s4, err := runMeasured(cfg, "E3", lab+"/sel-opt", selOpt, db)
 		if err != nil {
 			t.Notes = append(t.Notes, err.Error())
 			continue
@@ -413,10 +480,11 @@ func E5MagicComparison(cfg Config) Table {
 			t.Notes = append(t.Notes, err.Error())
 			continue
 		}
-		dPlain, sPlain, _ := runMeasured(plainProg, db)
-		dMagic, sMagic, _ := runMeasured(magicProg, db)
-		dSem, _, _ := runMeasured(semProg, db)
-		dBoth, _, _ := runMeasured(magicSem, db)
+		lab := fmt.Sprintf("fam=%d,depth=%d", sh.fam, sh.depth)
+		dPlain, sPlain, _ := runMeasured(cfg, "E5", lab+"/plain", plainProg, db)
+		dMagic, sMagic, _ := runMeasured(cfg, "E5", lab+"/magic", magicProg, db)
+		dSem, _, _ := runMeasured(cfg, "E5", lab+"/semantic", semProg, db)
+		dBoth, _, _ := runMeasured(cfg, "E5", lab+"/magic+sem", magicSem, db)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(sh.fam), fmt.Sprint(sh.depth),
 			ms(dPlain), ms(dMagic), ms(dSem), ms(dBoth),
@@ -456,9 +524,10 @@ func E6IsolationOverhead(cfg Config) Table {
 	rng := rand.New(rand.NewSource(cfg.seed()))
 	for _, sh := range shapes {
 		db := workload.GenealogyDB(rng, sh.fam, sh.depth)
-		dOrig, _, _ := runMeasured(rect, db)
-		dChain, _, _ := runMeasured(chain, db)
-		dFlat, _, _ := runMeasured(flat, db)
+		lab := fmt.Sprintf("fam=%d,depth=%d", sh.fam, sh.depth)
+		dOrig, _, _ := runMeasured(cfg, "E6", lab+"/orig", rect, db)
+		dChain, _, _ := runMeasured(cfg, "E6", lab+"/chain", chain, db)
+		dFlat, _, _ := runMeasured(cfg, "E6", lab+"/flat", flat, db)
 		t.Rows = append(t.Rows,
 			[]string{"chain (Alg 4.1)", fmt.Sprint(sh.fam), fmt.Sprint(sh.depth), ms(dOrig), ms(dChain), ratio(dChain, dOrig)},
 			[]string{"flat", fmt.Sprint(sh.fam), fmt.Sprint(sh.depth), ms(dOrig), ms(dFlat), ratio(dFlat, dOrig)},
@@ -538,8 +607,9 @@ func E8ChainVsFlat(cfg Config) Table {
 	rng := rand.New(rand.NewSource(cfg.seed()))
 	for _, sh := range shapes {
 		db := workload.GenealogyDB(rng, sh.fam, sh.depth)
-		dChain, sChain, _ := runMeasured(chain, db)
-		dFlat, sFlat, _ := runMeasured(flat, db)
+		lab := fmt.Sprintf("fam=%d,depth=%d", sh.fam, sh.depth)
+		dChain, sChain, _ := runMeasured(cfg, "E8", lab+"/chain", chain, db)
+		dFlat, sFlat, _ := runMeasured(cfg, "E8", lab+"/flat", flat, db)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(sh.fam), fmt.Sprint(sh.depth), ms(dChain), ms(dFlat),
 			fmt.Sprint(sChain.Iterations), fmt.Sprint(sFlat.Iterations),
@@ -586,6 +656,74 @@ func E9Chase(cfg Config) Table {
 	return t
 }
 
+// E11ParallelScaling — the parallel semi-naive engine on round-heavy
+// recursive workloads at 1, 2, and 4 workers. The fixpoint (and the
+// inserted count) is identical at every width by construction; the
+// interesting column is wall-clock scaling, which is bounded above by
+// GOMAXPROCS — on a single-core host the parallel engine can only show
+// its (small) coordination overhead, recorded honestly here.
+func E11ParallelScaling(cfg Config) Table {
+	t := Table{
+		ID:    "E11",
+		Title: "Parallel semi-naive scaling (round-barrier worker pool)",
+		Claim: "chunked delta fan-out preserves the fixpoint exactly; wall-clock speedup tracks available cores",
+		Columns: []string{"workload", "edb", "workers", "ms", "speedup vs 1", "inserted"},
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("host: GOMAXPROCS=%d, NumCPU=%d (speedup is capped by available cores)",
+		runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	rng := rand.New(rand.NewSource(cfg.seed()))
+
+	tcProg, err := parser.ParseProgram("tc(X, Y) :- edge(X, Y).\ntc(X, Y) :- tc(X, Z), edge(Z, Y).")
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	nodes, edges := 300, 900
+	genFam, genDepth := 200, 14
+	if cfg.Quick {
+		nodes, edges = 80, 240
+		genFam, genDepth = 60, 8
+	}
+	tcDB := storage.NewDatabase()
+	for i := 0; i < edges; i++ {
+		tcDB.Add("edge",
+			ast.Sym(fmt.Sprintf("v%d", rng.Intn(nodes))),
+			ast.Sym(fmt.Sprintf("v%d", rng.Intn(nodes))))
+	}
+	gen := workload.Genealogy()
+	rect, _ := ast.Rectify(gen.Program)
+	genDB := workload.GenealogyDB(rng, genFam, genDepth)
+
+	cases := []struct {
+		name string
+		prog *ast.Program
+		db   *storage.Database
+	}{
+		{"tc-random-graph", tcProg, tcDB},
+		{"genealogy", rect, genDB},
+	}
+	for _, c := range cases {
+		var base time.Duration
+		for _, w := range []int{1, 2, 4} {
+			wcfg := cfg
+			wcfg.Parallel = w
+			d, st, err := runMeasured(wcfg, "E11", fmt.Sprintf("%s/p%d", c.name, w), c.prog, c.db)
+			if err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				break
+			}
+			if w == 1 {
+				base = d
+			}
+			t.Rows = append(t.Rows, []string{
+				c.name, fmt.Sprint(c.db.TotalTuples()), fmt.Sprint(w),
+				ms(d), ratio(base, d), fmt.Sprint(st.Inserted),
+			})
+		}
+	}
+	return t
+}
+
 // E10EvalVsTransform — §1's central comparison: the evaluation paradigm
 // re-applies residues at every iteration; the transformation pays once
 // at compile time.
@@ -625,7 +763,8 @@ func E10EvalVsTransform(cfg Config) Table {
 	for _, sh := range shapes {
 		for _, nICs := range []int{1, 32} {
 			db := workload.GenealogyDB(rng, sh.fam, sh.depth)
-			dRun, _, _ := runMeasured(res.Optimized, db)
+			lab := fmt.Sprintf("fam=%d,depth=%d,ics=%d", sh.fam, sh.depth, nICs)
+			dRun, _, _ := runMeasured(cfg, "E10", lab+"/transform", res.Optimized, db)
 			work := db.Clone()
 			ics := extraICs(nICs - 1)
 			start := time.Now()

@@ -44,6 +44,44 @@ func TestAllQuick(t *testing.T) {
 	}
 }
 
+// E11 produces one row per (workload, worker count) and one recorder
+// entry per measured run, tagged with the worker count.
+func TestParallelScalingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	rec := &Recorder{}
+	tab := E11ParallelScaling(Config{Quick: true, Rec: rec})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (notes: %v)", len(tab.Rows), tab.Notes)
+	}
+	if len(rec.Records) != 6 {
+		t.Fatalf("records = %d, want 6", len(rec.Records))
+	}
+	widths := map[int]int{}
+	for _, r := range rec.Records {
+		if r.Experiment != "E11" {
+			t.Errorf("record experiment = %q", r.Experiment)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("record %s: ns_per_op = %d", r.Label, r.NsPerOp)
+		}
+		widths[r.Parallel]++
+	}
+	for _, w := range []int{1, 2, 4} {
+		if widths[w] != 2 {
+			t.Errorf("records at %d workers = %d, want 2", w, widths[w])
+		}
+	}
+	var sb strings.Builder
+	if err := rec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"gomaxprocs"`) || !strings.Contains(sb.String(), `"ns_per_op"`) {
+		t.Errorf("JSON document malformed:\n%s", sb.String())
+	}
+}
+
 func TestTableString(t *testing.T) {
 	tab := Table{
 		ID: "EX", Title: "t", Claim: "c",

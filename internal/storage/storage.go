@@ -4,8 +4,20 @@
 //
 // Tuples are slices of ground ast.Term values. Relations preserve
 // insertion order (for deterministic iteration) while enforcing set
-// semantics through an encoded-key map. Column indexes are created
-// lazily by the join engine and maintained incrementally afterwards.
+// semantics through a hashed membership structure: tuples are hashed
+// directly (FNV-1a over kind-tagged values) into buckets of positions,
+// so membership probes build no intermediate key strings. Column
+// indexes are created lazily by the join engine and maintained
+// incrementally afterwards.
+//
+// Concurrency discipline: relations have no internal locking. The
+// evaluation engine's parallel mode relies on a freeze protocol —
+// during a parallel fixpoint round every relation a worker can reach is
+// read-only (all mutation happens at the round barrier, single
+// threaded), and workers probe only through the read-only paths
+// (Contains, Tuples, At, LookupNoBuild). EnsureIndex/Lookup mutate the
+// relation on first use and must only be called while the relation is
+// not shared.
 package storage
 
 import (
@@ -22,6 +34,8 @@ type Tuple []ast.Term
 
 // Key encodes a tuple as a string usable as a map key. Encoding is
 // injective: each value is tagged with its kind and separated by NUL.
+// The hot membership path hashes tuples directly (see Hash); Key
+// remains for callers that need a printable injective encoding.
 func (t Tuple) Key() string {
 	var sb strings.Builder
 	for _, v := range t {
@@ -39,6 +53,38 @@ func (t Tuple) Key() string {
 		sb.WriteByte(0)
 	}
 	return sb.String()
+}
+
+// FNV-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the tuple, consistent with Equal:
+// equal tuples hash equally. The encoding mirrors Key (kind tag, value,
+// terminator) but never materializes a string.
+func (t Tuple) Hash() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range t {
+		switch x := v.(type) {
+		case ast.Int:
+			h = (h ^ 'i') * fnvPrime
+			u := uint64(x)
+			for s := 0; s < 64; s += 8 {
+				h = (h ^ (u >> s & 0xff)) * fnvPrime
+			}
+		case ast.Sym:
+			h = (h ^ 's') * fnvPrime
+			for i := 0; i < len(x); i++ {
+				h = (h ^ uint64(x[i])) * fnvPrime
+			}
+		default:
+			panic(fmt.Sprintf("storage: non-ground term %v in tuple", v))
+		}
+		h = (h ^ 0xff) * fnvPrime
+	}
+	return h
 }
 
 // Equal reports component-wise equality.
@@ -76,14 +122,75 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
+// tupleIndex is the shared hashed-set core of Relation and TupleSet: a
+// bucket map from tuple hash to the positions (in an external tuple
+// slice) holding tuples with that hash. Collisions are resolved by
+// comparing the actual tuples, so correctness never depends on hash
+// quality.
+type tupleIndex map[uint64][]int
+
+func (ix tupleIndex) contains(tuples []Tuple, t Tuple) bool {
+	for _, pos := range ix[t.Hash()] {
+		if tuples[pos].Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts pos for t unless an equal tuple is already present.
+func (ix tupleIndex) add(tuples []Tuple, t Tuple, pos int) bool {
+	h := t.Hash()
+	for _, p := range ix[h] {
+		if tuples[p].Equal(t) {
+			return false
+		}
+	}
+	ix[h] = append(ix[h], pos)
+	return true
+}
+
+// TupleSet is a standalone set of tuples with insertion-order
+// iteration. The parallel evaluation engine uses one per worker as a
+// private derivation buffer that is merged into relations at the round
+// barrier.
+type TupleSet struct {
+	index  tupleIndex
+	tuples []Tuple
+}
+
+// NewTupleSet returns an empty set.
+func NewTupleSet() *TupleSet {
+	return &TupleSet{index: make(tupleIndex)}
+}
+
+// Add inserts t if absent and reports whether it was new.
+func (s *TupleSet) Add(t Tuple) bool {
+	if !s.index.add(s.tuples, t, len(s.tuples)) {
+		return false
+	}
+	s.tuples = append(s.tuples, t)
+	return true
+}
+
+// Contains reports membership.
+func (s *TupleSet) Contains(t Tuple) bool { return s.index.contains(s.tuples, t) }
+
+// Len returns the number of tuples.
+func (s *TupleSet) Len() int { return len(s.tuples) }
+
+// Tuples returns the backing slice in insertion order (callers must not
+// mutate it).
+func (s *TupleSet) Tuples() []Tuple { return s.tuples }
+
 // Relation is a set of equal-arity tuples with optional per-column hash
 // indexes.
 type Relation struct {
 	Name  string
 	Arity int
 
-	tuples  []Tuple
-	present map[string]bool
+	tuples []Tuple
+	index  tupleIndex
 	// colIndex[i] maps a column-i value to the positions of tuples
 	// holding it; nil until EnsureIndex(i) is called.
 	colIndex []map[ast.Term][]int
@@ -94,7 +201,7 @@ func NewRelation(name string, arity int) *Relation {
 	return &Relation{
 		Name:     name,
 		Arity:    arity,
-		present:  make(map[string]bool),
+		index:    make(tupleIndex),
 		colIndex: make([]map[ast.Term][]int, arity),
 	}
 }
@@ -108,12 +215,10 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("storage: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
-	k := t.Key()
-	if r.present[k] {
+	pos := len(r.tuples)
+	if !r.index.add(r.tuples, t, pos) {
 		return false
 	}
-	r.present[k] = true
-	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	for col, idx := range r.colIndex {
 		if idx != nil {
@@ -123,14 +228,29 @@ func (r *Relation) Insert(t Tuple) bool {
 	return true
 }
 
-// Contains reports whether the relation holds t.
-func (r *Relation) Contains(t Tuple) bool { return r.present[t.Key()] }
+// InsertAll bulk-inserts tuples and returns the ones that were new, in
+// insertion order. It is the merge path for per-worker derivation
+// buffers at the round barrier, where the new tuples become the next
+// round's delta.
+func (r *Relation) InsertAll(ts []Tuple) []Tuple {
+	var news []Tuple
+	for _, t := range ts {
+		if r.Insert(t) {
+			news = append(news, t)
+		}
+	}
+	return news
+}
+
+// Contains reports whether the relation holds t. Read-only.
+func (r *Relation) Contains(t Tuple) bool { return r.index.contains(r.tuples, t) }
 
 // Tuples returns the backing slice (callers must not mutate it).
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // EnsureIndex builds (if needed) and returns the hash index on column
-// col.
+// col. It mutates the relation on first use; under the parallel
+// engine's freeze protocol it must be called before a round starts.
 func (r *Relation) EnsureIndex(col int) map[ast.Term][]int {
 	if r.colIndex[col] == nil {
 		idx := make(map[ast.Term][]int)
@@ -146,6 +266,18 @@ func (r *Relation) EnsureIndex(col int) map[ast.Term][]int {
 // using (and building if necessary) the column index.
 func (r *Relation) Lookup(col int, v ast.Term) []int {
 	return r.EnsureIndex(col)[v]
+}
+
+// LookupNoBuild returns the positions of tuples whose column col equals
+// v if the column index already exists; ok is false when the index has
+// not been built. It never mutates the relation, so concurrent readers
+// may call it during a frozen round.
+func (r *Relation) LookupNoBuild(col int, v ast.Term) (positions []int, ok bool) {
+	idx := r.colIndex[col]
+	if idx == nil {
+		return nil, false
+	}
+	return idx[v], true
 }
 
 // At returns the tuple at position pos.

@@ -96,8 +96,24 @@ type System struct {
 	ICs     []IC
 	DB      *DB
 
+	// Parallel sets the evaluation engine's worker count for Run,
+	// Query, QueryMagic and Explain: 0 or 1 evaluates sequentially,
+	// n > 1 uses n workers, n < 0 uses GOMAXPROCS. The computed
+	// fixpoint is identical in every mode.
+	Parallel int
+
 	optimized *Program
 	lastStats Stats
+}
+
+// engine builds an evaluation engine for prog over db honoring the
+// system's Parallel setting.
+func (s *System) engine(prog *Program, db *DB) *eval.Engine {
+	e := eval.New(prog, db)
+	if s.Parallel != 0 {
+		e.SetParallel(s.Parallel)
+	}
+	return e
 }
 
 // Load parses a source text containing rules, facts and integrity
@@ -175,7 +191,7 @@ func (s *System) ActiveProgram() *Program {
 // Run evaluates the active program to fixpoint over the system's
 // database.
 func (s *System) Run() (Stats, error) {
-	e := eval.New(s.ActiveProgram(), s.DB)
+	e := s.engine(s.ActiveProgram(), s.DB)
 	err := e.Run()
 	s.lastStats = e.Stats()
 	return s.lastStats, err
@@ -193,7 +209,7 @@ func (s *System) Query(goal string) ([]Tuple, error) {
 
 // QueryAtom is Query with a pre-parsed goal.
 func (s *System) QueryAtom(goal Atom) ([]Tuple, error) {
-	e := eval.New(s.ActiveProgram(), s.DB)
+	e := s.engine(s.ActiveProgram(), s.DB)
 	if err := e.Run(); err != nil {
 		return nil, err
 	}
@@ -215,7 +231,7 @@ func (s *System) QueryMagic(goal string) ([]Tuple, Stats, error) {
 		return nil, Stats{}, err
 	}
 	work := s.DB.Clone()
-	e := eval.New(mp, work)
+	e := s.engine(mp, work)
 	if err := e.Run(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -259,7 +275,7 @@ func (s *System) Explain(goal string) (*Derivation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: bad goal: %w", err)
 	}
-	e := eval.New(s.ActiveProgram(), s.DB)
+	e := s.engine(s.ActiveProgram(), s.DB)
 	if err := e.Run(); err != nil {
 		return nil, err
 	}
