@@ -48,7 +48,12 @@ type Engine struct {
 	// checks residues at run time instead of transforming the program.
 	// In parallel mode the filter runs at the round barrier
 	// (single-threaded), after per-worker dedup, so it sees each
-	// candidate tuple at most once per round.
+	// candidate tuple at most once per round — strictly fewer
+	// invocations than sequential mode, which consults it once per
+	// derivation. The filter must therefore be a deterministic pure
+	// function of (pred, tuple) for the parallel/sequential
+	// mode-equivalence guarantee to hold; stateful or counting filters
+	// will observe different call sequences across modes.
 	InsertFilter func(pred string, t storage.Tuple) bool
 
 	// IterationHook, when non-nil, runs at the start of every fixpoint
@@ -318,18 +323,6 @@ func (e *Engine) fixpoint(scc []string) error {
 		return e.parallelFixpoint(inSCC, crs)
 	}
 	return e.semiNaiveFixpoint(inSCC, crs)
-}
-
-func (e *Engine) insert(pred string, rel *storage.Relation, t storage.Tuple) bool {
-	e.stats.Derived++
-	if e.InsertFilter != nil && !e.InsertFilter(pred, t) {
-		return false
-	}
-	if rel.Insert(t) {
-		e.stats.Inserted++
-		return true
-	}
-	return false
 }
 
 // naiveFixpoint re-evaluates every rule of the component against the
@@ -605,11 +598,16 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 	}
 	close(ch)
 	wg.Wait()
+	// Check all results for errors before merging anything, so a failed
+	// round leaves the database and counters untouched — matching
+	// sequential evaluation, which stops at the failing firing.
+	for i := range results {
+		if results[i].err != nil {
+			return results[i].err
+		}
+	}
 	for i := range results {
 		r := &results[i]
-		if r.err != nil {
-			return r.err
-		}
 		e.stats.Add(r.stats)
 		t := &tasks[i]
 		if e.InsertFilter == nil {

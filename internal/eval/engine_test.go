@@ -245,6 +245,71 @@ func TestInsertFilterHook(t *testing.T) {
 	}
 }
 
+// Regression: a variable repeated within one body atom (e.g. e(X, X))
+// must not drive the index probe when the same scan binds it — the slot
+// is still nil when the probe would read it, so the lookup silently
+// matched nothing and every such tuple was dropped. Covers the
+// unbound-first-atom shape, a later safe constant column, and a
+// recursive rule, in all three evaluation modes.
+func TestRepeatedVariableInAtom(t *testing.T) {
+	const src = `
+self(X) :- e(X, X).
+next(Y) :- self(X), edge(X, Y).
+tri(X) :- f(X, X, b).
+reach(X) :- start(X).
+reach(Y) :- reach(X), edge(X, Y), e(Y, Y).
+`
+	mkDB := func() *storage.Database {
+		db := storage.NewDatabase()
+		db.Add("e", ast.Sym("a"), ast.Sym("a"))
+		db.Add("e", ast.Sym("a"), ast.Sym("b"))
+		db.Add("e", ast.Sym("b"), ast.Sym("b"))
+		db.Add("e", ast.Sym("c"), ast.Sym("a"))
+		db.Add("edge", ast.Sym("a"), ast.Sym("b"))
+		db.Add("edge", ast.Sym("b"), ast.Sym("c"))
+		db.Add("f", ast.Sym("a"), ast.Sym("a"), ast.Sym("b"))
+		db.Add("f", ast.Sym("a"), ast.Sym("c"), ast.Sym("b"))
+		db.Add("f", ast.Sym("d"), ast.Sym("d"), ast.Sym("b"))
+		db.Add("f", ast.Sym("d"), ast.Sym("d"), ast.Sym("x"))
+		db.Add("start", ast.Sym("a"))
+		return db
+	}
+	want := map[string][]string{
+		"self":  {"a", "b"},
+		"next":  {"b", "c"},
+		"tri":   {"a", "d"},
+		"reach": {"a", "b"},
+	}
+	modes := []struct {
+		name string
+		cfg  func(*Engine)
+	}{
+		{"semi-naive", func(e *Engine) {}},
+		{"naive", func(e *Engine) { e.UseNaive() }},
+		{"parallel", func(e *Engine) { e.SetParallel(4) }},
+	}
+	for _, m := range modes {
+		prog := mustProgram(t, src)
+		db := mkDB()
+		e := New(prog, db)
+		m.cfg(e)
+		if err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		for pred, syms := range want {
+			if got := db.Count(pred); got != len(syms) {
+				t.Errorf("%s: %s count = %d, want %d", m.name, pred, got, len(syms))
+			}
+			rel := db.Relation(pred)
+			for _, s := range syms {
+				if rel == nil || !rel.Contains(storage.Tuple{ast.Sym(s)}) {
+					t.Errorf("%s: missing %s(%s)", m.name, pred, s)
+				}
+			}
+		}
+	}
+}
+
 func TestQueryWithRepeatedVariable(t *testing.T) {
 	prog := mustProgram(t, `loopy(X, Y) :- edge(X, Y).`)
 	db := storage.NewDatabase()

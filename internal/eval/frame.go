@@ -137,6 +137,16 @@ func (cp *compiler) ref(t ast.Term) (argRef, bool) {
 	return constRef(t), true
 }
 
+// slotIn reports whether slot s is among binds.
+func slotIn(binds []int, s int) bool {
+	for _, b := range binds {
+		if b == s {
+			return true
+		}
+	}
+	return false
+}
+
 // compilePlan lowers a planned body into an executable program. db
 // resolves database relations at compile time (relations are never
 // replaced during a fixpoint; ones created later are re-resolved at
@@ -173,10 +183,15 @@ func compilePlan(plan []planStep, head ast.Atom, db *storage.Database, prebound 
 					in.binds = append(in.binds, r.slot)
 					cp.bound[r.slot] = true
 				}
-				// The first bound column drives the index probe; the
-				// delta occurrence is always scanned linearly (it is
-				// step 0 and arrives as a plain slice).
-				if !step.useDelta && in.lookupCol < 0 && in.scanArgs[k].kind != argBindSlot {
+				// The first column whose value exists before the scan
+				// runs drives the index probe; the delta occurrence is
+				// always scanned linearly (it is step 0 and arrives as
+				// a plain slice). A checked slot bound by an earlier
+				// column of this same atom (a repeated variable, e.g.
+				// e(X, X)) is still nil when the probe would read it,
+				// so it cannot be the lookup column.
+				if !step.useDelta && in.lookupCol < 0 && in.scanArgs[k].kind != argBindSlot &&
+					!(in.scanArgs[k].kind == argCheckSlot && slotIn(in.binds, r.slot)) {
 					in.lookupCol = k
 					in.lookupRef = r
 				}

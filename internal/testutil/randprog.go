@@ -55,18 +55,32 @@ func RandProgram(rng *rand.Rand, cfg RandProgramConfig) (*ast.Program, map[strin
 		head.Args[i] = ast.HeadVar(i + 1)
 	}
 
+	// extraAtom builds an EDB atom over head variables; one time in
+	// three it repeats a single variable across every position (e.g.
+	// e(X, X)), exercising the repeated-variable scan path.
+	extraAtom := func() ast.Atom {
+		e := edb[rng.Intn(len(edb))]
+		args := make([]ast.Term, arities[e])
+		if rng.Intn(3) == 0 {
+			v := head.Args[rng.Intn(n)]
+			for i := range args {
+				args[i] = v
+			}
+		} else {
+			for i := range args {
+				args[i] = head.Args[rng.Intn(n)]
+			}
+		}
+		return ast.Atom{Pred: e, Args: args}
+	}
+
 	prog := &ast.Program{}
 	// Exit rules: base(X1..Xn) possibly with an extra connected EDB
 	// atom.
 	for r := 0; r < cfg.ExitRules; r++ {
 		body := []ast.Literal{ast.Pos(ast.Atom{Pred: "base", Args: append([]ast.Term(nil), head.Args...)})}
 		if rng.Intn(2) == 0 {
-			e := edb[rng.Intn(len(edb))]
-			args := make([]ast.Term, arities[e])
-			for i := range args {
-				args[i] = head.Args[rng.Intn(n)]
-			}
-			body = append(body, ast.Pos(ast.Atom{Pred: e, Args: args}))
+			body = append(body, ast.Pos(extraAtom()))
 		}
 		prog.Rules = append(prog.Rules, ast.Rule{Head: head.Clone(), Body: body})
 	}
@@ -100,12 +114,7 @@ func RandProgram(rng *rand.Rand, cfg RandProgramConfig) (*ast.Program, map[strin
 		// An extra EDB atom over head variables; mandatory when the
 		// rule would otherwise be the degenerate p :- p identity.
 		if len(localAt) == 0 || rng.Intn(2) == 0 {
-			e := edb[rng.Intn(len(edb))]
-			args := make([]ast.Term, arities[e])
-			for i := range args {
-				args[i] = head.Args[rng.Intn(n)]
-			}
-			body = append(body, ast.Pos(ast.Atom{Pred: e, Args: args}))
+			body = append(body, ast.Pos(extraAtom()))
 		}
 		body = append(body, ast.Pos(ast.Atom{Pred: "p", Args: recArgs}))
 		prog.Rules = append(prog.Rules, ast.Rule{Head: head.Clone(), Body: body})
