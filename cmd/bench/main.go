@@ -10,6 +10,13 @@
 //	bench -markdown              # markdown tables (for EXPERIMENTS.md)
 //	bench -parallel 4            # evaluate with 4 workers
 //	bench -json BENCH_eval.json  # also write machine-readable records
+//
+// The -json document carries provenance (Go version, git revision,
+// GOMAXPROCS, worker count) and per-stratum phase timings per record.
+// Observability: -profile prints an aggregated span profile to stderr;
+// -trace FILE writes a Chrome trace-event file covering every measured
+// evaluation; -events FILE a JSONL log; -pprof ADDR serves
+// net/http/pprof for the duration of the run.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,9 +36,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable bench records to this file")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	tracer, err := obsFlags.Tracer()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, Tracer: tracer}
 	if *jsonOut != "" {
 		cfg.Rec = &experiments.Recorder{}
 	}
@@ -60,6 +74,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
+	}
+	if err := obsFlags.Finish(os.Stderr, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
 	}
 }
 

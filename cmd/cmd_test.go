@@ -264,8 +264,10 @@ func TestSemoptVerify(t *testing.T) {
 }
 
 func TestBenchJSONRecords(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench.json")
-	_, stderr, err := run(t, "bench", "-quick", "-only", "E11", "-json", out)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	traceOut := filepath.Join(dir, "trace.json")
+	_, stderr, err := run(t, "bench", "-quick", "-only", "E11", "-json", out, "-trace", traceOut)
 	if err != nil {
 		t.Fatalf("%v\n%s", err, stderr)
 	}
@@ -274,12 +276,20 @@ func TestBenchJSONRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		GoMaxProcs int `json:"gomaxprocs"`
-		Records    []struct {
+		GoVersion   string `json:"go_version"`
+		GitRevision string `json:"git_revision"`
+		GoMaxProcs  int    `json:"gomaxprocs"`
+		GeneratedAt string `json:"generated_at"`
+		Records     []struct {
 			Experiment string `json:"experiment"`
 			Label      string `json:"label"`
 			Parallel   int    `json:"parallel"`
 			NsPerOp    int64  `json:"ns_per_op"`
+			Strata     []struct {
+				Preds  []string `json:"preds"`
+				Rounds int64    `json:"rounds"`
+				Ns     int64    `json:"ns"`
+			} `json:"strata"`
 		} `json:"records"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -287,6 +297,14 @@ func TestBenchJSONRecords(t *testing.T) {
 	}
 	if doc.GoMaxProcs < 1 || len(doc.Records) == 0 {
 		t.Fatalf("empty bench document: %s", data)
+	}
+	// Provenance: Go version always, git revision when built from a
+	// checkout (the TestMain go build runs inside the repository).
+	if !strings.HasPrefix(doc.GoVersion, "go") {
+		t.Errorf("go_version = %q", doc.GoVersion)
+	}
+	if doc.GeneratedAt == "" {
+		t.Error("generated_at missing")
 	}
 	seen := map[int]bool{}
 	for _, r := range doc.Records {
@@ -296,10 +314,164 @@ func TestBenchJSONRecords(t *testing.T) {
 		if r.Experiment == "E11" {
 			seen[r.Parallel] = true
 		}
+		if len(r.Strata) == 0 {
+			t.Errorf("record %s/%s: no per-stratum timings", r.Experiment, r.Label)
+			continue
+		}
+		var rounds int64
+		for _, s := range r.Strata {
+			rounds += s.Rounds
+			if len(s.Preds) == 0 {
+				t.Errorf("record %s/%s: stratum with no predicates", r.Experiment, r.Label)
+			}
+		}
+		if rounds == 0 {
+			t.Errorf("record %s/%s: zero rounds across strata", r.Experiment, r.Label)
+		}
 	}
 	for _, w := range []int{1, 2, 4} {
 		if !seen[w] {
 			t.Errorf("missing E11 scaling record at %d workers", w)
+		}
+	}
+	// The -trace file must be a non-empty JSON array.
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(raw, &evs); err != nil || len(evs) == 0 {
+		t.Fatalf("bench trace invalid (err=%v, events=%d)", err, len(evs))
+	}
+}
+
+func TestDlogProfileTraceEvents(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.json")
+	eventsOut := filepath.Join(dir, "events.jsonl")
+	stdout, stderr, err := run(t, "dlog",
+		"-profile", "-trace", traceOut, "-events", eventsOut,
+		"-query", "anc(ann, Y)", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "anc(ann, dee)") {
+		t.Errorf("answers missing: %q", stdout)
+	}
+	for _, want := range []string{
+		"eval profile: strata",
+		"eval profile: rules",
+		"category", // aggregated span table header
+		"eval.rule",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("profile output missing %q:\n%s", want, stderr)
+		}
+	}
+	// The trace file is a Chrome trace-event JSON array of complete
+	// ("X") events with microsecond timestamps.
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		PID  int     `json:"pid"`
+	}
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, data)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace has no events")
+	}
+	sawRule := false
+	for _, e := range evs {
+		if e.Ph != "X" || e.PID != 1 {
+			t.Fatalf("bad trace event: %+v", e)
+		}
+		if e.Cat == "eval.rule" {
+			sawRule = true
+		}
+	}
+	if !sawRule {
+		t.Error("trace carries no eval.rule spans")
+	}
+	// The events file is one JSON object per line.
+	raw, err := os.ReadFile(eventsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("events file is empty")
+	}
+	for _, line := range lines {
+		var obj struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if obj.Name == "" || obj.Cat == "" {
+			t.Errorf("incomplete event: %q", line)
+		}
+	}
+}
+
+func TestDlogExplainDot(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	stdout, stderr, err := run(t, "dlog", "-explain-dot", "anc(ann, dee)", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	for _, want := range []string{
+		"digraph proof_anc",
+		"rankdir=LR",
+		"[fact]",
+		"par(ann, bea)",
+		"->",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestDlogStatsAfterExplain(t *testing.T) {
+	f := writeFile(t, "anc.dl", ancestry)
+	_, stderr, err := run(t, "dlog", "-explain", "anc(ann, dee)", "-stats", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "iterations=") || !strings.Contains(stderr, "deduped=") {
+		t.Errorf("stats missing after -explain: %q", stderr)
+	}
+	if !strings.Contains(stderr, "stratum 0 [anc]: rounds=") {
+		t.Errorf("per-stratum round counts missing: %q", stderr)
+	}
+}
+
+func TestSemoptProfile(t *testing.T) {
+	f := writeFile(t, "gen.dl", genealogy)
+	_, stderr, err := run(t, "semopt", "-profile", f)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	for _, want := range []string{
+		"category",
+		"rectify",
+		"analyze anc",
+		"sdgraph",
+		"chase",
+		"transform",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("semopt profile missing %q:\n%s", want, stderr)
 		}
 	}
 }

@@ -14,16 +14,25 @@
 // the transformation report is printed to stderr. The REPL accepts
 // goals ("anc(ann, Y)"), new facts ("par(x, y)."), and the commands
 // :explain ATOM, :dump, :stats, :quit.
+//
+// Observability: -stats prints work counters and per-stratum round
+// counts; -profile adds per-rule and per-span breakdowns; -trace FILE
+// writes a Chrome trace-event file loadable in Perfetto; -events FILE
+// writes a JSONL event log; -pprof ADDR serves net/http/pprof;
+// -explain-dot renders a proof tree as Graphviz DOT on stdout.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,10 +40,12 @@ func main() {
 	all := flag.Bool("all", false, "print every computed IDB relation")
 	optimize := flag.Bool("optimize", false, "run the semantic optimizer before evaluating")
 	explain := flag.String("explain", "", "print a proof tree for a ground atom, e.g. 'anc(ann, dee)'")
+	explainDot := flag.String("explain-dot", "", "print a proof tree as Graphviz DOT for a ground atom")
 	small := flag.String("small", "", "comma-separated small predicates for atom introduction")
 	stats := flag.Bool("stats", false, "print evaluation work counters to stderr")
 	interactive := flag.Bool("i", false, "interactive query loop on stdin")
 	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dlog [-query GOAL | -all] [-optimize] file.dl ...")
@@ -55,6 +66,11 @@ func main() {
 		fatal(err)
 	}
 	sys.Parallel = *parallel
+	tracer, err := obsFlags.Tracer()
+	if err != nil {
+		fatal(err)
+	}
+	sys.Tracer = tracer
 	if *optimize {
 		smallPreds := map[string]bool{}
 		for _, p := range strings.Split(*small, ",") {
@@ -76,12 +92,18 @@ func main() {
 
 	if *interactive {
 		repl(sys)
+		finish(sys, obsFlags, tracer, *stats)
 		return
 	}
 
-	st, err := sys.Run()
-	if err != nil {
-		fatal(err)
+	// Evaluate upfront only when no later path will: Explain and
+	// QueryAtom each run the engine themselves, and running once keeps
+	// the -stats/-profile output describing the evaluation that did the
+	// work rather than a no-op re-run over the computed fixpoint.
+	if *query == "" && *explain == "" && *explainDot == "" {
+		if _, err := sys.Run(); err != nil {
+			fatal(err)
+		}
 	}
 	if *explain != "" {
 		d, err := sys.Explain(*explain)
@@ -89,6 +111,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(d)
+	}
+	if *explainDot != "" {
+		d, err := sys.Explain(*explainDot)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d.DOT())
 	}
 	switch {
 	case *query != "":
@@ -115,12 +144,63 @@ func main() {
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "evaluated %d tuples; use -query or -all to inspect\n", sys.DB.TotalTuples())
+		if *explain == "" && *explainDot == "" {
+			fmt.Fprintf(os.Stderr, "evaluated %d tuples; use -query or -all to inspect\n", sys.DB.TotalTuples())
+		}
 	}
-	if *stats {
-		fmt.Fprintf(os.Stderr, "iterations=%d firings=%d probes=%d derived=%d inserted=%d\n",
-			st.Iterations, st.RuleFirings, st.Probes, st.Derived, st.Inserted)
+	finish(sys, obsFlags, tracer, *stats)
+}
+
+// finish prints the stats/profile reports and writes the trace outputs.
+func finish(sys *repro.System, obsFlags *obs.CLIFlags, tracer *obs.Tracer, stats bool) {
+	if stats {
+		printStats(os.Stderr, sys)
 	}
+	if obsFlags.Profile {
+		printRunProfile(os.Stderr, sys.LastRunInfo())
+	}
+	if err := obsFlags.Finish(os.Stderr, tracer); err != nil {
+		fatal(err)
+	}
+}
+
+// printStats writes the work counters of the last evaluation plus
+// per-stratum round counts.
+func printStats(w io.Writer, sys *repro.System) {
+	st := sys.Stats()
+	fmt.Fprintf(w, "iterations=%d firings=%d probes=%d index_probes=%d full_scans=%d matched=%d derived=%d deduped=%d inserted=%d\n",
+		st.Iterations, st.RuleFirings, st.Probes, st.IndexProbes, st.FullScans,
+		st.Matched, st.Derived, st.Deduped, st.Inserted)
+	for i, s := range sys.LastRunInfo().Strata {
+		fmt.Fprintf(w, "stratum %d [%s]: rounds=%d time=%s\n",
+			i, strings.Join(s.Preds, ","), s.Rounds, s.Time)
+	}
+}
+
+// printRunProfile writes the per-stratum and per-rule breakdown of the
+// last evaluation. Rule timings are populated when tracing is on; the
+// counters are exact either way.
+func printRunProfile(w io.Writer, info repro.RunInfo) {
+	fmt.Fprintln(w, "eval profile: strata")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  #\tpreds\trounds\ttime")
+	for i, s := range info.Strata {
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%s\n", i, strings.Join(s.Preds, ","), s.Rounds, s.Time)
+	}
+	tw.Flush()
+	if len(info.Rules) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "eval profile: rules (by time, then derived)")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  rule\thead\tfirings\tscanned\tindex\tscans\tmatched\tderived\tdeduped\tinserted\ttime")
+	for _, r := range info.Rules {
+		st := r.Stats
+		fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.Label, r.Pred, st.RuleFirings, st.Probes, st.IndexProbes, st.FullScans,
+			st.Matched, st.Derived, st.Deduped, st.Inserted, r.Time)
+	}
+	tw.Flush()
 }
 
 // repl reads goals, facts and commands from stdin until EOF or :quit.
@@ -141,9 +221,7 @@ func repl(sys *repro.System) {
 		case line == ":dump":
 			fmt.Print(sys.DumpDB())
 		case line == ":stats":
-			st := sys.Stats()
-			fmt.Printf("iterations=%d firings=%d probes=%d derived=%d inserted=%d\n",
-				st.Iterations, st.RuleFirings, st.Probes, st.Derived, st.Inserted)
+			printStats(os.Stdout, sys)
 		case strings.HasPrefix(line, ":explain "):
 			d, err := sys.Explain(strings.TrimSpace(strings.TrimPrefix(line, ":explain")))
 			if err != nil {

@@ -15,6 +15,12 @@
 // their visible relations are compared, and the timings go to stderr —
 // an end-to-end check that the transformation preserved answers on this
 // database.
+//
+// Observability: -profile prints a per-phase breakdown of the pipeline
+// (rectify, SD-graph build, candidate generation, subsumption,
+// chase, isolation, pushing) to stderr; -trace FILE writes a Chrome
+// trace-event file; -events FILE a JSONL log; -pprof ADDR serves
+// net/http/pprof.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro"
 	"repro/internal/ast"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/residue"
 	"repro/internal/sdgraph"
 	"repro/internal/semopt"
@@ -43,6 +50,7 @@ func main() {
 	dot := flag.Bool("dot", false, "with -show-graph: emit Graphviz dot instead of text")
 	verify := flag.Bool("verify", false, "evaluate original vs optimized over the loaded facts and compare answers")
 	parallel := flag.Int("parallel", 0, "eval worker count for -verify (0 or 1 = sequential, <0 = GOMAXPROCS)")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: semopt [flags] file.dl ...")
@@ -111,9 +119,14 @@ func main() {
 	if *pred != "" {
 		preds = []string{*pred}
 	}
+	tracer, err := obsFlags.Tracer()
+	if err != nil {
+		fatal(err)
+	}
 	res, err := semopt.Optimize(sys.Program, sys.ICs, semopt.Options{
 		Residue: residue.Options{MaxDepth: *maxDepth, IntroducePreds: smallPreds},
 		Preds:   preds,
+		Tracer:  tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -142,9 +155,12 @@ func main() {
 	fmt.Print(res.Optimized)
 
 	if *verify {
-		if err := verifyAnswers(sys, res, *parallel); err != nil {
+		if err := verifyAnswers(sys, res, *parallel, tracer); err != nil {
 			fatal(err)
 		}
+	}
+	if err := obsFlags.Finish(os.Stderr, tracer); err != nil {
+		fatal(err)
 	}
 }
 
@@ -152,13 +168,14 @@ func main() {
 // clones of the loaded database, compares every predicate visible in
 // the rectified program (the optimized one adds auxiliary predicates,
 // which are excluded), and reports timings to stderr.
-func verifyAnswers(sys *repro.System, res *semopt.Result, parallel int) error {
+func verifyAnswers(sys *repro.System, res *semopt.Result, parallel int, tracer *obs.Tracer) error {
 	run := func(prog *ast.Program) (*repro.DB, time.Duration, eval.Stats, error) {
 		db := sys.DB.Clone()
 		e := eval.New(prog, db)
 		if parallel != 0 {
 			e.SetParallel(parallel)
 		}
+		e.SetTracer(tracer)
 		start := time.Now()
 		err := e.Run()
 		return db, time.Since(start), e.Stats(), err

@@ -1,0 +1,51 @@
+package chase
+
+import (
+	"repro/internal/ast"
+	"repro/internal/obs"
+)
+
+// Chaser bundles the constraint set, the step bound, and an optional
+// tracer, so verification-heavy callers (the §3 residue analysis) can
+// profile where chase time goes without threading three extra
+// parameters through every call. With a nil Tracer the methods are
+// exactly the package-level functions.
+type Chaser struct {
+	ICs      []ast.IC
+	MaxSteps int
+	Tracer   *obs.Tracer
+}
+
+// Unsatisfiable reports whether q can never produce tuples under the
+// constraints (see Unsatisfiable).
+func (c *Chaser) Unsatisfiable(q CQ) (unsat, unknown bool) {
+	sp := c.Tracer.Start("chase", "unsatisfiable")
+	unsat, unknown = Unsatisfiable(q, c.ICs, c.MaxSteps)
+	sp.Arg("unsat", b2i(unsat)).Arg("unknown", b2i(unknown)).End()
+	return unsat, unknown
+}
+
+// AtomRedundant reports whether dropping body atom drop preserves q's
+// answers under the constraints (see AtomRedundant).
+func (c *Chaser) AtomRedundant(q CQ, drop int) (redundant, unknown bool) {
+	sp := c.Tracer.Start("chase", "atom-redundant")
+	redundant, unknown = AtomRedundant(q, drop, c.ICs, c.MaxSteps)
+	sp.Arg("redundant", b2i(redundant)).Arg("unknown", b2i(unknown)).End()
+	return redundant, unknown
+}
+
+// Contained reports whether sub ⊑ super under the constraints (see
+// Contained).
+func (c *Chaser) Contained(sub, super CQ) (contained, unknown bool) {
+	sp := c.Tracer.Start("chase", "contained")
+	contained, unknown = Contained(sub, super, c.ICs, c.MaxSteps)
+	sp.Arg("contained", b2i(contained)).Arg("unknown", b2i(unknown)).End()
+	return contained, unknown
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

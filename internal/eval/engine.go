@@ -4,21 +4,30 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
 // Stats accumulates deterministic work counters, so experiments can
 // report machine-independent effort alongside wall-clock time. In
 // parallel mode each worker counts into a private Stats that is merged
-// at the round barrier, so totals stay exact.
+// at the round barrier, so totals stay exact. Every counter is
+// collected unconditionally — tracing on or off — so differential
+// tests can compare the two paths counter for counter.
 type Stats struct {
 	Iterations  int64 // semi-naive rounds across all strata
 	RuleFirings int64 // rule evaluations started
 	Probes      int64 // tuples examined during joins
+	IndexProbes int64 // hash probes: membership checks and column lookups
+	FullScans   int64 // scans that had to walk a full stored relation
+	Matched     int64 // scanned tuples that passed all column constraints
 	Derived     int64 // head tuples produced (before dedup)
+	Deduped     int64 // derivations that duplicated an already-known tuple
 	Inserted    int64 // new tuples actually added
 }
 
@@ -27,8 +36,41 @@ func (s *Stats) Add(other Stats) {
 	s.Iterations += other.Iterations
 	s.RuleFirings += other.RuleFirings
 	s.Probes += other.Probes
+	s.IndexProbes += other.IndexProbes
+	s.FullScans += other.FullScans
+	s.Matched += other.Matched
 	s.Derived += other.Derived
+	s.Deduped += other.Deduped
 	s.Inserted += other.Inserted
+}
+
+// RuleProfile aggregates the work one rule (identified by label; rules
+// sharing a label fold together) did across the whole run.
+type RuleProfile struct {
+	Label string
+	Pred  string        // head predicate
+	Stats Stats         // per-rule share of the engine counters
+	Time  time.Duration // wall time in firings; zero unless tracing was on
+}
+
+// StratumInfo describes one evaluated stratum (strongly connected
+// component): its predicates, how many fixpoint rounds it took, and its
+// wall time. Stratum timing is always measured (two clock reads per
+// stratum), so per-phase timings exist even without a tracer.
+type StratumInfo struct {
+	Preds  []string
+	Rounds int64
+	Time   time.Duration
+}
+
+// RunInfo is the full observability snapshot of a finished run: the
+// engine counters plus per-stratum and per-rule breakdowns. Rules are
+// ordered by time descending (derived tuples break ties, so the order
+// is still meaningful when tracing was off and all times are zero).
+type RunInfo struct {
+	Stats  Stats
+	Strata []StratumInfo
+	Rules  []RuleProfile
 }
 
 // Engine computes the IDB relations of a program bottom-up over a
@@ -41,6 +83,12 @@ type Engine struct {
 	parallel int
 	stats    Stats
 	arity    map[string]int // head predicate -> arity, precomputed
+
+	tracer    *obs.Tracer             // nil when tracing is off (the normal case)
+	strata    []StratumInfo           // one entry per evaluated stratum
+	cur       *StratumInfo            // stratum being evaluated, nil between strata
+	rules     map[string]*RuleProfile // per-rule accumulators, by label
+	ruleOrder []string                // labels in first-firing order
 
 	// InsertFilter, when non-nil, is consulted before inserting a
 	// derived tuple; returning false discards the derivation. It is the
@@ -74,8 +122,12 @@ func New(prog *ast.Program, db *storage.Database) *Engine {
 			arity[r.Head.Pred] = r.Head.Arity()
 		}
 	}
-	return &Engine{prog: prog, db: db, arity: arity}
+	return &Engine{prog: prog, db: db, arity: arity, rules: make(map[string]*RuleProfile)}
 }
+
+// SetTracer attaches a tracer. A nil tracer (the default) keeps the
+// engine on its untraced path: no clock reads per firing, no events.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
 
 // UseNaive switches the engine to naive (full re-evaluation) fixpoint
 // iteration; the default is semi-naive. Used by tests and experiment E10.
@@ -94,6 +146,27 @@ func (e *Engine) SetParallel(n int) {
 
 // Stats returns the accumulated work counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Info returns the observability snapshot of the run so far: counters,
+// per-stratum rounds and times, and per-rule profiles sorted by time
+// (then derived tuples) descending.
+func (e *Engine) Info() RunInfo {
+	info := RunInfo{Stats: e.stats, Strata: append([]StratumInfo(nil), e.strata...)}
+	for _, l := range e.ruleOrder {
+		info.Rules = append(info.Rules, *e.rules[l])
+	}
+	sort.SliceStable(info.Rules, func(i, j int) bool {
+		a, b := &info.Rules[i], &info.Rules[j]
+		if a.Time != b.Time {
+			return a.Time > b.Time
+		}
+		if a.Stats.Derived != b.Stats.Derived {
+			return a.Stats.Derived > b.Stats.Derived
+		}
+		return a.Label < b.Label
+	})
+	return info
+}
 
 // DB returns the engine's database.
 func (e *Engine) DB() *storage.Database { return e.db }
@@ -235,10 +308,19 @@ func (e *Engine) arityOf(pred string) int { return e.arity[pred] }
 // cache.
 type compiledRule struct {
 	rule     ast.Rule
+	label    string // rule label, falling back to the head predicate
 	headPred string
 	headRel  *storage.Relation
 	base     *compiled
 	deltas   []deltaPlan
+}
+
+// ruleLabel names a rule for profiles and trace events.
+func ruleLabel(r ast.Rule) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return r.Head.Pred
 }
 
 type deltaPlan struct {
@@ -253,7 +335,7 @@ func (e *Engine) compileStratum(inSCC map[string]bool, rules []ast.Rule) ([]comp
 	est := e.estimator()
 	crs := make([]compiledRule, 0, len(rules))
 	for _, r := range rules {
-		cr := compiledRule{rule: r, headPred: r.Head.Pred, headRel: e.db.Relation(r.Head.Pred)}
+		cr := compiledRule{rule: r, label: ruleLabel(r), headPred: r.Head.Pred, headRel: e.db.Relation(r.Head.Pred)}
 		plan, err := planBody(r.Body, -1, est, nil)
 		if err != nil {
 			return nil, fmt.Errorf("rule %s: %w", r.Label, err)
@@ -316,13 +398,27 @@ func (e *Engine) fixpoint(scc []string) error {
 	if err != nil {
 		return err
 	}
-	if e.naive {
-		return e.naiveFixpoint(crs)
+	// Per-stratum wall time is measured unconditionally: two clock reads
+	// per stratum is negligible and gives bench per-phase timings even
+	// without a tracer.
+	e.strata = append(e.strata, StratumInfo{Preds: scc})
+	e.cur = &e.strata[len(e.strata)-1]
+	start := time.Now()
+	switch {
+	case e.naive:
+		err = e.naiveFixpoint(crs)
+	case e.parallel > 1:
+		err = e.parallelFixpoint(inSCC, crs)
+	default:
+		err = e.semiNaiveFixpoint(inSCC, crs)
 	}
-	if e.parallel > 1 {
-		return e.parallelFixpoint(inSCC, crs)
+	e.cur.Time = time.Since(start)
+	if e.tracer.Enabled() {
+		e.tracer.Complete("eval", "stratum "+strings.Join(scc, ","), start, e.cur.Time,
+			map[string]int64{"rounds": e.cur.Rounds, "rules": int64(len(crs))})
 	}
-	return e.semiNaiveFixpoint(inSCC, crs)
+	e.cur = nil
+	return err
 }
 
 // naiveFixpoint re-evaluates every rule of the component against the
@@ -334,13 +430,8 @@ func (e *Engine) naiveFixpoint(crs []compiledRule) error {
 		changed := false
 		for i := range crs {
 			cr := &crs[i]
-			e.stats.RuleFirings++
-			err := e.runCompiled(cr.base, nil, nil, &e.stats, func(fr frame) error {
-				e.stats.Derived++
-				if e.insertPrecounted(cr.headPred, cr.headRel, cr.base.headTuple(fr)) {
-					changed = true
-				}
-				return nil
+			err := e.fireSeq(cr, cr.base, nil, func(storage.Tuple) {
+				changed = true
 			})
 			if err != nil {
 				return err
@@ -352,17 +443,70 @@ func (e *Engine) naiveFixpoint(crs []compiledRule) error {
 	}
 }
 
-// insertPrecounted is insert without the Derived increment (the caller
-// already counted the derivation).
-func (e *Engine) insertPrecounted(pred string, rel *storage.Relation, t storage.Tuple) bool {
-	if e.InsertFilter != nil && !e.InsertFilter(pred, t) {
-		return false
+// fireSeq runs one sequential rule firing: execute plan (restricted to
+// delta, if given), insert the derivations, and call onNew for each
+// tuple that was actually new. Work counts into a firing-private Stats
+// that account folds into the engine totals and the rule's profile —
+// the counting is identical whether tracing is on or off; only the
+// clock reads and the trace event are gated on the tracer.
+func (e *Engine) fireSeq(cr *compiledRule, plan *compiled, delta []storage.Tuple, onNew func(storage.Tuple)) error {
+	st := Stats{RuleFirings: 1}
+	traced := e.tracer.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
 	}
-	if rel.Insert(t) {
-		e.stats.Inserted++
-		return true
+	err := e.runCompiled(plan, delta, nil, &st, func(fr frame) error {
+		st.Derived++
+		t := plan.headTuple(fr)
+		if e.InsertFilter != nil && !e.InsertFilter(cr.headPred, t) {
+			return nil
+		}
+		if cr.headRel.Insert(t) {
+			st.Inserted++
+			onNew(t)
+		} else {
+			st.Deduped++
+		}
+		return nil
+	})
+	var dur time.Duration
+	if traced {
+		dur = time.Since(start)
+		e.tracer.Complete("eval.rule", cr.label, start, dur, map[string]int64{
+			"scanned": st.Probes, "index_probes": st.IndexProbes, "full_scans": st.FullScans,
+			"matched": st.Matched, "derived": st.Derived, "deduped": st.Deduped, "inserted": st.Inserted,
+		})
 	}
-	return false
+	e.account(cr.label, cr.headPred, st, dur)
+	return err
+}
+
+// account folds one firing's (or merged task's) counters into the
+// engine totals and the rule's profile.
+func (e *Engine) account(label, pred string, st Stats, dur time.Duration) {
+	e.stats.Add(st)
+	rp := e.ruleProfile(label, pred)
+	rp.Stats.Add(st)
+	rp.Time += dur
+}
+
+func (e *Engine) ruleProfile(label, pred string) *RuleProfile {
+	rp := e.rules[label]
+	if rp == nil {
+		rp = &RuleProfile{Label: label, Pred: pred}
+		e.rules[label] = rp
+		e.ruleOrder = append(e.ruleOrder, label)
+	}
+	return rp
+}
+
+// bumpFiring counts a rule firing outside fireSeq (the parallel path
+// counts firings at task creation, once per rule and delta — not per
+// chunk — to match sequential counting).
+func (e *Engine) bumpFiring(label, pred string) {
+	e.stats.RuleFirings++
+	e.ruleProfile(label, pred).Stats.RuleFirings++
 }
 
 // semiNaiveFixpoint runs differential evaluation over a component: an
@@ -384,21 +528,17 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) er
 	// see whatever is already stored (normally empty, but seeds are
 	// permitted).
 	e.startIteration()
+	round := e.roundSpan(0)
 	for i := range crs {
 		cr := &crs[i]
-		e.stats.RuleFirings++
-		err := e.runCompiled(cr.base, nil, nil, &e.stats, func(fr frame) error {
-			e.stats.Derived++
-			t := cr.base.headTuple(fr)
-			if e.insertPrecounted(cr.headPred, cr.headRel, t) {
-				delta[cr.headPred].Insert(t)
-			}
-			return nil
+		err := e.fireSeq(cr, cr.base, nil, func(t storage.Tuple) {
+			delta[cr.headPred].Insert(t)
 		})
 		if err != nil {
 			return err
 		}
 	}
+	round.End()
 
 	hasDeltas := false
 	for i := range crs {
@@ -415,6 +555,7 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) er
 			return nil
 		}
 		e.startIteration()
+		round = e.roundSpan(total)
 		next := make(map[string]*storage.Relation)
 		for p := range inSCC {
 			next[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
@@ -426,24 +567,31 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) er
 				if d.Len() == 0 {
 					continue
 				}
-				e.stats.RuleFirings++
-				plan := dp.plan
-				err := e.runCompiled(plan, d.Tuples(), nil, &e.stats, func(fr frame) error {
-					e.stats.Derived++
-					t := plan.headTuple(fr)
-					if e.insertPrecounted(cr.headPred, cr.headRel, t) {
-						next[cr.headPred].Insert(t)
-					}
-					return nil
+				err := e.fireSeq(cr, dp.plan, d.Tuples(), func(t storage.Tuple) {
+					next[cr.headPred].Insert(t)
 				})
 				if err != nil {
 					return err
 				}
 			}
 		}
+		round.End()
 		delta = next
 	}
 	return nil
+}
+
+// roundSpan opens a trace span for the current fixpoint round carrying
+// the round's total delta size; nil (inert) when tracing is off.
+func (e *Engine) roundSpan(deltaSize int) *obs.Span {
+	if !e.tracer.Enabled() {
+		return nil
+	}
+	n := int64(0)
+	if e.cur != nil {
+		n = e.cur.Rounds
+	}
+	return e.tracer.Start("eval", fmt.Sprintf("round %d", n)).Arg("delta", int64(deltaSize))
 }
 
 // evalTask is one unit of parallel work: a compiled plan, possibly
@@ -451,6 +599,7 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) er
 // head relation.
 type evalTask struct {
 	plan     *compiled
+	label    string // rule label, for profiles and trace lanes
 	headPred string
 	headRel  *storage.Relation
 	delta    []storage.Tuple
@@ -459,6 +608,7 @@ type evalTask struct {
 type taskResult struct {
 	buf   *storage.TupleSet
 	stats Stats
+	dur   time.Duration // derive wall time; only set when tracing is on
 	err   error
 }
 
@@ -478,15 +628,17 @@ func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) err
 
 	// Round 0: one task per rule, over the full current state.
 	e.startIteration()
+	round := e.roundSpan(0)
 	var tasks []evalTask
 	for i := range crs {
 		cr := &crs[i]
-		e.stats.RuleFirings++
-		tasks = append(tasks, evalTask{plan: cr.base, headPred: cr.headPred, headRel: cr.headRel})
+		e.bumpFiring(cr.label, cr.headPred)
+		tasks = append(tasks, evalTask{plan: cr.base, label: cr.label, headPred: cr.headPred, headRel: cr.headRel})
 	}
 	if err := e.runRound(tasks, delta); err != nil {
 		return err
 	}
+	round.End()
 
 	hasDeltas := false
 	for i := range crs {
@@ -503,6 +655,7 @@ func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) err
 			return nil
 		}
 		e.startIteration()
+		round = e.roundSpan(total)
 		next := make(map[string]*storage.Relation)
 		for p := range inSCC {
 			next[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
@@ -515,10 +668,10 @@ func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) err
 				if d.Len() == 0 {
 					continue
 				}
-				e.stats.RuleFirings++
+				e.bumpFiring(cr.label, cr.headPred)
 				for _, chunk := range chunkTuples(d.Tuples(), e.parallel) {
 					tasks = append(tasks, evalTask{
-						plan: dp.plan, headPred: cr.headPred, headRel: cr.headRel, delta: chunk,
+						plan: dp.plan, label: cr.label, headPred: cr.headPred, headRel: cr.headRel, delta: chunk,
 					})
 				}
 			}
@@ -526,6 +679,7 @@ func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) err
 		if err := e.runRound(tasks, next); err != nil {
 			return err
 		}
+		round.End()
 		delta = next
 	}
 	return nil
@@ -568,13 +722,29 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 		workers = len(tasks)
 	}
 	results := make([]taskResult, len(tasks))
+	traced := e.tracer.Enabled()
 	var wg sync.WaitGroup
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
+			// Trace events land in a worker-private buffer (no lock
+			// traffic inside the round) merged after the pool drains.
+			var tbuf *obs.Buffer
+			var waitTotal, deriveTotal time.Duration
+			var ntasks int64
+			var last time.Time
+			if traced {
+				tbuf = e.tracer.NewBuffer(int64(wid) + 1)
+				last = time.Now()
+			}
 			for ti := range ch {
+				var tstart time.Time
+				if traced {
+					tstart = time.Now()
+					waitTotal += tstart.Sub(last)
+				}
 				t := &tasks[ti]
 				buf := storage.NewTupleSet()
 				var st Stats
@@ -584,14 +754,33 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 					// Dedup against the frozen relation and within this
 					// task's buffer; cross-task duplicates fall out at
 					// the merge.
-					if !t.headRel.Contains(ht) {
-						buf.Add(ht)
+					if t.headRel.Contains(ht) {
+						st.Deduped++
+					} else if !buf.Add(ht) {
+						st.Deduped++
 					}
 					return nil
 				})
 				results[ti] = taskResult{buf: buf, stats: st, err: err}
+				if traced {
+					end := time.Now()
+					d := end.Sub(tstart)
+					results[ti].dur = d
+					deriveTotal += d
+					ntasks++
+					tbuf.Complete("eval.task", t.label, tstart, d, map[string]int64{
+						"scanned": st.Probes, "derived": st.Derived, "buffered": int64(buf.Len()),
+					})
+					last = end
+				}
 			}
-		}()
+			if traced {
+				tbuf.Complete("eval.worker", fmt.Sprintf("worker %d", wid+1), last, 0, map[string]int64{
+					"wait_ns": int64(waitTotal), "derive_ns": int64(deriveTotal), "tasks": ntasks,
+				})
+				e.tracer.Merge(tbuf)
+			}
+		}(w)
 	}
 	for i := range tasks {
 		ch <- i
@@ -606,28 +795,37 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 			return results[i].err
 		}
 	}
+	var mergeSpan *obs.Span
+	if traced {
+		mergeSpan = e.tracer.Start("eval", "merge")
+	}
 	for i := range results {
 		r := &results[i]
-		e.stats.Add(r.stats)
 		t := &tasks[i]
+		st := r.stats
 		if e.InsertFilter == nil {
 			news := t.headRel.InsertAll(r.buf.Tuples())
-			e.stats.Inserted += int64(len(news))
+			st.Inserted += int64(len(news))
+			st.Deduped += int64(r.buf.Len() - len(news)) // cross-task duplicates
 			for _, ht := range news {
 				nextDelta[t.headPred].Insert(ht)
 			}
-			continue
-		}
-		for _, ht := range r.buf.Tuples() {
-			if !e.InsertFilter(t.headPred, ht) {
-				continue
+		} else {
+			for _, ht := range r.buf.Tuples() {
+				if !e.InsertFilter(t.headPred, ht) {
+					continue
+				}
+				if t.headRel.Insert(ht) {
+					st.Inserted++
+					nextDelta[t.headPred].Insert(ht)
+				} else {
+					st.Deduped++
+				}
 			}
-			if t.headRel.Insert(ht) {
-				e.stats.Inserted++
-				nextDelta[t.headPred].Insert(ht)
-			}
 		}
+		e.account(t.label, t.headPred, st, r.dur)
 	}
+	mergeSpan.End()
 	return nil
 }
 
@@ -680,9 +878,13 @@ func RunAndQuery(prog *ast.Program, db *storage.Database, goal ast.Atom) ([]stor
 	return res, e.Stats(), err
 }
 
-// startIteration counts a fixpoint round and invokes the hook.
+// startIteration counts a fixpoint round (globally and for the current
+// stratum) and invokes the hook.
 func (e *Engine) startIteration() {
 	e.stats.Iterations++
+	if e.cur != nil {
+		e.cur.Rounds++
+	}
 	if e.IterationHook != nil {
 		e.IterationHook(int(e.stats.Iterations))
 	}

@@ -63,6 +63,7 @@ func (x *executor) step(i int) error {
 			t[k] = r.resolve(x.fr)
 		}
 		x.st.Probes++
+		x.st.IndexProbes++
 		rel := in.rel
 		if rel == nil {
 			rel = x.db.Relation(in.pred)
@@ -105,13 +106,16 @@ func (x *executor) step(i int) error {
 				}
 			}
 			x.st.Probes++
+			x.st.IndexProbes++
 			if !rel.Contains(t) {
 				return nil
 			}
+			x.st.Matched++
 			return x.step(i + 1)
 		}
 		if in.lookupCol >= 0 {
 			if positions, ok := rel.LookupNoBuild(in.lookupCol, in.lookupRef.resolve(x.fr)); ok {
+				x.st.IndexProbes++
 				for _, pos := range positions {
 					if err := x.tryTuple(i, in, rel.At(pos)); err != nil {
 						return err
@@ -123,6 +127,7 @@ func (x *executor) step(i int) error {
 			// through to the full scan, which applies the same column
 			// constraints.
 		}
+		x.st.FullScans++
 		return x.scanTuples(i, in, rel.Tuples())
 	}
 	return fmt.Errorf("eval: unknown instruction kind %d", in.kind)
@@ -162,6 +167,7 @@ func (x *executor) tryTuple(i int, in *instr, t storage.Tuple) error {
 	}
 	var err error
 	if ok {
+		x.st.Matched++
 		err = x.step(i + 1)
 	}
 	for _, s := range in.binds {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/iqa"
 	"repro/internal/magic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/residue"
 	"repro/internal/sdgraph"
@@ -95,6 +97,9 @@ type Config struct {
 	// Rec, when non-nil, collects a machine-readable record for every
 	// measured evaluation (cmd/bench -json writes them out).
 	Rec *Recorder
+	// Tracer, when non-nil, records spans from every measured evaluation
+	// (cmd/bench -trace/-events/-profile).
+	Tracer *obs.Tracer
 }
 
 func (c Config) seed() int64 {
@@ -106,11 +111,27 @@ func (c Config) seed() int64 {
 
 // BenchRecord is one measured evaluation in machine-readable form.
 type BenchRecord struct {
-	Experiment string     `json:"experiment"`
-	Label      string     `json:"label"`
-	Parallel   int        `json:"parallel"`
-	NsPerOp    int64      `json:"ns_per_op"`
-	Stats      eval.Stats `json:"stats"`
+	Experiment string          `json:"experiment"`
+	Label      string          `json:"label"`
+	Parallel   int             `json:"parallel"`
+	NsPerOp    int64           `json:"ns_per_op"`
+	Stats      eval.Stats      `json:"stats"`
+	Strata     []StratumRecord `json:"strata,omitempty"`
+}
+
+// StratumRecord is the per-phase timing of one evaluation stratum.
+type StratumRecord struct {
+	Preds  []string `json:"preds"`
+	Rounds int64    `json:"rounds"`
+	Ns     int64    `json:"ns"`
+}
+
+func strataRecords(info eval.RunInfo) []StratumRecord {
+	out := make([]StratumRecord, 0, len(info.Strata))
+	for _, s := range info.Strata {
+		out = append(out, StratumRecord{Preds: s.Preds, Rounds: s.Rounds, Ns: s.Time.Nanoseconds()})
+	}
+	return out
 }
 
 // Recorder accumulates BenchRecords across a suite run. A nil Recorder
@@ -125,21 +146,55 @@ func (r *Recorder) add(rec BenchRecord) {
 	}
 }
 
-// WriteJSON emits the records plus environment metadata as one
+// WriteJSON emits the records plus environment provenance — Go
+// version, git revision, CPU configuration, timestamp — as one
 // indented JSON document (the BENCH_eval.json format).
 func (r *Recorder) WriteJSON(w io.Writer) error {
 	doc := struct {
-		GoMaxProcs int           `json:"gomaxprocs"`
-		NumCPU     int           `json:"num_cpu"`
-		Records    []BenchRecord `json:"records"`
+		GoVersion   string        `json:"go_version"`
+		GitRevision string        `json:"git_revision,omitempty"`
+		GoMaxProcs  int           `json:"gomaxprocs"`
+		NumCPU      int           `json:"num_cpu"`
+		GeneratedAt string        `json:"generated_at"`
+		Records     []BenchRecord `json:"records"`
 	}{
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Records:    r.Records,
+		GoVersion:   runtime.Version(),
+		GitRevision: gitRevision(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Records:     r.Records,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// gitRevision extracts the VCS revision stamped into the binary at
+// build time; empty when the build carries no VCS info (e.g. test
+// binaries).
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // All runs the full suite in order.
@@ -166,19 +221,21 @@ func All(cfg Config) []Table {
 func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Database) (time.Duration, eval.Stats, error) {
 	var best time.Duration
 	var bestStats eval.Stats
+	var bestInfo eval.RunInfo
 	for rep := 0; rep < 3; rep++ {
 		work := db.Clone()
 		e := eval.New(prog, work)
 		if cfg.Parallel != 0 {
 			e.SetParallel(cfg.Parallel)
 		}
+		e.SetTracer(cfg.Tracer)
 		start := time.Now()
 		if err := e.Run(); err != nil {
 			return 0, eval.Stats{}, err
 		}
 		d := time.Since(start)
 		if rep == 0 || d < best {
-			best, bestStats = d, e.Stats()
+			best, bestStats, bestInfo = d, e.Stats(), e.Info()
 		}
 	}
 	parallel := cfg.Parallel
@@ -192,6 +249,7 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 	cfg.Rec.add(BenchRecord{
 		Experiment: id, Label: label, Parallel: parallel,
 		NsPerOp: best.Nanoseconds(), Stats: bestStats,
+		Strata: strataRecords(bestInfo),
 	})
 	return best, bestStats, nil
 }

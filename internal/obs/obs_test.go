@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsInert exercises every exported method on a nil tracer
+// (the disabled path the engine runs in production).
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Since() != 0 {
+		t.Error("nil Since must be 0")
+	}
+	tr.Emit(Event{Name: "x"})
+	tr.Complete("c", "n", time.Now(), time.Second, nil)
+	sp := tr.Start("cat", "name")
+	sp.Arg("k", 1).Arg("j", 2)
+	sp.End()
+	b := tr.NewBuffer(3)
+	if b != nil {
+		t.Fatal("nil tracer must hand out nil buffers")
+	}
+	b.Start("c", "n").End()
+	b.Complete("c", "n", time.Now(), 0, nil)
+	tr.Merge(b)
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer must hold nothing")
+	}
+}
+
+// TestNilPathAllocs pins the disabled path to zero allocations: this
+// is the overhead budget of DESIGN.md §8 in executable form.
+func TestNilPathAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("eval", "round")
+		sp.Arg("delta", 42)
+		sp.End()
+		tr.Complete("eval.rule", "r1", time.Time{}, 0, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestSpanRecordsDurationAndArgs(t *testing.T) {
+	tr := New()
+	sp := tr.Start("eval", "stratum")
+	sp.Arg("rules", 3)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Cat != "eval" || e.Name != "stratum" || e.Args["rules"] != 3 {
+		t.Errorf("bad event %+v", e)
+	}
+	if e.Dur <= 0 || e.TS < 0 {
+		t.Errorf("non-positive timing %+v", e)
+	}
+}
+
+func TestBufferMerge(t *testing.T) {
+	tr := New()
+	b := tr.NewBuffer(7)
+	b.Start("eval.task", "r1").Arg("derived", 5).End()
+	b.Complete("eval.worker", "worker 7", time.Now(), time.Millisecond, map[string]int64{"tasks": 2})
+	if got := len(tr.Events()); got != 0 {
+		t.Fatalf("buffer leaked %d events before merge", got)
+	}
+	tr.Merge(b)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.TID != 7 {
+			t.Errorf("event %q lane = %d, want 7", e.Name, e.TID)
+		}
+	}
+	// Buffer is reusable after merge.
+	b.Start("c", "again").End()
+	tr.Merge(b)
+	if len(tr.Events()) != 3 {
+		t.Error("merge after reuse lost events")
+	}
+}
+
+// TestChromeTraceFormat validates the exporter output against the
+// trace-event contract Perfetto relies on: a JSON array of objects
+// with name/ph/ts fields, ts in microseconds.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{Name: "round", Cat: "eval", TS: 1500 * time.Nanosecond, Dur: 2 * time.Microsecond,
+		TID: 1, Args: map[string]int64{"delta": 9}})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(arr) != 1 {
+		t.Fatalf("entries = %d, want 1", len(arr))
+	}
+	e := arr[0]
+	if e["name"] != "round" || e["ph"] != "X" {
+		t.Errorf("bad entry %v", e)
+	}
+	if ts, ok := e["ts"].(float64); !ok || ts != 1.5 {
+		t.Errorf("ts = %v, want 1.5µs", e["ts"])
+	}
+	if dur, ok := e["dur"].(float64); !ok || dur != 2 {
+		t.Errorf("dur = %v, want 2µs", e["dur"])
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{Name: "a", Cat: "c", Dur: time.Microsecond})
+	tr.Emit(Event{Name: "b", Cat: "c", TID: 2})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+func TestAggregateAndProfile(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{Name: "r1", Cat: "eval.rule", Dur: 3 * time.Millisecond, Args: map[string]int64{"derived": 10}})
+	tr.Emit(Event{Name: "r1", Cat: "eval.rule", Dur: 2 * time.Millisecond, Args: map[string]int64{"derived": 5}})
+	tr.Emit(Event{Name: "r2", Cat: "eval.rule", Dur: time.Millisecond})
+	entries := Aggregate(tr.Events())
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	if entries[0].Name != "r1" || entries[0].Count != 2 || entries[0].Total != 5*time.Millisecond {
+		t.Errorf("bad top entry %+v", entries[0])
+	}
+	if entries[0].Args["derived"] != 15 {
+		t.Errorf("args not summed: %+v", entries[0].Args)
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "derived=15") {
+		t.Errorf("profile output missing aggregation:\n%s", out)
+	}
+	// r1 (5ms) must be listed before r2 (1ms).
+	if strings.Index(out, "r1") > strings.Index(out, "r2") {
+		t.Errorf("profile not sorted by total time:\n%s", out)
+	}
+}
+
+func TestWriteProfileNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}

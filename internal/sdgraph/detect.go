@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/subsume"
 	"repro/internal/unfold"
 )
@@ -29,14 +30,27 @@ type Detection struct {
 // The program must be rectified. ICs outside the §3 chain class are
 // reported as an error by NewPattern.
 func Detect(p *ast.Program, pred string, ic ast.IC, maxDepth int) ([]Detection, error) {
+	return DetectTraced(p, pred, ic, maxDepth, nil)
+}
+
+// DetectTraced is Detect with tracing: spans for SD-graph construction
+// and candidate generation, and counters for the subsumption tests that
+// verify candidates (sequences tested, matcher effort, residues found).
+// A nil tracer reduces to Detect.
+func DetectTraced(p *ast.Program, pred string, ic ast.IC, maxDepth int, tr *obs.Tracer) ([]Detection, error) {
 	pat, err := NewPattern(ic)
 	if err != nil {
 		return nil, err
 	}
+	buildSpan := tr.Start("sdgraph", "build "+pred)
 	g, err := Build(p, pred, maxDepth)
 	if err != nil {
+		buildSpan.End()
 		return nil, err
 	}
+	buildSpan.Arg("occurrences", int64(len(g.Occs))).Arg("edges", int64(len(g.Edges))).End()
+
+	candSpan := tr.Start("sdgraph", "candidates "+ic.Label)
 	pats := []*Pattern{pat, pat.Reversed()}
 	for _, ext := range pat.HeadExtended() {
 		pats = append(pats, ext, ext.Reversed())
@@ -46,7 +60,13 @@ func Detect(p *ast.Program, pred string, ic ast.IC, maxDepth int) ([]Detection, 
 		seqs = append(seqs, candidates(g, pp, maxDepth)...)
 	}
 	seqs = dedupSeqs(seqs)
+	candSpan.Arg("patterns", int64(len(pats))).Arg("sequences", int64(len(seqs))).End()
 
+	verifySpan := tr.Start("sdgraph", "subsume "+ic.Label)
+	var mc *subsume.Counters
+	if tr.Enabled() {
+		mc = &subsume.Counters{}
+	}
 	var out []Detection
 	for _, seq := range seqs {
 		u, err := unfold.Unfold(p, seq)
@@ -57,11 +77,15 @@ func Detect(p *ast.Program, pred string, ic ast.IC, maxDepth int) ([]Detection, 
 		for _, l := range u.DatabaseAtoms() {
 			target = append(target, l.Atom)
 		}
-		res := subsume.FreeMaximalResidues(ic, target)
+		res := subsume.FreeMaximalResiduesCounted(ic, target, mc)
 		if len(res) > 0 {
 			out = append(out, Detection{Seq: seq, U: u, Residues: res})
 		}
 	}
+	if mc != nil {
+		verifySpan.Arg("atom_tests", mc.AtomTests).Arg("matches", mc.Matches)
+	}
+	verifySpan.Arg("detections", int64(len(out))).End()
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Seq) != len(out[j].Seq) {
 			return len(out[i].Seq) < len(out[j].Seq)

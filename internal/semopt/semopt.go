@@ -18,6 +18,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/chase"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/residue"
 	"repro/internal/storage"
 	"repro/internal/subsume"
@@ -31,6 +32,11 @@ type Options struct {
 	// Preds restricts optimization to the named predicates; empty means
 	// every IDB predicate.
 	Preds []string
+	// Tracer, when non-nil, records per-phase spans (rectify, analyze,
+	// push — and, transitively, the detection, chase, and pusher spans of
+	// the substrates) so semopt -profile can show where the compile time
+	// of §1 goes.
+	Tracer *obs.Tracer
 }
 
 // Result is the outcome of one optimization run.
@@ -60,7 +66,10 @@ type Result struct {
 // the offending IC skipped).
 func Optimize(p *ast.Program, ics []ast.IC, opts Options) (*Result, error) {
 	start := time.Now()
+	opts.Residue.Tracer = opts.Tracer
+	rectSpan := opts.Tracer.Start("semopt", "rectify")
 	rect, err := ast.Rectify(p)
+	rectSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("semopt: %w", err)
 	}
@@ -93,7 +102,9 @@ func Optimize(p *ast.Program, ics []ast.IC, opts Options) (*Result, error) {
 			res.Notes = append(res.Notes, fmt.Sprintf("%s skipped: %v", pred, err))
 			continue
 		}
+		analyzeSpan := opts.Tracer.Start("semopt", "analyze "+pred)
 		ops, ns, err := residue.Analyze(rect, pred, usable, opts.Residue)
+		analyzeSpan.Arg("opportunities", int64(len(ops))).End()
 		res.Notes = append(res.Notes, ns...)
 		if err != nil {
 			return nil, fmt.Errorf("semopt: analyzing %s: %w", pred, err)
@@ -126,7 +137,9 @@ func Optimize(p *ast.Program, ics []ast.IC, opts Options) (*Result, error) {
 				ordered = append(ordered, g...)
 			}
 		}
-		next, rep, err := transform.Push(current, ordered)
+		pushSpan := opts.Tracer.Start("semopt", "push "+pred)
+		next, rep, err := transform.PushTraced(current, ordered, opts.Tracer)
+		pushSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("semopt: pushing into %s: %w", pred, err)
 		}

@@ -283,6 +283,19 @@ func (r *Relation) LookupNoBuild(col int, v ast.Term) (positions []int, ok bool)
 // At returns the tuple at position pos.
 func (r *Relation) At(pos int) Tuple { return r.tuples[pos] }
 
+// IndexedColumns returns the columns that currently have a hash index,
+// in ascending order. Observability only: stats reports use it to show
+// which probe paths a run had available.
+func (r *Relation) IndexedColumns() []int {
+	var cols []int
+	for i, idx := range r.colIndex {
+		if idx != nil {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
 // Sorted returns the tuples in lexicographic order (a fresh slice).
 func (r *Relation) Sorted() []Tuple {
 	out := make([]Tuple, len(r.tuples))
@@ -365,6 +378,16 @@ func (db *Database) Count(pred string) int {
 		return r.Len()
 	}
 	return 0
+}
+
+// Sizes returns the tuple count of every relation, keyed by predicate.
+// Stats and profiling reports use it to snapshot relation growth.
+func (db *Database) Sizes() map[string]int {
+	out := make(map[string]int, len(db.rels))
+	for p, r := range db.rels {
+		out[p] = r.Len()
+	}
+	return out
 }
 
 // TotalTuples returns the number of tuples across all relations.

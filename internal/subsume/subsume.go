@@ -46,6 +46,16 @@ func (m Match) key() string {
 	return sb.String()
 }
 
+// Counters accumulates matcher effort, for the observability layer:
+// callers that profile subsumption pass one to the *Counted variants
+// and report the sums. A nil *Counters is inert, so the counting
+// instrumentation costs nothing on the normal path.
+type Counters struct {
+	MatchCalls int64 // backtracking matcher invocations
+	AtomTests  int64 // pattern-atom vs target-atom match attempts
+	Matches    int64 // maximal matches found
+}
+
 // AllMaximal returns every substitution under which *all* pattern atoms
 // map into target (the paper's maximal free subsumption when patterns
 // are the IC's database atoms and target is an expansion sequence's
@@ -53,14 +63,19 @@ func (m Match) key() string {
 // bound. Non-injective maps (two patterns onto one target atom) are
 // permitted, as in standard θ-subsumption.
 func AllMaximal(patterns, target []ast.Atom) []Match {
-	return match(patterns, target, false)
+	return match(patterns, target, false, nil)
+}
+
+// AllMaximalCounted is AllMaximal with matcher-effort counting.
+func AllMaximalCounted(patterns, target []ast.Atom, c *Counters) []Match {
+	return match(patterns, target, false, c)
 }
 
 // Partial returns the matches that map a maximum number of pattern
 // atoms into target (Chakravarthy-style partial subsumption). If not
 // even one atom can be mapped, it returns nil.
 func Partial(patterns, target []ast.Atom) []Match {
-	all := match(patterns, target, true)
+	all := match(patterns, target, true, nil)
 	best := 0
 	for _, m := range all {
 		if m.Matched() > best {
@@ -80,8 +95,12 @@ func Partial(patterns, target []ast.Atom) []Match {
 }
 
 // match runs the backtracking matcher. When allowSkip is false every
-// pattern atom must be mapped.
-func match(patterns, target []ast.Atom, allowSkip bool) []Match {
+// pattern atom must be mapped. c, when non-nil, accumulates effort
+// counters.
+func match(patterns, target []ast.Atom, allowSkip bool, c *Counters) []Match {
+	if c != nil {
+		c.MatchCalls++
+	}
 	var out []Match
 	seen := make(map[string]bool)
 	theta := ast.NewSubst()
@@ -99,6 +118,9 @@ func match(patterns, target []ast.Atom, allowSkip bool) []Match {
 			return
 		}
 		for ti, tAtom := range target {
+			if c != nil {
+				c.AtomTests++
+			}
 			saved := theta.Clone()
 			if ast.MatchAtom(theta, patterns[i], tAtom) {
 				atomMap[i] = ti
@@ -119,6 +141,9 @@ func match(patterns, target []ast.Atom, allowSkip bool) []Match {
 		}
 	}
 	rec(0)
+	if c != nil {
+		c.Matches += int64(len(out))
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Matched() > out[j].Matched() })
 	return out
 }
@@ -269,8 +294,14 @@ func renameApartFrom(ic ast.IC, target []ast.Atom) ast.IC {
 // The IC is renamed apart from the target first; the returned residues'
 // IC field keeps the original constraint for reporting.
 func FreeMaximalResidues(ic ast.IC, target []ast.Atom) []Residue {
+	return FreeMaximalResiduesCounted(ic, target, nil)
+}
+
+// FreeMaximalResiduesCounted is FreeMaximalResidues with matcher-effort
+// counting (nil c is inert).
+func FreeMaximalResiduesCounted(ic ast.IC, target []ast.Atom, c *Counters) []Residue {
 	work := renameApartFrom(ic, target)
-	matches := AllMaximal(work.DatabaseAtoms(), target)
+	matches := AllMaximalCounted(work.DatabaseAtoms(), target, c)
 	out := make([]Residue, 0, len(matches))
 	for _, m := range matches {
 		r := ResidueOf(work, m)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/residue"
 	"repro/internal/unfold"
 )
@@ -70,14 +71,25 @@ func (v variant) clone() variant {
 // same predicate and sequence; incompatible ones are reported in
 // Report.Skipped.
 func Push(p *ast.Program, ops []residue.Opportunity) (*ast.Program, Report, error) {
+	return PushTraced(p, ops, nil)
+}
+
+// PushTraced is Push with tracing: a span for the isolation and one per
+// pushed opportunity (named by pusher kind, so a profile aggregates
+// eliminate/introduce/prune costs separately). A nil tracer reduces to
+// Push.
+func PushTraced(p *ast.Program, ops []residue.Opportunity, tr *obs.Tracer) (*ast.Program, Report, error) {
 	if len(ops) == 0 {
 		return nil, Report{}, fmt.Errorf("transform: no opportunities to push")
 	}
 	seq := ops[0].Seq
+	isoSpan := tr.Start("transform", "isolate "+seq.String())
 	iso, err := IsolateFlat(p, seq)
 	if err != nil {
+		isoSpan.End()
 		return nil, Report{}, err
 	}
+	isoSpan.Arg("rules", int64(len(iso.Prog.Rules))).End()
 	rep := Report{Pred: iso.Pred, Seq: seq}
 
 	big, _ := iso.Prog.RuleByLabel(iso.BigLabel)
@@ -112,13 +124,14 @@ func Push(p *ast.Program, ops []residue.Opportunity) (*ast.Program, Report, erro
 			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: sequence already pruned unconditionally", op))
 			continue
 		}
+		pushSpan := tr.Start("transform", "push "+op.Kind.String())
 		switch op.Kind {
 		case residue.Prune:
 			if len(op.Condition) == 0 {
 				variants = nil
 				deleted = true
 				rep.Applied = append(rep.Applied, op)
-				continue
+				break
 			}
 			var next []variant
 			for _, v := range variants {
@@ -175,10 +188,12 @@ func Push(p *ast.Program, ops []residue.Opportunity) (*ast.Program, Report, erro
 		default:
 			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: unknown kind", op))
 		}
+		pushSpan.Arg("variants", int64(len(variants))).End()
 	}
 
 	// Rebuild the program with the big rule replaced by its variants
 	// and deviation rules constrained by their folded prunes.
+	rebuildSpan := tr.Start("transform", "rebuild")
 	out := &ast.Program{}
 	for _, r := range iso.Prog.Rules {
 		if edits, ok := devEdits[r.Label]; ok {
@@ -239,6 +254,7 @@ func Push(p *ast.Program, ops []residue.Opportunity) (*ast.Program, Report, erro
 	}
 	out.EnsureLabels()
 	rep.RuleDiff = len(out.Rules) - len(p.Rules)
+	rebuildSpan.Arg("rules", int64(len(out.Rules))).End()
 	return out, rep, nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/iqa"
 	"repro/internal/magic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/residue"
 	"repro/internal/semopt"
@@ -65,6 +66,11 @@ type (
 	Tuple = storage.Tuple
 	// Stats carries deterministic evaluation work counters.
 	Stats = eval.Stats
+	// RunInfo is the observability snapshot of an evaluation: counters
+	// plus per-stratum and per-rule breakdowns.
+	RunInfo = eval.RunInfo
+	// Tracer records spans and counters; see internal/obs.
+	Tracer = obs.Tracer
 	// OptimizeResult reports an optimization run.
 	OptimizeResult = semopt.Result
 	// Opportunity is one verified semantic optimization.
@@ -102,17 +108,24 @@ type System struct {
 	// fixpoint is identical in every mode.
 	Parallel int
 
+	// Tracer, when non-nil, records spans from every evaluation and
+	// optimization this system runs (see obs.New). Nil — the default —
+	// keeps the engines on their untraced path.
+	Tracer *Tracer
+
 	optimized *Program
 	lastStats Stats
+	lastInfo  RunInfo
 }
 
 // engine builds an evaluation engine for prog over db honoring the
-// system's Parallel setting.
+// system's Parallel and Tracer settings.
 func (s *System) engine(prog *Program, db *DB) *eval.Engine {
 	e := eval.New(prog, db)
 	if s.Parallel != 0 {
 		e.SetParallel(s.Parallel)
 	}
+	e.SetTracer(s.Tracer)
 	return e
 }
 
@@ -170,7 +183,8 @@ func (s *System) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
 			MaxDepth:       opts.MaxDepth,
 			IntroducePreds: opts.SmallPreds,
 		},
-		Preds: opts.Preds,
+		Preds:  opts.Preds,
+		Tracer: s.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +208,7 @@ func (s *System) Run() (Stats, error) {
 	e := s.engine(s.ActiveProgram(), s.DB)
 	err := e.Run()
 	s.lastStats = e.Stats()
+	s.lastInfo = e.Info()
 	return s.lastStats, err
 }
 
@@ -214,6 +229,7 @@ func (s *System) QueryAtom(goal Atom) ([]Tuple, error) {
 		return nil, err
 	}
 	s.lastStats = e.Stats()
+	s.lastInfo = e.Info()
 	return e.Query(goal)
 }
 
@@ -268,6 +284,10 @@ func (s *System) DescribeGrounded(goal, context string, maxExpansions int) (*Gro
 // Stats returns the counters of the last Run/Query.
 func (s *System) Stats() Stats { return s.lastStats }
 
+// LastRunInfo returns the observability snapshot (per-stratum and
+// per-rule breakdowns) of the last Run/Query/Explain.
+func (s *System) LastRunInfo() RunInfo { return s.lastInfo }
+
 // Explain evaluates (if needed) and returns a proof tree for the ground
 // goal atom, e.g. "anc(dan, 21, bob, 72)".
 func (s *System) Explain(goal string) (*Derivation, error) {
@@ -280,6 +300,7 @@ func (s *System) Explain(goal string) (*Derivation, error) {
 		return nil, err
 	}
 	s.lastStats = e.Stats()
+	s.lastInfo = e.Info()
 	return e.Explain(g, 0)
 }
 
