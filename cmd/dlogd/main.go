@@ -1,0 +1,133 @@
+// Command dlogd is a long-running Datalog service. It loads a program
+// once — optionally running the semantic optimizer of the paper at
+// load time — materializes the IDB, and then serves:
+//
+//	POST /load    {"program": "...", "optimize": true}  (re)load a program
+//	POST /query   {"goal": "anc(ann, Y)"}               read a snapshot
+//	POST /insert  {"facts": "par(x, y)."}               incremental maintenance
+//	POST /delete  {"facts": "par(x, y)."}               delete-and-rederive
+//	GET  /stats                                         service counters
+//	GET  /healthz                                       liveness
+//
+// Queries are served lock-free against an immutable copy-on-write
+// snapshot of the database; updates maintain the materialized IDB
+// incrementally instead of re-evaluating from scratch. On SIGINT or
+// SIGTERM the daemon stops accepting connections, lets in-flight
+// requests finish (bounded by -drain), and exits.
+//
+// Usage:
+//
+//	dlogd -addr :8080 -program family.dl -optimize -parallel 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dlogd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment made explicit so the e2e test can
+// drive it: args are the command-line arguments, sig delivers shutdown
+// signals, logw receives log lines, and ready (when non-nil) is sent
+// the bound listen address once the server accepts connections.
+func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("dlogd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	program := fs.String("program", "", "program file to load at startup (the service starts empty without it)")
+	optimize := fs.Bool("optimize", false, "run the semantic optimizer on the startup program")
+	small := fs.String("small", "", "comma-separated small predicates for atom introduction")
+	parallel := fs.Int("parallel", 0, "eval worker count for full fixpoints (0 or 1 = sequential, <0 = GOMAXPROCS)")
+	maxQueries := fs.Int("max-concurrent-queries", serve.DefaultMaxConcurrentQueries,
+		"in-flight /query admission limit; excess requests get 503")
+	pprofOn := fs.Bool("expose-pprof", false, "mount net/http/pprof on the service listener (obs's -pprof ADDR serves it on a separate one)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tracer, err := obsFlags.Tracer()
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Parallel:             *parallel,
+		MaxConcurrentQueries: *maxQueries,
+		Tracer:               tracer,
+		EnablePprof:          *pprofOn,
+	})
+
+	if *program != "" {
+		src, err := os.ReadFile(*program)
+		if err != nil {
+			return err
+		}
+		var smallPreds []string
+		for _, p := range strings.Split(*small, ",") {
+			if p != "" {
+				smallPreds = append(smallPreds, p)
+			}
+		}
+		resp, err := srv.Load(context.Background(), serve.LoadRequest{
+			Program:    string(src),
+			Optimize:   *optimize,
+			SmallPreds: smallPreds,
+		})
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *program, err)
+		}
+		fmt.Fprintf(logw, "dlogd: loaded %s: %d rules, %d EDB tuples, %d IDB tuples (optimized=%v)\n",
+			*program, resp.Rules, resp.EDBTuples, resp.IDBTuples, resp.Optimized)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(logw, "dlogd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(logw, "dlogd: %v: draining (up to %s)\n", s, *drain)
+	}
+	// Stop accepting new connections and wait for in-flight requests.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return obsFlags.Finish(logw, tracer)
+}

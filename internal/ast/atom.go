@@ -124,7 +124,7 @@ func (a Atom) String() string {
 		return a.Args[0].String() + " " + a.Pred + " " + a.Args[1].String()
 	}
 	var sb strings.Builder
-	sb.WriteString(a.Pred)
+	sb.WriteString(QuoteName(a.Pred))
 	sb.WriteByte('(')
 	for i, t := range a.Args {
 		if i > 0 {

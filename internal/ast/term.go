@@ -13,6 +13,7 @@ package ast
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Term is a Datalog term: a Var, a Sym, or an Int.
@@ -38,8 +39,50 @@ func (Sym) isTerm() {}
 func (Int) isTerm() {}
 
 func (v Var) String() string { return string(v) }
-func (s Sym) String() string { return string(s) }
+func (s Sym) String() string { return QuoteName(string(s)) }
 func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// plainName reports whether name lexes as a bare (unquoted) symbol or
+// predicate identifier: an ASCII lower-case letter followed by ASCII
+// letters, digits and underscores, and not the reserved word "not".
+func plainName(name string) bool {
+	if name == "" || name == "not" {
+		return false
+	}
+	if name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// QuoteName renders a symbol or predicate name in source syntax:
+// bare when it lexes as a plain identifier, single-quoted (with
+// embedded quotes doubled) otherwise. Printing through QuoteName is
+// what keeps Program.String and Database.String parseable.
+func QuoteName(name string) string {
+	if plainName(name) {
+		return name
+	}
+	var sb strings.Builder
+	sb.Grow(len(name) + 2)
+	sb.WriteByte('\'')
+	for i := 0; i < len(name); i++ {
+		if name[i] == '\'' {
+			sb.WriteByte('\'')
+		}
+		sb.WriteByte(name[i])
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
 
 // IsGround reports whether t contains no variables, i.e. t is a constant.
 func IsGround(t Term) bool {

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -179,7 +180,15 @@ func (e *Engine) DB() *storage.Database { return e.db }
 // singleton components, but the isolation transformation of §4
 // (Algorithm 4.1) introduces mutually recursive auxiliary predicates,
 // which this engine must evaluate.
-func (e *Engine) Run() error {
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: both the sequential and the
+// parallel fixpoint check ctx at every round barrier and return
+// ctx.Err() once it is done. Cancellation can leave the database
+// between rounds — a subset of the fixpoint — so a cancelled run's
+// relations are only good for discarding (the long-running service
+// recomputes or drops the working state on cancellation).
+func (e *Engine) RunContext(ctx context.Context) error {
 	// Load program facts first.
 	for _, r := range e.prog.Rules {
 		if r.IsFact() {
@@ -190,7 +199,7 @@ func (e *Engine) Run() error {
 		}
 	}
 	for _, scc := range e.sccOrder() {
-		if err := e.fixpoint(scc); err != nil {
+		if err := e.fixpoint(ctx, scc); err != nil {
 			return err
 		}
 	}
@@ -370,26 +379,18 @@ func (e *Engine) compileStratum(inSCC map[string]bool, rules []ast.Rule) ([]comp
 
 // fixpoint computes one strongly connected component of predicates to
 // fixpoint.
-func (e *Engine) fixpoint(scc []string) error {
+func (e *Engine) fixpoint(ctx context.Context, scc []string) error {
 	inSCC := make(map[string]bool, len(scc))
 	for _, p := range scc {
 		inSCC[p] = true
 		e.db.Ensure(p, e.arityOf(p))
 	}
-	var rules []ast.Rule
-	for _, r := range e.prog.Rules {
-		if inSCC[r.Head.Pred] && !r.IsFact() {
-			// Negation through the component's own recursion is not
-			// stratified and has no least fixpoint; negation of lower
-			// strata (already complete) is safe.
-			for _, l := range r.Body {
-				if l.Neg && inSCC[l.Atom.Pred] {
-					return fmt.Errorf("eval: rule %s negates %s inside its own recursion (not stratified)",
-						r.Label, l.Atom.Pred)
-				}
-			}
-			rules = append(rules, r)
-		}
+	// Negation through the component's own recursion is not stratified
+	// and has no least fixpoint; negation of lower strata (already
+	// complete) is safe. sccRules enforces this.
+	rules, err := e.sccRules(inSCC)
+	if err != nil {
+		return err
 	}
 	if len(rules) == 0 {
 		return nil
@@ -406,11 +407,11 @@ func (e *Engine) fixpoint(scc []string) error {
 	start := time.Now()
 	switch {
 	case e.naive:
-		err = e.naiveFixpoint(crs)
+		err = e.naiveFixpoint(ctx, crs)
 	case e.parallel > 1:
-		err = e.parallelFixpoint(inSCC, crs)
+		err = e.parallelFixpoint(ctx, inSCC, crs)
 	default:
-		err = e.semiNaiveFixpoint(inSCC, crs)
+		err = e.semiNaiveFixpoint(ctx, inSCC, crs)
 	}
 	e.cur.Time = time.Since(start)
 	if e.tracer.Enabled() {
@@ -424,8 +425,11 @@ func (e *Engine) fixpoint(scc []string) error {
 // naiveFixpoint re-evaluates every rule of the component against the
 // full relations until no new tuple appears. Plans are compiled once
 // for the whole fixpoint, not per round.
-func (e *Engine) naiveFixpoint(crs []compiledRule) error {
+func (e *Engine) naiveFixpoint(ctx context.Context, crs []compiledRule) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.startIteration()
 		changed := false
 		for i := range crs {
@@ -517,7 +521,7 @@ func (e *Engine) bumpFiring(label, pred string) {
 // for the multi-occurrence rules a transformation may introduce, each
 // occurrence gets its own delta variant (a sound, set-semantics-safe
 // form that can re-derive a tuple at most once per variant).
-func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) error {
+func (e *Engine) semiNaiveFixpoint(ctx context.Context, inSCC map[string]bool, crs []compiledRule) error {
 	delta := make(map[string]*storage.Relation)
 	for p := range inSCC {
 		rel := e.db.Relation(p)
@@ -527,6 +531,9 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) er
 	// Round 0: all rules against current state. Component occurrences
 	// see whatever is already stored (normally empty, but seeds are
 	// permitted).
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.startIteration()
 	round := e.roundSpan(0)
 	for i := range crs {
@@ -553,6 +560,9 @@ func (e *Engine) semiNaiveFixpoint(inSCC map[string]bool, crs []compiledRule) er
 		}
 		if total == 0 {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		e.startIteration()
 		round = e.roundSpan(total)
@@ -620,13 +630,16 @@ type taskResult struct {
 // deterministic task order. The merge (and the InsertFilter, if any)
 // runs single-threaded, so set semantics, the final fixpoint, and the
 // Inserted count are identical to sequential evaluation.
-func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) error {
+func (e *Engine) parallelFixpoint(ctx context.Context, inSCC map[string]bool, crs []compiledRule) error {
 	delta := make(map[string]*storage.Relation)
 	for p := range inSCC {
 		delta[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
 	}
 
 	// Round 0: one task per rule, over the full current state.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.startIteration()
 	round := e.roundSpan(0)
 	var tasks []evalTask
@@ -653,6 +666,13 @@ func (e *Engine) parallelFixpoint(inSCC map[string]bool, crs []compiledRule) err
 		}
 		if total == 0 {
 			return nil
+		}
+		// Cancellation is checked at the round barrier only: workers run
+		// rounds to completion, so a cancelled parallel run still stops
+		// between rounds with the merge either fully applied or not
+		// started, never half-merged.
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		e.startIteration()
 		round = e.roundSpan(total)

@@ -1,0 +1,285 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// multiStratumSrc exercises cross-component propagation: tc is
+// recursive over edge, reach and pair sit in strata above it.
+const multiStratumSrc = `
+	tc(X, Y) :- edge(X, Y).
+	tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	reach(X) :- tc(root, X).
+	pair(X, Y) :- reach(X), reach(Y), edge(X, Y).
+`
+
+func mustProg(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.EnsureLabels()
+	return prog
+}
+
+func edgeTuple(a, b int) storage.Tuple {
+	return storage.Tuple{ast.Sym(fmt.Sprintf("n%d", a)), ast.Sym(fmt.Sprintf("n%d", b))}
+}
+
+// fromScratch evaluates prog over a fresh database holding exactly the
+// given EDB tuples.
+func fromScratch(t *testing.T, prog *ast.Program, edb map[string][]storage.Tuple, parallel int) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase()
+	for p, ts := range edb {
+		for _, tu := range ts {
+			db.Ensure(p, len(tu)).Insert(tu)
+		}
+	}
+	e := New(prog, db)
+	if parallel > 1 {
+		e.SetParallel(parallel)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestIncrementalDifferential drives a random interleaving of inserts
+// and deletes through the incremental maintenance entry points and
+// checks, after every operation, that the maintained database is
+// tuple-for-tuple identical to a from-scratch evaluation over the same
+// final EDB — in sequential and parallel from-scratch modes.
+func TestIncrementalDifferential(t *testing.T) {
+	prog := mustProg(t, multiStratumSrc)
+	rng := rand.New(rand.NewSource(42))
+	const nodes = 12
+
+	// Maintained state.
+	edge := map[string]bool{} // "a->b" key of live EDB edges
+	var live []storage.Tuple
+	key := func(tu storage.Tuple) string { return tu.Key() }
+
+	db := storage.NewDatabase()
+	db.Ensure("edge", 2)
+	db.Add("edge", ast.Sym("root"), ast.Sym("n0"))
+	edge[key(storage.Tuple{ast.Sym("root"), ast.Sym("n0")})] = true
+	live = append(live, storage.Tuple{ast.Sym("root"), ast.Sym("n0")})
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for step := 0; step < 60; step++ {
+		tu := edgeTuple(rng.Intn(nodes), rng.Intn(nodes))
+		if rng.Intn(3) > 0 || len(live) == 1 { // bias toward inserts so the graph grows
+			if edge[key(tu)] {
+				continue
+			}
+			db.Relation("edge").Insert(tu)
+			edge[key(tu)] = true
+			live = append(live, tu)
+			eng := New(prog, db)
+			if err := eng.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {tu}}); err != nil {
+				t.Fatalf("step %d: RunDeltaContext: %v", step, err)
+			}
+		} else {
+			pick := rng.Intn(len(live))
+			tu = live[pick]
+			live = append(live[:pick], live[pick+1:]...)
+			delete(edge, key(tu))
+			eng := New(prog, db)
+			if _, err := eng.DeleteAndRederiveContext(context.Background(), map[string][]storage.Tuple{"edge": {tu}}); err != nil {
+				t.Fatalf("step %d: DeleteAndRederive: %v", step, err)
+			}
+		}
+
+		edb := map[string][]storage.Tuple{"edge": live}
+		for _, parallel := range []int{1, 4} {
+			want := fromScratch(t, prog, edb, parallel)
+			if !db.Equal(want) {
+				t.Fatalf("step %d (parallel=%d): incremental state diverged from from-scratch\nincremental:\n%s\nfrom-scratch:\n%s",
+					step, parallel, db, want)
+			}
+		}
+	}
+}
+
+// TestInsertMaintenanceDoesLessWork asserts the acceptance criterion:
+// on a transitive-closure workload, maintaining one new edge through
+// the delta path scans and derives far less than a cold fixpoint over
+// the same post-insert EDB.
+func TestInsertMaintenanceDoesLessWork(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	const n = 120
+	var chain []storage.Tuple
+	for i := 0; i < n; i++ {
+		chain = append(chain, edgeTuple(i, i+1))
+	}
+
+	// Maintained: evaluate the chain, then add one edge incrementally.
+	db := storage.NewDatabase()
+	for _, tu := range chain {
+		db.Ensure("edge", 2).Insert(tu)
+	}
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+	extra := edgeTuple(n, n+1)
+	db.Relation("edge").Insert(extra)
+	maint := New(prog, db)
+	if err := maint.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {extra}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: from-scratch fixpoint over the identical post-insert EDB.
+	coldDB := storage.NewDatabase()
+	for _, tu := range append(chain[:n:n], extra) {
+		coldDB.Ensure("edge", 2).Insert(tu)
+	}
+	ce := New(prog, coldDB)
+	if err := ce.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(coldDB) {
+		t.Fatal("incremental and cold results differ")
+	}
+
+	ms, cs := maint.Stats(), ce.Stats()
+	if ms.Derived*4 >= cs.Derived {
+		t.Errorf("maintenance derived %d, cold derived %d; want at least 4x fewer", ms.Derived, cs.Derived)
+	}
+	if ms.Probes*4 >= cs.Probes {
+		t.Errorf("maintenance scanned %d, cold scanned %d; want at least 4x fewer", ms.Probes, cs.Probes)
+	}
+	if ms.Inserted != int64(n+1) {
+		// The new edge closes n+1 new paths: (0..n)->n+1.
+		t.Errorf("maintenance inserted %d tuples, want %d", ms.Inserted, n+1)
+	}
+}
+
+// TestDeleteRederiveSurvivors deletes one of two parallel paths and
+// checks the shared reachability facts survive via the other.
+func TestDeleteRederiveSurvivors(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	db := storage.NewDatabase()
+	// Diamond: a->b->d and a->c->d.
+	for _, e := range [][2]string{{"a", "b"}, {"b", "d"}, {"a", "c"}, {"c", "d"}} {
+		db.Add("edge", ast.Sym(e[0]), ast.Sym(e[1]))
+	}
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(prog, db)
+	over, err := eng.DeleteAndRederiveContext(context.Background(),
+		map[string][]storage.Tuple{"edge": {{ast.Sym("a"), ast.Sym("b")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-deletion must have touched the cone below a->b: tc(a,b) and
+	// tc(a,d) at least.
+	if over < 2 {
+		t.Errorf("over-deleted %d IDB tuples, want >= 2", over)
+	}
+	if db.Relation("tc").Contains(storage.Tuple{ast.Sym("a"), ast.Sym("b")}) {
+		t.Error("tc(a,b) should be gone")
+	}
+	if !db.Relation("tc").Contains(storage.Tuple{ast.Sym("a"), ast.Sym("d")}) {
+		t.Error("tc(a,d) should survive via a->c->d")
+	}
+	if db.Relation("edge").Contains(storage.Tuple{ast.Sym("a"), ast.Sym("b")}) {
+		t.Error("edge(a,b) should be removed")
+	}
+}
+
+// TestMaintenanceNeedsRecomputeOnNegation: updates reaching a negated
+// predicate must refuse delta maintenance before mutating anything.
+func TestMaintenanceNeedsRecomputeOnNegation(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		isolated(X) :- node(X), not tc(X, X).
+	`)
+	db := storage.NewDatabase()
+	db.Add("node", ast.Sym("a"))
+	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.TotalTuples()
+
+	eng := New(prog, db)
+	err := eng.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {{ast.Sym("b"), ast.Sym("a")}}})
+	if !errors.Is(err, ErrNeedsRecompute) {
+		t.Fatalf("RunDeltaContext = %v, want ErrNeedsRecompute", err)
+	}
+	if db.TotalTuples() != before {
+		t.Fatal("guard mutated the database")
+	}
+	_, err = eng.DeleteAndRederiveContext(context.Background(), map[string][]storage.Tuple{"edge": {{ast.Sym("a"), ast.Sym("b")}}})
+	if !errors.Is(err, ErrNeedsRecompute) {
+		t.Fatalf("DeleteAndRederiveContext = %v, want ErrNeedsRecompute", err)
+	}
+	// Updates that cannot reach the negated predicate stay incremental.
+	db.Relation("node").Insert(storage.Tuple{ast.Sym("c")})
+	if err := New(prog, db).RunDeltaContext(context.Background(), map[string][]storage.Tuple{"node": {{ast.Sym("c")}}}); err != nil {
+		t.Fatalf("update not reaching negation should be incremental, got %v", err)
+	}
+}
+
+// TestMaintenanceCancellation: both maintenance paths respect ctx.
+func TestMaintenanceCancellation(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	db := storage.NewDatabase()
+	for i := 0; i < 80; i++ {
+		db.Ensure("edge", 2).Insert(edgeTuple(i, i+1))
+	}
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+	extra := edgeTuple(80, 81)
+	db.Relation("edge").Insert(extra)
+	eng := New(prog, db)
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel during the seeding round: the next round barrier must stop.
+	eng.IterationHook = func(round int) { cancel() }
+	err := eng.RunDeltaContext(ctx, map[string][]storage.Tuple{"edge": {extra}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunDeltaContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunDeltaNoChanges is a no-op and must not touch counters.
+func TestRunDeltaNoChanges(t *testing.T) {
+	prog := mustProg(t, `tc(X, Y) :- edge(X, Y).`)
+	db := storage.NewDatabase()
+	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(prog, db)
+	if err := eng.RunDeltaContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats() != (Stats{}) {
+		t.Fatalf("no-op maintenance did work: %+v", eng.Stats())
+	}
+}

@@ -225,13 +225,21 @@ func (lx *lexer) next() (token, error) {
 	case '\'':
 		lx.advance()
 		var sb strings.Builder
-		for lx.pos < len(lx.src) && lx.peek() != '\'' {
-			sb.WriteByte(lx.advance())
+		for {
+			for lx.pos < len(lx.src) && lx.peek() != '\'' {
+				sb.WriteByte(lx.advance())
+			}
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf(line, col, "unterminated quoted symbol")
+			}
+			lx.advance() // closing quote
+			// A doubled quote is an escaped quote inside the symbol.
+			if lx.pos < len(lx.src) && lx.peek() == '\'' {
+				sb.WriteByte(lx.advance())
+				continue
+			}
+			break
 		}
-		if lx.pos >= len(lx.src) {
-			return token{}, lx.errorf(line, col, "unterminated quoted symbol")
-		}
-		lx.advance() // closing quote
 		return token{tokIdent, sb.String(), line, col}, nil
 	}
 	if unicode.IsDigit(rune(c)) {

@@ -1,0 +1,107 @@
+// Package serve is the long-running Datalog service behind cmd/dlogd.
+//
+// A server holds one loaded program at a time. Loading parses the
+// source, optionally runs the full semantic-optimization pipeline
+// (§3–§4 of the paper) once at load time, evaluates the IDB to
+// fixpoint, and publishes an immutable copy-on-write snapshot of the
+// database. From then on:
+//
+//   - queries are served lock-free against the latest snapshot;
+//   - EDB inserts are maintained incrementally by seeding the
+//     semi-naive delta loop with just the new tuples
+//     (eval.RunDeltaContext);
+//   - EDB deletions go through delete-and-rederive
+//     (eval.DeleteAndRederiveContext);
+//   - updates that reach a negated predicate fall back to a full
+//     recomputation from the extensional relations.
+//
+// Every mutation ends by publishing a fresh snapshot, so readers never
+// observe a half-applied update and never block writers.
+package serve
+
+import "repro/internal/eval"
+
+// LoadRequest loads (or replaces) the service's program. The source
+// may contain rules, facts and integrity constraints in the paper's
+// notation.
+type LoadRequest struct {
+	Program string `json:"program"`
+	// Optimize runs the semantic-optimization pipeline against the
+	// program's integrity constraints before the first evaluation.
+	Optimize bool `json:"optimize,omitempty"`
+	// SmallPreds names database predicates treated as small relations
+	// for §4(2) atom introduction.
+	SmallPreds []string `json:"small_preds,omitempty"`
+}
+
+// LoadResponse reports the loaded program and its initial fixpoint.
+type LoadResponse struct {
+	Rules     int        `json:"rules"`
+	ICs       int        `json:"ics"`
+	Optimized bool       `json:"optimized"`
+	Reports   []string   `json:"reports,omitempty"`
+	Notes     []string   `json:"notes,omitempty"`
+	EDBTuples int        `json:"edb_tuples"`
+	IDBTuples int        `json:"idb_tuples"`
+	Stats     eval.Stats `json:"stats"`
+}
+
+// QueryRequest asks for the tuples matching a goal atom, e.g.
+// "anc(ann, Y)". Constants filter; repeated variables force equality.
+type QueryRequest struct {
+	Goal string `json:"goal"`
+}
+
+// QueryResponse lists the matching tuples, each rendered as its terms
+// in source syntax.
+type QueryResponse struct {
+	Goal   string     `json:"goal"`
+	Count  int        `json:"count"`
+	Tuples [][]string `json:"tuples"`
+}
+
+// UpdateRequest carries ground facts for /insert or /delete, in source
+// syntax: "edge(a, b). edge(b, c)." Only extensional predicates may be
+// updated.
+type UpdateRequest struct {
+	Facts string `json:"facts"`
+}
+
+// UpdateResponse reports one insert or delete.
+type UpdateResponse struct {
+	// Applied counts facts actually inserted (resp. removed); Ignored
+	// counts duplicates (resp. missing tuples).
+	Applied int `json:"applied"`
+	Ignored int `json:"ignored"`
+	// Mode is "incremental" when the delta/delete-and-rederive path
+	// ran, "recompute" when the update reached a negated predicate and
+	// the IDB was rebuilt from scratch, "noop" when nothing changed.
+	Mode string `json:"mode"`
+	// OverDeleted counts IDB tuples retracted by the over-deletion
+	// phase of delete-and-rederive (some may have been rederived).
+	OverDeleted int        `json:"over_deleted,omitempty"`
+	Stats       eval.Stats `json:"stats"`
+}
+
+// StatsResponse is the service's observability snapshot.
+type StatsResponse struct {
+	Loaded        bool           `json:"loaded"`
+	Rules         int            `json:"rules"`
+	Optimized     bool           `json:"optimized"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Queries       int64          `json:"queries"`
+	Rejected      int64          `json:"rejected"`
+	Inserts       int64          `json:"inserts"`
+	Deletes       int64          `json:"deletes"`
+	Incremental   int64          `json:"incremental"`
+	Recomputes    int64          `json:"recomputes"`
+	Relations     map[string]int `json:"relations,omitempty"`
+	// Eval accumulates the engine counters of every evaluation the
+	// service has run (load, maintenance, recompute).
+	Eval eval.Stats `json:"eval"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

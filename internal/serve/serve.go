@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Parallel is the evaluation worker count for full fixpoints
+	// (load, recompute): 0 or 1 sequential, n > 1 workers, n < 0
+	// GOMAXPROCS.
+	Parallel int
+	// MaxConcurrentQueries bounds in-flight /query requests; excess
+	// requests are refused with 503 instead of queueing. <= 0 means
+	// DefaultMaxConcurrentQueries.
+	MaxConcurrentQueries int
+	// Tracer, when non-nil, records a span per request plus the engine
+	// spans of every evaluation.
+	Tracer *obs.Tracer
+	// EnablePprof mounts net/http/pprof on the service mux.
+	EnablePprof bool
+}
+
+// DefaultMaxConcurrentQueries is the admission-gate width when the
+// config leaves it unset.
+const DefaultMaxConcurrentQueries = 64
+
+// Server is the dlogd request handler: one loaded program, an
+// authoritative database behind a writer mutex, and an atomically
+// published copy-on-write snapshot that queries read without locking.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	gate  chan struct{}
+	start time.Time
+
+	mu   sync.Mutex // guards sess and all mutations of sess.db
+	sess *session
+
+	snap atomic.Pointer[storage.Database]
+
+	queries, rejected, inserts, deletes atomic.Int64
+	incremental, recomputes             atomic.Int64
+
+	statsMu   sync.Mutex
+	evalStats eval.Stats
+}
+
+// New builds a Server. Use Handler to mount it.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrentQueries <= 0 {
+		cfg.MaxConcurrentQueries = DefaultMaxConcurrentQueries
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		gate:  make(chan struct{}, cfg.MaxConcurrentQueries),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /load", s.traced(s.handleLoad))
+	s.mux.HandleFunc("POST /query", s.traced(s.handleQuery))
+	s.mux.HandleFunc("POST /insert", s.traced(s.handleInsert))
+	s.mux.HandleFunc("POST /delete", s.traced(s.handleDelete))
+	s.mux.HandleFunc("GET /stats", s.traced(s.handleStats))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	if cfg.EnablePprof {
+		obs.AttachPprof(s.mux)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// traced wraps a handler in an obs span named after the route.
+func (s *Server) traced(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := s.cfg.Tracer.Start("serve", r.Method+" "+r.URL.Path)
+		h(w, r)
+		sp.End()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best effort to a live conn
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var req T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return req, false
+	}
+	return req, true
+}
+
+// Load parses, optionally optimizes, and evaluates a program, then
+// atomically makes it the served one. A failed load leaves the
+// previous program untouched. It is the programmatic face of POST
+// /load, used by dlogd's -program startup flag.
+func (s *Server) Load(ctx context.Context, req LoadRequest) (*LoadResponse, error) {
+	sess, resp, err := s.loadSession(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sess = sess
+	s.snap.Store(sess.db.Snapshot())
+	s.mu.Unlock()
+	s.addEvalStats(resp.Stats)
+	return resp, nil
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[LoadRequest](w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.Load(r.Context(), req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			code = 499 // client closed request
+		}
+		writeErr(w, code, "load: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQuery serves reads. It never takes the writer mutex: the goal
+// is matched against the snapshot that was current at admission time,
+// giving every query a consistent point-in-time view even while
+// updates land concurrently.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.gate <- struct{}{}:
+		defer func() { <-s.gate }()
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "query admission gate full (%d in flight)", cap(s.gate))
+		return
+	}
+	req, ok := decode[QueryRequest](w, r)
+	if !ok {
+		return
+	}
+	goal, err := parser.ParseAtom(req.Goal)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad goal: %v", err)
+		return
+	}
+	db := s.snap.Load()
+	if db == nil {
+		writeErr(w, http.StatusConflict, "no program loaded")
+		return
+	}
+	tuples, err := querySnapshot(db, goal)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	s.queries.Add(1)
+	resp := QueryResponse{Goal: goal.String(), Count: len(tuples), Tuples: make([][]string, 0, len(tuples))}
+	for _, t := range tuples {
+		row := make([]string, len(t))
+		for i, term := range t {
+			row[i] = term.String()
+		}
+		resp.Tuples = append(resp.Tuples, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.handleUpdate(w, r, s.insert, &s.inserts)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.handleUpdate(w, r, s.remove, &s.deletes)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request,
+	apply func(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error),
+	counter *atomic.Int64) {
+	req, ok := decode[UpdateRequest](w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess == nil {
+		writeErr(w, http.StatusConflict, "no program loaded")
+		return
+	}
+	facts, _, err := s.sess.parseGroundFacts(req.Facts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := apply(r.Context(), s.sess, facts)
+	if err != nil {
+		// The authoritative database may hold a half-maintained state;
+		// readers are unaffected (old snapshot stays published), and
+		// the next successful update or load repairs it. Surface the
+		// error; a cancelled request is the client's doing.
+		code := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			code = 499
+		}
+		writeErr(w, code, "update: %v", err)
+		return
+	}
+	counter.Add(1)
+	switch resp.Mode {
+	case "incremental":
+		s.incremental.Add(1)
+	case "recompute":
+		s.recomputes.Add(1)
+	}
+	s.snap.Store(s.sess.db.Snapshot())
+	s.addEvalStats(resp.Stats)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		Rejected:      s.rejected.Load(),
+		Inserts:       s.inserts.Load(),
+		Deletes:       s.deletes.Load(),
+		Incremental:   s.incremental.Load(),
+		Recomputes:    s.recomputes.Load(),
+	}
+	s.statsMu.Lock()
+	resp.Eval = s.evalStats
+	s.statsMu.Unlock()
+	s.mu.Lock()
+	if s.sess != nil {
+		resp.Loaded = true
+		resp.Rules = s.sess.rules
+		resp.Optimized = s.sess.optimized
+	}
+	s.mu.Unlock()
+	if db := s.snap.Load(); db != nil {
+		resp.Relations = db.Sizes()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) addEvalStats(st eval.Stats) {
+	s.statsMu.Lock()
+	s.evalStats.Add(st)
+	s.statsMu.Unlock()
+}
+
+// querySnapshot matches a goal against an immutable snapshot. It is
+// strictly read-only — in particular it never builds a column index on
+// the shared relation (concurrent queries race otherwise), it only
+// uses one that already exists.
+func querySnapshot(db *storage.Database, goal ast.Atom) ([]storage.Tuple, error) {
+	rel := db.Relation(goal.Pred)
+	if rel == nil {
+		return nil, nil
+	}
+	if rel.Arity != len(goal.Args) {
+		return nil, fmt.Errorf("%s has arity %d, goal has %d", goal.Pred, rel.Arity, len(goal.Args))
+	}
+	var out []storage.Tuple
+	match := func(t storage.Tuple) {
+		env := ast.NewSubst()
+		if ast.MatchAtom(env, goal, ast.Atom{Pred: goal.Pred, Args: t}) {
+			out = append(out, t)
+		}
+	}
+	for i, arg := range goal.Args {
+		if !ast.IsGround(arg) {
+			continue
+		}
+		if positions, ok := rel.LookupNoBuild(i, arg); ok {
+			for _, pos := range positions {
+				match(rel.At(pos))
+			}
+			return out, nil
+		}
+	}
+	for _, t := range rel.Tuples() {
+		match(t)
+	}
+	return out, nil
+}

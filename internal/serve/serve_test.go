@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// call posts a JSON request and decodes the JSON reply into out (which
+// may be nil). It returns the status code.
+func call(t *testing.T, ts *httptest.Server, method, path string, req, out any) int {
+	t.Helper()
+	var body io.Reader
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(b)
+	}
+	hreq, err := http.NewRequest(method, ts.URL+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return res.StatusCode
+}
+
+func mustOK(t *testing.T, ts *httptest.Server, method, path string, req, out any) {
+	t.Helper()
+	if code := call(t, ts, method, path, req, out); code != http.StatusOK {
+		t.Fatalf("%s %s = %d, want 200", method, path, code)
+	}
+}
+
+func queryTuples(t *testing.T, ts *httptest.Server, goal string) [][]string {
+	t.Helper()
+	var resp QueryResponse
+	mustOK(t, ts, "POST", "/query", QueryRequest{Goal: goal}, &resp)
+	return resp.Tuples
+}
+
+const tcSrc = `
+	tc(X, Y) :- edge(X, Y).
+	tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	edge(a, b).
+	edge(b, c).
+`
+
+// TestEndToEnd is the full round trip: load, query, insert (new
+// derivations appear), delete (they retract), stats.
+func TestEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	var load LoadResponse
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: tcSrc}, &load)
+	if load.Rules != 2 || load.EDBTuples != 2 {
+		t.Fatalf("load = %+v, want 2 rules, 2 EDB tuples", load)
+	}
+	if load.IDBTuples != 3 { // tc: ab bc ac
+		t.Fatalf("load derived %d IDB tuples, want 3", load.IDBTuples)
+	}
+
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 2 {
+		t.Fatalf("tc(a, Y) = %v, want 2 answers", got)
+	}
+
+	var ins UpdateResponse
+	mustOK(t, ts, "POST", "/insert", UpdateRequest{Facts: "edge(c, d)."}, &ins)
+	if ins.Applied != 1 || ins.Mode != "incremental" {
+		t.Fatalf("insert = %+v, want 1 applied incremental", ins)
+	}
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 3 {
+		t.Fatalf("after insert, tc(a, Y) = %v, want 3 answers", got)
+	}
+	// Duplicate insert is a no-op.
+	mustOK(t, ts, "POST", "/insert", UpdateRequest{Facts: "edge(c, d)."}, &ins)
+	if ins.Applied != 0 || ins.Ignored != 1 || ins.Mode != "noop" {
+		t.Fatalf("duplicate insert = %+v", ins)
+	}
+
+	var del UpdateResponse
+	mustOK(t, ts, "POST", "/delete", UpdateRequest{Facts: "edge(b, c)."}, &del)
+	if del.Applied != 1 || del.Mode != "incremental" || del.OverDeleted < 1 {
+		t.Fatalf("delete = %+v", del)
+	}
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 1 {
+		t.Fatalf("after delete, tc(a, Y) = %v, want only tc(a, b)", got)
+	}
+	if got := queryTuples(t, ts, "tc(c, d)"); len(got) != 1 {
+		t.Fatalf("tc(c, d) should survive, got %v", got)
+	}
+
+	var st StatsResponse
+	mustOK(t, ts, "GET", "/stats", nil, &st)
+	if !st.Loaded || st.Inserts != 2 || st.Deletes != 1 || st.Incremental != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Relations["tc"] != 2 || st.Relations["edge"] != 2 {
+		t.Fatalf("stats relations = %v", st.Relations)
+	}
+	if st.Queries < 4 {
+		t.Fatalf("stats queries = %d, want >= 4", st.Queries)
+	}
+}
+
+func TestErrorsAndGuards(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Everything but load requires a program.
+	if code := call(t, ts, "POST", "/query", QueryRequest{Goal: "p(X)"}, nil); code != http.StatusConflict {
+		t.Fatalf("query before load = %d, want 409", code)
+	}
+	if code := call(t, ts, "POST", "/insert", UpdateRequest{Facts: "p(a)."}, nil); code != http.StatusConflict {
+		t.Fatalf("insert before load = %d, want 409", code)
+	}
+
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: tcSrc}, nil)
+
+	for name, tc := range map[string]struct {
+		path string
+		req  any
+	}{
+		"bad program":     {"/load", LoadRequest{Program: "tc(X :-"}},
+		"bad goal":        {"/query", QueryRequest{Goal: "tc(X,"}},
+		"goal arity":      {"/query", QueryRequest{Goal: "tc(X, Y, Z)"}},
+		"rule as fact":    {"/insert", UpdateRequest{Facts: "p(X) :- q(X)."}},
+		"ic as fact":      {"/insert", UpdateRequest{Facts: "p(X) -> q(X)."}},
+		"idb insert":      {"/insert", UpdateRequest{Facts: "tc(a, z)."}},
+		"idb delete":      {"/delete", UpdateRequest{Facts: "tc(a, b)."}},
+		"non-ground fact": {"/insert", UpdateRequest{Facts: "edge(a, X)."}},
+	} {
+		if code := call(t, ts, "POST", tc.path, tc.req, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: POST %s = %d, want 400", name, tc.path, code)
+		}
+	}
+
+	// Unknown predicate queries are empty, not errors.
+	if got := queryTuples(t, ts, "nothing(X)"); len(got) != 0 {
+		t.Fatalf("unknown pred = %v, want empty", got)
+	}
+	// A failed load keeps the previous program serving.
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 2 {
+		t.Fatalf("after failed load, tc(a, Y) = %v, want 2", got)
+	}
+}
+
+// TestRecomputeOnNegation: updates reaching a negated predicate fall
+// back to a full recomputation and still produce correct results.
+func TestRecomputeOnNegation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		isolated(X) :- node(X), not tc(X, X).
+		node(a). node(b).
+		edge(a, b).
+	`}, nil)
+
+	if got := queryTuples(t, ts, "isolated(X)"); len(got) != 2 {
+		t.Fatalf("isolated = %v, want a and b", got)
+	}
+	var upd UpdateResponse
+	mustOK(t, ts, "POST", "/insert", UpdateRequest{Facts: "edge(b, a)."}, &upd)
+	if upd.Mode != "recompute" {
+		t.Fatalf("insert reaching negation: mode = %q, want recompute", upd.Mode)
+	}
+	// a and b are now on a cycle: neither is isolated.
+	if got := queryTuples(t, ts, "isolated(X)"); len(got) != 0 {
+		t.Fatalf("after cycle, isolated = %v, want none", got)
+	}
+	mustOK(t, ts, "POST", "/delete", UpdateRequest{Facts: "edge(b, a)."}, &upd)
+	if upd.Mode != "recompute" {
+		t.Fatalf("delete reaching negation: mode = %q, want recompute", upd.Mode)
+	}
+	if got := queryTuples(t, ts, "isolated(X)"); len(got) != 2 {
+		t.Fatalf("after cycle removed, isolated = %v, want a and b", got)
+	}
+	var st StatsResponse
+	mustOK(t, ts, "GET", "/stats", nil, &st)
+	if st.Recomputes != 2 {
+		t.Fatalf("stats recomputes = %d, want 2", st.Recomputes)
+	}
+}
+
+// differentialCase drives random updates through a server and checks,
+// after every operation, that each original IDB predicate queried over
+// HTTP equals a from-scratch evaluation of the ORIGINAL program on the
+// same EDB — the optimized program must be indistinguishable.
+type differentialCase struct {
+	program string // source loaded into the server
+	goals   map[string]string
+	// step returns (facts source, isInsert) and maintains the local
+	// EDB mirror.
+	step func(rng *rand.Rand, mirror map[string]map[string]storage.Tuple) (string, bool)
+}
+
+func runDifferential(t *testing.T, c differentialCase, optimize bool, parallel int, steps int) {
+	t.Helper()
+	ts := newTestServer(t, Config{Parallel: parallel})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: c.program, Optimize: optimize}, nil)
+
+	orig, err := parser.Parse(c.program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ruleOnly []ast.Rule
+	mirror := map[string]map[string]storage.Tuple{}
+	for _, r := range orig.Program.Rules {
+		if r.IsFact() {
+			if mirror[r.Head.Pred] == nil {
+				mirror[r.Head.Pred] = map[string]storage.Tuple{}
+			}
+			tu := storage.Tuple(r.Head.Args)
+			mirror[r.Head.Pred][tu.Key()] = tu
+		} else {
+			ruleOnly = append(ruleOnly, r)
+		}
+	}
+	prog := &ast.Program{Rules: ruleOnly}
+	prog.EnsureLabels()
+
+	rng := rand.New(rand.NewSource(int64(7 + parallel)))
+	for step := 0; step < steps; step++ {
+		facts, isInsert := c.step(rng, mirror)
+		path := "/insert"
+		if !isInsert {
+			path = "/delete"
+		}
+		mustOK(t, ts, "POST", path, UpdateRequest{Facts: facts}, nil)
+
+		// From-scratch reference over the mirrored EDB.
+		db := storage.NewDatabase()
+		for p, ts := range mirror {
+			for _, tu := range ts {
+				db.Ensure(p, len(tu)).Insert(tu)
+			}
+		}
+		if err := eval.New(prog, db).Run(); err != nil {
+			t.Fatal(err)
+		}
+		for pred, goal := range c.goals {
+			got := renderSorted(queryTuples(t, ts, goal))
+			var wantTuples [][]string
+			if rel := db.Relation(pred); rel != nil {
+				for _, tu := range rel.Tuples() {
+					row := make([]string, len(tu))
+					for i, term := range tu {
+						row[i] = term.String()
+					}
+					wantTuples = append(wantTuples, row)
+				}
+			}
+			want := renderSorted(wantTuples)
+			if got != want {
+				t.Fatalf("step %d (%s %q): %s over HTTP diverged from from-scratch\ngot:  %s\nwant: %s",
+					step, path, facts, pred, got, want)
+			}
+		}
+	}
+}
+
+func renderSorted(rows [][]string) string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		b, _ := json.Marshal(r)
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	b, _ := json.Marshal(out)
+	return string(b)
+}
+
+// tcDifferential mutates a random edge relation under a three-stratum
+// program.
+var tcDifferential = differentialCase{
+	program: `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		reach(X) :- tc(root, X).
+		pair(X, Y) :- reach(X), reach(Y), edge(X, Y).
+		edge(root, n0).
+	`,
+	goals: map[string]string{"tc": "tc(X, Y)", "reach": "reach(X)", "pair": "pair(X, Y)"},
+	step: func(rng *rand.Rand, mirror map[string]map[string]storage.Tuple) (string, bool) {
+		edges := mirror["edge"]
+		tu := storage.Tuple{ast.Sym(fmt.Sprintf("n%d", rng.Intn(9))), ast.Sym(fmt.Sprintf("n%d", rng.Intn(9)))}
+		if rng.Intn(3) > 0 || len(edges) <= 1 {
+			edges[tu.Key()] = tu
+			return fmt.Sprintf("edge(%s, %s).", tu[0], tu[1]), true
+		}
+		keys := make([]string, 0, len(edges))
+		for k := range edges {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		k := keys[rng.Intn(len(keys))]
+		tu = edges[k]
+		delete(edges, k)
+		return fmt.Sprintf("edge(%s, %s).", tu[0], tu[1]), false
+	},
+}
+
+// orgDifferential exercises the paper's organization example under the
+// IC "boss(E, B, executive) -> experienced(B)". Semantic optimization
+// is only equivalence-preserving on consistent databases, so every
+// executive boss fact is inserted together with the experienced fact
+// it implies, and experienced facts are never deleted.
+var orgDifferential = differentialCase{
+	program: `
+		triple(E1, E2, E3) :- same_level(E1, E2, E3).
+		triple(E1, E2, E3) :- boss(U, E3, R), experienced(U), triple(U, E1, E2).
+		same_level(u0, u1, u2).
+	` + "boss(E, B, R), R = executive -> experienced(B).\n",
+	goals: map[string]string{"triple": "triple(A, B, C)"},
+	step: func(rng *rand.Rand, mirror map[string]map[string]storage.Tuple) (string, bool) {
+		u := func() ast.Term { return ast.Sym(fmt.Sprintf("u%d", rng.Intn(7))) }
+		add := func(pred string, tu storage.Tuple) {
+			if mirror[pred] == nil {
+				mirror[pred] = map[string]storage.Tuple{}
+			}
+			mirror[pred][tu.Key()] = tu
+		}
+		switch rng.Intn(4) {
+		case 0: // same_level insert
+			tu := storage.Tuple{u(), u(), u()}
+			add("same_level", tu)
+			return fmt.Sprintf("same_level(%s, %s, %s).", tu[0], tu[1], tu[2]), true
+		case 1: // executive boss: keep the IC satisfied
+			tu := storage.Tuple{u(), u(), ast.Sym("executive")}
+			add("boss", tu)
+			exp := storage.Tuple{tu[1]}
+			add("experienced", exp)
+			return fmt.Sprintf("boss(%s, %s, executive). experienced(%s).", tu[0], tu[1], tu[1]), true
+		case 2: // manager boss: no IC obligation
+			tu := storage.Tuple{u(), u(), ast.Sym("manager")}
+			add("boss", tu)
+			return fmt.Sprintf("boss(%s, %s, manager).", tu[0], tu[1]), true
+		default: // delete a boss or same_level fact (never experienced)
+			for _, pred := range []string{"boss", "same_level"} {
+				facts := mirror[pred]
+				if len(facts) == 0 {
+					continue
+				}
+				keys := make([]string, 0, len(facts))
+				for k := range facts {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				k := keys[rng.Intn(len(keys))]
+				tu := facts[k]
+				delete(facts, k)
+				args := make([]string, len(tu))
+				for i, term := range tu {
+					args[i] = term.String()
+				}
+				b, _ := json.Marshal(args) // reuse for joining
+				_ = b
+				src := pred + "("
+				for i, a := range args {
+					if i > 0 {
+						src += ", "
+					}
+					src += a
+				}
+				return src + ").", false
+			}
+			// Nothing to delete: insert instead.
+			tu := storage.Tuple{u(), u(), u()}
+			add("same_level", tu)
+			return fmt.Sprintf("same_level(%s, %s, %s).", tu[0], tu[1], tu[2]), true
+		}
+	},
+}
+
+func TestDifferentialOverHTTP(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		c        differentialCase
+		optimize bool
+		parallel int
+	}{
+		{"tc/seq", tcDifferential, false, 0},
+		{"tc/parallel", tcDifferential, false, 4},
+		{"tc/semopt", tcDifferential, true, 0},
+		{"org/semopt/seq", orgDifferential, true, 0},
+		{"org/semopt/parallel", orgDifferential, true, 4},
+		{"org/plain", orgDifferential, false, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			runDifferential(t, tc.c, tc.optimize, tc.parallel, 40)
+		})
+	}
+}
+
+// TestConcurrentReadersDuringUpdates hammers /query and /stats from
+// several goroutines while a writer appends chain edges. Every read
+// must observe a consistent snapshot: on a chain, the transitive
+// closure always has k(k+1)/2 tuples for some k. Run with -race.
+func TestConcurrentReadersDuringUpdates(t *testing.T) {
+	ts := newTestServer(t, Config{Parallel: 2})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		edge(n0, n1).
+	`}, nil)
+
+	const writes = 30
+	triangle := map[int]bool{}
+	for k := 1; k <= writes+1; k++ {
+		triangle[k*(k+1)/2] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp QueryResponse
+				code := call(t, ts, "POST", "/query", QueryRequest{Goal: "tc(X, Y)"}, &resp)
+				if code == http.StatusServiceUnavailable {
+					continue // admission gate; fine
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("query = %d", code)
+					return
+				}
+				if !triangle[resp.Count] {
+					errs <- fmt.Errorf("tc count %d is not a consistent chain closure", resp.Count)
+					return
+				}
+				var st StatsResponse
+				if code := call(t, ts, "GET", "/stats", nil, &st); code != http.StatusOK {
+					errs <- fmt.Errorf("stats = %d", code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= writes; i++ {
+		var upd UpdateResponse
+		mustOK(t, ts, "POST", "/insert",
+			UpdateRequest{Facts: fmt.Sprintf("edge(n%d, n%d).", i, i+1)}, &upd)
+		if upd.Mode != "incremental" {
+			t.Fatalf("write %d: mode = %q", i, upd.Mode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := queryTuples(t, ts, "tc(n0, Y)"); len(got) != writes+1 {
+		t.Fatalf("final tc(n0, Y) = %d answers, want %d", len(got), writes+1)
+	}
+}
+
+// TestAdmissionGate fills the single query slot with a request whose
+// body never arrives, then checks the next query is refused with 503.
+func TestAdmissionGate(t *testing.T) {
+	ts := newTestServer(t, Config{MaxConcurrentQueries: 1})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: tcSrc}, nil)
+
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequest("POST", ts.URL+"/query", pr)
+		req.ContentLength = -1 // chunked: server must read to see the body
+		res, err := ts.Client().Do(req)
+		if err == nil {
+			res.Body.Close()
+		}
+	}()
+
+	// Wait until the slow request holds the gate slot, then expect 503.
+	gotBusy := false
+	for i := 0; i < 200 && !gotBusy; i++ {
+		code := call(t, ts, "POST", "/query", QueryRequest{Goal: "tc(a, Y)"}, nil)
+		gotBusy = code == http.StatusServiceUnavailable
+	}
+	if !gotBusy {
+		t.Fatal("never saw 503 while the gate slot was held")
+	}
+
+	// Release the slot; queries flow again.
+	io.WriteString(pw, `{"goal": "tc(a, Y)"}`)
+	pw.Close()
+	<-done
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 2 {
+		t.Fatalf("after release, tc(a, Y) = %v", got)
+	}
+
+	var st StatsResponse
+	mustOK(t, ts, "GET", "/stats", nil, &st)
+	if st.Rejected == 0 {
+		t.Fatal("stats should count rejected queries")
+	}
+}
+
+// TestLoadWithOptimize checks the load-time semopt hook reports its
+// work.
+func TestLoadWithOptimize(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var load LoadResponse
+	mustOK(t, ts, "POST", "/load", LoadRequest{
+		Program:  orgDifferential.program,
+		Optimize: true,
+	}, &load)
+	if !load.Optimized {
+		t.Fatal("load did not run the optimizer")
+	}
+	if len(load.Reports) == 0 {
+		t.Fatalf("optimizer found nothing on the org example: notes=%v", load.Notes)
+	}
+	if got := queryTuples(t, ts, "triple(A, B, C)"); len(got) != 1 {
+		t.Fatalf("triple = %v, want the seeded same_level row", got)
+	}
+}

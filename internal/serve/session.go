@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/residue"
+	"repro/internal/semopt"
+	"repro/internal/storage"
+)
+
+// session is the mutable state behind one loaded program. All fields
+// are guarded by the server's writer mutex; readers only ever see the
+// published snapshots.
+type session struct {
+	active *ast.Program    // the program evaluation runs (optimized when requested)
+	idb    map[string]bool // predicates derived by active rules; not updatable via the API
+	db     *storage.Database
+	// seedIDB preserves ground facts the source program stated for
+	// derived predicates. The update API cannot touch them, so a full
+	// recomputation re-seeds the IDB from this frozen copy.
+	seedIDB   map[string]*storage.Relation
+	rules     int
+	ics       int
+	optimized bool
+}
+
+// loadSession parses src, optionally optimizes, and evaluates the
+// initial fixpoint. It touches no server state, so a failed load keeps
+// the previous program serving.
+func (s *Server) loadSession(ctx context.Context, req LoadRequest) (*session, *LoadResponse, error) {
+	parsed, err := parser.Parse(req.Program)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse: %w", err)
+	}
+	db := storage.NewDatabase()
+	var rules []ast.Rule
+	for _, r := range parsed.Program.Rules {
+		if r.IsFact() {
+			db.AddFact(r.Head)
+		} else {
+			rules = append(rules, r)
+		}
+	}
+	prog := &ast.Program{Rules: rules}
+	prog.EnsureLabels()
+
+	resp := &LoadResponse{Rules: len(rules), ICs: len(parsed.ICs)}
+	active := prog
+	if req.Optimize {
+		small := make(map[string]bool, len(req.SmallPreds))
+		for _, p := range req.SmallPreds {
+			small[p] = true
+		}
+		res, err := semopt.Optimize(prog, parsed.ICs, semopt.Options{
+			Residue: residue.Options{IntroducePreds: small},
+			Tracer:  s.cfg.Tracer,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("optimize: %w", err)
+		}
+		active = res.Optimized
+		resp.Optimized = true
+		resp.Notes = res.Notes
+		for _, r := range res.Reports {
+			resp.Reports = append(resp.Reports, r.String())
+		}
+	}
+
+	sess := &session{
+		active:    active,
+		idb:       active.IDBPreds(),
+		db:        db,
+		seedIDB:   map[string]*storage.Relation{},
+		rules:     len(rules),
+		ics:       len(parsed.ICs),
+		optimized: resp.Optimized,
+	}
+	// Facts stated for derived predicates are part of the program, not
+	// of the updatable EDB; freeze them for recomputation.
+	edbTuples := 0
+	for _, p := range db.Preds() {
+		if sess.idb[p] {
+			sess.seedIDB[p] = db.Relation(p).Clone()
+		} else {
+			edbTuples += db.Count(p)
+		}
+	}
+
+	eng := s.engine(active, db)
+	if err := eng.RunContext(ctx); err != nil {
+		return nil, nil, fmt.Errorf("evaluate: %w", err)
+	}
+	resp.Stats = eng.Stats()
+	resp.EDBTuples = edbTuples
+	resp.IDBTuples = db.TotalTuples() - edbTuples
+	return sess, resp, nil
+}
+
+// parseGroundFacts parses an update payload and rejects anything that
+// is not a ground fact over an extensional predicate.
+func (sess *session) parseGroundFacts(src string) (map[string][]storage.Tuple, int, error) {
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		return nil, 0, fmt.Errorf("parse: %w", err)
+	}
+	if len(parsed.ICs) > 0 {
+		return nil, 0, errors.New("updates cannot contain integrity constraints")
+	}
+	changed := map[string][]storage.Tuple{}
+	n := 0
+	for _, r := range parsed.Program.Rules {
+		if !r.IsFact() {
+			return nil, 0, fmt.Errorf("updates must be ground facts, got rule %s", r)
+		}
+		if !r.Head.IsGround() {
+			return nil, 0, fmt.Errorf("updates must be ground, %s has variables", r.Head)
+		}
+		if sess.idb[r.Head.Pred] {
+			return nil, 0, fmt.Errorf("%s is derived by the program; only extensional predicates can be updated", r.Head.Pred)
+		}
+		changed[r.Head.Pred] = append(changed[r.Head.Pred], storage.Tuple(r.Head.Args))
+		n++
+	}
+	return changed, n, nil
+}
+
+// insert applies ground facts and maintains the IDB. Caller holds the
+// writer mutex.
+func (s *Server) insert(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error) {
+	resp := &UpdateResponse{Mode: "noop"}
+	added := map[string][]storage.Tuple{}
+	for p, ts := range facts {
+		for _, t := range ts {
+			rel := sess.db.Ensure(p, len(t))
+			if rel.Arity != len(t) {
+				return nil, fmt.Errorf("%s has arity %d, fact has %d", p, rel.Arity, len(t))
+			}
+			if rel.Insert(t) {
+				added[p] = append(added[p], t)
+				resp.Applied++
+			} else {
+				resp.Ignored++
+			}
+		}
+	}
+	if len(added) == 0 {
+		return resp, nil
+	}
+	eng := s.engine(sess.active, sess.db)
+	err := eng.RunDeltaContext(ctx, added)
+	switch {
+	case err == nil:
+		resp.Mode = "incremental"
+		resp.Stats = eng.Stats()
+	case errors.Is(err, eval.ErrNeedsRecompute):
+		resp.Mode = "recompute"
+		st, rerr := s.recompute(ctx, sess)
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Stats = st
+	default:
+		return nil, err
+	}
+	return resp, nil
+}
+
+// remove deletes ground facts and maintains the IDB via
+// delete-and-rederive. Caller holds the writer mutex.
+func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error) {
+	resp := &UpdateResponse{Mode: "noop"}
+	present := map[string][]storage.Tuple{}
+	for p, ts := range facts {
+		rel := sess.db.Relation(p)
+		for _, t := range ts {
+			if rel != nil && rel.Contains(t) {
+				present[p] = append(present[p], t)
+				resp.Applied++
+			} else {
+				resp.Ignored++
+			}
+		}
+	}
+	if len(present) == 0 {
+		return resp, nil
+	}
+	eng := s.engine(sess.active, sess.db)
+	over, err := eng.DeleteAndRederiveContext(ctx, present)
+	switch {
+	case err == nil:
+		resp.Mode = "incremental"
+		resp.OverDeleted = over
+		resp.Stats = eng.Stats()
+	case errors.Is(err, eval.ErrNeedsRecompute):
+		// The guard refused before mutating; drop the EDB tuples
+		// ourselves and rebuild.
+		resp.Mode = "recompute"
+		for p, ts := range present {
+			for _, t := range ts {
+				sess.db.Relation(p).Remove(t)
+			}
+		}
+		st, rerr := s.recompute(ctx, sess)
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Stats = st
+	default:
+		return nil, err
+	}
+	return resp, nil
+}
+
+// recompute rebuilds the IDB from scratch: a fresh database seeded
+// with the current extensional relations (plus the frozen IDB seed
+// facts), evaluated to fixpoint, replaces the session database. Used
+// when an update reaches a negated predicate and incremental
+// maintenance would be unsound.
+func (s *Server) recompute(ctx context.Context, sess *session) (eval.Stats, error) {
+	fresh := storage.NewDatabase()
+	for _, p := range sess.db.Preds() {
+		if sess.idb[p] {
+			continue
+		}
+		fresh.Replace(sess.db.Relation(p).Clone())
+	}
+	for _, rel := range sess.seedIDB {
+		fresh.Replace(rel.Clone())
+	}
+	eng := s.engine(sess.active, fresh)
+	if err := eng.RunContext(ctx); err != nil {
+		return eng.Stats(), err
+	}
+	sess.db = fresh
+	return eng.Stats(), nil
+}
+
+// engine builds an evaluation engine honoring the server's parallelism
+// and tracer configuration. Full fixpoints (load, recompute) use the
+// parallel workers; the maintenance loops are sequential by design —
+// deltas are small, so round startup cost would dominate.
+func (s *Server) engine(prog *ast.Program, db *storage.Database) *eval.Engine {
+	e := eval.New(prog, db)
+	if s.cfg.Parallel != 0 {
+		e.SetParallel(s.cfg.Parallel)
+	}
+	e.SetTracer(s.cfg.Tracer)
+	return e
+}

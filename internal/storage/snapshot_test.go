@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func itup(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = ast.Int(v)
+	}
+	return t
+}
+
+// checkRelation verifies the relation's membership index and column
+// indexes against a brute-force scan of the tuple slice.
+func checkRelation(t *testing.T, r *Relation, want map[string]bool) {
+	t.Helper()
+	if r.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(want))
+	}
+	seen := map[string]bool{}
+	for _, tu := range r.Tuples() {
+		k := tu.Key()
+		if seen[k] {
+			t.Fatalf("duplicate tuple %v in backing slice", tu)
+		}
+		seen[k] = true
+		if !want[k] {
+			t.Fatalf("unexpected tuple %v", tu)
+		}
+		if !r.Contains(tu) {
+			t.Fatalf("index lost tuple %v", tu)
+		}
+	}
+	for col := 0; col < r.Arity; col++ {
+		for _, tu := range r.Tuples() {
+			found := false
+			for _, pos := range r.Lookup(col, tu[col]) {
+				if r.At(pos).Equal(tu) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("column %d index lost tuple %v", col, tu)
+			}
+		}
+	}
+}
+
+func TestRelationInterleavedAddRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRelation("e", 2)
+	r.EnsureIndex(0) // keep a column index live across the interleaving
+	want := map[string]bool{}
+	domain := int64(20)
+	for step := 0; step < 2000; step++ {
+		tu := itup(rng.Int63n(domain), rng.Int63n(domain))
+		if rng.Intn(2) == 0 {
+			if r.Insert(tu) != !want[tu.Key()] {
+				t.Fatalf("step %d: Insert(%v) newness mismatch", step, tu)
+			}
+			want[tu.Key()] = true
+		} else {
+			if r.Remove(tu) != want[tu.Key()] {
+				t.Fatalf("step %d: Remove(%v) presence mismatch", step, tu)
+			}
+			delete(want, tu.Key())
+		}
+	}
+	checkRelation(t, r, want)
+}
+
+func TestTupleSetRemove(t *testing.T) {
+	s := NewTupleSet()
+	for i := int64(0); i < 10; i++ {
+		s.Add(itup(i))
+	}
+	if s.Remove(itup(99)) {
+		t.Fatal("removed absent tuple")
+	}
+	if !s.Remove(itup(3)) || s.Contains(itup(3)) {
+		t.Fatal("Remove(3) failed")
+	}
+	// Removing the (swapped-in) last element exercises the pos==last path.
+	if !s.Remove(itup(9)) || s.Contains(itup(9)) {
+		t.Fatal("Remove(9) failed")
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	for i := int64(0); i < 10; i++ {
+		want := i != 3 && i != 9
+		if s.Contains(itup(i)) != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, !want, want)
+		}
+	}
+	// Re-adding a removed tuple must work and dedup must survive.
+	if !s.Add(itup(3)) || s.Add(itup(3)) {
+		t.Fatal("re-Add after Remove broken")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := NewDatabase()
+	for i := int64(0); i < 50; i++ {
+		db.Add("e", ast.Int(i), ast.Int(i+1))
+	}
+	db.Relation("e").EnsureIndex(0)
+
+	snap := db.Snapshot()
+	if snap.Count("e") != 50 {
+		t.Fatalf("snapshot count = %d, want 50", snap.Count("e"))
+	}
+
+	// Mutate the live database: inserts, removals, and a new relation.
+	for i := int64(50); i < 80; i++ {
+		db.Add("e", ast.Int(i), ast.Int(i+1))
+	}
+	db.Remove("e", ast.Int(0), ast.Int(1))
+	db.Add("f", ast.Int(1))
+
+	if db.Count("e") != 79 || db.Count("f") != 1 {
+		t.Fatalf("live counts = e:%d f:%d", db.Count("e"), db.Count("f"))
+	}
+	// The snapshot still sees exactly the state at Snapshot() time.
+	if snap.Count("e") != 50 || snap.Relation("f") != nil {
+		t.Fatalf("snapshot leaked mutations: e:%d f:%v", snap.Count("e"), snap.Relation("f"))
+	}
+	if !snap.Relation("e").Contains(itup(0, 1)) {
+		t.Fatal("snapshot lost tuple removed from live db")
+	}
+	if snap.Relation("e").Contains(itup(60, 61)) {
+		t.Fatal("snapshot sees tuple inserted after Snapshot")
+	}
+	// Read-only lookup paths keep working on the snapshot.
+	if positions, ok := snap.Relation("e").LookupNoBuild(0, ast.Int(7)); !ok || len(positions) != 1 {
+		t.Fatalf("snapshot LookupNoBuild = %v, %v", positions, ok)
+	}
+}
+
+// TestSnapshotConcurrentReads publishes successive snapshots while a
+// writer keeps mutating the live database; concurrent readers scan
+// their snapshot and must always observe a consistent frozen view.
+// Run with -race.
+func TestSnapshotConcurrentReads(t *testing.T) {
+	db := NewDatabase()
+	for i := int64(0); i < 100; i++ {
+		db.Add("e", ast.Int(i), ast.Int(i+1))
+	}
+	db.Relation("e").EnsureIndex(0)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	snaps := make(chan *Database, 256)
+	done := make(chan struct{})
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for snap := range snaps {
+				rel := snap.Relation("e")
+				n := rel.Len()
+				count := 0
+				for _, tu := range rel.Tuples() {
+					if !rel.Contains(tu) {
+						t.Error("snapshot index inconsistent with tuples")
+						return
+					}
+					if _, ok := rel.LookupNoBuild(0, tu[0]); !ok {
+						t.Error("snapshot lost column index")
+						return
+					}
+					count++
+				}
+				if count != n {
+					t.Errorf("snapshot scan saw %d tuples, Len says %d", count, n)
+					return
+				}
+			}
+		}()
+	}
+
+	go func() {
+		defer close(snaps)
+		rng := rand.New(rand.NewSource(11))
+		for step := 0; step < 500; step++ {
+			tu := itup(rng.Int63n(200), rng.Int63n(200))
+			if rng.Intn(3) == 0 {
+				db.Relation("e").Remove(tu)
+			} else {
+				db.Relation("e").Insert(tu)
+			}
+			db.Relation("e").EnsureIndex(0)
+			select {
+			case snaps <- db.Snapshot():
+			default: // readers are behind; skip publishing this state
+			}
+		}
+		close(done)
+	}()
+
+	<-done
+	wg.Wait()
+}
+
+func TestSnapshotOfSnapshotAndDetachChain(t *testing.T) {
+	db := NewDatabase()
+	db.Add("p", ast.Sym("a"))
+	s1 := db.Snapshot()
+	db.Add("p", ast.Sym("b")) // detaches live p
+	s2 := db.Snapshot()
+	db.Add("p", ast.Sym("c"))
+	for i, tc := range []struct {
+		db   *Database
+		want int
+	}{{s1, 1}, {s2, 2}, {db, 3}} {
+		if got := tc.db.Count("p"); got != tc.want {
+			t.Fatalf("view %d: count = %d, want %d", i, got, tc.want)
+		}
+	}
+	// A snapshot is itself snapshottable (it is just a Database).
+	s3 := s2.Snapshot()
+	if s3.Count("p") != 2 {
+		t.Fatalf("snapshot of snapshot count = %d, want 2", s3.Count("p"))
+	}
+}
+
+func TestRemoveRebuildsColumnIndexLazily(t *testing.T) {
+	r := NewRelation("e", 2)
+	for i := int64(0); i < 10; i++ {
+		r.Insert(itup(i%3, i))
+	}
+	r.EnsureIndex(0)
+	before := len(r.Lookup(0, ast.Int(0)))
+	if !r.Remove(itup(0, 0)) {
+		t.Fatal("Remove failed")
+	}
+	after := len(r.Lookup(0, ast.Int(0)))
+	if after != before-1 {
+		t.Fatalf("Lookup after Remove = %d positions, want %d", after, before-1)
+	}
+	for _, pos := range r.Lookup(0, ast.Int(0)) {
+		if tu := r.At(pos); tu[0] != ast.Int(0) {
+			t.Fatalf("stale index position %d -> %v", pos, tu)
+		}
+	}
+}
+
+// Benchmark-ish sanity: snapshots are cheap relative to Clone.
+func TestSnapshotIsShallow(t *testing.T) {
+	db := NewDatabase()
+	for i := int64(0); i < 1000; i++ {
+		db.Add("e", ast.Int(i), ast.Int(i+1))
+	}
+	snap := db.Snapshot()
+	// Shared backing: the snapshot's slice aliases the live one until a
+	// mutation detaches. (Pointer equality of first elements proves no
+	// deep copy happened.)
+	if fmt.Sprintf("%p", snap.Relation("e").Tuples()) != fmt.Sprintf("%p", db.Relation("e").Tuples()) {
+		t.Fatal("Snapshot deep-copied tuple storage")
+	}
+}

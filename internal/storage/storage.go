@@ -150,6 +150,66 @@ func (ix tupleIndex) add(tuples []Tuple, t Tuple, pos int) bool {
 	return true
 }
 
+// find returns the position of t in tuples, or -1 if absent.
+func (ix tupleIndex) find(tuples []Tuple, t Tuple) int {
+	for _, pos := range ix[t.Hash()] {
+		if tuples[pos].Equal(t) {
+			return pos
+		}
+	}
+	return -1
+}
+
+// dropPos removes one occurrence of pos from the bucket of hash h,
+// deleting the bucket when it empties.
+func (ix tupleIndex) dropPos(h uint64, pos int) {
+	bucket := ix[h]
+	for i, p := range bucket {
+		if p == pos {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(ix, h)
+	} else {
+		ix[h] = bucket
+	}
+}
+
+// replacePos rewrites occurrences of old to new in the bucket of hash h.
+func (ix tupleIndex) replacePos(h uint64, old, new int) {
+	bucket := ix[h]
+	for i, p := range bucket {
+		if p == old {
+			bucket[i] = new
+		}
+	}
+}
+
+// removeSwap deletes t from the (tuples, ix) pair by swapping the last
+// tuple into the vacated position. It returns the updated slice and
+// whether t was present. Iteration order is not preserved across
+// removals (the last element moves), which every caller here tolerates:
+// set semantics make order a determinism nicety, not a correctness
+// property, and removal happens only outside evaluation rounds.
+func (ix tupleIndex) removeSwap(tuples []Tuple, t Tuple) ([]Tuple, bool) {
+	pos := ix.find(tuples, t)
+	if pos < 0 {
+		return tuples, false
+	}
+	last := len(tuples) - 1
+	ix.dropPos(t.Hash(), pos)
+	if pos != last {
+		moved := tuples[last]
+		ix.replacePos(moved.Hash(), last, pos)
+		tuples[pos] = moved
+	}
+	tuples[last] = nil
+	return tuples[:last], true
+}
+
 // TupleSet is a standalone set of tuples with insertion-order
 // iteration. The parallel evaluation engine uses one per worker as a
 // private derivation buffer that is merged into relations at the round
@@ -173,6 +233,15 @@ func (s *TupleSet) Add(t Tuple) bool {
 	return true
 }
 
+// Remove deletes t if present and reports whether it was. The set's
+// iteration order is not preserved across removals: the last tuple is
+// swapped into the vacated slot.
+func (s *TupleSet) Remove(t Tuple) bool {
+	tuples, ok := s.index.removeSwap(s.tuples, t)
+	s.tuples = tuples
+	return ok
+}
+
 // Contains reports membership.
 func (s *TupleSet) Contains(t Tuple) bool { return s.index.contains(s.tuples, t) }
 
@@ -194,6 +263,52 @@ type Relation struct {
 	// colIndex[i] maps a column-i value to the positions of tuples
 	// holding it; nil until EnsureIndex(i) is called.
 	colIndex []map[ast.Term][]int
+	// cow marks the backing structures as shared with a snapshot
+	// (Database.Snapshot). Every mutating method calls detach first,
+	// which deep-copies the shared state, so snapshot holders can read
+	// their view without locks while the live relation keeps mutating.
+	cow bool
+}
+
+// detach un-shares the relation's backing structures after a snapshot:
+// the first mutation following Snapshot pays one deep copy, later
+// mutations are free again. Read paths never call it.
+func (r *Relation) detach() {
+	if !r.cow {
+		return
+	}
+	tuples := make([]Tuple, len(r.tuples))
+	copy(tuples, r.tuples)
+	r.tuples = tuples
+	index := make(tupleIndex, len(r.index))
+	for h, bucket := range r.index {
+		index[h] = append([]int(nil), bucket...)
+	}
+	r.index = index
+	colIndex := make([]map[ast.Term][]int, len(r.colIndex))
+	for i, idx := range r.colIndex {
+		if idx == nil {
+			continue
+		}
+		ci := make(map[ast.Term][]int, len(idx))
+		for v, positions := range idx {
+			ci[v] = append([]int(nil), positions...)
+		}
+		colIndex[i] = ci
+	}
+	r.colIndex = colIndex
+	r.cow = false
+}
+
+// snapshotRef returns a read-only view sharing r's current backing
+// structures and marks both sides copy-on-write. The view is immutable
+// by contract (mutating it would detach it first, leaving r alone), so
+// concurrent readers need no locking.
+func (r *Relation) snapshotRef() *Relation {
+	r.cow = true
+	ci := make([]map[ast.Term][]int, len(r.colIndex))
+	copy(ci, r.colIndex)
+	return &Relation{Name: r.Name, Arity: r.Arity, tuples: r.tuples, index: r.index, colIndex: ci, cow: true}
 }
 
 // NewRelation creates an empty relation.
@@ -215,6 +330,10 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("storage: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
+	if r.Contains(t) {
+		return false
+	}
+	r.detach()
 	pos := len(r.tuples)
 	if !r.index.add(r.tuples, t, pos) {
 		return false
@@ -242,6 +361,30 @@ func (r *Relation) InsertAll(ts []Tuple) []Tuple {
 	return news
 }
 
+// Remove deletes t if present and reports whether it was. Column
+// indexes are dropped (they rebuild lazily on the next Lookup) because
+// the swap-removal renumbers positions; the membership index is
+// maintained in place. Iteration order is not preserved across
+// removals. Removal is a maintenance-time operation (delete-and-
+// rederive); it must not run during an evaluation round.
+func (r *Relation) Remove(t Tuple) bool {
+	if len(t) != r.Arity {
+		return false
+	}
+	if !r.Contains(t) {
+		return false
+	}
+	r.detach()
+	tuples, ok := r.index.removeSwap(r.tuples, t)
+	r.tuples = tuples
+	if ok {
+		for i := range r.colIndex {
+			r.colIndex[i] = nil
+		}
+	}
+	return ok
+}
+
 // Contains reports whether the relation holds t. Read-only.
 func (r *Relation) Contains(t Tuple) bool { return r.index.contains(r.tuples, t) }
 
@@ -251,6 +394,12 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // EnsureIndex builds (if needed) and returns the hash index on column
 // col. It mutates the relation on first use; under the parallel
 // engine's freeze protocol it must be called before a round starts.
+//
+// Building a missing index is safe on a copy-on-write relation without
+// detaching: the colIndex slice itself is never shared (snapshotRef
+// copies the slice header), and a freshly built map mutates nothing the
+// other side can see. Only in-place updates of existing inner maps
+// (Insert) and position renumbering (Remove) require detach.
 func (r *Relation) EnsureIndex(col int) map[ast.Term][]int {
 	if r.colIndex[col] == nil {
 		idx := make(map[ast.Term][]int)
@@ -397,6 +546,32 @@ func (db *Database) TotalTuples() int {
 		n += r.Len()
 	}
 	return n
+}
+
+// Remove deletes a tuple for pred if present and reports whether it
+// was. A missing relation is not an error.
+func (db *Database) Remove(pred string, vals ...ast.Term) bool {
+	if r := db.rels[pred]; r != nil {
+		return r.Remove(Tuple(vals))
+	}
+	return false
+}
+
+// Snapshot returns a copy-on-write view of the database: an O(number of
+// relations) operation that shares every relation's backing storage
+// with the live database. The snapshot is immutable by contract and
+// safe for concurrent lock-free reads (Contains, Tuples, At,
+// LookupNoBuild, Sorted, String); the live database stays fully
+// mutable — its first mutation of each shared relation detaches a
+// private deep copy, leaving the snapshot's view frozen at its tuple
+// count as of this call. The long-running service publishes one
+// snapshot per committed update batch and serves all reads from it.
+func (db *Database) Snapshot() *Database {
+	out := NewDatabase()
+	for p, r := range db.rels {
+		out.rels[p] = r.snapshotRef()
+	}
+	return out
 }
 
 // Clone deep-copies the database.
