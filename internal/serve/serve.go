@@ -217,17 +217,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request,
 		writeErr(w, http.StatusConflict, "no program loaded")
 		return
 	}
-	facts, _, err := s.sess.parseGroundFacts(req.Facts)
+	facts, dups, err := s.sess.parseGroundFacts(req.Facts)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	resp, err := apply(r.Context(), s.sess, facts)
 	if err != nil {
-		// The authoritative database may hold a half-maintained state;
-		// readers are unaffected (old snapshot stays published), and
-		// the next successful update or load repairs it. Surface the
-		// error; a cancelled request is the client's doing.
+		// apply rolled the authoritative database back to the
+		// pre-request fixpoint (rebuilding from the EDB when
+		// maintenance had already mutated it); if even that repair
+		// failed, the session is marked dirty and the next update
+		// recomputes before any incremental maintenance resumes.
+		// Readers are unaffected either way: the old snapshot stays
+		// published. Surface the error; a cancelled request is the
+		// client's doing.
 		code := http.StatusInternalServerError
 		if r.Context().Err() != nil {
 			code = 499
@@ -235,6 +239,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request,
 		writeErr(w, code, "update: %v", err)
 		return
 	}
+	resp.Ignored += dups
 	counter.Add(1)
 	switch resp.Mode {
 	case "incremental":

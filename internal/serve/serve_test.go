@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -533,6 +534,178 @@ func TestAdmissionGate(t *testing.T) {
 	mustOK(t, ts, "GET", "/stats", nil, &st)
 	if st.Rejected == 0 {
 		t.Fatal("stats should count rejected queries")
+	}
+}
+
+// TestUpdateArityValidationIsAtomic: a request mixing valid facts with
+// an arity mismatch must be refused without applying anything — the
+// whole payload is validated before the first tuple lands.
+func TestUpdateArityValidationIsAtomic(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: tcSrc}, nil)
+
+	// Inconsistent arity within one request for a brand-new predicate.
+	if code := call(t, ts, "POST", "/insert", UpdateRequest{Facts: "q(a). q(a, b)."}, nil); code != http.StatusBadRequest {
+		t.Fatalf("mixed-arity insert = %d, want 400", code)
+	}
+	if got := queryTuples(t, ts, "q(X)"); len(got) != 0 {
+		t.Fatalf("q(X) = %v, want nothing applied", got)
+	}
+
+	// Arity mismatch against an existing relation, behind a valid fact.
+	if code := call(t, ts, "POST", "/insert", UpdateRequest{Facts: "edge(x, y). edge(a, b, c)."}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad-arity insert = %d, want 400", code)
+	}
+	if got := queryTuples(t, ts, "edge(x, Y)"); len(got) != 0 {
+		t.Fatalf("edge(x, Y) = %v, want the valid prefix unapplied", got)
+	}
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 2 {
+		t.Fatalf("tc(a, Y) = %v, want the closure untouched", got)
+	}
+
+	// Refused requests leave the session clean: the next update still
+	// runs incrementally.
+	var upd UpdateResponse
+	mustOK(t, ts, "POST", "/insert", UpdateRequest{Facts: "edge(c, d)."}, &upd)
+	if upd.Mode != "incremental" {
+		t.Fatalf("mode after refused requests = %q, want incremental", upd.Mode)
+	}
+}
+
+// TestDuplicateFactsInOneRequest: repeated tuples inside one payload
+// count once as applied and once per extra occurrence as ignored, for
+// deletes just like inserts.
+func TestDuplicateFactsInOneRequest(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: tcSrc}, nil)
+
+	var ins UpdateResponse
+	mustOK(t, ts, "POST", "/insert", UpdateRequest{Facts: "edge(c, d). edge(c, d)."}, &ins)
+	if ins.Applied != 1 || ins.Ignored != 1 || ins.Mode != "incremental" {
+		t.Fatalf("duplicate insert = %+v, want 1 applied / 1 ignored", ins)
+	}
+	var del UpdateResponse
+	mustOK(t, ts, "POST", "/delete", UpdateRequest{Facts: "edge(c, d). edge(c, d)."}, &del)
+	if del.Applied != 1 || del.Ignored != 1 || del.Mode != "incremental" {
+		t.Fatalf("duplicate delete = %+v, want 1 applied / 1 ignored", del)
+	}
+	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 2 {
+		t.Fatalf("tc(a, Y) = %v, want the original closure restored", got)
+	}
+}
+
+// TestCancelledUpdateRollsBack: a client-cancelled update must leave
+// the authoritative database at the pre-request fixpoint — EDB delta
+// reverted, IDB rebuilt — so later incremental updates stay sound.
+func TestCancelledUpdateRollsBack(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sess
+
+	facts, _, err := sess.parseGroundFacts("edge(c, d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.insert(cancelled, sess, facts); err == nil {
+		t.Fatal("cancelled insert should fail")
+	}
+	if sess.dirty {
+		t.Fatal("failed insert should roll back to a clean session")
+	}
+	if sess.db.Relation("edge").Contains(storage.Tuple{ast.Sym("c"), ast.Sym("d")}) {
+		t.Fatal("edge(c, d) should be rolled back")
+	}
+	if n := sess.db.Count("tc"); n != 3 {
+		t.Fatalf("tc has %d tuples after insert rollback, want 3", n)
+	}
+
+	facts, _, err = sess.parseGroundFacts("edge(b, c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.remove(cancelled, sess, facts); err == nil {
+		t.Fatal("cancelled delete should fail")
+	}
+	if sess.dirty {
+		t.Fatal("failed delete should roll back to a clean session")
+	}
+	if !sess.db.Relation("edge").Contains(storage.Tuple{ast.Sym("b"), ast.Sym("c")}) {
+		t.Fatal("edge(b, c) should be restored")
+	}
+	if n := sess.db.Count("tc"); n != 3 {
+		t.Fatalf("tc has %d tuples after delete rollback, want 3", n)
+	}
+
+	// The rolled-back session still serves incremental updates.
+	facts, _, _ = sess.parseGroundFacts("edge(c, d).")
+	resp, err := s.insert(context.Background(), sess, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "incremental" {
+		t.Fatalf("mode after rollback = %q, want incremental", resp.Mode)
+	}
+	if n := sess.db.Count("tc"); n != 6 { // closure of the chain a b c d
+		t.Fatalf("tc has %d tuples, want 6", n)
+	}
+}
+
+// TestDirtySessionRepairsOnNextUpdate: when even rollback failed (the
+// dirty flag is set), the next update — including a no-op — must
+// rebuild from the EDB instead of trusting incremental maintenance.
+func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sess
+
+	// Simulate an update whose rollback failed: EDB mutated behind the
+	// IDB's back, dirty set.
+	sess.db.Ensure("edge", 2).Insert(storage.Tuple{ast.Sym("c"), ast.Sym("d")})
+	sess.dirty = true
+
+	facts, _, err := sess.parseGroundFacts("edge(d, e).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.insert(context.Background(), sess, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "recompute" {
+		t.Fatalf("dirty insert mode = %q, want recompute", resp.Mode)
+	}
+	if sess.dirty {
+		t.Fatal("repair should clear the dirty flag")
+	}
+	if n := sess.db.Count("tc"); n != 10 { // closure of the chain a b c d e
+		t.Fatalf("tc has %d tuples after repair, want 10", n)
+	}
+
+	// The delete path repairs too, even when the payload is a no-op.
+	sess.dirty = true
+	facts, _, err = sess.parseGroundFacts("edge(z, z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.remove(context.Background(), sess, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "recompute" || resp.Applied != 0 {
+		t.Fatalf("dirty no-op delete = %+v, want recompute with 0 applied", resp)
+	}
+	if sess.dirty {
+		t.Fatal("no-op repair should clear the dirty flag")
 	}
 }
 

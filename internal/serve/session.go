@@ -27,6 +27,12 @@ type session struct {
 	rules     int
 	ics       int
 	optimized bool
+	// dirty records that a failed update could not be rolled back, so db
+	// is not at fixpoint. Incremental maintenance assumes a fixpoint
+	// database; while dirty, the next update (even a no-op) must rebuild
+	// from the EDB before incremental maintenance resumes. Readers are
+	// never exposed: snapshots are only published after a full success.
+	dirty bool
 }
 
 // loadSession parses src, optionally optimizes, and evaluates the
@@ -102,7 +108,13 @@ func (s *Server) loadSession(ctx context.Context, req LoadRequest) (*session, *L
 }
 
 // parseGroundFacts parses an update payload and rejects anything that
-// is not a ground fact over an extensional predicate.
+// is not a ground fact over an extensional predicate. The whole payload
+// is validated — including arity against existing relations, and
+// within-request consistency for predicates the database has not seen —
+// before the caller mutates anything, so a malformed request is refused
+// without side effects. Repeated tuples are dropped; the second return
+// is the number of duplicates, so response counters can reflect
+// distinct tuples.
 func (sess *session) parseGroundFacts(src string) (map[string][]storage.Tuple, int, error) {
 	parsed, err := parser.Parse(src)
 	if err != nil {
@@ -112,7 +124,9 @@ func (sess *session) parseGroundFacts(src string) (map[string][]storage.Tuple, i
 		return nil, 0, errors.New("updates cannot contain integrity constraints")
 	}
 	changed := map[string][]storage.Tuple{}
-	n := 0
+	seen := map[string]*storage.TupleSet{}
+	arity := map[string]int{}
+	dups := 0
 	for _, r := range parsed.Program.Rules {
 		if !r.IsFact() {
 			return nil, 0, fmt.Errorf("updates must be ground facts, got rule %s", r)
@@ -120,27 +134,51 @@ func (sess *session) parseGroundFacts(src string) (map[string][]storage.Tuple, i
 		if !r.Head.IsGround() {
 			return nil, 0, fmt.Errorf("updates must be ground, %s has variables", r.Head)
 		}
-		if sess.idb[r.Head.Pred] {
-			return nil, 0, fmt.Errorf("%s is derived by the program; only extensional predicates can be updated", r.Head.Pred)
+		p := r.Head.Pred
+		if sess.idb[p] {
+			return nil, 0, fmt.Errorf("%s is derived by the program; only extensional predicates can be updated", p)
 		}
-		changed[r.Head.Pred] = append(changed[r.Head.Pred], storage.Tuple(r.Head.Args))
-		n++
+		t := storage.Tuple(r.Head.Args)
+		want, ok := arity[p]
+		if !ok {
+			if rel := sess.db.Relation(p); rel != nil {
+				want = rel.Arity
+			} else {
+				want = len(t)
+			}
+			arity[p] = want
+		}
+		if len(t) != want {
+			return nil, 0, fmt.Errorf("%s has arity %d, fact %s has %d", p, want, r.Head, len(t))
+		}
+		set := seen[p]
+		if set == nil {
+			set = storage.NewTupleSet()
+			seen[p] = set
+		}
+		if !set.Add(t) {
+			dups++
+			continue
+		}
+		changed[p] = append(changed[p], t)
 	}
-	return changed, n, nil
+	return changed, dups, nil
 }
 
-// insert applies ground facts and maintains the IDB. Caller holds the
-// writer mutex.
+// insert applies ground facts (pre-validated by parseGroundFacts) and
+// maintains the IDB. Caller holds the writer mutex. A failed insert
+// applies nothing: every error path restores the pre-request fixpoint
+// via rollback, and only if that repair itself fails does the session
+// stay dirty for the next update to rebuild.
 func (s *Server) insert(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error) {
+	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
 	added := map[string][]storage.Tuple{}
 	for p, ts := range facts {
+		rel := sess.db.Ensure(p, len(ts[0]))
 		for _, t := range ts {
-			rel := sess.db.Ensure(p, len(t))
-			if rel.Arity != len(t) {
-				return nil, fmt.Errorf("%s has arity %d, fact has %d", p, rel.Arity, len(t))
-			}
 			if rel.Insert(t) {
+				sess.dirty = true // out of fixpoint until maintenance lands
 				added[p] = append(added[p], t)
 				resp.Applied++
 			} else {
@@ -148,31 +186,41 @@ func (s *Server) insert(ctx context.Context, sess *session, facts map[string][]s
 			}
 		}
 	}
-	if len(added) == 0 {
-		return resp, nil
+	if !sess.dirty {
+		return resp, nil // nothing changed and the fixpoint is intact
+	}
+	if wasDirty {
+		return s.repair(ctx, sess, resp)
 	}
 	eng := s.engine(sess.active, sess.db)
 	err := eng.RunDeltaContext(ctx, added)
 	switch {
 	case err == nil:
+		sess.dirty = false
 		resp.Mode = "incremental"
 		resp.Stats = eng.Stats()
 	case errors.Is(err, eval.ErrNeedsRecompute):
 		resp.Mode = "recompute"
 		st, rerr := s.recompute(ctx, sess)
 		if rerr != nil {
-			return nil, rerr
+			return nil, s.rollback(sess, added, nil, rerr)
 		}
+		sess.dirty = false
 		resp.Stats = st
 	default:
-		return nil, err
+		// The delta loop may have derived part of the new cone before
+		// failing; revert this request's tuples and rebuild.
+		return nil, s.rollback(sess, added, nil, err)
 	}
 	return resp, nil
 }
 
-// remove deletes ground facts and maintains the IDB via
-// delete-and-rederive. Caller holds the writer mutex.
+// remove deletes ground facts (pre-validated by parseGroundFacts) and
+// maintains the IDB via delete-and-rederive. Caller holds the writer
+// mutex. Like insert, a failed delete applies nothing unless even the
+// rollback repair fails.
 func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error) {
+	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
 	present := map[string][]storage.Tuple{}
 	for p, ts := range facts {
@@ -186,13 +234,24 @@ func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]s
 			}
 		}
 	}
-	if len(present) == 0 {
+	if len(present) == 0 && !wasDirty {
 		return resp, nil
 	}
+	if wasDirty {
+		for p, ts := range present {
+			rel := sess.db.Relation(p)
+			for _, t := range ts {
+				rel.Remove(t)
+			}
+		}
+		return s.repair(ctx, sess, resp)
+	}
+	sess.dirty = true // delete-and-rederive mutates on its way to fixpoint
 	eng := s.engine(sess.active, sess.db)
 	over, err := eng.DeleteAndRederiveContext(ctx, present)
 	switch {
 	case err == nil:
+		sess.dirty = false
 		resp.Mode = "incremental"
 		resp.OverDeleted = over
 		resp.Stats = eng.Stats()
@@ -201,18 +260,65 @@ func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]s
 		// ourselves and rebuild.
 		resp.Mode = "recompute"
 		for p, ts := range present {
+			rel := sess.db.Relation(p)
 			for _, t := range ts {
-				sess.db.Relation(p).Remove(t)
+				rel.Remove(t)
 			}
 		}
 		st, rerr := s.recompute(ctx, sess)
 		if rerr != nil {
-			return nil, rerr
+			return nil, s.rollback(sess, nil, present, rerr)
 		}
+		sess.dirty = false
 		resp.Stats = st
 	default:
-		return nil, err
+		// Over-deletion or re-derivation stopped partway; restore the
+		// EDB tuples and rebuild.
+		return nil, s.rollback(sess, nil, present, err)
 	}
+	return resp, nil
+}
+
+// rollback restores the pre-request fixpoint after a failed update: it
+// reverts the request's EDB delta, then rebuilds the IDB from the EDB
+// under a server-scoped context (the request's context is typically the
+// very cancellation that got us here), since maintenance may have left
+// partial derivations or over-deletions behind. On success the session
+// is clean again; if even the rebuild fails the session stays dirty and
+// the next update recomputes before any incremental maintenance. The
+// caller's error is returned unchanged for the response.
+func (s *Server) rollback(sess *session, inserted, deleted map[string][]storage.Tuple, cause error) error {
+	for p, ts := range inserted {
+		rel := sess.db.Relation(p)
+		for _, t := range ts {
+			rel.Remove(t)
+		}
+	}
+	for p, ts := range deleted {
+		rel := sess.db.Ensure(p, len(ts[0]))
+		for _, t := range ts {
+			rel.Insert(t)
+		}
+	}
+	if _, err := s.recompute(context.Background(), sess); err == nil {
+		sess.dirty = false
+	}
+	return cause
+}
+
+// repair serves an update against a dirty session: the request's EDB
+// delta has already been applied by the caller, and the IDB cannot be
+// trusted, so the only sound move is a full rebuild from the EDB. Note
+// this runs even when the request itself was a no-op — any update
+// heals a dirty session.
+func (s *Server) repair(ctx context.Context, sess *session, resp *UpdateResponse) (*UpdateResponse, error) {
+	resp.Mode = "recompute"
+	st, err := s.recompute(ctx, sess)
+	if err != nil {
+		return nil, err // still dirty; the next update tries again
+	}
+	sess.dirty = false
+	resp.Stats = st
 	return resp, nil
 }
 
