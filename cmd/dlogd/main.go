@@ -1,23 +1,32 @@
-// Command dlogd is a long-running Datalog service. It loads a program
-// once — optionally running the semantic optimizer of the paper at
-// load time — materializes the IDB, and then serves:
+// Command dlogd is a long-running Datalog service. It hosts named
+// sessions — each a loaded program with a materialized IDB, optionally
+// run through the paper's semantic optimizer at load time — and serves
+// a versioned REST surface:
 //
-//	POST /load    {"program": "...", "optimize": true}  (re)load a program
-//	POST /query   {"goal": "anc(ann, Y)"}               read a snapshot
-//	POST /insert  {"facts": "par(x, y)."}               incremental maintenance
-//	POST /delete  {"facts": "par(x, y)."}               delete-and-rederive
-//	GET  /stats                                         service counters
-//	GET  /healthz                                       liveness
+//	POST   /v1/sessions/{name}        {"program": "...", "optimize": true}
+//	POST   /v1/sessions/{name}/query  {"goal": "anc(ann, Y)", "limit": 100}
+//	POST   /v1/sessions/{name}/facts  {"facts": "par(x, y)."}   insert
+//	DELETE /v1/sessions/{name}/facts  {"facts": "par(x, y)."}   delete
+//	GET    /v1/sessions/{name}/stats                            session counters
+//	GET    /v1/sessions                                         list sessions
+//	DELETE /v1/sessions/{name}                                  drop a session
+//	GET    /v1/stats                                            server counters
+//	GET    /healthz                                             liveness
+//
+// The original flat routes (/load, /query, /insert, /delete, /stats)
+// remain as aliases onto the "default" session.
 //
 // Queries are served lock-free against an immutable copy-on-write
-// snapshot of the database; updates maintain the materialized IDB
-// incrementally instead of re-evaluating from scratch. On SIGINT or
-// SIGTERM the daemon stops accepting connections, lets in-flight
-// requests finish (bounded by -drain), and exits.
+// snapshot of the session's database. Writes flow through a per-session
+// group-committed pipeline: concurrent inserts and deletes are
+// coalesced to their net effect and maintained with ONE incremental
+// fixpoint per batch instead of one per request. On SIGINT or SIGTERM
+// the daemon stops accepting connections, lets in-flight requests
+// finish (bounded by -drain), and exits.
 //
 // Usage:
 //
-//	dlogd -addr :8080 -program family.dl -optimize -parallel 4
+//	dlogd -addr :8080 -program family.dl -program fast=opt.dl -optimize -parallel 4
 package main
 
 import (
@@ -55,12 +64,34 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 	fs := flag.NewFlagSet("dlogd", flag.ContinueOnError)
 	fs.SetOutput(logw)
 	addr := fs.String("addr", ":8080", "listen address")
-	program := fs.String("program", "", "program file to load at startup (the service starts empty without it)")
-	optimize := fs.Bool("optimize", false, "run the semantic optimizer on the startup program")
+	type programArg struct{ session, path string }
+	var programs []programArg
+	fs.Func("program", "program file to load at startup, PATH or NAME=PATH for a named session; repeatable (the service starts empty without it)",
+		func(v string) error {
+			session := serve.DefaultSession
+			path := v
+			if name, p, ok := strings.Cut(v, "="); ok {
+				session, path = name, p
+			}
+			if path == "" {
+				return errors.New("empty program path")
+			}
+			programs = append(programs, programArg{session: session, path: path})
+			return nil
+		})
+	optimize := fs.Bool("optimize", false, "run the semantic optimizer on the startup programs")
 	small := fs.String("small", "", "comma-separated small predicates for atom introduction")
 	parallel := fs.Int("parallel", 0, "eval worker count for full fixpoints (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	maxQueries := fs.Int("max-concurrent-queries", serve.DefaultMaxConcurrentQueries,
-		"in-flight /query admission limit; excess requests get 503")
+		"in-flight query admission limit; excess requests get 503")
+	maxPendingWrites := fs.Int("max-pending-writes", serve.DefaultMaxPendingWrites,
+		"per-session commit-queue depth; writes beyond it get 503")
+	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch,
+		"most write requests one maintenance pass may group-commit (1 disables grouping)")
+	batchWindow := fs.Duration("batch-window", 0,
+		"how long a commit group stays open for more writers (0 = group only what is already queued)")
+	queryCache := fs.Int("query-cache", serve.DefaultQueryCacheEntries,
+		"per-session query-result cache entries (negative disables)")
 	pprofOn := fs.Bool("expose-pprof", false, "mount net/http/pprof on the service listener (obs's -pprof ADDR serves it on a separate one)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	obsFlags := obs.RegisterFlags(fs)
@@ -75,31 +106,36 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 	srv := serve.New(serve.Config{
 		Parallel:             *parallel,
 		MaxConcurrentQueries: *maxQueries,
+		MaxPendingWrites:     *maxPendingWrites,
+		MaxBatch:             *maxBatch,
+		BatchWindow:          *batchWindow,
+		QueryCache:           *queryCache,
 		Tracer:               tracer,
 		EnablePprof:          *pprofOn,
 	})
+	defer srv.Close()
 
-	if *program != "" {
-		src, err := os.ReadFile(*program)
+	var smallPreds []string
+	for _, p := range strings.Split(*small, ",") {
+		if p != "" {
+			smallPreds = append(smallPreds, p)
+		}
+	}
+	for _, pa := range programs {
+		src, err := os.ReadFile(pa.path)
 		if err != nil {
 			return err
 		}
-		var smallPreds []string
-		for _, p := range strings.Split(*small, ",") {
-			if p != "" {
-				smallPreds = append(smallPreds, p)
-			}
-		}
-		resp, err := srv.Load(context.Background(), serve.LoadRequest{
+		resp, err := srv.LoadSession(context.Background(), pa.session, serve.LoadRequest{
 			Program:    string(src),
 			Optimize:   *optimize,
 			SmallPreds: smallPreds,
 		})
 		if err != nil {
-			return fmt.Errorf("load %s: %w", *program, err)
+			return fmt.Errorf("load %s into session %s: %w", pa.path, pa.session, err)
 		}
-		fmt.Fprintf(logw, "dlogd: loaded %s: %d rules, %d EDB tuples, %d IDB tuples (optimized=%v)\n",
-			*program, resp.Rules, resp.EDBTuples, resp.IDBTuples, resp.Optimized)
+		fmt.Fprintf(logw, "dlogd: loaded %s into session %s: %d rules, %d EDB tuples, %d IDB tuples (optimized=%v)\n",
+			pa.path, pa.session, resp.Rules, resp.EDBTuples, resp.IDBTuples, resp.Optimized)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

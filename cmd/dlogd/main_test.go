@@ -180,3 +180,73 @@ func TestDaemonBadStartup(t *testing.T) {
 		t.Errorf("bad program: err = %v", err)
 	}
 }
+
+// TestDaemonMultiProgramV1 boots with two -program flags (one default,
+// one named) and exercises the /v1 surface end to end: per-session
+// query, facts, stats, and the server-wide stats with both sessions.
+func TestDaemonMultiProgramV1(t *testing.T) {
+	dir := t.TempDir()
+	tcPath := filepath.Join(dir, "tc.dl")
+	if err := os.WriteFile(tcPath, []byte(`
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		edge(a, b).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pqPath := filepath.Join(dir, "pq.dl")
+	if err := os.WriteFile(pqPath, []byte("q(X) :- p(X).\np(a).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, sig, done := startDaemon(t, "-program", tcPath, "-program", "aux="+pqPath, "-query-cache", "16")
+
+	// The default session serves the legacy surface and /v1 identically.
+	var q serve.QueryResponse
+	if code := post(t, url+"/v1/sessions/default/query", serve.QueryRequest{Goal: "tc(a, Y)"}, &q); code != 200 || q.Total != 1 {
+		t.Fatalf("v1 default query: code=%d resp=%+v", code, q)
+	}
+	if code := post(t, url+"/v1/sessions/aux/query", serve.QueryRequest{Goal: "q(X)"}, &q); code != 200 || q.Total != 1 {
+		t.Fatalf("v1 aux query: code=%d resp=%+v", code, q)
+	}
+
+	var upd serve.UpdateResponse
+	if code := post(t, url+"/v1/sessions/aux/facts", serve.UpdateRequest{Facts: "p(b)."}, &upd); code != 200 || upd.Applied != 1 {
+		t.Fatalf("v1 facts insert: code=%d resp=%+v", code, upd)
+	}
+	if post(t, url+"/v1/sessions/aux/query", serve.QueryRequest{Goal: "q(X)"}, &q); q.Total != 2 {
+		t.Fatalf("aux after insert: %+v", q)
+	}
+	// Sessions are isolated.
+	if post(t, url+"/v1/sessions/default/query", serve.QueryRequest{Goal: "q(X)"}, &q); q.Total != 0 {
+		t.Fatalf("default sees aux's q: %+v", q)
+	}
+
+	// Repeat query hits the cache.
+	post(t, url+"/v1/sessions/default/query", serve.QueryRequest{Goal: "tc(a, Y)"}, nil)
+	if post(t, url+"/v1/sessions/default/query", serve.QueryRequest{Goal: "tc(a, Y)"}, &q); !q.Cached {
+		t.Fatalf("repeat query not cached: %+v", q)
+	}
+
+	res, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.ServerStatsResponse
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(st.Sessions) != 2 {
+		t.Fatalf("/v1/stats sessions = %d, want 2", len(st.Sessions))
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// TestBatchMaintainDifferential drives random MIXED batches (inserts
+// and deletes applied in one BatchMaintainContext call) and checks,
+// after every batch, that the maintained database is tuple-for-tuple
+// identical to a from-scratch evaluation over the same final EDB —
+// sequential and parallel.
+func TestBatchMaintainDifferential(t *testing.T) {
+	prog := mustProg(t, multiStratumSrc)
+	rng := rand.New(rand.NewSource(11))
+	const nodes = 12
+
+	edge := map[string]storage.Tuple{}
+	root := storage.Tuple{ast.Sym("root"), ast.Sym("n0")}
+	edge[root.Key()] = root
+
+	db := storage.NewDatabase()
+	db.Ensure("edge", 2).Insert(root)
+	if err := New(prog, db).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for step := 0; step < 40; step++ {
+		// Build one batch: a few inserts of absent edges, a few deletes
+		// of present ones — disjoint by construction, as the service's
+		// coalescer guarantees.
+		ins := map[string][]storage.Tuple{}
+		del := map[string][]storage.Tuple{}
+		touched := map[string]bool{}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			tu := edgeTuple(rng.Intn(nodes), rng.Intn(nodes))
+			if _, present := edge[tu.Key()]; present || touched[tu.Key()] {
+				continue
+			}
+			touched[tu.Key()] = true
+			ins["edge"] = append(ins["edge"], tu)
+		}
+		if len(edge) > 2 {
+			keys := make([]string, 0, len(edge))
+			for k := range edge {
+				keys = append(keys, k)
+			}
+			for i := 0; i < 1+rng.Intn(2) && len(keys) > 0; i++ {
+				k := keys[rng.Intn(len(keys))]
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				del["edge"] = append(del["edge"], edge[k])
+			}
+		}
+		if len(ins) == 0 && len(del) == 0 {
+			continue
+		}
+		for _, tu := range ins["edge"] {
+			edge[tu.Key()] = tu
+		}
+		for _, tu := range del["edge"] {
+			delete(edge, tu.Key())
+		}
+
+		if _, err := New(prog, db).BatchMaintainContext(context.Background(), ins, del); err != nil {
+			t.Fatalf("step %d: BatchMaintainContext: %v", step, err)
+		}
+
+		var live []storage.Tuple
+		for _, tu := range edge {
+			live = append(live, tu)
+		}
+		for _, parallel := range []int{1, 4} {
+			want := fromScratch(t, prog, map[string][]storage.Tuple{"edge": live}, parallel)
+			if !db.Equal(want) {
+				t.Fatalf("step %d (parallel=%d): batch-maintained state diverged from from-scratch\nins=%v del=%v\nbatch:\n%s\nfrom-scratch:\n%s",
+					step, parallel, ins, del, db, want)
+			}
+		}
+	}
+}
+
+// TestBatchMaintainInsertOnly exercises the deletion-free fast path:
+// it must take the plain delta route and grow the fixpoint correctly.
+func TestBatchMaintainInsertOnly(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	db := fromScratch(t, prog, map[string][]storage.Tuple{
+		"edge": {edgeTuple(0, 1), edgeTuple(1, 2)},
+	}, 1)
+
+	over, err := New(prog, db).BatchMaintainContext(context.Background(), map[string][]storage.Tuple{
+		"edge": {edgeTuple(2, 3), edgeTuple(3, 4)},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != 0 {
+		t.Fatalf("insert-only batch over-deleted %d tuples", over)
+	}
+	want := fromScratch(t, prog, map[string][]storage.Tuple{
+		"edge": {edgeTuple(0, 1), edgeTuple(1, 2), edgeTuple(2, 3), edgeTuple(3, 4)},
+	}, 1)
+	if !db.Equal(want) {
+		t.Fatalf("insert-only batch diverged:\n%s\nwant:\n%s", db, want)
+	}
+}
+
+// TestBatchMaintainNeedsRecomputeUntouched: the negation guard must
+// refuse a mixed batch that reaches a negated predicate BEFORE touching
+// the database — neither the inserts nor the deletes may be applied.
+func TestBatchMaintainNeedsRecomputeUntouched(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		isolated(X) :- node(X), not tc(X, X).
+	`)
+	db := fromScratch(t, prog, map[string][]storage.Tuple{
+		"edge": {edgeTuple(0, 1)},
+		"node": {{ast.Sym("n0")}, {ast.Sym("n1")}},
+	}, 1)
+	before := db.Snapshot()
+
+	_, err := New(prog, db).BatchMaintainContext(context.Background(),
+		map[string][]storage.Tuple{"edge": {edgeTuple(1, 0)}},
+		map[string][]storage.Tuple{"edge": {edgeTuple(0, 1)}})
+	if !errors.Is(err, ErrNeedsRecompute) {
+		t.Fatalf("err = %v, want ErrNeedsRecompute", err)
+	}
+	if !db.Equal(before) {
+		t.Fatalf("guard refused but the database changed:\n%s\nwant:\n%s", db, before)
+	}
+}

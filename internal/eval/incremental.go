@@ -121,6 +121,13 @@ func (e *Engine) RunDeltaContext(ctx context.Context, changed map[string][]stora
 	if !e.maintenanceSafe(changed) {
 		return ErrNeedsRecompute
 	}
+	return e.runDelta(ctx, changed)
+}
+
+// runDelta is RunDeltaContext after the negation guard: seed every
+// component with the changed tuples and run the delta loops to
+// fixpoint.
+func (e *Engine) runDelta(ctx context.Context, changed map[string][]storage.Tuple) error {
 	delta := e.deltaRelations(changed)
 	if len(delta) == 0 {
 		return nil
@@ -131,6 +138,112 @@ func (e *Engine) RunDeltaContext(ctx context.Context, changed map[string][]stora
 		}
 	}
 	return nil
+}
+
+// applyInserts adds the tuples to the extensional relations, creating
+// relations for predicates the database has not seen (arity taken from
+// the first tuple).
+func (e *Engine) applyInserts(inserted map[string][]storage.Tuple) {
+	for p, ts := range inserted {
+		if len(ts) == 0 {
+			continue
+		}
+		rel := e.db.Ensure(p, len(ts[0]))
+		for _, t := range ts {
+			rel.Insert(t)
+		}
+	}
+}
+
+// BatchMaintainContext applies one mixed batch of EDB insertions and
+// deletions to a database at fixpoint and restores the fixpoint with a
+// single maintenance pass — the engine-side half of the service's
+// group-committed write pipeline. Unlike RunDeltaContext /
+// DeleteAndRederiveContext, the engine mutates the EDB itself:
+// inserted tuples must NOT yet be in the database, deleted tuples
+// should still be present (absent ones are ignored). The same tuple
+// must not appear in both maps — callers coalesce opposing requests to
+// their net effect first, which is sound because EDB membership is
+// unaffected by maintenance, so replaying a batch's requests against a
+// membership simulation yields exactly the EDB that per-request
+// application would.
+//
+// Shape of the pass (soundness per DESIGN.md §10):
+//
+//  1. DRed over-deletion cone for the deleted tuples, computed against
+//     the OLD state (insertions are not yet visible, exactly as in
+//     DeleteAndRederiveContext — the cone only over-approximates
+//     support lost to deletions).
+//  2. Physical removal of the cone. Survivors are a subset of
+//     fixpoint(EDB − deleted), hence of the monotonically larger
+//     fixpoint(EDB − deleted + inserted).
+//  3. EDB insertion of the new tuples.
+//  4. One seeded semi-naive fixpoint per SCC in topological order,
+//     which completes the subset from step 2/3 to the new fixpoint.
+//
+// A deletion-free batch skips the cone and runs the cheaper
+// insert-only delta propagation instead. Returns the number of
+// over-deleted IDB tuples and ErrNeedsRecompute — before touching
+// anything — when the combined update reaches a negated predicate.
+func (e *Engine) BatchMaintainContext(ctx context.Context, inserted, deleted map[string][]storage.Tuple) (int, error) {
+	union := make(map[string][]storage.Tuple, len(inserted)+len(deleted))
+	for p, ts := range inserted {
+		union[p] = append(union[p], ts...)
+	}
+	for p, ts := range deleted {
+		union[p] = append(union[p], ts...)
+	}
+	if !e.maintenanceSafe(union) {
+		return 0, ErrNeedsRecompute
+	}
+
+	// Seed the deletion cone with the requested tuples that exist.
+	del := make(map[string]*storage.Relation)
+	requested := 0
+	for p, ts := range deleted {
+		rel := e.db.Relation(p)
+		if rel == nil {
+			continue
+		}
+		d := storage.NewRelation(p, rel.Arity)
+		for _, t := range ts {
+			if rel.Contains(t) {
+				d.Insert(t)
+			}
+		}
+		if d.Len() > 0 {
+			del[p] = d
+			requested += d.Len()
+		}
+	}
+	if requested == 0 {
+		// Insert-only batch: plain delta propagation.
+		e.applyInserts(inserted)
+		return 0, e.runDelta(ctx, inserted)
+	}
+
+	for _, scc := range e.sccOrder() {
+		if err := e.overDelete(ctx, scc, del); err != nil {
+			return 0, err
+		}
+	}
+	over := 0
+	for p, d := range del {
+		rel := e.db.Relation(p)
+		for _, t := range d.Tuples() {
+			rel.Remove(t)
+		}
+		over += d.Len()
+	}
+	over -= requested // report only the IDB share of the cone
+
+	e.applyInserts(inserted)
+	for _, scc := range e.sccOrder() {
+		if err := e.fixpoint(ctx, scc); err != nil {
+			return over, err
+		}
+	}
+	return over, nil
 }
 
 // seedFiring is one delta rule of the seeding round: a compiled plan

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a tiny named-counter registry, nil-safe like Tracer: a
+// nil *Metrics hands out nil *Counter handles whose methods are
+// no-ops, so instrumented code never branches on whether metrics are
+// wired up. The long-running service registers its pipeline counters
+// (batch commits, coalesced writes, cache hits) here so stats
+// endpoints and exporters can snapshot them uniformly.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Safe for concurrent use; returns nil on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every registered counter.
+// Returns nil on a nil registry.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Counter is a monotonic (or high-watermark, via Max) atomic counter.
+// All methods are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Max raises the counter to v if v exceeds the current value, turning
+// the counter into a high-watermark gauge (e.g. largest batch seen).
+func (c *Counter) Max(v int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}

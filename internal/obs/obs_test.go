@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -200,5 +201,71 @@ func TestStartPprof(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsRegistry covers the nil-safety contract and the counter
+// semantics (Add, Inc, Max high-watermark, Snapshot).
+func TestMetricsRegistry(t *testing.T) {
+	var nilM *Metrics
+	if c := nilM.Counter("x"); c != nil {
+		t.Fatal("nil registry must hand out nil counters")
+	}
+	var nilC *Counter
+	nilC.Add(5)
+	nilC.Inc()
+	nilC.Max(10)
+	if nilC.Load() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	if nilM.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+
+	m := NewMetrics()
+	a := m.Counter("serve.a")
+	a.Add(2)
+	a.Inc()
+	if a.Load() != 3 {
+		t.Fatalf("a = %d, want 3", a.Load())
+	}
+	if m.Counter("serve.a") != a {
+		t.Fatal("same name must return the same counter")
+	}
+	hw := m.Counter("serve.max")
+	hw.Max(7)
+	hw.Max(3) // lower value must not regress the watermark
+	hw.Max(9)
+	if hw.Load() != 9 {
+		t.Fatalf("watermark = %d, want 9", hw.Load())
+	}
+	snap := m.Snapshot()
+	if snap["serve.a"] != 3 || snap["serve.max"] != 9 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestMetricsConcurrent hammers one counter from many goroutines; run
+// with -race.
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := m.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			m.Counter("hw").Max(int64(i))
+		}(i)
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+	if got := m.Counter("hw").Load(); got != 7 {
+		t.Fatalf("hw = %d, want 7", got)
 	}
 }

@@ -1,28 +1,78 @@
 // Package serve is the long-running Datalog service behind cmd/dlogd.
 //
-// A server holds one loaded program at a time. Loading parses the
-// source, optionally runs the full semantic-optimization pipeline
-// (§3–§4 of the paper) once at load time, evaluates the IDB to
-// fixpoint, and publishes an immutable copy-on-write snapshot of the
-// database. From then on:
+// A server hosts a registry of named sessions, each an independently
+// loaded program with its own materialized IDB, published snapshot,
+// and write pipeline. Loading a session parses the source, optionally
+// runs the full semantic-optimization pipeline (§3–§4 of the paper)
+// once at load time, evaluates the IDB to fixpoint, and publishes an
+// immutable copy-on-write snapshot of the database. From then on:
 //
-//   - queries are served lock-free against the latest snapshot;
-//   - EDB inserts are maintained incrementally by seeding the
-//     semi-naive delta loop with just the new tuples
-//     (eval.RunDeltaContext);
-//   - EDB deletions go through delete-and-rederive
-//     (eval.DeleteAndRederiveContext);
+//   - queries are served lock-free against the session's latest
+//     snapshot, with pagination and an optional snapshot-generation
+//     keyed result cache for hot repeated goals;
+//   - writes (/facts inserts and deletes) enqueue onto the session's
+//     commit queue; a single committer goroutine per session drains
+//     the queue, coalesces concurrent requests to their net effect,
+//     and runs ONE incremental maintenance pass for the whole batch
+//     (eval.BatchMaintainContext) before publishing one snapshot and
+//     fanning the responses back out;
 //   - updates that reach a negated predicate fall back to a full
 //     recomputation from the extensional relations.
 //
-// Every mutation ends by publishing a fresh snapshot, so readers never
-// observe a half-applied update and never block writers.
+// The versioned surface lives under /v1 (sessions are addressed by
+// name); the original flat routes remain as aliases onto the "default"
+// session for one release. See README.md for the mapping.
 package serve
 
 import "repro/internal/eval"
 
-// LoadRequest loads (or replaces) the service's program. The source
-// may contain rules, facts and integrity constraints in the paper's
+// Stable machine-readable error codes carried by every non-2xx reply.
+const (
+	// CodeBadRequest covers malformed bodies, unparsable fact payloads,
+	// and semantically invalid updates (non-ground facts, IDB writes,
+	// arity clashes).
+	CodeBadRequest = "bad_request"
+	// CodeBadGoal marks an unparsable or arity-mismatched query goal.
+	CodeBadGoal = "bad_goal"
+	// CodeNoProgram: the addressed (legacy default) session has no
+	// loaded program yet.
+	CodeNoProgram = "no_program"
+	// CodeNoSession: the named /v1 session does not exist.
+	CodeNoSession = "no_session"
+	// CodeOverloaded: an admission gate or write queue is full; the
+	// Retry-After header is computed from the current depth.
+	CodeOverloaded = "overloaded"
+	// CodeCancelled: the client went away before the request committed.
+	CodeCancelled = "cancelled"
+	// CodeNeedsRecompute: maintenance required a full recomputation and
+	// that recomputation itself failed; the write was rolled back.
+	CodeNeedsRecompute = "needs_recompute"
+	// CodeTooLarge: the request body exceeded the configured limit.
+	CodeTooLarge = "too_large"
+	// CodeUnsupportedMedia: Content-Type was set but not JSON.
+	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeSessionClosed: the session was deleted while the request was
+	// queued.
+	CodeSessionClosed = "session_closed"
+	// CodeInternal: unexpected evaluation failure; the write was rolled
+	// back to the pre-request fixpoint.
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the structured error body: a stable machine-readable
+// code plus a human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the envelope of every non-2xx reply.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// LoadRequest loads (or replaces) a session's program. The source may
+// contain rules, facts and integrity constraints in the paper's
 // notation.
 type LoadRequest struct {
 	Program string `json:"program"`
@@ -36,6 +86,7 @@ type LoadRequest struct {
 
 // LoadResponse reports the loaded program and its initial fixpoint.
 type LoadResponse struct {
+	Session   string     `json:"session,omitempty"`
 	Rules     int        `json:"rules"`
 	ICs       int        `json:"ics"`
 	Optimized bool       `json:"optimized"`
@@ -50,19 +101,36 @@ type LoadResponse struct {
 // "anc(ann, Y)". Constants filter; repeated variables force equality.
 type QueryRequest struct {
 	Goal string `json:"goal"`
+	// Limit caps the rows returned in one page. 0 (or negative) means
+	// DefaultQueryLimit; values above MaxQueryLimit are clamped. Total
+	// is always reported, so a query over a large IDB never
+	// materializes an unbounded JSON body.
+	Limit int `json:"limit,omitempty"`
+	// Cursor resumes a paginated result from a previous response's
+	// NextCursor. Cursors are only meaningful against the same snapshot
+	// generation; across writes the pagination restarts best-effort.
+	Cursor string `json:"cursor,omitempty"`
 }
 
-// QueryResponse lists the matching tuples, each rendered as its terms
-// in source syntax.
+// QueryResponse lists one page of matching tuples, each rendered as
+// its terms in source syntax.
 type QueryResponse struct {
-	Goal   string     `json:"goal"`
-	Count  int        `json:"count"`
-	Tuples [][]string `json:"tuples"`
+	Goal  string `json:"goal"`
+	Count int    `json:"count"` // rows in this page
+	Total int    `json:"total"` // rows matching the goal
+	// NextCursor, when non-empty, fetches the next page.
+	NextCursor string     `json:"next_cursor,omitempty"`
+	Tuples     [][]string `json:"tuples"`
+	// Generation identifies the snapshot this page was served from.
+	Generation uint64 `json:"generation"`
+	// Cached reports whether the result came from the session's
+	// query-result cache.
+	Cached bool `json:"cached,omitempty"`
 }
 
-// UpdateRequest carries ground facts for /insert or /delete, in source
-// syntax: "edge(a, b). edge(b, c)." Only extensional predicates may be
-// updated.
+// UpdateRequest carries ground facts for an insert or delete, in
+// source syntax: "edge(a, b). edge(b, c)." Only extensional predicates
+// may be updated.
 type UpdateRequest struct {
 	Facts string `json:"facts"`
 }
@@ -70,20 +138,61 @@ type UpdateRequest struct {
 // UpdateResponse reports one insert or delete.
 type UpdateResponse struct {
 	// Applied counts facts actually inserted (resp. removed); Ignored
-	// counts duplicates (resp. missing tuples).
+	// counts duplicates (resp. missing tuples). Both are computed
+	// against the request's position in its commit group, so they match
+	// what sequential per-request application would have reported.
 	Applied int `json:"applied"`
 	Ignored int `json:"ignored"`
 	// Mode is "incremental" when the delta/delete-and-rederive path
 	// ran, "recompute" when the update reached a negated predicate and
-	// the IDB was rebuilt from scratch, "noop" when nothing changed.
+	// the IDB was rebuilt from scratch, "noop" when the committed group
+	// changed nothing. For group-committed requests the mode describes
+	// the batch's single maintenance pass.
 	Mode string `json:"mode"`
+	// Batched is the number of write requests group-committed in the
+	// same maintenance pass as this one (1 = committed alone).
+	Batched int `json:"batched,omitempty"`
 	// OverDeleted counts IDB tuples retracted by the over-deletion
-	// phase of delete-and-rederive (some may have been rederived).
-	OverDeleted int        `json:"over_deleted,omitempty"`
-	Stats       eval.Stats `json:"stats"`
+	// phase of delete-and-rederive (some may have been rederived). For
+	// a group commit it is the batch-level count.
+	OverDeleted int `json:"over_deleted,omitempty"`
+	// Stats are the engine counters of the maintenance pass that
+	// committed this request (shared across a batch).
+	Stats eval.Stats `json:"stats"`
 }
 
-// StatsResponse is the service's observability snapshot.
+// SessionStats is one session's observability snapshot.
+type SessionStats struct {
+	Name       string `json:"name"`
+	Rules      int    `json:"rules"`
+	Optimized  bool   `json:"optimized"`
+	Generation uint64 `json:"generation"`
+	Queries    int64  `json:"queries"`
+	Inserts    int64  `json:"inserts"`
+	Deletes    int64  `json:"deletes"`
+	// Incremental + Recomputes is the number of maintenance fixpoints
+	// actually run; under group commit it is strictly less than
+	// Inserts + Deletes whenever batching kicked in.
+	Incremental int64 `json:"incremental"`
+	Recomputes  int64 `json:"recomputes"`
+	// Batches counts commit groups; BatchedWrites the write requests
+	// they carried; MaxBatch the largest group observed.
+	Batches       int64          `json:"batches"`
+	BatchedWrites int64          `json:"batched_writes"`
+	MaxBatch      int64          `json:"max_batch"`
+	QueueDepth    int            `json:"queue_depth"`
+	CacheHits     int64          `json:"cache_hits"`
+	CacheMisses   int64          `json:"cache_misses"`
+	CacheSize     int            `json:"cache_size"`
+	Relations     map[string]int `json:"relations,omitempty"`
+	// Eval accumulates the engine counters of every evaluation the
+	// session has run (load, maintenance, recompute).
+	Eval eval.Stats `json:"eval"`
+}
+
+// StatsResponse is the legacy flat observability snapshot: the
+// "default" session's counters plus server-wide gate counters. New
+// clients should prefer GET /v1/stats.
 type StatsResponse struct {
 	Loaded        bool           `json:"loaded"`
 	Rules         int            `json:"rules"`
@@ -95,13 +204,27 @@ type StatsResponse struct {
 	Deletes       int64          `json:"deletes"`
 	Incremental   int64          `json:"incremental"`
 	Recomputes    int64          `json:"recomputes"`
+	Batches       int64          `json:"batches"`
+	BatchedWrites int64          `json:"batched_writes"`
+	Sessions      int            `json:"sessions"`
 	Relations     map[string]int `json:"relations,omitempty"`
-	// Eval accumulates the engine counters of every evaluation the
-	// service has run (load, maintenance, recompute).
-	Eval eval.Stats `json:"eval"`
+	Eval          eval.Stats     `json:"eval"`
 }
 
-// ErrorResponse is the body of every non-2xx reply.
-type ErrorResponse struct {
-	Error string `json:"error"`
+// ServerStatsResponse is the /v1/stats snapshot: server-wide counters
+// plus per-session breakdowns.
+type ServerStatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Rejected counts query-gate refusals; WriteRejected counts writes
+	// refused because a session's commit queue was full.
+	Rejected      int64          `json:"rejected"`
+	WriteRejected int64          `json:"write_rejected"`
+	Sessions      []SessionStats `json:"sessions"`
+	// Metrics is the obs counter registry snapshot (serve.* counters).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// SessionListResponse lists the live session names.
+type SessionListResponse struct {
+	Sessions []string `json:"sessions"`
 }

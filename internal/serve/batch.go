@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/storage"
+)
+
+// commitReq is one write request in flight through a session's commit
+// queue. The handler parses and pre-validates the payload, enqueues,
+// and blocks on done; the committer replies exactly once.
+type commitReq struct {
+	isInsert bool
+	facts    []groundFact // parsed, handler-validated, deduplicated
+	dups     int          // duplicates dropped by handler-side dedup
+	ctx      context.Context
+	done     chan commitResult // buffered, capacity 1
+}
+
+type commitResult struct {
+	resp   *UpdateResponse
+	status int
+	code   string
+	err    error
+}
+
+func (r *commitReq) ok(resp *UpdateResponse) {
+	r.done <- commitResult{resp: resp}
+}
+
+func (r *commitReq) fail(status int, code string, err error) {
+	r.done <- commitResult{status: status, code: code, err: err}
+}
+
+// committer is the single goroutine that owns a session's write path.
+// It drains the commit queue, groups concurrent requests into one
+// maintenance pass each, and exits after the session closes — replying
+// session_closed to anything still queued (enqueue-vs-close is made
+// atomic by session.qmu, so the final drain cannot miss a request).
+func (s *Server) committer(sess *session) {
+	for {
+		select {
+		case <-sess.closed:
+			for {
+				select {
+				case req := <-sess.queue:
+					req.fail(http.StatusConflict, CodeSessionClosed, errSessionClosed)
+				default:
+					return
+				}
+			}
+		case req := <-sess.queue:
+			batch := s.collectBatch(sess, req)
+			s.commitBatch(sess, batch)
+		}
+	}
+}
+
+// collectBatch gathers the commit group starting at first: everything
+// already queued, up to MaxBatch. With a positive BatchWindow it keeps
+// the group open for that long so closely-spaced writers coalesce even
+// when they never overlap in the queue; the window is bounded and paid
+// only when a second writer could plausibly arrive, not per request
+// (the window race is benign — a request missing the window starts the
+// next group).
+func (s *Server) collectBatch(sess *session, first *commitReq) []*commitReq {
+	batch := []*commitReq{first}
+	max := s.cfg.MaxBatch
+	if s.cfg.BatchWindow > 0 {
+		timer := time.NewTimer(s.cfg.BatchWindow)
+		defer timer.Stop()
+		for len(batch) < max {
+			select {
+			case req := <-sess.queue:
+				batch = append(batch, req)
+			case <-timer.C:
+				return batch
+			case <-sess.closed:
+				return batch
+			}
+		}
+		return batch
+	}
+	for len(batch) < max {
+		select {
+		case req := <-sess.queue:
+			batch = append(batch, req)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commitBatch applies one commit group under the session mutex:
+// re-validate each request against the authoritative database, then
+// either group-commit the survivors through one maintenance pass or
+// fall back to sequential per-request application (solo batches, dirty
+// sessions, or after a group-path failure). One snapshot is published
+// per group regardless of its size.
+func (s *Server) commitBatch(sess *session, batch []*commitReq) {
+	if hook := s.testBeforeCommit; hook != nil {
+		hook(len(batch))
+	}
+	sp := s.cfg.Tracer.Start("serve", "commit_batch")
+	defer sp.End()
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	p := sess.prog.Load()
+	// Re-validate at commit time: the handler checked against a snapshot
+	// that may predate a program reload, and two batch members may
+	// introduce the same new predicate — arityOver pins the first
+	// accepted arity so the second conflicts here instead of panicking
+	// inside storage.Ensure mid-apply.
+	arityOver := map[string]int{}
+	var live []*commitReq
+	for _, req := range batch {
+		if req.ctx.Err() != nil {
+			req.fail(statusClientClosedRequest, CodeCancelled, req.ctx.Err())
+			continue
+		}
+		facts, dups, err := validateFacts(p, sess.db, arityOver, req.facts)
+		if err != nil {
+			req.fail(http.StatusBadRequest, CodeBadRequest, err)
+			continue
+		}
+		req.facts = facts
+		req.dups += dups
+		for _, f := range facts {
+			if relationOf(sess.db, f.pred) == nil {
+				if _, ok := arityOver[f.pred]; !ok {
+					arityOver[f.pred] = len(f.tuple)
+				}
+			}
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	sess.noteBatch(len(live))
+
+	// A dirty session needs a rebuild no matter what; the per-request
+	// path already implements repair semantics. Solo requests keep the
+	// exact single-writer behavior (request-scoped context, per-request
+	// modes) the flat API always had.
+	if sess.dirty || len(live) == 1 {
+		s.commitSequential(sess, live)
+		return
+	}
+	s.commitGrouped(sess, p, live)
+}
+
+// commitSequential applies requests one at a time through the
+// single-request insert/delete paths, preserving their full semantics
+// (request-context cancellation, per-request rollback, noop detection).
+func (s *Server) commitSequential(sess *session, reqs []*commitReq) {
+	changed := false
+	for _, req := range reqs {
+		if req.ctx.Err() != nil {
+			req.fail(statusClientClosedRequest, CodeCancelled, req.ctx.Err())
+			continue
+		}
+		var (
+			resp *UpdateResponse
+			err  error
+		)
+		if req.isInsert {
+			resp, err = sess.insertOne(req.ctx, req.facts)
+		} else {
+			resp, err = sess.removeOne(req.ctx, req.facts)
+		}
+		sess.countWrite(req.isInsert)
+		if err != nil {
+			status, code := errorStatus(req.ctx, err)
+			req.fail(status, code, err)
+			continue
+		}
+		resp.Ignored += req.dups
+		resp.Batched = 1
+		switch resp.Mode {
+		case "incremental":
+			sess.incremental.Add(1)
+		case "recompute":
+			sess.recomputes.Add(1)
+		}
+		sess.addEvalStats(resp.Stats)
+		if resp.Mode != "noop" {
+			changed = true
+		}
+		req.ok(resp)
+	}
+	if changed {
+		sess.cache.purge()
+		sess.publish()
+	}
+}
+
+// errorStatus maps a per-request apply error to wire status and code.
+func errorStatus(ctx context.Context, err error) (int, string) {
+	switch {
+	case ctx.Err() != nil:
+		return statusClientClosedRequest, CodeCancelled
+	case errors.Is(err, eval.ErrNeedsRecompute):
+		return http.StatusInternalServerError, CodeNeedsRecompute
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// commitGrouped runs one maintenance pass for the whole group. The
+// requests are first coalesced to their net effect on the EDB —
+// membership-simulated in arrival order, so each response's
+// Applied/Ignored is exactly what sequential application would have
+// reported (see DESIGN.md §10 for why net-effect application yields
+// the same fixpoint). A group whose net effect is empty commits as a
+// pure noop with no maintenance at all.
+//
+// Failure ladder: ErrNeedsRecompute applies the net EDB delta and
+// rebuilds from scratch (the guard refused before mutating anything);
+// any other error rolls the net delta back and retries the whole group
+// through the sequential path, so one poisoned request cannot take its
+// batchmates down with it.
+func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitReq) {
+	netIns, netDel, perReq := coalesce(sess.db, reqs)
+
+	if len(netIns) == 0 && len(netDel) == 0 {
+		for i, req := range reqs {
+			resp := perReq[i]
+			resp.Mode = "noop"
+			resp.Batched = len(reqs)
+			resp.Ignored += req.dups
+			sess.countWrite(req.isInsert)
+			req.ok(resp)
+		}
+		return
+	}
+
+	sess.dirty = true
+	eng := sess.engine(p.active, sess.db)
+	over, err := eng.BatchMaintainContext(context.Background(), netIns, netDel)
+	mode := "incremental"
+	st := eng.Stats()
+	switch {
+	case err == nil:
+		sess.dirty = false
+		sess.incremental.Add(1)
+		s.mGroupCommits.Inc()
+	case errors.Is(err, eval.ErrNeedsRecompute):
+		// The negation guard refused before touching anything. Apply the
+		// net EDB delta directly and rebuild the IDB once for the group.
+		mode = "recompute"
+		applyNet(sess.db, netIns, netDel)
+		rst, rerr := sess.recompute(context.Background())
+		if rerr != nil {
+			sess.rollbackNet(netIns, netDel)
+			s.commitSequential(sess, reqs)
+			return
+		}
+		sess.dirty = false
+		sess.recomputes.Add(1)
+		st = rst
+		over = 0
+	default:
+		// Maintenance stopped partway; undo the group's EDB delta,
+		// restore the fixpoint, and let each request stand alone.
+		sess.rollbackNet(netIns, netDel)
+		s.commitSequential(sess, reqs)
+		return
+	}
+
+	sess.addEvalStats(st)
+	for i, req := range reqs {
+		resp := perReq[i]
+		resp.Mode = mode
+		resp.Batched = len(reqs)
+		resp.Ignored += req.dups
+		resp.Stats = st
+		if !req.isInsert {
+			resp.OverDeleted = over
+		}
+		sess.countWrite(req.isInsert)
+		req.ok(resp)
+	}
+	sess.cache.purge()
+	sess.publish()
+}
+
+// coalesce simulates the group's requests in arrival order against the
+// current EDB membership and returns the net insert/delete sets plus
+// each request's Applied/Ignored counts. Only EDB membership matters:
+// the API cannot write derived predicates, so an insert "applies" iff
+// the tuple is absent at that point in the simulated order, exactly as
+// sequential application would decide. Insert-then-delete (and
+// delete-then-insert) pairs cancel to nothing, which is sound because
+// maintenance only ever reacts to the net EDB change.
+func coalesce(db *storage.Database, reqs []*commitReq) (netIns, netDel map[string][]storage.Tuple, perReq []*UpdateResponse) {
+	type cell struct {
+		pred    string
+		tuple   storage.Tuple
+		initial bool // in the EDB before the group
+		present bool // membership at the current simulation point
+	}
+	cells := map[string]*cell{}
+	lookup := func(f groundFact) *cell {
+		k := f.pred + "\x00" + f.tuple.Key()
+		c := cells[k]
+		if c == nil {
+			present := false
+			if rel := db.Relation(f.pred); rel != nil {
+				present = rel.Contains(f.tuple)
+			}
+			c = &cell{pred: f.pred, tuple: f.tuple, initial: present, present: present}
+			cells[k] = c
+		}
+		return c
+	}
+
+	perReq = make([]*UpdateResponse, len(reqs))
+	for i, req := range reqs {
+		resp := &UpdateResponse{}
+		for _, f := range req.facts {
+			c := lookup(f)
+			if req.isInsert {
+				if c.present {
+					resp.Ignored++
+				} else {
+					c.present = true
+					resp.Applied++
+				}
+			} else {
+				if c.present {
+					c.present = false
+					resp.Applied++
+				} else {
+					resp.Ignored++
+				}
+			}
+		}
+		perReq[i] = resp
+	}
+
+	netIns = map[string][]storage.Tuple{}
+	netDel = map[string][]storage.Tuple{}
+	for _, c := range cells {
+		switch {
+		case c.present && !c.initial:
+			netIns[c.pred] = append(netIns[c.pred], c.tuple)
+		case !c.present && c.initial:
+			netDel[c.pred] = append(netDel[c.pred], c.tuple)
+		}
+	}
+	if len(netIns) == 0 {
+		netIns = nil
+	}
+	if len(netDel) == 0 {
+		netDel = nil
+	}
+	return netIns, netDel, perReq
+}
+
+// applyNet applies a net EDB delta directly (no maintenance).
+func applyNet(db *storage.Database, netIns, netDel map[string][]storage.Tuple) {
+	for p, ts := range netIns {
+		rel := db.Ensure(p, len(ts[0]))
+		for _, t := range ts {
+			rel.Insert(t)
+		}
+	}
+	for p, ts := range netDel {
+		rel := db.Relation(p)
+		if rel == nil {
+			continue
+		}
+		for _, t := range ts {
+			rel.Remove(t)
+		}
+	}
+}
+
+// rollbackNet undoes a net EDB delta after a failed group maintenance
+// pass and rebuilds the fixpoint; if the rebuild fails the session
+// stays dirty and heals on the next update. Caller holds mu.
+func (sess *session) rollbackNet(netIns, netDel map[string][]storage.Tuple) {
+	// BatchMaintainContext applies inserts itself and may have gotten
+	// partway; removing a tuple it never inserted is a harmless no-op,
+	// as is re-inserting one it never removed.
+	applyNet(sess.db, netDel, netIns) // swap: undo by applying the inverse
+	if _, err := sess.recompute(context.Background()); err == nil {
+		sess.dirty = false
+	}
+}

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// groupTestServer builds a server whose committer parks at the start of
+// every commit until release is closed, reporting each batch size on
+// entered — tests use it to pin batch boundaries deterministically.
+func groupTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, chan int, chan struct{}) {
+	t.Helper()
+	srv := New(cfg)
+	entered := make(chan int, 128)
+	release := make(chan struct{})
+	srv.testBeforeCommit = func(n int) {
+		entered <- n
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, entered, release
+}
+
+// awaitQueued blocks until the session's commit queue holds want
+// requests (on top of whatever the parked committer already collected).
+func awaitQueued(t *testing.T, sess *session, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sess.queue) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d writes queued after 10s", len(sess.queue), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGroupCommitDifferential fires N concurrent mixed inserts and
+// deletes at a group-committing server and checks the resulting tuples
+// are identical to the same operations applied sequentially to a second
+// server — in every evaluation mode. It also asserts the tentpole
+// criterion: the batch counters show strictly fewer maintenance
+// fixpoints than write requests. Run with -race.
+func TestGroupCommitDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		optimize bool
+		parallel int
+	}{
+		{"seq", false, 0},
+		{"parallel", false, 4},
+		{"semopt/seq", true, 0},
+		{"semopt/parallel", true, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runGroupDifferential(t, tc.optimize, tc.parallel)
+		})
+	}
+}
+
+func runGroupDifferential(t *testing.T, optimize bool, parallel int) {
+	program := `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+		edge(root, d0).
+		edge(d0, d1). edge(d1, d2). edge(d2, d3). edge(d3, d4).
+		edge(d4, d5). edge(d5, d6). edge(d6, d7).
+	`
+	// Half the writers delete chain edges, half insert fresh ones that
+	// reattach below root, so batches mix both kinds and the closure
+	// changes shape.
+	type op struct {
+		path  string
+		facts string
+	}
+	var ops []op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, op{"/delete", fmt.Sprintf("edge(d%d, d%d).", i, i+1)})
+	}
+	for i := 0; i < 8; i++ {
+		ops = append(ops, op{"/insert", fmt.Sprintf("edge(root, e%d). edge(e%d, e%d).", i, i, (i+1)%8)})
+	}
+	n := len(ops)
+
+	srv, ts, entered, release := groupTestServer(t, Config{Parallel: parallel})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: program, Optimize: optimize}, nil)
+	sess := srv.session(DefaultSession)
+
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for _, o := range ops {
+		wg.Add(1)
+		go func(o op) {
+			defer wg.Done()
+			var resp UpdateResponse
+			if code := call(t, ts, "POST", o.path, UpdateRequest{Facts: o.facts}, &resp); code != http.StatusOK {
+				errs <- fmt.Errorf("%s %q = %d", o.path, o.facts, code)
+			}
+		}(o)
+	}
+	// The committer is parked inside the first commit; once every other
+	// writer is queued behind it, release — the remainder commits as one
+	// group.
+	first := <-entered
+	awaitQueued(t, sess, n-first)
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Sequential reference: same operations, one at a time.
+	ref := newTestServer(t, Config{Parallel: parallel})
+	mustOK(t, ref, "POST", "/load", LoadRequest{Program: program, Optimize: optimize}, nil)
+	for _, o := range ops {
+		mustOK(t, ref, "POST", o.path, UpdateRequest{Facts: o.facts}, nil)
+	}
+	for _, goal := range []string{"tc(X, Y)", "tc(root, Y)", "edge(X, Y)"} {
+		got := renderSorted(queryTuples(t, ts, goal))
+		want := renderSorted(queryTuples(t, ref, goal))
+		if got != want {
+			t.Fatalf("%s: group-committed state diverged from sequential\ngot:  %s\nwant: %s", goal, got, want)
+		}
+	}
+
+	// Tentpole criterion: N writes, strictly fewer maintenance passes.
+	var st SessionStats
+	mustOK(t, ts, "GET", "/v1/sessions/default/stats", nil, &st)
+	passes := st.Incremental + st.Recomputes
+	if passes >= int64(n) {
+		t.Fatalf("ran %d maintenance passes for %d writes; batching did not amortize", passes, n)
+	}
+	if st.BatchedWrites != int64(n) {
+		t.Fatalf("BatchedWrites = %d, want %d", st.BatchedWrites, n)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d, want a real group", st.MaxBatch)
+	}
+}
+
+// mkReq builds a validated commitReq the way handleUpdate would.
+func mkReq(t *testing.T, sess *session, isInsert bool, src string) *commitReq {
+	t.Helper()
+	facts, err := parseFactsSrc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &commitReq{
+		isInsert: isInsert,
+		facts:    facts,
+		ctx:      context.Background(),
+		done:     make(chan commitResult, 1),
+	}
+}
+
+// TestCoalesceNetZero: an insert and a delete of the same absent tuple
+// in one group cancel out — both requests succeed with sequential
+// Applied counts, no maintenance pass runs, and the database is
+// untouched.
+func TestCoalesceNetZero(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	if _, err := srv.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.session(DefaultSession)
+
+	ins := mkReq(t, sess, true, "edge(x, y).")
+	del := mkReq(t, sess, false, "edge(x, y).")
+	srv.commitBatch(sess, []*commitReq{ins, del})
+
+	insRes, delRes := <-ins.done, <-del.done
+	if insRes.err != nil || delRes.err != nil {
+		t.Fatalf("net-zero group failed: %v / %v", insRes.err, delRes.err)
+	}
+	// Arrival-order semantics: the insert applied (tuple absent), the
+	// delete applied (tuple just inserted) — exactly as sequentially.
+	if insRes.resp.Applied != 1 || insRes.resp.Mode != "noop" {
+		t.Fatalf("insert = %+v, want 1 applied noop", insRes.resp)
+	}
+	if delRes.resp.Applied != 1 || delRes.resp.Mode != "noop" || delRes.resp.Batched != 2 {
+		t.Fatalf("delete = %+v, want 1 applied noop batched=2", delRes.resp)
+	}
+	if sess.incremental.Load() != 0 || sess.recomputes.Load() != 0 {
+		t.Fatalf("net-zero group ran a maintenance pass (%d/%d)",
+			sess.incremental.Load(), sess.recomputes.Load())
+	}
+	if rel := sess.db.Relation("edge"); rel.Len() != 2 {
+		t.Fatalf("edge has %d tuples, want the original 2", rel.Len())
+	}
+}
+
+// TestCoalesceDedupAcrossRequests: two inserts of the same tuple in one
+// group apply once; the later request sees it as already present.
+func TestCoalesceDedupAcrossRequests(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	if _, err := srv.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.session(DefaultSession)
+
+	r1 := mkReq(t, sess, true, "edge(c, d).")
+	r2 := mkReq(t, sess, true, "edge(c, d). edge(d, e).")
+	srv.commitBatch(sess, []*commitReq{r1, r2})
+
+	res1, res2 := <-r1.done, <-r2.done
+	if res1.resp.Applied != 1 || res1.resp.Ignored != 0 {
+		t.Fatalf("first insert = %+v, want 1 applied", res1.resp)
+	}
+	if res2.resp.Applied != 1 || res2.resp.Ignored != 1 {
+		t.Fatalf("second insert = %+v, want 1 applied 1 ignored", res2.resp)
+	}
+	if res1.resp.Mode != "incremental" || res1.resp.Batched != 2 {
+		t.Fatalf("group = %+v, want one incremental pass over the batch", res1.resp)
+	}
+	if got := sess.incremental.Load(); got != 1 {
+		t.Fatalf("incremental passes = %d, want 1 for the whole group", got)
+	}
+	// tc must now cover the chain a b c d e: 10 pairs.
+	if n := sess.db.Count("tc"); n != 10 {
+		t.Fatalf("tc has %d tuples, want 10", n)
+	}
+}
+
+// TestBatchPoisonIsolation: one malformed request in a group (arity
+// clash against a batchmate's new predicate) is refused alone; the rest
+// of the group commits.
+func TestBatchPoisonIsolation(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	if _, err := srv.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.session(DefaultSession)
+
+	good := mkReq(t, sess, true, "p(a).")
+	bad := mkReq(t, sess, true, "p(b, c).") // conflicts with the batchmate's arity
+	also := mkReq(t, sess, true, "edge(c, d).")
+	srv.commitBatch(sess, []*commitReq{good, bad, also})
+
+	if res := <-good.done; res.err != nil || res.resp.Applied != 1 {
+		t.Fatalf("good request = %+v / %v", res.resp, res.err)
+	}
+	if res := <-bad.done; res.status != http.StatusBadRequest || res.code != CodeBadRequest {
+		t.Fatalf("poisoned request = %d/%s, want 400 bad_request", res.status, res.code)
+	}
+	if res := <-also.done; res.err != nil || res.resp.Applied != 1 {
+		t.Fatalf("bystander request = %+v / %v", res.resp, res.err)
+	}
+	if n := sess.db.Count("tc"); n != 6 { // chain a b c d
+		t.Fatalf("tc has %d tuples, want 6", n)
+	}
+	if sess.db.Relation("p").Len() != 1 {
+		t.Fatal("p should hold exactly the good request's tuple")
+	}
+}
+
+// TestBatchCancelledRequest: a request whose client went away before
+// commit gets 499 and is excluded; its batchmates commit normally.
+func TestBatchCancelledRequest(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	if _, err := srv.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.session(DefaultSession)
+
+	gone, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := mkReq(t, sess, true, "edge(c, d).")
+	dead.ctx = gone
+	live := mkReq(t, sess, true, "edge(c, e).")
+	srv.commitBatch(sess, []*commitReq{dead, live})
+
+	if res := <-dead.done; res.status != statusClientClosedRequest || res.code != CodeCancelled {
+		t.Fatalf("cancelled request = %d/%s, want 499 cancelled", res.status, res.code)
+	}
+	if res := <-live.done; res.err != nil || res.resp.Applied != 1 || res.resp.Batched != 1 {
+		t.Fatalf("live request = %+v / %v", res.resp, res.err)
+	}
+	if sess.db.Relation("edge").Len() != 3 {
+		t.Fatal("only the live request's tuple should land")
+	}
+}
+
+// TestWriteQueueFull: with a one-slot queue and a parked committer, an
+// extra write is refused with 503, a depth-derived Retry-After, and a
+// write_rejected count.
+func TestWriteQueueFull(t *testing.T) {
+	srv, ts, entered, release := groupTestServer(t, Config{MaxPendingWrites: 1})
+	mustOK(t, ts, "POST", "/load", LoadRequest{Program: tcSrc}, nil)
+	sess := srv.session(DefaultSession)
+
+	var wg sync.WaitGroup
+	post := func(facts string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			call(t, ts, "POST", "/insert", UpdateRequest{Facts: facts}, nil)
+		}()
+	}
+	post("edge(c, d).") // dequeued by the committer, parked in the hook
+	<-entered
+	post("edge(d, e).") // fills the single queue slot
+	awaitQueued(t, sess, 1)
+
+	req, _ := http.NewRequest("POST", ts.URL+"/insert", jsonBody(t, UpdateRequest{Facts: "edge(e, f)."}))
+	res, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write to full queue = %d, want 503", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	close(release)
+	wg.Wait()
+
+	var st ServerStatsResponse
+	mustOK(t, ts, "GET", "/v1/stats", nil, &st)
+	if st.WriteRejected == 0 {
+		t.Fatal("/v1/stats should count the rejected write")
+	}
+	if got := queryTuples(t, ts, "edge(c, Y)"); len(got) != 1 {
+		t.Fatalf("queued writes should land after release, edge(c, Y) = %v", got)
+	}
+}

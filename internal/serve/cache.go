@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// queryCache memoizes rendered query results per session, keyed by the
+// goal text and validated against the snapshot generation: an entry
+// written against generation g is served only while the session's
+// published snapshot still reports g, so a cache hit is always
+// indistinguishable from re-running the match. Bounded LRU; a nil
+// cache (caching disabled) is safe to call.
+type queryCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	rows [][]string
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached rows for key at generation gen, or nil. An
+// entry from an older generation is evicted on sight.
+func (c *queryCache) get(key string, gen uint64) ([][]string, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[key]
+	if el == nil {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.rows, true
+}
+
+// put stores rows for key at generation gen, evicting the least
+// recently used entry beyond capacity.
+func (c *queryCache) put(key string, gen uint64, rows [][]string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		e := el.Value.(*cacheEntry)
+		e.gen = gen
+		e.rows = rows
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, rows: rows})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops everything; called after each committed write batch and
+// on reload. Generation checks would catch stale entries lazily, but
+// purging keeps memory from accumulating dead generations.
+func (c *queryCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+}
+
+func (c *queryCache) size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

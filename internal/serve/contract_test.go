@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+)
+
+// contractStep is one request of the golden API script.
+type contractStep struct {
+	Op         string `json:"op"` // load | query | insert | delete | stats
+	Program    string `json:"program,omitempty"`
+	Goal       string `json:"goal,omitempty"`
+	Facts      string `json:"facts,omitempty"`
+	WantStatus int    `json:"want_status"`
+}
+
+// TestAPIContract replays testdata/contract.json against two fresh
+// servers — one through the legacy flat routes, one through /v1 — and
+// requires every step to produce the same status and the same
+// normalized payload on both surfaces. This is the compatibility
+// contract for the deprecation window: the flat routes are pure aliases
+// of /v1 on the "default" session.
+func TestAPIContract(t *testing.T) {
+	raw, err := os.ReadFile("testdata/contract.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []contractStep
+	if err := json.Unmarshal(raw, &steps); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := newTestServer(t, Config{})
+	v1 := newTestServer(t, Config{})
+
+	for i, step := range steps {
+		ls, lbody := runContractStep(t, legacy, step, true)
+		vs, vbody := runContractStep(t, v1, step, false)
+		if ls != step.WantStatus || vs != step.WantStatus {
+			t.Fatalf("step %d (%s): status legacy=%d v1=%d, want %d", i, step.Op, ls, vs, step.WantStatus)
+		}
+		if lbody != vbody {
+			t.Fatalf("step %d (%s): surfaces disagree\nlegacy: %s\nv1:     %s", i, step.Op, lbody, vbody)
+		}
+	}
+}
+
+// runContractStep executes one step and returns the status plus a
+// normalized rendering of the comparable response fields.
+func runContractStep(t *testing.T, ts *httptest.Server, step contractStep, legacy bool) (int, string) {
+	t.Helper()
+	var (
+		method, path string
+		req          any
+	)
+	switch step.Op {
+	case "load":
+		method, path, req = "POST", "/load", LoadRequest{Program: step.Program}
+		if !legacy {
+			path = "/v1/sessions/default"
+		}
+	case "query":
+		method, path, req = "POST", "/query", QueryRequest{Goal: step.Goal}
+		if !legacy {
+			path = "/v1/sessions/default/query"
+		}
+	case "insert":
+		method, path, req = "POST", "/insert", UpdateRequest{Facts: step.Facts}
+		if !legacy {
+			path = "/v1/sessions/default/facts"
+		}
+	case "delete":
+		method, path, req = "POST", "/delete", UpdateRequest{Facts: step.Facts}
+		if !legacy {
+			method, path = "DELETE", "/v1/sessions/default/facts"
+		}
+	case "stats":
+		method, path = "GET", "/stats"
+		if !legacy {
+			path = "/v1/sessions/default/stats"
+		}
+	default:
+		t.Fatalf("unknown contract op %q", step.Op)
+	}
+
+	var body json.RawMessage
+	status := call(t, ts, method, path, req, &body)
+	return status, normalizeContract(t, step.Op, status, body)
+}
+
+// normalizeContract projects a response onto the fields both surfaces
+// must agree on. Errors compare by code (messages may differ in
+// wording); stats compare the counters a client can rely on.
+func normalizeContract(t *testing.T, op string, status int, body json.RawMessage) string {
+	t.Helper()
+	out := map[string]any{}
+	if status != http.StatusOK {
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("%s: non-200 without an error envelope: %s", op, body)
+		}
+		out["code"] = e.Error.Code
+	} else {
+		switch op {
+		case "load":
+			var r LoadResponse
+			mustUnmarshal(t, body, &r)
+			out["rules"] = r.Rules
+			out["optimized"] = r.Optimized
+			out["edb"] = r.EDBTuples
+			out["idb"] = r.IDBTuples
+		case "query":
+			var r QueryResponse
+			mustUnmarshal(t, body, &r)
+			rows := make([]string, len(r.Tuples))
+			for i, row := range r.Tuples {
+				b, _ := json.Marshal(row)
+				rows[i] = string(b)
+			}
+			sort.Strings(rows)
+			out["goal"] = r.Goal
+			out["count"] = r.Count
+			out["total"] = r.Total
+			out["tuples"] = rows
+		case "insert", "delete":
+			var r UpdateResponse
+			mustUnmarshal(t, body, &r)
+			out["applied"] = r.Applied
+			out["ignored"] = r.Ignored
+			out["mode"] = r.Mode
+		case "stats":
+			// Legacy /stats and /v1 session stats have different shapes;
+			// the shared counters must agree.
+			var r struct {
+				Rules       int   `json:"rules"`
+				Queries     int64 `json:"queries"`
+				Inserts     int64 `json:"inserts"`
+				Deletes     int64 `json:"deletes"`
+				Incremental int64 `json:"incremental"`
+				Recomputes  int64 `json:"recomputes"`
+			}
+			mustUnmarshal(t, body, &r)
+			out["stats"] = r
+		}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func mustUnmarshal(t *testing.T, body json.RawMessage, out any) {
+	t.Helper()
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+)
+
+// sessionNameRe constrains /v1 session names to safe path segments.
+var sessionNameRe = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// session returns the named live session, or nil.
+func (s *Server) session(name string) *session {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return s.sessions[name]
+}
+
+// sessionNames lists live sessions in registry order (unsorted).
+func (s *Server) sessionNames() []string {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	return names
+}
+
+// allSessions snapshots the live sessions.
+func (s *Server) allSessions() []*session {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	out := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// LoadSession compiles and evaluates a program into the named session,
+// creating it if needed and atomically replacing its program and
+// database if it already exists. Counters survive a reload (the
+// session is the same long-lived object); the write pipeline is never
+// interrupted — in-flight writes land either on the old state (before
+// the swap, where the committer's revalidation sees the old program)
+// or on the new.
+func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) (*LoadResponse, error) {
+	if !sessionNameRe.MatchString(name) {
+		return nil, fmt.Errorf("invalid session name %q (want [A-Za-z0-9_-]{1,64})", name)
+	}
+	// Build first: a failed load must leave the existing session serving.
+	lp, db, seedIDB, resp, err := s.buildProgram(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.regMu.Lock()
+	if s.closed {
+		s.regMu.Unlock()
+		return nil, errSessionClosed
+	}
+	sess := s.sessions[name]
+	if sess == nil {
+		sess = newSession(s, name)
+		s.sessions[name] = sess
+	}
+	s.regMu.Unlock()
+
+	sess.mu.Lock()
+	sess.db = db
+	sess.seedIDB = seedIDB
+	sess.dirty = false
+	sess.prog.Store(lp)
+	sess.cache.purge()
+	sess.publish()
+	sess.mu.Unlock()
+
+	sess.addEvalStats(resp.Stats)
+	resp.Session = name
+	return resp, nil
+}
+
+// Load is the legacy single-session entry point: it loads into the
+// "default" session, which the flat routes alias.
+func (s *Server) Load(ctx context.Context, req LoadRequest) (*LoadResponse, error) {
+	return s.LoadSession(ctx, DefaultSession, req)
+}
+
+// dropSession deletes a named session: it disappears from the registry
+// immediately, queued writes are answered session_closed, and in-flight
+// snapshot readers finish against their copy-on-write view.
+func (s *Server) dropSession(name string) bool {
+	s.regMu.Lock()
+	sess := s.sessions[name]
+	delete(s.sessions, name)
+	s.regMu.Unlock()
+	if sess == nil {
+		return false
+	}
+	sess.close()
+	return true
+}
+
+// Close shuts down every session's write pipeline. Safe to call once
+// the HTTP server has stopped accepting requests (in-flight handlers
+// see session_closed from their enqueue or drain).
+func (s *Server) Close() {
+	s.regMu.Lock()
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = map[string]*session{}
+	s.regMu.Unlock()
+	for _, sess := range sessions {
+		sess.close()
+	}
+}

@@ -1,17 +1,17 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
-	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/storage"
@@ -23,61 +23,165 @@ type Config struct {
 	// (load, recompute): 0 or 1 sequential, n > 1 workers, n < 0
 	// GOMAXPROCS.
 	Parallel int
-	// MaxConcurrentQueries bounds in-flight /query requests; excess
+	// MaxConcurrentQueries bounds in-flight query requests; excess
 	// requests are refused with 503 instead of queueing. <= 0 means
 	// DefaultMaxConcurrentQueries.
 	MaxConcurrentQueries int
+	// MaxPendingWrites bounds each session's commit queue; a write
+	// arriving at a full queue is refused with 503 and a depth-derived
+	// Retry-After. <= 0 means DefaultMaxPendingWrites.
+	MaxPendingWrites int
+	// MaxBatch caps how many queued writes one maintenance pass may
+	// group-commit. <= 0 means DefaultMaxBatch; 1 disables grouping.
+	MaxBatch int
+	// BatchWindow, when positive, keeps a commit group open for that
+	// long after its first request so closely-spaced writers coalesce
+	// even when they never overlap in the queue. 0 groups only what is
+	// already queued (no added latency).
+	BatchWindow time.Duration
+	// QueryCache is the per-session query-result cache capacity in
+	// entries: 0 means DefaultQueryCacheEntries, negative disables
+	// caching.
+	QueryCache int
+	// MaxBodyBytes caps a request body. <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
 	// Tracer, when non-nil, records a span per request plus the engine
 	// spans of every evaluation.
 	Tracer *obs.Tracer
+	// Metrics receives the serve.* pipeline counters; nil allocates a
+	// private registry (exposed via GET /v1/stats either way).
+	Metrics *obs.Metrics
 	// EnablePprof mounts net/http/pprof on the service mux.
 	EnablePprof bool
 }
 
-// DefaultMaxConcurrentQueries is the admission-gate width when the
-// config leaves it unset.
-const DefaultMaxConcurrentQueries = 64
+const (
+	// DefaultMaxConcurrentQueries is the admission-gate width when the
+	// config leaves it unset.
+	DefaultMaxConcurrentQueries = 64
+	// DefaultMaxPendingWrites is the per-session commit-queue depth.
+	DefaultMaxPendingWrites = 256
+	// DefaultMaxBatch is the group-commit size cap.
+	DefaultMaxBatch = 64
+	// DefaultQueryCacheEntries is the per-session query-cache capacity.
+	DefaultQueryCacheEntries = 1024
+	// DefaultMaxBodyBytes caps request bodies at 8 MiB.
+	DefaultMaxBodyBytes = 8 << 20
+	// DefaultQueryLimit is the page size when a query sets no limit.
+	DefaultQueryLimit = 10000
+	// MaxQueryLimit is the largest page a query may request.
+	MaxQueryLimit = 10000
+	// DefaultSession is the session the legacy flat routes alias.
+	DefaultSession = "default"
+	// statusClientClosedRequest mirrors nginx's non-standard 499.
+	statusClientClosedRequest = 499
+)
 
-// Server is the dlogd request handler: one loaded program, an
-// authoritative database behind a writer mutex, and an atomically
-// published copy-on-write snapshot that queries read without locking.
+// Server is the dlogd request handler: a registry of named sessions,
+// each with its own program, write pipeline, and published snapshot.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	gate  chan struct{}
 	start time.Time
 
-	mu   sync.Mutex // guards sess and all mutations of sess.db
-	sess *session
+	metrics        *obs.Metrics
+	mBatches       *obs.Counter
+	mBatchedWrites *obs.Counter
+	mMaxBatch      *obs.Counter
+	mGroupCommits  *obs.Counter
+	mCacheHits     *obs.Counter
+	mCacheMisses   *obs.Counter
 
-	snap atomic.Pointer[storage.Database]
+	regMu    sync.RWMutex
+	sessions map[string]*session
+	closed   bool
 
-	queries, rejected, inserts, deletes atomic.Int64
-	incremental, recomputes             atomic.Int64
+	rejected      atomic.Int64 // query-gate refusals
+	writeRejected atomic.Int64 // commit-queue refusals
 
-	statsMu   sync.Mutex
-	evalStats eval.Stats
+	// testBeforeCommit, when set, is invoked by the committer with the
+	// group size before it takes the session mutex; tests use it to pin
+	// batch boundaries deterministically.
+	testBeforeCommit func(batchSize int)
 }
 
-// New builds a Server. Use Handler to mount it.
+// New builds a Server. Use Handler to mount it and Close to stop the
+// session committers on shutdown.
 func New(cfg Config) *Server {
 	if cfg.MaxConcurrentQueries <= 0 {
 		cfg.MaxConcurrentQueries = DefaultMaxConcurrentQueries
 	}
-	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		gate:  make(chan struct{}, cfg.MaxConcurrentQueries),
-		start: time.Now(),
+	if cfg.MaxPendingWrites <= 0 {
+		cfg.MaxPendingWrites = DefaultMaxPendingWrites
 	}
-	s.mux.HandleFunc("POST /load", s.traced(s.handleLoad))
-	s.mux.HandleFunc("POST /query", s.traced(s.handleQuery))
-	s.mux.HandleFunc("POST /insert", s.traced(s.handleInsert))
-	s.mux.HandleFunc("POST /delete", s.traced(s.handleDelete))
-	s.mux.HandleFunc("GET /stats", s.traced(s.handleStats))
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	switch {
+	case cfg.QueryCache == 0:
+		cfg.QueryCache = DefaultQueryCacheEntries
+	case cfg.QueryCache < 0:
+		cfg.QueryCache = 0 // normalized: 0 means disabled from here on
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		gate:     make(chan struct{}, cfg.MaxConcurrentQueries),
+		start:    time.Now(),
+		metrics:  cfg.Metrics,
+		sessions: map[string]*session{},
+	}
+	s.mBatches = s.metrics.Counter("serve.batches")
+	s.mBatchedWrites = s.metrics.Counter("serve.batched_writes")
+	s.mMaxBatch = s.metrics.Counter("serve.max_batch")
+	s.mGroupCommits = s.metrics.Counter("serve.group_commits")
+	s.mCacheHits = s.metrics.Counter("serve.cache_hits")
+	s.mCacheMisses = s.metrics.Counter("serve.cache_misses")
+
+	// Legacy flat surface: aliases onto the "default" session. Kept
+	// verbatim for one release; see README.md for the /v1 mapping.
+	s.mux.HandleFunc("POST /load", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleLoad(w, r, DefaultSession, true)
+	}))
+	s.mux.HandleFunc("POST /query", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, DefaultSession, true)
+	}))
+	s.mux.HandleFunc("POST /insert", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleUpdate(w, r, DefaultSession, true, true)
+	}))
+	s.mux.HandleFunc("POST /delete", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleUpdate(w, r, DefaultSession, true, false)
+	}))
+	s.mux.HandleFunc("GET /stats", s.traced(s.handleLegacyStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+
+	// Versioned surface: sessions addressed by name.
+	s.mux.HandleFunc("GET /v1/sessions", s.traced(s.handleSessionList))
+	s.mux.HandleFunc("POST /v1/sessions/{name}", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleLoad(w, r, r.PathValue("name"), false)
+	}))
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.traced(s.handleSessionDrop))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/query", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, r.PathValue("name"), false)
+	}))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/facts", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleUpdate(w, r, r.PathValue("name"), false, true)
+	}))
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}/facts", s.traced(func(w http.ResponseWriter, r *http.Request) {
+		s.handleUpdate(w, r, r.PathValue("name"), false, false)
+	}))
+	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.traced(s.handleSessionStats))
+	s.mux.HandleFunc("GET /v1/stats", s.traced(s.handleServerStats))
+
 	if cfg.EnablePprof {
 		obs.AttachPprof(s.mux)
 	}
@@ -102,186 +206,316 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // best effort to a live conn
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+func writeErr(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
-func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+// decode parses a JSON request body with a size cap and a Content-Type
+// check (absent Content-Type is tolerated for curl ergonomics; a wrong
+// one is refused).
+func decode[T any](w http.ResponseWriter, r *http.Request, maxBody int64) (T, bool) {
 	var req T
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			writeErr(w, http.StatusUnsupportedMediaType, CodeUnsupportedMedia,
+				"Content-Type must be application/json, got %q", ct)
+			return req, false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return req, false
+		}
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return req, false
 	}
 	return req, true
 }
 
-// Load parses, optionally optimizes, and evaluates a program, then
-// atomically makes it the served one. A failed load leaves the
-// previous program untouched. It is the programmatic face of POST
-// /load, used by dlogd's -program startup flag.
-func (s *Server) Load(ctx context.Context, req LoadRequest) (*LoadResponse, error) {
-	sess, resp, err := s.loadSession(ctx, req)
-	if err != nil {
-		return nil, err
+// retryAfterSeconds derives a Retry-After hint from the depth of the
+// contended resource: deeper backlog, longer back-off, capped at 30s.
+// perSecond is a rough drain-rate guess for the resource.
+func retryAfterSeconds(depth, perSecond int) string {
+	secs := 1 + depth/perSecond
+	if secs > 30 {
+		secs = 30
 	}
-	s.mu.Lock()
-	s.sess = sess
-	s.snap.Store(sess.db.Snapshot())
-	s.mu.Unlock()
-	s.addEvalStats(resp.Stats)
-	return resp, nil
+	return strconv.Itoa(secs)
 }
 
-func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	req, ok := decode[LoadRequest](w, r)
+// missingSession answers a request addressed at a session that does
+// not exist: 409 no_program on the legacy surface (where the default
+// session not existing means "nothing loaded yet"), 404 no_session on
+// /v1.
+func missingSession(w http.ResponseWriter, name string, legacy bool) {
+	if legacy {
+		writeErr(w, http.StatusConflict, CodeNoProgram, "no program loaded")
+		return
+	}
+	writeErr(w, http.StatusNotFound, CodeNoSession, "no session %q", name)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string, legacy bool) {
+	req, ok := decode[LoadRequest](w, r, s.cfg.MaxBodyBytes)
 	if !ok {
 		return
 	}
-	resp, err := s.Load(r.Context(), req)
+	resp, err := s.LoadSession(r.Context(), name, req)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-			code = 499 // client closed request
+		switch {
+		case r.Context().Err() != nil:
+			writeErr(w, statusClientClosedRequest, CodeCancelled, "load: %v", err)
+		case errors.Is(err, errSessionClosed):
+			writeErr(w, http.StatusConflict, CodeSessionClosed, "load: %v", err)
+		default:
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "load: %v", err)
 		}
-		writeErr(w, code, "load: %v", err)
 		return
+	}
+	if legacy {
+		resp.Session = "" // the flat surface predates session names
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleQuery serves reads. It never takes the writer mutex: the goal
+// handleQuery serves reads. It never takes a session mutex: the goal
 // is matched against the snapshot that was current at admission time,
 // giving every query a consistent point-in-time view even while
-// updates land concurrently.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// updates land concurrently. Results are paginated and, when the cache
+// is enabled, memoized per snapshot generation.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string, legacy bool) {
 	select {
 	case s.gate <- struct{}{}:
 		defer func() { <-s.gate }()
 	default:
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, "query admission gate full (%d in flight)", cap(s.gate))
+		w.Header().Set("Retry-After", retryAfterSeconds(cap(s.gate), 16))
+		writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"query admission gate full (%d in flight)", cap(s.gate))
 		return
 	}
-	req, ok := decode[QueryRequest](w, r)
+	req, ok := decode[QueryRequest](w, r, s.cfg.MaxBodyBytes)
 	if !ok {
+		return
+	}
+	sess := s.session(name)
+	if sess == nil {
+		missingSession(w, name, legacy)
 		return
 	}
 	goal, err := parser.ParseAtom(req.Goal)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad goal: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadGoal, "bad goal: %v", err)
 		return
 	}
-	db := s.snap.Load()
+	db := sess.snap.Load()
 	if db == nil {
-		writeErr(w, http.StatusConflict, "no program loaded")
+		missingSession(w, name, legacy)
 		return
 	}
-	tuples, err := querySnapshot(db, goal)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "query: %v", err)
-		return
-	}
-	s.queries.Add(1)
-	resp := QueryResponse{Goal: goal.String(), Count: len(tuples), Tuples: make([][]string, 0, len(tuples))}
-	for _, t := range tuples {
-		row := make([]string, len(t))
-		for i, term := range t {
-			row[i] = term.String()
+	gen := db.Generation()
+
+	key := goal.String()
+	rows, hit := sess.cache.get(key, gen)
+	if !hit {
+		tuples, err := querySnapshot(db, goal)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadGoal, "query: %v", err)
+			return
 		}
-		resp.Tuples = append(resp.Tuples, row)
+		rows = make([][]string, 0, len(tuples))
+		for _, t := range tuples {
+			row := make([]string, len(t))
+			for i, term := range t {
+				row[i] = term.String()
+			}
+			rows = append(rows, row)
+		}
+		if sess.cache != nil {
+			sess.cacheMisses.Add(1)
+			s.mCacheMisses.Inc()
+			if len(rows) <= MaxQueryLimit {
+				sess.cache.put(key, gen, rows)
+			}
+		}
+	} else {
+		sess.cacheHits.Add(1)
+		s.mCacheHits.Inc()
+	}
+
+	limit := req.Limit
+	if limit <= 0 {
+		limit = DefaultQueryLimit
+	}
+	if limit > MaxQueryLimit {
+		limit = MaxQueryLimit
+	}
+	offset := 0
+	if req.Cursor != "" {
+		offset, err = strconv.Atoi(req.Cursor)
+		if err != nil || offset < 0 {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad cursor %q", req.Cursor)
+			return
+		}
+	}
+	total := len(rows)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	page := make([][]string, 0, end-offset)
+	page = append(page, rows[offset:end]...)
+
+	sess.queries.Add(1)
+	resp := QueryResponse{
+		Goal:       goal.String(),
+		Count:      len(page),
+		Total:      total,
+		Tuples:     page,
+		Generation: gen,
+		Cached:     hit,
+	}
+	if end < total {
+		resp.NextCursor = strconv.Itoa(end)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	s.handleUpdate(w, r, s.insert, &s.inserts)
-}
-
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.handleUpdate(w, r, s.remove, &s.deletes)
-}
-
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request,
-	apply func(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error),
-	counter *atomic.Int64) {
-	req, ok := decode[UpdateRequest](w, r)
+// handleUpdate serves writes by enqueueing onto the session's commit
+// queue and waiting for the committer's verdict. The payload is parsed
+// and pre-validated against the published snapshot before enqueueing so
+// obviously bad requests fail fast without a queue slot; the committer
+// re-validates against the authoritative database at commit time.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name string, legacy, isInsert bool) {
+	req, ok := decode[UpdateRequest](w, r, s.cfg.MaxBodyBytes)
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sess == nil {
-		writeErr(w, http.StatusConflict, "no program loaded")
+	sess := s.session(name)
+	if sess == nil {
+		missingSession(w, name, legacy)
 		return
 	}
-	facts, dups, err := s.sess.parseGroundFacts(req.Facts)
+	facts, err := parseFactsSrc(req.Facts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	resp, err := apply(r.Context(), s.sess, facts)
+	facts, dups, err := validateFacts(sess.prog.Load(), sess.snap.Load(), nil, facts)
 	if err != nil {
-		// apply rolled the authoritative database back to the
-		// pre-request fixpoint (rebuilding from the EDB when
-		// maintenance had already mutated it); if even that repair
-		// failed, the session is marked dirty and the next update
-		// recomputes before any incremental maintenance resumes.
-		// Readers are unaffected either way: the old snapshot stays
-		// published. Surface the error; a cancelled request is the
-		// client's doing.
-		code := http.StatusInternalServerError
-		if r.Context().Err() != nil {
-			code = 499
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+
+	creq := &commitReq{
+		isInsert: isInsert,
+		facts:    facts,
+		dups:     dups,
+		ctx:      r.Context(),
+		done:     make(chan commitResult, 1),
+	}
+	if err := sess.enqueue(creq); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.writeRejected.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(len(sess.queue), 8))
+			writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
+				"write queue full (%d pending)", cap(sess.queue))
+			return
 		}
-		writeErr(w, code, "update: %v", err)
+		writeErr(w, http.StatusConflict, CodeSessionClosed, "%v", err)
 		return
 	}
-	resp.Ignored += dups
-	counter.Add(1)
-	switch resp.Mode {
-	case "incremental":
-		s.incremental.Add(1)
-	case "recompute":
-		s.recomputes.Add(1)
+	// The committer replies exactly once, even to cancelled requests
+	// (it observes ctx itself), so this receive cannot leak.
+	res := <-creq.done
+	if res.err != nil {
+		// On failure the committer rolled the authoritative database
+		// back to the pre-request fixpoint (rebuilding from the EDB when
+		// maintenance had already mutated it); if even that repair
+		// failed, the session is dirty and the next update recomputes
+		// first. Readers are unaffected: the old snapshot stays
+		// published.
+		writeErr(w, res.status, res.code, "update: %v", res.err)
+		return
 	}
-	s.snap.Store(s.sess.db.Snapshot())
-	s.addEvalStats(resp.Stats)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, res.resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Queries:       s.queries.Load(),
 		Rejected:      s.rejected.Load(),
-		Inserts:       s.inserts.Load(),
-		Deletes:       s.deletes.Load(),
-		Incremental:   s.incremental.Load(),
-		Recomputes:    s.recomputes.Load(),
+		Sessions:      len(s.sessionNames()),
 	}
-	s.statsMu.Lock()
-	resp.Eval = s.evalStats
-	s.statsMu.Unlock()
-	s.mu.Lock()
-	if s.sess != nil {
+	if sess := s.session(DefaultSession); sess != nil {
+		st := sess.stats()
 		resp.Loaded = true
-		resp.Rules = s.sess.rules
-		resp.Optimized = s.sess.optimized
-	}
-	s.mu.Unlock()
-	if db := s.snap.Load(); db != nil {
-		resp.Relations = db.Sizes()
+		resp.Rules = st.Rules
+		resp.Optimized = st.Optimized
+		resp.Queries = st.Queries
+		resp.Inserts = st.Inserts
+		resp.Deletes = st.Deletes
+		resp.Incremental = st.Incremental
+		resp.Recomputes = st.Recomputes
+		resp.Batches = st.Batches
+		resp.BatchedWrites = st.BatchedWrites
+		resp.Relations = st.Relations
+		resp.Eval = st.Eval
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) addEvalStats(st eval.Stats) {
-	s.statsMu.Lock()
-	s.evalStats.Add(st)
-	s.statsMu.Unlock()
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sess := s.session(name)
+	if sess == nil {
+		missingSession(w, name, false)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.stats())
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	resp := ServerStatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Rejected:      s.rejected.Load(),
+		WriteRejected: s.writeRejected.Load(),
+		Metrics:       s.metrics.Snapshot(),
+	}
+	for _, sess := range s.allSessions() {
+		resp.Sessions = append(resp.Sessions, sess.stats())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	names := s.sessionNames()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, SessionListResponse{Sessions: names})
+}
+
+func (s *Server) handleSessionDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.dropSession(name) {
+		missingSession(w, name, false)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // querySnapshot matches a goal against an immutable snapshot. It is

@@ -21,9 +21,27 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(cfg).Handler())
-	t.Cleanup(ts.Close)
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return ts
+}
+
+// mustFacts parses and validates an update payload against a session.
+func mustFacts(t *testing.T, sess *session, src string) []groundFact {
+	t.Helper()
+	facts, err := parseFactsSrc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, _, err = validateFacts(sess.prog.Load(), sess.db, nil, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return facts
 }
 
 // call posts a JSON request and decodes the JSON reply into out (which
@@ -599,20 +617,18 @@ func TestDuplicateFactsInOneRequest(t *testing.T) {
 // reverted, IDB rebuilt — so later incremental updates stay sound.
 func TestCancelledUpdateRollsBack(t *testing.T) {
 	s := New(Config{})
+	defer s.Close()
 	if _, err := s.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
 		t.Fatal(err)
 	}
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess := s.sess
+	sess := s.session(DefaultSession)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 
-	facts, _, err := sess.parseGroundFacts("edge(c, d).")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.insert(cancelled, sess, facts); err == nil {
+	facts := mustFacts(t, sess, "edge(c, d).")
+	if _, err := sess.insertOne(cancelled, facts); err == nil {
 		t.Fatal("cancelled insert should fail")
 	}
 	if sess.dirty {
@@ -625,11 +641,8 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 		t.Fatalf("tc has %d tuples after insert rollback, want 3", n)
 	}
 
-	facts, _, err = sess.parseGroundFacts("edge(b, c).")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.remove(cancelled, sess, facts); err == nil {
+	facts = mustFacts(t, sess, "edge(b, c).")
+	if _, err := sess.removeOne(cancelled, facts); err == nil {
 		t.Fatal("cancelled delete should fail")
 	}
 	if sess.dirty {
@@ -643,8 +656,8 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	}
 
 	// The rolled-back session still serves incremental updates.
-	facts, _, _ = sess.parseGroundFacts("edge(c, d).")
-	resp, err := s.insert(context.Background(), sess, facts)
+	facts = mustFacts(t, sess, "edge(c, d).")
+	resp, err := sess.insertOne(context.Background(), facts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -661,23 +674,21 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 // rebuild from the EDB instead of trusting incremental maintenance.
 func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 	s := New(Config{})
+	defer s.Close()
 	if _, err := s.Load(context.Background(), LoadRequest{Program: tcSrc}); err != nil {
 		t.Fatal(err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess := s.sess
+	sess := s.session(DefaultSession)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 
 	// Simulate an update whose rollback failed: EDB mutated behind the
 	// IDB's back, dirty set.
 	sess.db.Ensure("edge", 2).Insert(storage.Tuple{ast.Sym("c"), ast.Sym("d")})
 	sess.dirty = true
 
-	facts, _, err := sess.parseGroundFacts("edge(d, e).")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := s.insert(context.Background(), sess, facts)
+	facts := mustFacts(t, sess, "edge(d, e).")
+	resp, err := sess.insertOne(context.Background(), facts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -693,11 +704,8 @@ func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 
 	// The delete path repairs too, even when the payload is a no-op.
 	sess.dirty = true
-	facts, _, err = sess.parseGroundFacts("edge(z, z).")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err = s.remove(context.Background(), sess, facts)
+	facts = mustFacts(t, sess, "edge(z, z).")
+	resp, err = sess.removeOne(context.Background(), facts)
 	if err != nil {
 		t.Fatal(err)
 	}

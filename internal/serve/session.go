@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -13,35 +15,209 @@ import (
 	"repro/internal/storage"
 )
 
-// session is the mutable state behind one loaded program. All fields
-// are guarded by the server's writer mutex; readers only ever see the
-// published snapshots.
-type session struct {
-	active *ast.Program    // the program evaluation runs (optimized when requested)
-	idb    map[string]bool // predicates derived by active rules; not updatable via the API
-	db     *storage.Database
-	// seedIDB preserves ground facts the source program stated for
-	// derived predicates. The update API cannot touch them, so a full
-	// recomputation re-seeds the IDB from this frozen copy.
-	seedIDB   map[string]*storage.Relation
+// loadedProgram is the immutable compiled side of a session: swapped
+// atomically on (re)load so request validation can read it without the
+// session mutex.
+type loadedProgram struct {
+	active    *ast.Program    // the program evaluation runs (optimized when requested)
+	idb       map[string]bool // predicates derived by active rules; not updatable via the API
 	rules     int
 	ics       int
 	optimized bool
+}
+
+// session is one named program served by the daemon: an authoritative
+// database behind a writer mutex, an atomically published
+// copy-on-write snapshot for lock-free reads, a commit queue drained
+// by a dedicated committer goroutine (see batch.go), and a
+// snapshot-generation keyed query cache.
+type session struct {
+	name string
+	srv  *Server
+
+	prog atomic.Pointer[loadedProgram]
+
+	// mu guards db, seedIDB and dirty. It is held by the committer for
+	// the duration of one batch and by (re)loads while swapping state.
+	mu sync.Mutex
+	db *storage.Database
+	// seedIDB preserves ground facts the source program stated for
+	// derived predicates. The update API cannot touch them, so a full
+	// recomputation re-seeds the IDB from this frozen copy.
+	seedIDB map[string]*storage.Relation
 	// dirty records that a failed update could not be rolled back, so db
 	// is not at fixpoint. Incremental maintenance assumes a fixpoint
 	// database; while dirty, the next update (even a no-op) must rebuild
 	// from the EDB before incremental maintenance resumes. Readers are
 	// never exposed: snapshots are only published after a full success.
 	dirty bool
+
+	snap atomic.Pointer[storage.Database]
+
+	// qmu makes enqueue-vs-close atomic: once qclosed is set no new
+	// request can enter the queue, so the committer's final drain after
+	// closed fires is race-free.
+	qmu     sync.Mutex
+	qclosed bool
+	queue   chan *commitReq
+	closed  chan struct{}
+
+	cache *queryCache
+
+	queries, inserts, deletes atomic.Int64
+	incremental, recomputes   atomic.Int64
+	batches, batchedWrites    atomic.Int64
+	maxBatch                  atomic.Int64
+	cacheHits, cacheMisses    atomic.Int64
+
+	statsMu   sync.Mutex
+	evalStats eval.Stats
 }
 
-// loadSession parses src, optionally optimizes, and evaluates the
-// initial fixpoint. It touches no server state, so a failed load keeps
-// the previous program serving.
-func (s *Server) loadSession(ctx context.Context, req LoadRequest) (*session, *LoadResponse, error) {
+var (
+	errSessionClosed = errors.New("session deleted while the request was queued")
+	errQueueFull     = errors.New("write queue full")
+)
+
+// newSession creates an empty session shell and starts its committer.
+// The caller installs program state via installProgram before the
+// session is reachable from the registry.
+func newSession(srv *Server, name string) *session {
+	sess := &session{
+		name:   name,
+		srv:    srv,
+		queue:  make(chan *commitReq, srv.cfg.MaxPendingWrites),
+		closed: make(chan struct{}),
+		cache:  newQueryCache(srv.cfg.QueryCache),
+	}
+	go srv.committer(sess)
+	return sess
+}
+
+// close shuts the session's write pipeline down: no new request can
+// enqueue, and the committer drains anything already queued with
+// CodeSessionClosed before exiting. Idempotent.
+func (sess *session) close() {
+	sess.qmu.Lock()
+	defer sess.qmu.Unlock()
+	if !sess.qclosed {
+		sess.qclosed = true
+		close(sess.closed)
+	}
+}
+
+func (sess *session) isClosed() bool {
+	sess.qmu.Lock()
+	defer sess.qmu.Unlock()
+	return sess.qclosed
+}
+
+// enqueue adds a write request to the commit queue. It fails with
+// errSessionClosed after close and errQueueFull when the bounded queue
+// is at capacity (the caller answers 503 with a depth-derived
+// Retry-After).
+func (sess *session) enqueue(req *commitReq) error {
+	sess.qmu.Lock()
+	defer sess.qmu.Unlock()
+	if sess.qclosed {
+		return errSessionClosed
+	}
+	select {
+	case sess.queue <- req:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// publish makes the current authoritative database visible to readers
+// as a fresh copy-on-write snapshot. Caller holds mu.
+func (sess *session) publish() {
+	sess.snap.Store(sess.db.Snapshot())
+}
+
+// engine builds an evaluation engine honoring the server's parallelism
+// and tracer configuration. Full fixpoints (load, recompute) use the
+// parallel workers; the maintenance loops are sequential by design —
+// deltas are small, so round startup cost would dominate.
+func (sess *session) engine(prog *ast.Program, db *storage.Database) *eval.Engine {
+	e := eval.New(prog, db)
+	if sess.srv.cfg.Parallel != 0 {
+		e.SetParallel(sess.srv.cfg.Parallel)
+	}
+	e.SetTracer(sess.srv.cfg.Tracer)
+	return e
+}
+
+func (sess *session) addEvalStats(st eval.Stats) {
+	sess.statsMu.Lock()
+	sess.evalStats.Add(st)
+	sess.statsMu.Unlock()
+}
+
+// countWrite bumps the request-kind counter.
+func (sess *session) countWrite(isInsert bool) {
+	if isInsert {
+		sess.inserts.Add(1)
+	} else {
+		sess.deletes.Add(1)
+	}
+}
+
+// noteBatch records one commit group of n write requests.
+func (sess *session) noteBatch(n int) {
+	sess.batches.Add(1)
+	sess.batchedWrites.Add(int64(n))
+	for {
+		cur := sess.maxBatch.Load()
+		if int64(n) <= cur || sess.maxBatch.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	m := sess.srv
+	m.mBatches.Inc()
+	m.mBatchedWrites.Add(int64(n))
+	m.mMaxBatch.Max(int64(n))
+}
+
+// stats snapshots the session's counters.
+func (sess *session) stats() SessionStats {
+	st := SessionStats{
+		Name:          sess.name,
+		Queries:       sess.queries.Load(),
+		Inserts:       sess.inserts.Load(),
+		Deletes:       sess.deletes.Load(),
+		Incremental:   sess.incremental.Load(),
+		Recomputes:    sess.recomputes.Load(),
+		Batches:       sess.batches.Load(),
+		BatchedWrites: sess.batchedWrites.Load(),
+		MaxBatch:      sess.maxBatch.Load(),
+		QueueDepth:    len(sess.queue),
+		CacheHits:     sess.cacheHits.Load(),
+		CacheMisses:   sess.cacheMisses.Load(),
+		CacheSize:     sess.cache.size(),
+	}
+	if p := sess.prog.Load(); p != nil {
+		st.Rules = p.rules
+		st.Optimized = p.optimized
+	}
+	if db := sess.snap.Load(); db != nil {
+		st.Relations = db.Sizes()
+		st.Generation = db.Generation()
+	}
+	sess.statsMu.Lock()
+	st.Eval = sess.evalStats
+	sess.statsMu.Unlock()
+	return st
+}
+
+// buildProgram parses src, optionally optimizes, and evaluates the
+// initial fixpoint into a fresh database. It touches no server or
+// session state, so a failed load keeps the previous program serving.
+func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProgram, *storage.Database, map[string]*storage.Relation, *LoadResponse, error) {
 	parsed, err := parser.Parse(req.Program)
 	if err != nil {
-		return nil, nil, fmt.Errorf("parse: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("parse: %w", err)
 	}
 	db := storage.NewDatabase()
 	var rules []ast.Rule
@@ -67,7 +243,7 @@ func (s *Server) loadSession(ctx context.Context, req LoadRequest) (*session, *L
 			Tracer:  s.cfg.Tracer,
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("optimize: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("optimize: %w", err)
 		}
 		active = res.Optimized
 		resp.Optimized = true
@@ -77,122 +253,164 @@ func (s *Server) loadSession(ctx context.Context, req LoadRequest) (*session, *L
 		}
 	}
 
-	sess := &session{
+	lp := &loadedProgram{
 		active:    active,
 		idb:       active.IDBPreds(),
-		db:        db,
-		seedIDB:   map[string]*storage.Relation{},
 		rules:     len(rules),
 		ics:       len(parsed.ICs),
 		optimized: resp.Optimized,
 	}
 	// Facts stated for derived predicates are part of the program, not
 	// of the updatable EDB; freeze them for recomputation.
+	seedIDB := map[string]*storage.Relation{}
 	edbTuples := 0
 	for _, p := range db.Preds() {
-		if sess.idb[p] {
-			sess.seedIDB[p] = db.Relation(p).Clone()
+		if lp.idb[p] {
+			seedIDB[p] = db.Relation(p).Clone()
 		} else {
 			edbTuples += db.Count(p)
 		}
 	}
 
-	eng := s.engine(active, db)
+	eng := eval.New(active, db)
+	if s.cfg.Parallel != 0 {
+		eng.SetParallel(s.cfg.Parallel)
+	}
+	eng.SetTracer(s.cfg.Tracer)
 	if err := eng.RunContext(ctx); err != nil {
-		return nil, nil, fmt.Errorf("evaluate: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("evaluate: %w", err)
 	}
 	resp.Stats = eng.Stats()
 	resp.EDBTuples = edbTuples
 	resp.IDBTuples = db.TotalTuples() - edbTuples
-	return sess, resp, nil
+	return lp, db, seedIDB, resp, nil
 }
 
-// parseGroundFacts parses an update payload and rejects anything that
-// is not a ground fact over an extensional predicate. The whole payload
-// is validated — including arity against existing relations, and
-// within-request consistency for predicates the database has not seen —
-// before the caller mutates anything, so a malformed request is refused
-// without side effects. Repeated tuples are dropped; the second return
-// is the number of duplicates, so response counters can reflect
-// distinct tuples.
-func (sess *session) parseGroundFacts(src string) (map[string][]storage.Tuple, int, error) {
+// groundFact is one parsed update fact, order-preserving so the
+// committer can replay a batch's requests in arrival order.
+type groundFact struct {
+	pred  string
+	tuple storage.Tuple
+}
+
+// parseFactsSrc parses an update payload and rejects anything that is
+// not a ground fact. Session-independent; EDB-membership and arity are
+// checked by validateFacts.
+func parseFactsSrc(src string) ([]groundFact, error) {
 	parsed, err := parser.Parse(src)
 	if err != nil {
-		return nil, 0, fmt.Errorf("parse: %w", err)
+		return nil, fmt.Errorf("parse: %w", err)
 	}
 	if len(parsed.ICs) > 0 {
-		return nil, 0, errors.New("updates cannot contain integrity constraints")
+		return nil, errors.New("updates cannot contain integrity constraints")
 	}
-	changed := map[string][]storage.Tuple{}
+	var out []groundFact
+	for _, r := range parsed.Program.Rules {
+		if !r.IsFact() {
+			return nil, fmt.Errorf("updates must be ground facts, got rule %s", r)
+		}
+		if !r.Head.IsGround() {
+			return nil, fmt.Errorf("updates must be ground, %s has variables", r.Head)
+		}
+		out = append(out, groundFact{pred: r.Head.Pred, tuple: storage.Tuple(r.Head.Args)})
+	}
+	return out, nil
+}
+
+// validateFacts checks a parsed payload against a program and database
+// view: only extensional predicates, arity consistent with existing
+// relations (or within the payload for new predicates, with extra
+// overrides from earlier batch members via arityOver), and repeated
+// tuples dropped. The whole payload is validated before the caller
+// mutates anything, so a malformed request is refused without side
+// effects. Returns the deduplicated facts in order plus the duplicate
+// count, so response counters can reflect distinct tuples.
+//
+// Handlers validate against the published snapshot for fast failure;
+// the committer re-validates against the authoritative database (and
+// the current program) at commit time, which is the authoritative
+// check — the program may have been reloaded in between.
+func validateFacts(p *loadedProgram, db *storage.Database, arityOver map[string]int, facts []groundFact) ([]groundFact, int, error) {
 	seen := map[string]*storage.TupleSet{}
 	arity := map[string]int{}
 	dups := 0
-	for _, r := range parsed.Program.Rules {
-		if !r.IsFact() {
-			return nil, 0, fmt.Errorf("updates must be ground facts, got rule %s", r)
+	out := make([]groundFact, 0, len(facts))
+	for _, f := range facts {
+		if p != nil && p.idb[f.pred] {
+			return nil, 0, fmt.Errorf("%s is derived by the program; only extensional predicates can be updated", f.pred)
 		}
-		if !r.Head.IsGround() {
-			return nil, 0, fmt.Errorf("updates must be ground, %s has variables", r.Head)
-		}
-		p := r.Head.Pred
-		if sess.idb[p] {
-			return nil, 0, fmt.Errorf("%s is derived by the program; only extensional predicates can be updated", p)
-		}
-		t := storage.Tuple(r.Head.Args)
-		want, ok := arity[p]
+		want, ok := arity[f.pred]
 		if !ok {
-			if rel := sess.db.Relation(p); rel != nil {
+			if rel := relationOf(db, f.pred); rel != nil {
 				want = rel.Arity
+			} else if a, over := arityOver[f.pred]; over {
+				want = a
 			} else {
-				want = len(t)
+				want = len(f.tuple)
 			}
-			arity[p] = want
+			arity[f.pred] = want
 		}
-		if len(t) != want {
-			return nil, 0, fmt.Errorf("%s has arity %d, fact %s has %d", p, want, r.Head, len(t))
+		if len(f.tuple) != want {
+			return nil, 0, fmt.Errorf("%s has arity %d, fact %s%s has %d", f.pred, want, f.pred, f.tuple, len(f.tuple))
 		}
-		set := seen[p]
+		set := seen[f.pred]
 		if set == nil {
 			set = storage.NewTupleSet()
-			seen[p] = set
+			seen[f.pred] = set
 		}
-		if !set.Add(t) {
+		if !set.Add(f.tuple) {
 			dups++
 			continue
 		}
-		changed[p] = append(changed[p], t)
+		out = append(out, f)
 	}
-	return changed, dups, nil
+	return out, dups, nil
 }
 
-// insert applies ground facts (pre-validated by parseGroundFacts) and
-// maintains the IDB. Caller holds the writer mutex. A failed insert
-// applies nothing: every error path restores the pre-request fixpoint
-// via rollback, and only if that repair itself fails does the session
-// stay dirty for the next update to rebuild.
-func (s *Server) insert(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error) {
+func relationOf(db *storage.Database, pred string) *storage.Relation {
+	if db == nil {
+		return nil
+	}
+	return db.Relation(pred)
+}
+
+// factsMap groups ordered facts by predicate.
+func factsMap(facts []groundFact) map[string][]storage.Tuple {
+	out := map[string][]storage.Tuple{}
+	for _, f := range facts {
+		out[f.pred] = append(out[f.pred], f.tuple)
+	}
+	return out
+}
+
+// insertOne applies one request's facts (pre-validated) and maintains
+// the IDB — the per-request path used for solo commits, dirty
+// sessions, and poisoned-batch isolation. Caller holds mu. A failed
+// insert applies nothing: every error path restores the pre-request
+// fixpoint via rollback, and only if that repair itself fails does the
+// session stay dirty for the next update to rebuild.
+func (sess *session) insertOne(ctx context.Context, facts []groundFact) (*UpdateResponse, error) {
 	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
 	added := map[string][]storage.Tuple{}
-	for p, ts := range facts {
-		rel := sess.db.Ensure(p, len(ts[0]))
-		for _, t := range ts {
-			if rel.Insert(t) {
-				sess.dirty = true // out of fixpoint until maintenance lands
-				added[p] = append(added[p], t)
-				resp.Applied++
-			} else {
-				resp.Ignored++
-			}
+	for _, f := range facts {
+		rel := sess.db.Ensure(f.pred, len(f.tuple))
+		if rel.Insert(f.tuple) {
+			sess.dirty = true // out of fixpoint until maintenance lands
+			added[f.pred] = append(added[f.pred], f.tuple)
+			resp.Applied++
+		} else {
+			resp.Ignored++
 		}
 	}
 	if !sess.dirty {
 		return resp, nil // nothing changed and the fixpoint is intact
 	}
 	if wasDirty {
-		return s.repair(ctx, sess, resp)
+		return sess.repair(ctx, resp)
 	}
-	eng := s.engine(sess.active, sess.db)
+	p := sess.prog.Load()
+	eng := sess.engine(p.active, sess.db)
 	err := eng.RunDeltaContext(ctx, added)
 	switch {
 	case err == nil:
@@ -201,37 +419,34 @@ func (s *Server) insert(ctx context.Context, sess *session, facts map[string][]s
 		resp.Stats = eng.Stats()
 	case errors.Is(err, eval.ErrNeedsRecompute):
 		resp.Mode = "recompute"
-		st, rerr := s.recompute(ctx, sess)
+		st, rerr := sess.recompute(ctx)
 		if rerr != nil {
-			return nil, s.rollback(sess, added, nil, rerr)
+			return nil, sess.rollback(added, nil, rerr)
 		}
 		sess.dirty = false
 		resp.Stats = st
 	default:
 		// The delta loop may have derived part of the new cone before
 		// failing; revert this request's tuples and rebuild.
-		return nil, s.rollback(sess, added, nil, err)
+		return nil, sess.rollback(added, nil, err)
 	}
 	return resp, nil
 }
 
-// remove deletes ground facts (pre-validated by parseGroundFacts) and
-// maintains the IDB via delete-and-rederive. Caller holds the writer
-// mutex. Like insert, a failed delete applies nothing unless even the
-// rollback repair fails.
-func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]storage.Tuple) (*UpdateResponse, error) {
+// removeOne deletes one request's facts (pre-validated) and maintains
+// the IDB via delete-and-rederive. Caller holds mu. Like insertOne, a
+// failed delete applies nothing unless even the rollback repair fails.
+func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*UpdateResponse, error) {
 	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
 	present := map[string][]storage.Tuple{}
-	for p, ts := range facts {
-		rel := sess.db.Relation(p)
-		for _, t := range ts {
-			if rel != nil && rel.Contains(t) {
-				present[p] = append(present[p], t)
-				resp.Applied++
-			} else {
-				resp.Ignored++
-			}
+	for _, f := range facts {
+		rel := sess.db.Relation(f.pred)
+		if rel != nil && rel.Contains(f.tuple) {
+			present[f.pred] = append(present[f.pred], f.tuple)
+			resp.Applied++
+		} else {
+			resp.Ignored++
 		}
 	}
 	if len(present) == 0 && !wasDirty {
@@ -244,10 +459,11 @@ func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]s
 				rel.Remove(t)
 			}
 		}
-		return s.repair(ctx, sess, resp)
+		return sess.repair(ctx, resp)
 	}
 	sess.dirty = true // delete-and-rederive mutates on its way to fixpoint
-	eng := s.engine(sess.active, sess.db)
+	p := sess.prog.Load()
+	eng := sess.engine(p.active, sess.db)
 	over, err := eng.DeleteAndRederiveContext(ctx, present)
 	switch {
 	case err == nil:
@@ -265,16 +481,16 @@ func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]s
 				rel.Remove(t)
 			}
 		}
-		st, rerr := s.recompute(ctx, sess)
+		st, rerr := sess.recompute(ctx)
 		if rerr != nil {
-			return nil, s.rollback(sess, nil, present, rerr)
+			return nil, sess.rollback(nil, present, rerr)
 		}
 		sess.dirty = false
 		resp.Stats = st
 	default:
 		// Over-deletion or re-derivation stopped partway; restore the
 		// EDB tuples and rebuild.
-		return nil, s.rollback(sess, nil, present, err)
+		return nil, sess.rollback(nil, present, err)
 	}
 	return resp, nil
 }
@@ -287,7 +503,7 @@ func (s *Server) remove(ctx context.Context, sess *session, facts map[string][]s
 // is clean again; if even the rebuild fails the session stays dirty and
 // the next update recomputes before any incremental maintenance. The
 // caller's error is returned unchanged for the response.
-func (s *Server) rollback(sess *session, inserted, deleted map[string][]storage.Tuple, cause error) error {
+func (sess *session) rollback(inserted, deleted map[string][]storage.Tuple, cause error) error {
 	for p, ts := range inserted {
 		rel := sess.db.Relation(p)
 		for _, t := range ts {
@@ -300,7 +516,7 @@ func (s *Server) rollback(sess *session, inserted, deleted map[string][]storage.
 			rel.Insert(t)
 		}
 	}
-	if _, err := s.recompute(context.Background(), sess); err == nil {
+	if _, err := sess.recompute(context.Background()); err == nil {
 		sess.dirty = false
 	}
 	return cause
@@ -311,9 +527,9 @@ func (s *Server) rollback(sess *session, inserted, deleted map[string][]storage.
 // trusted, so the only sound move is a full rebuild from the EDB. Note
 // this runs even when the request itself was a no-op — any update
 // heals a dirty session.
-func (s *Server) repair(ctx context.Context, sess *session, resp *UpdateResponse) (*UpdateResponse, error) {
+func (sess *session) repair(ctx context.Context, resp *UpdateResponse) (*UpdateResponse, error) {
 	resp.Mode = "recompute"
-	st, err := s.recompute(ctx, sess)
+	st, err := sess.recompute(ctx)
 	if err != nil {
 		return nil, err // still dirty; the next update tries again
 	}
@@ -327,34 +543,22 @@ func (s *Server) repair(ctx context.Context, sess *session, resp *UpdateResponse
 // facts), evaluated to fixpoint, replaces the session database. Used
 // when an update reaches a negated predicate and incremental
 // maintenance would be unsound.
-func (s *Server) recompute(ctx context.Context, sess *session) (eval.Stats, error) {
+func (sess *session) recompute(ctx context.Context) (eval.Stats, error) {
+	p := sess.prog.Load()
 	fresh := storage.NewDatabase()
-	for _, p := range sess.db.Preds() {
-		if sess.idb[p] {
+	for _, pred := range sess.db.Preds() {
+		if p.idb[pred] {
 			continue
 		}
-		fresh.Replace(sess.db.Relation(p).Clone())
+		fresh.Replace(sess.db.Relation(pred).Clone())
 	}
 	for _, rel := range sess.seedIDB {
 		fresh.Replace(rel.Clone())
 	}
-	eng := s.engine(sess.active, fresh)
+	eng := sess.engine(p.active, fresh)
 	if err := eng.RunContext(ctx); err != nil {
 		return eng.Stats(), err
 	}
 	sess.db = fresh
 	return eng.Stats(), nil
-}
-
-// engine builds an evaluation engine honoring the server's parallelism
-// and tracer configuration. Full fixpoints (load, recompute) use the
-// parallel workers; the maintenance loops are sequential by design —
-// deltas are small, so round startup cost would dominate.
-func (s *Server) engine(prog *ast.Program, db *storage.Database) *eval.Engine {
-	e := eval.New(prog, db)
-	if s.cfg.Parallel != 0 {
-		e.SetParallel(s.cfg.Parallel)
-	}
-	e.SetTracer(s.cfg.Tracer)
-	return e
 }

@@ -267,3 +267,36 @@ func TestSnapshotIsShallow(t *testing.T) {
 		t.Fatal("Snapshot deep-copied tuple storage")
 	}
 }
+
+// TestSnapshotGenerations: every snapshot gets a process-unique,
+// strictly increasing generation; live databases and clones report 0.
+// Uniqueness must survive the database being rebuilt (the service swaps
+// in a fresh database on recompute), which is why the counter is
+// package-level, not per-database.
+func TestSnapshotGenerations(t *testing.T) {
+	db := NewDatabase()
+	db.Ensure("e", 1).Insert(itup(1))
+	if g := db.Generation(); g != 0 {
+		t.Fatalf("live database generation = %d, want 0", g)
+	}
+
+	s1 := db.Snapshot()
+	s2 := db.Snapshot()
+	if s1.Generation() == 0 || s2.Generation() == 0 {
+		t.Fatal("snapshots must carry a nonzero generation")
+	}
+	if s2.Generation() <= s1.Generation() {
+		t.Fatalf("generations not increasing: %d then %d", s1.Generation(), s2.Generation())
+	}
+
+	// A different database's snapshots never collide with ours.
+	other := NewDatabase()
+	other.Ensure("e", 1).Insert(itup(2))
+	s3 := other.Snapshot()
+	if s3.Generation() == s1.Generation() || s3.Generation() == s2.Generation() {
+		t.Fatalf("generation collision across databases: %d", s3.Generation())
+	}
+	if s3.Generation() <= s2.Generation() {
+		t.Fatalf("generations not globally increasing: %d then %d", s2.Generation(), s3.Generation())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ast"
 )
@@ -465,10 +466,28 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// snapshotGen issues process-wide unique, monotonically increasing
+// snapshot generation numbers. A package-level counter (rather than a
+// per-database one) keeps generations unique even when a service
+// rebuilds a session database from scratch and resumes snapshotting
+// from the fresh copy — a cache keyed by generation can never confuse
+// a new database's snapshot with an older one's.
+var snapshotGen atomic.Uint64
+
 // Database is a catalog of relations keyed by predicate name.
 type Database struct {
 	rels map[string]*Relation
+	// gen is the generation stamp assigned when this database was
+	// produced by Snapshot; 0 on live (mutable) databases and clones.
+	gen uint64
 }
+
+// Generation returns the snapshot generation stamp: a process-wide
+// unique, strictly increasing number assigned by Snapshot. Live
+// databases report 0. Two snapshots with equal generation are the same
+// snapshot, so a cached result tagged with a generation stays valid
+// exactly while that snapshot is the published one.
+func (db *Database) Generation() uint64 { return db.gen }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database { return &Database{rels: make(map[string]*Relation)} }
@@ -568,6 +587,7 @@ func (db *Database) Remove(pred string, vals ...ast.Term) bool {
 // snapshot per committed update batch and serves all reads from it.
 func (db *Database) Snapshot() *Database {
 	out := NewDatabase()
+	out.gen = snapshotGen.Add(1)
 	for p, r := range db.rels {
 		out.rels[p] = r.snapshotRef()
 	}
