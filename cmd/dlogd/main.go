@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -94,6 +95,10 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		"per-session query-result cache entries (negative disables)")
 	pprofOn := fs.Bool("expose-pprof", false, "mount net/http/pprof on the service listener (obs's -pprof ADDR serves it on a separate one)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+	dataDir := fs.String("data-dir", "", "durability root: sessions are write-ahead logged and checkpointed here, and recovered from it at startup (empty = fully in-memory)")
+	fsync := fs.Bool("fsync", true, "fsync the write-ahead log before acknowledging each write (only meaningful with -data-dir; false trades crash-durability of the latest writes for throughput)")
+	checkpointEvery := fs.Int("checkpoint-every", durable.DefaultCheckpointEvery,
+		"committed batches between automatic snapshot checkpoints (only meaningful with -data-dir)")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,7 +108,7 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		return err
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Parallel:             *parallel,
 		MaxConcurrentQueries: *maxQueries,
 		MaxPendingWrites:     *maxPendingWrites,
@@ -112,8 +117,38 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		QueryCache:           *queryCache,
 		Tracer:               tracer,
 		EnablePprof:          *pprofOn,
-	})
+	}
+	if *dataDir != "" {
+		cfg.Durability = &durable.Options{
+			Dir:             *dataDir,
+			Fsync:           *fsync,
+			CheckpointEvery: *checkpointEvery,
+		}
+	}
+	srv := serve.New(cfg)
 	defer srv.Close()
+
+	// Recover persisted sessions before anything else touches the
+	// registry: the checkpoint + replayed WAL tail is the authoritative
+	// state, including every acknowledged write since the last
+	// checkpoint.
+	recovered := map[string]bool{}
+	if *dataDir != "" {
+		reports, err := srv.RecoverSessions(context.Background())
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		for _, rep := range reports {
+			if rep.Err != "" {
+				fmt.Fprintf(logw, "dlogd: session %s NOT recovered: %s\n", rep.Session, rep.Err)
+				continue
+			}
+			recovered[rep.Session] = true
+			fmt.Fprintf(logw, "dlogd: recovered session %s at seq %d (%d batches replayed: %d incremental, %d recomputed%s)\n",
+				rep.Session, rep.Seq, rep.ReplayedBatches, rep.ReplayedIncr, rep.ReplayedRecomp,
+				map[bool]string{true: ", torn tail truncated"}[rep.TornTail])
+		}
+	}
 
 	var smallPreds []string
 	for _, p := range strings.Split(*small, ",") {
@@ -122,6 +157,14 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		}
 	}
 	for _, pa := range programs {
+		if recovered[pa.session] {
+			// The durable state already contains this session's program
+			// plus every acknowledged write; reloading the file would
+			// silently discard those writes.
+			fmt.Fprintf(logw, "dlogd: session %s recovered from %s; skipping -program %s\n",
+				pa.session, *dataDir, pa.path)
+			continue
+		}
 		src, err := os.ReadFile(pa.path)
 		if err != nil {
 			return err

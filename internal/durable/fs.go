@@ -1,0 +1,92 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the write side of one durable-layer file. Sync must not
+// return until everything written so far is on stable storage (the
+// fsync contract the WAL relies on before acknowledging a batch).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the handful of file operations the durable layer
+// performs, so tests can substitute a deterministic in-memory
+// implementation with fault injection (testutil.FaultFS) for the real
+// thing. All paths are slash-joined by the callers; implementations
+// must treat them opaquely.
+type FS interface {
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the immediate children of dir (files and
+	// directories, names only). A missing dir is not an error: it
+	// lists as empty.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (not a directory tree).
+	Remove(name string) error
+	// RemoveAll deletes a whole directory tree.
+	RemoveAll(dir string) error
+	// Truncate cuts name down to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata so renames and creates in dir
+	// are themselves durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: direct os calls.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+func (OSFS) RemoveAll(dir string) error           { return os.RemoveAll(dir) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,114 @@
+package durable
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden v1 format files in testdata/")
+
+// goldenSnapshot and goldenSegment build the canonical v1 artifacts.
+// They must stay byte-for-byte reproducible: the encoders are
+// deterministic (sorted predicates, sorted tuples, fixed meta order).
+func goldenSnapshot(t testing.TB) []byte {
+	b, err := EncodeSnapshot(testSnapshot(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func goldenSegment() []byte {
+	seg := []byte(walMagic)
+	seg = appendFrame(seg, EncodeBatch(&Batch{
+		Seq: 43,
+		Ins: map[string][]storage.Tuple{"edge": {tup("c", "d"), tup("d", "e")}, "num": {tup(-7), tup(1 << 40)}},
+	}))
+	seg = appendFrame(seg, EncodeBatch(&Batch{
+		Seq: 44,
+		Del: map[string][]storage.Tuple{"edge": {tup("a", "b")}},
+	}))
+	return seg
+}
+
+// TestGoldenFormat pins the on-disk v1 framing: encoding today's
+// structures must reproduce the checked-in bytes exactly, and the
+// checked-in bytes must decode to the expected state. Any divergence
+// is a format break — recovery of existing data directories would
+// fail — and requires a version bump, not a golden update.
+func TestGoldenFormat(t *testing.T) {
+	cases := []struct {
+		file string
+		data []byte
+	}{
+		{"snapshot-v1.dlsn", goldenSnapshot(t)},
+		{"wal-v1.dlwl", goldenSegment()},
+	}
+	for _, c := range cases {
+		path := filepath.Join("testdata", c.file)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run go test -update): %v", err)
+		}
+		if !bytes.Equal(c.data, want) {
+			t.Errorf("%s: encoder output diverged from the v1 golden bytes (len %d vs %d); this breaks recovery of existing data dirs",
+				c.file, len(c.data), len(want))
+		}
+	}
+	if *updateGolden {
+		return
+	}
+
+	// The golden bytes must also still DECODE correctly — byte equality
+	// above proves the writer, this proves the reader against data
+	// written by past builds.
+	snapBytes, err := os.ReadFile(filepath.Join("testdata", "snapshot-v1.dlsn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(snapBytes)
+	if err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+	want := testSnapshot(42)
+	// Meta contains a slice, so compare the load-bearing scalars.
+	if snap.Meta.Session != want.Meta.Session || snap.Meta.Seq != want.Meta.Seq ||
+		snap.Meta.Program != want.Meta.Program || snap.Meta.Generation != want.Meta.Generation {
+		t.Fatalf("golden snapshot meta = %+v, want %+v", snap.Meta, want.Meta)
+	}
+	if !snap.DB.Equal(want.DB) {
+		t.Fatal("golden snapshot database differs from expected state")
+	}
+
+	segBytes, err := os.ReadFile(filepath.Join("testdata", "wal-v1.dlwl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, validLen, err := ScanSegment(segBytes)
+	if err != nil {
+		t.Fatalf("golden WAL no longer scans: %v", err)
+	}
+	if validLen != int64(len(segBytes)) || len(batches) != 2 {
+		t.Fatalf("golden WAL scan = %d batches, validLen %d of %d", len(batches), validLen, len(segBytes))
+	}
+	if batches[0].Seq != 43 || batches[1].Seq != 44 {
+		t.Fatalf("golden WAL seqs = %d, %d, want 43, 44", batches[0].Seq, batches[1].Seq)
+	}
+	if len(batches[0].Ins["edge"]) != 2 || len(batches[0].Ins["num"]) != 2 || len(batches[1].Del["edge"]) != 1 {
+		t.Fatalf("golden WAL deltas = %+v / %+v", batches[0], batches[1])
+	}
+}

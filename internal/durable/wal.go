@@ -1,0 +1,162 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// WAL segment format (version 1):
+//
+//	"DLWL" magic, 0x01 version byte
+//	frame 'B' (repeated): uint64 LE batch sequence number,
+//	    uvarint insert-predicate count, per predicate
+//	        (name, uvarint arity, uvarint tuple count, tuples),
+//	    uvarint delete-predicate count, same per-predicate layout
+//
+// Each 'B' frame is one committed batch's net EDB delta. A segment's
+// trailing bytes may be torn (the process died mid-append): ScanSegment
+// reports the length of the valid prefix, and recovery truncates the
+// file there instead of failing. Batch sequence numbers are assigned by
+// the committer and are strictly increasing across a session's life,
+// which is what makes replay exactly-at-most-once: records at or below
+// the snapshot's sequence are skipped, and a sequence gap ends the
+// usable prefix.
+
+// walMagic is the WAL segment header: magic plus format version.
+var walMagic = []byte("DLWL\x01")
+
+// WALSuffix is the WAL segment file extension.
+const WALSuffix = ".dlwl"
+
+// Batch is one committed group's net effect on the extensional
+// database. Ins and Del are disjoint by construction (the committer
+// coalesces opposing requests before logging).
+type Batch struct {
+	Seq uint64
+	Ins map[string][]storage.Tuple
+	Del map[string][]storage.Tuple
+}
+
+const recBatch = 'B'
+
+// EncodeBatch renders one WAL record payload (without framing).
+// Predicate order is sorted, so identical deltas encode identically.
+func EncodeBatch(b *Batch) []byte {
+	out := []byte{recBatch}
+	out = binary.LittleEndian.AppendUint64(out, b.Seq)
+	out = appendDelta(out, b.Ins)
+	out = appendDelta(out, b.Del)
+	return out
+}
+
+func appendDelta(dst []byte, delta map[string][]storage.Tuple) []byte {
+	preds := make([]string, 0, len(delta))
+	for p := range delta {
+		if len(delta[p]) > 0 {
+			preds = append(preds, p)
+		}
+	}
+	sort.Strings(preds)
+	dst = binary.AppendUvarint(dst, uint64(len(preds)))
+	for _, p := range preds {
+		ts := delta[p]
+		dst = appendString(dst, p)
+		dst = binary.AppendUvarint(dst, uint64(len(ts[0])))
+		dst = binary.AppendUvarint(dst, uint64(len(ts)))
+		for _, t := range ts {
+			dst = appendTuple(dst, t)
+		}
+	}
+	return dst
+}
+
+// DecodeBatch parses one WAL record payload.
+func DecodeBatch(payload []byte) (*Batch, error) {
+	if len(payload) < 1 || payload[0] != recBatch {
+		return nil, errors.New("durable: not a WAL batch record")
+	}
+	r := &reader{b: payload[1:]}
+	b := &Batch{Seq: r.uint64()}
+	var err error
+	if b.Ins, err = decodeDelta(r); err != nil {
+		return nil, err
+	}
+	if b.Del, err = decodeDelta(r); err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, errors.New("durable: trailing bytes in WAL batch record")
+	}
+	return b, nil
+}
+
+func decodeDelta(r *reader) (map[string][]storage.Tuple, error) {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > uint64(r.remaining())+1 {
+		r.fail()
+		return nil, r.err
+	}
+	var delta map[string][]storage.Tuple
+	seen := map[string]bool{}
+	for i := uint64(0); i < n; i++ {
+		name, arity, count := r.relHeader()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("durable: duplicate predicate %s in WAL delta", name)
+		}
+		seen[name] = true
+		ts := make([]storage.Tuple, 0, count)
+		for j := 0; j < count; j++ {
+			t := r.tuple(arity)
+			if r.err != nil {
+				return nil, r.err
+			}
+			ts = append(ts, t)
+		}
+		if len(ts) > 0 {
+			if delta == nil {
+				delta = map[string][]storage.Tuple{}
+			}
+			delta[name] = ts
+		}
+	}
+	return delta, nil
+}
+
+// ScanSegment decodes one WAL segment file. It returns every batch in
+// the valid prefix and the prefix's byte length; validLen < len(b)
+// means the tail is torn (or corrupt) and should be truncated before
+// the segment is appended to again. Only a bad magic header is an
+// error — a segment with a readable header always yields a (possibly
+// empty) prefix.
+func ScanSegment(b []byte) (batches []*Batch, validLen int64, err error) {
+	if len(b) < len(walMagic) || string(b[:len(walMagic)]) != string(walMagic) {
+		return nil, 0, errors.New("durable: not a version-1 WAL segment")
+	}
+	off := len(walMagic)
+	for off < len(b) {
+		payload, n, ferr := nextFrame(b[off:])
+		if ferr != nil {
+			break // torn tail: valid prefix ends here
+		}
+		batch, derr := DecodeBatch(payload)
+		if derr != nil {
+			break // framed but unparsable: treat like a torn tail
+		}
+		batches = append(batches, batch)
+		off += n
+	}
+	return batches, int64(off), nil
+}

@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"context"
+
+	"repro/internal/storage"
+)
+
+// ReplayBatchContext applies one write-ahead-log batch during crash
+// recovery. It is BatchMaintainContext hardened for replay: logged
+// batches carry net deltas relative to the state they committed
+// against, but the recovery base (last checkpoint plus batches
+// replayed so far) can already hold part of a batch's effect — a
+// checkpoint is taken after its batches are logged, so a crash between
+// log append and checkpoint rename leaves both on disk. Inserts
+// already present and deletes already absent are therefore filtered
+// out first; what remains satisfies BatchMaintainContext's
+// preconditions exactly, and a batch whose net effect is empty returns
+// without running maintenance.
+func (e *Engine) ReplayBatchContext(ctx context.Context, inserted, deleted map[string][]storage.Tuple) (int, error) {
+	ins := make(map[string][]storage.Tuple, len(inserted))
+	for p, ts := range inserted {
+		rel := e.db.Relation(p)
+		keep := ts[:0:0]
+		for _, t := range ts {
+			if rel == nil || !rel.Contains(t) {
+				keep = append(keep, t)
+			}
+		}
+		if len(keep) > 0 {
+			ins[p] = keep
+		}
+	}
+	del := make(map[string][]storage.Tuple, len(deleted))
+	for p, ts := range deleted {
+		rel := e.db.Relation(p)
+		if rel == nil {
+			continue
+		}
+		keep := ts[:0:0]
+		for _, t := range ts {
+			if rel.Contains(t) {
+				keep = append(keep, t)
+			}
+		}
+		if len(keep) > 0 {
+			del[p] = keep
+		}
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		return 0, nil
+	}
+	return e.BatchMaintainContext(ctx, ins, del)
+}

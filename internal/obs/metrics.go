@@ -3,6 +3,7 @@ package obs
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics is a tiny named-counter registry, nil-safe like Tracer: a
@@ -88,4 +89,32 @@ func (c *Counter) Load() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Timer accumulates durations under a pair of counters: a call count
+// and total nanoseconds. Like Counter it is nil-safe, so durability
+// code can time fsyncs and replays unconditionally. The two counters
+// appear in the registry snapshot as "<name>.count" and "<name>.ns".
+type Timer struct {
+	count *Counter
+	ns    *Counter
+}
+
+// Timer returns the timer registered under name, creating its backing
+// counters on first use. Returns a nil timer on a nil registry (whose
+// Observe is a no-op).
+func (m *Metrics) Timer(name string) *Timer {
+	if m == nil {
+		return nil
+	}
+	return &Timer{count: m.Counter(name + ".count"), ns: m.Counter(name + ".ns")}
+}
+
+// Observe records one measured duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.count.Inc()
+	t.ns.Add(int64(d))
 }

@@ -57,6 +57,12 @@ const (
 	// CodeInternal: unexpected evaluation failure; the write was rolled
 	// back to the pre-request fixpoint.
 	CodeInternal = "internal"
+	// CodeNotDurable: a durability operation (explicit checkpoint) was
+	// requested but the server runs without a data directory.
+	CodeNotDurable = "not_durable"
+	// CodeDurability: the write-ahead log or a checkpoint failed; the
+	// write was rolled back so memory never runs ahead of disk.
+	CodeDurability = "durability"
 )
 
 // ErrorDetail is the structured error body: a stable machine-readable
@@ -188,6 +194,16 @@ type SessionStats struct {
 	// Eval accumulates the engine counters of every evaluation the
 	// session has run (load, maintenance, recompute).
 	Eval eval.Stats `json:"eval"`
+	// Durability is present only on sessions backed by a durable store
+	// (see DurabilityStats).
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// CheckpointResponse reports an explicit checkpoint request: the
+// snapshot now on disk covers every batch up to Seq.
+type CheckpointResponse struct {
+	Session string `json:"session"`
+	Seq     uint64 `json:"seq"`
 }
 
 // StatsResponse is the legacy flat observability snapshot: the

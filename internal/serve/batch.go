@@ -152,9 +152,12 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 	// modes) the flat API always had.
 	if sess.dirty || len(live) == 1 {
 		s.commitSequential(sess, live)
-		return
+	} else {
+		s.commitGrouped(sess, p, live)
 	}
-	s.commitGrouped(sess, p, live)
+	// Checkpoint cadence rides the commit path (mu still held): after
+	// enough logged batches, fold the WAL into a fresh snapshot file.
+	sess.maybeCheckpoint()
 }
 
 // commitSequential applies requests one at a time through the
@@ -168,19 +171,36 @@ func (s *Server) commitSequential(sess *session, reqs []*commitReq) {
 			continue
 		}
 		var (
-			resp *UpdateResponse
-			err  error
+			resp  *UpdateResponse
+			delta map[string][]storage.Tuple
+			err   error
 		)
 		if req.isInsert {
-			resp, err = sess.insertOne(req.ctx, req.facts)
+			resp, delta, err = sess.insertOne(req.ctx, req.facts)
 		} else {
-			resp, err = sess.removeOne(req.ctx, req.facts)
+			resp, delta, err = sess.removeOne(req.ctx, req.facts)
 		}
 		sess.countWrite(req.isInsert)
 		if err != nil {
 			status, code := errorStatus(req.ctx, err)
 			req.fail(status, code, err)
 			continue
+		}
+		// Log the applied EDB delta before acknowledging: once ok fires
+		// the client may treat the write as durable. A failed append
+		// rolls this request back out of memory so acked == durable.
+		if len(delta) > 0 {
+			var ins, del map[string][]storage.Tuple
+			if req.isInsert {
+				ins = delta
+			} else {
+				del = delta
+			}
+			if lerr := sess.logBatch(ins, del); lerr != nil {
+				_ = sess.rollback(ins, del, lerr)
+				req.fail(http.StatusInternalServerError, CodeDurability, lerr)
+				continue
+			}
 		}
 		resp.Ignored += req.dups
 		resp.Batched = 1
@@ -272,6 +292,18 @@ func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitRe
 		// restore the fixpoint, and let each request stand alone.
 		sess.rollbackNet(netIns, netDel)
 		s.commitSequential(sess, reqs)
+		return
+	}
+
+	// The group is applied in memory; make it durable before any ack.
+	// On failure the whole group rolls back — acked writes must never
+	// run ahead of the log, or a crash would silently drop them.
+	if lerr := sess.logBatch(netIns, netDel); lerr != nil {
+		sess.rollbackNet(netIns, netDel)
+		for _, req := range reqs {
+			sess.countWrite(req.isInsert)
+			req.fail(http.StatusInternalServerError, CodeDurability, lerr)
+		}
 		return
 	}
 

@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/durable"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// Durability wiring. When Config.Durability is set, every session owns
+// a durable.Store: committed batches are logged to its write-ahead log
+// BEFORE they are acknowledged (with fsync on, a positive reply means
+// the batch survives power loss), and every CheckpointEvery batches —
+// or on demand via POST /v1/sessions/{name}/checkpoint — the full
+// database is checkpointed and the log truncated. All store access
+// happens under sess.mu: the committer holds it for the whole batch,
+// loads and the checkpoint endpoint take it explicitly, so the store
+// itself needs no locking.
+//
+// The acknowledgement invariant both directions:
+//
+//   - acked => durable: the WAL append (and fsync) happens after
+//     maintenance succeeds but before req.ok.
+//   - not acked => not applied: if the append fails, the committer
+//     rolls the batch out of memory (rollbackNet / rollback) before
+//     failing the requests, so memory never runs ahead of disk.
+//
+// Recovery (RecoverSessions) inverts the pipeline: newest checkpoint,
+// then each logged batch through eval.ReplayBatchContext — the same
+// incremental maintenance that committed it the first time — with the
+// recompute ladder as fallback, then one fresh checkpoint to
+// re-establish a clean base.
+
+// logBatch appends one committed batch's net EDB delta under the next
+// sequence number. Caller holds sess.mu and has already applied the
+// delta in memory; on error the caller must roll it back. The sequence
+// only advances on success.
+func (sess *session) logBatch(netIns, netDel map[string][]storage.Tuple) error {
+	if sess.dur == nil {
+		return nil
+	}
+	seq := sess.seq.Load() + 1
+	n, syncDur, err := sess.dur.Append(&durable.Batch{Seq: seq, Ins: netIns, Del: netDel})
+	if err != nil {
+		return err
+	}
+	sess.seq.Store(seq)
+	sess.walBatches.Add(1)
+	sess.walBytes.Add(n)
+	sess.sinceCkpt.Add(1)
+	sess.srv.tFsync.Observe(syncDur)
+	return nil
+}
+
+// snapshotForCheckpoint assembles the durable image of the session's
+// current state. Caller holds sess.mu, so db and seedIDB cannot move.
+func (sess *session) snapshotForCheckpoint() *durable.Snapshot {
+	p := sess.prog.Load()
+	meta := durable.Meta{
+		Session:    sess.name,
+		Seq:        sess.seq.Load(),
+		Generation: publishedGeneration(sess),
+	}
+	if p != nil {
+		meta.Program = p.source
+		meta.Active = p.active.String()
+		meta.Optimize = p.optimize
+		meta.SmallPreds = p.smallPreds
+		meta.Rules = p.rules
+		meta.ICs = p.ics
+		meta.Optimized = p.optimized
+	}
+	return &durable.Snapshot{Meta: meta, DB: sess.db, Seed: sess.seedIDB}
+}
+
+// checkpointLocked writes a checkpoint of the current state, rotating
+// and truncating the WAL. Caller holds sess.mu. Checkpoint failure
+// never fails acknowledged work — the WAL still holds every batch — so
+// callers on the commit path just count it and retry later.
+func (sess *session) checkpointLocked() error {
+	if sess.dur == nil {
+		return errNotDurable
+	}
+	done := sess.srv.cfg.Tracer.Start("durable", "checkpoint")
+	err := sess.dur.Checkpoint(sess.snapshotForCheckpoint())
+	done.End()
+	if err != nil {
+		sess.ckptFailures.Add(1)
+		return err
+	}
+	sess.checkpoints.Add(1)
+	sess.sinceCkpt.Store(0)
+	return nil
+}
+
+// maybeCheckpoint runs an automatic checkpoint when enough batches
+// have accumulated since the last one. Caller holds sess.mu.
+func (sess *session) maybeCheckpoint() {
+	if sess.dur == nil || int(sess.sinceCkpt.Load()) < sess.srv.durOpts.CheckpointEvery {
+		return
+	}
+	_ = sess.checkpointLocked() // counted; WAL still covers the tail
+}
+
+var errNotDurable = errors.New("server has no durable data directory configured")
+
+// publishedGeneration is the session's latest published snapshot
+// generation (0 before the first publish).
+func publishedGeneration(sess *session) uint64 {
+	if snap := sess.snap.Load(); snap != nil {
+		return snap.Generation()
+	}
+	return 0
+}
+
+// RecoveryReport summarizes one session's crash recovery.
+type RecoveryReport struct {
+	Session          string `json:"session"`
+	Seq              uint64 `json:"seq"`
+	ReplayedBatches  int    `json:"replayed_batches"`
+	ReplayedIncr     int    `json:"replayed_incremental"`
+	ReplayedRecomp   int    `json:"replayed_recomputes"`
+	TornTail         bool   `json:"torn_tail,omitempty"`
+	SkippedSnapshots int    `json:"skipped_snapshots,omitempty"`
+	DroppedBatches   int    `json:"dropped_batches,omitempty"`
+	Err              string `json:"error,omitempty"`
+}
+
+// RecoverSessions restores every session found under the durable data
+// root. Called once at startup, before the listener accepts requests.
+// A session that cannot be recovered is reported (and skipped) rather
+// than aborting the others; an empty directory — a session created but
+// never checkpointed — is skipped silently.
+func (s *Server) RecoverSessions(ctx context.Context) ([]RecoveryReport, error) {
+	if !s.durable {
+		return nil, nil
+	}
+	names, err := durable.ListSessions(s.durOpts)
+	if err != nil {
+		return nil, err
+	}
+	var reports []RecoveryReport
+	for _, name := range names {
+		if !sessionNameRe.MatchString(name) {
+			continue // not a session directory we created
+		}
+		rep, err := s.recoverSession(ctx, name)
+		if err != nil {
+			rep.Err = err.Error()
+		}
+		if rep.Session != "" {
+			reports = append(reports, rep)
+		}
+	}
+	return reports, nil
+}
+
+// recoverSession rebuilds one session from its durable directory.
+func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryReport, error) {
+	rep := RecoveryReport{Session: name}
+	st, err := durable.Open(s.durOpts, name)
+	if err != nil {
+		return rep, err
+	}
+	res, err := st.Recover()
+	if err != nil {
+		st.Close()
+		return rep, err
+	}
+	if res.Snapshot == nil {
+		// Created but never checkpointed: nothing to restore.
+		st.Close()
+		return RecoveryReport{}, nil
+	}
+	rep.TornTail = res.TornTail
+	rep.SkippedSnapshots = res.SkippedSnapshots
+	rep.DroppedBatches = res.DroppedBatches
+
+	lp, err := programFromMeta(res.Snapshot.Meta)
+	if err != nil {
+		st.Close()
+		return rep, fmt.Errorf("recover %s: %w", name, err)
+	}
+
+	// Generations must keep increasing across the restart, or a
+	// generation-keyed cache entry could alias a pre-crash snapshot.
+	storage.BumpGeneration(res.Snapshot.Meta.Generation)
+
+	s.regMu.Lock()
+	if s.closed {
+		s.regMu.Unlock()
+		st.Close()
+		return rep, errSessionClosed
+	}
+	sess := s.sessions[name]
+	if sess == nil {
+		sess = newSession(s, name)
+		s.sessions[name] = sess
+	}
+	s.regMu.Unlock()
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.db = res.Snapshot.DB
+	sess.seedIDB = res.Snapshot.Seed
+	sess.dirty = false
+	sess.prog.Store(lp)
+	sess.dur = st
+	sess.seq.Store(res.Snapshot.Meta.Seq)
+	sess.recovered.Store(true)
+	if res.TornTail {
+		sess.tornTail.Store(true)
+	}
+
+	// Replay the WAL tail through the same incremental maintenance that
+	// committed it, falling back to a full recompute when a batch
+	// reaches negation (or maintenance fails outright).
+	done := s.cfg.Tracer.Start("durable", "replay")
+	for _, b := range res.Batches {
+		if err := sess.replayOne(ctx, b); err != nil {
+			done.End()
+			return rep, fmt.Errorf("recover %s: replay batch %d: %w", name, b.Seq, err)
+		}
+		sess.seq.Store(b.Seq)
+		rep.ReplayedBatches++
+	}
+	done.End()
+	rep.ReplayedIncr = int(sess.replayIncremental.Load())
+	rep.ReplayedRecomp = int(sess.replayRecomputes.Load())
+	rep.Seq = sess.seq.Load()
+	sess.publish()
+
+	// Re-establish a clean base so the next crash replays only its own
+	// tail. Failure is tolerable: the WAL already covers these batches.
+	if rep.ReplayedBatches > 0 || res.TornTail {
+		_ = sess.checkpointLocked()
+	}
+	return rep, nil
+}
+
+// replayOne applies one WAL batch during recovery. Caller holds
+// sess.mu.
+func (sess *session) replayOne(ctx context.Context, b *durable.Batch) error {
+	p := sess.prog.Load()
+	eng := sess.engine(p.active, sess.db)
+	_, err := eng.ReplayBatchContext(ctx, b.Ins, b.Del)
+	switch {
+	case err == nil:
+		sess.replayIncremental.Add(1)
+		sess.addEvalStats(eng.Stats())
+		return nil
+	case ctx.Err() != nil:
+		return err // startup cancelled; don't mask it with a recompute
+	default:
+		// Either the negation guard refused up front
+		// (ErrNeedsRecompute) or maintenance died partway; both repair
+		// the same way — force the net EDB delta in (idempotently) and
+		// rebuild the IDB from the EDB.
+		applyNet(sess.db, b.Ins, b.Del)
+		st, rerr := sess.recompute(ctx)
+		if rerr != nil {
+			return rerr
+		}
+		sess.replayRecomputes.Add(1)
+		sess.addEvalStats(st)
+		return nil
+	}
+}
+
+// programFromMeta rebuilds a session's compiled program from a
+// checkpoint header. The active (possibly optimized) rules were stored
+// in parseable source form, so recovery never re-runs the optimization
+// pipeline — the paper's load-time transformation is paid once per
+// load, not once per restart.
+func programFromMeta(meta durable.Meta) (*loadedProgram, error) {
+	parsed, err := parser.Parse(meta.Active)
+	if err != nil {
+		return nil, fmt.Errorf("parse checkpointed program: %w", err)
+	}
+	active := parsed.Program
+	active.EnsureLabels()
+	return &loadedProgram{
+		active:     active,
+		idb:        active.IDBPreds(),
+		rules:      meta.Rules,
+		ics:        meta.ICs,
+		optimized:  meta.Optimized,
+		source:     meta.Program,
+		optimize:   meta.Optimize,
+		smallPreds: meta.SmallPreds,
+	}, nil
+}
+
+// DurabilityStats is the durability section of a session's stats.
+type DurabilityStats struct {
+	Enabled bool `json:"enabled"`
+	// Seq is the sequence number of the last durably logged batch.
+	Seq uint64 `json:"seq"`
+	// WALBatches / WALBytes count batches appended to the log and their
+	// encoded size since the process started.
+	WALBatches int64 `json:"wal_batches"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Checkpoints counts snapshots written (automatic and explicit);
+	// CheckpointFailures counts attempts that failed and were deferred.
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures,omitempty"`
+	// SinceCheckpoint is the number of logged batches the WAL currently
+	// covers beyond the newest checkpoint.
+	SinceCheckpoint int64 `json:"since_checkpoint"`
+	// Recovered reports that this session was rebuilt from disk at
+	// startup; the Replay* counters describe how.
+	Recovered         bool  `json:"recovered,omitempty"`
+	ReplayedBatches   int64 `json:"replayed_batches,omitempty"`
+	ReplayIncremental int64 `json:"replay_incremental,omitempty"`
+	ReplayRecomputes  int64 `json:"replay_recomputes,omitempty"`
+	// TornTail reports that the recovery found (and truncated) a
+	// half-written final WAL record.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+func (sess *session) durabilityStats() *DurabilityStats {
+	if sess.dur == nil {
+		return nil
+	}
+	return &DurabilityStats{
+		Enabled:            true,
+		Seq:                sess.seq.Load(),
+		WALBatches:         sess.walBatches.Load(),
+		WALBytes:           sess.walBytes.Load(),
+		Checkpoints:        sess.checkpoints.Load(),
+		CheckpointFailures: sess.ckptFailures.Load(),
+		SinceCheckpoint:    sess.sinceCkpt.Load(),
+		Recovered:          sess.recovered.Load(),
+		ReplayedBatches:    sess.replayIncremental.Load() + sess.replayRecomputes.Load(),
+		ReplayIncremental:  sess.replayIncremental.Load(),
+		ReplayRecomputes:   sess.replayRecomputes.Load(),
+		TornTail:           sess.tornTail.Load(),
+	}
+}
+
+// handleCheckpoint is POST /v1/sessions/{name}/checkpoint: force a
+// snapshot checkpoint now (e.g. before planned maintenance), 409 when
+// the server runs without a data directory.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sess := s.session(name)
+	if sess == nil {
+		missingSession(w, name, false)
+		return
+	}
+	sess.mu.Lock()
+	err := sess.checkpointLocked()
+	seq := sess.seq.Load()
+	sess.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, errNotDurable) {
+			writeErr(w, http.StatusConflict, CodeNotDurable, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, CodeDurability, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Session: name, Seq: seq})
+}

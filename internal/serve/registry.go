@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"regexp"
+
+	"repro/internal/durable"
+	"repro/internal/storage"
 )
 
 // sessionNameRe constrains /v1 session names to safe path segments.
@@ -68,6 +71,29 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 	s.regMu.Unlock()
 
 	sess.mu.Lock()
+	if s.durable {
+		// Persist the NEW state before swapping it into memory: if the
+		// checkpoint fails, the load fails and the old program keeps
+		// serving (memory and disk both unchanged). The checkpoint
+		// carries the current sequence number, so it supersedes every
+		// batch logged against the previous program.
+		if err := s.checkpointNewState(sess, lp, db, seedIDB); err != nil {
+			fresh := sess.prog.Load() == nil
+			sess.mu.Unlock()
+			if fresh {
+				// The shell was registered this call and never got a
+				// program; leaving it would let writes reach a nil
+				// database. Unregister it as if the load never happened.
+				s.regMu.Lock()
+				if s.sessions[name] == sess {
+					delete(s.sessions, name)
+				}
+				s.regMu.Unlock()
+				sess.close()
+			}
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	sess.db = db
 	sess.seedIDB = seedIDB
 	sess.dirty = false
@@ -79,6 +105,45 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 	sess.addEvalStats(resp.Stats)
 	resp.Session = name
 	return resp, nil
+}
+
+// checkpointNewState persists a freshly built program + database as the
+// session's newest checkpoint, opening the session's durable store on
+// first load. Caller holds sess.mu.
+func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storage.Database, seedIDB map[string]*storage.Relation) error {
+	if sess.dur == nil {
+		st, err := durable.Open(s.durOpts, sess.name)
+		if err != nil {
+			return err
+		}
+		sess.dur = st
+	}
+	snap := &durable.Snapshot{
+		Meta: durable.Meta{
+			Session:    sess.name,
+			Seq:        sess.seq.Load(),
+			Program:    lp.source,
+			Active:     lp.active.String(),
+			Optimize:   lp.optimize,
+			SmallPreds: lp.smallPreds,
+			Rules:      lp.rules,
+			ICs:        lp.ics,
+			Optimized:  lp.optimized,
+			// The live database reports generation 0; what must stay
+			// monotonic across restarts is the last PUBLISHED snapshot
+			// generation, so record that.
+			Generation: publishedGeneration(sess),
+		},
+		DB:   db,
+		Seed: seedIDB,
+	}
+	if err := sess.dur.Checkpoint(snap); err != nil {
+		sess.ckptFailures.Add(1)
+		return err
+	}
+	sess.checkpoints.Add(1)
+	sess.sinceCkpt.Store(0)
+	return nil
 }
 
 // Load is the legacy single-session entry point: it loads into the
@@ -99,6 +164,15 @@ func (s *Server) dropSession(name string) bool {
 		return false
 	}
 	sess.close()
+	// Deleting a session deletes its durable directory too — it must
+	// not resurrect on the next restart. Take mu so an in-flight batch
+	// finishes (its appends may fail harmlessly; the session is gone).
+	sess.mu.Lock()
+	if sess.dur != nil {
+		_ = sess.dur.Destroy()
+		sess.dur = nil
+	}
+	sess.mu.Unlock()
 	return true
 }
 
@@ -116,5 +190,11 @@ func (s *Server) Close() {
 	s.regMu.Unlock()
 	for _, sess := range sessions {
 		sess.close()
+		sess.mu.Lock()
+		if sess.dur != nil {
+			_ = sess.dur.Close()
+			sess.dur = nil
+		}
+		sess.mu.Unlock()
 	}
 }

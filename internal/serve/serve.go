@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/storage"
@@ -53,6 +54,12 @@ type Config struct {
 	Metrics *obs.Metrics
 	// EnablePprof mounts net/http/pprof on the service mux.
 	EnablePprof bool
+	// Durability, when non-nil, persists every session under
+	// Durability.Dir: committed batches are write-ahead logged before
+	// acknowledgement and the database is checkpointed periodically.
+	// Call RecoverSessions at startup to restore what a previous
+	// process left behind. Nil keeps the server fully in-memory.
+	Durability *durable.Options
 }
 
 const (
@@ -92,6 +99,12 @@ type Server struct {
 	mGroupCommits  *obs.Counter
 	mCacheHits     *obs.Counter
 	mCacheMisses   *obs.Counter
+	tFsync         *obs.Timer
+
+	// durable mirrors cfg.Durability != nil; durOpts is the normalized
+	// copy every store is opened with.
+	durable bool
+	durOpts durable.Options
 
 	regMu    sync.RWMutex
 	sessions map[string]*session
@@ -138,12 +151,17 @@ func New(cfg Config) *Server {
 		metrics:  cfg.Metrics,
 		sessions: map[string]*session{},
 	}
+	if cfg.Durability != nil {
+		s.durable = true
+		s.durOpts = cfg.Durability.Norm()
+	}
 	s.mBatches = s.metrics.Counter("serve.batches")
 	s.mBatchedWrites = s.metrics.Counter("serve.batched_writes")
 	s.mMaxBatch = s.metrics.Counter("serve.max_batch")
 	s.mGroupCommits = s.metrics.Counter("serve.group_commits")
 	s.mCacheHits = s.metrics.Counter("serve.cache_hits")
 	s.mCacheMisses = s.metrics.Counter("serve.cache_misses")
+	s.tFsync = s.metrics.Timer("durable.fsync")
 
 	// Legacy flat surface: aliases onto the "default" session. Kept
 	// verbatim for one release; see README.md for the /v1 mapping.
@@ -180,6 +198,7 @@ func New(cfg Config) *Server {
 		s.handleUpdate(w, r, r.PathValue("name"), false, false)
 	}))
 	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.traced(s.handleSessionStats))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.traced(s.handleCheckpoint))
 	s.mux.HandleFunc("GET /v1/stats", s.traced(s.handleServerStats))
 
 	if cfg.EnablePprof {

@@ -628,7 +628,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	defer sess.mu.Unlock()
 
 	facts := mustFacts(t, sess, "edge(c, d).")
-	if _, err := sess.insertOne(cancelled, facts); err == nil {
+	if _, _, err := sess.insertOne(cancelled, facts); err == nil {
 		t.Fatal("cancelled insert should fail")
 	}
 	if sess.dirty {
@@ -642,7 +642,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	}
 
 	facts = mustFacts(t, sess, "edge(b, c).")
-	if _, err := sess.removeOne(cancelled, facts); err == nil {
+	if _, _, err := sess.removeOne(cancelled, facts); err == nil {
 		t.Fatal("cancelled delete should fail")
 	}
 	if sess.dirty {
@@ -657,7 +657,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 
 	// The rolled-back session still serves incremental updates.
 	facts = mustFacts(t, sess, "edge(c, d).")
-	resp, err := sess.insertOne(context.Background(), facts)
+	resp, _, err := sess.insertOne(context.Background(), facts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -688,7 +688,7 @@ func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 	sess.dirty = true
 
 	facts := mustFacts(t, sess, "edge(d, e).")
-	resp, err := sess.insertOne(context.Background(), facts)
+	resp, _, err := sess.insertOne(context.Background(), facts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -705,7 +705,7 @@ func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 	// The delete path repairs too, even when the payload is a no-op.
 	sess.dirty = true
 	facts = mustFacts(t, sess, "edge(z, z).")
-	resp, err = sess.removeOne(context.Background(), facts)
+	resp, _, err = sess.removeOne(context.Background(), facts)
 	if err != nil {
 		t.Fatal(err)
 	}

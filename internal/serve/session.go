@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ast"
+	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/parser"
 	"repro/internal/residue"
@@ -24,6 +25,11 @@ type loadedProgram struct {
 	rules     int
 	ics       int
 	optimized bool
+	// source, optimize and smallPreds echo the load request; they ride
+	// in checkpoints so a recovered session knows its provenance.
+	source     string
+	optimize   bool
+	smallPreds []string
 }
 
 // session is one named program served by the daemon: an authoritative
@@ -69,6 +75,17 @@ type session struct {
 	batches, batchedWrites    atomic.Int64
 	maxBatch                  atomic.Int64
 	cacheHits, cacheMisses    atomic.Int64
+
+	// Durability state (nil dur = in-memory session). dur is only
+	// touched under mu; seq and the counters are atomics so stats can
+	// read them without the session mutex.
+	dur                                 *durable.Store
+	seq                                 atomic.Uint64 // last durably logged batch
+	sinceCkpt                           atomic.Int64  // logged batches since last checkpoint
+	walBatches, walBytes                atomic.Int64
+	checkpoints, ckptFailures           atomic.Int64
+	replayIncremental, replayRecomputes atomic.Int64
+	recovered, tornTail                 atomic.Bool
 
 	statsMu   sync.Mutex
 	evalStats eval.Stats
@@ -208,6 +225,7 @@ func (sess *session) stats() SessionStats {
 	sess.statsMu.Lock()
 	st.Eval = sess.evalStats
 	sess.statsMu.Unlock()
+	st.Durability = sess.durabilityStats()
 	return st
 }
 
@@ -254,11 +272,14 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 	}
 
 	lp := &loadedProgram{
-		active:    active,
-		idb:       active.IDBPreds(),
-		rules:     len(rules),
-		ics:       len(parsed.ICs),
-		optimized: resp.Optimized,
+		active:     active,
+		idb:        active.IDBPreds(),
+		rules:      len(rules),
+		ics:        len(parsed.ICs),
+		optimized:  resp.Optimized,
+		source:     req.Program,
+		optimize:   req.Optimize,
+		smallPreds: req.SmallPreds,
 	}
 	// Facts stated for derived predicates are part of the program, not
 	// of the updatable EDB; freeze them for recomputation.
@@ -388,8 +409,10 @@ func factsMap(facts []groundFact) map[string][]storage.Tuple {
 // sessions, and poisoned-batch isolation. Caller holds mu. A failed
 // insert applies nothing: every error path restores the pre-request
 // fixpoint via rollback, and only if that repair itself fails does the
-// session stay dirty for the next update to rebuild.
-func (sess *session) insertOne(ctx context.Context, facts []groundFact) (*UpdateResponse, error) {
+// session stay dirty for the next update to rebuild. The second return
+// is the EDB delta actually applied (tuples newly inserted), which the
+// committer logs to the write-ahead log before acknowledging.
+func (sess *session) insertOne(ctx context.Context, facts []groundFact) (*UpdateResponse, map[string][]storage.Tuple, error) {
 	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
 	added := map[string][]storage.Tuple{}
@@ -404,10 +427,11 @@ func (sess *session) insertOne(ctx context.Context, facts []groundFact) (*Update
 		}
 	}
 	if !sess.dirty {
-		return resp, nil // nothing changed and the fixpoint is intact
+		return resp, nil, nil // nothing changed and the fixpoint is intact
 	}
 	if wasDirty {
-		return sess.repair(ctx, resp)
+		resp, err := sess.repair(ctx, resp)
+		return resp, added, err
 	}
 	p := sess.prog.Load()
 	eng := sess.engine(p.active, sess.db)
@@ -421,22 +445,24 @@ func (sess *session) insertOne(ctx context.Context, facts []groundFact) (*Update
 		resp.Mode = "recompute"
 		st, rerr := sess.recompute(ctx)
 		if rerr != nil {
-			return nil, sess.rollback(added, nil, rerr)
+			return nil, nil, sess.rollback(added, nil, rerr)
 		}
 		sess.dirty = false
 		resp.Stats = st
 	default:
 		// The delta loop may have derived part of the new cone before
 		// failing; revert this request's tuples and rebuild.
-		return nil, sess.rollback(added, nil, err)
+		return nil, nil, sess.rollback(added, nil, err)
 	}
-	return resp, nil
+	return resp, added, nil
 }
 
 // removeOne deletes one request's facts (pre-validated) and maintains
 // the IDB via delete-and-rederive. Caller holds mu. Like insertOne, a
 // failed delete applies nothing unless even the rollback repair fails.
-func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*UpdateResponse, error) {
+// The second return is the EDB delta actually applied (tuples removed)
+// for the committer's write-ahead log.
+func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*UpdateResponse, map[string][]storage.Tuple, error) {
 	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
 	present := map[string][]storage.Tuple{}
@@ -450,7 +476,7 @@ func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*Update
 		}
 	}
 	if len(present) == 0 && !wasDirty {
-		return resp, nil
+		return resp, nil, nil
 	}
 	if wasDirty {
 		for p, ts := range present {
@@ -459,7 +485,8 @@ func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*Update
 				rel.Remove(t)
 			}
 		}
-		return sess.repair(ctx, resp)
+		resp, err := sess.repair(ctx, resp)
+		return resp, present, err
 	}
 	sess.dirty = true // delete-and-rederive mutates on its way to fixpoint
 	p := sess.prog.Load()
@@ -483,16 +510,16 @@ func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*Update
 		}
 		st, rerr := sess.recompute(ctx)
 		if rerr != nil {
-			return nil, sess.rollback(nil, present, rerr)
+			return nil, nil, sess.rollback(nil, present, rerr)
 		}
 		sess.dirty = false
 		resp.Stats = st
 	default:
 		// Over-deletion or re-derivation stopped partway; restore the
 		// EDB tuples and rebuild.
-		return nil, sess.rollback(nil, present, err)
+		return nil, nil, sess.rollback(nil, present, err)
 	}
-	return resp, nil
+	return resp, present, nil
 }
 
 // rollback restores the pre-request fixpoint after a failed update: it

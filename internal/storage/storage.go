@@ -474,6 +474,20 @@ func (r *Relation) Clone() *Relation {
 // a new database's snapshot with an older one's.
 var snapshotGen atomic.Uint64
 
+// BumpGeneration raises the process-wide generation counter to at
+// least min. Crash recovery calls this with the generation recorded in
+// a checkpoint, so generations stay strictly increasing across process
+// restarts and a generation-keyed cache can never alias a pre-crash
+// snapshot with a post-recovery one.
+func BumpGeneration(min uint64) {
+	for {
+		cur := snapshotGen.Load()
+		if cur >= min || snapshotGen.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
 // Database is a catalog of relations keyed by predicate name.
 type Database struct {
 	rels map[string]*Relation
