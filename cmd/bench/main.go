@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -36,15 +37,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable bench records to this file")
+	join := flag.String("join", "auto", "join strategy: auto (Generic Join on cyclic bodies), binary, gj")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	joinMode, err := eval.ParseJoinMode(*join)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 	tracer, err := obsFlags.Tracer()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, Tracer: tracer}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, Tracer: tracer, JoinMode: joinMode}
 	if *jsonOut != "" {
 		cfg.Rec = &experiments.Recorder{}
 	}

@@ -45,6 +45,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print evaluation work counters to stderr")
 	interactive := flag.Bool("i", false, "interactive query loop on stdin")
 	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
+	join := flag.String("join", "auto", "join strategy: auto (Generic Join on cyclic bodies), binary, gj")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -66,6 +67,10 @@ func main() {
 		fatal(err)
 	}
 	sys.Parallel = *parallel
+	sys.JoinMode, err = repro.ParseJoinMode(*join)
+	if err != nil {
+		fatal(err)
+	}
 	tracer, err := obsFlags.Tracer()
 	if err != nil {
 		fatal(err)

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -83,6 +84,7 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 	optimize := fs.Bool("optimize", false, "run the semantic optimizer on the startup programs")
 	small := fs.String("small", "", "comma-separated small predicates for atom introduction")
 	parallel := fs.Int("parallel", 0, "eval worker count for full fixpoints (0 or 1 = sequential, <0 = GOMAXPROCS)")
+	join := fs.String("join", "auto", "join strategy: auto (Generic Join on cyclic bodies), binary, gj")
 	maxQueries := fs.Int("max-concurrent-queries", serve.DefaultMaxConcurrentQueries,
 		"in-flight query admission limit; excess requests get 503")
 	maxPendingWrites := fs.Int("max-pending-writes", serve.DefaultMaxPendingWrites,
@@ -108,8 +110,13 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		return err
 	}
 
+	joinMode, err := eval.ParseJoinMode(*join)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
 		Parallel:             *parallel,
+		JoinMode:             joinMode,
 		MaxConcurrentQueries: *maxQueries,
 		MaxPendingWrites:     *maxPendingWrites,
 		MaxBatch:             *maxBatch,

@@ -15,9 +15,9 @@ func tup(vals ...any) storage.Tuple {
 	for i, v := range vals {
 		switch x := v.(type) {
 		case int:
-			t[i] = ast.Int(x)
+			t[i] = storage.InternInt(int64(x))
 		case string:
-			t[i] = ast.Sym(x)
+			t[i] = storage.InternSym(x)
 		default:
 			panic("bad test term")
 		}

@@ -83,9 +83,13 @@ func appendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
+// appendTuple resolves each interned value back to its term and writes
+// the original kind-tagged encoding — the on-disk v1 bytes are
+// identical to what pre-interning builds wrote, so snapshots and WAL
+// frames stay stable across the interning refactor.
 func appendTuple(dst []byte, t storage.Tuple) []byte {
 	for _, v := range t {
-		dst = appendTerm(dst, v)
+		dst = appendTerm(dst, v.Term())
 	}
 	return dst
 }
@@ -176,13 +180,16 @@ func (r *reader) term() ast.Term {
 	}
 }
 
+// tuple decodes the kind-tagged terms and interns them — the only
+// place (besides parsing) where strings cross into value space.
 func (r *reader) tuple(arity int) storage.Tuple {
 	t := make(storage.Tuple, arity)
 	for i := range t {
-		t[i] = r.term()
+		term := r.term()
 		if r.err != nil {
 			return nil
 		}
+		t[i] = storage.Intern(term)
 	}
 	return t
 }

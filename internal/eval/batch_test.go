@@ -21,7 +21,7 @@ func TestBatchMaintainDifferential(t *testing.T) {
 	const nodes = 12
 
 	edge := map[string]storage.Tuple{}
-	root := storage.Tuple{ast.Sym("root"), ast.Sym("n0")}
+	root := storage.TupleOf(ast.Sym("root"), ast.Sym("n0"))
 	edge[root.Key()] = root
 
 	db := storage.NewDatabase()
@@ -126,7 +126,7 @@ func TestBatchMaintainNeedsRecomputeUntouched(t *testing.T) {
 	`)
 	db := fromScratch(t, prog, map[string][]storage.Tuple{
 		"edge": {edgeTuple(0, 1)},
-		"node": {{ast.Sym("n0")}, {ast.Sym("n1")}},
+		"node": {storage.TupleOf(ast.Sym("n0")), storage.TupleOf(ast.Sym("n1"))},
 	}, 1)
 	before := db.Snapshot()
 

@@ -30,6 +30,8 @@ type Stats struct {
 	Derived     int64 // head tuples produced (before dedup)
 	Deduped     int64 // derivations that duplicated an already-known tuple
 	Inserted    int64 // new tuples actually added
+	GJFirings   int64 // rule firings executed through the Generic Join path
+	GJSeeks     int64 // sorted-index binary-search seeks inside Generic Join
 }
 
 // Add accumulates other into s.
@@ -43,6 +45,8 @@ func (s *Stats) Add(other Stats) {
 	s.Derived += other.Derived
 	s.Deduped += other.Deduped
 	s.Inserted += other.Inserted
+	s.GJFirings += other.GJFirings
+	s.GJSeeks += other.GJSeeks
 }
 
 // RuleProfile aggregates the work one rule (identified by label; rules
@@ -82,6 +86,7 @@ type Engine struct {
 	db       *storage.Database
 	naive    bool
 	parallel int
+	joinMode JoinMode
 	stats    Stats
 	arity    map[string]int // head predicate -> arity, precomputed
 
@@ -133,6 +138,14 @@ func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
 // UseNaive switches the engine to naive (full re-evaluation) fixpoint
 // iteration; the default is semi-naive. Used by tests and experiment E10.
 func (e *Engine) UseNaive() { e.naive = true }
+
+// SetJoinMode selects the join execution path: JoinAuto (the default)
+// runs Generic Join for rule bodies whose hypergraph is cyclic and the
+// binary pipeline otherwise, JoinBinary forces the binary pipeline
+// everywhere, JoinGJ forces Generic Join wherever it is compilable
+// (falling back to binary for the remaining shapes). The computed
+// fixpoint and the Inserted counter are identical in every mode.
+func (e *Engine) SetJoinMode(m JoinMode) { e.joinMode = m }
 
 // SetParallel sets the number of worker goroutines for semi-naive
 // fixpoint rounds. n <= 0 selects runtime.GOMAXPROCS(0); n == 1 keeps
@@ -352,6 +365,7 @@ func (e *Engine) compileStratum(inSCC map[string]bool, rules []ast.Rule) ([]comp
 		if cr.base, err = compilePlan(plan, r.Head, e.db, nil); err != nil {
 			return nil, fmt.Errorf("rule %s: %w", r.Label, err)
 		}
+		e.attachGJ(cr.base)
 		cr.base.prepareIndexes()
 		for i, l := range r.Body {
 			if l.Neg || !inSCC[l.Atom.Pred] {
@@ -369,6 +383,7 @@ func (e *Engine) compileStratum(inSCC map[string]bool, rules []ast.Rule) ([]comp
 			if err != nil {
 				return nil, fmt.Errorf("rule %s: %w", r.Label, err)
 			}
+			e.attachGJ(dp)
 			dp.prepareIndexes()
 			cr.deltas = append(cr.deltas, deltaPlan{pred: l.Atom.Pred, plan: dp})
 		}
@@ -434,7 +449,7 @@ func (e *Engine) naiveFixpoint(ctx context.Context, crs []compiledRule) error {
 		changed := false
 		for i := range crs {
 			cr := &crs[i]
-			err := e.fireSeq(cr, cr.base, nil, func(storage.Tuple) {
+			err := e.fireSeq(cr, cr.base, nil, func(storage.Tuple, uint64) {
 				changed = true
 			})
 			if err != nil {
@@ -453,7 +468,8 @@ func (e *Engine) naiveFixpoint(ctx context.Context, crs []compiledRule) error {
 // that account folds into the engine totals and the rule's profile —
 // the counting is identical whether tracing is on or off; only the
 // clock reads and the trace event are gated on the tracer.
-func (e *Engine) fireSeq(cr *compiledRule, plan *compiled, delta []storage.Tuple, onNew func(storage.Tuple)) error {
+func (e *Engine) fireSeq(cr *compiledRule, plan *compiled, delta []storage.Tuple, onNew func(storage.Tuple, uint64)) error {
+	plan.gjPrepare(e.db)
 	st := Stats{RuleFirings: 1}
 	traced := e.tracer.Enabled()
 	var start time.Time
@@ -466,9 +482,12 @@ func (e *Engine) fireSeq(cr *compiledRule, plan *compiled, delta []storage.Tuple
 		if e.InsertFilter != nil && !e.InsertFilter(cr.headPred, t) {
 			return nil
 		}
-		if cr.headRel.Insert(t) {
+		// One hash serves the membership check, the insert, and (via
+		// onNew) the delta-relation insert of the semi-naive loop.
+		h := t.Hash()
+		if cr.headRel.InsertHashed(t, h) {
 			st.Inserted++
-			onNew(t)
+			onNew(t, h)
 		} else {
 			st.Deduped++
 		}
@@ -480,6 +499,7 @@ func (e *Engine) fireSeq(cr *compiledRule, plan *compiled, delta []storage.Tuple
 		e.tracer.Complete("eval.rule", cr.label, start, dur, map[string]int64{
 			"scanned": st.Probes, "index_probes": st.IndexProbes, "full_scans": st.FullScans,
 			"matched": st.Matched, "derived": st.Derived, "deduped": st.Deduped, "inserted": st.Inserted,
+			"gj_firings": st.GJFirings, "gj_seeks": st.GJSeeks,
 		})
 	}
 	e.account(cr.label, cr.headPred, st, dur)
@@ -538,8 +558,8 @@ func (e *Engine) semiNaiveFixpoint(ctx context.Context, inSCC map[string]bool, c
 	round := e.roundSpan(0)
 	for i := range crs {
 		cr := &crs[i]
-		err := e.fireSeq(cr, cr.base, nil, func(t storage.Tuple) {
-			delta[cr.headPred].Insert(t)
+		err := e.fireSeq(cr, cr.base, nil, func(t storage.Tuple, h uint64) {
+			delta[cr.headPred].InsertHashed(t, h)
 		})
 		if err != nil {
 			return err
@@ -577,8 +597,8 @@ func (e *Engine) semiNaiveFixpoint(ctx context.Context, inSCC map[string]bool, c
 				if d.Len() == 0 {
 					continue
 				}
-				err := e.fireSeq(cr, dp.plan, d.Tuples(), func(t storage.Tuple) {
-					next[cr.headPred].Insert(t)
+				err := e.fireSeq(cr, dp.plan, d.Tuples(), func(t storage.Tuple, h uint64) {
+					next[cr.headPred].InsertHashed(t, h)
 				})
 				if err != nil {
 					return err
@@ -646,6 +666,7 @@ func (e *Engine) parallelFixpoint(ctx context.Context, inSCC map[string]bool, cr
 	for i := range crs {
 		cr := &crs[i]
 		e.bumpFiring(cr.label, cr.headPred)
+		cr.base.gjPrepare(e.db)
 		tasks = append(tasks, evalTask{plan: cr.base, label: cr.label, headPred: cr.headPred, headRel: cr.headRel})
 	}
 	if err := e.runRound(tasks, delta); err != nil {
@@ -689,6 +710,7 @@ func (e *Engine) parallelFixpoint(ctx context.Context, inSCC map[string]bool, cr
 					continue
 				}
 				e.bumpFiring(cr.label, cr.headPred)
+				dp.plan.gjPrepare(e.db)
 				for _, chunk := range chunkTuples(d.Tuples(), e.parallel) {
 					tasks = append(tasks, evalTask{
 						plan: dp.plan, label: cr.label, headPred: cr.headPred, headRel: cr.headRel, delta: chunk,
@@ -773,10 +795,12 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 					ht := t.plan.headTuple(fr)
 					// Dedup against the frozen relation and within this
 					// task's buffer; cross-task duplicates fall out at
-					// the merge.
-					if t.headRel.Contains(ht) {
+					// the merge. The tuple is hashed once and the hash
+					// rides along to the merge.
+					h := ht.Hash()
+					if t.headRel.ContainsHashed(ht, h) {
 						st.Deduped++
-					} else if !buf.Add(ht) {
+					} else if !buf.AddHashed(ht, h) {
 						st.Deduped++
 					}
 					return nil
@@ -824,7 +848,7 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 		t := &tasks[i]
 		st := r.stats
 		if e.InsertFilter == nil {
-			news := t.headRel.InsertAll(r.buf.Tuples())
+			news := t.headRel.InsertAllHashed(r.buf.Tuples(), r.buf.Hashes())
 			st.Inserted += int64(len(news))
 			st.Deduped += int64(r.buf.Len() - len(news)) // cross-task duplicates
 			for _, ht := range news {
@@ -862,22 +886,50 @@ func (e *Engine) Query(goal ast.Atom) ([]storage.Tuple, error) {
 	if rel.Arity != len(goal.Args) {
 		return nil, fmt.Errorf("eval: query %s has arity %d, relation has %d", goal, len(goal.Args), rel.Arity)
 	}
-	col := -1
+	// Lower the goal to value space once: ground arguments become
+	// constants (a constant the interner has never seen matches nothing),
+	// repeated variables become same-slot equality constraints.
+	const noCol = -1
+	type colSpec struct {
+		c    storage.Value // != NoValue: column must equal this constant
+		peer int           // >= 0: column must equal that earlier column
+	}
+	specs := make([]colSpec, len(goal.Args))
+	firstOf := make(map[ast.Var]int)
+	col := noCol
 	for i, t := range goal.Args {
-		if ast.IsGround(t) {
+		specs[i] = colSpec{peer: -1}
+		if v, ok := t.(ast.Var); ok {
+			if j, seen := firstOf[v]; seen {
+				specs[i].peer = j
+			} else {
+				firstOf[v] = i
+			}
+			continue
+		}
+		val, ok := storage.LookupTerm(t)
+		if !ok {
+			return nil, nil
+		}
+		specs[i].c = val
+		if col == noCol {
 			col = i
-			break
 		}
 	}
 	var out []storage.Tuple
 	match := func(t storage.Tuple) {
-		env := ast.NewSubst()
-		if ast.MatchAtom(env, goal, ast.Atom{Pred: goal.Pred, Args: t}) {
-			out = append(out, t)
+		for i, sp := range specs {
+			if sp.c != storage.NoValue && t[i] != sp.c {
+				return
+			}
+			if sp.peer >= 0 && t[i] != t[sp.peer] {
+				return
+			}
 		}
+		out = append(out, t)
 	}
-	if col >= 0 {
-		for _, pos := range rel.Lookup(col, goal.Args[col]) {
+	if col != noCol {
+		for _, pos := range rel.Lookup(col, specs[col].c) {
 			match(rel.At(pos))
 		}
 		return out, nil

@@ -132,7 +132,7 @@ func TestEqualityBindsVariable(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, _ := e.Query(ast.NewAtom("p", ast.Var("A"), ast.Var("B")))
-	if len(res) != 1 || res[0][1] != ast.Term(ast.Sym("a")) {
+	if len(res) != 1 || res[0][1] != storage.InternSym("a") {
 		t.Errorf("res = %v", res)
 	}
 }
@@ -231,7 +231,7 @@ func TestInsertFilterHook(t *testing.T) {
 	e := New(prog, db)
 	// Discard every tc tuple whose source is n0.
 	e.InsertFilter = func(pred string, t storage.Tuple) bool {
-		return t[0] != ast.Term(ast.Sym("n0"))
+		return t[0] != storage.InternSym("n0")
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -302,7 +302,7 @@ reach(Y) :- reach(X), edge(X, Y), e(Y, Y).
 			}
 			rel := db.Relation(pred)
 			for _, s := range syms {
-				if rel == nil || !rel.Contains(storage.Tuple{ast.Sym(s)}) {
+				if rel == nil || !rel.Contains(storage.TupleOf(ast.Sym(s))) {
 					t.Errorf("%s: missing %s(%s)", m.name, pred, s)
 				}
 			}

@@ -3,7 +3,6 @@ package eval
 import (
 	"fmt"
 
-	"repro/internal/ast"
 	"repro/internal/storage"
 )
 
@@ -26,7 +25,12 @@ type executor struct {
 // st and calling emit for every complete binding. seed pre-binds slots
 // 0..len(seed)-1 (the compiler allocates prebound variables first; the
 // Explain path seeds them from the ground goal); nil for engine plans.
-func (e *Engine) runCompiled(c *compiled, delta []storage.Tuple, seed []ast.Term, st *Stats, emit func(frame) error) error {
+// Plans carrying a Generic Join program dispatch to the leapfrog
+// executor (gj.go) instead of the binary instruction loop.
+func (e *Engine) runCompiled(c *compiled, delta []storage.Tuple, seed []storage.Value, st *Stats, emit func(frame) error) error {
+	if c.gj != nil {
+		return c.gj.run(e.db, delta, st, emit)
+	}
 	x := &executor{c: c, db: e.db, delta: delta, st: st, fr: make(frame, c.nSlots), emit: emit}
 	copy(x.fr, seed)
 	return x.step(0)
@@ -39,12 +43,9 @@ func (x *executor) step(i int) error {
 	in := &x.c.ops[i]
 	switch in.kind {
 	case stepFilter:
-		ok, err := Compare(in.op, in.a.resolve(x.fr), in.b.resolve(x.fr))
+		ok, err := evalFilter(in, x.fr)
 		if err != nil {
 			return err
-		}
-		if in.neg {
-			ok = !ok
 		}
 		if !ok {
 			return nil
@@ -54,21 +55,11 @@ func (x *executor) step(i int) error {
 	case stepBind:
 		x.fr[in.slot] = in.a.resolve(x.fr)
 		err := x.step(i + 1)
-		x.fr[in.slot] = nil
+		x.fr[in.slot] = storage.NoValue
 		return err
 
 	case stepNegCheck:
-		t := make(storage.Tuple, len(in.refs))
-		for k, r := range in.refs {
-			t[k] = r.resolve(x.fr)
-		}
-		x.st.Probes++
-		x.st.IndexProbes++
-		rel := in.rel
-		if rel == nil {
-			rel = x.db.Relation(in.pred)
-		}
-		if rel != nil && rel.Arity == len(t) && rel.Contains(t) {
+		if !evalNegCheck(in, x.fr, x.db, x.st) {
 			return nil
 		}
 		return x.step(i + 1)
@@ -171,7 +162,38 @@ func (x *executor) tryTuple(i int, in *instr, t storage.Tuple) error {
 		err = x.step(i + 1)
 	}
 	for _, s := range in.binds {
-		x.fr[s] = nil
+		x.fr[s] = storage.NoValue
 	}
 	return err
+}
+
+// evalFilter evaluates a compiled comparison instruction under fr,
+// negation included. Shared by the binary executor and the Generic
+// Join path.
+func evalFilter(in *instr, fr frame) (bool, error) {
+	ok, err := CompareValues(in.op, in.a.resolve(fr), in.b.resolve(fr))
+	if err != nil {
+		return false, err
+	}
+	if in.neg {
+		ok = !ok
+	}
+	return ok, nil
+}
+
+// evalNegCheck evaluates a compiled negated-membership instruction
+// under fr; it reports whether execution may continue (the tuple is
+// absent). Shared by the binary executor and the Generic Join path.
+func evalNegCheck(in *instr, fr frame, db *storage.Database, st *Stats) bool {
+	t := make(storage.Tuple, len(in.refs))
+	for k, r := range in.refs {
+		t[k] = r.resolve(fr)
+	}
+	st.Probes++
+	st.IndexProbes++
+	rel := in.rel
+	if rel == nil {
+		rel = db.Relation(in.pred)
+	}
+	return rel == nil || rel.Arity != len(t) || !rel.Contains(t)
 }

@@ -81,7 +81,11 @@ func (e *Engine) explain(goal ast.Atom, onPath map[string]bool, budget *int) *De
 	}
 	*budget--
 	rel := e.db.Relation(goal.Pred)
-	if rel == nil || !rel.Contains(storage.Tuple(goal.Args)) {
+	if rel == nil {
+		return nil
+	}
+	gt, ok := storage.LookupTuple(goal.Args)
+	if !ok || !rel.Contains(gt) {
 		return nil
 	}
 	rules := e.prog.RulesFor(goal.Pred)
@@ -122,12 +126,12 @@ func (e *Engine) explain(goal ast.Atom, onPath map[string]bool, budget *int) *De
 		// compiled plans pin relation pointers.
 		preboundSet := make(map[ast.Var]bool, len(env))
 		var prebound []ast.Var
-		var seed []ast.Term
+		var seed []storage.Value
 		for _, arg := range r.Head.Args {
 			if v, ok := arg.(ast.Var); ok && !preboundSet[v] {
 				preboundSet[v] = true
 				prebound = append(prebound, v)
-				seed = append(seed, env[v])
+				seed = append(seed, storage.Intern(env[v]))
 			}
 		}
 		plan, err := planBody(r.Body, -1, e.estimator(), preboundSet)

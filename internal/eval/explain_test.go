@@ -31,7 +31,7 @@ func TestExplainChain(t *testing.T) {
 	var walk func(x *Derivation)
 	walk = func(x *Derivation) {
 		if len(x.Children) == 0 && x.Rule == "" {
-			if x.Atom.Pred != "edge" || !db.Relation("edge").Contains(storage.Tuple(x.Atom.Args)) {
+			if x.Atom.Pred != "edge" || !db.Relation("edge").Contains(storage.TupleOfTerms(x.Atom.Args)) {
 				t.Errorf("bad leaf %s", x.Atom)
 			}
 		}

@@ -14,24 +14,25 @@ import (
 // binds and probes through slice indexing instead of the
 // map[ast.Var]ast.Term substitutions the interpreter used before, and
 // the compiled program is cached for the whole fixpoint instead of
-// being re-derived every round.
+// being re-derived every round. Slots hold interned storage.Values, so
+// every bind and check inside a join is a word copy or compare.
 
-// frame is the register file of a compiled plan: one ast.Term per
-// variable slot, nil while unbound.
-type frame []ast.Term
+// frame is the register file of a compiled plan: one interned value per
+// variable slot, storage.NoValue while unbound.
+type frame []storage.Value
 
 // argRef refers to either a constant or a variable slot.
 type argRef struct {
-	slot int      // valid when >= 0
-	c    ast.Term // valid when slot < 0
+	slot int           // valid when >= 0
+	c    storage.Value // valid when slot < 0
 }
 
-func constRef(t ast.Term) argRef { return argRef{slot: -1, c: t} }
-func slotRef(s int) argRef       { return argRef{slot: s} }
+func constRef(v storage.Value) argRef { return argRef{slot: -1, c: v} }
+func slotRef(s int) argRef            { return argRef{slot: s} }
 
 // resolve reads the value of a reference under fr. Bound slots hold
-// ground terms by construction.
-func (r argRef) resolve(fr frame) ast.Term {
+// interned values by construction.
+func (r argRef) resolve(fr frame) storage.Value {
 	if r.slot >= 0 {
 		return fr[r.slot]
 	}
@@ -49,8 +50,8 @@ const (
 
 type scanArg struct {
 	kind scanArgKind
-	slot int      // argCheckSlot / argBindSlot
-	c    ast.Term // argConst
+	slot int           // argCheckSlot / argBindSlot
+	c    storage.Value // argConst
 }
 
 // instr is one compiled instruction. A tagged struct (rather than an
@@ -78,12 +79,16 @@ type instr struct {
 	refs []argRef
 }
 
-// compiled is an executable rule body plus its head projection.
+// compiled is an executable rule body plus its head projection. When
+// the planner selects the Generic Join path for the body, gj holds the
+// compiled leapfrog program and execution dispatches to it instead of
+// running ops (which stay compiled as the fallback and for Explain).
 type compiled struct {
 	ops    []instr
 	nSlots int
 	head   []argRef  // head projection, all const or bound slots
 	vars   []ast.Var // slot -> variable, for witness reconstruction
+	gj     *gjProgram
 }
 
 // headTuple projects the head tuple out of a complete frame.
@@ -100,8 +105,8 @@ func (c *compiled) headTuple(fr frame) storage.Tuple {
 func (c *compiled) subst(fr frame) ast.Subst {
 	s := make(ast.Subst, len(fr))
 	for i, v := range fr {
-		if v != nil {
-			s[c.vars[i]] = v
+		if v != storage.NoValue {
+			s[c.vars[i]] = v.Term()
 		}
 	}
 	return s
@@ -134,7 +139,7 @@ func (cp *compiler) ref(t ast.Term) (argRef, bool) {
 		s := cp.slotOf(v)
 		return slotRef(s), cp.bound[s]
 	}
-	return constRef(t), true
+	return constRef(storage.Intern(t)), true
 }
 
 // slotIn reports whether slot s is among binds.

@@ -274,6 +274,7 @@ func (e *Engine) compileSeeds(crs []compiledRule, delta map[string]*storage.Rela
 			if err != nil {
 				return nil, fmt.Errorf("rule %s: %w", cr.rule.Label, err)
 			}
+			e.attachGJ(cp)
 			cp.prepareIndexes()
 			seeds = append(seeds, seedFiring{cr: cr, pred: l.Atom.Pred, plan: cp})
 		}
@@ -374,8 +375,8 @@ func (e *Engine) maintainRounds(ctx context.Context, inSCC map[string]bool, crs 
 	}
 	round := e.roundSpan(0)
 	for _, s := range seeds {
-		err := e.fireSeq(s.cr, s.plan, delta[s.pred].Tuples(), func(t storage.Tuple) {
-			sdelta[s.cr.headPred].Insert(t)
+		err := e.fireSeq(s.cr, s.plan, delta[s.pred].Tuples(), func(t storage.Tuple, h uint64) {
+			sdelta[s.cr.headPred].InsertHashed(t, h)
 			record(s.cr.headPred, t)
 		})
 		if err != nil {
@@ -415,8 +416,8 @@ func (e *Engine) maintainRounds(ctx context.Context, inSCC map[string]bool, crs 
 				if d.Len() == 0 {
 					continue
 				}
-				err := e.fireSeq(cr, dp.plan, d.Tuples(), func(t storage.Tuple) {
-					next[cr.headPred].Insert(t)
+				err := e.fireSeq(cr, dp.plan, d.Tuples(), func(t storage.Tuple, h uint64) {
+					next[cr.headPred].InsertHashed(t, h)
 					record(cr.headPred, t)
 				})
 				if err != nil {
@@ -551,6 +552,7 @@ func (e *Engine) overDelete(ctx context.Context, scc []string, del map[string]*s
 			if err != nil {
 				return fmt.Errorf("rule %s: %w", r.Label, err)
 			}
+			e.attachGJ(cp)
 			cp.prepareIndexes()
 			firings = append(firings, delFiring{
 				label: ruleLabel(r) + "#dred", headPred: r.Head.Pred,
@@ -580,6 +582,7 @@ func (e *Engine) overDelete(ctx context.Context, scc []string, del map[string]*s
 				continue
 			}
 			st := Stats{RuleFirings: 1}
+			f.plan.gjPrepare(e.db)
 			err := e.runCompiled(f.plan, ts, nil, &st, func(fr frame) error {
 				st.Derived++
 				t := f.plan.headTuple(fr)

@@ -32,7 +32,7 @@ func mustProg(t *testing.T, src string) *ast.Program {
 }
 
 func edgeTuple(a, b int) storage.Tuple {
-	return storage.Tuple{ast.Sym(fmt.Sprintf("n%d", a)), ast.Sym(fmt.Sprintf("n%d", b))}
+	return storage.TupleOf(ast.Sym(fmt.Sprintf("n%d", a)), ast.Sym(fmt.Sprintf("n%d", b)))
 }
 
 // fromScratch evaluates prog over a fresh database holding exactly the
@@ -73,8 +73,8 @@ func TestIncrementalDifferential(t *testing.T) {
 	db := storage.NewDatabase()
 	db.Ensure("edge", 2)
 	db.Add("edge", ast.Sym("root"), ast.Sym("n0"))
-	edge[key(storage.Tuple{ast.Sym("root"), ast.Sym("n0")})] = true
-	live = append(live, storage.Tuple{ast.Sym("root"), ast.Sym("n0")})
+	edge[key(storage.TupleOf(ast.Sym("root"), ast.Sym("n0")))] = true
+	live = append(live, storage.TupleOf(ast.Sym("root"), ast.Sym("n0")))
 	if err := New(prog, db).Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestDeleteRederiveSurvivors(t *testing.T) {
 	}
 	eng := New(prog, db)
 	over, err := eng.DeleteAndRederiveContext(context.Background(),
-		map[string][]storage.Tuple{"edge": {{ast.Sym("a"), ast.Sym("b")}}})
+		map[string][]storage.Tuple{"edge": {storage.TupleOf(ast.Sym("a"), ast.Sym("b"))}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,13 +196,13 @@ func TestDeleteRederiveSurvivors(t *testing.T) {
 	if over < 2 {
 		t.Errorf("over-deleted %d IDB tuples, want >= 2", over)
 	}
-	if db.Relation("tc").Contains(storage.Tuple{ast.Sym("a"), ast.Sym("b")}) {
+	if db.Relation("tc").Contains(storage.TupleOf(ast.Sym("a"), ast.Sym("b"))) {
 		t.Error("tc(a,b) should be gone")
 	}
-	if !db.Relation("tc").Contains(storage.Tuple{ast.Sym("a"), ast.Sym("d")}) {
+	if !db.Relation("tc").Contains(storage.TupleOf(ast.Sym("a"), ast.Sym("d"))) {
 		t.Error("tc(a,d) should survive via a->c->d")
 	}
-	if db.Relation("edge").Contains(storage.Tuple{ast.Sym("a"), ast.Sym("b")}) {
+	if db.Relation("edge").Contains(storage.TupleOf(ast.Sym("a"), ast.Sym("b"))) {
 		t.Error("edge(a,b) should be removed")
 	}
 }
@@ -224,20 +224,20 @@ func TestMaintenanceNeedsRecomputeOnNegation(t *testing.T) {
 	before := db.TotalTuples()
 
 	eng := New(prog, db)
-	err := eng.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {{ast.Sym("b"), ast.Sym("a")}}})
+	err := eng.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {storage.TupleOf(ast.Sym("b"), ast.Sym("a"))}})
 	if !errors.Is(err, ErrNeedsRecompute) {
 		t.Fatalf("RunDeltaContext = %v, want ErrNeedsRecompute", err)
 	}
 	if db.TotalTuples() != before {
 		t.Fatal("guard mutated the database")
 	}
-	_, err = eng.DeleteAndRederiveContext(context.Background(), map[string][]storage.Tuple{"edge": {{ast.Sym("a"), ast.Sym("b")}}})
+	_, err = eng.DeleteAndRederiveContext(context.Background(), map[string][]storage.Tuple{"edge": {storage.TupleOf(ast.Sym("a"), ast.Sym("b"))}})
 	if !errors.Is(err, ErrNeedsRecompute) {
 		t.Fatalf("DeleteAndRederiveContext = %v, want ErrNeedsRecompute", err)
 	}
 	// Updates that cannot reach the negated predicate stay incremental.
-	db.Relation("node").Insert(storage.Tuple{ast.Sym("c")})
-	if err := New(prog, db).RunDeltaContext(context.Background(), map[string][]storage.Tuple{"node": {{ast.Sym("c")}}}); err != nil {
+	db.Relation("node").Insert(storage.TupleOf(ast.Sym("c")))
+	if err := New(prog, db).RunDeltaContext(context.Background(), map[string][]storage.Tuple{"node": {storage.TupleOf(ast.Sym("c"))}}); err != nil {
 		t.Fatalf("update not reaching negation should be incremental, got %v", err)
 	}
 }

@@ -114,7 +114,7 @@ tc(X, Y) :- edge(X, Z), tc(Z, Y).
 `)
 	_, dPar := runBoth(t, prog, chainDB(8), 4)
 	rel := dPar.Relation("tc")
-	if rel == nil || !rel.Contains(storage.Tuple{ast.Sym("n0"), ast.Sym("n99")}) {
+	if rel == nil || !rel.Contains(storage.TupleOf(ast.Sym("n0"), ast.Sym("n99"))) {
 		t.Error("seeded tuple did not propagate: want tc(n0, n99)")
 	}
 }
@@ -127,7 +127,7 @@ func TestParallelInsertFilter(t *testing.T) {
 	db := chainDB(12)
 	e := New(prog, db)
 	e.SetParallel(4)
-	banned := ast.Sym("n0")
+	banned := storage.InternSym("n0")
 	e.InsertFilter = func(pred string, tp storage.Tuple) bool {
 		return pred != "tc" || tp[0] != banned
 	}
@@ -199,7 +199,7 @@ func TestChunkTuples(t *testing.T) {
 	mk := func(n int) []storage.Tuple {
 		ts := make([]storage.Tuple, n)
 		for i := range ts {
-			ts[i] = storage.Tuple{ast.Int(int64(i))}
+			ts[i] = storage.TupleOf(ast.Int(int64(i)))
 		}
 		return ts
 	}
@@ -215,7 +215,7 @@ func TestChunkTuples(t *testing.T) {
 		for _, ch := range chunks {
 			total += len(ch)
 			for _, tp := range ch {
-				v := int64(tp[0].(ast.Int))
+				v := int64(tp[0].Term().(ast.Int))
 				if seen[v] {
 					t.Fatalf("n=%d parts=%d: duplicate tuple %d", c.n, c.parts, v)
 				}

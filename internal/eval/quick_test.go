@@ -1,6 +1,7 @@
 package eval_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -96,6 +97,107 @@ func TestQuickParallelEqualsSequential(t *testing.T) {
 	}
 }
 
+// Forced Generic Join agrees with the binary pipeline on random
+// programs — tuple-identical fixpoints and identical Inserted counts —
+// sequentially and in parallel. Together with the planner's fallback
+// (shapes compileGJ rejects keep gj == nil), this pins the two
+// execution paths to the same semantics over the whole program class.
+func TestQuickGJEqualsBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(559))
+	for round := 0; round < 25; round++ {
+		prog, arities := testutil.RandProgram(rng, testutil.RandProgramConfig{
+			Arity:     2 + rng.Intn(2),
+			EDBPreds:  2 + rng.Intn(2),
+			RecRules:  1 + rng.Intn(2),
+			ExitRules: 1 + rng.Intn(2),
+		})
+		db := testutil.RandDB(rng, arities, 5, 12)
+
+		run := func(mode eval.JoinMode, parallel int) (*storage.Database, eval.Stats) {
+			d := db.Clone()
+			e := eval.New(prog, d)
+			e.SetJoinMode(mode)
+			if parallel > 1 {
+				e.SetParallel(parallel)
+			}
+			if err := e.Run(); err != nil {
+				t.Fatalf("round %d (%v, parallel=%d): %v\n%s", round, mode, parallel, err, prog)
+			}
+			return d, e.Stats()
+		}
+		dBin, stBin := run(eval.JoinBinary, 1)
+		for _, c := range []struct {
+			mode     eval.JoinMode
+			parallel int
+		}{
+			{eval.JoinGJ, 1}, {eval.JoinGJ, 4}, {eval.JoinBinary, 4}, {eval.JoinAuto, 1},
+		} {
+			d, st := run(c.mode, c.parallel)
+			if !dBin.Equal(d) {
+				t.Fatalf("round %d: fixpoint (%v, parallel=%d) differs from sequential binary\nprogram:\n%s",
+					round, c.mode, c.parallel, prog)
+			}
+			if st.Inserted != stBin.Inserted {
+				t.Fatalf("round %d: Inserted (%v, parallel=%d) = %d, binary = %d\nprogram:\n%s",
+					round, c.mode, c.parallel, st.Inserted, stBin.Inserted, prog)
+			}
+		}
+	}
+}
+
+// Incremental maintenance under forced Generic Join reaches the same
+// state as from-scratch binary evaluation: random base database, random
+// insert batch, maintained with RunDeltaContext under each join mode.
+func TestQuickGJIncrementalMaintenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(560))
+	for round := 0; round < 15; round++ {
+		prog, arities := testutil.RandProgram(rng, testutil.RandProgramConfig{
+			Arity:     2,
+			EDBPreds:  2,
+			RecRules:  1 + rng.Intn(2),
+			ExitRules: 1,
+		})
+		base := testutil.RandDB(rng, arities, 5, 10)
+		extra := testutil.RandDB(rng, arities, 5, 4)
+		changed := map[string][]storage.Tuple{}
+		full := base.Clone()
+		for _, pred := range extra.Preds() {
+			for _, tp := range extra.Relation(pred).Tuples() {
+				if full.AddTuple(pred, tp) {
+					changed[pred] = append(changed[pred], tp)
+				}
+			}
+		}
+		want := full.Clone()
+		if err := eval.New(prog, want).Run(); err != nil {
+			t.Fatalf("round %d: from-scratch: %v\n%s", round, err, prog)
+		}
+
+		for _, mode := range []eval.JoinMode{eval.JoinBinary, eval.JoinGJ} {
+			db := base.Clone()
+			e := eval.New(prog, db)
+			e.SetJoinMode(mode)
+			if err := e.Run(); err != nil {
+				t.Fatalf("round %d (%v): base run: %v\n%s", round, mode, err, prog)
+			}
+			for pred, ts := range changed {
+				for _, tp := range ts {
+					db.AddTuple(pred, tp)
+				}
+			}
+			eng := eval.New(prog, db)
+			eng.SetJoinMode(mode)
+			if err := eng.RunDeltaContext(context.Background(), changed); err != nil {
+				t.Fatalf("round %d (%v): RunDelta: %v\n%s", round, mode, err, prog)
+			}
+			if !db.Equal(want) {
+				t.Fatalf("round %d (%v): incremental state diverged from from-scratch\nprogram:\n%s",
+					round, mode, prog)
+			}
+		}
+	}
+}
+
 // Monotonicity: adding EDB tuples never removes IDB answers.
 func TestQuickMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(556))
@@ -108,7 +210,7 @@ func TestQuickMonotone(t *testing.T) {
 		extra := testutil.RandDB(rng, arities, 4, 6)
 		for _, pred := range extra.Preds() {
 			for _, tp := range extra.Relation(pred).Tuples() {
-				big.Add(pred, tp...)
+				big.AddTuple(pred, tp)
 			}
 		}
 		dSmall := small.Clone()
@@ -155,7 +257,7 @@ func TestQuickExplainTotalOnDerived(t *testing.T) {
 				break
 			}
 			checked++
-			goal := ast.Atom{Pred: "p", Args: append([]ast.Term{}, tp...)}
+			goal := ast.Atom{Pred: "p", Args: tp.Terms()}
 			d, err := e.Explain(goal, 0)
 			if err != nil {
 				t.Fatalf("round %d: explain %s: %v\n%s", round, goal, err, prog)
@@ -164,7 +266,7 @@ func TestQuickExplainTotalOnDerived(t *testing.T) {
 			walk = func(x *eval.Derivation) bool {
 				if len(x.Children) == 0 {
 					r := db.Relation(x.Atom.Pred)
-					if r == nil || !r.Contains(storage.Tuple(x.Atom.Args)) {
+					if r == nil || !r.Contains(storage.TupleOfTerms(x.Atom.Args)) {
 						return false
 					}
 				}

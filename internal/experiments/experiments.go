@@ -100,6 +100,9 @@ type Config struct {
 	// Tracer, when non-nil, records spans from every measured evaluation
 	// (cmd/bench -trace/-events/-profile).
 	Tracer *obs.Tracer
+	// JoinMode selects the rule-body execution strategy for every
+	// measured run: auto (Generic Join on cyclic bodies), binary, or gj.
+	JoinMode eval.JoinMode
 }
 
 func (c Config) seed() int64 {
@@ -111,12 +114,20 @@ func (c Config) seed() int64 {
 
 // BenchRecord is one measured evaluation in machine-readable form.
 type BenchRecord struct {
-	Experiment string          `json:"experiment"`
-	Label      string          `json:"label"`
-	Parallel   int             `json:"parallel"`
-	NsPerOp    int64           `json:"ns_per_op"`
-	Stats      eval.Stats      `json:"stats"`
-	Strata     []StratumRecord `json:"strata,omitempty"`
+	Experiment string `json:"experiment"`
+	Label      string `json:"label"`
+	Parallel   int    `json:"parallel"`
+	// GoMaxProcs and NumCPU are recorded per measurement (not only at
+	// the document level) so records concatenated across machines or
+	// runtime.GOMAXPROCS changes stay self-describing.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Engine names the join strategy that actually executed: "gj" when
+	// any rule fired through the Generic Join path, "binary" otherwise.
+	Engine  string          `json:"engine"`
+	NsPerOp int64           `json:"ns_per_op"`
+	Stats   eval.Stats      `json:"stats"`
+	Strata  []StratumRecord `json:"strata,omitempty"`
 }
 
 // StratumRecord is the per-phase timing of one evaluation stratum.
@@ -228,6 +239,7 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 		if cfg.Parallel != 0 {
 			e.SetParallel(cfg.Parallel)
 		}
+		e.SetJoinMode(cfg.JoinMode)
 		e.SetTracer(cfg.Tracer)
 		start := time.Now()
 		if err := e.Run(); err != nil {
@@ -246,8 +258,14 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 			parallel = 1
 		}
 	}
+	engine := "binary"
+	if bestStats.GJFirings > 0 {
+		engine = "gj"
+	}
 	cfg.Rec.add(BenchRecord{
 		Experiment: id, Label: label, Parallel: parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Engine:  engine,
 		NsPerOp: best.Nanoseconds(), Stats: bestStats,
 		Strata: strataRecords(bestInfo),
 	})
@@ -722,9 +740,9 @@ func E9Chase(cfg Config) Table {
 // its (small) coordination overhead, recorded honestly here.
 func E11ParallelScaling(cfg Config) Table {
 	t := Table{
-		ID:    "E11",
-		Title: "Parallel semi-naive scaling (round-barrier worker pool)",
-		Claim: "chunked delta fan-out preserves the fixpoint exactly; wall-clock speedup tracks available cores",
+		ID:      "E11",
+		Title:   "Parallel semi-naive scaling (round-barrier worker pool)",
+		Claim:   "chunked delta fan-out preserves the fixpoint exactly; wall-clock speedup tracks available cores",
 		Columns: []string{"workload", "edb", "workers", "ms", "speedup vs 1", "inserted"},
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("host: GOMAXPROCS=%d, NumCPU=%d (speedup is capped by available cores)",

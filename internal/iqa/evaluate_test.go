@@ -34,7 +34,7 @@ func TestEvaluateGroundsTheAnswer(t *testing.T) {
 		t.Fatalf("goal vars = %v", ev.GoalVars)
 	}
 	// Only dee satisfies graduated ∧ topten.
-	if len(ev.ContextMatches) != 1 || ev.ContextMatches[0][0] != ast.Term(ast.Sym("dee")) {
+	if len(ev.ContextMatches) != 1 || ev.ContextMatches[0][0] != storage.InternSym("dee") {
 		t.Fatalf("context matches = %v", ev.ContextMatches)
 	}
 	// Through the fully covered tree (r3), dee qualifies with no further
@@ -44,7 +44,7 @@ func TestEvaluateGroundsTheAnswer(t *testing.T) {
 		rules := strings.Join(tr.Tree.Rules, " ")
 		switch rules {
 		case "r3":
-			if len(ev.PerTree[i]) != 1 || ev.PerTree[i][0][0] != ast.Term(ast.Sym("dee")) {
+			if len(ev.PerTree[i]) != 1 || ev.PerTree[i][0][0] != storage.InternSym("dee") {
 				t.Errorf("r3 qualifiers = %v", ev.PerTree[i])
 			}
 		case "r0":
@@ -80,7 +80,7 @@ func TestEvaluateIDBContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ev.ContextMatches) != 1 || ev.ContextMatches[0][0] != ast.Term(ast.Sym("bob")) {
+	if len(ev.ContextMatches) != 1 || ev.ContextMatches[0][0] != storage.InternSym("bob") {
 		t.Errorf("context matches = %v", ev.ContextMatches)
 	}
 }

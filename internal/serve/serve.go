@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/durable"
+	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/storage"
@@ -24,6 +25,10 @@ type Config struct {
 	// (load, recompute): 0 or 1 sequential, n > 1 workers, n < 0
 	// GOMAXPROCS.
 	Parallel int
+	// JoinMode selects the rule-body join strategy for every
+	// evaluation (load, recompute, incremental maintenance). The zero
+	// value routes cyclic bodies through Generic Join.
+	JoinMode eval.JoinMode
 	// MaxConcurrentQueries bounds in-flight query requests; excess
 	// requests are refused with 503 instead of queueing. <= 0 means
 	// DefaultMaxConcurrentQueries.
@@ -549,18 +554,48 @@ func querySnapshot(db *storage.Database, goal ast.Atom) ([]storage.Tuple, error)
 	if rel.Arity != len(goal.Args) {
 		return nil, fmt.Errorf("%s has arity %d, goal has %d", goal.Pred, rel.Arity, len(goal.Args))
 	}
-	var out []storage.Tuple
-	match := func(t storage.Tuple) {
-		env := ast.NewSubst()
-		if ast.MatchAtom(env, goal, ast.Atom{Pred: goal.Pred, Args: t}) {
-			out = append(out, t)
-		}
+	// Lower the goal to value space once. Ground arguments the interner
+	// has never seen cannot match any stored tuple (and LookupTerm never
+	// grows the table, so adversarial goals cannot bloat the interner).
+	type colSpec struct {
+		c    storage.Value // != NoValue: column must equal this constant
+		peer int           // >= 0: column must equal that earlier column
 	}
+	specs := make([]colSpec, len(goal.Args))
+	firstOf := make(map[ast.Var]int)
 	for i, arg := range goal.Args {
-		if !ast.IsGround(arg) {
+		specs[i] = colSpec{peer: -1}
+		if v, ok := arg.(ast.Var); ok {
+			if j, seen := firstOf[v]; seen {
+				specs[i].peer = j
+			} else {
+				firstOf[v] = i
+			}
 			continue
 		}
-		if positions, ok := rel.LookupNoBuild(i, arg); ok {
+		val, ok := storage.LookupTerm(arg)
+		if !ok {
+			return nil, nil
+		}
+		specs[i].c = val
+	}
+	var out []storage.Tuple
+	match := func(t storage.Tuple) {
+		for i, sp := range specs {
+			if sp.c != storage.NoValue && t[i] != sp.c {
+				return
+			}
+			if sp.peer >= 0 && t[i] != t[sp.peer] {
+				return
+			}
+		}
+		out = append(out, t)
+	}
+	for i, sp := range specs {
+		if sp.c == storage.NoValue {
+			continue
+		}
+		if positions, ok := rel.LookupNoBuild(i, sp.c); ok {
 			for _, pos := range positions {
 				match(rel.At(pos))
 			}

@@ -258,7 +258,7 @@ func runDifferential(t *testing.T, c differentialCase, optimize bool, parallel i
 			if mirror[r.Head.Pred] == nil {
 				mirror[r.Head.Pred] = map[string]storage.Tuple{}
 			}
-			tu := storage.Tuple(r.Head.Args)
+			tu := storage.TupleOfTerms(r.Head.Args)
 			mirror[r.Head.Pred][tu.Key()] = tu
 		} else {
 			ruleOnly = append(ruleOnly, r)
@@ -331,7 +331,7 @@ var tcDifferential = differentialCase{
 	goals: map[string]string{"tc": "tc(X, Y)", "reach": "reach(X)", "pair": "pair(X, Y)"},
 	step: func(rng *rand.Rand, mirror map[string]map[string]storage.Tuple) (string, bool) {
 		edges := mirror["edge"]
-		tu := storage.Tuple{ast.Sym(fmt.Sprintf("n%d", rng.Intn(9))), ast.Sym(fmt.Sprintf("n%d", rng.Intn(9)))}
+		tu := storage.TupleOf(ast.Sym(fmt.Sprintf("n%d", rng.Intn(9))), ast.Sym(fmt.Sprintf("n%d", rng.Intn(9))))
 		if rng.Intn(3) > 0 || len(edges) <= 1 {
 			edges[tu.Key()] = tu
 			return fmt.Sprintf("edge(%s, %s).", tu[0], tu[1]), true
@@ -370,17 +370,17 @@ var orgDifferential = differentialCase{
 		}
 		switch rng.Intn(4) {
 		case 0: // same_level insert
-			tu := storage.Tuple{u(), u(), u()}
+			tu := storage.TupleOf(u(), u(), u())
 			add("same_level", tu)
 			return fmt.Sprintf("same_level(%s, %s, %s).", tu[0], tu[1], tu[2]), true
 		case 1: // executive boss: keep the IC satisfied
-			tu := storage.Tuple{u(), u(), ast.Sym("executive")}
+			tu := storage.TupleOf(u(), u(), ast.Sym("executive"))
 			add("boss", tu)
 			exp := storage.Tuple{tu[1]}
 			add("experienced", exp)
 			return fmt.Sprintf("boss(%s, %s, executive). experienced(%s).", tu[0], tu[1], tu[1]), true
 		case 2: // manager boss: no IC obligation
-			tu := storage.Tuple{u(), u(), ast.Sym("manager")}
+			tu := storage.TupleOf(u(), u(), ast.Sym("manager"))
 			add("boss", tu)
 			return fmt.Sprintf("boss(%s, %s, manager).", tu[0], tu[1]), true
 		default: // delete a boss or same_level fact (never experienced)
@@ -413,7 +413,7 @@ var orgDifferential = differentialCase{
 				return src + ").", false
 			}
 			// Nothing to delete: insert instead.
-			tu := storage.Tuple{u(), u(), u()}
+			tu := storage.TupleOf(u(), u(), u())
 			add("same_level", tu)
 			return fmt.Sprintf("same_level(%s, %s, %s).", tu[0], tu[1], tu[2]), true
 		}
@@ -634,7 +634,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	if sess.dirty {
 		t.Fatal("failed insert should roll back to a clean session")
 	}
-	if sess.db.Relation("edge").Contains(storage.Tuple{ast.Sym("c"), ast.Sym("d")}) {
+	if sess.db.Relation("edge").Contains(storage.TupleOf(ast.Sym("c"), ast.Sym("d"))) {
 		t.Fatal("edge(c, d) should be rolled back")
 	}
 	if n := sess.db.Count("tc"); n != 3 {
@@ -648,7 +648,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	if sess.dirty {
 		t.Fatal("failed delete should roll back to a clean session")
 	}
-	if !sess.db.Relation("edge").Contains(storage.Tuple{ast.Sym("b"), ast.Sym("c")}) {
+	if !sess.db.Relation("edge").Contains(storage.TupleOf(ast.Sym("b"), ast.Sym("c"))) {
 		t.Fatal("edge(b, c) should be restored")
 	}
 	if n := sess.db.Count("tc"); n != 3 {
@@ -684,7 +684,7 @@ func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 
 	// Simulate an update whose rollback failed: EDB mutated behind the
 	// IDB's back, dirty set.
-	sess.db.Ensure("edge", 2).Insert(storage.Tuple{ast.Sym("c"), ast.Sym("d")})
+	sess.db.Ensure("edge", 2).Insert(storage.TupleOf(ast.Sym("c"), ast.Sym("d")))
 	sess.dirty = true
 
 	facts := mustFacts(t, sess, "edge(d, e).")

@@ -162,6 +162,7 @@ func (sess *session) engine(prog *ast.Program, db *storage.Database) *eval.Engin
 	if sess.srv.cfg.Parallel != 0 {
 		e.SetParallel(sess.srv.cfg.Parallel)
 	}
+	e.SetJoinMode(sess.srv.cfg.JoinMode)
 	e.SetTracer(sess.srv.cfg.Tracer)
 	return e
 }
@@ -297,6 +298,7 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 	if s.cfg.Parallel != 0 {
 		eng.SetParallel(s.cfg.Parallel)
 	}
+	eng.SetJoinMode(s.cfg.JoinMode)
 	eng.SetTracer(s.cfg.Tracer)
 	if err := eng.RunContext(ctx); err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("evaluate: %w", err)
@@ -333,7 +335,7 @@ func parseFactsSrc(src string) ([]groundFact, error) {
 		if !r.Head.IsGround() {
 			return nil, fmt.Errorf("updates must be ground, %s has variables", r.Head)
 		}
-		out = append(out, groundFact{pred: r.Head.Pred, tuple: storage.Tuple(r.Head.Args)})
+		out = append(out, groundFact{pred: r.Head.Pred, tuple: storage.TupleOfTerms(r.Head.Args)})
 	}
 	return out, nil
 }

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTuples builds n distinct arity-2 tuples over a domain of
+// interned symbols, cycling so column values repeat the way graph
+// workloads do.
+func benchTuples(n int) []Tuple {
+	dom := make([]Value, 256)
+	for i := range dom {
+		dom[i] = InternSym(fmt.Sprintf("c%d", i))
+	}
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = Tuple{dom[i%len(dom)], dom[(i*7+3)%len(dom)]}
+	}
+	return out
+}
+
+func BenchmarkTupleHash(b *testing.B) {
+	ts := benchTuples(1024)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= ts[i%len(ts)].Hash()
+	}
+	_ = sink
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	ts := benchTuples(1024)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += len(ts[i%len(ts)].Key())
+	}
+	_ = n
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ts := benchTuples(b.N)
+	r := NewRelation("e", 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Insert(ts[i])
+	}
+}
+
+func BenchmarkInsertAllHashed(b *testing.B) {
+	ts := benchTuples(b.N)
+	hs := make([]uint64, len(ts))
+	for i, t := range ts {
+		hs[i] = t.Hash()
+	}
+	r := NewRelation("e", 2)
+	b.ResetTimer()
+	r.InsertAllHashed(ts, hs)
+}
+
+func BenchmarkContainsHashed(b *testing.B) {
+	ts := benchTuples(4096)
+	r := NewRelation("e", 2)
+	for _, t := range ts {
+		r.Insert(t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		if !r.ContainsHashed(t, t.Hash()) {
+			b.Fatal("missing tuple")
+		}
+	}
+}
+
+func BenchmarkLookupNoBuild(b *testing.B) {
+	ts := benchTuples(4096)
+	r := NewRelation("e", 2)
+	for _, t := range ts {
+		r.Insert(t)
+	}
+	r.EnsureIndex(0)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		pos, ok := r.LookupNoBuild(0, ts[i%len(ts)][0])
+		if !ok {
+			b.Fatal("index missing")
+		}
+		n += len(pos)
+	}
+	_ = n
+}
+
+func BenchmarkEnsureSortedBuild(b *testing.B) {
+	ts := benchTuples(4096)
+	perm := []int{0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewRelation("e", 2)
+		for _, t := range ts {
+			r.Insert(t)
+		}
+		b.StartTimer()
+		r.EnsureSorted(perm)
+	}
+}
+
+// BenchmarkEnsureSortedCatchUp measures the delta-aware merge: the
+// index exists, a small suffix of new tuples arrived, and EnsureSorted
+// sorts only the suffix and 2-way merges.
+func BenchmarkEnsureSortedCatchUp(b *testing.B) {
+	ts := benchTuples(4096 + 64)
+	perm := []int{0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewRelation("e", 2)
+		for _, t := range ts[:4096] {
+			r.Insert(t)
+		}
+		r.EnsureSorted(perm)
+		for _, t := range ts[4096:] {
+			r.Insert(t)
+		}
+		b.StartTimer()
+		r.EnsureSorted(perm)
+	}
+}
+
+func BenchmarkSortedSeekGE(b *testing.B) {
+	ts := benchTuples(4096)
+	r := NewRelation("e", 2)
+	for _, t := range ts {
+		r.Insert(t)
+	}
+	idx := r.EnsureSorted([]int{0, 1})
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n += idx.SeekGE(0, 0, idx.Len(), ts[i%len(ts)][0])
+	}
+	_ = n
+}
+
+func BenchmarkSortedNarrow(b *testing.B) {
+	ts := benchTuples(4096)
+	r := NewRelation("e", 2)
+	for _, t := range ts {
+		r.Insert(t)
+	}
+	idx := r.EnsureSorted([]int{0, 1})
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		lo, hi := idx.Narrow(0, 0, idx.Len(), ts[i%len(ts)][0])
+		n += hi - lo
+	}
+	_ = n
+}

@@ -12,7 +12,7 @@ import (
 func itup(vals ...int64) Tuple {
 	t := make(Tuple, len(vals))
 	for i, v := range vals {
-		t[i] = ast.Int(v)
+		t[i] = InternInt(v)
 	}
 	return t
 }
@@ -139,7 +139,7 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Fatal("snapshot sees tuple inserted after Snapshot")
 	}
 	// Read-only lookup paths keep working on the snapshot.
-	if positions, ok := snap.Relation("e").LookupNoBuild(0, ast.Int(7)); !ok || len(positions) != 1 {
+	if positions, ok := snap.Relation("e").LookupNoBuild(0, InternInt(7)); !ok || len(positions) != 1 {
 		t.Fatalf("snapshot LookupNoBuild = %v, %v", positions, ok)
 	}
 }
@@ -238,16 +238,16 @@ func TestRemoveRebuildsColumnIndexLazily(t *testing.T) {
 		r.Insert(itup(i%3, i))
 	}
 	r.EnsureIndex(0)
-	before := len(r.Lookup(0, ast.Int(0)))
+	before := len(r.Lookup(0, InternInt(0)))
 	if !r.Remove(itup(0, 0)) {
 		t.Fatal("Remove failed")
 	}
-	after := len(r.Lookup(0, ast.Int(0)))
+	after := len(r.Lookup(0, InternInt(0)))
 	if after != before-1 {
 		t.Fatalf("Lookup after Remove = %d positions, want %d", after, before-1)
 	}
-	for _, pos := range r.Lookup(0, ast.Int(0)) {
-		if tu := r.At(pos); tu[0] != ast.Int(0) {
+	for _, pos := range r.Lookup(0, InternInt(0)) {
+		if tu := r.At(pos); tu[0] != InternInt(0) {
 			t.Fatalf("stale index position %d -> %v", pos, tu)
 		}
 	}

@@ -1,94 +1,109 @@
 // Package storage implements the extensional layer of the deductive
 // database: set-semantics relations over ground tuples, per-column hash
-// indexes, and a catalog (Database) keyed by predicate name.
+// indexes, columnar sorted indexes for the Generic Join path, and a
+// catalog (Database) keyed by predicate name.
 //
-// Tuples are slices of ground ast.Term values. Relations preserve
-// insertion order (for deterministic iteration) while enforcing set
-// semantics through a hashed membership structure: tuples are hashed
-// directly (FNV-1a over kind-tagged values) into buckets of positions,
-// so membership probes build no intermediate key strings. Column
-// indexes are created lazily by the join engine and maintained
-// incrementally afterwards.
+// Tuples are fixed-width vectors of interned Values (see intern.go):
+// every symbolic or integer constant is mapped to a dense uint32 ID at
+// ingest time, so tuple hashing is one multiply-xor per column, tuple
+// equality is word comparison, and no per-probe work ever touches
+// string bytes. Relations preserve insertion order (for deterministic
+// iteration) while enforcing set semantics through a hashed membership
+// structure. Column indexes are created lazily by the join engine and
+// maintained incrementally afterwards; sorted indexes catch up to
+// appended tuples by merging (never a full rebuild).
 //
 // Concurrency discipline: relations have no internal locking. The
 // evaluation engine's parallel mode relies on a freeze protocol —
 // during a parallel fixpoint round every relation a worker can reach is
 // read-only (all mutation happens at the round barrier, single
 // threaded), and workers probe only through the read-only paths
-// (Contains, Tuples, At, LookupNoBuild). EnsureIndex/Lookup mutate the
-// relation on first use and must only be called while the relation is
-// not shared.
+// (Contains, Tuples, At, LookupNoBuild). EnsureIndex/Lookup/
+// EnsureSorted mutate the relation on first use and must only be
+// called while the relation is not shared.
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"repro/internal/ast"
 )
 
-// Tuple is a ground sequence of terms.
-type Tuple []ast.Term
+// Tuple is a ground sequence of interned values.
+type Tuple []Value
 
-// Key encodes a tuple as a string usable as a map key. Encoding is
-// injective: each value is tagged with its kind and separated by NUL.
-// The hot membership path hashes tuples directly (see Hash); Key
-// remains for callers that need a printable injective encoding.
-func (t Tuple) Key() string {
-	var sb strings.Builder
-	for _, v := range t {
-		switch x := v.(type) {
-		case ast.Int:
-			sb.WriteByte('i')
-			sb.WriteString(strconv.FormatInt(int64(x), 10))
-		case ast.Sym:
-			sb.WriteByte('s')
-			sb.WriteString(string(x))
-		default:
-			// Variables must never reach storage; make the failure loud.
-			panic(fmt.Sprintf("storage: non-ground term %v in tuple", v))
-		}
-		sb.WriteByte(0)
+// TupleOf interns the ground terms into a tuple. It panics on
+// variables, like every storage ingest path.
+func TupleOf(terms ...ast.Term) Tuple { return TupleOfTerms(terms) }
+
+// TupleOfTerms interns a term slice into a tuple.
+func TupleOfTerms(terms []ast.Term) Tuple {
+	t := make(Tuple, len(terms))
+	for i, v := range terms {
+		t[i] = Intern(v)
 	}
-	return sb.String()
+	return t
 }
 
-// FNV-1a constants.
+// LookupTuple maps ground terms to an existing tuple without growing
+// the interner; ok is false when some term was never interned (in which
+// case no stored tuple can equal it).
+func LookupTuple(terms []ast.Term) (Tuple, bool) {
+	t := make(Tuple, len(terms))
+	for i, v := range terms {
+		val, ok := LookupTerm(v)
+		if !ok {
+			return nil, false
+		}
+		t[i] = val
+	}
+	return t, true
+}
+
+// Terms resolves the tuple back to its ground terms.
+func (t Tuple) Terms() []ast.Term {
+	out := make([]ast.Term, len(t))
+	for i, v := range t {
+		out[i] = v.Term()
+	}
+	return out
+}
+
+// Key encodes a tuple as a string usable as a map key. The encoding is
+// injective because values are: four little-endian bytes per column.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 4*len(t))
+	for _, v := range t {
+		if v == NoValue {
+			panic(fmt.Sprintf("storage: incomplete tuple %v in Key", []Value(t)))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return string(b)
+}
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
 
-// Hash returns a 64-bit hash of the tuple, consistent with Equal:
-// equal tuples hash equally. The encoding mirrors Key (kind tag, value,
-// terminator) but never materializes a string.
+// Hash returns a 64-bit hash of the tuple, consistent with Equal. With
+// interned values this is one xor-multiply per column — no string bytes
+// are ever touched on the probe path.
 func (t Tuple) Hash() uint64 {
 	h := uint64(fnvOffset)
 	for _, v := range t {
-		switch x := v.(type) {
-		case ast.Int:
-			h = (h ^ 'i') * fnvPrime
-			u := uint64(x)
-			for s := 0; s < 64; s += 8 {
-				h = (h ^ (u >> s & 0xff)) * fnvPrime
-			}
-		case ast.Sym:
-			h = (h ^ 's') * fnvPrime
-			for i := 0; i < len(x); i++ {
-				h = (h ^ uint64(x[i])) * fnvPrime
-			}
-		default:
-			panic(fmt.Sprintf("storage: non-ground term %v in tuple", v))
-		}
-		h = (h ^ 0xff) * fnvPrime
+		h = (h ^ (uint64(v) + 1)) * fnvPrime
 	}
 	return h
 }
 
-// Equal reports component-wise equality.
+// Equal reports component-wise equality — word compares on interned
+// values.
 func (t Tuple) Equal(u Tuple) bool {
 	if len(t) != len(u) {
 		return false
@@ -101,10 +116,12 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// Less orders tuples lexicographically using ast.CompareTerms.
+// Less orders tuples lexicographically by term order (Int < Sym, then
+// by value) — the deterministic-output order. The Generic Join path
+// sorts by raw Value instead (see sorted.go).
 func (t Tuple) Less(u Tuple) bool {
 	for i := 0; i < len(t) && i < len(u); i++ {
-		switch ast.CompareTerms(t[i], u[i]) {
+		switch CompareValues(t[i], u[i]) {
 		case -1:
 			return true
 		case 1:
@@ -123,82 +140,167 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// tupleIndex is the shared hashed-set core of Relation and TupleSet: a
-// bucket map from tuple hash to the positions (in an external tuple
-// slice) holding tuples with that hash. Collisions are resolved by
-// comparing the actual tuples, so correctness never depends on hash
-// quality.
-type tupleIndex map[uint64][]int
+// tupleIndex is the shared hashed-set core of Relation and TupleSet: an
+// open-addressed table mapping tuple hashes to positions (in an
+// external tuple slice). Slots hold position+1 (0 = empty) with the
+// hash alongside, linear probing, and backward-shift deletion, so the
+// hot insert path touches two flat arrays and allocates nothing — no Go
+// map, no per-bucket slices. Distinct tuples that collide on the full
+// 64-bit hash simply occupy separate slots; equality is always
+// confirmed against the actual tuple, so correctness never depends on
+// hash quality. Every method takes the tuple's hash, so callers that
+// hold one (the semi-naive inner loop does) never pay it twice.
+type tupleIndex struct {
+	hashes []uint64 // slot → tuple hash, valid where slots[i] != 0
+	slots  []uint32 // slot → position+1; 0 marks an empty slot
+	used   int
+}
 
-func (ix tupleIndex) contains(tuples []Tuple, t Tuple) bool {
-	for _, pos := range ix[t.Hash()] {
-		if tuples[pos].Equal(t) {
-			return true
-		}
-	}
-	return false
+func (ix *tupleIndex) contains(tuples []Tuple, t Tuple, h uint64) bool {
+	return ix.find(tuples, t, h) >= 0
 }
 
 // add inserts pos for t unless an equal tuple is already present.
-func (ix tupleIndex) add(tuples []Tuple, t Tuple, pos int) bool {
-	h := t.Hash()
-	for _, p := range ix[h] {
-		if tuples[p].Equal(t) {
+func (ix *tupleIndex) add(tuples []Tuple, t Tuple, h uint64, pos int) bool {
+	if (ix.used+1)*4 >= len(ix.slots)*3 {
+		ix.grow()
+	}
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != 0 {
+		if ix.hashes[i] == h && tuples[ix.slots[i]-1].Equal(t) {
 			return false
 		}
+		i = (i + 1) & mask
 	}
-	ix[h] = append(ix[h], pos)
+	ix.slots[i] = uint32(pos + 1)
+	ix.hashes[i] = h
+	ix.used++
 	return true
 }
 
-// find returns the position of t in tuples, or -1 if absent.
-func (ix tupleIndex) find(tuples []Tuple, t Tuple) int {
-	for _, pos := range ix[t.Hash()] {
-		if tuples[pos].Equal(t) {
-			return pos
+// grow doubles the table and reinserts every live slot. Stored hashes
+// make the rehash a pure probe — tuples are never touched.
+func (ix *tupleIndex) grow() {
+	newCap := 8
+	if len(ix.slots) > 0 {
+		newCap = len(ix.slots) * 2
+	}
+	hashes := make([]uint64, newCap)
+	slots := make([]uint32, newCap)
+	mask := uint64(newCap - 1)
+	for i, s := range ix.slots {
+		if s == 0 {
+			continue
 		}
+		h := ix.hashes[i]
+		j := h & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slots[j] = s
+		hashes[j] = h
+	}
+	ix.hashes, ix.slots = hashes, slots
+}
+
+// clone deep-copies the table (the copy-on-write detach path).
+func (ix *tupleIndex) clone() tupleIndex {
+	out := tupleIndex{used: ix.used}
+	if ix.slots != nil {
+		out.hashes = append([]uint64(nil), ix.hashes...)
+		out.slots = append([]uint32(nil), ix.slots...)
+	}
+	return out
+}
+
+// find returns the position of t in tuples, or -1 if absent.
+func (ix *tupleIndex) find(tuples []Tuple, t Tuple, h uint64) int {
+	if ix.used == 0 {
+		return -1
+	}
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != 0 {
+		if ix.hashes[i] == h && tuples[ix.slots[i]-1].Equal(t) {
+			return int(ix.slots[i] - 1)
+		}
+		i = (i + 1) & mask
 	}
 	return -1
 }
 
-// dropPos removes one occurrence of pos from the bucket of hash h,
-// deleting the bucket when it empties.
-func (ix tupleIndex) dropPos(h uint64, pos int) {
-	bucket := ix[h]
-	for i, p := range bucket {
-		if p == pos {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
-			break
-		}
+// dropPos removes the slot holding pos, probing from its hash h, then
+// backward-shifts displaced entries so later probes stay correct
+// without tombstones.
+func (ix *tupleIndex) dropPos(h uint64, pos int) {
+	if ix.used == 0 {
+		return
 	}
-	if len(bucket) == 0 {
-		delete(ix, h)
-	} else {
-		ix[h] = bucket
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != uint32(pos+1) {
+		if ix.slots[i] == 0 {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	ix.used--
+	for {
+		ix.slots[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			if ix.slots[j] == 0 {
+				return
+			}
+			// The entry at j stays put iff its home slot k lies in the
+			// cyclic interval (i, j]; otherwise it fills the hole at i.
+			k := ix.hashes[j] & mask
+			stays := false
+			if i <= j {
+				stays = i < k && k <= j
+			} else {
+				stays = i < k || k <= j
+			}
+			if !stays {
+				ix.slots[i], ix.hashes[i] = ix.slots[j], ix.hashes[j]
+				i = j
+				break
+			}
+		}
 	}
 }
 
-// replacePos rewrites occurrences of old to new in the bucket of hash h.
-func (ix tupleIndex) replacePos(h uint64, old, new int) {
-	bucket := ix[h]
-	for i, p := range bucket {
-		if p == old {
-			bucket[i] = new
+// replacePos rewrites the slot holding old to new, probing from hash h.
+// Positions are unique across the table, so the first match is the only
+// one.
+func (ix *tupleIndex) replacePos(h uint64, old, new int) {
+	if ix.used == 0 {
+		return
+	}
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != 0 {
+		if ix.slots[i] == uint32(old+1) {
+			ix.slots[i] = uint32(new + 1)
+			return
 		}
+		i = (i + 1) & mask
 	}
 }
 
 // removeSwap deletes t from the (tuples, ix) pair by swapping the last
-// tuple into the vacated position. It returns the updated slice and
-// whether t was present. Iteration order is not preserved across
-// removals (the last element moves), which every caller here tolerates:
-// set semantics make order a determinism nicety, not a correctness
-// property, and removal happens only outside evaluation rounds.
-func (ix tupleIndex) removeSwap(tuples []Tuple, t Tuple) ([]Tuple, bool) {
-	pos := ix.find(tuples, t)
+// tuple into the vacated position. It returns the updated slice, the
+// position that was vacated (-1 if absent), and whether t was present.
+// Iteration order is not preserved across removals (the last element
+// moves), which every caller here tolerates: set semantics make order a
+// determinism nicety, not a correctness property, and removal happens
+// only outside evaluation rounds.
+func (ix *tupleIndex) removeSwap(tuples []Tuple, t Tuple) ([]Tuple, int, bool) {
+	pos := ix.find(tuples, t, t.Hash())
 	if pos < 0 {
-		return tuples, false
+		return tuples, -1, false
 	}
 	last := len(tuples) - 1
 	ix.dropPos(t.Hash(), pos)
@@ -208,29 +310,35 @@ func (ix tupleIndex) removeSwap(tuples []Tuple, t Tuple) ([]Tuple, bool) {
 		tuples[pos] = moved
 	}
 	tuples[last] = nil
-	return tuples[:last], true
+	return tuples[:last], pos, true
 }
 
 // TupleSet is a standalone set of tuples with insertion-order
 // iteration. The parallel evaluation engine uses one per worker as a
 // private derivation buffer that is merged into relations at the round
-// barrier.
+// barrier; the set remembers each tuple's hash so the merge never
+// re-hashes.
 type TupleSet struct {
 	index  tupleIndex
 	tuples []Tuple
+	hashes []uint64
 }
 
 // NewTupleSet returns an empty set.
 func NewTupleSet() *TupleSet {
-	return &TupleSet{index: make(tupleIndex)}
+	return &TupleSet{}
 }
 
 // Add inserts t if absent and reports whether it was new.
-func (s *TupleSet) Add(t Tuple) bool {
-	if !s.index.add(s.tuples, t, len(s.tuples)) {
+func (s *TupleSet) Add(t Tuple) bool { return s.AddHashed(t, t.Hash()) }
+
+// AddHashed is Add for callers that already hold t's hash.
+func (s *TupleSet) AddHashed(t Tuple, h uint64) bool {
+	if !s.index.add(s.tuples, t, h, len(s.tuples)) {
 		return false
 	}
 	s.tuples = append(s.tuples, t)
+	s.hashes = append(s.hashes, h)
 	return true
 }
 
@@ -238,13 +346,25 @@ func (s *TupleSet) Add(t Tuple) bool {
 // iteration order is not preserved across removals: the last tuple is
 // swapped into the vacated slot.
 func (s *TupleSet) Remove(t Tuple) bool {
-	tuples, ok := s.index.removeSwap(s.tuples, t)
+	tuples, pos, ok := s.index.removeSwap(s.tuples, t)
 	s.tuples = tuples
+	if ok {
+		last := len(s.hashes) - 1
+		if pos < last {
+			s.hashes[pos] = s.hashes[last]
+		}
+		s.hashes = s.hashes[:last]
+	}
 	return ok
 }
 
 // Contains reports membership.
-func (s *TupleSet) Contains(t Tuple) bool { return s.index.contains(s.tuples, t) }
+func (s *TupleSet) Contains(t Tuple) bool { return s.index.contains(s.tuples, t, t.Hash()) }
+
+// ContainsHashed is Contains for callers that already hold t's hash.
+func (s *TupleSet) ContainsHashed(t Tuple, h uint64) bool {
+	return s.index.contains(s.tuples, t, h)
+}
 
 // Len returns the number of tuples.
 func (s *TupleSet) Len() int { return len(s.tuples) }
@@ -253,8 +373,12 @@ func (s *TupleSet) Len() int { return len(s.tuples) }
 // mutate it).
 func (s *TupleSet) Tuples() []Tuple { return s.tuples }
 
+// Hashes returns the hash of each tuple, aligned with Tuples (callers
+// must not mutate it).
+func (s *TupleSet) Hashes() []uint64 { return s.hashes }
+
 // Relation is a set of equal-arity tuples with optional per-column hash
-// indexes.
+// indexes and optional columnar sorted indexes (sorted.go).
 type Relation struct {
 	Name  string
 	Arity int
@@ -263,7 +387,12 @@ type Relation struct {
 	index  tupleIndex
 	// colIndex[i] maps a column-i value to the positions of tuples
 	// holding it; nil until EnsureIndex(i) is called.
-	colIndex []map[ast.Term][]int
+	colIndex []map[Value][]int
+	// sorted holds the columnar sorted indexes by column-permutation
+	// signature; nil until EnsureSorted is called. Entries are immutable
+	// objects — catch-up replaces an entry with a freshly merged one, so
+	// snapshot holders can keep reading the old object.
+	sorted map[string]*SortedIndex
 	// cow marks the backing structures as shared with a snapshot
 	// (Database.Snapshot). Every mutating method calls detach first,
 	// which deep-copies the shared state, so snapshot holders can read
@@ -281,24 +410,34 @@ func (r *Relation) detach() {
 	tuples := make([]Tuple, len(r.tuples))
 	copy(tuples, r.tuples)
 	r.tuples = tuples
-	index := make(tupleIndex, len(r.index))
-	for h, bucket := range r.index {
-		index[h] = append([]int(nil), bucket...)
-	}
-	r.index = index
-	colIndex := make([]map[ast.Term][]int, len(r.colIndex))
+	r.index = r.index.clone()
+	colIndex := make([]map[Value][]int, len(r.colIndex))
 	for i, idx := range r.colIndex {
 		if idx == nil {
 			continue
 		}
-		ci := make(map[ast.Term][]int, len(idx))
+		ci := make(map[Value][]int, len(idx))
 		for v, positions := range idx {
 			ci[v] = append([]int(nil), positions...)
 		}
 		colIndex[i] = ci
 	}
 	r.colIndex = colIndex
+	// Sorted indexes are immutable; a private map over the shared
+	// objects suffices (catch-up installs new objects into it).
+	r.sorted = copySortedMap(r.sorted)
 	r.cow = false
+}
+
+func copySortedMap(m map[string]*SortedIndex) map[string]*SortedIndex {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]*SortedIndex, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // snapshotRef returns a read-only view sharing r's current backing
@@ -307,9 +446,13 @@ func (r *Relation) detach() {
 // concurrent readers need no locking.
 func (r *Relation) snapshotRef() *Relation {
 	r.cow = true
-	ci := make([]map[ast.Term][]int, len(r.colIndex))
+	ci := make([]map[Value][]int, len(r.colIndex))
 	copy(ci, r.colIndex)
-	return &Relation{Name: r.Name, Arity: r.Arity, tuples: r.tuples, index: r.index, colIndex: ci, cow: true}
+	return &Relation{
+		Name: r.Name, Arity: r.Arity,
+		tuples: r.tuples, index: r.index, colIndex: ci,
+		sorted: copySortedMap(r.sorted), cow: true,
+	}
 }
 
 // NewRelation creates an empty relation.
@@ -317,8 +460,7 @@ func NewRelation(name string, arity int) *Relation {
 	return &Relation{
 		Name:     name,
 		Arity:    arity,
-		index:    make(tupleIndex),
-		colIndex: make([]map[ast.Term][]int, arity),
+		colIndex: make([]map[Value][]int, arity),
 	}
 }
 
@@ -327,18 +469,21 @@ func (r *Relation) Len() int { return len(r.tuples) }
 
 // Insert adds a tuple if absent; it reports whether the tuple was new.
 // The tuple must have the relation's arity.
-func (r *Relation) Insert(t Tuple) bool {
+func (r *Relation) Insert(t Tuple) bool { return r.InsertHashed(t, t.Hash()) }
+
+// InsertHashed is Insert for callers that already hold t's hash — the
+// semi-naive merge path uses it so each candidate tuple is hashed
+// exactly once per round.
+func (r *Relation) InsertHashed(t Tuple, h uint64) bool {
 	if len(t) != r.Arity {
 		panic(fmt.Sprintf("storage: arity mismatch inserting %v into %s/%d", t, r.Name, r.Arity))
 	}
-	if r.Contains(t) {
+	if r.index.contains(r.tuples, t, h) {
 		return false
 	}
 	r.detach()
 	pos := len(r.tuples)
-	if !r.index.add(r.tuples, t, pos) {
-		return false
-	}
+	r.index.add(r.tuples, t, h, pos)
 	r.tuples = append(r.tuples, t)
 	for col, idx := range r.colIndex {
 		if idx != nil {
@@ -349,9 +494,7 @@ func (r *Relation) Insert(t Tuple) bool {
 }
 
 // InsertAll bulk-inserts tuples and returns the ones that were new, in
-// insertion order. It is the merge path for per-worker derivation
-// buffers at the round barrier, where the new tuples become the next
-// round's delta.
+// insertion order.
 func (r *Relation) InsertAll(ts []Tuple) []Tuple {
 	var news []Tuple
 	for _, t := range ts {
@@ -362,9 +505,24 @@ func (r *Relation) InsertAll(ts []Tuple) []Tuple {
 	return news
 }
 
-// Remove deletes t if present and reports whether it was. Column
-// indexes are dropped (they rebuild lazily on the next Lookup) because
-// the swap-removal renumbers positions; the membership index is
+// InsertAllHashed bulk-inserts tuples with precomputed hashes (aligned
+// slices, as TupleSet.Tuples/Hashes return them) and returns the new
+// ones in order. It is the merge path for per-worker derivation buffers
+// at the round barrier, where the new tuples become the next round's
+// delta.
+func (r *Relation) InsertAllHashed(ts []Tuple, hs []uint64) []Tuple {
+	var news []Tuple
+	for i, t := range ts {
+		if r.InsertHashed(t, hs[i]) {
+			news = append(news, t)
+		}
+	}
+	return news
+}
+
+// Remove deletes t if present and reports whether it was. Column and
+// sorted indexes are dropped (they rebuild lazily on the next use)
+// because the swap-removal renumbers positions; the membership index is
 // maintained in place. Iteration order is not preserved across
 // removals. Removal is a maintenance-time operation (delete-and-
 // rederive); it must not run during an evaluation round.
@@ -376,18 +534,24 @@ func (r *Relation) Remove(t Tuple) bool {
 		return false
 	}
 	r.detach()
-	tuples, ok := r.index.removeSwap(r.tuples, t)
+	tuples, _, ok := r.index.removeSwap(r.tuples, t)
 	r.tuples = tuples
 	if ok {
 		for i := range r.colIndex {
 			r.colIndex[i] = nil
 		}
+		r.sorted = nil
 	}
 	return ok
 }
 
 // Contains reports whether the relation holds t. Read-only.
-func (r *Relation) Contains(t Tuple) bool { return r.index.contains(r.tuples, t) }
+func (r *Relation) Contains(t Tuple) bool { return r.index.contains(r.tuples, t, t.Hash()) }
+
+// ContainsHashed is Contains for callers that already hold t's hash.
+func (r *Relation) ContainsHashed(t Tuple, h uint64) bool {
+	return r.index.contains(r.tuples, t, h)
+}
 
 // Tuples returns the backing slice (callers must not mutate it).
 func (r *Relation) Tuples() []Tuple { return r.tuples }
@@ -401,9 +565,9 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // copies the slice header), and a freshly built map mutates nothing the
 // other side can see. Only in-place updates of existing inner maps
 // (Insert) and position renumbering (Remove) require detach.
-func (r *Relation) EnsureIndex(col int) map[ast.Term][]int {
+func (r *Relation) EnsureIndex(col int) map[Value][]int {
 	if r.colIndex[col] == nil {
-		idx := make(map[ast.Term][]int)
+		idx := make(map[Value][]int)
 		for pos, t := range r.tuples {
 			idx[t[col]] = append(idx[t[col]], pos)
 		}
@@ -414,7 +578,7 @@ func (r *Relation) EnsureIndex(col int) map[ast.Term][]int {
 
 // Lookup returns the positions of tuples whose column col equals v,
 // using (and building if necessary) the column index.
-func (r *Relation) Lookup(col int, v ast.Term) []int {
+func (r *Relation) Lookup(col int, v Value) []int {
 	return r.EnsureIndex(col)[v]
 }
 
@@ -422,7 +586,7 @@ func (r *Relation) Lookup(col int, v ast.Term) []int {
 // v if the column index already exists; ok is false when the index has
 // not been built. It never mutates the relation, so concurrent readers
 // may call it during a frozen round.
-func (r *Relation) LookupNoBuild(col int, v ast.Term) (positions []int, ok bool) {
+func (r *Relation) LookupNoBuild(col int, v Value) (positions []int, ok bool) {
 	idx := r.colIndex[col]
 	if idx == nil {
 		return nil, false
@@ -446,7 +610,9 @@ func (r *Relation) IndexedColumns() []int {
 	return cols
 }
 
-// Sorted returns the tuples in lexicographic order (a fresh slice).
+// Sorted returns the tuples in lexicographic term order (a fresh
+// slice) — the deterministic-printing order, stable across process
+// restarts (unlike raw Value order, which depends on interning order).
 func (r *Relation) Sorted() []Tuple {
 	out := make([]Tuple, len(r.tuples))
 	copy(out, r.tuples)
@@ -530,10 +696,17 @@ func (db *Database) Ensure(pred string, arity int) *Relation {
 // monotone evaluation).
 func (db *Database) Replace(rel *Relation) { db.rels[rel.Name] = rel }
 
-// Add inserts a tuple for pred, creating the relation on first use.
-// It reports whether the tuple was new.
+// Add interns the ground terms and inserts the tuple for pred,
+// creating the relation on first use. It reports whether the tuple was
+// new.
 func (db *Database) Add(pred string, vals ...ast.Term) bool {
-	return db.Ensure(pred, len(vals)).Insert(Tuple(vals))
+	return db.Ensure(pred, len(vals)).Insert(TupleOfTerms(vals))
+}
+
+// AddTuple inserts an already-interned tuple for pred, creating the
+// relation on first use.
+func (db *Database) AddTuple(pred string, t Tuple) bool {
+	return db.Ensure(pred, len(t)).Insert(t)
 }
 
 // AddFact inserts a ground atom.
@@ -585,7 +758,19 @@ func (db *Database) TotalTuples() int {
 // was. A missing relation is not an error.
 func (db *Database) Remove(pred string, vals ...ast.Term) bool {
 	if r := db.rels[pred]; r != nil {
-		return r.Remove(Tuple(vals))
+		t, ok := LookupTuple(vals)
+		if !ok {
+			return false
+		}
+		return r.Remove(t)
+	}
+	return false
+}
+
+// RemoveTuple deletes an already-interned tuple for pred if present.
+func (db *Database) RemoveTuple(pred string, t Tuple) bool {
+	if r := db.rels[pred]; r != nil {
+		return r.Remove(t)
 	}
 	return false
 }
@@ -620,10 +805,6 @@ func (db *Database) Clone() *Database {
 // Equal reports whether two databases hold exactly the same relations
 // and tuples (insertion order ignored).
 func (db *Database) Equal(other *Database) bool {
-	if len(db.rels) != len(other.rels) {
-		// Allow empty relations to match missing ones.
-		return db.subset(other) && other.subset(db)
-	}
 	return db.subset(other) && other.subset(db)
 }
 

@@ -1,13 +1,15 @@
 package storage
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/ast"
 )
 
-func tup(vals ...ast.Term) Tuple { return Tuple(vals) }
+func tup(vals ...ast.Term) Tuple { return TupleOf(vals...) }
 
 func TestTupleKeyInjective(t *testing.T) {
 	// Values that would collide under naive string concatenation.
@@ -37,7 +39,7 @@ func TestTupleKeyProperty(t *testing.T) {
 func TestTupleKeyPanicsOnVariable(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("Key on a tuple containing a variable must panic")
+			t.Error("building a tuple from a variable must panic")
 		}
 	}()
 	_ = tup(ast.Var("X")).Key()
@@ -97,22 +99,22 @@ func TestRelationIndexMaintenance(t *testing.T) {
 	r := NewRelation("p", 2)
 	r.Insert(tup(ast.Sym("a"), ast.Int(1)))
 	// Build the index, then insert more: the index must stay current.
-	if got := len(r.Lookup(0, ast.Sym("a"))); got != 1 {
+	if got := len(r.Lookup(0, InternSym("a"))); got != 1 {
 		t.Fatalf("lookup a = %d positions", got)
 	}
 	r.Insert(tup(ast.Sym("a"), ast.Int(2)))
 	r.Insert(tup(ast.Sym("b"), ast.Int(3)))
-	if got := len(r.Lookup(0, ast.Sym("a"))); got != 2 {
+	if got := len(r.Lookup(0, InternSym("a"))); got != 2 {
 		t.Errorf("lookup a after insert = %d positions, want 2", got)
 	}
-	if got := len(r.Lookup(1, ast.Int(3))); got != 1 {
+	if got := len(r.Lookup(1, InternInt(3))); got != 1 {
 		t.Errorf("lookup col1=3 = %d positions, want 1", got)
 	}
-	if got := len(r.Lookup(0, ast.Sym("zzz"))); got != 0 {
+	if got := len(r.Lookup(0, InternSym("zzz"))); got != 0 {
 		t.Errorf("lookup missing = %d positions", got)
 	}
-	for _, pos := range r.Lookup(0, ast.Sym("a")) {
-		if r.At(pos)[0] != ast.Term(ast.Sym("a")) {
+	for _, pos := range r.Lookup(0, InternSym("a")) {
+		if r.At(pos)[0] != InternSym("a") {
 			t.Error("index points at wrong tuple")
 		}
 	}
@@ -134,7 +136,7 @@ func TestSortedDeterministic(t *testing.T) {
 	r.Insert(tup(ast.Sym("a")))
 	r.Insert(tup(ast.Int(5)))
 	s := r.Sorted()
-	if s[0][0] != ast.Term(ast.Int(5)) || s[1][0] != ast.Term(ast.Sym("a")) || s[2][0] != ast.Term(ast.Sym("b")) {
+	if s[0][0] != InternInt(5) || s[1][0] != InternSym("a") || s[2][0] != InternSym("b") {
 		t.Errorf("Sorted = %v", s)
 	}
 }
@@ -226,5 +228,50 @@ func TestTupleLess(t *testing.T) {
 	}
 	if a.Less(a) {
 		t.Error("irreflexive")
+	}
+}
+
+// The open-addressed tuple index agrees with a reference map under a
+// long random churn of inserts and swap-removals — this is the test
+// that exercises backward-shift deletion, growth, and position
+// renumbering together.
+func TestRelationRandomChurnAgainstReferenceSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	r := NewRelation("e", 2)
+	ref := map[[2]Value]bool{}
+	dom := make([]Value, 40)
+	for i := range dom {
+		dom[i] = InternSym(fmt.Sprintf("churn%d", i))
+	}
+	randTuple := func() Tuple {
+		return Tuple{dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))]}
+	}
+	for step := 0; step < 20000; step++ {
+		tp := randTuple()
+		k := [2]Value{tp[0], tp[1]}
+		if rng.Intn(3) == 0 {
+			if got, want := r.Remove(tp), ref[k]; got != want {
+				t.Fatalf("step %d: Remove(%v) = %v, reference says %v", step, tp, got, want)
+			}
+			delete(ref, k)
+		} else {
+			if got, want := r.Insert(tp), !ref[k]; got != want {
+				t.Fatalf("step %d: Insert(%v) = %v, reference says %v", step, tp, got, want)
+			}
+			ref[k] = true
+		}
+		if r.Len() != len(ref) {
+			t.Fatalf("step %d: Len %d, reference %d", step, r.Len(), len(ref))
+		}
+	}
+	for k := range ref {
+		if !r.Contains(Tuple{k[0], k[1]}) {
+			t.Fatalf("lost tuple %v", k)
+		}
+	}
+	for _, tp := range r.Tuples() {
+		if !ref[[2]Value{tp[0], tp[1]}] {
+			t.Fatalf("phantom tuple %v", tp)
+		}
 	}
 }

@@ -148,7 +148,7 @@ func matchBody(db *storage.Database, ic ast.IC, body []ast.Literal, env ast.Subs
 		// Existential head variables: satisfied if any tuple matches.
 		for _, t := range rel.Tuples() {
 			probe := env.Clone()
-			if ast.MatchAtom(probe, inst, ast.Atom{Pred: inst.Pred, Args: t}) {
+			if ast.MatchAtom(probe, inst, ast.Atom{Pred: inst.Pred, Args: t.Terms()}) {
 				return nil
 			}
 		}
@@ -173,7 +173,7 @@ func matchBody(db *storage.Database, ic ast.IC, body []ast.Literal, env ast.Subs
 	pattern := env.ApplyAtom(l.Atom)
 	for _, t := range rel.Tuples() {
 		probe := env.Clone()
-		if ast.MatchAtom(probe, pattern, ast.Atom{Pred: l.Atom.Pred, Args: t}) {
+		if ast.MatchAtom(probe, pattern, ast.Atom{Pred: l.Atom.Pred, Args: t.Terms()}) {
 			if v := matchBody(db, ic, body[1:], probe); v != nil {
 				return v
 			}
@@ -189,8 +189,8 @@ func removeTuple(db *storage.Database, inst ast.Atom) bool {
 	if rel == nil || !inst.IsGround() {
 		return false
 	}
-	victim := storage.Tuple(inst.Args)
-	if !rel.Contains(victim) {
+	victim, ok := storage.LookupTuple(inst.Args)
+	if !ok || !rel.Contains(victim) {
 		return false
 	}
 	fresh := storage.NewRelation(inst.Pred, rel.Arity)

@@ -103,7 +103,7 @@ func TestPushSelectionPlain(t *testing.T) {
 	}
 	want := 0
 	for _, tp := range d1.Relation("anc").Tuples() {
-		if v, ok := tp[3].(ast.Int); ok && v <= 50 {
+		if v, ok := tp[3].Term().(ast.Int); ok && v <= 50 {
 			want++
 		}
 	}
@@ -162,7 +162,7 @@ func TestPushSelectionBoundsPrunedRecursion(t *testing.T) {
 	}
 	want := 0
 	for _, tp := range dFull.Relation("anc").Tuples() {
-		if v, ok := tp[3].(ast.Int); ok && v <= 50 {
+		if v, ok := tp[3].Term().(ast.Int); ok && v <= 50 {
 			want++
 		}
 	}
