@@ -40,6 +40,10 @@ func main() {
 	join := flag.String("join", "auto", "join strategy: auto (Generic Join on cyclic bodies), binary, gj")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := obsFlags.PprofFallback(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	joinMode, err := eval.ParseJoinMode(*join)
 	if err != nil {

@@ -52,6 +52,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: dlog [-query GOAL | -all] [-optimize] file.dl ...")
 		os.Exit(2)
 	}
+	if _, err := obsFlags.PprofFallback(); err != nil {
+		fmt.Fprintln(os.Stderr, "dlog:", err)
+		os.Exit(1)
+	}
 
 	var src strings.Builder
 	for _, path := range flag.Args() {

@@ -11,10 +11,18 @@
 //	GET    /v1/sessions                                         list sessions
 //	DELETE /v1/sessions/{name}                                  drop a session
 //	GET    /v1/stats                                            server counters
+//	GET    /metrics                                             Prometheus exposition
 //	GET    /healthz                                             liveness
 //
 // The original flat routes (/load, /query, /insert, /delete, /stats)
 // remain as aliases onto the "default" session.
+//
+// Every request is answered with an X-Request-Id header; with tracing
+// enabled (-trace/-events) the same ID appears on the request's serve
+// span and on the committer's serve.commit span, linking a client
+// reply to the WAL batch that made it durable. Request access lines
+// (and slow queries beyond -slow-query) are logged as JSON lines to
+// stderr.
 //
 // Queries are served lock-free against an immutable copy-on-write
 // snapshot of the session's database. Writes flow through a per-session
@@ -95,7 +103,10 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		"how long a commit group stays open for more writers (0 = group only what is already queued)")
 	queryCache := fs.Int("query-cache", serve.DefaultQueryCacheEntries,
 		"per-session query-result cache entries (negative disables)")
-	pprofOn := fs.Bool("expose-pprof", false, "mount net/http/pprof on the service listener (obs's -pprof ADDR serves it on a separate one)")
+	slowQuery := fs.Duration("slow-query", 0,
+		"log queries at least this slow as slow_query JSON lines (0 disables)")
+	accessLog := fs.Bool("access-log", false,
+		"log one JSON line per request (required for -slow-query lines to appear)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	dataDir := fs.String("data-dir", "", "durability root: sessions are write-ahead logged and checkpointed here, and recovered from it at startup (empty = fully in-memory)")
 	fsync := fs.Bool("fsync", true, "fsync the write-ahead log before acknowledging each write (only meaningful with -data-dir; false trades crash-durability of the latest writes for throughput)")
@@ -123,7 +134,11 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		BatchWindow:          *batchWindow,
 		QueryCache:           *queryCache,
 		Tracer:               tracer,
-		EnablePprof:          *pprofOn,
+		EnablePprof:          obsFlags.ExposePprof,
+		SlowQuery:            *slowQuery,
+	}
+	if *accessLog || *slowQuery > 0 {
+		cfg.AccessLog = logw
 	}
 	if *dataDir != "" {
 		cfg.Durability = &durable.Options{

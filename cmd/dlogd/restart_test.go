@@ -2,18 +2,40 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/serve"
 )
+
+// syncWriter is a goroutine-safe log sink: with -access-log the server
+// writes JSON lines from handler goroutines while the test reads.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
 
 // TestHelperDaemon is not a test: it is the child half of the SIGKILL
 // e2e. When re-executed with DLOGD_HELPER_ARGS set, it runs the real
@@ -139,13 +161,14 @@ func TestDaemonSurvivesSIGKILL(t *testing.T) {
 
 	// Restart in-process on the same directory; -program must be
 	// skipped in favor of the recovered state (the log says so, and the
-	// acked writes prove it).
-	var logBuf strings.Builder
+	// acked writes prove it). -access-log exercises the telemetry path
+	// across recovery: every post-restart request must log a JSON line.
+	var logBuf syncWriter
 	sig := make(chan os.Signal, 1)
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-data-dir", data, "-program", prog, "-checkpoint-every", "2"},
+		done <- run([]string{"-addr", "127.0.0.1:0", "-data-dir", data, "-program", prog, "-checkpoint-every", "2", "-access-log"},
 			sig, &logBuf, ready)
 	}()
 	var url2 string
@@ -177,6 +200,33 @@ func TestDaemonSurvivesSIGKILL(t *testing.T) {
 	}
 	if got := tcAnswers(t, url2); len(got) != 15 {
 		t.Fatalf("after post-recovery insert: %d tuples, want 15", len(got))
+	}
+
+	// Every JSON line in the mixed log must parse, and the access lines
+	// must carry the request correlation fields.
+	accessLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // plain dlogd: startup/recovery lines
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line is not valid JSON: %q: %v", line, err)
+		}
+		if rec["type"] != "access" {
+			continue
+		}
+		accessLines++
+		id, _ := rec["request_id"].(string)
+		if len(id) != 16 {
+			t.Errorf("access line request_id = %q, want 16 hex chars: %v", id, rec)
+		}
+		if rec["route"] == nil || rec["status"] == nil {
+			t.Errorf("access line missing route/status: %v", rec)
+		}
+	}
+	if accessLines < 2 { // at least the queries before this check
+		t.Fatalf("access log lines = %d, want >= 2\nlog:\n%s", accessLines, logBuf.String())
 	}
 }
 

@@ -32,6 +32,14 @@ type Stats struct {
 	Inserted    int64 // new tuples actually added
 	GJFirings   int64 // rule firings executed through the Generic Join path
 	GJSeeks     int64 // sorted-index binary-search seeks inside Generic Join
+	// GJPlanned / BinaryPlanned count per-plan planner decisions at
+	// compile time (base and delta variants each count once): how often
+	// the join-mode policy attached a Generic Join program vs kept the
+	// binary pipeline. The service exports them as the
+	// serve.planner_rules{mode} family, the telemetry feed for a future
+	// cost-based plan selector.
+	GJPlanned     int64
+	BinaryPlanned int64
 }
 
 // Add accumulates other into s.
@@ -47,6 +55,8 @@ func (s *Stats) Add(other Stats) {
 	s.Inserted += other.Inserted
 	s.GJFirings += other.GJFirings
 	s.GJSeeks += other.GJSeeks
+	s.GJPlanned += other.GJPlanned
+	s.BinaryPlanned += other.BinaryPlanned
 }
 
 // RuleProfile aggregates the work one rule (identified by label; rules

@@ -50,14 +50,19 @@ func (m JoinMode) String() string {
 // Explain working.
 func (e *Engine) attachGJ(c *compiled) {
 	if e.joinMode == JoinBinary {
+		e.stats.BinaryPlanned++
 		return
 	}
 	if e.joinMode == JoinAuto && !gjCyclic(c) {
+		e.stats.BinaryPlanned++
 		return
 	}
 	if g, ok := compileGJ(c); ok {
 		c.gj = g
+		e.stats.GJPlanned++
+		return
 	}
+	e.stats.BinaryPlanned++
 }
 
 // This file implements the Generic Join execution path: a worst-case-

@@ -128,6 +128,12 @@ type BenchRecord struct {
 	NsPerOp int64           `json:"ns_per_op"`
 	Stats   eval.Stats      `json:"stats"`
 	Strata  []StratumRecord `json:"strata,omitempty"`
+	// Metrics is a per-record obs registry snapshot in the same shape
+	// the service exports from GET /v1/stats: the bench.eval_ns
+	// histogram holds every repetition's wall time (NsPerOp is just its
+	// Min), and the counters mirror the best run's engine work, so one
+	// JSON consumer can read service scrapes and bench records alike.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // StratumRecord is the per-phase timing of one evaluation stratum.
@@ -233,6 +239,10 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 	var best time.Duration
 	var bestStats eval.Stats
 	var bestInfo eval.RunInfo
+	// Per-record metrics registry (only materialized when a recorder is
+	// collecting): repetitions are observed OUTSIDE the timed section,
+	// so instrumenting the record costs the measurement nothing.
+	var reps [3]time.Duration
 	for rep := 0; rep < 3; rep++ {
 		work := db.Clone()
 		e := eval.New(prog, work)
@@ -246,6 +256,7 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 			return 0, eval.Stats{}, err
 		}
 		d := time.Since(start)
+		reps[rep] = d
 		if rep == 0 || d < best {
 			best, bestStats, bestInfo = d, e.Stats(), e.Info()
 		}
@@ -262,14 +273,40 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 	if bestStats.GJFirings > 0 {
 		engine = "gj"
 	}
+	var metrics *obs.MetricsSnapshot
+	if cfg.Rec != nil {
+		metrics = measurementMetrics(reps[:], bestStats)
+	}
 	cfg.Rec.add(BenchRecord{
 		Experiment: id, Label: label, Parallel: parallel,
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		Engine:  engine,
 		NsPerOp: best.Nanoseconds(), Stats: bestStats,
-		Strata: strataRecords(bestInfo),
+		Strata:  strataRecords(bestInfo),
+		Metrics: metrics,
 	})
 	return best, bestStats, nil
+}
+
+// measurementMetrics renders one measurement as an obs registry
+// snapshot: every repetition's wall time in a bench.eval_ns histogram
+// plus the best run's work counters, in the exact shape the service's
+// /v1/stats metrics field uses.
+func measurementMetrics(reps []time.Duration, st eval.Stats) *obs.MetricsSnapshot {
+	m := obs.NewMetrics()
+	h := m.Histogram("bench.eval_ns")
+	for _, d := range reps {
+		h.ObserveDuration(d)
+	}
+	m.Counter("bench.iterations").Add(st.Iterations)
+	m.Counter("bench.rule_firings").Add(st.RuleFirings)
+	m.Counter("bench.probes").Add(st.Probes)
+	m.Counter("bench.derived").Add(st.Derived)
+	m.Counter("bench.inserted").Add(st.Inserted)
+	m.Counter("bench.gj_firings").Add(st.GJFirings)
+	m.CounterVec("bench.planner_rules", "mode").With("gj").Add(st.GJPlanned)
+	m.CounterVec("bench.planner_rules", "mode").With("binary").Add(st.BinaryPlanned)
+	return m.SnapshotAll()
 }
 
 func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0) }

@@ -66,6 +66,18 @@ func TestParallelScalingQuick(t *testing.T) {
 		if r.NsPerOp <= 0 {
 			t.Errorf("record %s: ns_per_op = %d", r.Label, r.NsPerOp)
 		}
+		// Each record carries a metrics snapshot: a bench.eval_ns
+		// histogram with one observation per measurement rep, plus the
+		// engine work counters of the best rep.
+		if r.Metrics == nil {
+			t.Fatalf("record %s: no metrics snapshot", r.Label)
+		}
+		if h, ok := r.Metrics.Histograms["bench.eval_ns"]; !ok || h.Count != 3 {
+			t.Errorf("record %s: bench.eval_ns = %+v, want count 3", r.Label, r.Metrics.Histograms["bench.eval_ns"])
+		}
+		if r.Metrics.Counters["bench.iterations"] <= 0 {
+			t.Errorf("record %s: bench.iterations = %d, want > 0", r.Label, r.Metrics.Counters["bench.iterations"])
+		}
 		widths[r.Parallel]++
 	}
 	for _, w := range []int{1, 2, 4} {

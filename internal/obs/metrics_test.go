@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilMetricsAreInert exercises every metric kind on a nil registry
+// — the disabled path instrumented code runs when no registry is
+// wired up.
+func TestNilMetricsAreInert(t *testing.T) {
+	var m *Metrics
+	if m.Counter("c") != nil || m.Gauge("g") != nil || m.Histogram("h") != nil ||
+		m.CounterVec("v", "a", "b") != nil || m.Timer("t") != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	if m.Snapshot() != nil || m.SnapshotAll() != nil {
+		t.Fatal("nil registry must snapshot to nil")
+	}
+
+	var g *Gauge
+	g.Set(5)
+	g.Add(2)
+	g.Inc()
+	g.Dec()
+	if g.Load() != 0 {
+		t.Error("nil gauge must load 0")
+	}
+
+	var h *Histogram
+	h.Observe(7)
+	h.ObserveDuration(time.Second)
+	h.ObserveSince(time.Time{}) // must not read the clock or panic
+	if h.Count() != 0 {
+		t.Error("nil histogram must count 0")
+	}
+
+	var v *CounterVec
+	c := v.With("x", "y")
+	if c != nil {
+		t.Fatal("nil family must hand out nil counters")
+	}
+	c.Inc()
+	c.Add(3)
+	if c.Load() != 0 {
+		t.Error("nil counter must load 0")
+	}
+}
+
+// TestNilMetricsPathAllocs pins the disabled metrics path to zero
+// allocations, extending the TestNilPathAllocs budget to the new
+// metric kinds: gauges, histograms, and labeled families.
+func TestNilMetricsPathAllocs(t *testing.T) {
+	var g *Gauge
+	var h *Histogram
+	var v *CounterVec
+	var c *Counter
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(42)
+		h.ObserveSince(time.Time{})
+		v.With("session", "hit").Inc()
+		c.Add(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil metrics path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	m := NewMetrics()
+	g := m.Gauge("depth")
+	g.Set(10)
+	g.Add(5)
+	g.Dec()
+	if got := g.Load(); got != 14 {
+		t.Fatalf("gauge = %d, want 14", got)
+	}
+	if m.Gauge("depth") != g {
+		t.Error("same name must return the same gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat")
+	for _, v := range []int64{0, 1, 1, 3, 100, -5} { // -5 clamps to 0
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 || s.Sum != 105 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 17.5 {
+		t.Fatalf("mean = %v, want 17.5", s.Mean)
+	}
+	// Bins: 0 and -5 land in le=0; 1,1 in le=1; 3 in le=3; 100 in le=127.
+	want := []HistogramBucket{{Le: 0, Count: 2}, {Le: 1, Count: 2}, {Le: 3, Count: 1}, {Le: 127, Count: 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestHistogramOverflowBin(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.MaxInt64)
+	s := h.snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != -1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("overflow observation landed in %+v", s.Buckets)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (with concurrent snapshots) and checks nothing is lost; run under
+// -race in CI.
+func TestHistogramConcurrent(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("conc")
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = m.SnapshotAll()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := h.snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var binSum int64
+	for _, b := range s.Buckets {
+		binSum += b.Count
+	}
+	if binSum != s.Count {
+		t.Fatalf("bins sum to %d, count is %d", binSum, s.Count)
+	}
+	if s.Min != 0 || s.Max != workers*perWorker-1 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+// TestCounterVecConcurrent exercises the family fast path under
+// contention: many goroutines, overlapping label tuples.
+func TestCounterVecConcurrent(t *testing.T) {
+	m := NewMetrics()
+	v := m.CounterVec("events", "session", "kind")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kinds := []string{"hit", "miss"}
+			for i := 0; i < 1000; i++ {
+				v.With("s1", kinds[i%2]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := v.With("s1", "hit").Load() + v.With("s1", "miss").Load(); got != 8000 {
+		t.Fatalf("family total = %d, want 8000", got)
+	}
+}
+
+func TestCounterVecLabelMismatch(t *testing.T) {
+	m := NewMetrics()
+	v := m.CounterVec("x", "a", "b")
+	if v.With("only-one") != nil {
+		t.Fatal("wrong label-value count must return a nil counter")
+	}
+	v.With("only-one").Inc() // and the nil counter must be inert
+}
+
+// TestPrometheusGolden pins the exposition format byte-for-byte
+// against testdata/metrics.golden: the contract a scraper (or the CI
+// exposition lint) relies on.
+func TestPrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("serve.batches").Add(3)
+	m.Counter("serve.cache_hits").Add(11)
+	m.Gauge("serve.queue_depth").Set(2)
+	h := m.Histogram("serve.query_ns")
+	for _, v := range []int64{1, 2, 3, 900, 1500} {
+		h.Observe(v)
+	}
+	v := m.CounterVec("serve.requests", "route", "code")
+	v.With("POST /v1/sessions/{name}/query", "200").Add(5)
+	v.With("POST /v1/sessions/{name}/query", "503").Add(1)
+	v.With("GET /metrics", "200").Add(2)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m.SnapshotAll()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	want, err := os.ReadFile(goldenPath)
+	if os.IsNotExist(err) || os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("exposition drifted from golden file (UPDATE_GOLDEN=1 to regenerate)\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusExpositionShape validates structural properties every
+// scraper depends on: TYPE lines precede samples, histogram buckets
+// are cumulative and end at +Inf == count.
+func TestPrometheusExpositionShape(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat.ns")
+	for i := int64(1); i <= 1000; i *= 3 {
+		h.Observe(i)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m.SnapshotAll()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE lat_ns histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	var lastCum int64 = -1
+	var infCount, count int64 = -1, -1
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "lat_ns_bucket{le=\"+Inf\"}"):
+			infCount = atoiTail(t, line)
+		case strings.HasPrefix(line, "lat_ns_bucket"):
+			c := atoiTail(t, line)
+			if c < lastCum {
+				t.Fatalf("buckets not cumulative: %q after %d", line, lastCum)
+			}
+			lastCum = c
+		case strings.HasPrefix(line, "lat_ns_count"):
+			count = atoiTail(t, line)
+		}
+	}
+	if infCount != count || count != 7 {
+		t.Fatalf("+Inf bucket %d, count %d, want both 7", infCount, count)
+	}
+}
+
+func atoiTail(t *testing.T, line string) int64 {
+	t.Helper()
+	fs := strings.Fields(line)
+	var n int64
+	for _, c := range []byte(fs[len(fs)-1]) {
+		n = n*10 + int64(c-'0')
+	}
+	return n
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("up").Inc()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+
+	// A nil registry serves an empty exposition rather than panicking.
+	var nilM *Metrics
+	rec = httptest.NewRecorder()
+	nilM.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry scrape: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// Benchmark guard pair for the metrics hot path, mirroring the
+// BenchmarkOrgNilTracer/BenchmarkOrgTracedRun pair: the nil path must
+// report 0 B/op, 0 allocs/op.
+func BenchmarkNilMetricsPath(b *testing.B) {
+	var g *Gauge
+	var h *Histogram
+	var v *CounterVec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+		h.Observe(int64(i))
+		v.With("s", "hit").Inc()
+	}
+}
+
+func BenchmarkLiveMetricsPath(b *testing.B) {
+	m := NewMetrics()
+	g := m.Gauge("g")
+	h := m.Histogram("h")
+	c := m.CounterVec("v", "session", "kind").With("s", "hit") // handle held, as hot paths do
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+		h.Observe(int64(i))
+		c.Inc()
+	}
+}

@@ -39,17 +39,29 @@ func TestNilTracerIsInert(t *testing.T) {
 }
 
 // TestNilPathAllocs pins the disabled path to zero allocations: this
-// is the overhead budget of DESIGN.md §8 in executable form.
+// is the overhead budget of DESIGN.md §8 in executable form. It
+// covers the tracer and every metric kind a disabled service touches
+// (counters, gauges, histograms, labeled families).
 func TestNilPathAllocs(t *testing.T) {
 	var tr *Tracer
+	var m *Metrics
+	g := m.Gauge("depth")
+	h := m.Histogram("lat")
+	v := m.CounterVec("events", "session", "kind")
+	c := m.Counter("hits")
 	allocs := testing.AllocsPerRun(100, func() {
 		sp := tr.Start("eval", "round")
 		sp.Arg("delta", 42)
 		sp.End()
 		tr.Complete("eval.rule", "r1", time.Time{}, 0, nil)
+		g.Set(3)
+		h.Observe(42)
+		h.ObserveSince(time.Time{})
+		v.With("default", "hit").Inc()
+		c.Add(2)
 	})
 	if allocs != 0 {
-		t.Fatalf("nil tracer path allocates %.1f times per op, want 0", allocs)
+		t.Fatalf("nil obs path allocates %.1f times per op, want 0", allocs)
 	}
 }
 

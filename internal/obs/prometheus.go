@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the metric registry.
+// The format is deliberately dependency-free: a scrape is lines of
+//
+//	# TYPE name kind
+//	name{label="value",...} 1234
+//
+// Counters expose as counters, gauges as gauges, histograms as native
+// Prometheus histograms (cumulative _bucket series with an le label,
+// plus _sum and _count), and counter families as one counter per label
+// tuple. Registry names use dotted paths; exposition maps every
+// character outside [a-zA-Z0-9_:] to '_' ("serve.query_ns" becomes
+// "serve_query_ns"). Duration histograms record nanoseconds, so their
+// bucket bounds are integer nanosecond values.
+
+// WritePrometheus renders a registry snapshot in Prometheus text
+// exposition format. Metric families are emitted in sorted name order
+// so output is deterministic for golden tests. A nil snapshot writes
+// nothing.
+func WritePrometheus(w io.Writer, s *MetricsSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(bw, "# TYPE %s counter\n", promName(name))
+		fmt.Fprintf(bw, "%s %d\n", promName(name), s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", promName(name))
+		fmt.Fprintf(bw, "%s %d\n", promName(name), s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		writePromHistogram(bw, promName(name), s.Histograms[name])
+	}
+	famNames := make([]string, 0, len(s.Families))
+	for name := range s.Families {
+		famNames = append(famNames, name)
+	}
+	sort.Strings(famNames)
+	for _, name := range famNames {
+		fam := s.Families[name]
+		fmt.Fprintf(bw, "# TYPE %s counter\n", promName(name))
+		for _, fv := range fam.Values {
+			fmt.Fprintf(bw, "%s{%s} %d\n", promName(name), promLabels(fam.Labels, fv.Labels), fv.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	// Buckets are stored per-bin with inclusive upper bounds;
+	// Prometheus wants cumulative counts at increasing le thresholds,
+	// closed by a +Inf bucket equal to the total count.
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		if b.Le < 0 {
+			break // overflow bin folds into +Inf below
+		}
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// promName maps a registry name onto the Prometheus metric-name
+// alphabet: every byte outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit is prefixed with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders one label tuple as name="value" pairs. Label
+// values are escaped per the exposition format (backslash, quote,
+// newline).
+func promLabels(keys, values []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(promName(k))
+		b.WriteString("=\"")
+		b.WriteString(promEscape(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Handler serves the registry in Prometheus text exposition format —
+// mount it at GET /metrics. Safe on a nil registry (serves an empty
+// exposition).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := m.SnapshotAll()
+		var buf strings.Builder
+		if err := WritePrometheus(&buf, snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		io.WriteString(w, buf.String()) //nolint:errcheck // best effort to a live conn
+	})
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

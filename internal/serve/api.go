@@ -24,7 +24,10 @@
 // session for one release. See README.md for the mapping.
 package serve
 
-import "repro/internal/eval"
+import (
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
 
 // Stable machine-readable error codes carried by every non-2xx reply.
 const (
@@ -186,10 +189,14 @@ type SessionStats struct {
 	Batches       int64          `json:"batches"`
 	BatchedWrites int64          `json:"batched_writes"`
 	MaxBatch      int64          `json:"max_batch"`
-	QueueDepth    int            `json:"queue_depth"`
-	CacheHits     int64          `json:"cache_hits"`
-	CacheMisses   int64          `json:"cache_misses"`
-	CacheSize     int            `json:"cache_size"`
+	QueueDepth  int   `json:"queue_depth"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheEvictions counts entries dropped by LRU pressure or on-sight
+	// stale-generation eviction (whole-cache purges after commits are
+	// not evictions).
+	CacheEvictions int64          `json:"cache_evictions"`
+	CacheSize      int            `json:"cache_size"`
 	Relations     map[string]int `json:"relations,omitempty"`
 	// Eval accumulates the engine counters of every evaluation the
 	// session has run (load, maintenance, recompute).
@@ -225,6 +232,10 @@ type StatsResponse struct {
 	Sessions      int            `json:"sessions"`
 	Relations     map[string]int `json:"relations,omitempty"`
 	Eval          eval.Stats     `json:"eval"`
+	// Metrics is the same registry snapshot /v1/stats and /metrics
+	// render: all three surfaces share one serializer
+	// (Server.metricsSnapshot), so they cannot drift.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // ServerStatsResponse is the /v1/stats snapshot: server-wide counters
@@ -236,8 +247,11 @@ type ServerStatsResponse struct {
 	Rejected      int64          `json:"rejected"`
 	WriteRejected int64          `json:"write_rejected"`
 	Sessions      []SessionStats `json:"sessions"`
-	// Metrics is the obs counter registry snapshot (serve.* counters).
-	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Metrics is the full obs registry snapshot (serve.* and durable.*
+	// counters, gauges, histograms, and labeled families) — the JSON
+	// twin of the GET /metrics Prometheus exposition, rendered from the
+	// same Server.metricsSnapshot call.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // SessionListResponse lists the live session names.

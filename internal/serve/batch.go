@@ -12,8 +12,14 @@ import (
 
 // commitReq is one write request in flight through a session's commit
 // queue. The handler parses and pre-validates the payload, enqueues,
-// and blocks on done; the committer replies exactly once.
+// and blocks on done; the committer replies exactly once. id and enq
+// carry the request's telemetry identity across the queue: the
+// committer emits a serve.commit span per request whose "req" arg is
+// the same ID the client saw in X-Request-Id, spanning enqueue to
+// commit so queue wait is visible in the trace.
 type commitReq struct {
+	id       uint64    // request ID minted by the traced middleware
+	enq      time.Time // when the handler enqueued the request
 	isInsert bool
 	facts    []groundFact // parsed, handler-validated, deduplicated
 	dups     int          // duplicates dropped by handler-side dedup
@@ -107,6 +113,7 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 		hook(len(batch))
 	}
 	sp := s.cfg.Tracer.Start("serve", "commit_batch")
+	sp.Arg("batch", int64(len(batch)))
 	defer sp.End()
 
 	sess.mu.Lock()
@@ -145,6 +152,11 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 		return
 	}
 	sess.noteBatch(len(live))
+	commitStart := time.Now()
+	s.hBatchSize.Observe(int64(len(live)))
+	for _, req := range live {
+		s.hCommitWait.ObserveDuration(commitStart.Sub(req.enq))
+	}
 
 	// A dirty session needs a rebuild no matter what; the per-request
 	// path already implements repair semantics. Solo requests keep the
@@ -158,6 +170,25 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 	// Checkpoint cadence rides the commit path (mu still held): after
 	// enough logged batches, fold the WAL into a fresh snapshot file.
 	sess.maybeCheckpoint()
+	s.hCommit.ObserveSince(commitStart)
+
+	// One serve.commit span per request, spanning enqueue to commit:
+	// its "req" arg is the ID the client saw in X-Request-Id, "seq" the
+	// WAL sequence that covers the group (0 for in-memory sessions), so
+	// a trace links a client-visible request ID to the durable batch
+	// that carried it, with the queue wait visible as wait_ns.
+	if s.cfg.Tracer.Enabled() {
+		end := time.Now()
+		seq := int64(sess.seq.Load())
+		for _, req := range live {
+			s.cfg.Tracer.Complete("serve.commit", "commit.request", req.enq, end.Sub(req.enq), map[string]int64{
+				"req":     int64(req.id),
+				"batch":   int64(len(live)),
+				"seq":     seq,
+				"wait_ns": int64(commitStart.Sub(req.enq)),
+			})
+		}
+	}
 }
 
 // commitSequential applies requests one at a time through the

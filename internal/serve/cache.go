@@ -3,6 +3,9 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // queryCache memoizes rendered query results per session, keyed by the
@@ -16,6 +19,15 @@ type queryCache struct {
 	cap int
 	ll  *list.List // front = most recent
 	m   map[string]*list.Element
+
+	// evictions counts entries dropped for any reason other than a
+	// whole-cache purge: LRU capacity pressure and stale-generation
+	// eviction on sight. evictTotal/evictVec mirror it into the server
+	// registry (server-wide counter and per-session family); both are
+	// nil-safe handles.
+	evictions  atomic.Int64
+	evictTotal *obs.Counter
+	evictVec   *obs.Counter
 }
 
 type cacheEntry struct {
@@ -24,11 +36,21 @@ type cacheEntry struct {
 	rows [][]string
 }
 
-func newQueryCache(capacity int) *queryCache {
+func newQueryCache(capacity int, evictTotal, evictVec *obs.Counter) *queryCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &queryCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &queryCache{
+		cap: capacity, ll: list.New(), m: make(map[string]*list.Element),
+		evictTotal: evictTotal, evictVec: evictVec,
+	}
+}
+
+// noteEvict records one eviction; caller holds mu.
+func (c *queryCache) noteEvict() {
+	c.evictions.Add(1)
+	c.evictTotal.Inc()
+	c.evictVec.Inc()
 }
 
 // get returns the cached rows for key at generation gen, or nil. An
@@ -47,6 +69,7 @@ func (c *queryCache) get(key string, gen uint64) ([][]string, bool) {
 	if e.gen != gen {
 		c.ll.Remove(el)
 		delete(c.m, key)
+		c.noteEvict()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
@@ -73,6 +96,7 @@ func (c *queryCache) put(key string, gen uint64, rows [][]string) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.noteEvict()
 	}
 }
 
@@ -96,4 +120,12 @@ func (c *queryCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// evicted is the lifetime eviction count (0 for a disabled cache).
+func (c *queryCache) evicted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
 }

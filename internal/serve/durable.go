@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/parser"
@@ -52,7 +53,7 @@ func (sess *session) logBatch(netIns, netDel map[string][]storage.Tuple) error {
 	sess.walBatches.Add(1)
 	sess.walBytes.Add(n)
 	sess.sinceCkpt.Add(1)
-	sess.srv.tFsync.Observe(syncDur)
+	sess.srv.hFsync.ObserveDuration(syncDur)
 	return nil
 }
 
@@ -86,7 +87,9 @@ func (sess *session) checkpointLocked() error {
 		return errNotDurable
 	}
 	done := sess.srv.cfg.Tracer.Start("durable", "checkpoint")
+	start := time.Now()
 	err := sess.dur.Checkpoint(sess.snapshotForCheckpoint())
+	sess.srv.hCheckpoint.ObserveSince(start)
 	done.End()
 	if err != nil {
 		sess.ckptFailures.Add(1)
@@ -220,14 +223,17 @@ func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryRepor
 	// committed it, falling back to a full recompute when a batch
 	// reaches negation (or maintenance fails outright).
 	done := s.cfg.Tracer.Start("durable", "replay")
+	replayStart := time.Now()
 	for _, b := range res.Batches {
 		if err := sess.replayOne(ctx, b); err != nil {
+			s.hReplay.ObserveSince(replayStart)
 			done.End()
 			return rep, fmt.Errorf("recover %s: replay batch %d: %w", name, b.Seq, err)
 		}
 		sess.seq.Store(b.Seq)
 		rep.ReplayedBatches++
 	}
+	s.hReplay.ObserveSince(replayStart)
 	done.End()
 	rep.ReplayedIncr = int(sess.replayIncremental.Load())
 	rep.ReplayedRecomp = int(sess.replayRecomputes.Load())

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strconv"
@@ -55,8 +56,16 @@ type Config struct {
 	// spans of every evaluation.
 	Tracer *obs.Tracer
 	// Metrics receives the serve.* pipeline counters; nil allocates a
-	// private registry (exposed via GET /v1/stats either way).
+	// private registry (exposed via GET /metrics and GET /v1/stats
+	// either way).
 	Metrics *obs.Metrics
+	// AccessLog, when non-nil, receives one JSON line per request (and
+	// per slow query, see SlowQuery). Lines are written whole under a
+	// lock, so the writer needs no locking of its own.
+	AccessLog io.Writer
+	// SlowQuery, when positive, logs any query handler taking at least
+	// this long to the access-log sink as a slow_query record.
+	SlowQuery time.Duration
 	// EnablePprof mounts net/http/pprof on the service mux.
 	EnablePprof bool
 	// Durability, when non-nil, persists every session under
@@ -104,7 +113,31 @@ type Server struct {
 	mGroupCommits  *obs.Counter
 	mCacheHits     *obs.Counter
 	mCacheMisses   *obs.Counter
-	tFsync         *obs.Timer
+	mCacheEvicts   *obs.Counter
+
+	// Latency histograms over the pipeline's hot spots (log2 buckets,
+	// nanoseconds unless named otherwise).
+	hQuery      *obs.Histogram // query handler, admission to reply
+	hCommit     *obs.Histogram // one commit group under the session mutex
+	hCommitWait *obs.Histogram // enqueue-to-commit-start wait per write
+	hBatchSize  *obs.Histogram // write requests per commit group
+	hFsync      *obs.Histogram // WAL fsync per logged batch
+	hCheckpoint *obs.Histogram // snapshot checkpoint write
+	hReplay     *obs.Histogram // recovery WAL replay per session
+
+	// Point-in-time gauges, refreshed by metricsSnapshot at scrape time.
+	gQueueDepth *obs.Gauge
+	gCacheSize  *obs.Gauge
+	gSessions   *obs.Gauge
+	gInflight   *obs.Gauge
+
+	// Labeled families.
+	vRequests   *obs.CounterVec // {route, code}
+	vCache      *obs.CounterVec // {session, event=hit|miss|evict}
+	vPlanner    *obs.CounterVec // {mode=gj|binary} per-plan join decisions
+	vRejections *obs.CounterVec // {kind=query|write} admission refusals
+
+	accessLog *jsonLog
 
 	// durable mirrors cfg.Durability != nil; durOpts is the normalized
 	// copy every store is opened with.
@@ -166,45 +199,62 @@ func New(cfg Config) *Server {
 	s.mGroupCommits = s.metrics.Counter("serve.group_commits")
 	s.mCacheHits = s.metrics.Counter("serve.cache_hits")
 	s.mCacheMisses = s.metrics.Counter("serve.cache_misses")
-	s.tFsync = s.metrics.Timer("durable.fsync")
+	s.mCacheEvicts = s.metrics.Counter("serve.cache_evictions")
+	s.hQuery = s.metrics.Histogram("serve.query_ns")
+	s.hCommit = s.metrics.Histogram("serve.commit_ns")
+	s.hCommitWait = s.metrics.Histogram("serve.commit_wait_ns")
+	s.hBatchSize = s.metrics.Histogram("serve.batch_size")
+	s.hFsync = s.metrics.Histogram("durable.fsync_ns")
+	s.hCheckpoint = s.metrics.Histogram("durable.checkpoint_ns")
+	s.hReplay = s.metrics.Histogram("durable.replay_ns")
+	s.gQueueDepth = s.metrics.Gauge("serve.queue_depth")
+	s.gCacheSize = s.metrics.Gauge("serve.cache_size")
+	s.gSessions = s.metrics.Gauge("serve.sessions")
+	s.gInflight = s.metrics.Gauge("serve.inflight_queries")
+	s.vRequests = s.metrics.CounterVec("serve.requests", "route", "code")
+	s.vCache = s.metrics.CounterVec("serve.cache", "session", "event")
+	s.vPlanner = s.metrics.CounterVec("serve.planner_rules", "mode")
+	s.vRejections = s.metrics.CounterVec("serve.rejections", "kind")
+	s.accessLog = newJSONLog(cfg.AccessLog)
 
 	// Legacy flat surface: aliases onto the "default" session. Kept
 	// verbatim for one release; see README.md for the /v1 mapping.
-	s.mux.HandleFunc("POST /load", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	s.route("POST /load", func(w http.ResponseWriter, r *http.Request) {
 		s.handleLoad(w, r, DefaultSession, true)
-	}))
-	s.mux.HandleFunc("POST /query", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		s.handleQuery(w, r, DefaultSession, true)
-	}))
-	s.mux.HandleFunc("POST /insert", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("POST /insert", func(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdate(w, r, DefaultSession, true, true)
-	}))
-	s.mux.HandleFunc("POST /delete", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("POST /delete", func(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdate(w, r, DefaultSession, true, false)
-	}))
-	s.mux.HandleFunc("GET /stats", s.traced(s.handleLegacyStats))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("GET /stats", s.handleLegacyStats)
+	s.route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	s.route("GET /metrics", s.handleMetrics)
 
 	// Versioned surface: sessions addressed by name.
-	s.mux.HandleFunc("GET /v1/sessions", s.traced(s.handleSessionList))
-	s.mux.HandleFunc("POST /v1/sessions/{name}", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	s.route("GET /v1/sessions", s.handleSessionList)
+	s.route("POST /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
 		s.handleLoad(w, r, r.PathValue("name"), false)
-	}))
-	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.traced(s.handleSessionDrop))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/query", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("DELETE /v1/sessions/{name}", s.handleSessionDrop)
+	s.route("POST /v1/sessions/{name}/query", func(w http.ResponseWriter, r *http.Request) {
 		s.handleQuery(w, r, r.PathValue("name"), false)
-	}))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/facts", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("POST /v1/sessions/{name}/facts", func(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdate(w, r, r.PathValue("name"), false, true)
-	}))
-	s.mux.HandleFunc("DELETE /v1/sessions/{name}/facts", s.traced(func(w http.ResponseWriter, r *http.Request) {
+	})
+	s.route("DELETE /v1/sessions/{name}/facts", func(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdate(w, r, r.PathValue("name"), false, false)
-	}))
-	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.traced(s.handleSessionStats))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/checkpoint", s.traced(s.handleCheckpoint))
-	s.mux.HandleFunc("GET /v1/stats", s.traced(s.handleServerStats))
+	})
+	s.route("GET /v1/sessions/{name}/stats", s.handleSessionStats)
+	s.route("POST /v1/sessions/{name}/checkpoint", s.handleCheckpoint)
+	s.route("GET /v1/stats", s.handleServerStats)
 
 	if cfg.EnablePprof {
 		obs.AttachPprof(s.mux)
@@ -215,12 +265,47 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// traced wraps a handler in an obs span named after the route.
-func (s *Server) traced(h http.HandlerFunc) http.HandlerFunc {
+// route registers a handler wrapped in the request-telemetry
+// middleware. The pattern is passed through explicitly (rather than
+// recovered from the request) so the serve.requests family and the
+// access log aggregate by route template, not by concrete path —
+// /v1/sessions/a/query and /v1/sessions/b/query are one series.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.traced(pattern, h))
+}
+
+// traced is the per-request telemetry middleware: it mints the request
+// ID, answers it in X-Request-Id, stores it in the request context
+// (handleUpdate carries that context into the commit queue, so the
+// committer's serve.commit span bears the same ID), opens the request
+// span, and on completion bumps serve.requests{route,code} and writes
+// the access-log line.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sp := s.cfg.Tracer.Start("serve", r.Method+" "+r.URL.Path)
-		h(w, r)
+		id := nextRequestID()
+		w.Header().Set("X-Request-Id", formatRequestID(id))
+		r = r.WithContext(withRequestID(r.Context(), id))
+		start := time.Now()
+		sp := s.cfg.Tracer.Start("serve", route)
+		sp.Arg("req", int64(id))
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
 		sp.End()
+		s.vRequests.With(route, strconv.Itoa(sw.code())).Inc()
+		if s.accessLog != nil {
+			dur := time.Since(start)
+			s.accessLog.log(accessRecord{
+				Type:      "access",
+				TS:        time.Now().UTC().Format(time.RFC3339Nano),
+				RequestID: formatRequestID(id),
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Route:     route,
+				Status:    sw.code(),
+				DurMS:     float64(dur) / float64(time.Millisecond),
+				Bytes:     sw.bytes,
+			})
+		}
 	}
 }
 
@@ -323,11 +408,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		defer func() { <-s.gate }()
 	default:
 		s.rejected.Add(1)
+		s.vRejections.With("query").Inc()
 		w.Header().Set("Retry-After", retryAfterSeconds(cap(s.gate), 16))
 		writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
 			"query admission gate full (%d in flight)", cap(s.gate))
 		return
 	}
+	start := time.Now()
+	defer func() { s.hQuery.ObserveSince(start) }()
 	req, ok := decode[QueryRequest](w, r, s.cfg.MaxBodyBytes)
 	if !ok {
 		return
@@ -350,13 +438,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	gen := db.Generation()
 
 	key := goal.String()
+	var probes int
+	var indexed bool
 	rows, hit := sess.cache.get(key, gen)
 	if !hit {
-		tuples, err := querySnapshot(db, goal)
+		tuples, pr, idx, err := querySnapshot(db, goal)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, CodeBadGoal, "query: %v", err)
 			return
 		}
+		probes, indexed = pr, idx
 		rows = make([][]string, 0, len(tuples))
 		for _, t := range tuples {
 			row := make([]string, len(t))
@@ -368,6 +459,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		if sess.cache != nil {
 			sess.cacheMisses.Add(1)
 			s.mCacheMisses.Inc()
+			s.vCache.With(sess.name, "miss").Inc()
 			if len(rows) <= MaxQueryLimit {
 				sess.cache.put(key, gen, rows)
 			}
@@ -375,6 +467,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	} else {
 		sess.cacheHits.Add(1)
 		s.mCacheHits.Inc()
+		s.vCache.With(sess.name, "hit").Inc()
 	}
 
 	limit := req.Limit
@@ -415,6 +508,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	if end < total {
 		resp.NextCursor = strconv.Itoa(end)
 	}
+	if s.cfg.SlowQuery > 0 && s.accessLog != nil {
+		if dur := time.Since(start); dur >= s.cfg.SlowQuery {
+			sess.statsMu.Lock()
+			rounds := sess.evalStats.Iterations
+			sess.statsMu.Unlock()
+			s.accessLog.log(slowQueryRecord{
+				Type:       "slow_query",
+				TS:         time.Now().UTC().Format(time.RFC3339Nano),
+				RequestID:  formatRequestID(requestIDFrom(r.Context())),
+				Session:    sess.name,
+				Goal:       goal.String(),
+				Generation: gen,
+				JoinMode:   s.cfg.JoinMode.String(),
+				DurMS:      float64(dur) / float64(time.Millisecond),
+				Total:      total,
+				Cached:     hit,
+				Probes:     probes,
+				Indexed:    indexed,
+				Rounds:     rounds,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -445,6 +560,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name strin
 	}
 
 	creq := &commitReq{
+		id:       requestIDFrom(r.Context()),
+		enq:      time.Now(),
 		isInsert: isInsert,
 		facts:    facts,
 		dups:     dups,
@@ -454,6 +571,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name strin
 	if err := sess.enqueue(creq); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.writeRejected.Add(1)
+			s.vRejections.With("write").Inc()
 			w.Header().Set("Retry-After", retryAfterSeconds(len(sess.queue), 8))
 			writeErr(w, http.StatusServiceUnavailable, CodeOverloaded,
 				"write queue full (%d pending)", cap(sess.queue))
@@ -483,6 +601,7 @@ func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Rejected:      s.rejected.Load(),
 		Sessions:      len(s.sessionNames()),
+		Metrics:       s.metricsSnapshot(),
 	}
 	if sess := s.session(DefaultSession); sess != nil {
 		st := sess.stats()
@@ -517,7 +636,7 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Rejected:      s.rejected.Load(),
 		WriteRejected: s.writeRejected.Load(),
-		Metrics:       s.metrics.Snapshot(),
+		Metrics:       s.metricsSnapshot(),
 	}
 	for _, sess := range s.allSessions() {
 		resp.Sessions = append(resp.Sessions, sess.stats())
@@ -545,14 +664,17 @@ func (s *Server) handleSessionDrop(w http.ResponseWriter, r *http.Request) {
 // querySnapshot matches a goal against an immutable snapshot. It is
 // strictly read-only — in particular it never builds a column index on
 // the shared relation (concurrent queries race otherwise), it only
-// uses one that already exists.
-func querySnapshot(db *storage.Database, goal ast.Atom) ([]storage.Tuple, error) {
+// uses one that already exists. Alongside the matching tuples it
+// reports how the match executed, for the slow-query log: probes is
+// the number of candidate tuples examined, indexed whether they came
+// from an existing column index (vs a full relation scan).
+func querySnapshot(db *storage.Database, goal ast.Atom) (tuples []storage.Tuple, probes int, indexed bool, err error) {
 	rel := db.Relation(goal.Pred)
 	if rel == nil {
-		return nil, nil
+		return nil, 0, false, nil
 	}
 	if rel.Arity != len(goal.Args) {
-		return nil, fmt.Errorf("%s has arity %d, goal has %d", goal.Pred, rel.Arity, len(goal.Args))
+		return nil, 0, false, fmt.Errorf("%s has arity %d, goal has %d", goal.Pred, rel.Arity, len(goal.Args))
 	}
 	// Lower the goal to value space once. Ground arguments the interner
 	// has never seen cannot match any stored tuple (and LookupTerm never
@@ -575,7 +697,7 @@ func querySnapshot(db *storage.Database, goal ast.Atom) ([]storage.Tuple, error)
 		}
 		val, ok := storage.LookupTerm(arg)
 		if !ok {
-			return nil, nil
+			return nil, 0, false, nil
 		}
 		specs[i].c = val
 	}
@@ -599,11 +721,12 @@ func querySnapshot(db *storage.Database, goal ast.Atom) ([]storage.Tuple, error)
 			for _, pos := range positions {
 				match(rel.At(pos))
 			}
-			return out, nil
+			return out, len(positions), true, nil
 		}
 	}
-	for _, t := range rel.Tuples() {
+	all := rel.Tuples()
+	for _, t := range all {
 		match(t)
 	}
-	return out, nil
+	return out, len(all), false, nil
 }

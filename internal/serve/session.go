@@ -105,7 +105,7 @@ func newSession(srv *Server, name string) *session {
 		srv:    srv,
 		queue:  make(chan *commitReq, srv.cfg.MaxPendingWrites),
 		closed: make(chan struct{}),
-		cache:  newQueryCache(srv.cfg.QueryCache),
+		cache:  newQueryCache(srv.cfg.QueryCache, srv.mCacheEvicts, srv.vCache.With(name, "evict")),
 	}
 	go srv.committer(sess)
 	return sess
@@ -171,6 +171,15 @@ func (sess *session) addEvalStats(st eval.Stats) {
 	sess.statsMu.Lock()
 	sess.evalStats.Add(st)
 	sess.statsMu.Unlock()
+	// Every evaluation reports its compile-time join decisions; the
+	// serve.planner_rules{mode} family aggregates them server-wide so a
+	// scrape shows how often Generic Join actually engages.
+	if st.GJPlanned > 0 {
+		sess.srv.vPlanner.With("gj").Add(st.GJPlanned)
+	}
+	if st.BinaryPlanned > 0 {
+		sess.srv.vPlanner.With("binary").Add(st.BinaryPlanned)
+	}
 }
 
 // countWrite bumps the request-kind counter.
@@ -211,9 +220,10 @@ func (sess *session) stats() SessionStats {
 		BatchedWrites: sess.batchedWrites.Load(),
 		MaxBatch:      sess.maxBatch.Load(),
 		QueueDepth:    len(sess.queue),
-		CacheHits:     sess.cacheHits.Load(),
-		CacheMisses:   sess.cacheMisses.Load(),
-		CacheSize:     sess.cache.size(),
+		CacheHits:      sess.cacheHits.Load(),
+		CacheMisses:    sess.cacheMisses.Load(),
+		CacheEvictions: sess.cache.evicted(),
+		CacheSize:      sess.cache.size(),
 	}
 	if p := sess.prog.Load(); p != nil {
 		st.Rules = p.rules
