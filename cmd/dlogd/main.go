@@ -13,6 +13,14 @@
 //	GET    /v1/stats                                            server counters
 //	GET    /metrics                                             Prometheus exposition
 //	GET    /healthz                                             liveness
+//	GET    /readyz                                              readiness (follower: catching_up until caught up)
+//	GET    /v1/sessions/{name}/replicate?from=SEQ               WAL-shipping replication stream
+//
+// With -follow http://leader:port the daemon runs as a read-only
+// replica: sessions are discovered from the leader, bootstrapped from
+// its checkpoints, and fed committed WAL batches into -data-dir; every
+// write answers 403 not_leader naming the leader. Restarting the same
+// data directory without -follow promotes the replica to a leader.
 //
 // The original flat routes (/load, /query, /insert, /delete, /stats)
 // remain as aliases onto the "default" session.
@@ -112,9 +120,23 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 	fsync := fs.Bool("fsync", true, "fsync the write-ahead log before acknowledging each write (only meaningful with -data-dir; false trades crash-durability of the latest writes for throughput)")
 	checkpointEvery := fs.Int("checkpoint-every", durable.DefaultCheckpointEvery,
 		"committed batches between automatic snapshot checkpoints (only meaningful with -data-dir)")
+	follow := fs.String("follow", "",
+		"leader base URL (http://host:port): run as a read-only replica of that dlogd, replicating its sessions into -data-dir (required); restart without -follow to promote")
+	readyMaxLag := fs.Uint64("ready-max-lag", 0,
+		"batch-sequence lag at or under which a follower reports ready on /readyz (0 = fully caught up)")
+	heartbeat := fs.Duration("replication-heartbeat", serve.DefaultHeartbeat,
+		"leader's idle replication-stream heartbeat interval")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" {
+		if len(programs) > 0 {
+			return errors.New("-follow and -program are mutually exclusive: a replica takes its sessions from the leader")
+		}
+		if *dataDir == "" {
+			return errors.New("-follow requires -data-dir: a replica persists the leader's WAL locally")
+		}
 	}
 	tracer, err := obsFlags.Tracer()
 	if err != nil {
@@ -136,6 +158,9 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		Tracer:               tracer,
 		EnablePprof:          obsFlags.ExposePprof,
 		SlowQuery:            *slowQuery,
+		Follow:               *follow,
+		ReadyMaxLag:          *readyMaxLag,
+		Heartbeat:            *heartbeat,
 	}
 	if *accessLog || *slowQuery > 0 {
 		cfg.AccessLog = logw
@@ -201,6 +226,17 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		}
 		fmt.Fprintf(logw, "dlogd: loaded %s into session %s: %d rules, %d EDB tuples, %d IDB tuples (optimized=%v)\n",
 			pa.path, pa.session, resp.Rules, resp.EDBTuples, resp.IDBTuples, resp.Optimized)
+	}
+
+	// Follower mode: start the replication manager after recovery, so
+	// each session resumes its stream from the recovered sequence.
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	defer stopFollow()
+	if *follow != "" {
+		if err := srv.StartFollower(followCtx); err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "dlogd: following %s (read-only replica; ready-max-lag %d)\n", *follow, *readyMaxLag)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 
 	"repro/internal/ast"
 	"repro/internal/storage"
@@ -34,6 +35,52 @@ func appendFrame(dst, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
 	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 	return append(dst, payload...)
+}
+
+// AppendFrame exposes the durable frame encoding (u32 LE length, u32 LE
+// CRC-32, payload) for other transports — the replication stream ships
+// the exact framing the WAL uses on disk.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// ErrBadFrame reports a frame that cannot be decoded: short header,
+// short payload, oversized length, or CRC mismatch.
+var ErrBadFrame = errBadFrame
+
+// MaxFrameLen is the largest payload a single frame may carry; larger
+// lengths are treated as corruption rather than honored as allocations.
+const MaxFrameLen = maxFrameLen
+
+// ReadFrame reads one complete frame from r, blocking until the header
+// and payload arrive. io.EOF at a frame boundary is returned verbatim;
+// a stream that ends inside a frame yields io.ErrUnexpectedEOF, and a
+// CRC mismatch or oversized length yields ErrBadFrame. This is the
+// streaming twin of nextFrame for transports that cannot seek.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameLen {
+		return nil, ErrBadFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, ErrBadFrame
+	}
+	return payload, nil
 }
 
 // nextFrame decodes the frame at the start of b, returning its payload

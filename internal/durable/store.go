@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -100,7 +101,16 @@ type Store struct {
 	// sequence number shadow a later retry. Every Append fails until
 	// the next successful Checkpoint opens a fresh segment.
 	broken bool
+	// ckptSeq is the sequence number of the newest checkpoint on disk.
+	// It is atomic because the replication handler reads it without the
+	// session mutex while the committer checkpoints under it.
+	ckptSeq atomic.Uint64
 }
+
+// LastCheckpointSeq is the sequence number covered by the newest
+// checkpoint this store has written or recovered (0 before the first).
+// Safe to call concurrently with Checkpoint/Append.
+func (st *Store) LastCheckpointSeq() uint64 { return st.ckptSeq.Load() }
 
 // RecoverResult is what Store.Recover found on disk.
 type RecoverResult struct {
@@ -223,7 +233,17 @@ func (st *Store) Checkpoint(snap *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	seq := snap.Meta.Seq
+	return st.CheckpointRaw(b, snap.Meta.Seq)
+}
+
+// CheckpointRaw persists pre-encoded snapshot bytes as the newest
+// checkpoint, with the same atomic-rename, rotation and GC behavior as
+// Checkpoint. A replication follower uses it to install the byte
+// stream it received from the leader verbatim, so the two data
+// directories hold identical snapshot files. seq must match the
+// encoded Meta.Seq; the caller has already decoded (and therefore
+// validated) the bytes.
+func (st *Store) CheckpointRaw(b []byte, seq uint64) error {
 	final := path.Join(st.dir, snapName(seq))
 	tmp := final + ".tmp"
 	f, err := st.fs.Create(tmp)
@@ -253,6 +273,7 @@ func (st *Store) Checkpoint(snap *Snapshot) error {
 	if err := st.openSegment(seq + 1); err != nil {
 		return err
 	}
+	st.ckptSeq.Store(seq)
 	st.gc(seq)
 	return nil
 }
@@ -382,6 +403,7 @@ func (st *Store) Recover() (*RecoverResult, error) {
 			continue
 		}
 		res.Snapshot = snap
+		st.ckptSeq.Store(snap.Meta.Seq)
 		break
 	}
 
@@ -464,4 +486,65 @@ func (st *Store) Recover() (*RecoverResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// NewestSnapshotRaw returns the raw bytes and sequence number of the
+// newest checkpoint that decodes completely. It touches only immutable
+// store fields (fs, dir), so the replication handler may call it
+// concurrently with the committer; a checkpoint GC racing the read
+// simply makes it fall back to the next-newest file.
+func (st *Store) NewestSnapshotRaw() (raw []byte, seq uint64, err error) {
+	snapSeqs, err := st.listSeqs("snap-", SnapSuffix)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		b, rerr := st.readFile(snapName(snapSeqs[i]))
+		if rerr != nil {
+			continue
+		}
+		if _, derr := DecodeSnapshot(b); derr != nil {
+			continue
+		}
+		return b, snapSeqs[i], nil
+	}
+	return nil, 0, fmt.Errorf("durable: %s: no decodable snapshot", st.dir)
+}
+
+// BatchesAfter reads every WAL batch with sequence number strictly
+// above from, in order, stopping at the first gap or unreadable
+// segment (the prefix collected so far is returned). Like
+// NewestSnapshotRaw it only reads immutable fields plus on-disk files,
+// so the replication handler may call it while the committer appends:
+// records fully written before the call are complete on disk, and a
+// concurrently half-written tail parses as torn and is ignored.
+func (st *Store) BatchesAfter(from uint64) ([]*Batch, error) {
+	walSeqs, err := st.listSeqs("wal-", WALSuffix)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Batch
+	last := from
+	for _, wseq := range walSeqs {
+		b, err := st.readFile(walName(wseq))
+		if err != nil {
+			break // GC'd or unreadable: the contiguous prefix stands
+		}
+		batches, _, serr := ScanSegment(b)
+		if serr != nil {
+			break
+		}
+		for _, batch := range batches {
+			switch {
+			case batch.Seq <= last:
+				continue // below the cursor (or duplicate)
+			case batch.Seq == last+1:
+				out = append(out, batch)
+				last = batch.Seq
+			default:
+				return out, nil // gap: stop at the contiguous prefix
+			}
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,39 @@
+package replicate
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces jittered exponential reconnect delays: base·2ⁿ
+// capped at max, each scaled by a uniform factor in [0.5, 1.5) so a
+// fleet of followers that lost the same leader does not reconnect in
+// lockstep. Zero-valued fields get sane defaults. Not safe for
+// concurrent use; each replicator goroutine owns one.
+type Backoff struct {
+	Base time.Duration // first delay (default 100ms)
+	Max  time.Duration // ceiling before jitter (default 5s)
+
+	n int
+}
+
+// Next returns the delay to sleep before the next attempt.
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << b.n
+	if d > max || d < base { // d < base catches shift overflow
+		d = max
+	} else {
+		b.n++
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// Reset restores the first-attempt delay after a healthy connection.
+func (b *Backoff) Reset() { b.n = 0 }

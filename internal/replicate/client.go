@@ -1,0 +1,76 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Stream is one open replication connection: a Decoder over the HTTP
+// response body. Close releases the connection.
+type Stream struct {
+	*Decoder
+	body io.Closer
+}
+
+// Close tears down the underlying HTTP response.
+func (s *Stream) Close() error { return s.body.Close() }
+
+// Dial opens a replication stream for session name against the leader
+// base URL, resuming after sequence from (the follower's last durable
+// seq; 0 for a fresh follower). The returned stream is live until the
+// leader ends it, the context is canceled, or Close is called.
+func Dial(ctx context.Context, client *http.Client, leader, name string, from uint64) (*Stream, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	u := strings.TrimRight(leader, "/") + "/v1/sessions/" + url.PathEscape(name) +
+		"/replicate?from=" + strconv.FormatUint(from, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("replicate: leader returned %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	return &Stream{Decoder: NewDecoder(resp.Body, from), body: resp.Body}, nil
+}
+
+// Sessions fetches the leader's live session names from GET
+// /v1/sessions, for follower discovery.
+func Sessions(ctx context.Context, client *http.Client, leader string) ([]string, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(leader, "/")+"/v1/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replicate: leader session list returned %s", resp.Status)
+	}
+	var body struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("replicate: bad session list: %w", err)
+	}
+	return body.Sessions, nil
+}

@@ -1,0 +1,123 @@
+package replicate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// golden reads one of the durable layer's checked-in v1 format files;
+// the replication stream reuses those encodings byte for byte, so they
+// are the natural fuzz seeds.
+func golden(f *testing.F, name string) []byte {
+	f.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "durable", "testdata", name))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// FuzzStreamDecode attacks the replication stream decoder with
+// truncated, corrupted and reordered inputs. The contract under test is
+// what keeps a follower from ever partially applying a bad feed:
+//
+//   - no input panics;
+//   - every message surfaced before the first error is well-formed and
+//     in protocol order (hello first, snapshot only when announced,
+//     batch sequences strictly contiguous, nothing after End);
+//   - the first error latches — later calls return the same error, so
+//     a valid suffix after a corrupt frame can never leak through.
+func FuzzStreamDecode(f *testing.F) {
+	goldenWAL := golden(f, "wal-v1.dlwl")
+	goldenSnap := golden(f, "snapshot-v1.dlsn")
+
+	// Seed 1: a catch-up stream carrying the golden WAL's batches
+	// (seq 43, 44). A WAL segment after its magic is frame-for-frame a
+	// batch stream, so the golden file splices in directly.
+	catchup := append([]byte(nil), streamMagic...)
+	catchup = durable.AppendFrame(catchup, []byte(`H{"session":"test","seq":44}`))
+	catchup = append(catchup, goldenWAL[5:]...) // skip "DLWL\x01"
+	catchup = durable.AppendFrame(catchup, []byte(`E{"reason":"seed"}`))
+	f.Add(catchup, uint64(42))
+
+	// Seed 2: a bootstrap stream shipping the golden snapshot (seq 42)
+	// and then the golden WAL tail.
+	boot := append([]byte(nil), streamMagic...)
+	boot = durable.AppendFrame(boot, []byte(`H{"session":"test","seq":44,"snapshot":true,"snapshot_seq":42}`))
+	boot = durable.AppendFrame(boot, append([]byte{KindSnapshot}, goldenSnap...))
+	boot = append(boot, goldenWAL[5:]...)
+	f.Add(boot, uint64(0))
+
+	// Seed 3: heartbeat-only idle stream.
+	idle := append([]byte(nil), streamMagic...)
+	idle = durable.AppendFrame(idle, []byte(`H{"session":"test","seq":9}`))
+	idle = durable.AppendFrame(idle, append([]byte{KindHeartbeat}, 9, 0, 0, 0, 0, 0, 0, 0))
+	f.Add(idle, uint64(9))
+
+	// Degenerate and damaged variants.
+	f.Add([]byte{}, uint64(0))
+	f.Add(append([]byte(nil), streamMagic...), uint64(0))
+	f.Add(goldenWAL, uint64(42))                // raw WAL file: wrong magic
+	f.Add(catchup[:len(catchup)-7], uint64(42)) // truncated mid-frame
+	flipped := append([]byte(nil), catchup...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped, uint64(42))
+	swapped := append([]byte(nil), boot...)
+	// Reorder: duplicate the final frame's first header byte region to
+	// perturb framing without help from the corpus.
+	copy(swapped[len(swapped)-8:], swapped[:8])
+	f.Add(swapped, uint64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, from uint64) {
+		d := NewDecoder(bytes.NewReader(data), from)
+		seq := from
+		var hello *Hello
+		snapSeen, ended := false, false
+		for i := 0; i < 10000; i++ {
+			msg, err := d.Next()
+			if err != nil {
+				// The first error must latch exactly.
+				if _, err2 := d.Next(); err2 != err {
+					t.Fatalf("error did not latch: %v then %v", err, err2)
+				}
+				return
+			}
+			if ended {
+				t.Fatalf("message kind %q after End", msg.Kind)
+			}
+			switch msg.Kind {
+			case KindHello:
+				if hello != nil {
+					t.Fatal("second hello surfaced")
+				}
+				hello = msg.Hello
+			case KindSnapshot:
+				if hello == nil || !hello.Snapshot || snapSeen {
+					t.Fatal("snapshot surfaced without a pending announcement")
+				}
+				snapSeen = true
+				seq = hello.SnapshotSeq
+			case KindBatch:
+				if hello == nil || (hello.Snapshot && !snapSeen) {
+					t.Fatal("batch surfaced before hello/bootstrap")
+				}
+				if msg.Batch.Seq != seq+1 {
+					t.Fatalf("non-contiguous batch: got %d, want %d", msg.Batch.Seq, seq+1)
+				}
+				seq = msg.Batch.Seq
+			case KindHeartbeat:
+				if hello == nil {
+					t.Fatal("heartbeat before hello")
+				}
+			case KindEnd:
+				ended = true
+			default:
+				t.Fatalf("unknown kind %q surfaced", msg.Kind)
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package replicate implements WAL-shipping replication for dlogd: a
+// leader streams its sessions' committed write-ahead-log batches to
+// read-only followers over HTTP, bootstrapping fresh (or lagging)
+// followers with a checkpoint snapshot first.
+//
+// The stream protocol reuses the durable layer's on-disk encodings
+// byte for byte: every message rides in a durable frame (u32 LE
+// length, u32 LE CRC-32, payload), a batch message's payload IS the
+// WAL 'B' record the leader logged, and the bootstrap snapshot is the
+// leader's checkpoint file verbatim. A follower that persists what it
+// receives therefore ends up with a data directory a promoted leader
+// recovers from exactly like its own.
+//
+// Stream layout:
+//
+//	"DLRS" magic, 0x01 version byte
+//	frame 'H': JSON Hello (leader seq, snapshot announcement)
+//	frame 'S': raw snapshot file bytes       (iff Hello.Snapshot)
+//	frame 'B': WAL batch record              (repeated, seq contiguous)
+//	frame 'K': uint64 LE leader seq          (heartbeat, interleaved)
+//	frame 'E': JSON End                      (graceful termination)
+//
+// The decoder enforces the state machine and batch-sequence
+// contiguity, so a truncated, corrupted or reordered stream yields a
+// clean error before anything partial could be applied.
+package replicate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/durable"
+)
+
+// streamMagic opens every replication stream: magic plus version.
+var streamMagic = []byte("DLRS\x01")
+
+// Message kinds, doubling as the first payload byte of each frame.
+// KindBatch deliberately equals the WAL 'B' record tag: a batch
+// frame's payload is the WAL record, unchanged.
+const (
+	KindHello     byte = 'H'
+	KindSnapshot  byte = 'S'
+	KindBatch     byte = 'B'
+	KindHeartbeat byte = 'K'
+	KindEnd       byte = 'E'
+)
+
+// Hello is the stream's opening message: where the leader stands and
+// whether a bootstrap snapshot follows.
+type Hello struct {
+	// Session is the session name being replicated.
+	Session string `json:"session"`
+	// Seq is the leader's newest committed batch sequence at stream
+	// start; the follower's lag gauge starts from it.
+	Seq uint64 `json:"seq"`
+	// Generation is the leader's published snapshot generation at
+	// stream start, surfaced for bounded-staleness accounting.
+	Generation uint64 `json:"generation"`
+	// Snapshot announces that a snapshot frame follows; SnapshotSeq is
+	// that snapshot's sequence number, and the first batch on the
+	// stream will carry SnapshotSeq+1.
+	Snapshot    bool   `json:"snapshot,omitempty"`
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+}
+
+// End is the stream's graceful-termination message. The follower
+// reconnects (resuming from its last durable sequence) whatever the
+// reason; the reason tells operators why.
+type End struct {
+	Reason string `json:"reason"`
+}
+
+// Message is one decoded stream message.
+type Message struct {
+	Kind     byte
+	Hello    *Hello
+	Snapshot []byte         // raw checkpoint file bytes, not yet decoded
+	Batch    *durable.Batch // one committed WAL batch
+	Seq      uint64         // heartbeat: the leader's current seq
+	End      *End
+}
+
+// Protocol violations are permanent: the stream cannot be trusted past
+// the first one, so the decoder latches the error.
+var (
+	// ErrBadStream marks a stream that does not open with the
+	// replication magic and version.
+	ErrBadStream = errors.New("replicate: not a version-1 replication stream")
+	// ErrOutOfOrder marks a batch whose sequence number is not the
+	// expected next one — a reordered, duplicated or gapped stream.
+	ErrOutOfOrder = errors.New("replicate: batch out of sequence")
+	// ErrProtocol marks any other state-machine violation (snapshot
+	// without announcement, hello mid-stream, unknown frame kind).
+	ErrProtocol = errors.New("replicate: protocol violation")
+)
+
+// Writer encodes a replication stream onto w, flushing (when w
+// implements Flush or http.Flusher) after every message so long-poll
+// followers see each batch as it commits.
+type Writer struct {
+	w     io.Writer
+	flush func()
+	began bool
+}
+
+// NewWriter wraps w. flush may be nil when the transport needs none.
+func NewWriter(w io.Writer, flush func()) *Writer {
+	if flush == nil {
+		flush = func() {}
+	}
+	return &Writer{w: w, flush: flush}
+}
+
+func (sw *Writer) frame(payload []byte) error {
+	var buf []byte
+	if !sw.began {
+		buf = append(buf, streamMagic...)
+		sw.began = true
+	}
+	buf = durable.AppendFrame(buf, payload)
+	if _, err := sw.w.Write(buf); err != nil {
+		return err
+	}
+	sw.flush()
+	return nil
+}
+
+// Hello writes the opening message (and the stream magic before it).
+func (sw *Writer) Hello(h *Hello) error {
+	b, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	return sw.frame(append([]byte{KindHello}, b...))
+}
+
+// Snapshot ships raw checkpoint file bytes.
+func (sw *Writer) Snapshot(raw []byte) error {
+	return sw.frame(append([]byte{KindSnapshot}, raw...))
+}
+
+// Batch ships one committed WAL batch. EncodeBatch is deterministic,
+// so the frame payload is byte-identical to the WAL record the leader
+// logged for this batch.
+func (sw *Writer) Batch(b *durable.Batch) error {
+	return sw.frame(durable.EncodeBatch(b))
+}
+
+// Heartbeat reports the leader's current sequence on an idle stream,
+// keeping the connection alive and the follower's lag gauge honest.
+func (sw *Writer) Heartbeat(seq uint64) error {
+	payload := make([]byte, 1, 9)
+	payload[0] = KindHeartbeat
+	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	return sw.frame(payload)
+}
+
+// End terminates the stream gracefully with a reason the follower can
+// log before reconnecting.
+func (sw *Writer) End(reason string) error {
+	b, err := json.Marshal(&End{Reason: reason})
+	if err != nil {
+		return err
+	}
+	return sw.frame(append([]byte{KindEnd}, b...))
+}
+
+// Decoder reads a replication stream. It validates framing (CRC),
+// message order, and batch-sequence contiguity; the first violation
+// latches, so a caller can never observe a partial or out-of-order
+// apply feed. The zero decoder is not usable — NewDecoder binds the
+// reader and the resume cursor.
+type Decoder struct {
+	r    io.Reader
+	err  error
+	seq  uint64 // next expected batch must carry seq+1
+	seen struct {
+		magic bool
+		hello bool
+		snap  bool // snapshot frame consumed (or none announced)
+		end   bool
+	}
+	hello Hello
+}
+
+// NewDecoder reads a stream from r, resuming from sequence from: the
+// first batch must carry from+1 unless a bootstrap snapshot resets the
+// cursor to its own sequence.
+func NewDecoder(r io.Reader, from uint64) *Decoder {
+	return &Decoder{r: r, seq: from}
+}
+
+func (d *Decoder) fail(err error) (*Message, error) {
+	d.err = err
+	return nil, err
+}
+
+// Next returns the next message, or the error that ended the stream.
+// After any error (including io.EOF), every later call returns the
+// same error.
+func (d *Decoder) Next() (*Message, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.seen.end {
+		return d.fail(io.EOF)
+	}
+	if !d.seen.magic {
+		got := make([]byte, len(streamMagic))
+		if _, err := io.ReadFull(d.r, got); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return d.fail(fmt.Errorf("%w: truncated header", ErrBadStream))
+			}
+			return d.fail(err)
+		}
+		if string(got) != string(streamMagic) {
+			return d.fail(ErrBadStream)
+		}
+		d.seen.magic = true
+	}
+	payload, err := durable.ReadFrame(d.r)
+	if err != nil {
+		return d.fail(err)
+	}
+	if len(payload) == 0 {
+		return d.fail(fmt.Errorf("%w: empty frame", ErrProtocol))
+	}
+	kind, body := payload[0], payload[1:]
+
+	if !d.seen.hello {
+		if kind != KindHello {
+			return d.fail(fmt.Errorf("%w: stream does not open with hello", ErrProtocol))
+		}
+		if err := json.Unmarshal(body, &d.hello); err != nil {
+			return d.fail(fmt.Errorf("%w: bad hello: %v", ErrProtocol, err))
+		}
+		d.seen.hello = true
+		d.seen.snap = !d.hello.Snapshot
+		return &Message{Kind: KindHello, Hello: &d.hello}, nil
+	}
+
+	switch kind {
+	case KindSnapshot:
+		if d.seen.snap {
+			return d.fail(fmt.Errorf("%w: unannounced snapshot frame", ErrProtocol))
+		}
+		d.seen.snap = true
+		// The snapshot resets the resume cursor: batches continue from
+		// the snapshot's sequence, exactly as WAL replay after recovery.
+		d.seq = d.hello.SnapshotSeq
+		return &Message{Kind: KindSnapshot, Snapshot: body}, nil
+	case KindBatch:
+		if !d.seen.snap {
+			return d.fail(fmt.Errorf("%w: batch before announced snapshot", ErrProtocol))
+		}
+		batch, err := durable.DecodeBatch(payload)
+		if err != nil {
+			return d.fail(err)
+		}
+		if batch.Seq != d.seq+1 {
+			return d.fail(fmt.Errorf("%w: got %d, want %d", ErrOutOfOrder, batch.Seq, d.seq+1))
+		}
+		d.seq = batch.Seq
+		return &Message{Kind: KindBatch, Batch: batch}, nil
+	case KindHeartbeat:
+		if len(body) != 8 {
+			return d.fail(fmt.Errorf("%w: malformed heartbeat", ErrProtocol))
+		}
+		return &Message{Kind: KindHeartbeat, Seq: binary.LittleEndian.Uint64(body)}, nil
+	case KindEnd:
+		if !d.seen.snap {
+			return d.fail(fmt.Errorf("%w: end before announced snapshot", ErrProtocol))
+		}
+		var e End
+		if err := json.Unmarshal(body, &e); err != nil {
+			return d.fail(fmt.Errorf("%w: bad end: %v", ErrProtocol, err))
+		}
+		d.seen.end = true
+		return &Message{Kind: KindEnd, End: &e}, nil
+	case KindHello:
+		return d.fail(fmt.Errorf("%w: hello mid-stream", ErrProtocol))
+	default:
+		return d.fail(fmt.Errorf("%w: unknown frame kind %q", ErrProtocol, kind))
+	}
+}

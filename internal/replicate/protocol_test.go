@@ -1,0 +1,385 @@
+package replicate
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/storage"
+)
+
+func tup(vals ...any) storage.Tuple {
+	t := make(storage.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			t[i] = storage.InternInt(int64(x))
+		case string:
+			t[i] = storage.InternSym(x)
+		default:
+			panic("bad test term")
+		}
+	}
+	return t
+}
+
+func testBatch(seq uint64) *durable.Batch {
+	return &durable.Batch{
+		Seq: seq,
+		Ins: map[string][]storage.Tuple{"edge": {tup(int(seq), int(seq+1))}},
+	}
+}
+
+// encodeStream renders a full stream (hello, optional snapshot,
+// batches, heartbeat, end) through the Writer.
+func encodeStream(t *testing.T, hello *Hello, snap []byte, batches []*durable.Batch) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	flushed := 0
+	sw := NewWriter(&buf, func() { flushed++ })
+	if err := sw.Hello(hello); err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		if err := sw.Snapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range batches {
+		if err := sw.Batch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Heartbeat(hello.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.End("test done"); err != nil {
+		t.Fatal(err)
+	}
+	if flushed == 0 {
+		t.Fatal("writer never flushed")
+	}
+	return buf.Bytes()
+}
+
+func TestStreamRoundTripWithSnapshot(t *testing.T) {
+	hello := &Hello{Session: "m", Seq: 12, Generation: 7, Snapshot: true, SnapshotSeq: 10}
+	snap := []byte("pretend-checkpoint-bytes")
+	batches := []*durable.Batch{testBatch(11), testBatch(12)}
+	raw := encodeStream(t, hello, snap, batches)
+
+	// The follower connected asking from=3; the snapshot resets the
+	// cursor to 10, so batches 11 and 12 are in order.
+	d := NewDecoder(bytes.NewReader(raw), 3)
+
+	msg, err := d.Next()
+	if err != nil || msg.Kind != KindHello {
+		t.Fatalf("first message = %v, %v; want hello", msg, err)
+	}
+	if *msg.Hello != *hello {
+		t.Fatalf("hello = %+v, want %+v", msg.Hello, hello)
+	}
+	msg, err = d.Next()
+	if err != nil || msg.Kind != KindSnapshot {
+		t.Fatalf("second message = %v, %v; want snapshot", msg, err)
+	}
+	if !bytes.Equal(msg.Snapshot, snap) {
+		t.Fatalf("snapshot bytes = %q, want %q", msg.Snapshot, snap)
+	}
+	for _, want := range batches {
+		msg, err = d.Next()
+		if err != nil || msg.Kind != KindBatch {
+			t.Fatalf("batch message = %v, %v", msg, err)
+		}
+		if msg.Batch.Seq != want.Seq {
+			t.Fatalf("batch seq = %d, want %d", msg.Batch.Seq, want.Seq)
+		}
+	}
+	msg, err = d.Next()
+	if err != nil || msg.Kind != KindHeartbeat || msg.Seq != hello.Seq {
+		t.Fatalf("heartbeat = %v, %v; want seq %d", msg, err, hello.Seq)
+	}
+	msg, err = d.Next()
+	if err != nil || msg.Kind != KindEnd || msg.End.Reason != "test done" {
+		t.Fatalf("end = %v, %v", msg, err)
+	}
+	// After End the stream is over; EOF latches.
+	for i := 0; i < 2; i++ {
+		if _, err = d.Next(); err != io.EOF {
+			t.Fatalf("post-end Next #%d = %v, want io.EOF", i, err)
+		}
+	}
+}
+
+func TestStreamRoundTripNoSnapshot(t *testing.T) {
+	hello := &Hello{Session: "m", Seq: 7}
+	raw := encodeStream(t, hello, nil, []*durable.Batch{testBatch(6), testBatch(7)})
+	d := NewDecoder(bytes.NewReader(raw), 5)
+	kinds := []byte{KindHello, KindBatch, KindBatch, KindHeartbeat, KindEnd}
+	for i, want := range kinds {
+		msg, err := d.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if msg.Kind != want {
+			t.Fatalf("message %d kind = %q, want %q", i, msg.Kind, want)
+		}
+	}
+}
+
+// TestBatchFramePayloadIsWALRecord pins the byte-identity contract: the
+// payload the Writer frames for a batch IS the WAL record the durable
+// layer would log, so a follower persisting stream payloads reproduces
+// the leader's WAL byte for byte.
+func TestBatchFramePayloadIsWALRecord(t *testing.T) {
+	b := testBatch(9)
+	rec := durable.EncodeBatch(b)
+	if rec[0] != KindBatch {
+		t.Fatalf("WAL record tag = %q, want %q (KindBatch must alias it)", rec[0], KindBatch)
+	}
+	var buf bytes.Buffer
+	sw := NewWriter(&buf, nil)
+	if err := sw.Batch(b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[len(streamMagic):] // skip magic
+	payload, err := durable.ReadFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, rec) {
+		t.Fatal("framed batch payload differs from the WAL record encoding")
+	}
+}
+
+func TestDecoderBadMagic(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("DLR"),             // truncated magic
+		[]byte("DLWL\x01junk..."), // a WAL segment is not a stream
+		[]byte("DLRS\x02xxxxxxx"), // wrong version
+	} {
+		d := NewDecoder(bytes.NewReader(raw), 0)
+		if _, err := d.Next(); !errors.Is(err, ErrBadStream) {
+			t.Fatalf("Next(%q) = %v, want ErrBadStream", raw, err)
+		}
+	}
+}
+
+func TestDecoderTruncatedMidFrame(t *testing.T) {
+	raw := encodeStream(t, &Hello{Session: "m", Seq: 2}, nil, []*durable.Batch{testBatch(1), testBatch(2)})
+	// Cut inside the first batch frame: past the hello, mid-payload.
+	helloLen := func() int {
+		var buf bytes.Buffer
+		sw := NewWriter(&buf, nil)
+		if err := sw.Hello(&Hello{Session: "m", Seq: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}()
+	cut := raw[:helloLen+5]
+	d := NewDecoder(bytes.NewReader(cut), 0)
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	_, err := d.Next()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-frame truncation = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// The error latches.
+	if _, err2 := d.Next(); err2 != err {
+		t.Fatalf("latched error = %v, want %v", err2, err)
+	}
+}
+
+func TestDecoderCorruptFrame(t *testing.T) {
+	raw := encodeStream(t, &Hello{Session: "m", Seq: 1}, nil, []*durable.Batch{testBatch(1)})
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-10] ^= 0x40 // lands in the end-frame region
+	d := NewDecoder(bytes.NewReader(flipped), 0)
+	var err error
+	for err == nil {
+		_, err = d.Next()
+	}
+	if !errors.Is(err, durable.ErrBadFrame) {
+		t.Fatalf("corrupted stream = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecoderOutOfOrder(t *testing.T) {
+	cases := []struct {
+		name    string
+		from    uint64
+		batches []*durable.Batch
+	}{
+		{"gap", 0, []*durable.Batch{testBatch(1), testBatch(3)}},
+		{"duplicate", 0, []*durable.Batch{testBatch(1), testBatch(1)}},
+		{"regress", 5, []*durable.Batch{testBatch(6), testBatch(4)}},
+		{"wrong start", 5, []*durable.Batch{testBatch(9)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			sw := NewWriter(&buf, nil)
+			if err := sw.Hello(&Hello{Session: "m", Seq: 99}); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range tc.batches {
+				if err := sw.Batch(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d := NewDecoder(bytes.NewReader(buf.Bytes()), tc.from)
+			var err error
+			for err == nil {
+				_, err = d.Next()
+			}
+			if !errors.Is(err, ErrOutOfOrder) {
+				t.Fatalf("%s = %v, want ErrOutOfOrder", tc.name, err)
+			}
+		})
+	}
+}
+
+// rawStream hand-crafts a stream from frame payloads, bypassing the
+// Writer's ordering discipline, to hit the decoder's state machine.
+func rawStream(payloads ...[]byte) []byte {
+	raw := append([]byte(nil), streamMagic...)
+	for _, p := range payloads {
+		raw = durable.AppendFrame(raw, p)
+	}
+	return raw
+}
+
+func TestDecoderProtocolViolations(t *testing.T) {
+	helloNone := []byte(`H{"session":"m","seq":3}`)
+	helloSnap := []byte(`H{"session":"m","seq":3,"snapshot":true,"snapshot_seq":2}`)
+	batch := durable.EncodeBatch(testBatch(4))
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"batch before hello", rawStream(batch)},
+		{"heartbeat before hello", rawStream(append([]byte{KindHeartbeat}, make([]byte, 8)...))},
+		{"unannounced snapshot", rawStream(helloNone, append([]byte{KindSnapshot}, 'x'))},
+		{"batch before announced snapshot", rawStream(helloSnap, batch)},
+		{"end before announced snapshot", rawStream(helloSnap, []byte(`E{"reason":"x"}`))},
+		{"hello mid-stream", rawStream(helloNone, helloNone)},
+		{"unknown kind", rawStream(helloNone, []byte{'Z', 1, 2})},
+		{"malformed heartbeat", rawStream(helloNone, []byte{KindHeartbeat, 1, 2, 3})},
+		{"empty frame", rawStream(helloNone, []byte{})},
+		{"bad hello json", rawStream([]byte(`H{not json`))},
+		{"bad end json", rawStream(helloNone, []byte(`E{not json`))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(bytes.NewReader(tc.raw), 3)
+			var err error
+			for err == nil {
+				_, err = d.Next()
+			}
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("%s = %v, want ErrProtocol", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestDecoderErrorLatches: once the stream is poisoned, later valid
+// frames must never be surfaced — the feed cannot be trusted past the
+// first violation.
+func TestDecoderErrorLatches(t *testing.T) {
+	raw := rawStream(
+		[]byte(`H{"session":"m","seq":0}`),
+		durable.EncodeBatch(testBatch(2)), // gap: want 1
+		durable.EncodeBatch(testBatch(1)), // valid in isolation; must not be seen
+	)
+	d := NewDecoder(bytes.NewReader(raw), 0)
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	_, err := d.Next()
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap = %v, want ErrOutOfOrder", err)
+	}
+	for i := 0; i < 3; i++ {
+		if msg, err2 := d.Next(); err2 != err || msg != nil {
+			t.Fatalf("Next after poison = %v, %v; want latched %v", msg, err2, err)
+		}
+	}
+}
+
+func TestSlotOverflowLatchesAndDrains(t *testing.T) {
+	sl := NewSlot(2, 10)
+	sl.Offer(testBatch(11))
+	sl.Offer(testBatch(12))
+	if sl.Depth() != 2 || sl.Closed() || sl.Overflowed() {
+		t.Fatalf("after 2 offers: depth=%d closed=%v overflowed=%v", sl.Depth(), sl.Closed(), sl.Overflowed())
+	}
+	sl.Offer(testBatch(13)) // buffer full: latch overflow, close
+	if !sl.Closed() || !sl.Overflowed() {
+		t.Fatal("third offer into a full slot must latch overflow and close")
+	}
+	select {
+	case <-sl.Done():
+	default:
+		t.Fatal("Done not closed after overflow")
+	}
+	// The buffered prefix is still contiguous and drainable.
+	for _, want := range []uint64{11, 12} {
+		select {
+		case b := <-sl.Batches():
+			if b.Seq != want {
+				t.Fatalf("drained seq %d, want %d", b.Seq, want)
+			}
+		default:
+			t.Fatalf("batch %d not drainable after close", want)
+		}
+	}
+	if sl.Depth() != 0 {
+		t.Fatalf("depth after drain = %d", sl.Depth())
+	}
+	sl.Offer(testBatch(14)) // no-op on a closed slot
+	if sl.Depth() != 0 {
+		t.Fatal("offer after close buffered a batch")
+	}
+	sl.Close() // idempotent
+}
+
+func TestSlotMinimumBuffer(t *testing.T) {
+	sl := NewSlot(0, 0)
+	sl.Offer(testBatch(1))
+	if sl.Overflowed() {
+		t.Fatal("first offer into a zero-buf slot overflowed; want minimum buffer of 1")
+	}
+}
+
+func TestBackoffBoundsAndReset(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	// Pre-jitter ladder: 100, 200, 400, 800, 800, ... Jitter scales each
+	// by [0.5, 1.5).
+	expect := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, e := range expect {
+		e *= time.Millisecond
+		d := b.Next()
+		if d < e/2 || d >= e*3/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, e/2, e*3/2)
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d < 50*time.Millisecond || d >= 150*time.Millisecond {
+		t.Fatalf("post-reset delay %v outside first-attempt range", d)
+	}
+
+	// Zero-valued fields fall back to defaults and never return a
+	// non-positive delay.
+	var z Backoff
+	for i := 0; i < 20; i++ {
+		if d := z.Next(); d <= 0 || d >= 5*time.Second*3/2 {
+			t.Fatalf("default backoff attempt %d = %v out of range", i, d)
+		}
+	}
+}

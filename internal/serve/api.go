@@ -66,6 +66,9 @@ const (
 	// CodeDurability: the write-ahead log or a checkpoint failed; the
 	// write was rolled back so memory never runs ahead of disk.
 	CodeDurability = "durability"
+	// CodeNotLeader: this daemon is a read-only replica; the error's
+	// Leader field names the leader every write must go to.
+	CodeNotLeader = "not_leader"
 )
 
 // ErrorDetail is the structured error body: a stable machine-readable
@@ -73,6 +76,9 @@ const (
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Leader is set on not_leader errors: the base URL of the leader
+	// this read-only replica follows.
+	Leader string `json:"leader,omitempty"`
 }
 
 // ErrorResponse is the envelope of every non-2xx reply.
@@ -135,6 +141,11 @@ type QueryResponse struct {
 	// Cached reports whether the result came from the session's
 	// query-result cache.
 	Cached bool `json:"cached,omitempty"`
+	// Seq is the session's newest durable WAL sequence at serve time
+	// (0 on in-memory sessions). On a follower it tells the client how
+	// far behind the leader this read may be, together with the
+	// session's replication stats.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // UpdateRequest carries ground facts for an insert or delete, in
@@ -186,24 +197,27 @@ type SessionStats struct {
 	Recomputes  int64 `json:"recomputes"`
 	// Batches counts commit groups; BatchedWrites the write requests
 	// they carried; MaxBatch the largest group observed.
-	Batches       int64          `json:"batches"`
-	BatchedWrites int64          `json:"batched_writes"`
-	MaxBatch      int64          `json:"max_batch"`
-	QueueDepth  int   `json:"queue_depth"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	Batches       int64 `json:"batches"`
+	BatchedWrites int64 `json:"batched_writes"`
+	MaxBatch      int64 `json:"max_batch"`
+	QueueDepth    int   `json:"queue_depth"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
 	// CacheEvictions counts entries dropped by LRU pressure or on-sight
 	// stale-generation eviction (whole-cache purges after commits are
 	// not evictions).
 	CacheEvictions int64          `json:"cache_evictions"`
 	CacheSize      int            `json:"cache_size"`
-	Relations     map[string]int `json:"relations,omitempty"`
+	Relations      map[string]int `json:"relations,omitempty"`
 	// Eval accumulates the engine counters of every evaluation the
 	// session has run (load, maintenance, recompute).
 	Eval eval.Stats `json:"eval"`
 	// Durability is present only on sessions backed by a durable store
 	// (see DurabilityStats).
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Replication is present when the session ships (leader with live
+	// slots) or receives (follower) a replication stream.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // CheckpointResponse reports an explicit checkpoint request: the

@@ -45,7 +45,8 @@ func (sess *session) logBatch(netIns, netDel map[string][]storage.Tuple) error {
 		return nil
 	}
 	seq := sess.seq.Load() + 1
-	n, syncDur, err := sess.dur.Append(&durable.Batch{Seq: seq, Ins: netIns, Del: netDel})
+	batch := &durable.Batch{Seq: seq, Ins: netIns, Del: netDel}
+	n, syncDur, err := sess.dur.Append(batch)
 	if err != nil {
 		return err
 	}
@@ -54,6 +55,10 @@ func (sess *session) logBatch(netIns, netDel map[string][]storage.Tuple) error {
 	sess.walBytes.Add(n)
 	sess.sinceCkpt.Add(1)
 	sess.srv.hFsync.ObserveDuration(syncDur)
+	// Fan the durable batch out to connected follower streams. Only
+	// after the append: a follower must never see a batch the leader
+	// could lose. Offers never block — a full slot detaches instead.
+	sess.offerSlots(batch)
 	return nil
 }
 
@@ -97,6 +102,7 @@ func (sess *session) checkpointLocked() error {
 	}
 	sess.checkpoints.Add(1)
 	sess.sinceCkpt.Store(0)
+	sess.lastCkptNano.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -215,6 +221,7 @@ func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryRepor
 	sess.dur = st
 	sess.seq.Store(res.Snapshot.Meta.Seq)
 	sess.recovered.Store(true)
+	sess.lastCkptNano.Store(time.Now().UnixNano())
 	if res.TornTail {
 		sess.tornTail.Store(true)
 	}
@@ -326,25 +333,33 @@ type DurabilityStats struct {
 	// TornTail reports that the recovery found (and truncated) a
 	// half-written final WAL record.
 	TornTail bool `json:"torn_tail,omitempty"`
+	// CheckpointAgeSeconds is the time since the last successful
+	// checkpoint (0 before the first in this process).
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"`
 }
 
 func (sess *session) durabilityStats() *DurabilityStats {
 	if sess.dur == nil {
 		return nil
 	}
+	var age float64
+	if t := sess.lastCkptNano.Load(); t > 0 {
+		age = time.Since(time.Unix(0, t)).Seconds()
+	}
 	return &DurabilityStats{
-		Enabled:            true,
-		Seq:                sess.seq.Load(),
-		WALBatches:         sess.walBatches.Load(),
-		WALBytes:           sess.walBytes.Load(),
-		Checkpoints:        sess.checkpoints.Load(),
-		CheckpointFailures: sess.ckptFailures.Load(),
-		SinceCheckpoint:    sess.sinceCkpt.Load(),
-		Recovered:          sess.recovered.Load(),
-		ReplayedBatches:    sess.replayIncremental.Load() + sess.replayRecomputes.Load(),
-		ReplayIncremental:  sess.replayIncremental.Load(),
-		ReplayRecomputes:   sess.replayRecomputes.Load(),
-		TornTail:           sess.tornTail.Load(),
+		Enabled:              true,
+		Seq:                  sess.seq.Load(),
+		CheckpointAgeSeconds: age,
+		WALBatches:           sess.walBatches.Load(),
+		WALBytes:             sess.walBytes.Load(),
+		Checkpoints:          sess.checkpoints.Load(),
+		CheckpointFailures:   sess.ckptFailures.Load(),
+		SinceCheckpoint:      sess.sinceCkpt.Load(),
+		Recovered:            sess.recovered.Load(),
+		ReplayedBatches:      sess.replayIncremental.Load() + sess.replayRecomputes.Load(),
+		ReplayIncremental:    sess.replayIncremental.Load(),
+		ReplayRecomputes:     sess.replayRecomputes.Load(),
+		TornTail:             sess.tornTail.Load(),
 	}
 }
 
@@ -352,6 +367,9 @@ func (sess *session) durabilityStats() *DurabilityStats {
 // snapshot checkpoint now (e.g. before planned maintenance), 409 when
 // the server runs without a data directory.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectNotLeader(w) {
+		return
+	}
 	name := r.PathValue("name")
 	sess := s.session(name)
 	if sess == nil {

@@ -414,10 +414,12 @@ func TestCheckpointEndpoint(t *testing.T) {
 	if code := post(t, ts, "POST", "/v1/sessions/m/facts", UpdateRequest{Facts: "edge(n1, n2)."}); code != http.StatusOK {
 		t.Fatalf("insert = %d", code)
 	}
+	// Seq 1 was consumed by the load's own checkpoint, seq 2 by the
+	// insert; the explicit checkpoint reports the latter.
 	var resp CheckpointResponse
 	mustOK(t, ts, "POST", "/v1/sessions/m/checkpoint", struct{}{}, &resp)
-	if resp.Session != "m" || resp.Seq != 1 {
-		t.Fatalf("checkpoint = %+v, want session m seq 1", resp)
+	if resp.Session != "m" || resp.Seq != 2 {
+		t.Fatalf("checkpoint = %+v, want session m seq 2", resp)
 	}
 	var st SessionStats
 	mustOK(t, ts, "GET", "/v1/sessions/m/stats", nil, &st)
@@ -427,8 +429,8 @@ func TestCheckpointEndpoint(t *testing.T) {
 
 	// After the checkpoint, a reboot must not replay anything.
 	srv2, reports := recoverOnto(t, fs.Recovered(), true, 1000)
-	if len(reports) != 1 || reports[0].ReplayedBatches != 0 || reports[0].Seq != 1 {
-		t.Fatalf("post-checkpoint recovery reports = %+v, want seq 1 with 0 replays", reports)
+	if len(reports) != 1 || reports[0].ReplayedBatches != 0 || reports[0].Seq != 2 {
+		t.Fatalf("post-checkpoint recovery reports = %+v, want seq 2 with 0 replays", reports)
 	}
 	if srv2.session("m") == nil {
 		t.Fatal("session not recovered")

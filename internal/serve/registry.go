@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"regexp"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/storage"
@@ -100,6 +101,11 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 	sess.prog.Store(lp)
 	sess.cache.purge()
 	sess.publish()
+	// A (re)load resets the session's state wholesale, so an open
+	// replication stream cannot continue incrementally: detach every
+	// slot; followers reconnect, see the load's checkpoint ahead of
+	// their cursor, and re-bootstrap from the new snapshot.
+	sess.closeSlots()
 	sess.mu.Unlock()
 
 	sess.addEvalStats(resp.Stats)
@@ -118,10 +124,18 @@ func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storag
 		}
 		sess.dur = st
 	}
+	// A load consumes a sequence number of its own: the checkpoint
+	// lands at seq+1, strictly above every batch committed against the
+	// previous program. A follower resuming from any pre-load sequence
+	// therefore finds the leader's checkpoint ahead of its cursor and
+	// re-bootstraps — which is required for correctness, since a load
+	// replaces the EDB wholesale and no WAL delta bridges the two
+	// programs.
+	newSeq := sess.seq.Load() + 1
 	snap := &durable.Snapshot{
 		Meta: durable.Meta{
 			Session:    sess.name,
-			Seq:        sess.seq.Load(),
+			Seq:        newSeq,
 			Program:    lp.source,
 			Active:     lp.active.String(),
 			Optimize:   lp.optimize,
@@ -141,8 +155,10 @@ func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storag
 		sess.ckptFailures.Add(1)
 		return err
 	}
+	sess.seq.Store(newSeq)
 	sess.checkpoints.Add(1)
 	sess.sinceCkpt.Store(0)
+	sess.lastCkptNano.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -172,6 +188,7 @@ func (s *Server) dropSession(name string) bool {
 		_ = sess.dur.Destroy()
 		sess.dur = nil
 	}
+	sess.closeSlots()
 	sess.mu.Unlock()
 	return true
 }
@@ -195,6 +212,7 @@ func (s *Server) Close() {
 			_ = sess.dur.Close()
 			sess.dur = nil
 		}
+		sess.closeSlots()
 		sess.mu.Unlock()
 	}
 }

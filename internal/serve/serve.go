@@ -74,6 +74,25 @@ type Config struct {
 	// Call RecoverSessions at startup to restore what a previous
 	// process left behind. Nil keeps the server fully in-memory.
 	Durability *durable.Options
+	// Follow, when non-empty, runs this server as a read-only replica
+	// of the leader at that base URL: sessions are discovered from the
+	// leader, bootstrapped from its checkpoints, and fed committed WAL
+	// batches; every write surface answers 403 not_leader. Requires
+	// Durability. Call StartFollower after RecoverSessions.
+	Follow string
+	// ReadyMaxLag is the batch-sequence lag at or under which a
+	// follower reports ready on GET /readyz (0 = fully caught up).
+	ReadyMaxLag uint64
+	// ReplicationBuffer is the per-follower slot depth: how many live
+	// batches a slow stream may fall behind before it is disconnected
+	// to catch up from disk. <= 0 means DefaultReplicationBuffer.
+	ReplicationBuffer int
+	// FollowPoll is the follower's session-discovery interval. <= 0
+	// means DefaultFollowPoll.
+	FollowPoll time.Duration
+	// Heartbeat is the leader's idle-stream heartbeat interval. <= 0
+	// means DefaultHeartbeat.
+	Heartbeat time.Duration
 }
 
 const (
@@ -94,6 +113,14 @@ const (
 	MaxQueryLimit = 10000
 	// DefaultSession is the session the legacy flat routes alias.
 	DefaultSession = "default"
+	// DefaultReplicationBuffer is the per-follower live-batch slot
+	// depth before a slow stream is cut over to disk catch-up.
+	DefaultReplicationBuffer = 128
+	// DefaultFollowPoll is the follower's session-discovery interval.
+	DefaultFollowPoll = 2 * time.Second
+	// DefaultHeartbeat is the leader's idle replication-stream
+	// heartbeat interval.
+	DefaultHeartbeat = time.Second
 	// statusClientClosedRequest mirrors nginx's non-standard 499.
 	statusClientClosedRequest = 499
 )
@@ -130,6 +157,18 @@ type Server struct {
 	gCacheSize  *obs.Gauge
 	gSessions   *obs.Gauge
 	gInflight   *obs.Gauge
+	gWALSeq     *obs.Gauge // durable.wal_seq: max durable seq across sessions
+	gCkptAge    *obs.Gauge // durable.checkpoint_age_seconds: max age across sessions
+	gReplLag    *obs.Gauge // replication.lag_seqs: max lag across sessions (either role)
+	gSlots      *obs.Gauge // replication.slots: connected follower streams
+	gSlotDepth  *obs.Gauge // replication.slot_depth: live batches buffered, all slots
+
+	// Replication counters.
+	mReconnects    *obs.Counter // follower stream (re)connects
+	mSnapshotBytes *obs.Counter // bootstrap snapshot bytes shipped (leader)
+	mShipped       *obs.Counter // batches shipped to followers (leader)
+	mApplied       *obs.Counter // batches applied from the leader (follower)
+	mSlotOverflows *obs.Counter // slow-follower slot disconnects (leader)
 
 	// Labeled families.
 	vRequests   *obs.CounterVec // {route, code}
@@ -148,6 +187,10 @@ type Server struct {
 	sessions map[string]*session
 	closed   bool
 
+	// follower holds the replication manager's state when cfg.Follow is
+	// set; nil on a leader.
+	follower *followerState
+
 	rejected      atomic.Int64 // query-gate refusals
 	writeRejected atomic.Int64 // commit-queue refusals
 
@@ -155,6 +198,11 @@ type Server struct {
 	// group size before it takes the session mutex; tests use it to pin
 	// batch boundaries deterministically.
 	testBeforeCommit func(batchSize int)
+	// testFollowerApply, when set, is invoked by the follower apply path
+	// between the local WAL append and the in-memory apply; crash-matrix
+	// tests use it to cut the process (or the stream) at the exact point
+	// where disk is one batch ahead of memory.
+	testFollowerApply func(name string, seq uint64)
 }
 
 // New builds a Server. Use Handler to mount it and Close to stop the
@@ -180,6 +228,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
+	}
+	if cfg.ReplicationBuffer <= 0 {
+		cfg.ReplicationBuffer = DefaultReplicationBuffer
+	}
+	if cfg.FollowPoll <= 0 {
+		cfg.FollowPoll = DefaultFollowPoll
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -211,6 +268,16 @@ func New(cfg Config) *Server {
 	s.gCacheSize = s.metrics.Gauge("serve.cache_size")
 	s.gSessions = s.metrics.Gauge("serve.sessions")
 	s.gInflight = s.metrics.Gauge("serve.inflight_queries")
+	s.gWALSeq = s.metrics.Gauge("durable.wal_seq")
+	s.gCkptAge = s.metrics.Gauge("durable.checkpoint_age_seconds")
+	s.gReplLag = s.metrics.Gauge("replication.lag_seqs")
+	s.gSlots = s.metrics.Gauge("replication.slots")
+	s.gSlotDepth = s.metrics.Gauge("replication.slot_depth")
+	s.mReconnects = s.metrics.Counter("replication.reconnects")
+	s.mSnapshotBytes = s.metrics.Counter("replication.snapshot_bytes")
+	s.mShipped = s.metrics.Counter("replication.batches_shipped")
+	s.mApplied = s.metrics.Counter("replication.batches_applied")
+	s.mSlotOverflows = s.metrics.Counter("replication.slot_overflows")
 	s.vRequests = s.metrics.CounterVec("serve.requests", "route", "code")
 	s.vCache = s.metrics.CounterVec("serve.cache", "session", "event")
 	s.vPlanner = s.metrics.CounterVec("serve.planner_rules", "mode")
@@ -232,9 +299,8 @@ func New(cfg Config) *Server {
 		s.handleUpdate(w, r, DefaultSession, true, false)
 	})
 	s.route("GET /stats", s.handleLegacyStats)
-	s.route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.handleMetrics)
 
 	// Versioned surface: sessions addressed by name.
@@ -254,7 +320,12 @@ func New(cfg Config) *Server {
 	})
 	s.route("GET /v1/sessions/{name}/stats", s.handleSessionStats)
 	s.route("POST /v1/sessions/{name}/checkpoint", s.handleCheckpoint)
+	s.route("GET /v1/sessions/{name}/replicate", s.handleReplicate)
 	s.route("GET /v1/stats", s.handleServerStats)
+
+	if cfg.Follow != "" {
+		s.follower = newFollowerState()
+	}
 
 	if cfg.EnablePprof {
 		obs.AttachPprof(s.mux)
@@ -375,6 +446,9 @@ func missingSession(w http.ResponseWriter, name string, legacy bool) {
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string, legacy bool) {
+	if s.rejectNotLeader(w) {
+		return
+	}
 	req, ok := decode[LoadRequest](w, r, s.cfg.MaxBodyBytes)
 	if !ok {
 		return
@@ -504,6 +578,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		Tuples:     page,
 		Generation: gen,
 		Cached:     hit,
+		Seq:        sess.seq.Load(),
 	}
 	if end < total {
 		resp.NextCursor = strconv.Itoa(end)
@@ -539,6 +614,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 // obviously bad requests fail fast without a queue slot; the committer
 // re-validates against the authoritative database at commit time.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name string, legacy, isInsert bool) {
+	if s.rejectNotLeader(w) {
+		return
+	}
 	req, ok := decode[UpdateRequest](w, r, s.cfg.MaxBodyBytes)
 	if !ok {
 		return
@@ -653,6 +731,9 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDrop(w http.ResponseWriter, r *http.Request) {
+	if s.rejectNotLeader(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if !s.dropSession(name) {
 		missingSession(w, name, false)

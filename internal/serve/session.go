@@ -11,6 +11,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/parser"
+	"repro/internal/replicate"
 	"repro/internal/residue"
 	"repro/internal/semopt"
 	"repro/internal/storage"
@@ -86,6 +87,19 @@ type session struct {
 	checkpoints, ckptFailures           atomic.Int64
 	replayIncremental, replayRecomputes atomic.Int64
 	recovered, tornTail                 atomic.Bool
+	// lastCkptNano is the wall-clock time of the last successful
+	// checkpoint, feeding the durable.checkpoint_age_seconds gauge.
+	lastCkptNano atomic.Int64
+
+	// Replication slots (leader side): one per connected follower
+	// stream. slotMu is strictly inner to mu — the committer offers
+	// batches while holding mu, the metrics scrape takes slotMu alone.
+	slotMu sync.Mutex
+	slots  []*replicate.Slot
+
+	// Follower side: set by the replication manager while this session
+	// is being fed from a leader stream.
+	repl atomic.Pointer[replStatus]
 
 	statsMu   sync.Mutex
 	evalStats eval.Stats
@@ -210,16 +224,16 @@ func (sess *session) noteBatch(n int) {
 // stats snapshots the session's counters.
 func (sess *session) stats() SessionStats {
 	st := SessionStats{
-		Name:          sess.name,
-		Queries:       sess.queries.Load(),
-		Inserts:       sess.inserts.Load(),
-		Deletes:       sess.deletes.Load(),
-		Incremental:   sess.incremental.Load(),
-		Recomputes:    sess.recomputes.Load(),
-		Batches:       sess.batches.Load(),
-		BatchedWrites: sess.batchedWrites.Load(),
-		MaxBatch:      sess.maxBatch.Load(),
-		QueueDepth:    len(sess.queue),
+		Name:           sess.name,
+		Queries:        sess.queries.Load(),
+		Inserts:        sess.inserts.Load(),
+		Deletes:        sess.deletes.Load(),
+		Incremental:    sess.incremental.Load(),
+		Recomputes:     sess.recomputes.Load(),
+		Batches:        sess.batches.Load(),
+		BatchedWrites:  sess.batchedWrites.Load(),
+		MaxBatch:       sess.maxBatch.Load(),
+		QueueDepth:     len(sess.queue),
 		CacheHits:      sess.cacheHits.Load(),
 		CacheMisses:    sess.cacheMisses.Load(),
 		CacheEvictions: sess.cache.evicted(),
@@ -233,6 +247,7 @@ func (sess *session) stats() SessionStats {
 		st.Relations = db.Sizes()
 		st.Generation = db.Generation()
 	}
+	st.Replication = sess.replicationStats()
 	sess.statsMu.Lock()
 	st.Eval = sess.evalStats
 	sess.statsMu.Unlock()

@@ -82,6 +82,15 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer's Flusher so streaming handlers
+// (the replication stream) can push each frame as it is written instead
+// of waiting for the chunked writer's buffer to fill.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (w *statusWriter) code() int {
 	if w.status == 0 {
 		return http.StatusOK
@@ -166,15 +175,46 @@ type slowQueryRecord struct {
 func (s *Server) metricsSnapshot() *obs.MetricsSnapshot {
 	var depth int64
 	var cacheSize int64
+	var walSeq, ckptAge, lag, slots, slotDepth int64
+	now := time.Now().UnixNano()
 	sessions := s.allSessions()
 	for _, sess := range sessions {
 		depth += int64(len(sess.queue))
 		cacheSize += int64(sess.cache.size())
+		if sq := int64(sess.seq.Load()); sq > walSeq {
+			walSeq = sq
+		}
+		if t := sess.lastCkptNano.Load(); t > 0 {
+			if age := (now - t) / int64(time.Second); age > ckptAge {
+				ckptAge = age
+			}
+		}
+		nSlots, nDepth := sess.slotGauges()
+		slots += int64(nSlots)
+		slotDepth += int64(nDepth)
+		// Lag: a leader's worst backlog toward any follower stream, a
+		// follower's distance behind its leader. Both read 0 when idle
+		// and caught up.
+		if int64(nDepth) > lag {
+			lag = int64(nDepth)
+		}
+		if rs := sess.repl.Load(); rs != nil {
+			if l, local := rs.leaderSeq.Load(), sess.seq.Load(); l > local {
+				if d := int64(l - local); d > lag {
+					lag = d
+				}
+			}
+		}
 	}
 	s.gQueueDepth.Set(depth)
 	s.gCacheSize.Set(cacheSize)
 	s.gSessions.Set(int64(len(sessions)))
 	s.gInflight.Set(int64(len(s.gate)))
+	s.gWALSeq.Set(walSeq)
+	s.gCkptAge.Set(ckptAge)
+	s.gReplLag.Set(lag)
+	s.gSlots.Set(slots)
+	s.gSlotDepth.Set(slotDepth)
 	return s.metrics.SnapshotAll()
 }
 
