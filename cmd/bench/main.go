@@ -1,4 +1,4 @@
-// Command bench runs the experiment suite E1–E11 (DESIGN.md §5) and
+// Command bench runs the experiment suite E1–E12 (DESIGN.md §5) and
 // prints each table. It regenerates the numbers recorded in
 // EXPERIMENTS.md.
 //
@@ -61,6 +61,7 @@ func main() {
 	}
 	tables := experiments.All(cfg)
 	tables = append(tables, experiments.E11ParallelScaling(cfg))
+	tables = append(tables, experiments.E12MixedMaintenance(cfg))
 	for _, t := range tables {
 		if *only != "" && !strings.EqualFold(t.ID, *only) {
 			continue

@@ -126,6 +126,8 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		"batch-sequence lag at or under which a follower reports ready on /readyz (0 = fully caught up)")
 	heartbeat := fs.Duration("replication-heartbeat", serve.DefaultHeartbeat,
 		"leader's idle replication-stream heartbeat interval")
+	maxSubscribers := fs.Int("max-subscribers", serve.DefaultMaxSubscribers,
+		"server-wide open change-feed subscription limit; excess requests get 429")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +163,7 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		Follow:               *follow,
 		ReadyMaxLag:          *readyMaxLag,
 		Heartbeat:            *heartbeat,
+		MaxSubscribers:       *maxSubscribers,
 	}
 	if *accessLog || *slowQuery > 0 {
 		cfg.AccessLog = logw

@@ -17,7 +17,9 @@ import (
 //	frame 'M': JSON-encoded Meta
 //	frame 'R' (repeated): flag byte (0 database, 1 IDB seed),
 //	    relation name, uvarint arity, uvarint tuple count, tuples
-//	frame 'Z': uvarint count of 'R' frames written
+//	frame 'K' (repeated): predicate name, uvarint arity, uvarint
+//	    entry count, then per entry a tuple and its uvarint rank
+//	frame 'Z': uvarint count of 'R'/'K' frames written
 //
 // The terminating 'Z' frame (with its record count) is what makes a
 // snapshot self-validating: a file that decodes to the end marker with
@@ -61,6 +63,18 @@ type Meta struct {
 	// checkpoint was taken; recovery bumps the process-wide counter
 	// past it so cache keys stay unique across restarts.
 	Generation uint64 `json:"generation"`
+	// HasRanks reports that the snapshot carries the derivation-layer
+	// assignment of its materialized IDB ('K' records). Recovery can
+	// then reinstate incremental maintenance directly; without it the
+	// ranks must be re-derived by a full fixpoint.
+	HasRanks bool `json:"has_ranks,omitempty"`
+}
+
+// RankedTuple is one derived tuple with its derivation layer, the unit
+// of the snapshot's rank records.
+type RankedTuple struct {
+	T    storage.Tuple
+	Rank uint32
 }
 
 // Snapshot is one decoded checkpoint: the session meta, the full
@@ -70,11 +84,15 @@ type Snapshot struct {
 	Meta Meta
 	DB   *storage.Database
 	Seed map[string]*storage.Relation
+	// Ranks is the derivation-layer assignment of the materialized IDB
+	// (per predicate), present when Meta.HasRanks.
+	Ranks map[string][]RankedTuple
 }
 
 const (
 	recMeta     = 'M'
 	recRelation = 'R'
+	recRanks    = 'K'
 	recEnd      = 'Z'
 
 	relFlagDB   = 0
@@ -114,6 +132,27 @@ func EncodeSnapshot(snap *Snapshot) ([]byte, error) {
 	sort.Strings(seedNames)
 	for _, p := range seedNames {
 		encodeRel(relFlagSeed, snap.Seed[p])
+	}
+
+	rankNames := make([]string, 0, len(snap.Ranks))
+	for p := range snap.Ranks {
+		if len(snap.Ranks[p]) > 0 {
+			rankNames = append(rankNames, p)
+		}
+	}
+	sort.Strings(rankNames)
+	for _, p := range rankNames {
+		rts := snap.Ranks[p]
+		payload := []byte{recRanks}
+		payload = appendString(payload, p)
+		payload = binary.AppendUvarint(payload, uint64(len(rts[0].T)))
+		payload = binary.AppendUvarint(payload, uint64(len(rts)))
+		for _, rt := range rts {
+			payload = appendTuple(payload, rt.T)
+			payload = binary.AppendUvarint(payload, uint64(rt.Rank))
+		}
+		out = appendFrame(out, payload)
+		records++
 	}
 
 	end := []byte{recEnd}
@@ -160,6 +199,11 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 		switch payload[0] {
 		case recRelation:
 			if err := decodeRelation(payload[1:], snap); err != nil {
+				return nil, err
+			}
+			records++
+		case recRanks:
+			if err := decodeRanks(payload[1:], snap); err != nil {
 				return nil, err
 			}
 			records++
@@ -216,5 +260,33 @@ func decodeRelation(payload []byte, snap *Snapshot) error {
 	if r.remaining() != 0 {
 		return fmt.Errorf("durable: trailing bytes in relation %s record", name)
 	}
+	return nil
+}
+
+func decodeRanks(payload []byte, snap *Snapshot) error {
+	r := &reader{b: payload}
+	name, arity, count := r.relHeader()
+	if r.err != nil {
+		return fmt.Errorf("durable: rank header: %w", r.err)
+	}
+	if snap.Ranks[name] != nil {
+		return fmt.Errorf("durable: duplicate rank record for %s in snapshot", name)
+	}
+	rts := make([]RankedTuple, 0, count)
+	for i := 0; i < count; i++ {
+		t := r.tuple(arity)
+		rank := r.uvarint()
+		if r.err != nil {
+			return fmt.Errorf("durable: ranks of %s entry %d: %w", name, i, r.err)
+		}
+		rts = append(rts, RankedTuple{T: t, Rank: uint32(rank)})
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("durable: trailing bytes in rank record for %s", name)
+	}
+	if snap.Ranks == nil {
+		snap.Ranks = map[string][]RankedTuple{}
+	}
+	snap.Ranks[name] = rts
 	return nil
 }

@@ -10,12 +10,12 @@ import (
 	"repro/internal/storage"
 )
 
-// TestBatchMaintainDifferential drives random MIXED batches (inserts
-// and deletes applied in one BatchMaintainContext call) and checks,
-// after every batch, that the maintained database is tuple-for-tuple
+// TestZSetMixedBatchDifferential drives random MIXED batches (inserts
+// and deletes applied in one ApplyZSetContext call) and checks, after
+// every batch, that the maintained database is tuple-for-tuple
 // identical to a from-scratch evaluation over the same final EDB —
-// sequential and parallel.
-func TestBatchMaintainDifferential(t *testing.T) {
+// sequential and parallel — and that the reported IDB delta is exact.
+func TestZSetMixedBatchDifferential(t *testing.T) {
 	prog := mustProg(t, multiStratumSrc)
 	rng := rand.New(rand.NewSource(11))
 	const nodes = 12
@@ -26,16 +26,13 @@ func TestBatchMaintainDifferential(t *testing.T) {
 
 	db := storage.NewDatabase()
 	db.Ensure("edge", 2).Insert(root)
-	if err := New(prog, db).Run(); err != nil {
-		t.Fatal(err)
-	}
+	zs := runRanked(t, prog, db)
 
 	for step := 0; step < 40; step++ {
 		// Build one batch: a few inserts of absent edges, a few deletes
 		// of present ones — disjoint by construction, as the service's
 		// coalescer guarantees.
-		ins := map[string][]storage.Tuple{}
-		del := map[string][]storage.Tuple{}
+		var adds, dels []storage.Tuple
 		touched := map[string]bool{}
 		for i := 0; i < 1+rng.Intn(4); i++ {
 			tu := edgeTuple(rng.Intn(nodes), rng.Intn(nodes))
@@ -43,7 +40,7 @@ func TestBatchMaintainDifferential(t *testing.T) {
 				continue
 			}
 			touched[tu.Key()] = true
-			ins["edge"] = append(ins["edge"], tu)
+			adds = append(adds, tu)
 		}
 		if len(edge) > 2 {
 			keys := make([]string, 0, len(edge))
@@ -56,22 +53,26 @@ func TestBatchMaintainDifferential(t *testing.T) {
 					continue
 				}
 				touched[k] = true
-				del["edge"] = append(del["edge"], edge[k])
+				dels = append(dels, edge[k])
 			}
 		}
-		if len(ins) == 0 && len(del) == 0 {
+		if len(adds) == 0 && len(dels) == 0 {
 			continue
 		}
-		for _, tu := range ins["edge"] {
+		for _, tu := range adds {
 			edge[tu.Key()] = tu
 		}
-		for _, tu := range del["edge"] {
+		for _, tu := range dels {
 			delete(edge, tu.Key())
 		}
 
-		if _, err := New(prog, db).BatchMaintainContext(context.Background(), ins, del); err != nil {
-			t.Fatalf("step %d: BatchMaintainContext: %v", step, err)
+		before := db.Snapshot()
+		out, err := New(prog, db).ApplyZSetContext(context.Background(), zs,
+			map[string]*storage.ZSet{"edge": storage.ZSetOfChanges(adds, dels)})
+		if err != nil {
+			t.Fatalf("step %d: ApplyZSetContext: %v", step, err)
 		}
+		checkReportedDelta(t, before, db, out, map[string]bool{"edge": true})
 
 		var live []storage.Tuple
 		for _, tu := range edge {
@@ -80,33 +81,37 @@ func TestBatchMaintainDifferential(t *testing.T) {
 		for _, parallel := range []int{1, 4} {
 			want := fromScratch(t, prog, map[string][]storage.Tuple{"edge": live}, parallel)
 			if !db.Equal(want) {
-				t.Fatalf("step %d (parallel=%d): batch-maintained state diverged from from-scratch\nins=%v del=%v\nbatch:\n%s\nfrom-scratch:\n%s",
-					step, parallel, ins, del, db, want)
+				t.Fatalf("step %d (parallel=%d): z-set state diverged from from-scratch\nadds=%v dels=%v\nmaintained:\n%s\nfrom-scratch:\n%s",
+					step, parallel, adds, dels, db, want)
 			}
 		}
 	}
 }
 
-// TestBatchMaintainInsertOnly exercises the deletion-free fast path:
-// it must take the plain delta route and grow the fixpoint correctly.
-func TestBatchMaintainInsertOnly(t *testing.T) {
+// TestZSetInsertOnlyBatch exercises a deletion-free batch: it must grow
+// the fixpoint correctly and report a purely positive delta.
+func TestZSetInsertOnlyBatch(t *testing.T) {
 	prog := mustProg(t, `
 		tc(X, Y) :- edge(X, Y).
 		tc(X, Y) :- tc(X, Z), edge(Z, Y).
 	`)
-	db := fromScratch(t, prog, map[string][]storage.Tuple{
-		"edge": {edgeTuple(0, 1), edgeTuple(1, 2)},
-	}, 1)
+	db := storage.NewDatabase()
+	for _, tu := range []storage.Tuple{edgeTuple(0, 1), edgeTuple(1, 2)} {
+		db.Ensure("edge", 2).Insert(tu)
+	}
+	zs := runRanked(t, prog, db)
 
-	over, err := New(prog, db).BatchMaintainContext(context.Background(), map[string][]storage.Tuple{
-		"edge": {edgeTuple(2, 3), edgeTuple(3, 4)},
-	}, nil)
+	out, err := New(prog, db).ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"edge": storage.ZSetOfChanges([]storage.Tuple{edgeTuple(2, 3), edgeTuple(3, 4)}, nil),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if over != 0 {
-		t.Fatalf("insert-only batch over-deleted %d tuples", over)
-	}
+	out["tc"].Each(func(tu storage.Tuple, w int64) {
+		if w != 1 {
+			t.Errorf("insert-only batch reported weight %d for tc(%s)", w, tu)
+		}
+	})
 	want := fromScratch(t, prog, map[string][]storage.Tuple{
 		"edge": {edgeTuple(0, 1), edgeTuple(1, 2), edgeTuple(2, 3), edgeTuple(3, 4)},
 	}, 1)
@@ -115,28 +120,50 @@ func TestBatchMaintainInsertOnly(t *testing.T) {
 	}
 }
 
-// TestBatchMaintainNeedsRecomputeUntouched: the negation guard must
-// refuse a mixed batch that reaches a negated predicate BEFORE touching
-// the database — neither the inserts nor the deletes may be applied.
-func TestBatchMaintainNeedsRecomputeUntouched(t *testing.T) {
+// TestZSetNeedsRecomputeUntouched: the negation guard must refuse a
+// mixed batch that reaches a negated predicate BEFORE touching the
+// database — neither the inserts nor the deletes may be applied.
+func TestZSetNeedsRecomputeUntouched(t *testing.T) {
 	prog := mustProg(t, `
 		tc(X, Y) :- edge(X, Y).
 		tc(X, Y) :- tc(X, Z), edge(Z, Y).
 		isolated(X) :- node(X), not tc(X, X).
 	`)
-	db := fromScratch(t, prog, map[string][]storage.Tuple{
-		"edge": {edgeTuple(0, 1)},
-		"node": {storage.TupleOf(ast.Sym("n0")), storage.TupleOf(ast.Sym("n1"))},
-	}, 1)
+	db := storage.NewDatabase()
+	for _, tu := range []storage.Tuple{edgeTuple(0, 1)} {
+		db.Ensure("edge", 2).Insert(tu)
+	}
+	db.Add("node", ast.Sym("n0"))
+	db.Add("node", ast.Sym("n1"))
+	zs := runRanked(t, prog, db)
 	before := db.Snapshot()
 
-	_, err := New(prog, db).BatchMaintainContext(context.Background(),
-		map[string][]storage.Tuple{"edge": {edgeTuple(1, 0)}},
-		map[string][]storage.Tuple{"edge": {edgeTuple(0, 1)}})
+	_, err := New(prog, db).ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"edge": storage.ZSetOfChanges([]storage.Tuple{edgeTuple(1, 0)}, []storage.Tuple{edgeTuple(0, 1)}),
+	})
 	if !errors.Is(err, ErrNeedsRecompute) {
 		t.Fatalf("err = %v, want ErrNeedsRecompute", err)
 	}
 	if !db.Equal(before) {
 		t.Fatalf("guard refused but the database changed:\n%s\nwant:\n%s", db, before)
+	}
+}
+
+// TestZSetRejectsIDBChanges: changes naming a derived predicate are an
+// error, reported before anything is mutated.
+func TestZSetRejectsIDBChanges(t *testing.T) {
+	prog := mustProg(t, `tc(X, Y) :- edge(X, Y).`)
+	db := storage.NewDatabase()
+	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
+	zs := runRanked(t, prog, db)
+	before := db.Snapshot()
+	_, err := New(prog, db).ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"tc": storage.ZSetOfChanges([]storage.Tuple{storage.TupleOf(ast.Sym("x"), ast.Sym("y"))}, nil),
+	})
+	if err == nil || errors.Is(err, ErrNeedsRecompute) {
+		t.Fatalf("err = %v, want a derived-predicate rejection", err)
+	}
+	if !db.Equal(before) {
+		t.Fatal("rejected change mutated the database")
 	}
 }

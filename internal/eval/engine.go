@@ -127,6 +127,12 @@ type Engine struct {
 	// the run-time overhead the paper's compile-time transformation
 	// avoids.
 	IterationHook func(round int)
+
+	// rankSink, when non-nil, observes every successful insert of a
+	// derived tuple together with the 1-based fixpoint round of its
+	// stratum (see SetRankSink). Like InsertFilter it is invoked
+	// single-threaded in every mode.
+	rankSink func(pred string, t storage.Tuple, layer int)
 }
 
 // New creates an engine for prog over db. The program is validated for
@@ -166,6 +172,21 @@ func (e *Engine) SetParallel(n int) {
 		n = runtime.GOMAXPROCS(0)
 	}
 	e.parallel = n
+}
+
+// SetRankSink attaches a derivation-layer observer: sink is called once
+// for every derived tuple that is actually inserted, with the 1-based
+// round of its stratum's fixpoint at which it first appeared (round-0
+// derivations report layer 1; layer 0 is reserved for program-stated
+// seed facts, which never pass through the sink). The recorded layers
+// are the rank stratification the Z-set maintenance path
+// (ApplyZSetContext) relies on: a tuple first inserted at layer k has a
+// derivation whose same-component body tuples all have layers < k.
+// Like InsertFilter, the sink runs single-threaded in every mode
+// (sequential, parallel, naive, GJ), so the recorded layers are
+// mode-independent for a deterministic program.
+func (e *Engine) SetRankSink(sink func(pred string, t storage.Tuple, layer int)) {
+	e.rankSink = sink
 }
 
 // Stats returns the accumulated work counters.
@@ -497,6 +518,9 @@ func (e *Engine) fireSeq(cr *compiledRule, plan *compiled, delta []storage.Tuple
 		h := t.Hash()
 		if cr.headRel.InsertHashed(t, h) {
 			st.Inserted++
+			if e.rankSink != nil {
+				e.rankSink(cr.headPred, t, int(e.cur.Rounds))
+			}
 			onNew(t, h)
 		} else {
 			st.Deduped++
@@ -862,6 +886,9 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 			st.Inserted += int64(len(news))
 			st.Deduped += int64(r.buf.Len() - len(news)) // cross-task duplicates
 			for _, ht := range news {
+				if e.rankSink != nil {
+					e.rankSink(t.headPred, ht, int(e.cur.Rounds))
+				}
 				nextDelta[t.headPred].Insert(ht)
 			}
 		} else {
@@ -871,6 +898,9 @@ func (e *Engine) runRound(tasks []evalTask, nextDelta map[string]*storage.Relati
 				}
 				if t.headRel.Insert(ht) {
 					st.Inserted++
+					if e.rankSink != nil {
+						e.rankSink(t.headPred, ht, int(e.cur.Rounds))
+					}
 					nextDelta[t.headPred].Insert(ht)
 				} else {
 					st.Deduped++

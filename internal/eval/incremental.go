@@ -4,29 +4,28 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
-	"time"
 
 	"repro/internal/ast"
 	"repro/internal/storage"
 )
 
-// This file implements incremental view maintenance for a database that
-// is already at fixpoint: RunDeltaContext extends the fixpoint after
-// EDB insertions by seeding the semi-naive delta loop with just the new
-// tuples (no from-scratch evaluation), and DeleteAndRederiveContext
-// handles EDB deletions with the classic delete-and-rederive discipline
-// (over-delete the affected derivation cone against the old state, then
-// re-derive the survivors). Both follow the delta/fixpoint treatment of
-// Zaniolo et al. (arXiv:1707.05681); the deletion shape is the
-// provenance-free core of DRed as analyzed by Ramusat et al.
-// (arXiv:2112.01132). The long-running service (internal/serve) uses
-// these to keep a materialized IDB live under updates.
+// This file holds the shared guards of incremental view maintenance and
+// the classic delete-and-rederive (DRed) algorithm. Live maintenance
+// now runs through the uniform Z-set sweep (ApplyZSetContext, zset.go);
+// the earlier split entry points — delta-seeded semi-naive for inserts
+// (RunDeltaContext), DRed for deletes, and their batch composition
+// (BatchMaintainContext) — collapsed into it. DeleteAndRederiveContext
+// is kept solely as the differential-test oracle the Z-set path is
+// checked against: its over-delete cone against the old state and full
+// re-derivation (the provenance-free core of DRed as analyzed by
+// Ramusat et al., arXiv:2112.01132) is exactly the conservative work
+// the weighted sweep avoids, so comparing the two proves both the
+// result and the saving.
 
 // ErrNeedsRecompute reports that a maintenance request cannot be served
-// by monotone delta propagation — some rule negates a predicate whose
-// extension the update may change, so previously derived tuples could
-// become underivable (on insert) or new tuples could appear through the
+// by delta propagation — some rule negates a predicate whose extension
+// the update may change, so previously derived tuples could become
+// underivable (on insert) or new tuples could appear through the
 // negation (on delete). The caller must fall back to a from-scratch
 // evaluation over the updated EDB. The guard runs before any mutation,
 // so the database is untouched when this error is returned.
@@ -75,69 +74,9 @@ func (e *Engine) maintenanceSafe(changed map[string][]storage.Tuple) bool {
 	return true
 }
 
-// deltaRelations materializes per-predicate delta relations from raw
-// tuple slices, dropping predicates with no stored relation (nothing
-// can join against them) and deduplicating.
-func (e *Engine) deltaRelations(changed map[string][]storage.Tuple) map[string]*storage.Relation {
-	delta := make(map[string]*storage.Relation)
-	for p, ts := range changed {
-		if len(ts) == 0 {
-			continue
-		}
-		rel := e.db.Relation(p)
-		if rel == nil {
-			continue
-		}
-		d := storage.NewRelation(p, rel.Arity)
-		for _, t := range ts {
-			d.Insert(t)
-		}
-		delta[p] = d
-	}
-	return delta
-}
-
 func hasDelta(delta map[string]*storage.Relation, pred string) bool {
 	d := delta[pred]
 	return d != nil && d.Len() > 0
-}
-
-// RunDeltaContext resumes a completed fixpoint after new EDB tuples
-// arrived: changed maps each updated predicate to the tuples that were
-// just inserted (they must already be present in the database, and the
-// database must otherwise be at fixpoint for the engine's program).
-// Instead of re-running the whole bottom-up evaluation, each strongly
-// connected component is seeded with delta rules ranging over only the
-// new tuples; because the prior state is a fixpoint, every new
-// derivation must use at least one new tuple, so the delta rounds reach
-// exactly the fixpoint over the grown EDB at a fraction of the work
-// (see Engine.Stats for the counter evidence). New derivations of a
-// component propagate as deltas into the components above it.
-//
-// Returns ErrNeedsRecompute — before touching anything — when the
-// update reaches a negated predicate, which makes insertion
-// non-monotone.
-func (e *Engine) RunDeltaContext(ctx context.Context, changed map[string][]storage.Tuple) error {
-	if !e.maintenanceSafe(changed) {
-		return ErrNeedsRecompute
-	}
-	return e.runDelta(ctx, changed)
-}
-
-// runDelta is RunDeltaContext after the negation guard: seed every
-// component with the changed tuples and run the delta loops to
-// fixpoint.
-func (e *Engine) runDelta(ctx context.Context, changed map[string][]storage.Tuple) error {
-	delta := e.deltaRelations(changed)
-	if len(delta) == 0 {
-		return nil
-	}
-	for _, scc := range e.sccOrder() {
-		if err := e.maintainSCC(ctx, scc, delta); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // applyInserts adds the tuples to the extensional relations, creating
@@ -153,133 +92,6 @@ func (e *Engine) applyInserts(inserted map[string][]storage.Tuple) {
 			rel.Insert(t)
 		}
 	}
-}
-
-// BatchMaintainContext applies one mixed batch of EDB insertions and
-// deletions to a database at fixpoint and restores the fixpoint with a
-// single maintenance pass — the engine-side half of the service's
-// group-committed write pipeline. Unlike RunDeltaContext /
-// DeleteAndRederiveContext, the engine mutates the EDB itself:
-// inserted tuples must NOT yet be in the database, deleted tuples
-// should still be present (absent ones are ignored). The same tuple
-// must not appear in both maps — callers coalesce opposing requests to
-// their net effect first, which is sound because EDB membership is
-// unaffected by maintenance, so replaying a batch's requests against a
-// membership simulation yields exactly the EDB that per-request
-// application would.
-//
-// Shape of the pass (soundness per DESIGN.md §10):
-//
-//  1. DRed over-deletion cone for the deleted tuples, computed against
-//     the OLD state (insertions are not yet visible, exactly as in
-//     DeleteAndRederiveContext — the cone only over-approximates
-//     support lost to deletions).
-//  2. Physical removal of the cone. Survivors are a subset of
-//     fixpoint(EDB − deleted), hence of the monotonically larger
-//     fixpoint(EDB − deleted + inserted).
-//  3. EDB insertion of the new tuples.
-//  4. One seeded semi-naive fixpoint per SCC in topological order,
-//     which completes the subset from step 2/3 to the new fixpoint.
-//
-// A deletion-free batch skips the cone and runs the cheaper
-// insert-only delta propagation instead. Returns the number of
-// over-deleted IDB tuples and ErrNeedsRecompute — before touching
-// anything — when the combined update reaches a negated predicate.
-func (e *Engine) BatchMaintainContext(ctx context.Context, inserted, deleted map[string][]storage.Tuple) (int, error) {
-	union := make(map[string][]storage.Tuple, len(inserted)+len(deleted))
-	for p, ts := range inserted {
-		union[p] = append(union[p], ts...)
-	}
-	for p, ts := range deleted {
-		union[p] = append(union[p], ts...)
-	}
-	if !e.maintenanceSafe(union) {
-		return 0, ErrNeedsRecompute
-	}
-
-	// Seed the deletion cone with the requested tuples that exist.
-	del := make(map[string]*storage.Relation)
-	requested := 0
-	for p, ts := range deleted {
-		rel := e.db.Relation(p)
-		if rel == nil {
-			continue
-		}
-		d := storage.NewRelation(p, rel.Arity)
-		for _, t := range ts {
-			if rel.Contains(t) {
-				d.Insert(t)
-			}
-		}
-		if d.Len() > 0 {
-			del[p] = d
-			requested += d.Len()
-		}
-	}
-	if requested == 0 {
-		// Insert-only batch: plain delta propagation.
-		e.applyInserts(inserted)
-		return 0, e.runDelta(ctx, inserted)
-	}
-
-	for _, scc := range e.sccOrder() {
-		if err := e.overDelete(ctx, scc, del); err != nil {
-			return 0, err
-		}
-	}
-	over := 0
-	for p, d := range del {
-		rel := e.db.Relation(p)
-		for _, t := range d.Tuples() {
-			rel.Remove(t)
-		}
-		over += d.Len()
-	}
-	over -= requested // report only the IDB share of the cone
-
-	e.applyInserts(inserted)
-	for _, scc := range e.sccOrder() {
-		if err := e.fixpoint(ctx, scc); err != nil {
-			return over, err
-		}
-	}
-	return over, nil
-}
-
-// seedFiring is one delta rule of the seeding round: a compiled plan
-// whose delta occurrence ranges over the externally changed tuples of
-// pred.
-type seedFiring struct {
-	cr   *compiledRule
-	pred string
-	plan *compiled
-}
-
-// compileSeeds builds, for every rule of the component, one delta plan
-// per positive body occurrence of a predicate with a pending delta.
-func (e *Engine) compileSeeds(crs []compiledRule, delta map[string]*storage.Relation) ([]seedFiring, error) {
-	est := e.estimator()
-	var seeds []seedFiring
-	for i := range crs {
-		cr := &crs[i]
-		for j, l := range cr.rule.Body {
-			if l.Neg || l.Atom.IsEvaluable() || !hasDelta(delta, l.Atom.Pred) {
-				continue
-			}
-			plan, err := planBody(cr.rule.Body, j, est, nil)
-			if err != nil {
-				return nil, fmt.Errorf("rule %s: %w", cr.rule.Label, err)
-			}
-			cp, err := compilePlan(plan, cr.rule.Head, e.db, nil)
-			if err != nil {
-				return nil, fmt.Errorf("rule %s: %w", cr.rule.Label, err)
-			}
-			e.attachGJ(cp)
-			cp.prepareIndexes()
-			seeds = append(seeds, seedFiring{cr: cr, pred: l.Atom.Pred, plan: cp})
-		}
-	}
-	return seeds, nil
 }
 
 // sccRules gathers the component's non-fact rules, enforcing the same
@@ -298,137 +110,6 @@ func (e *Engine) sccRules(inSCC map[string]bool) ([]ast.Rule, error) {
 		}
 	}
 	return rules, nil
-}
-
-// maintainSCC incrementally updates one component: a seeding round that
-// fires every delta rule over the externally changed tuples, then the
-// ordinary semi-naive delta loop until the component is stable again.
-// Tuples newly derived for the component's predicates are appended to
-// delta, so components above see them as external changes.
-func (e *Engine) maintainSCC(ctx context.Context, scc []string, delta map[string]*storage.Relation) error {
-	inSCC := make(map[string]bool, len(scc))
-	for _, p := range scc {
-		inSCC[p] = true
-		e.db.Ensure(p, e.arityOf(p))
-	}
-	rules, err := e.sccRules(inSCC)
-	if err != nil {
-		return err
-	}
-	if len(rules) == 0 {
-		return nil
-	}
-	touched := false
-	for _, r := range rules {
-		for _, l := range r.Body {
-			if !l.Neg && !l.Atom.IsEvaluable() && hasDelta(delta, l.Atom.Pred) {
-				touched = true
-			}
-		}
-	}
-	if !touched {
-		return nil // no rule of this component can see the update
-	}
-	crs, err := e.compileStratum(inSCC, rules)
-	if err != nil {
-		return err
-	}
-	seeds, err := e.compileSeeds(crs, delta)
-	if err != nil {
-		return err
-	}
-
-	e.strata = append(e.strata, StratumInfo{Preds: scc})
-	e.cur = &e.strata[len(e.strata)-1]
-	start := time.Now()
-	err = e.maintainRounds(ctx, inSCC, crs, seeds, delta)
-	e.cur.Time = time.Since(start)
-	if e.tracer.Enabled() {
-		e.tracer.Complete("eval", "maintain "+strings.Join(scc, ","), start, e.cur.Time,
-			map[string]int64{"rounds": e.cur.Rounds, "rules": int64(len(crs)), "seeds": int64(len(seeds))})
-	}
-	e.cur = nil
-	return err
-}
-
-// maintainRounds runs the seeding round and the subsequent semi-naive
-// delta loop for one component. New tuples are recorded both as the
-// component's internal round deltas and into the global delta map.
-func (e *Engine) maintainRounds(ctx context.Context, inSCC map[string]bool, crs []compiledRule, seeds []seedFiring, delta map[string]*storage.Relation) error {
-	record := func(pred string, t storage.Tuple) {
-		d := delta[pred]
-		if d == nil {
-			d = storage.NewRelation(pred, e.db.Relation(pred).Arity)
-			delta[pred] = d
-		}
-		d.Insert(t)
-	}
-
-	// Seeding round: every delta rule, over just the changed tuples.
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	e.startIteration()
-	sdelta := make(map[string]*storage.Relation)
-	for p := range inSCC {
-		sdelta[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
-	}
-	round := e.roundSpan(0)
-	for _, s := range seeds {
-		err := e.fireSeq(s.cr, s.plan, delta[s.pred].Tuples(), func(t storage.Tuple, h uint64) {
-			sdelta[s.cr.headPred].InsertHashed(t, h)
-			record(s.cr.headPred, t)
-		})
-		if err != nil {
-			return err
-		}
-	}
-	round.End()
-
-	// Standard semi-naive continuation over the component's own deltas.
-	hasSCCDeltas := false
-	for i := range crs {
-		if len(crs[i].deltas) > 0 {
-			hasSCCDeltas = true
-		}
-	}
-	for hasSCCDeltas {
-		total := 0
-		for _, d := range sdelta {
-			total += d.Len()
-		}
-		if total == 0 {
-			break
-		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		e.startIteration()
-		round = e.roundSpan(total)
-		next := make(map[string]*storage.Relation)
-		for p := range inSCC {
-			next[p] = storage.NewRelation(p, e.db.Relation(p).Arity)
-		}
-		for i := range crs {
-			cr := &crs[i]
-			for _, dp := range cr.deltas {
-				d := sdelta[dp.pred]
-				if d.Len() == 0 {
-					continue
-				}
-				err := e.fireSeq(cr, dp.plan, d.Tuples(), func(t storage.Tuple, h uint64) {
-					next[cr.headPred].InsertHashed(t, h)
-					record(cr.headPred, t)
-				})
-				if err != nil {
-					return err
-				}
-			}
-		}
-		round.End()
-		sdelta = next
-	}
-	return nil
 }
 
 // DeleteAndRederiveContext removes EDB tuples from a database at
@@ -452,6 +133,11 @@ func (e *Engine) maintainRounds(ctx context.Context, inSCC map[string]bool, crs 
 // were over-deleted (before re-derivation) and ErrNeedsRecompute —
 // before touching anything — when the deletion reaches a negated
 // predicate.
+//
+// This path survives only as the differential-test oracle for
+// ApplyZSetContext; the service no longer calls it. Note it does not
+// maintain ZState ranks — after running it, any rank state for the
+// database is stale.
 func (e *Engine) DeleteAndRederiveContext(ctx context.Context, removed map[string][]storage.Tuple) (int, error) {
 	if !e.maintenanceSafe(removed) {
 		return 0, ErrNeedsRecompute

@@ -55,53 +55,110 @@ func fromScratch(t *testing.T, prog *ast.Program, edb map[string][]storage.Tuple
 	return db
 }
 
-// TestIncrementalDifferential drives a random interleaving of inserts
-// and deletes through the incremental maintenance entry points and
-// checks, after every operation, that the maintained database is
-// tuple-for-tuple identical to a from-scratch evaluation over the same
-// final EDB — in sequential and parallel from-scratch modes.
+// runRanked evaluates prog over db from scratch and returns the rank
+// state the run recorded — the starting point of every Z-set
+// maintenance sequence.
+func runRanked(t *testing.T, prog *ast.Program, db *storage.Database) *ZState {
+	t.Helper()
+	zs := NewZState()
+	e := New(prog, db)
+	e.SetRankSink(zs.Record)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return zs
+}
+
+// checkReportedDelta verifies that the IDB delta a maintenance call
+// reported is exactly the difference between the two database states,
+// ignoring the extensional predicates named in edb (their transitions
+// are the input, not the output).
+func checkReportedDelta(t *testing.T, before, after *storage.Database, out map[string]*storage.ZSet, edb map[string]bool) {
+	t.Helper()
+	// Every reported entry must be a real transition.
+	for p, z := range out {
+		z.Each(func(tu storage.Tuple, w int64) {
+			was := before.Relation(p) != nil && before.Relation(p).Contains(tu)
+			is := after.Relation(p) != nil && after.Relation(p).Contains(tu)
+			switch {
+			case w == 1 && (was || !is):
+				t.Errorf("delta reports +%s(%s) but was=%v is=%v", p, tu, was, is)
+			case w == -1 && (!was || is):
+				t.Errorf("delta reports -%s(%s) but was=%v is=%v", p, tu, was, is)
+			case w != 1 && w != -1:
+				t.Errorf("delta for %s(%s) has weight %d, want ±1", p, tu, w)
+			}
+		})
+	}
+	// Every real transition must be reported.
+	diff := func(a, b *storage.Database, want int64) {
+		for _, p := range a.Preds() {
+			if edb[p] {
+				continue
+			}
+			ra := a.Relation(p)
+			rb := b.Relation(p)
+			for _, tu := range ra.Tuples() {
+				if rb != nil && rb.Contains(tu) {
+					continue
+				}
+				if out[p] == nil || out[p].Weight(tu) != want {
+					t.Errorf("transition %s(%s) (want weight %d) not reported", p, tu, want)
+				}
+			}
+		}
+	}
+	diff(after, before, 1)
+	diff(before, after, -1)
+}
+
+// TestIncrementalDifferential drives a random interleaving of single
+// inserts and deletes through ApplyZSetContext and checks, after every
+// operation, that the maintained database is tuple-for-tuple identical
+// to a from-scratch evaluation over the same final EDB — in sequential
+// and parallel from-scratch modes — and that the reported IDB delta is
+// exact.
 func TestIncrementalDifferential(t *testing.T) {
 	prog := mustProg(t, multiStratumSrc)
 	rng := rand.New(rand.NewSource(42))
 	const nodes = 12
 
 	// Maintained state.
-	edge := map[string]bool{} // "a->b" key of live EDB edges
+	edge := map[string]bool{} // live EDB edges by key
 	var live []storage.Tuple
 	key := func(tu storage.Tuple) string { return tu.Key() }
 
 	db := storage.NewDatabase()
 	db.Ensure("edge", 2)
-	db.Add("edge", ast.Sym("root"), ast.Sym("n0"))
-	edge[key(storage.TupleOf(ast.Sym("root"), ast.Sym("n0")))] = true
-	live = append(live, storage.TupleOf(ast.Sym("root"), ast.Sym("n0")))
-	if err := New(prog, db).Run(); err != nil {
-		t.Fatal(err)
-	}
+	root := storage.TupleOf(ast.Sym("root"), ast.Sym("n0"))
+	db.Relation("edge").Insert(root)
+	edge[key(root)] = true
+	live = append(live, root)
+	zs := runRanked(t, prog, db)
 
 	for step := 0; step < 60; step++ {
 		tu := edgeTuple(rng.Intn(nodes), rng.Intn(nodes))
+		var change *storage.ZSet
 		if rng.Intn(3) > 0 || len(live) == 1 { // bias toward inserts so the graph grows
 			if edge[key(tu)] {
 				continue
 			}
-			db.Relation("edge").Insert(tu)
 			edge[key(tu)] = true
 			live = append(live, tu)
-			eng := New(prog, db)
-			if err := eng.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {tu}}); err != nil {
-				t.Fatalf("step %d: RunDeltaContext: %v", step, err)
-			}
+			change = storage.ZSetOfChanges([]storage.Tuple{tu}, nil)
 		} else {
 			pick := rng.Intn(len(live))
 			tu = live[pick]
 			live = append(live[:pick], live[pick+1:]...)
 			delete(edge, key(tu))
-			eng := New(prog, db)
-			if _, err := eng.DeleteAndRederiveContext(context.Background(), map[string][]storage.Tuple{"edge": {tu}}); err != nil {
-				t.Fatalf("step %d: DeleteAndRederive: %v", step, err)
-			}
+			change = storage.ZSetOfChanges(nil, []storage.Tuple{tu})
 		}
+		before := db.Snapshot()
+		out, err := New(prog, db).ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{"edge": change})
+		if err != nil {
+			t.Fatalf("step %d: ApplyZSetContext: %v", step, err)
+		}
+		checkReportedDelta(t, before, db, out, map[string]bool{"edge": true})
 
 		edb := map[string][]storage.Tuple{"edge": live}
 		for _, parallel := range []int{1, 4} {
@@ -116,7 +173,7 @@ func TestIncrementalDifferential(t *testing.T) {
 
 // TestInsertMaintenanceDoesLessWork asserts the acceptance criterion:
 // on a transitive-closure workload, maintaining one new edge through
-// the delta path scans and derives far less than a cold fixpoint over
+// the Z-set path scans and derives far less than a cold fixpoint over
 // the same post-insert EDB.
 func TestInsertMaintenanceDoesLessWork(t *testing.T) {
 	prog := mustProg(t, `
@@ -134,13 +191,12 @@ func TestInsertMaintenanceDoesLessWork(t *testing.T) {
 	for _, tu := range chain {
 		db.Ensure("edge", 2).Insert(tu)
 	}
-	if err := New(prog, db).Run(); err != nil {
-		t.Fatal(err)
-	}
+	zs := runRanked(t, prog, db)
 	extra := edgeTuple(n, n+1)
-	db.Relation("edge").Insert(extra)
 	maint := New(prog, db)
-	if err := maint.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {extra}}); err != nil {
+	_, err := maint.ApplyZSetContext(context.Background(), zs,
+		map[string]*storage.ZSet{"edge": storage.ZSetOfChanges([]storage.Tuple{extra}, nil)})
+	if err != nil {
 		t.Fatal(err)
 	}
 
@@ -171,7 +227,9 @@ func TestInsertMaintenanceDoesLessWork(t *testing.T) {
 }
 
 // TestDeleteRederiveSurvivors deletes one of two parallel paths and
-// checks the shared reachability facts survive via the other.
+// checks the shared reachability facts survive via the other — through
+// the DRed oracle path, which stays covered because the Z-set
+// differential tests compare against it.
 func TestDeleteRederiveSurvivors(t *testing.T) {
 	prog := mustProg(t, `
 		tc(X, Y) :- edge(X, Y).
@@ -207,6 +265,63 @@ func TestDeleteRederiveSurvivors(t *testing.T) {
 	}
 }
 
+// TestZSetNoOverDelete pins the headline difference to DRed: deleting
+// one of two parallel paths makes DRed retract and re-derive the shared
+// downstream cone, while the Z-set sweep's support checks keep the
+// still-supported tuples in place — strictly fewer derivations.
+func TestZSetNoOverDelete(t *testing.T) {
+	prog := mustProg(t, `
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	// Diamond head a->b / a->c joined at d, then a long shared tail.
+	edges := [][2]string{{"a", "b"}, {"b", "d"}, {"a", "c"}, {"c", "d"}}
+	const tail = 40
+	prev := "d"
+	for i := 0; i < tail; i++ {
+		next := fmt.Sprintf("t%d", i)
+		edges = append(edges, [2]string{prev, next})
+		prev = next
+	}
+	mkDB := func() *storage.Database {
+		db := storage.NewDatabase()
+		for _, e := range edges {
+			db.Add("edge", ast.Sym(e[0]), ast.Sym(e[1]))
+		}
+		return db
+	}
+	del := map[string][]storage.Tuple{"edge": {storage.TupleOf(ast.Sym("a"), ast.Sym("b"))}}
+
+	zdb := mkDB()
+	zs := runRanked(t, prog, zdb)
+	zeng := New(prog, zdb)
+	out, err := zeng.ApplyZSetContext(context.Background(), zs,
+		map[string]*storage.ZSet{"edge": storage.ZSetOfChanges(nil, del["edge"])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only tc(a,b) dies: every other tc(a,·) survives via a->c.
+	if z := out["tc"]; z == nil || z.Len() != 1 || z.Weight(storage.TupleOf(ast.Sym("a"), ast.Sym("b"))) != -1 {
+		t.Fatalf("z-set delta = %v, want exactly -tc(a,b)", out)
+	}
+
+	ddb := mkDB()
+	if err := New(prog, ddb).Run(); err != nil {
+		t.Fatal(err)
+	}
+	deng := New(prog, ddb)
+	if _, err := deng.DeleteAndRederiveContext(context.Background(), del); err != nil {
+		t.Fatal(err)
+	}
+	if !zdb.Equal(ddb) {
+		t.Fatal("z-set and DRed results differ")
+	}
+	zst, dst := zeng.Stats(), deng.Stats()
+	if zst.Derived >= dst.Derived {
+		t.Errorf("z-set derived %d, DRed derived %d; want strictly fewer", zst.Derived, dst.Derived)
+	}
+}
+
 // TestMaintenanceNeedsRecomputeOnNegation: updates reaching a negated
 // predicate must refuse delta maintenance before mutating anything.
 func TestMaintenanceNeedsRecomputeOnNegation(t *testing.T) {
@@ -218,31 +333,43 @@ func TestMaintenanceNeedsRecomputeOnNegation(t *testing.T) {
 	db := storage.NewDatabase()
 	db.Add("node", ast.Sym("a"))
 	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
-	if err := New(prog, db).Run(); err != nil {
-		t.Fatal(err)
-	}
+	zs := runRanked(t, prog, db)
 	before := db.TotalTuples()
 
 	eng := New(prog, db)
-	err := eng.RunDeltaContext(context.Background(), map[string][]storage.Tuple{"edge": {storage.TupleOf(ast.Sym("b"), ast.Sym("a"))}})
+	_, err := eng.ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"edge": storage.ZSetOfChanges([]storage.Tuple{storage.TupleOf(ast.Sym("b"), ast.Sym("a"))}, nil),
+	})
 	if !errors.Is(err, ErrNeedsRecompute) {
-		t.Fatalf("RunDeltaContext = %v, want ErrNeedsRecompute", err)
+		t.Fatalf("ApplyZSetContext = %v, want ErrNeedsRecompute", err)
 	}
 	if db.TotalTuples() != before {
 		t.Fatal("guard mutated the database")
+	}
+	_, err = eng.ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"edge": storage.ZSetOfChanges(nil, []storage.Tuple{storage.TupleOf(ast.Sym("a"), ast.Sym("b"))}),
+	})
+	if !errors.Is(err, ErrNeedsRecompute) {
+		t.Fatalf("ApplyZSetContext (delete) = %v, want ErrNeedsRecompute", err)
 	}
 	_, err = eng.DeleteAndRederiveContext(context.Background(), map[string][]storage.Tuple{"edge": {storage.TupleOf(ast.Sym("a"), ast.Sym("b"))}})
 	if !errors.Is(err, ErrNeedsRecompute) {
 		t.Fatalf("DeleteAndRederiveContext = %v, want ErrNeedsRecompute", err)
 	}
 	// Updates that cannot reach the negated predicate stay incremental.
-	db.Relation("node").Insert(storage.TupleOf(ast.Sym("c")))
-	if err := New(prog, db).RunDeltaContext(context.Background(), map[string][]storage.Tuple{"node": {storage.TupleOf(ast.Sym("c"))}}); err != nil {
+	out, err := New(prog, db).ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"node": storage.ZSetOfChanges([]storage.Tuple{storage.TupleOf(ast.Sym("c"))}, nil),
+	})
+	if err != nil {
 		t.Fatalf("update not reaching negation should be incremental, got %v", err)
+	}
+	if z := out["isolated"]; z == nil || z.Weight(storage.TupleOf(ast.Sym("c"))) != 1 {
+		t.Fatalf("isolated(c) should appear (c has no tc cycle); delta = %v", out)
 	}
 }
 
-// TestMaintenanceCancellation: both maintenance paths respect ctx.
+// TestMaintenanceCancellation: the Z-set sweep respects ctx at layer
+// barriers.
 func TestMaintenanceCancellation(t *testing.T) {
 	prog := mustProg(t, `
 		tc(X, Y) :- edge(X, Y).
@@ -252,34 +379,47 @@ func TestMaintenanceCancellation(t *testing.T) {
 	for i := 0; i < 80; i++ {
 		db.Ensure("edge", 2).Insert(edgeTuple(i, i+1))
 	}
-	if err := New(prog, db).Run(); err != nil {
-		t.Fatal(err)
-	}
-	extra := edgeTuple(80, 81)
-	db.Relation("edge").Insert(extra)
+	zs := runRanked(t, prog, db)
 	eng := New(prog, db)
 	ctx, cancel := context.WithCancel(context.Background())
-	// Cancel during the seeding round: the next round barrier must stop.
+	// Cancel during the first processed layer: the next layer barrier
+	// must stop.
 	eng.IterationHook = func(round int) { cancel() }
-	err := eng.RunDeltaContext(ctx, map[string][]storage.Tuple{"edge": {extra}})
+	_, err := eng.ApplyZSetContext(ctx, zs, map[string]*storage.ZSet{
+		"edge": storage.ZSetOfChanges([]storage.Tuple{edgeTuple(80, 81)}, nil),
+	})
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("RunDeltaContext = %v, want context.Canceled", err)
+		t.Fatalf("ApplyZSetContext = %v, want context.Canceled", err)
 	}
 }
 
-// TestRunDeltaNoChanges is a no-op and must not touch counters.
-func TestRunDeltaNoChanges(t *testing.T) {
+// TestApplyZSetNoChanges is a no-op and must not touch counters.
+func TestApplyZSetNoChanges(t *testing.T) {
 	prog := mustProg(t, `tc(X, Y) :- edge(X, Y).`)
 	db := storage.NewDatabase()
 	db.Add("edge", ast.Sym("a"), ast.Sym("b"))
-	if err := New(prog, db).Run(); err != nil {
+	zs := runRanked(t, prog, db)
+	eng := New(prog, db)
+	out, err := eng.ApplyZSetContext(context.Background(), zs, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	eng := New(prog, db)
-	if err := eng.RunDeltaContext(context.Background(), nil); err != nil {
-		t.Fatal(err)
+	if len(out) != 0 {
+		t.Fatalf("no-op maintenance reported a delta: %v", out)
 	}
 	if eng.Stats() != (Stats{}) {
 		t.Fatalf("no-op maintenance did work: %+v", eng.Stats())
+	}
+	// Redundant changes (insert present, delete absent) are also no-ops.
+	out, err = eng.ApplyZSetContext(context.Background(), zs, map[string]*storage.ZSet{
+		"edge": storage.ZSetOfChanges(
+			[]storage.Tuple{storage.TupleOf(ast.Sym("a"), ast.Sym("b"))},
+			[]storage.Tuple{storage.TupleOf(ast.Sym("x"), ast.Sym("y"))}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("redundant changes reported a delta: %v", out)
 	}
 }

@@ -147,7 +147,7 @@ func TestQuickGJEqualsBinary(t *testing.T) {
 
 // Incremental maintenance under forced Generic Join reaches the same
 // state as from-scratch binary evaluation: random base database, random
-// insert batch, maintained with RunDeltaContext under each join mode.
+// insert batch, maintained with ApplyZSetContext under each join mode.
 func TestQuickGJIncrementalMaintenance(t *testing.T) {
 	rng := rand.New(rand.NewSource(560))
 	for round := 0; round < 15; round++ {
@@ -175,20 +175,21 @@ func TestQuickGJIncrementalMaintenance(t *testing.T) {
 
 		for _, mode := range []eval.JoinMode{eval.JoinBinary, eval.JoinGJ} {
 			db := base.Clone()
+			zs := eval.NewZState()
 			e := eval.New(prog, db)
 			e.SetJoinMode(mode)
+			e.SetRankSink(zs.Record)
 			if err := e.Run(); err != nil {
 				t.Fatalf("round %d (%v): base run: %v\n%s", round, mode, err, prog)
 			}
+			changes := map[string]*storage.ZSet{}
 			for pred, ts := range changed {
-				for _, tp := range ts {
-					db.AddTuple(pred, tp)
-				}
+				changes[pred] = storage.ZSetOfChanges(ts, nil)
 			}
 			eng := eval.New(prog, db)
 			eng.SetJoinMode(mode)
-			if err := eng.RunDeltaContext(context.Background(), changed); err != nil {
-				t.Fatalf("round %d (%v): RunDelta: %v\n%s", round, mode, err, prog)
+			if _, err := eng.ApplyZSetContext(context.Background(), zs, changes); err != nil {
+				t.Fatalf("round %d (%v): ApplyZSet: %v\n%s", round, mode, err, prog)
 			}
 			if !db.Equal(want) {
 				t.Fatalf("round %d (%v): incremental state diverged from from-scratch\nprogram:\n%s",

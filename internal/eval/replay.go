@@ -7,48 +7,47 @@ import (
 )
 
 // ReplayBatchContext applies one write-ahead-log batch during crash
-// recovery. It is BatchMaintainContext hardened for replay: logged
-// batches carry net deltas relative to the state they committed
-// against, but the recovery base (last checkpoint plus batches
-// replayed so far) can already hold part of a batch's effect — a
-// checkpoint is taken after its batches are logged, so a crash between
-// log append and checkpoint rename leaves both on disk. Inserts
-// already present and deletes already absent are therefore filtered
-// out first; what remains satisfies BatchMaintainContext's
-// preconditions exactly, and a batch whose net effect is empty returns
-// without running maintenance.
-func (e *Engine) ReplayBatchContext(ctx context.Context, inserted, deleted map[string][]storage.Tuple) (int, error) {
-	ins := make(map[string][]storage.Tuple, len(inserted))
+// recovery. It is ApplyZSetContext hardened for replay: logged batches
+// carry net deltas relative to the state they committed against, but
+// the recovery base (last checkpoint plus batches replayed so far) can
+// already hold part of a batch's effect — a checkpoint is taken after
+// its batches are logged, so a crash between log append and checkpoint
+// rename leaves both on disk. The Z-set vocabulary absorbs this
+// naturally: inserts already present and deletes already absent have no
+// effective weight and are ignored, and a batch whose net effect is
+// empty returns without running maintenance. zs must be the rank state
+// of the recovery base (recorded by the from-scratch fixpoint over the
+// checkpoint) and is kept current across the replayed batches.
+func (e *Engine) ReplayBatchContext(ctx context.Context, zs *ZState, inserted, deleted map[string][]storage.Tuple) (map[string]*storage.ZSet, error) {
+	changes := make(map[string]*storage.ZSet, len(inserted)+len(deleted))
 	for p, ts := range inserted {
+		z := changes[p]
+		if z == nil {
+			z = storage.NewZSet()
+			changes[p] = z
+		}
 		rel := e.db.Relation(p)
-		keep := ts[:0:0]
 		for _, t := range ts {
 			if rel == nil || !rel.Contains(t) {
-				keep = append(keep, t)
+				z.Add(t, 1)
 			}
 		}
-		if len(keep) > 0 {
-			ins[p] = keep
-		}
 	}
-	del := make(map[string][]storage.Tuple, len(deleted))
 	for p, ts := range deleted {
 		rel := e.db.Relation(p)
 		if rel == nil {
 			continue
 		}
-		keep := ts[:0:0]
+		z := changes[p]
+		if z == nil {
+			z = storage.NewZSet()
+			changes[p] = z
+		}
 		for _, t := range ts {
 			if rel.Contains(t) {
-				keep = append(keep, t)
+				z.Add(t, -1)
 			}
 		}
-		if len(keep) > 0 {
-			del[p] = keep
-		}
 	}
-	if len(ins) == 0 && len(del) == 0 {
-		return 0, nil
-	}
-	return e.BatchMaintainContext(ctx, ins, del)
+	return e.ApplyZSetContext(ctx, zs, changes)
 }

@@ -1,0 +1,853 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// This file implements Z-set incremental maintenance: one weighted-
+// delta fixpoint that applies a mixed batch of EDB insertions (weight
+// +1) and deletions (weight −1) to a database at fixpoint and restores
+// the fixpoint exactly, returning the precise per-predicate IDB delta
+// of the batch. It replaces the asymmetric pair this engine used
+// before (delta-seeded semi-naive for inserts, delete-and-rederive for
+// deletes): DeleteAndRederiveContext survives only as the differential
+// -test oracle.
+//
+// The construction follows the DBSP treatment of incremental recursive
+// queries (Budiu et al., feldera/dbsp): the recursive fixpoint is a
+// nested stream of per-iteration layers, and an input change is pushed
+// *inside* the recursion by adjusting each layer's slice of the output
+// rather than re-running the outer fixpoint. Concretely, for each
+// strongly connected component we stratify tuples by derivation layer
+//
+//	C[0] ⊆ C[1] ⊆ C[2] ⊆ … ⊆ C[T] = fixpoint,
+//
+// where C[t] holds the tuples derivable within t rule applications
+// (layer 0 is reserved for program-stated seed facts). Every stored
+// tuple carries its layer (its rank) in a ZState. Because layer t
+// depends only on layer t−1 — never on itself — membership within a
+// layer is decidable by a single exact support check, with no
+// iteration: a tuple belongs to C'[t] iff some rule grounding derives
+// it whose same-component body tuples all have rank < t. That
+// well-foundedness is what makes signed weights sound under recursion,
+// and it is why the DRed over-delete cone disappears: a deletion
+// never speculatively retracts a derivation cone; it revisits exactly
+// the tuples whose support sets it touched, at exactly the layer where
+// their membership is decided, and removes only what the support
+// check refutes.
+//
+// The sweep processes layers in ascending order. Work is proportional
+// to the tuples whose support actually changed (plus the one-step
+// neighborhood consulted by the support checks) — not to the size of
+// the database, and not to the over-approximated cone DRed retracts
+// and re-derives.
+
+// ZState is the persistent layer (rank) assignment that makes weighted
+// maintenance well-founded. It maps every *derived* tuple to the
+// fixpoint layer at which it was first derived; tuples present in a
+// relation but absent from the state are program-stated seed facts,
+// which rank as layer 0 and are never retracted by maintenance.
+//
+// A ZState is valid only when it was recorded by a from-scratch
+// fixpoint (Engine.SetRankSink during Run) or maintained by
+// ApplyZSetContext ever since. Mutating the database through any other
+// path invalidates it; rebuild by re-running the fixpoint.
+type ZState struct {
+	ranks map[string]map[string]uint32
+	next  uint32
+}
+
+// NewZState returns an empty rank state.
+func NewZState() *ZState {
+	return &ZState{ranks: make(map[string]map[string]uint32)}
+}
+
+// Record notes that tuple t of pred was first derived. It has the
+// signature Engine.SetRankSink expects, but deliberately ignores the
+// engine-reported round: semi-naive evaluation inserts derived tuples
+// into their relations mid-round, so a chain of derivations can land
+// in one round and the round number does not stratify supports. The
+// global insertion order does — a tuple's grounding partners are
+// always physically present (hence already recorded) before the tuple
+// itself is inserted, in sequential and parallel modes alike — so
+// Record assigns a monotone counter. Ranks need not be minimal; the
+// sweep only relies on each derived tuple outranking the same-
+// component partners of at least one grounding.
+func (z *ZState) Record(pred string, t storage.Tuple, _ int) {
+	m := z.ranks[pred]
+	if m == nil {
+		m = make(map[string]uint32)
+		z.ranks[pred] = m
+	}
+	z.next++
+	m[t.Key()] = z.next
+}
+
+// Reset drops all rank assignments.
+func (z *ZState) Reset() {
+	z.ranks = make(map[string]map[string]uint32)
+	z.next = 0
+}
+
+// Len counts ranked tuples across all predicates.
+func (z *ZState) Len() int {
+	n := 0
+	for _, m := range z.ranks {
+		n += len(m)
+	}
+	return n
+}
+
+// Clone deep-copies the state — the commit pipeline snapshots it
+// alongside the database so a failed batch can roll both back.
+func (z *ZState) Clone() *ZState {
+	out := NewZState()
+	out.next = z.next
+	for p, m := range z.ranks {
+		mm := make(map[string]uint32, len(m))
+		for k, r := range m {
+			mm[k] = r
+		}
+		out.ranks[p] = mm
+	}
+	return out
+}
+
+// RankedTuple pairs a derived tuple with its layer, for moving rank
+// state across process boundaries (checkpoints, replication
+// bootstrap).
+type RankedTuple struct {
+	T    storage.Tuple
+	Rank uint32
+}
+
+// Export renders the rank state as real tuples per predicate, in
+// deterministic (key) order, so it can be persisted alongside the
+// database it certifies. Interned keys decode back to tuples because
+// the encoding is fixed-width per column.
+func (z *ZState) Export() map[string][]RankedTuple {
+	out := make(map[string][]RankedTuple, len(z.ranks))
+	for p, m := range z.ranks {
+		if len(m) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rts := make([]RankedTuple, len(keys))
+		for i, k := range keys {
+			rts[i] = RankedTuple{T: storage.TupleOfKey(k), Rank: m[k]}
+		}
+		out[p] = rts
+	}
+	return out
+}
+
+// Install seeds one exported rank into the state (the inverse of
+// Export, used when a checkpointed fixpoint is reinstated). The next
+// counter stays above every installed rank, so later Record calls
+// keep outranking the restored tuples.
+func (z *ZState) Install(pred string, t storage.Tuple, rank uint32) {
+	z.set(pred, t.Key(), rank)
+}
+
+func (z *ZState) rankOf(pred, key string) (uint32, bool) {
+	r, ok := z.ranks[pred][key]
+	return r, ok
+}
+
+func (z *ZState) set(pred, key string, r uint32) {
+	m := z.ranks[pred]
+	if m == nil {
+		m = make(map[string]uint32)
+		z.ranks[pred] = m
+	}
+	if r > z.next {
+		z.next = r
+	}
+	m[key] = r
+}
+
+func (z *ZState) drop(pred, key string) {
+	if m := z.ranks[pred]; m != nil {
+		delete(m, key)
+	}
+}
+
+// ApplyZSetContext applies one mixed batch of EDB changes — a Z-set
+// per predicate, insertions weight +1 and deletions weight −1 — to a
+// database at fixpoint for the engine's program, and incrementally
+// restores the fixpoint. Insertions of present tuples and deletions of
+// absent ones are ignored (the effective change is what is applied).
+// Changed predicates must be extensional; zs must be the rank state of
+// the current fixpoint (see ZState).
+//
+// It returns the exact IDB delta of the batch: for every derived
+// predicate whose extension changed, a Z-set holding the tuples that
+// appeared (+1) and disappeared (−1). Unlike the old insert/delete
+// split, one uniform pass serves pure insertions, pure deletions, and
+// mixed batches, with no over-deletion and no full re-derivation.
+//
+// ErrNeedsRecompute is returned — before anything is mutated — when
+// the update reaches a negated predicate. Any other error (including
+// cancellation) can leave the database mid-maintenance; callers must
+// treat the state as poisoned and rebuild, exactly as they would for
+// the previous maintenance entry points.
+func (e *Engine) ApplyZSetContext(ctx context.Context, zs *ZState, changes map[string]*storage.ZSet) (map[string]*storage.ZSet, error) {
+	if zs == nil {
+		return nil, fmt.Errorf("eval: ApplyZSetContext requires a ZState")
+	}
+	idb := e.prog.IDBPreds()
+	union := make(map[string][]storage.Tuple, len(changes))
+	for p, z := range changes {
+		if z == nil || z.Len() == 0 {
+			continue
+		}
+		if idb[p] {
+			return nil, fmt.Errorf("eval: %s is derived by the program; z-set changes must be extensional", p)
+		}
+		z.Each(func(t storage.Tuple, w int64) {
+			union[p] = append(union[p], t)
+		})
+	}
+	if len(union) == 0 {
+		return map[string]*storage.ZSet{}, nil
+	}
+	if !e.maintenanceSafe(union) {
+		return nil, ErrNeedsRecompute
+	}
+
+	// Freeze the pre-batch state: vanished-support discovery must see
+	// the groundings that existed before the batch, after live
+	// relations have moved on. COW makes this O(#relations).
+	oldDB := e.db.Snapshot()
+
+	// Apply the EDB changes and keep the effective delta (insertions
+	// that were new, deletions that were present).
+	lower := make(map[string]*storage.ZSet)
+	for p, z := range changes {
+		if z == nil || z.Len() == 0 {
+			continue
+		}
+		eff := storage.NewZSet()
+		var rel *storage.Relation
+		z.Each(func(t storage.Tuple, w int64) {
+			if rel == nil {
+				rel = e.db.Ensure(p, len(t))
+			}
+			if w > 0 {
+				if rel.Insert(t) {
+					eff.Add(t, 1)
+				}
+			} else if rel.Remove(t) {
+				eff.Add(t, -1)
+			}
+		})
+		if eff.Len() > 0 {
+			lower[p] = eff
+		}
+	}
+
+	out := make(map[string]*storage.ZSet)
+	if len(lower) == 0 {
+		return out, nil
+	}
+	for _, scc := range e.sccOrder() {
+		sccOut, err := e.zsweepSCC(ctx, zs, oldDB, scc, lower)
+		if err != nil {
+			return out, err
+		}
+		for p, z := range sccOut {
+			if z.Len() == 0 {
+				continue
+			}
+			out[p] = z
+			lower[p] = z // visible as an input change to components above
+		}
+	}
+	return out, nil
+}
+
+// zPartner resolves one same-component positive body literal of a
+// compiled plan back to a tuple, so emitted groundings can be ranked.
+type zPartner struct {
+	pred string
+	refs []argRef
+}
+
+func (p *zPartner) tuple(fr frame) storage.Tuple {
+	t := make(storage.Tuple, len(p.refs))
+	for i, r := range p.refs {
+		t[i] = r.resolve(fr)
+	}
+	return t
+}
+
+// literalRefs maps a body literal's arguments onto a compiled plan's
+// slots (constants become interned values).
+func literalRefs(slotOf map[ast.Var]int, lit ast.Literal) ([]argRef, error) {
+	refs := make([]argRef, len(lit.Atom.Args))
+	for k, a := range lit.Atom.Args {
+		if v, ok := a.(ast.Var); ok {
+			s, ok2 := slotOf[v]
+			if !ok2 {
+				return nil, fmt.Errorf("eval: variable %s of %s not slotted", v, lit)
+			}
+			refs[k] = slotRef(s)
+		} else {
+			refs[k] = constRef(storage.Intern(a))
+		}
+	}
+	return refs, nil
+}
+
+func slotMap(c *compiled) map[ast.Var]int {
+	m := make(map[ast.Var]int, len(c.vars))
+	for i, v := range c.vars {
+		m[v] = i
+	}
+	return m
+}
+
+// zOcc is one positive body occurrence of a changeable predicate in
+// one rule, compiled twice: the add plan evaluates against the live
+// (new) database to discover appearing groundings, the del plan
+// against the frozen pre-batch snapshot to discover vanishing ones.
+type zOcc struct {
+	label    string
+	headPred string
+	pred     string
+	selfSCC  bool // occurrence of a same-component predicate
+
+	addPlan     *compiled
+	addPartners []zPartner
+	delPlan     *compiled
+	delPartners []zPartner
+}
+
+// zCheck is the head-bound support enumerator for one rule: head
+// variables are prebound, so running the plan with a candidate tuple's
+// values seeded enumerates exactly that tuple's derivations.
+type zCheck struct {
+	label    string
+	headPred string
+	plan     *compiled
+	partners []zPartner
+	prebound []ast.Var
+	headArgs []ast.Term
+}
+
+// seedFor builds the prebound slot values for candidate t; ok is false
+// when the head shape cannot match t (constant mismatch or repeated
+// head variable with unequal columns).
+func (c *zCheck) seedFor(t storage.Tuple) ([]storage.Value, bool) {
+	seed := make([]storage.Value, len(c.prebound))
+	for i := range seed {
+		seed[i] = storage.NoValue
+	}
+	pos := make(map[ast.Var]int, len(c.prebound))
+	for i, v := range c.prebound {
+		pos[v] = i
+	}
+	for k, a := range c.headArgs {
+		if v, ok := a.(ast.Var); ok {
+			i := pos[v]
+			if seed[i] == storage.NoValue {
+				seed[i] = t[k]
+			} else if seed[i] != t[k] {
+				return nil, false
+			}
+			continue
+		}
+		cv, ok := storage.LookupTerm(a)
+		if !ok || cv != t[k] {
+			return nil, false
+		}
+	}
+	return seed, true
+}
+
+// zcand identifies one scheduled membership decision.
+type zcand struct {
+	pred string
+	t    storage.Tuple
+}
+
+// zsweep is the per-component sweep state.
+type zsweep struct {
+	e     *Engine
+	zs    *ZState
+	oldDB *storage.Database
+	inSCC map[string]bool
+
+	occs   map[string][]*zOcc // delta predicate -> occurrence plans
+	checks map[string][]*zCheck
+
+	sched    map[uint32]map[string]zcand
+	maxLayer uint32
+	cur      uint32 // layer the run loop is currently draining
+	started  bool   // true once the run loop has begun
+	out      map[string]*storage.ZSet
+}
+
+func (w *zsweep) schedule(pred string, t storage.Tuple, layer uint32) {
+	// Layers are processed in ascending order and each layer's
+	// candidate set is snapshotted when the loop reaches it, so a
+	// candidate scheduled at or below the layer being drained would be
+	// lost. Defer it to the next layer instead: support checks are
+	// monotone in the layer (a grounding valid at g stays valid at any
+	// l ≥ g) and an inserted tuple's rank is its grounding layer, not
+	// its processing layer, so late processing is sound.
+	if w.started && layer <= w.cur {
+		layer = w.cur + 1
+	}
+	m := w.sched[layer]
+	if m == nil {
+		m = make(map[string]zcand)
+		w.sched[layer] = m
+	}
+	key := pred + "\x00" + t.Key()
+	if _, ok := m[key]; !ok {
+		m[key] = zcand{pred: pred, t: t}
+	}
+	if layer > w.maxLayer {
+		w.maxLayer = layer
+	}
+}
+
+func (w *zsweep) noteOut(pred string, t storage.Tuple, wgt int64) {
+	z := w.out[pred]
+	if z == nil {
+		z = storage.NewZSet()
+		w.out[pred] = z
+	}
+	z.Add(t, wgt)
+}
+
+// effRank ranks a partner tuple for grounding validity: seed facts
+// (present, unranked) are layer 0; removed tuples are invalid.
+func (w *zsweep) effRank(pred string, t storage.Tuple) (uint32, bool) {
+	if r, ok := w.zs.rankOf(pred, t.Key()); ok {
+		return r, true
+	}
+	if rel := w.e.db.Relation(pred); rel != nil && rel.Contains(t) {
+		return 0, true // pinned program seed
+	}
+	return 0, false
+}
+
+// groundingLayer computes the first layer at which an emitted grounding
+// is a valid support: 1 + the maximum rank among its same-component
+// body tuples (extra folds in the rank of the delta tuple that fired
+// the plan, when that occurrence is same-component). ok is false when
+// some partner has been removed, which voids the grounding.
+func (w *zsweep) groundingLayer(partners []zPartner, fr frame, extra uint32) (uint32, bool) {
+	max := extra
+	for i := range partners {
+		p := &partners[i]
+		r, ok := w.effRank(p.pred, p.tuple(fr))
+		if !ok {
+			return 0, false
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return max + 1, true
+}
+
+// check enumerates every current support grounding of candidate t and
+// reports whether one is valid at layer ℓ (ok), the smallest valid
+// layer found (minL, meaningful when ok), and the future layers at
+// which currently-known groundings would first become valid — the
+// re-entry schedule for a refuted tuple.
+func (w *zsweep) check(pred string, t storage.Tuple, l uint32) (ok bool, minL uint32, future []uint32, err error) {
+	if f := w.e.InsertFilter; f != nil && !f(pred, t) {
+		return false, 0, nil, nil
+	}
+	futureSet := make(map[uint32]struct{})
+	minL = ^uint32(0)
+	for _, c := range w.checks[pred] {
+		seed, match := c.seedFor(t)
+		if !match {
+			continue
+		}
+		st := Stats{RuleFirings: 1}
+		c.plan.prepareIndexes()
+		rerr := w.e.runCompiled(c.plan, nil, seed, &st, func(fr frame) error {
+			st.Derived++
+			g, valid := w.groundingLayer(c.partners, fr, 0)
+			if !valid {
+				return nil
+			}
+			if g <= l {
+				ok = true
+			} else {
+				futureSet[g] = struct{}{}
+			}
+			if g < minL {
+				minL = g
+			}
+			return nil
+		})
+		w.e.account(c.label, pred, st, 0)
+		if rerr != nil {
+			return false, 0, nil, rerr
+		}
+	}
+	if !ok {
+		future = make([]uint32, 0, len(futureSet))
+		for g := range futureSet {
+			future = append(future, g)
+		}
+		sort.Slice(future, func(i, j int) bool { return future[i] < future[j] })
+	}
+	return ok, minL, future, nil
+}
+
+// fireAdd discovers groundings that appear because the given tuples
+// were added (or entered a lower layer) at rank extra: for each
+// occurrence plan of pred, the delta position ranges over ts against
+// the live database, and every emitted head is scheduled at the layer
+// where the new grounding first counts.
+func (w *zsweep) fireAdd(pred string, ts []storage.Tuple, extra uint32) error {
+	for _, occ := range w.occs[pred] {
+		st := Stats{RuleFirings: 1}
+		occ.addPlan.prepareIndexes()
+		headRel := w.e.db.Relation(occ.headPred)
+		err := w.e.runCompiled(occ.addPlan, ts, nil, &st, func(fr frame) error {
+			st.Derived++
+			contrib := uint32(0)
+			if occ.selfSCC {
+				contrib = extra
+			}
+			g, valid := w.groundingLayer(occ.addPartners, fr, contrib)
+			if !valid {
+				return nil
+			}
+			h := occ.addPlan.headTuple(fr)
+			if headRel != nil && headRel.Contains(h) {
+				// Already present: a new grounding can only lower the
+				// tuple's rank, and ranks need not be minimal — a
+				// loose rank just makes later deletion checks a
+				// little more conservative. Re-checking here would
+				// cost a support enumeration per present head.
+				return nil
+			}
+			w.schedule(occ.headPred, h, g)
+			return nil
+		})
+		w.e.account(occ.label, occ.headPred, st, 0)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fireDel discovers tuples whose support may have vanished because the
+// given tuples were deleted: the delta position ranges over ts against
+// the frozen pre-batch snapshot, so exactly the groundings that
+// existed before the change are enumerated. Each affected head is
+// scheduled for a support re-check at its own layer. cur is the layer
+// being processed (or 0 at the pre-sweep phase): heads whose layer is
+// already settled need no re-check, because their membership was
+// decided from layers the deletion cannot reach.
+func (w *zsweep) fireDel(pred string, ts []storage.Tuple, extra, cur uint32, preSweep bool) error {
+	for _, occ := range w.occs[pred] {
+		st := Stats{RuleFirings: 1}
+		occ.delPlan.prepareIndexes()
+		headRel := w.e.db.Relation(occ.headPred)
+		if headRel == nil {
+			continue
+		}
+		err := w.e.runCompiled(occ.delPlan, ts, nil, &st, func(fr frame) error {
+			st.Derived++
+			h := occ.delPlan.headTuple(fr)
+			key := h.Key()
+			if !headRel.Contains(h) {
+				return nil
+			}
+			r, ranked := w.zs.rankOf(occ.headPred, key)
+			if !ranked {
+				return nil // program seed, never retracted
+			}
+			if !preSweep && r <= cur {
+				return nil // settled layer: membership already final
+			}
+			contrib := uint32(0)
+			if occ.selfSCC {
+				contrib = extra
+			}
+			g, valid := w.groundingLayer(occ.delPartners, fr, contrib)
+			if !valid || g > r {
+				return nil // grounding never supported h's membership layer
+			}
+			w.schedule(occ.headPred, h, r)
+			return nil
+		})
+		w.e.account(occ.label, occ.headPred, st, 0)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// process decides one scheduled candidate at layer t: an exact support
+// check admits, re-ranks, keeps, or removes the tuple, and the change
+// (if any) is propagated by firing the discovery plans with the tuple
+// as the delta.
+func (w *zsweep) process(cand zcand, t uint32) error {
+	rel := w.e.db.Relation(cand.pred)
+	if rel == nil {
+		return nil
+	}
+	key := cand.t.Key()
+	present := rel.Contains(cand.t)
+	r, ranked := w.zs.rankOf(cand.pred, key)
+	if present && !ranked {
+		return nil // pinned program seed
+	}
+	if present && r < t {
+		return nil // settled at a lower layer
+	}
+	ok, minL, future, err := w.check(cand.pred, cand.t, t)
+	if err != nil {
+		return err
+	}
+	switch {
+	case !present && ok:
+		rel.Insert(cand.t)
+		w.e.stats.Inserted++
+		if minL > t {
+			minL = t
+		}
+		w.zs.set(cand.pred, key, minL)
+		w.noteOut(cand.pred, cand.t, 1)
+		return w.fireAdd(cand.pred, []storage.Tuple{cand.t}, minL)
+	case !present && !ok:
+		for _, g := range future {
+			w.schedule(cand.pred, cand.t, g)
+		}
+		return nil
+	case ok: // present, supported at ≤ t
+		if minL < r {
+			w.zs.set(cand.pred, key, minL)
+			return w.fireAdd(cand.pred, []storage.Tuple{cand.t}, minL)
+		}
+		return nil
+	default: // present, refuted
+		if r != t {
+			return nil // only a rank-decrease probe failed; membership is decided at r
+		}
+		rel.Remove(cand.t)
+		w.zs.drop(cand.pred, key)
+		w.noteOut(cand.pred, cand.t, -1)
+		for _, g := range future {
+			w.schedule(cand.pred, cand.t, g)
+		}
+		return w.fireDel(cand.pred, []storage.Tuple{cand.t}, r, t, false)
+	}
+}
+
+// zsweepSCC maintains one strongly connected component under the
+// accumulated lower changes, returning the component's own delta.
+func (e *Engine) zsweepSCC(ctx context.Context, zs *ZState, oldDB *storage.Database, scc []string, lower map[string]*storage.ZSet) (map[string]*storage.ZSet, error) {
+	inSCC := make(map[string]bool, len(scc))
+	for _, p := range scc {
+		inSCC[p] = true
+		e.db.Ensure(p, e.arityOf(p))
+	}
+	rules, err := e.sccRules(inSCC)
+	if err != nil {
+		return nil, err
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	touched := false
+	for _, r := range rules {
+		for _, l := range r.Body {
+			if !l.Neg && !l.Atom.IsEvaluable() && lower[l.Atom.Pred] != nil {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		return nil, nil
+	}
+
+	w := &zsweep{
+		e: e, zs: zs, oldDB: oldDB, inSCC: inSCC,
+		occs:   make(map[string][]*zOcc),
+		checks: make(map[string][]*zCheck),
+		sched:  make(map[uint32]map[string]zcand),
+		out:    make(map[string]*storage.ZSet),
+	}
+	if err := w.compile(rules, lower); err != nil {
+		return nil, err
+	}
+
+	e.strata = append(e.strata, StratumInfo{Preds: scc})
+	e.cur = &e.strata[len(e.strata)-1]
+	start := time.Now()
+	err = w.run(ctx, lower)
+	e.cur.Time = time.Since(start)
+	if e.tracer.Enabled() {
+		e.tracer.Complete("eval", "zsweep "+strings.Join(scc, ","), start, e.cur.Time,
+			map[string]int64{"layers": e.cur.Rounds, "rules": int64(len(rules))})
+	}
+	e.cur = nil
+	if err != nil {
+		return nil, err
+	}
+	return w.out, nil
+}
+
+// compile lowers the component's rules into occurrence-discovery plans
+// (for predicates that can change: the already-changed lower ones and
+// the component's own) and head-bound support checkers.
+func (w *zsweep) compile(rules []ast.Rule, lower map[string]*storage.ZSet) error {
+	est := w.e.estimator()
+	for _, r := range rules {
+		for j, l := range r.Body {
+			if l.Neg || l.Atom.IsEvaluable() {
+				continue
+			}
+			p := l.Atom.Pred
+			if lower[p] == nil && !w.inSCC[p] {
+				continue
+			}
+			occ := &zOcc{
+				label:    ruleLabel(r) + "#zset",
+				headPred: r.Head.Pred,
+				pred:     p,
+				selfSCC:  w.inSCC[p],
+			}
+			plan, err := planBody(r.Body, j, est, nil)
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			if occ.addPlan, err = compilePlan(plan, r.Head, w.e.db, nil); err != nil {
+				return fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			if occ.addPartners, err = w.partnersOf(occ.addPlan, r.Body, j); err != nil {
+				return err
+			}
+			if occ.delPlan, err = compilePlan(plan, r.Head, w.oldDB, nil); err != nil {
+				return fmt.Errorf("rule %s: %w", r.Label, err)
+			}
+			if occ.delPartners, err = w.partnersOf(occ.delPlan, r.Body, j); err != nil {
+				return err
+			}
+			w.occs[p] = append(w.occs[p], occ)
+		}
+
+		var prebound []ast.Var
+		seen := make(map[ast.Var]bool)
+		for _, a := range r.Head.Args {
+			if v, ok := a.(ast.Var); ok && !seen[v] {
+				seen[v] = true
+				prebound = append(prebound, v)
+			}
+		}
+		plan, err := planBody(r.Body, -1, est, seen)
+		if err != nil {
+			return fmt.Errorf("rule %s: %w", r.Label, err)
+		}
+		cp, err := compilePlan(plan, r.Head, w.e.db, prebound)
+		if err != nil {
+			return fmt.Errorf("rule %s: %w", r.Label, err)
+		}
+		chk := &zCheck{
+			label:    ruleLabel(r) + "#zcheck",
+			headPred: r.Head.Pred,
+			plan:     cp,
+			prebound: prebound,
+			headArgs: r.Head.Args,
+		}
+		if chk.partners, err = w.partnersOf(cp, r.Body, -1); err != nil {
+			return err
+		}
+		w.checks[r.Head.Pred] = append(w.checks[r.Head.Pred], chk)
+	}
+	return nil
+}
+
+// partnersOf builds resolvers for every positive same-component body
+// literal of a compiled plan, excluding the delta occurrence.
+func (w *zsweep) partnersOf(c *compiled, body []ast.Literal, deltaIdx int) ([]zPartner, error) {
+	slots := slotMap(c)
+	var out []zPartner
+	for i, l := range body {
+		if i == deltaIdx || l.Neg || l.Atom.IsEvaluable() || !w.inSCC[l.Atom.Pred] {
+			continue
+		}
+		refs, err := literalRefs(slots, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, zPartner{pred: l.Atom.Pred, refs: refs})
+	}
+	return out, nil
+}
+
+// run seeds the schedule from the lower changes and sweeps the layers
+// in ascending order.
+func (w *zsweep) run(ctx context.Context, lower map[string]*storage.ZSet) error {
+	preds := make([]string, 0, len(lower))
+	for p := range lower {
+		if len(w.occs[p]) > 0 {
+			preds = append(preds, p)
+		}
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		adds, dels := lower[p].Split()
+		if len(dels) > 0 {
+			if err := w.fireDel(p, dels, 0, 0, true); err != nil {
+				return err
+			}
+		}
+		if len(adds) > 0 {
+			if err := w.fireAdd(p, adds, 0); err != nil {
+				return err
+			}
+		}
+	}
+
+	w.started = true
+	for t := uint32(0); t <= w.maxLayer; t++ {
+		w.cur = t
+		m := w.sched[t]
+		if len(m) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		delete(w.sched, t)
+		w.e.startIteration()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := w.process(m[k], t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

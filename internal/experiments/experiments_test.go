@@ -108,3 +108,43 @@ func TestTableString(t *testing.T) {
 		}
 	}
 }
+
+// E12 compares the Z-set sweep against delete-and-rederive on the
+// same mixed-batch sequence: databases must agree (no DIFFER note)
+// and the sweep must do measurably fewer derivations.
+func TestMixedMaintenanceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	rec := &Recorder{}
+	tab := E12MixedMaintenance(Config{Quick: true, Rec: rec})
+	if len(tab.Notes) != 0 {
+		t.Fatalf("unexpected notes: %v", tab.Notes)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (zset + dred)", len(rec.Records))
+	}
+	var zset, dred int64
+	for _, r := range rec.Records {
+		if r.Experiment != "E12" {
+			t.Errorf("record experiment = %q", r.Experiment)
+		}
+		switch {
+		case strings.HasSuffix(r.Label, "/zset"):
+			zset = r.Stats.Derived
+		case strings.HasSuffix(r.Label, "/dred"):
+			dred = r.Stats.Derived
+		default:
+			t.Errorf("unexpected record label %q", r.Label)
+		}
+	}
+	if zset <= 0 || dred <= 0 {
+		t.Fatalf("derived counters not recorded: zset=%d dred=%d", zset, dred)
+	}
+	if zset*2 >= dred {
+		t.Errorf("z-set derived %d, DRed %d; want at least 2x fewer", zset, dred)
+	}
+}

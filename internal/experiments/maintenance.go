@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// E12MixedMaintenance — incremental maintenance of a materialized
+// transitive closure under mixed insert/delete batches: the Z-set
+// sweep (DESIGN.md §15) against the delete-and-rederive baseline it
+// replaced. The workload is a ladder graph (two rails plus crossing
+// rungs), chosen because most reachability facts have several
+// derivations — exactly the shape where DRed's over-delete cone is
+// widest and rank-local checks pay off. Both paths apply the same
+// batch sequence and must land on tuple-identical databases; the
+// work metric is Derived (head tuples enumerated), since the Z-set
+// sweep's many tiny check plans make plan-invocation counts
+// meaningless.
+func E12MixedMaintenance(cfg Config) Table {
+	t := Table{
+		ID:      "E12",
+		Title:   "Mixed-batch maintenance: Z-set sweep vs delete-and-rederive",
+		Claim:   "signed-multiplicity maintenance with rank certificates does measurably fewer derivations than DRed on delete-heavy mixed batches, without recomputing",
+		Columns: []string{"rungs", "batches", "zset ms", "zset derived", "dred ms", "dred derived", "derived ratio"},
+	}
+	prog, err := parser.ParseProgram(`
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	sizes := []int{20, 40}
+	if cfg.Quick {
+		sizes = []int{12}
+	}
+	for _, n := range sizes {
+		base, batches := ladderBatches(n)
+		mk := func() *storage.Database {
+			db := storage.NewDatabase()
+			for _, tu := range base {
+				db.Ensure("edge", 2).Insert(tu)
+			}
+			return db
+		}
+
+		// Z-set path: seed the rank state from the initial fixpoint,
+		// then one ApplyZSetContext per batch.
+		zdb := mk()
+		zs := eval.NewZState()
+		seed := eval.New(prog, zdb)
+		seed.SetRankSink(zs.Record)
+		if err := seed.Run(); err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return t
+		}
+		var zDerived int64
+		zStart := time.Now()
+		for _, b := range batches {
+			e := eval.New(prog, zdb)
+			if _, err := e.ApplyZSetContext(context.Background(), zs,
+				map[string]*storage.ZSet{"edge": storage.ZSetOfChanges(b.adds, b.dels)}); err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				return t
+			}
+			zDerived += e.Stats().Derived
+		}
+		zDur := time.Since(zStart)
+
+		// DRed path: over-delete + rederive for the dels, then insert
+		// the adds and close under the rules with a semi-naive fixpoint
+		// — the composition the Z-set sweep replaced.
+		ddb := mk()
+		if err := eval.New(prog, ddb).Run(); err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return t
+		}
+		var dDerived int64
+		dStart := time.Now()
+		for _, b := range batches {
+			del := eval.New(prog, ddb)
+			if _, err := del.DeleteAndRederiveContext(context.Background(),
+				map[string][]storage.Tuple{"edge": b.dels}); err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				return t
+			}
+			for _, tu := range b.adds {
+				ddb.Relation("edge").Insert(tu)
+			}
+			grow := eval.New(prog, ddb)
+			if err := grow.Run(); err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				return t
+			}
+			dDerived += del.Stats().Derived + grow.Stats().Derived
+		}
+		dDur := time.Since(dStart)
+
+		if !zdb.Equal(ddb) {
+			t.Notes = append(t.Notes, fmt.Sprintf("rungs=%d: z-set and DRed databases DIFFER", n))
+		}
+		lab := fmt.Sprintf("ladder=%d,batches=%d", n, len(batches))
+		for _, rec := range []struct {
+			path    string
+			dur     time.Duration
+			derived int64
+		}{{"zset", zDur, zDerived}, {"dred", dDur, dDerived}} {
+			cfg.Rec.add(BenchRecord{
+				Experiment: "E12", Label: lab + "/" + rec.path, Parallel: 1,
+				GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+				Engine:  "binary",
+				NsPerOp: rec.dur.Nanoseconds(),
+				Stats:   eval.Stats{Derived: rec.derived},
+			})
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(len(batches)),
+			ms(zDur), fmt.Sprint(zDerived),
+			ms(dDur), fmt.Sprint(dDerived),
+			fmt.Sprintf("%.1fx", float64(dDerived)/float64(zDerived)),
+		})
+	}
+	return t
+}
+
+type mixedBatch struct {
+	adds, dels []storage.Tuple
+}
+
+// ladderBatches builds a 2×n ladder EDB (rails a0→…→an, b0→…→bn,
+// rungs both ways at every level) plus a deterministic sequence of
+// mixed batches: each deletes a spread of rungs and extends a fresh
+// chain hanging off the ladder, so every batch has both signs and the
+// deletions hit tuples with surviving alternate derivations.
+func ladderBatches(n int) (base []storage.Tuple, batches []mixedBatch) {
+	sym := func(a, b string) storage.Tuple {
+		return storage.Tuple{storage.InternSym(a), storage.InternSym(b)}
+	}
+	at := func(s string, i int) string { return fmt.Sprintf("%s%d", s, i) }
+	for i := 0; i < n; i++ {
+		base = append(base, sym(at("a", i), at("a", i+1)))
+		base = append(base, sym(at("b", i), at("b", i+1)))
+		base = append(base, sym(at("a", i), at("b", i+1)))
+		base = append(base, sym(at("b", i), at("a", i+1)))
+	}
+	const nBatches = 4
+	for j := 0; j < nBatches; j++ {
+		var b mixedBatch
+		// Every nBatches-th a→b rung, staggered so batches touch
+		// disjoint rungs.
+		for i := j; i < n; i += 2 * nBatches {
+			b.dels = append(b.dels, sym(at("a", i), at("b", i+1)))
+		}
+		// Grow a fresh tail off the last rail node: recursion extends
+		// the closure incrementally on the add side.
+		from := at("a", n)
+		if j > 0 {
+			from = at("z", j-1)
+		}
+		b.adds = append(b.adds, sym(from, at("z", j)))
+		batches = append(batches, b)
+	}
+	return base, batches
+}

@@ -10,14 +10,19 @@
 //   - queries are served lock-free against the session's latest
 //     snapshot, with pagination and an optional snapshot-generation
 //     keyed result cache for hot repeated goals;
-//   - writes (/facts inserts and deletes) enqueue onto the session's
-//     commit queue; a single committer goroutine per session drains
-//     the queue, coalesces concurrent requests to their net effect,
-//     and runs ONE incremental maintenance pass for the whole batch
-//     (eval.BatchMaintainContext) before publishing one snapshot and
-//     fanning the responses back out;
+//   - writes (POST /changes with {adds, dels}, plus the /facts and
+//     legacy insert/delete aliases) enqueue onto the session's commit
+//     queue; a single committer goroutine per session drains the
+//     queue, coalesces concurrent requests to their net effect, and
+//     runs ONE Z-set maintenance pass for the whole batch
+//     (eval.ApplyZSetContext) before publishing one snapshot and
+//     fanning the responses back out — every commit gets a sequence
+//     number, durable or not;
 //   - updates that reach a negated predicate fall back to a full
-//     recomputation from the extensional relations.
+//     recomputation from the extensional relations;
+//   - change-feed subscribers (GET /subscribe, SSE or long-poll)
+//     receive each committed batch as a {seq, adds, dels} delta frame,
+//     resumable from any replayable sequence via ?from=.
 //
 // The versioned surface lives under /v1 (sessions are addressed by
 // name); the original flat routes remain as aliases onto the "default"
@@ -69,6 +74,18 @@ const (
 	// CodeNotLeader: this daemon is a read-only replica; the error's
 	// Leader field names the leader every write must go to.
 	CodeNotLeader = "not_leader"
+	// CodeCursorTruncated: a subscription's ?from= cursor predates the
+	// oldest replayable sequence (checkpoint GC folded the WAL below it,
+	// or the session is in-memory and keeps no history). The error's
+	// OldestSeq field names the oldest cursor still served; resume from
+	// there after re-reading current state.
+	CodeCursorTruncated = "cursor_truncated"
+	// CodeSubscriberLimit: the server is at -max-subscribers open change
+	// feeds; retry after the Retry-After hint.
+	CodeSubscriberLimit = "subscriber_limit"
+	// CodeCursorAhead: a subscription's ?from= cursor is beyond the
+	// session's newest committed sequence.
+	CodeCursorAhead = "cursor_ahead"
 )
 
 // ErrorDetail is the structured error body: a stable machine-readable
@@ -79,6 +96,9 @@ type ErrorDetail struct {
 	// Leader is set on not_leader errors: the base URL of the leader
 	// this read-only replica follows.
 	Leader string `json:"leader,omitempty"`
+	// OldestSeq is set on cursor_truncated errors: the oldest sequence
+	// number a new subscription can still resume from.
+	OldestSeq uint64 `json:"oldest_seq,omitempty"`
 }
 
 // ErrorResponse is the envelope of every non-2xx reply.
@@ -141,44 +161,80 @@ type QueryResponse struct {
 	// Cached reports whether the result came from the session's
 	// query-result cache.
 	Cached bool `json:"cached,omitempty"`
-	// Seq is the session's newest durable WAL sequence at serve time
-	// (0 on in-memory sessions). On a follower it tells the client how
-	// far behind the leader this read may be, together with the
-	// session's replication stats.
+	// Seq is the session's newest committed sequence at serve time
+	// (durable WAL sequence when a data directory is configured). On a
+	// follower it tells the client how far behind the leader this read
+	// may be, together with the session's replication stats.
 	Seq uint64 `json:"seq,omitempty"`
 }
 
-// UpdateRequest carries ground facts for an insert or delete, in
+// UpdateRequest carries ground facts for a legacy insert or delete, in
 // source syntax: "edge(a, b). edge(b, c)." Only extensional predicates
-// may be updated.
+// may be updated. The legacy /insert and /delete routes are aliases
+// for a one-sided ChangesRequest.
 type UpdateRequest struct {
 	Facts string `json:"facts"`
 }
 
-// UpdateResponse reports one insert or delete.
+// ChangesRequest is the unified write payload of POST
+// /v1/sessions/{name}/changes: facts to add and facts to delete,
+// committed together as ONE batch under one sequence number, restored
+// to fixpoint by one Z-set maintenance pass. Each entry is a ground
+// fact in source syntax ("edge(a, b)", trailing period optional; an
+// entry may also carry several period-separated facts). A fact may not
+// appear on both sides of one request.
+type ChangesRequest struct {
+	Adds []string `json:"adds,omitempty"`
+	Dels []string `json:"dels,omitempty"`
+}
+
+// UpdateResponse reports one committed write (insert, delete, or mixed
+// changes).
 type UpdateResponse struct {
-	// Applied counts facts actually inserted (resp. removed); Ignored
-	// counts duplicates (resp. missing tuples). Both are computed
-	// against the request's position in its commit group, so they match
-	// what sequential per-request application would have reported.
+	// Applied counts facts that effectively changed the EDB (adds of
+	// absent tuples, dels of present ones); Ignored counts the rest.
+	// Both are computed against the request's position in its commit
+	// group, so they match what sequential per-request application
+	// would have reported.
 	Applied int `json:"applied"`
 	Ignored int `json:"ignored"`
-	// Mode is "incremental" when the delta/delete-and-rederive path
-	// ran, "recompute" when the update reached a negated predicate and
-	// the IDB was rebuilt from scratch, "noop" when the committed group
+	// Mode is "incremental" when the Z-set maintenance pass ran,
+	// "recompute" when the update reached a negated predicate and the
+	// IDB was rebuilt from scratch, "noop" when the committed group
 	// changed nothing. For group-committed requests the mode describes
 	// the batch's single maintenance pass.
 	Mode string `json:"mode"`
 	// Batched is the number of write requests group-committed in the
 	// same maintenance pass as this one (1 = committed alone).
 	Batched int `json:"batched,omitempty"`
-	// OverDeleted counts IDB tuples retracted by the over-deletion
-	// phase of delete-and-rederive (some may have been rederived). For
-	// a group commit it is the batch-level count.
-	OverDeleted int `json:"over_deleted,omitempty"`
+	// Seq is the sequence number of the commit that carried this
+	// request (the session's current sequence for pure no-ops). A
+	// subscription resumed with ?from=Seq streams every change after
+	// this write.
+	Seq uint64 `json:"seq"`
 	// Stats are the engine counters of the maintenance pass that
 	// committed this request (shared across a batch).
 	Stats eval.Stats `json:"stats"`
+}
+
+// DeltaFrame is one committed batch on the change feed (GET
+// /v1/sessions/{name}/subscribe): the net extensional change that
+// committed under Seq, each fact rendered in source syntax. Frames are
+// emitted in strictly increasing Seq order with no gaps.
+type DeltaFrame struct {
+	Seq  uint64   `json:"seq"`
+	Adds []string `json:"adds"`
+	Dels []string `json:"dels"`
+}
+
+// SubscribeResponse is the long-poll (non-SSE) subscription reply: the
+// frames after the request's cursor, and the cursor to resume from.
+type SubscribeResponse struct {
+	Session string       `json:"session"`
+	Frames  []DeltaFrame `json:"frames"`
+	// NextFrom is the ?from= value of the follow-up request: the Seq of
+	// the last frame, or the cursor unchanged when Frames is empty.
+	NextFrom uint64 `json:"next_from"`
 }
 
 // SessionStats is one session's observability snapshot.
@@ -190,6 +246,9 @@ type SessionStats struct {
 	Queries    int64  `json:"queries"`
 	Inserts    int64  `json:"inserts"`
 	Deletes    int64  `json:"deletes"`
+	// Changes counts unified POST /changes requests (legacy inserts and
+	// deletes are counted separately above).
+	Changes int64 `json:"changes"`
 	// Incremental + Recomputes is the number of maintenance fixpoints
 	// actually run; under group commit it is strictly less than
 	// Inserts + Deletes whenever batching kicked in.

@@ -18,13 +18,17 @@ import (
 // the same ID the client saw in X-Request-Id, spanning enqueue to
 // commit so queue wait is visible in the trace.
 type commitReq struct {
-	id       uint64    // request ID minted by the traced middleware
-	enq      time.Time // when the handler enqueued the request
-	isInsert bool
-	facts    []groundFact // parsed, handler-validated, deduplicated
-	dups     int          // duplicates dropped by handler-side dedup
-	ctx      context.Context
-	done     chan commitResult // buffered, capacity 1
+	id   uint64    // request ID minted by the traced middleware
+	enq  time.Time // when the handler enqueued the request
+	kind writeKind // arrival route, for the per-kind counters
+	// adds and dels are parsed, handler-validated, deduplicated and
+	// disjoint. Legacy /insert and /delete requests populate exactly one
+	// side; POST /changes may populate both.
+	adds []groundFact
+	dels []groundFact
+	dups int // duplicates dropped by handler-side dedup
+	ctx  context.Context
+	done chan commitResult // buffered, capacity 1
 }
 
 type commitResult struct {
@@ -132,14 +136,14 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 			req.fail(statusClientClosedRequest, CodeCancelled, req.ctx.Err())
 			continue
 		}
-		facts, dups, err := validateFacts(p, sess.db, arityOver, req.facts)
+		adds, dels, dups, err := validateChanges(p, sess.db, arityOver, req.adds, req.dels)
 		if err != nil {
 			req.fail(http.StatusBadRequest, CodeBadRequest, err)
 			continue
 		}
-		req.facts = facts
+		req.adds, req.dels = adds, dels
 		req.dups += dups
-		for _, f := range facts {
+		for _, f := range adds {
 			if relationOf(sess.db, f.pred) == nil {
 				if _, ok := arityOver[f.pred]; !ok {
 					arityOver[f.pred] = len(f.tuple)
@@ -192,7 +196,7 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 }
 
 // commitSequential applies requests one at a time through the
-// single-request insert/delete paths, preserving their full semantics
+// single-request Z-set path, preserving its full semantics
 // (request-context cancellation, per-request rollback, noop detection).
 func (s *Server) commitSequential(sess *session, reqs []*commitReq) {
 	changed := false
@@ -201,17 +205,8 @@ func (s *Server) commitSequential(sess *session, reqs []*commitReq) {
 			req.fail(statusClientClosedRequest, CodeCancelled, req.ctx.Err())
 			continue
 		}
-		var (
-			resp  *UpdateResponse
-			delta map[string][]storage.Tuple
-			err   error
-		)
-		if req.isInsert {
-			resp, delta, err = sess.insertOne(req.ctx, req.facts)
-		} else {
-			resp, delta, err = sess.removeOne(req.ctx, req.facts)
-		}
-		sess.countWrite(req.isInsert)
+		resp, ins, del, err := sess.applyOne(req.ctx, req.adds, req.dels)
+		sess.countWrite(req.kind)
 		if err != nil {
 			status, code := errorStatus(req.ctx, err)
 			req.fail(status, code, err)
@@ -220,19 +215,14 @@ func (s *Server) commitSequential(sess *session, reqs []*commitReq) {
 		// Log the applied EDB delta before acknowledging: once ok fires
 		// the client may treat the write as durable. A failed append
 		// rolls this request back out of memory so acked == durable.
-		if len(delta) > 0 {
-			var ins, del map[string][]storage.Tuple
-			if req.isInsert {
-				ins = delta
-			} else {
-				del = delta
-			}
+		if len(ins) > 0 || len(del) > 0 {
 			if lerr := sess.logBatch(ins, del); lerr != nil {
 				_ = sess.rollback(ins, del, lerr)
 				req.fail(http.StatusInternalServerError, CodeDurability, lerr)
 				continue
 			}
 		}
+		resp.Seq = sess.seq.Load()
 		resp.Ignored += req.dups
 		resp.Batched = 1
 		switch resp.Mode {
@@ -282,20 +272,35 @@ func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitRe
 	netIns, netDel, perReq := coalesce(sess.db, reqs)
 
 	if len(netIns) == 0 && len(netDel) == 0 {
+		seq := sess.seq.Load()
 		for i, req := range reqs {
 			resp := perReq[i]
 			resp.Mode = "noop"
 			resp.Batched = len(reqs)
 			resp.Ignored += req.dups
-			sess.countWrite(req.isInsert)
+			resp.Seq = seq
+			sess.countWrite(req.kind)
 			req.ok(resp)
 		}
 		return
 	}
 
+	changes := make(map[string]*storage.ZSet, len(netIns)+len(netDel))
+	for pred, ts := range netIns {
+		changes[pred] = storage.ZSetOfChanges(ts, nil)
+	}
+	for pred, ts := range netDel {
+		if z := changes[pred]; z != nil {
+			for _, t := range ts {
+				z.Add(t, -1)
+			}
+		} else {
+			changes[pred] = storage.ZSetOfChanges(nil, ts)
+		}
+	}
 	sess.dirty = true
 	eng := sess.engine(p.active, sess.db)
-	over, err := eng.BatchMaintainContext(context.Background(), netIns, netDel)
+	_, err := eng.ApplyZSetContext(context.Background(), sess.zs, changes)
 	mode := "incremental"
 	st := eng.Stats()
 	switch {
@@ -317,7 +322,6 @@ func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitRe
 		sess.dirty = false
 		sess.recomputes.Add(1)
 		st = rst
-		over = 0
 	default:
 		// Maintenance stopped partway; undo the group's EDB delta,
 		// restore the fixpoint, and let each request stand alone.
@@ -332,12 +336,13 @@ func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitRe
 	if lerr := sess.logBatch(netIns, netDel); lerr != nil {
 		sess.rollbackNet(netIns, netDel)
 		for _, req := range reqs {
-			sess.countWrite(req.isInsert)
+			sess.countWrite(req.kind)
 			req.fail(http.StatusInternalServerError, CodeDurability, lerr)
 		}
 		return
 	}
 
+	seq := sess.seq.Load()
 	sess.addEvalStats(st)
 	for i, req := range reqs {
 		resp := perReq[i]
@@ -345,10 +350,8 @@ func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitRe
 		resp.Batched = len(reqs)
 		resp.Ignored += req.dups
 		resp.Stats = st
-		if !req.isInsert {
-			resp.OverDeleted = over
-		}
-		sess.countWrite(req.isInsert)
+		resp.Seq = seq
+		sess.countWrite(req.kind)
 		req.ok(resp)
 	}
 	sess.cache.purge()
@@ -360,9 +363,11 @@ func (s *Server) commitGrouped(sess *session, p *loadedProgram, reqs []*commitRe
 // each request's Applied/Ignored counts. Only EDB membership matters:
 // the API cannot write derived predicates, so an insert "applies" iff
 // the tuple is absent at that point in the simulated order, exactly as
-// sequential application would decide. Insert-then-delete (and
-// delete-then-insert) pairs cancel to nothing, which is sound because
-// maintenance only ever reacts to the net EDB change.
+// sequential application would decide (within one request the adds are
+// simulated before the dels; the two are disjoint by validation).
+// Insert-then-delete (and delete-then-insert) pairs across requests
+// cancel to nothing, which is sound because maintenance only ever
+// reacts to the net EDB change.
 func coalesce(db *storage.Database, reqs []*commitReq) (netIns, netDel map[string][]storage.Tuple, perReq []*UpdateResponse) {
 	type cell struct {
 		pred    string
@@ -388,22 +393,22 @@ func coalesce(db *storage.Database, reqs []*commitReq) (netIns, netDel map[strin
 	perReq = make([]*UpdateResponse, len(reqs))
 	for i, req := range reqs {
 		resp := &UpdateResponse{}
-		for _, f := range req.facts {
+		for _, f := range req.adds {
 			c := lookup(f)
-			if req.isInsert {
-				if c.present {
-					resp.Ignored++
-				} else {
-					c.present = true
-					resp.Applied++
-				}
+			if c.present {
+				resp.Ignored++
 			} else {
-				if c.present {
-					c.present = false
-					resp.Applied++
-				} else {
-					resp.Ignored++
-				}
+				c.present = true
+				resp.Applied++
+			}
+		}
+		for _, f := range req.dels {
+			c := lookup(f)
+			if c.present {
+				c.present = false
+				resp.Applied++
+			} else {
+				resp.Ignored++
 			}
 		}
 		perReq[i] = resp

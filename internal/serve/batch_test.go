@@ -166,12 +166,16 @@ func mkReq(t *testing.T, sess *session, isInsert bool, src string) *commitReq {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &commitReq{
-		isInsert: isInsert,
-		facts:    facts,
-		ctx:      context.Background(),
-		done:     make(chan commitResult, 1),
+	req := &commitReq{
+		ctx:  context.Background(),
+		done: make(chan commitResult, 1),
 	}
+	if isInsert {
+		req.kind, req.adds = writeInsert, facts
+	} else {
+		req.kind, req.dels = writeDelete, facts
+	}
+	return req
 }
 
 // TestCoalesceNetZero: an insert and a delete of the same absent tuple

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/eval"
 	"repro/internal/parser"
 	"repro/internal/storage"
 )
@@ -36,29 +37,36 @@ import (
 // recompute ladder as fallback, then one fresh checkpoint to
 // re-establish a clean base.
 
-// logBatch appends one committed batch's net EDB delta under the next
-// sequence number. Caller holds sess.mu and has already applied the
-// delta in memory; on error the caller must roll it back. The sequence
-// only advances on success.
+// logBatch assigns one committed batch's net EDB delta the next
+// sequence number, appends it to the write-ahead log when the session
+// is durable, and fans it out to replication and change-feed
+// subscribers. Caller holds sess.mu and has already applied the delta
+// in memory; on error the caller must roll it back. The sequence only
+// advances on success — and it advances on in-memory sessions too, so
+// every committed batch has a wire-visible seq for the delta API even
+// without a data directory.
 func (sess *session) logBatch(netIns, netDel map[string][]storage.Tuple) error {
-	if sess.dur == nil {
-		return nil
-	}
 	seq := sess.seq.Load() + 1
 	batch := &durable.Batch{Seq: seq, Ins: netIns, Del: netDel}
-	n, syncDur, err := sess.dur.Append(batch)
-	if err != nil {
-		return err
+	if sess.dur != nil {
+		n, syncDur, err := sess.dur.Append(batch)
+		if err != nil {
+			return err
+		}
+		sess.walBatches.Add(1)
+		sess.walBytes.Add(n)
+		sess.sinceCkpt.Add(1)
+		sess.srv.hFsync.ObserveDuration(syncDur)
+		// Fan the durable batch out to connected follower streams. Only
+		// after the append: a follower must never see a batch the leader
+		// could lose. Offers never block — a full slot detaches instead.
+		sess.offerSlots(batch)
 	}
 	sess.seq.Store(seq)
-	sess.walBatches.Add(1)
-	sess.walBytes.Add(n)
-	sess.sinceCkpt.Add(1)
-	sess.srv.hFsync.ObserveDuration(syncDur)
-	// Fan the durable batch out to connected follower streams. Only
-	// after the append: a follower must never see a batch the leader
-	// could lose. Offers never block — a full slot detaches instead.
-	sess.offerSlots(batch)
+	// Subscribers see a batch only after it is durable (when durability
+	// is on): a reconnect after a crash replays exactly the acked
+	// frames, never one the process could lose.
+	sess.offerSubs(batch)
 	return nil
 }
 
@@ -80,7 +88,45 @@ func (sess *session) snapshotForCheckpoint() *durable.Snapshot {
 		meta.ICs = p.ics
 		meta.Optimized = p.optimized
 	}
-	return &durable.Snapshot{Meta: meta, DB: sess.db, Seed: sess.seedIDB}
+	snap := &durable.Snapshot{Meta: meta, DB: sess.db, Seed: sess.seedIDB}
+	if sess.zs != nil {
+		snap.Meta.HasRanks = true
+		snap.Ranks = exportRanks(sess.zs)
+	}
+	return snap
+}
+
+// exportRanks converts a ZState into the snapshot's rank records: the
+// derivation-layer certificate travels with the fixpoint it certifies,
+// so recovery (and a bootstrapping follower) reinstates incremental
+// maintenance without re-running the fixpoint.
+func exportRanks(zs *eval.ZState) map[string][]durable.RankedTuple {
+	exp := zs.Export()
+	out := make(map[string][]durable.RankedTuple, len(exp))
+	for p, rts := range exp {
+		conv := make([]durable.RankedTuple, len(rts))
+		for i, rt := range rts {
+			conv[i] = durable.RankedTuple{T: rt.T, Rank: rt.Rank}
+		}
+		out[p] = conv
+	}
+	return out
+}
+
+// zstateOfSnapshot reinstates a decoded snapshot's rank records as a
+// live ZState, or reports ok=false when the snapshot predates rank
+// persistence and the ranks must be re-derived by a full fixpoint.
+func zstateOfSnapshot(snap *durable.Snapshot) (*eval.ZState, bool) {
+	if !snap.Meta.HasRanks {
+		return nil, false
+	}
+	zs := eval.NewZState()
+	for p, rts := range snap.Ranks {
+		for _, rt := range rts {
+			zs.Install(p, rt.T, rt.Rank)
+		}
+	}
+	return zs, true
 }
 
 // checkpointLocked writes a checkpoint of the current state, rotating
@@ -226,6 +272,16 @@ func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryRepor
 		sess.tornTail.Store(true)
 	}
 
+	// The Z-set replay path needs the recovery base's ranks as its
+	// deletion certificate. Checkpoints persist them ('K' records), so
+	// recovery just reinstates the state; a pre-rank snapshot falls
+	// back to re-deriving them with one full fixpoint.
+	if zs, ok := zstateOfSnapshot(res.Snapshot); ok {
+		sess.zs = zs
+	} else if _, err := sess.recompute(ctx); err != nil {
+		return rep, fmt.Errorf("recover %s: rebuild ranks: %w", name, err)
+	}
+
 	// Replay the WAL tail through the same incremental maintenance that
 	// committed it, falling back to a full recompute when a batch
 	// reaches negation (or maintenance fails outright).
@@ -247,9 +303,15 @@ func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryRepor
 	rep.Seq = sess.seq.Load()
 	sess.publish()
 
-	// Re-establish a clean base so the next crash replays only its own
-	// tail. Failure is tolerable: the WAL already covers these batches.
-	if rep.ReplayedBatches > 0 || res.TornTail {
+	// Re-establish a clean base only when the tail was torn, so the
+	// damaged segment is superseded. After a clean replay the log is
+	// deliberately left in place: a checkpoint would GC it, and the WAL
+	// tail is what lets change-feed cursors from before the crash
+	// resume without a gap. The at-most-once filter makes replaying it
+	// again after the next crash harmless, and the normal checkpoint
+	// cadence re-bounds it.
+	sess.sinceCkpt.Store(int64(rep.ReplayedBatches))
+	if res.TornTail {
 		_ = sess.checkpointLocked()
 	}
 	return rep, nil
@@ -260,7 +322,7 @@ func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryRepor
 func (sess *session) replayOne(ctx context.Context, b *durable.Batch) error {
 	p := sess.prog.Load()
 	eng := sess.engine(p.active, sess.db)
-	_, err := eng.ReplayBatchContext(ctx, b.Ins, b.Del)
+	_, err := eng.ReplayBatchContext(ctx, sess.zs, b.Ins, b.Del)
 	switch {
 	case err == nil:
 		sess.replayIncremental.Add(1)

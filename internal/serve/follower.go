@@ -324,6 +324,16 @@ func (s *Server) installReplicatedSnapshot(name string, rs *replStatus, raw []by
 	sess.checkpoints.Add(1)
 	sess.lastCkptNano.Store(time.Now().UnixNano())
 	sess.repl.Store(rs)
+	// The incremental replay path (applyReplicated → replayOne) needs
+	// the shipped fixpoint's ranks as its deletion certificate; leader
+	// checkpoints carry them. A pre-rank snapshot falls back to
+	// re-deriving them — the rebuilt fixpoint equals the shipped one,
+	// only the ranks are new.
+	if zs, ok := zstateOfSnapshot(snap); ok {
+		sess.zs = zs
+	} else if _, err := sess.recompute(context.Background()); err != nil {
+		return fmt.Errorf("rebuild ranks: %w", err)
+	}
 	sess.cache.purge()
 	sess.publish()
 	return nil
@@ -370,6 +380,9 @@ func (s *Server) applyReplicated(ctx context.Context, name string, b *durable.Ba
 		return err
 	}
 	sess.seq.Store(b.Seq)
+	// A follower serves change feeds too: its subscribers get the same
+	// frames the leader's would, once the batch is locally durable.
+	sess.offerSubs(b)
 	sess.publish()
 	sess.maybeCheckpoint()
 	s.mApplied.Inc()

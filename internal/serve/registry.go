@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/eval"
 	"repro/internal/storage"
 )
 
@@ -54,7 +55,7 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 		return nil, fmt.Errorf("invalid session name %q (want [A-Za-z0-9_-]{1,64})", name)
 	}
 	// Build first: a failed load must leave the existing session serving.
-	lp, db, seedIDB, resp, err := s.buildProgram(ctx, req)
+	lp, db, zs, seedIDB, resp, err := s.buildProgram(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +79,7 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 		// serving (memory and disk both unchanged). The checkpoint
 		// carries the current sequence number, so it supersedes every
 		// batch logged against the previous program.
-		if err := s.checkpointNewState(sess, lp, db, seedIDB); err != nil {
+		if err := s.checkpointNewState(sess, lp, db, zs, seedIDB); err != nil {
 			fresh := sess.prog.Load() == nil
 			sess.mu.Unlock()
 			if fresh {
@@ -95,17 +96,26 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 			return nil, fmt.Errorf("checkpoint: %w", err)
 		}
 	}
+	if !s.durable {
+		// A load resets the session's state wholesale; consume a sequence
+		// number (checkpointNewState already did on durable sessions) so
+		// delta-feed cursors from before the load read as stale.
+		sess.seq.Add(1)
+	}
 	sess.db = db
+	sess.zs = zs
 	sess.seedIDB = seedIDB
 	sess.dirty = false
 	sess.prog.Store(lp)
 	sess.cache.purge()
 	sess.publish()
 	// A (re)load resets the session's state wholesale, so an open
-	// replication stream cannot continue incrementally: detach every
-	// slot; followers reconnect, see the load's checkpoint ahead of
-	// their cursor, and re-bootstrap from the new snapshot.
+	// replication stream or change feed cannot continue incrementally:
+	// detach every slot; followers reconnect, see the load's checkpoint
+	// ahead of their cursor, and re-bootstrap from the new snapshot;
+	// subscribers reconnect and learn their cursor was truncated.
 	sess.closeSlots()
+	sess.closeSubs()
 	sess.mu.Unlock()
 
 	sess.addEvalStats(resp.Stats)
@@ -116,7 +126,7 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 // checkpointNewState persists a freshly built program + database as the
 // session's newest checkpoint, opening the session's durable store on
 // first load. Caller holds sess.mu.
-func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storage.Database, seedIDB map[string]*storage.Relation) error {
+func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storage.Database, zs *eval.ZState, seedIDB map[string]*storage.Relation) error {
 	if sess.dur == nil {
 		st, err := durable.Open(s.durOpts, sess.name)
 		if err != nil {
@@ -148,9 +158,11 @@ func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storag
 			// generation, so record that.
 			Generation: publishedGeneration(sess),
 		},
-		DB:   db,
-		Seed: seedIDB,
+		DB:    db,
+		Seed:  seedIDB,
+		Ranks: exportRanks(zs),
 	}
+	snap.Meta.HasRanks = true
 	if err := sess.dur.Checkpoint(snap); err != nil {
 		sess.ckptFailures.Add(1)
 		return err
@@ -189,6 +201,7 @@ func (s *Server) dropSession(name string) bool {
 		sess.dur = nil
 	}
 	sess.closeSlots()
+	sess.closeSubs()
 	sess.mu.Unlock()
 	return true
 }
@@ -213,6 +226,7 @@ func (s *Server) Close() {
 			sess.dur = nil
 		}
 		sess.closeSlots()
+		sess.closeSubs()
 		sess.mu.Unlock()
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,9 +91,15 @@ type Config struct {
 	// FollowPoll is the follower's session-discovery interval. <= 0
 	// means DefaultFollowPoll.
 	FollowPoll time.Duration
-	// Heartbeat is the leader's idle-stream heartbeat interval. <= 0
-	// means DefaultHeartbeat.
+	// Heartbeat is the leader's idle-stream heartbeat interval, also
+	// used for idle change-feed subscriptions. <= 0 means
+	// DefaultHeartbeat.
 	Heartbeat time.Duration
+	// MaxSubscribers bounds concurrently open change-feed subscriptions
+	// (GET /v1/sessions/{name}/subscribe) across all sessions; excess
+	// subscribers are refused with 429 and a Retry-After. <= 0 means
+	// DefaultMaxSubscribers.
+	MaxSubscribers int
 }
 
 const (
@@ -121,6 +128,9 @@ const (
 	// DefaultHeartbeat is the leader's idle replication-stream
 	// heartbeat interval.
 	DefaultHeartbeat = time.Second
+	// DefaultMaxSubscribers is the server-wide cap on open change-feed
+	// subscriptions.
+	DefaultMaxSubscribers = 64
 	// statusClientClosedRequest mirrors nginx's non-standard 499.
 	statusClientClosedRequest = 499
 )
@@ -162,6 +172,12 @@ type Server struct {
 	gReplLag    *obs.Gauge // replication.lag_seqs: max lag across sessions (either role)
 	gSlots      *obs.Gauge // replication.slots: connected follower streams
 	gSlotDepth  *obs.Gauge // replication.slot_depth: live batches buffered, all slots
+	gSubs       *obs.Gauge // serve.subscribers: open change-feed subscriptions
+
+	// hSubLag observes, per delivered change-feed frame, how many
+	// sequence numbers the subscriber was behind the session head at
+	// send time (serve.subscribe_lag_seqs).
+	hSubLag *obs.Histogram
 
 	// Replication counters.
 	mReconnects    *obs.Counter // follower stream (re)connects
@@ -193,6 +209,7 @@ type Server struct {
 
 	rejected      atomic.Int64 // query-gate refusals
 	writeRejected atomic.Int64 // commit-queue refusals
+	subscribers   atomic.Int64 // open change-feed subscriptions (all sessions)
 
 	// testBeforeCommit, when set, is invoked by the committer with the
 	// group size before it takes the session mutex; tests use it to pin
@@ -238,6 +255,9 @@ func New(cfg Config) *Server {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
+	if cfg.MaxSubscribers <= 0 {
+		cfg.MaxSubscribers = DefaultMaxSubscribers
+	}
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -273,6 +293,8 @@ func New(cfg Config) *Server {
 	s.gReplLag = s.metrics.Gauge("replication.lag_seqs")
 	s.gSlots = s.metrics.Gauge("replication.slots")
 	s.gSlotDepth = s.metrics.Gauge("replication.slot_depth")
+	s.gSubs = s.metrics.Gauge("serve.subscribers")
+	s.hSubLag = s.metrics.Histogram("serve.subscribe_lag_seqs")
 	s.mReconnects = s.metrics.Counter("replication.reconnects")
 	s.mSnapshotBytes = s.metrics.Counter("replication.snapshot_bytes")
 	s.mShipped = s.metrics.Counter("replication.batches_shipped")
@@ -293,10 +315,10 @@ func New(cfg Config) *Server {
 		s.handleQuery(w, r, DefaultSession, true)
 	})
 	s.route("POST /insert", func(w http.ResponseWriter, r *http.Request) {
-		s.handleUpdate(w, r, DefaultSession, true, true)
+		s.handleUpdate(w, r, DefaultSession, true, writeInsert)
 	})
 	s.route("POST /delete", func(w http.ResponseWriter, r *http.Request) {
-		s.handleUpdate(w, r, DefaultSession, true, false)
+		s.handleUpdate(w, r, DefaultSession, true, writeDelete)
 	})
 	s.route("GET /stats", s.handleLegacyStats)
 	s.route("GET /healthz", s.handleHealthz)
@@ -313,11 +335,13 @@ func New(cfg Config) *Server {
 		s.handleQuery(w, r, r.PathValue("name"), false)
 	})
 	s.route("POST /v1/sessions/{name}/facts", func(w http.ResponseWriter, r *http.Request) {
-		s.handleUpdate(w, r, r.PathValue("name"), false, true)
+		s.handleUpdate(w, r, r.PathValue("name"), false, writeInsert)
 	})
 	s.route("DELETE /v1/sessions/{name}/facts", func(w http.ResponseWriter, r *http.Request) {
-		s.handleUpdate(w, r, r.PathValue("name"), false, false)
+		s.handleUpdate(w, r, r.PathValue("name"), false, writeDelete)
 	})
+	s.route("POST /v1/sessions/{name}/changes", s.handleChanges)
+	s.route("GET /v1/sessions/{name}/subscribe", s.handleSubscribe)
 	s.route("GET /v1/sessions/{name}/stats", s.handleSessionStats)
 	s.route("POST /v1/sessions/{name}/checkpoint", s.handleCheckpoint)
 	s.route("GET /v1/sessions/{name}/replicate", s.handleReplicate)
@@ -608,12 +632,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleUpdate serves writes by enqueueing onto the session's commit
-// queue and waiting for the committer's verdict. The payload is parsed
-// and pre-validated against the published snapshot before enqueueing so
-// obviously bad requests fail fast without a queue slot; the committer
-// re-validates against the authoritative database at commit time.
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name string, legacy, isInsert bool) {
+// handleUpdate serves the legacy one-sided write surface (/insert,
+// /delete, and the /v1 facts routes): the facts payload becomes the
+// adds or dels side of a unified change commit.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name string, legacy bool, kind writeKind) {
 	if s.rejectNotLeader(w) {
 		return
 	}
@@ -621,30 +643,89 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, name strin
 	if !ok {
 		return
 	}
-	sess := s.session(name)
-	if sess == nil {
-		missingSession(w, name, legacy)
-		return
-	}
 	facts, err := parseFactsSrc(req.Facts)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	facts, dups, err := validateFacts(sess.prog.Load(), sess.snap.Load(), nil, facts)
+	if kind == writeInsert {
+		s.commitChanges(w, r, name, legacy, kind, facts, nil)
+	} else {
+		s.commitChanges(w, r, name, legacy, kind, nil, facts)
+	}
+}
+
+// handleChanges serves POST /v1/sessions/{name}/changes: adds and dels
+// committed together as one batch under one sequence number.
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	if s.rejectNotLeader(w) {
+		return
+	}
+	req, ok := decode[ChangesRequest](w, r, s.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	adds, err := parseFactList(req.Adds)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "adds: %v", err)
+		return
+	}
+	dels, err := parseFactList(req.Dels)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, "dels: %v", err)
+		return
+	}
+	s.commitChanges(w, r, r.PathValue("name"), false, writeChange, adds, dels)
+}
+
+// parseFactList parses the entries of a ChangesRequest side. Each
+// entry is one or more facts in source syntax; the trailing period may
+// be omitted.
+func parseFactList(entries []string) ([]groundFact, error) {
+	var out []groundFact
+	for _, e := range entries {
+		src := strings.TrimSpace(e)
+		if src == "" {
+			continue
+		}
+		if !strings.HasSuffix(src, ".") {
+			src += "."
+		}
+		facts, err := parseFactsSrc(src)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", e, err)
+		}
+		out = append(out, facts...)
+	}
+	return out, nil
+}
+
+// commitChanges pre-validates a write against the published snapshot,
+// enqueues it onto the session's commit queue, and waits for the
+// committer's verdict. Obviously bad requests fail fast without a
+// queue slot; the committer re-validates against the authoritative
+// database at commit time.
+func (s *Server) commitChanges(w http.ResponseWriter, r *http.Request, name string, legacy bool, kind writeKind, adds, dels []groundFact) {
+	sess := s.session(name)
+	if sess == nil {
+		missingSession(w, name, legacy)
+		return
+	}
+	adds, dels, dups, err := validateChanges(sess.prog.Load(), sess.snap.Load(), nil, adds, dels)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 
 	creq := &commitReq{
-		id:       requestIDFrom(r.Context()),
-		enq:      time.Now(),
-		isInsert: isInsert,
-		facts:    facts,
-		dups:     dups,
-		ctx:      r.Context(),
-		done:     make(chan commitResult, 1),
+		id:   requestIDFrom(r.Context()),
+		enq:  time.Now(),
+		kind: kind,
+		adds: adds,
+		dels: dels,
+		dups: dups,
+		ctx:  r.Context(),
+		done: make(chan commitResult, 1),
 	}
 	if err := sess.enqueue(creq); err != nil {
 		if errors.Is(err, errQueueFull) {

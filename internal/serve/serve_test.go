@@ -128,7 +128,7 @@ func TestEndToEnd(t *testing.T) {
 
 	var del UpdateResponse
 	mustOK(t, ts, "POST", "/delete", UpdateRequest{Facts: "edge(b, c)."}, &del)
-	if del.Applied != 1 || del.Mode != "incremental" || del.OverDeleted < 1 {
+	if del.Applied != 1 || del.Mode != "incremental" {
 		t.Fatalf("delete = %+v", del)
 	}
 	if got := queryTuples(t, ts, "tc(a, Y)"); len(got) != 1 {
@@ -628,7 +628,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	defer sess.mu.Unlock()
 
 	facts := mustFacts(t, sess, "edge(c, d).")
-	if _, _, err := sess.insertOne(cancelled, facts); err == nil {
+	if _, _, _, err := sess.applyOne(cancelled, facts, nil); err == nil {
 		t.Fatal("cancelled insert should fail")
 	}
 	if sess.dirty {
@@ -642,7 +642,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 	}
 
 	facts = mustFacts(t, sess, "edge(b, c).")
-	if _, _, err := sess.removeOne(cancelled, facts); err == nil {
+	if _, _, _, err := sess.applyOne(cancelled, nil, facts); err == nil {
 		t.Fatal("cancelled delete should fail")
 	}
 	if sess.dirty {
@@ -657,7 +657,7 @@ func TestCancelledUpdateRollsBack(t *testing.T) {
 
 	// The rolled-back session still serves incremental updates.
 	facts = mustFacts(t, sess, "edge(c, d).")
-	resp, _, err := sess.insertOne(context.Background(), facts)
+	resp, _, _, err := sess.applyOne(context.Background(), facts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -688,7 +688,7 @@ func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 	sess.dirty = true
 
 	facts := mustFacts(t, sess, "edge(d, e).")
-	resp, _, err := sess.insertOne(context.Background(), facts)
+	resp, _, _, err := sess.applyOne(context.Background(), facts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -705,7 +705,7 @@ func TestDirtySessionRepairsOnNextUpdate(t *testing.T) {
 	// The delete path repairs too, even when the payload is a no-op.
 	sess.dirty = true
 	facts = mustFacts(t, sess, "edge(z, z).")
-	resp, _, err = sess.removeOne(context.Background(), facts)
+	resp, _, _, err = sess.applyOne(context.Background(), nil, facts)
 	if err != nil {
 		t.Fatal(err)
 	}

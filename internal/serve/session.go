@@ -44,10 +44,17 @@ type session struct {
 
 	prog atomic.Pointer[loadedProgram]
 
-	// mu guards db, seedIDB and dirty. It is held by the committer for
-	// the duration of one batch and by (re)loads while swapping state.
+	// mu guards db, zs, seedIDB and dirty. It is held by the committer
+	// for the duration of one batch and by (re)loads while swapping
+	// state.
 	mu sync.Mutex
 	db *storage.Database
+	// zs is the rank state of db's current fixpoint — the certificate
+	// the Z-set maintenance sweep consults to decide which derived
+	// tuples a deletion actually kills. It moves with db: every full
+	// evaluation (load, recompute, recovery) rebuilds it from scratch,
+	// every ApplyZSetContext call keeps it current.
+	zs *eval.ZState
 	// seedIDB preserves ground facts the source program stated for
 	// derived predicates. The update API cannot touch them, so a full
 	// recomputation re-seeds the IDB from this frozen copy.
@@ -72,6 +79,7 @@ type session struct {
 	cache *queryCache
 
 	queries, inserts, deletes atomic.Int64
+	changeReqs                atomic.Int64
 	incremental, recomputes   atomic.Int64
 	batches, batchedWrites    atomic.Int64
 	maxBatch                  atomic.Int64
@@ -96,6 +104,14 @@ type session struct {
 	// batches while holding mu, the metrics scrape takes slotMu alone.
 	slotMu sync.Mutex
 	slots  []*replicate.Slot
+
+	// Change-feed subscriber slots: one per open
+	// GET /v1/sessions/{name}/subscribe stream. Same discipline as the
+	// replication slots — subMu is strictly inner to mu; the committer
+	// offers committed batches while holding mu, registration captures
+	// the exact live edge under mu.
+	subMu sync.Mutex
+	subs  []*replicate.Slot
 
 	// Follower side: set by the replication manager while this session
 	// is being fed from a leader stream.
@@ -196,12 +212,25 @@ func (sess *session) addEvalStats(st eval.Stats) {
 	}
 }
 
+// writeKind is the route a write request arrived on, for the per-kind
+// stats counters. All three kinds commit through the same Z-set pass.
+type writeKind int
+
+const (
+	writeInsert writeKind = iota // POST /facts, legacy /insert
+	writeDelete                  // DELETE /facts, legacy /delete
+	writeChange                  // POST /changes (mixed adds+dels)
+)
+
 // countWrite bumps the request-kind counter.
-func (sess *session) countWrite(isInsert bool) {
-	if isInsert {
+func (sess *session) countWrite(kind writeKind) {
+	switch kind {
+	case writeInsert:
 		sess.inserts.Add(1)
-	} else {
+	case writeDelete:
 		sess.deletes.Add(1)
+	default:
+		sess.changeReqs.Add(1)
 	}
 }
 
@@ -228,6 +257,7 @@ func (sess *session) stats() SessionStats {
 		Queries:        sess.queries.Load(),
 		Inserts:        sess.inserts.Load(),
 		Deletes:        sess.deletes.Load(),
+		Changes:        sess.changeReqs.Load(),
 		Incremental:    sess.incremental.Load(),
 		Recomputes:     sess.recomputes.Load(),
 		Batches:        sess.batches.Load(),
@@ -256,12 +286,13 @@ func (sess *session) stats() SessionStats {
 }
 
 // buildProgram parses src, optionally optimizes, and evaluates the
-// initial fixpoint into a fresh database. It touches no server or
-// session state, so a failed load keeps the previous program serving.
-func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProgram, *storage.Database, map[string]*storage.Relation, *LoadResponse, error) {
+// initial fixpoint into a fresh database, recording the rank state the
+// Z-set maintenance sweep needs. It touches no server or session
+// state, so a failed load keeps the previous program serving.
+func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProgram, *storage.Database, *eval.ZState, map[string]*storage.Relation, *LoadResponse, error) {
 	parsed, err := parser.Parse(req.Program)
 	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("parse: %w", err)
+		return nil, nil, nil, nil, nil, fmt.Errorf("parse: %w", err)
 	}
 	db := storage.NewDatabase()
 	var rules []ast.Rule
@@ -287,7 +318,7 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 			Tracer:  s.cfg.Tracer,
 		})
 		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("optimize: %w", err)
+			return nil, nil, nil, nil, nil, fmt.Errorf("optimize: %w", err)
 		}
 		active = res.Optimized
 		resp.Optimized = true
@@ -319,19 +350,21 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 		}
 	}
 
+	zs := eval.NewZState()
 	eng := eval.New(active, db)
 	if s.cfg.Parallel != 0 {
 		eng.SetParallel(s.cfg.Parallel)
 	}
 	eng.SetJoinMode(s.cfg.JoinMode)
 	eng.SetTracer(s.cfg.Tracer)
+	eng.SetRankSink(zs.Record)
 	if err := eng.RunContext(ctx); err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("evaluate: %w", err)
+		return nil, nil, nil, nil, nil, fmt.Errorf("evaluate: %w", err)
 	}
 	resp.Stats = eng.Stats()
 	resp.EDBTuples = edbTuples
 	resp.IDBTuples = db.TotalTuples() - edbTuples
-	return lp, db, seedIDB, resp, nil
+	return lp, db, zs, seedIDB, resp, nil
 }
 
 // groundFact is one parsed update fact, order-preserving so the
@@ -415,6 +448,50 @@ func validateFacts(p *loadedProgram, db *storage.Database, arityOver map[string]
 	return out, dups, nil
 }
 
+// validateChanges validates a request's adds and dels together: both
+// sides go through validateFacts against the same arity view, and a
+// fact named on both sides is refused outright — "add then delete in
+// one request" has no single-commit meaning (the net effect depends on
+// prior state), and refusing it keeps the sequential and group-commit
+// paths trivially equivalent.
+func validateChanges(p *loadedProgram, db *storage.Database, arityOver map[string]int, adds, dels []groundFact) (va, vd []groundFact, dups int, err error) {
+	va, dupsA, err := validateFacts(p, db, arityOver, adds)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Adds of brand-new predicates pin the arity the dels must match.
+	over := arityOver
+	if len(va) > 0 && len(dels) > 0 {
+		over = map[string]int{}
+		for pred, a := range arityOver {
+			over[pred] = a
+		}
+		for _, f := range va {
+			if relationOf(db, f.pred) == nil {
+				if _, ok := over[f.pred]; !ok {
+					over[f.pred] = len(f.tuple)
+				}
+			}
+		}
+	}
+	vd, dupsD, err := validateFacts(p, db, over, dels)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(va) > 0 && len(vd) > 0 {
+		added := map[string]bool{}
+		for _, f := range va {
+			added[f.pred+"\x00"+f.tuple.Key()] = true
+		}
+		for _, f := range vd {
+			if added[f.pred+"\x00"+f.tuple.Key()] {
+				return nil, nil, 0, fmt.Errorf("fact %s%s appears in both adds and dels", f.pred, f.tuple)
+			}
+		}
+	}
+	return va, vd, dupsA + dupsD, nil
+}
+
 func relationOf(db *storage.Database, pred string) *storage.Relation {
 	if db == nil {
 		return nil
@@ -431,122 +508,90 @@ func factsMap(facts []groundFact) map[string][]storage.Tuple {
 	return out
 }
 
-// insertOne applies one request's facts (pre-validated) and maintains
-// the IDB — the per-request path used for solo commits, dirty
-// sessions, and poisoned-batch isolation. Caller holds mu. A failed
-// insert applies nothing: every error path restores the pre-request
-// fixpoint via rollback, and only if that repair itself fails does the
-// session stay dirty for the next update to rebuild. The second return
-// is the EDB delta actually applied (tuples newly inserted), which the
-// committer logs to the write-ahead log before acknowledging.
-func (sess *session) insertOne(ctx context.Context, facts []groundFact) (*UpdateResponse, map[string][]storage.Tuple, error) {
+// applyOne applies one request's adds and dels (pre-validated,
+// disjoint) and maintains the IDB through a single Z-set pass — the
+// per-request path used for solo commits, dirty sessions, and
+// poisoned-batch isolation. Caller holds mu. A failed update applies
+// nothing: every error path restores the pre-request fixpoint via
+// rollback, and only if that repair itself fails does the session stay
+// dirty for the next update to rebuild. The second and third returns
+// are the EDB delta actually applied (tuples newly inserted resp.
+// actually removed), which the committer logs to the write-ahead log
+// before acknowledging.
+func (sess *session) applyOne(ctx context.Context, adds, dels []groundFact) (*UpdateResponse, map[string][]storage.Tuple, map[string][]storage.Tuple, error) {
 	wasDirty := sess.dirty
 	resp := &UpdateResponse{Mode: "noop"}
-	added := map[string][]storage.Tuple{}
-	for _, f := range facts {
-		rel := sess.db.Ensure(f.pred, len(f.tuple))
-		if rel.Insert(f.tuple) {
-			sess.dirty = true // out of fixpoint until maintenance lands
-			added[f.pred] = append(added[f.pred], f.tuple)
-			resp.Applied++
-		} else {
+	ins := map[string][]storage.Tuple{}
+	del := map[string][]storage.Tuple{}
+	for _, f := range adds {
+		if rel := relationOf(sess.db, f.pred); rel != nil && rel.Contains(f.tuple) {
 			resp.Ignored++
+			continue
 		}
+		ins[f.pred] = append(ins[f.pred], f.tuple)
+		resp.Applied++
 	}
-	if !sess.dirty {
-		return resp, nil, nil // nothing changed and the fixpoint is intact
+	for _, f := range dels {
+		rel := relationOf(sess.db, f.pred)
+		if rel == nil || !rel.Contains(f.tuple) {
+			resp.Ignored++
+			continue
+		}
+		del[f.pred] = append(del[f.pred], f.tuple)
+		resp.Applied++
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		if !wasDirty {
+			return resp, nil, nil, nil // no effective change, fixpoint intact
+		}
+		resp, err := sess.repair(ctx, resp)
+		return resp, nil, nil, err
 	}
 	if wasDirty {
+		// The IDB cannot be trusted; force the EDB delta in and rebuild.
+		applyNet(sess.db, ins, del)
 		resp, err := sess.repair(ctx, resp)
-		return resp, added, err
+		return resp, ins, del, err
 	}
+	changes := make(map[string]*storage.ZSet, len(ins)+len(del))
+	for p, ts := range ins {
+		changes[p] = storage.ZSetOfChanges(ts, nil)
+	}
+	for p, ts := range del {
+		if z := changes[p]; z != nil {
+			for _, t := range ts {
+				z.Add(t, -1)
+			}
+		} else {
+			changes[p] = storage.ZSetOfChanges(nil, ts)
+		}
+	}
+	sess.dirty = true // out of fixpoint until the sweep lands
 	p := sess.prog.Load()
 	eng := sess.engine(p.active, sess.db)
-	err := eng.RunDeltaContext(ctx, added)
+	_, err := eng.ApplyZSetContext(ctx, sess.zs, changes)
 	switch {
 	case err == nil:
 		sess.dirty = false
 		resp.Mode = "incremental"
 		resp.Stats = eng.Stats()
 	case errors.Is(err, eval.ErrNeedsRecompute):
+		// The negation guard refused before mutating anything; apply the
+		// EDB delta directly and rebuild.
 		resp.Mode = "recompute"
+		applyNet(sess.db, ins, del)
 		st, rerr := sess.recompute(ctx)
 		if rerr != nil {
-			return nil, nil, sess.rollback(added, nil, rerr)
+			return nil, nil, nil, sess.rollback(ins, del, rerr)
 		}
 		sess.dirty = false
 		resp.Stats = st
 	default:
-		// The delta loop may have derived part of the new cone before
-		// failing; revert this request's tuples and rebuild.
-		return nil, nil, sess.rollback(added, nil, err)
+		// The sweep may have stopped partway; revert this request's
+		// tuples and rebuild.
+		return nil, nil, nil, sess.rollback(ins, del, err)
 	}
-	return resp, added, nil
-}
-
-// removeOne deletes one request's facts (pre-validated) and maintains
-// the IDB via delete-and-rederive. Caller holds mu. Like insertOne, a
-// failed delete applies nothing unless even the rollback repair fails.
-// The second return is the EDB delta actually applied (tuples removed)
-// for the committer's write-ahead log.
-func (sess *session) removeOne(ctx context.Context, facts []groundFact) (*UpdateResponse, map[string][]storage.Tuple, error) {
-	wasDirty := sess.dirty
-	resp := &UpdateResponse{Mode: "noop"}
-	present := map[string][]storage.Tuple{}
-	for _, f := range facts {
-		rel := sess.db.Relation(f.pred)
-		if rel != nil && rel.Contains(f.tuple) {
-			present[f.pred] = append(present[f.pred], f.tuple)
-			resp.Applied++
-		} else {
-			resp.Ignored++
-		}
-	}
-	if len(present) == 0 && !wasDirty {
-		return resp, nil, nil
-	}
-	if wasDirty {
-		for p, ts := range present {
-			rel := sess.db.Relation(p)
-			for _, t := range ts {
-				rel.Remove(t)
-			}
-		}
-		resp, err := sess.repair(ctx, resp)
-		return resp, present, err
-	}
-	sess.dirty = true // delete-and-rederive mutates on its way to fixpoint
-	p := sess.prog.Load()
-	eng := sess.engine(p.active, sess.db)
-	over, err := eng.DeleteAndRederiveContext(ctx, present)
-	switch {
-	case err == nil:
-		sess.dirty = false
-		resp.Mode = "incremental"
-		resp.OverDeleted = over
-		resp.Stats = eng.Stats()
-	case errors.Is(err, eval.ErrNeedsRecompute):
-		// The guard refused before mutating; drop the EDB tuples
-		// ourselves and rebuild.
-		resp.Mode = "recompute"
-		for p, ts := range present {
-			rel := sess.db.Relation(p)
-			for _, t := range ts {
-				rel.Remove(t)
-			}
-		}
-		st, rerr := sess.recompute(ctx)
-		if rerr != nil {
-			return nil, nil, sess.rollback(nil, present, rerr)
-		}
-		sess.dirty = false
-		resp.Stats = st
-	default:
-		// Over-deletion or re-derivation stopped partway; restore the
-		// EDB tuples and rebuild.
-		return nil, nil, sess.rollback(nil, present, err)
-	}
-	return resp, present, nil
+	return resp, ins, del, nil
 }
 
 // rollback restores the pre-request fixpoint after a failed update: it
@@ -594,9 +639,11 @@ func (sess *session) repair(ctx context.Context, resp *UpdateResponse) (*UpdateR
 
 // recompute rebuilds the IDB from scratch: a fresh database seeded
 // with the current extensional relations (plus the frozen IDB seed
-// facts), evaluated to fixpoint, replaces the session database. Used
-// when an update reaches a negated predicate and incremental
-// maintenance would be unsound.
+// facts), evaluated to fixpoint, replaces the session database — along
+// with a fresh rank state recorded during that evaluation, so Z-set
+// maintenance can resume from the rebuilt fixpoint. Used when an
+// update reaches a negated predicate and incremental maintenance would
+// be unsound, and to re-derive rank state after a snapshot restore.
 func (sess *session) recompute(ctx context.Context) (eval.Stats, error) {
 	p := sess.prog.Load()
 	fresh := storage.NewDatabase()
@@ -609,10 +656,13 @@ func (sess *session) recompute(ctx context.Context) (eval.Stats, error) {
 	for _, rel := range sess.seedIDB {
 		fresh.Replace(rel.Clone())
 	}
+	zs := eval.NewZState()
 	eng := sess.engine(p.active, fresh)
+	eng.SetRankSink(zs.Record)
 	if err := eng.RunContext(ctx); err != nil {
 		return eng.Stats(), err
 	}
 	sess.db = fresh
+	sess.zs = zs
 	return eng.Stats(), nil
 }

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/replicate"
+	"repro/internal/storage"
+)
+
+// Change-feed subscriptions. GET /v1/sessions/{name}/subscribe streams
+// every committed batch as a {seq, adds, dels} delta frame — the net
+// extensional change the commit applied, in commit order, no gaps.
+// Server-Sent Events when the client asks for text/event-stream (each
+// frame's SSE id is its seq, so EventSource resumption works out of
+// the box via Last-Event-ID), a JSON long-poll otherwise.
+//
+// Cursors: ?from=SEQ means "I have everything up to and including
+// SEQ". A durable session replays (SEQ, head] from its own WAL
+// segments before splicing onto the live feed; the splice point is
+// exact because the slot is registered under sess.mu, the same mutex
+// logBatch advances the sequence under (the identical discipline the
+// replication stream uses). A cursor below the oldest replayable
+// sequence — checkpoint GC folded the WAL beneath it, or the session
+// is in-memory and keeps no history — is answered 410 cursor_truncated
+// with the oldest cursor still served, and a cursor beyond the head is
+// answered 400 cursor_ahead.
+//
+// Flow control mirrors replication: a subscriber that cannot drain its
+// bounded slot is detached rather than ever blocking the committer; it
+// reconnects from its last seen seq and catches up from disk. The
+// server-wide subscriber count is capped (Config.MaxSubscribers, 429 +
+// Retry-After beyond it).
+
+// addSub registers a live change-feed slot. Caller holds sess.mu, so
+// the captured live edge is exact.
+func (sess *session) addSub(sl *replicate.Slot) {
+	sess.subMu.Lock()
+	sess.subs = append(sess.subs, sl)
+	sess.subMu.Unlock()
+}
+
+// removeSub detaches and forgets a subscriber slot (handler teardown).
+func (sess *session) removeSub(sl *replicate.Slot) {
+	sl.Close()
+	sess.subMu.Lock()
+	for i, s := range sess.subs {
+		if s == sl {
+			sess.subs = append(sess.subs[:i], sess.subs[i+1:]...)
+			break
+		}
+	}
+	sess.subMu.Unlock()
+}
+
+// offerSubs fans one committed batch out to every subscriber slot.
+// Called by logBatch (and the follower apply path) under sess.mu.
+func (sess *session) offerSubs(b *durable.Batch) {
+	sess.subMu.Lock()
+	for _, sl := range sess.subs {
+		sl.Offer(b)
+	}
+	sess.subMu.Unlock()
+}
+
+// closeSubs detaches every subscriber (load, drop, shutdown). Handlers
+// notice via Done and end their feeds; clients reconnect.
+func (sess *session) closeSubs() {
+	sess.subMu.Lock()
+	subs := sess.subs
+	sess.subs = nil
+	sess.subMu.Unlock()
+	for _, sl := range subs {
+		sl.Close()
+	}
+}
+
+// handleSubscribe is GET /v1/sessions/{name}/subscribe — one client's
+// change feed. It holds the connection open (SSE) or answers one
+// long-poll page (JSON).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sess := s.session(name)
+	if sess == nil {
+		missingSession(w, name, false)
+		return
+	}
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+
+	// Cursor: ?from= wins; an SSE reconnect's Last-Event-ID is honored
+	// when ?from= is absent; with neither, the feed starts at the live
+	// edge (no history).
+	var from uint64
+	var haveFrom bool
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "bad from %q", v)
+			return
+		}
+		from, haveFrom = n, true
+	} else if v := r.Header.Get("Last-Event-ID"); sse && v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			from, haveFrom = n, true
+		}
+	}
+
+	// Admission: one server-wide cap across sessions, so a subscriber
+	// storm cannot pile goroutines behind every session at once.
+	if n := s.subscribers.Add(1); n > int64(s.cfg.MaxSubscribers) {
+		s.subscribers.Add(-1)
+		w.Header().Set("Retry-After", retryAfterSeconds(int(n), 4))
+		writeErr(w, http.StatusTooManyRequests, CodeSubscriberLimit,
+			"subscriber limit reached (%d open)", s.cfg.MaxSubscribers)
+		return
+	}
+	defer s.subscribers.Add(-1)
+
+	// Register under sess.mu: head is the exact live edge — batches at
+	// or below it must come from disk, batches above it arrive in the
+	// slot.
+	sess.mu.Lock()
+	dur := sess.dur
+	head := sess.seq.Load()
+	oldest := head // in-memory sessions keep no history
+	if dur != nil {
+		oldest = dur.LastCheckpointSeq()
+	}
+	if !haveFrom {
+		from = head
+	}
+	if from > head {
+		sess.mu.Unlock()
+		writeErr(w, http.StatusBadRequest, CodeCursorAhead,
+			"cursor %d is ahead of the session head %d", from, head)
+		return
+	}
+	if from < oldest {
+		sess.mu.Unlock()
+		writeJSON(w, http.StatusGone, ErrorResponse{Error: ErrorDetail{
+			Code: CodeCursorTruncated,
+			Message: fmt.Sprintf(
+				"cursor %d predates the oldest replayable sequence %d; re-read current state and resume from there",
+				from, oldest),
+			OldestSeq: oldest,
+		}})
+		return
+	}
+	slot := replicate.NewSlot(s.cfg.ReplicationBuffer, head)
+	sess.addSub(slot)
+	sess.mu.Unlock()
+	defer sess.removeSub(slot)
+
+	// Disk catch-up: (from, head] re-read from the WAL segments. Only
+	// durable sessions get here with from < head.
+	var backlog []*durable.Batch
+	if from < head {
+		batches, err := dur.BatchesAfter(from)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, CodeDurability, "catchup: %v", err)
+			return
+		}
+		for _, b := range batches {
+			if b.Seq > head {
+				break // the slot covers from here
+			}
+			backlog = append(backlog, b)
+		}
+		if n := len(backlog); (n == 0 && from < head) || (n > 0 && backlog[n-1].Seq < head) {
+			// A checkpoint GC'd the tail between registration and the
+			// read; tell the client to re-resolve its cursor.
+			writeJSON(w, http.StatusGone, ErrorResponse{Error: ErrorDetail{
+				Code:      CodeCursorTruncated,
+				Message:   "history was checkpointed during catch-up; reconnect",
+				OldestSeq: dur.LastCheckpointSeq(),
+			}})
+			return
+		}
+	}
+
+	if sse {
+		s.subscribeSSE(w, r, sess, slot, backlog)
+		return
+	}
+	s.subscribeLongPoll(w, r, sess, slot, from, backlog)
+}
+
+// subscribeSSE streams frames until the client disconnects, the
+// session is reloaded or dropped, or the subscriber falls behind its
+// slot buffer (the stream ends; the client reconnects from its last
+// event id and catches up from disk).
+func (s *Server) subscribeSSE(w http.ResponseWriter, r *http.Request, sess *session, slot *replicate.Slot, backlog []*durable.Batch) {
+	flusher, _ := w.(http.Flusher)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(b *durable.Batch) bool {
+		f := frameOfBatch(b)
+		data, err := json.Marshal(f)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", f.Seq, data); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if head := sess.seq.Load(); head > f.Seq {
+			s.hSubLag.Observe(int64(head - f.Seq))
+		} else {
+			s.hSubLag.Observe(0)
+		}
+		return true
+	}
+
+	for _, b := range backlog {
+		if !send(b) {
+			return
+		}
+	}
+
+	heartbeat := time.NewTicker(s.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case b := <-slot.Batches():
+			if !send(b) {
+				return
+			}
+		case <-slot.Done():
+			// Drain what was buffered before the close — still contiguous.
+			for {
+				select {
+				case b := <-slot.Batches():
+					if !send(b) {
+						return
+					}
+				default:
+					reason := "session closed or reloaded"
+					if slot.Overflowed() {
+						reason = "buffer overflow; reconnect to catch up"
+					}
+					fmt.Fprintf(w, "event: end\ndata: {\"reason\":%q}\n\n", reason) //nolint:errcheck // stream is ending
+					if flusher != nil {
+						flusher.Flush()
+					}
+					return
+				}
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprintf(w, ": ping %d\n\n", sess.seq.Load()); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// subscribeLongPoll answers one page of frames: the backlog if any,
+// otherwise it waits up to ?wait= seconds (default 30, capped at 60)
+// for the first live frame, drains whatever else is already buffered,
+// and replies. An empty Frames array with NextFrom == from means the
+// wait timed out with nothing new.
+func (s *Server) subscribeLongPoll(w http.ResponseWriter, r *http.Request, sess *session, slot *replicate.Slot, from uint64, backlog []*durable.Batch) {
+	resp := SubscribeResponse{Session: sess.name, Frames: []DeltaFrame{}, NextFrom: from}
+	add := func(b *durable.Batch) {
+		f := frameOfBatch(b)
+		resp.Frames = append(resp.Frames, f)
+		resp.NextFrom = f.Seq
+		if head := sess.seq.Load(); head > f.Seq {
+			s.hSubLag.Observe(int64(head - f.Seq))
+		} else {
+			s.hSubLag.Observe(0)
+		}
+	}
+	for _, b := range backlog {
+		add(b)
+	}
+	if len(resp.Frames) == 0 {
+		wait := 30 * time.Second
+		if v := r.URL.Query().Get("wait"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				wait = time.Duration(n) * time.Second
+			}
+		}
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case b := <-slot.Batches():
+			add(b)
+			// Drain anything else already buffered — no extra waiting.
+			for {
+				select {
+				case b := <-slot.Batches():
+					add(b)
+				default:
+					goto done
+				}
+			}
+		case <-slot.Done():
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+done:
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// frameOfBatch renders one committed batch as its wire delta frame:
+// each fact in source syntax ("edge(a, b)"), predicates sorted so the
+// frame is deterministic.
+func frameOfBatch(b *durable.Batch) DeltaFrame {
+	f := DeltaFrame{Seq: b.Seq, Adds: []string{}, Dels: []string{}}
+	f.Adds = appendFacts(f.Adds, b.Ins)
+	f.Dels = appendFacts(f.Dels, b.Del)
+	return f
+}
+
+// appendFacts renders each tuple as "pred(c1, c2, ...)", predicates in
+// sorted order (tuples keep the order the batch recorded them in).
+func appendFacts(out []string, m map[string][]storage.Tuple) []string {
+	preds := make([]string, 0, len(m))
+	for p := range m {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		for _, t := range m[p] {
+			out = append(out, fmt.Sprintf("%s%s", p, t))
+		}
+	}
+	return out
+}
+
+// subGauges sums the session's open subscriptions and their buffered
+// depth (for stats; the server-wide gauge reads Server.subscribers).
+func (sess *session) subGauges() (subs, depth int) {
+	sess.subMu.Lock()
+	subs = len(sess.subs)
+	for _, sl := range sess.subs {
+		depth += sl.Depth()
+	}
+	sess.subMu.Unlock()
+	return subs, depth
+}

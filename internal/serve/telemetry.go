@@ -215,6 +215,7 @@ func (s *Server) metricsSnapshot() *obs.MetricsSnapshot {
 	s.gReplLag.Set(lag)
 	s.gSlots.Set(slots)
 	s.gSlotDepth.Set(slotDepth)
+	s.gSubs.Set(s.subscribers.Load())
 	return s.metrics.SnapshotAll()
 }
 

@@ -86,6 +86,16 @@ func (t Tuple) Key() string {
 	return string(b)
 }
 
+// TupleOfKey inverts Key: four little-endian bytes per column back to
+// the interned values. The arity is the key length over four.
+func TupleOfKey(key string) Tuple {
+	t := make(Tuple, len(key)/4)
+	for i := range t {
+		t[i] = Value(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return t
+}
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
