@@ -38,6 +38,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "eval worker count (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write machine-readable bench records to this file")
 	join := flag.String("join", "auto", "join strategy: auto (Generic Join on cyclic bodies), binary, gj")
+	plan := flag.String("plan", "", "plan selection for E13 and record provenance: auto, orig, iso, opt, magic, bounded")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if _, err := obsFlags.PprofFallback(); err != nil {
@@ -55,13 +56,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, Tracer: tracer, JoinMode: joinMode}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Parallel: *parallel, Tracer: tracer, JoinMode: joinMode, Plan: *plan}
 	if *jsonOut != "" {
 		cfg.Rec = &experiments.Recorder{}
 	}
 	tables := experiments.All(cfg)
 	tables = append(tables, experiments.E11ParallelScaling(cfg))
 	tables = append(tables, experiments.E12MixedMaintenance(cfg))
+	tables = append(tables, experiments.E13PlannerSelection(cfg))
 	for _, t := range tables {
 		if *only != "" && !strings.EqualFold(t.ID, *only) {
 			continue

@@ -39,6 +39,7 @@ func main() {
 	query := flag.String("query", "", "goal to answer, e.g. 'anc(ann, Y)'")
 	all := flag.Bool("all", false, "print every computed IDB relation")
 	optimize := flag.Bool("optimize", false, "run the semantic optimizer before evaluating")
+	plan := flag.String("plan", "", "cost-based plan selection: auto, orig, iso, opt, magic, bounded (supersedes -optimize)")
 	explain := flag.String("explain", "", "print a proof tree for a ground atom, e.g. 'anc(ann, dee)'")
 	explainDot := flag.String("explain-dot", "", "print a proof tree as Graphviz DOT for a ground atom")
 	small := flag.String("small", "", "comma-separated small predicates for atom introduction")
@@ -80,13 +81,22 @@ func main() {
 		fatal(err)
 	}
 	sys.Tracer = tracer
-	if *optimize {
-		smallPreds := map[string]bool{}
-		for _, p := range strings.Split(*small, ",") {
-			if p != "" {
-				smallPreds[p] = true
-			}
+	smallPreds := map[string]bool{}
+	for _, p := range strings.Split(*small, ",") {
+		if p != "" {
+			smallPreds[p] = true
 		}
+	}
+	switch {
+	case *plan != "":
+		// The query goal, when ground in some argument, unlocks the
+		// magic-sets candidate; the decision table goes to stderr.
+		d, err := sys.Plan(repro.PlanOptions{Variant: *plan, Goal: *query, SmallPreds: smallPreds})
+		if err != nil {
+			fatal(err)
+		}
+		printPlan(os.Stderr, d)
+	case *optimize:
 		res, err := sys.Optimize(repro.OptimizeOptions{SmallPreds: smallPreds})
 		if err != nil {
 			fatal(err)
@@ -171,6 +181,29 @@ func finish(sys *repro.System, obsFlags *obs.CLIFlags, tracer *obs.Tracer, stats
 	if err := obsFlags.Finish(os.Stderr, tracer); err != nil {
 		fatal(err)
 	}
+}
+
+// printPlan writes the planner's decision table: one row per candidate
+// with its estimated cost, then the chosen variant and why.
+func printPlan(w io.Writer, d *repro.PlanDecision) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "plan\tcost\tnote")
+	for _, c := range d.Candidates {
+		cost := "-"
+		if c.Err == "" {
+			cost = fmt.Sprintf("%.0f", c.Cost)
+			if c.Measured {
+				cost += " (measured)"
+			}
+		}
+		note := c.Note
+		if c.Err != "" {
+			note = "unavailable: " + c.Err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", c.Variant, cost, note)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "chosen: %s (%s)\n", d.Chosen, d.Reason)
 }
 
 // printStats writes the work counters of the last evaluation plus

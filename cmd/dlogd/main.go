@@ -98,6 +98,9 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 			return nil
 		})
 	optimize := fs.Bool("optimize", false, "run the semantic optimizer on the startup programs")
+	plan := fs.String("plan", "", "cost-based plan selection for loaded sessions: auto, orig, iso, opt, magic, bounded (supersedes -optimize)")
+	replanEvery := fs.Int("replan-every", 0,
+		"committed batches between adaptive re-planning checks on plan=auto sessions (0 disables)")
 	small := fs.String("small", "", "comma-separated small predicates for atom introduction")
 	parallel := fs.Int("parallel", 0, "eval worker count for full fixpoints (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	join := fs.String("join", "auto", "join strategy: auto (Generic Join on cyclic bodies), binary, gj")
@@ -164,6 +167,8 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		ReadyMaxLag:          *readyMaxLag,
 		Heartbeat:            *heartbeat,
 		MaxSubscribers:       *maxSubscribers,
+		Plan:                 *plan,
+		ReplanEvery:          *replanEvery,
 	}
 	if *accessLog || *slowQuery > 0 {
 		cfg.AccessLog = logw
@@ -227,8 +232,12 @@ func run(args []string, sig <-chan os.Signal, logw io.Writer, ready chan<- strin
 		if err != nil {
 			return fmt.Errorf("load %s into session %s: %w", pa.path, pa.session, err)
 		}
-		fmt.Fprintf(logw, "dlogd: loaded %s into session %s: %d rules, %d EDB tuples, %d IDB tuples (optimized=%v)\n",
-			pa.path, pa.session, resp.Rules, resp.EDBTuples, resp.IDBTuples, resp.Optimized)
+		planNote := ""
+		if resp.Plan != nil {
+			planNote = fmt.Sprintf(", plan=%s", resp.Plan.Chosen)
+		}
+		fmt.Fprintf(logw, "dlogd: loaded %s into session %s: %d rules, %d EDB tuples, %d IDB tuples (optimized=%v%s)\n",
+			pa.path, pa.session, resp.Rules, resp.EDBTuples, resp.IDBTuples, resp.Optimized, planNote)
 	}
 
 	// Follower mode: start the replication manager after recovery, so

@@ -8,13 +8,18 @@
 //
 //	semopt program.dl
 //	semopt -pred eval -small doctoral -show-isolation program.dl
-//	semopt -verify program.dl         # also evaluate original vs optimized
+//	semopt -verify program.dl         # evaluate every planner candidate
+//	semopt -verify -goal 'anc(ann, Y)' program.dl
 //
-// With -verify, both the rectified and the optimized program are
-// evaluated to fixpoint over the loaded facts (with -parallel workers),
-// their visible relations are compared, and the timings go to stderr —
-// an end-to-end check that the transformation preserved answers on this
-// database.
+// With -verify, cost-based plan selection runs over the loaded facts
+// and every available candidate — the original program, the paper's
+// isolated and optimized rewrites, magic sets (when -goal supplies a
+// bound goal), and the bounded plan — is evaluated to fixpoint (with
+// -parallel workers) and compared against the original's answers.
+// Per-candidate timings and work counters go to stderr, with the
+// chosen plan starred — an end-to-end check that every transformation
+// preserved answers on this database, and a view of what each one
+// costs.
 //
 // Observability: -profile prints a per-phase breakdown of the pipeline
 // (rectify, SD-graph build, candidate generation, subsumption,
@@ -34,9 +39,11 @@ import (
 	"repro/internal/ast"
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/residue"
 	"repro/internal/sdgraph"
 	"repro/internal/semopt"
+	"repro/internal/storage"
 	"repro/internal/transform"
 	"repro/internal/unfold"
 )
@@ -48,7 +55,8 @@ func main() {
 	showIso := flag.String("show-isolation", "", "print the isolation of SEQ (space-separated rule labels) for -pred and exit")
 	showGraph := flag.Bool("show-graph", false, "print the SD-graph for -pred and exit")
 	dot := flag.Bool("dot", false, "with -show-graph: emit Graphviz dot instead of text")
-	verify := flag.Bool("verify", false, "evaluate original vs optimized over the loaded facts and compare answers")
+	verify := flag.Bool("verify", false, "evaluate every planner candidate over the loaded facts, compare answers, and time each")
+	goal := flag.String("goal", "", "bound goal for -verify, e.g. 'anc(ann, Y)': makes the magic-sets candidate available")
 	parallel := flag.Int("parallel", 0, "eval worker count for -verify (0 or 1 = sequential, <0 = GOMAXPROCS)")
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -159,7 +167,7 @@ func main() {
 	fmt.Print(res.Optimized)
 
 	if *verify {
-		if err := verifyAnswers(sys, res, *parallel, tracer); err != nil {
+		if err := verifyCandidates(sys, smallPreds, *goal, *parallel, tracer); err != nil {
 			fatal(err)
 		}
 	}
@@ -168,11 +176,31 @@ func main() {
 	}
 }
 
-// verifyAnswers evaluates the rectified and the optimized program over
-// clones of the loaded database, compares every predicate visible in
-// the rectified program (the optimized one adds auxiliary predicates,
-// which are excluded), and reports timings to stderr.
-func verifyAnswers(sys *repro.System, res *semopt.Result, parallel int, tracer *obs.Tracer) error {
+// verifyCandidates runs cost-based plan selection over the loaded
+// facts, evaluates every available candidate (original, isolated,
+// optimized, magic with -goal, bounded), compares each against the
+// original's answers on every predicate visible in the original
+// program, and reports per-candidate timings and work counters to
+// stderr. The magic candidate computes only the goal's answers, so it
+// is compared on the goal predicate restricted to the goal's bound
+// arguments.
+func verifyCandidates(sys *repro.System, small map[string]bool, goalSrc string, parallel int, tracer *obs.Tracer) error {
+	popts := planner.Options{ICs: sys.ICs, SmallPreds: small}
+	var goal *ast.Atom
+	if goalSrc != "" {
+		g, err := repro.ParseAtom(goalSrc)
+		if err != nil {
+			return fmt.Errorf("verify: bad -goal: %w", err)
+		}
+		goal = &g
+		popts.Goal = goal
+	}
+	d, err := planner.Plan(sys.Program, sys.DB, popts)
+	if err != nil {
+		return fmt.Errorf("verify: plan: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "verify: chosen plan %s (%s)\n", d.Chosen, d.Reason)
+
 	run := func(prog *ast.Program) (*repro.DB, time.Duration, eval.Stats, error) {
 		db := sys.DB.Clone()
 		e := eval.New(prog, db)
@@ -184,18 +212,55 @@ func verifyAnswers(sys *repro.System, res *semopt.Result, parallel int, tracer *
 		err := e.Run()
 		return db, time.Since(start), e.Stats(), err
 	}
-	dbOrig, dOrig, stOrig, err := run(res.Rectified)
+	orig := d.Candidate(planner.Orig)
+	base, dBase, stBase, err := run(orig.Program)
 	if err != nil {
-		return fmt.Errorf("verify: original: %w", err)
+		return fmt.Errorf("verify: orig: %w", err)
 	}
-	dbOpt, dOpt, stOpt, err := run(res.Optimized)
-	if err != nil {
-		return fmt.Errorf("verify: optimized: %w", err)
+	report := func(v planner.Variant, dur time.Duration, st eval.Stats) {
+		marker := " "
+		if v == d.Chosen {
+			marker = "*"
+		}
+		fmt.Fprintf(os.Stderr, "verify: %s %-7s %12s (iterations=%d probes=%d index_probes=%d derived=%d inserted=%d)\n",
+			marker, v, dur, st.Iterations, st.Probes, st.IndexProbes, st.Derived, st.Inserted)
 	}
-	idb := res.Rectified.IDBPreds()
+	report(planner.Orig, dBase, stBase)
+
+	idb := orig.Program.IDBPreds()
+	mismatches := 0
+	for _, c := range d.Candidates {
+		if c.Variant == planner.Orig {
+			continue
+		}
+		if c.Program == nil {
+			fmt.Fprintf(os.Stderr, "verify:   %-7s unavailable: %s\n", c.Variant, c.Err)
+			continue
+		}
+		db, dur, st, err := run(c.Program)
+		if err != nil {
+			return fmt.Errorf("verify: %s: %w", c.Variant, err)
+		}
+		report(c.Variant, dur, st)
+		if c.Variant == planner.Magic {
+			mismatches += compareGoal(base, db, *goal)
+		} else {
+			mismatches += comparePreds(base, db, string(c.Variant), idb)
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("verify: %d disagreement(s) between the original and a candidate", mismatches)
+	}
+	fmt.Fprintln(os.Stderr, "verify: all candidates agree with the original on every visible predicate")
+	return nil
+}
+
+// comparePreds checks that db agrees with base on every pred in idb,
+// printing each mismatch, and returns how many predicates disagree.
+func comparePreds(base, db *repro.DB, label string, idb map[string]bool) int {
 	mismatches := 0
 	for pred := range idb {
-		ro, rn := dbOrig.Relation(pred), dbOpt.Relation(pred)
+		ro, rn := base.Relation(pred), db.Relation(pred)
 		no, nn := 0, 0
 		if ro != nil {
 			no = ro.Len()
@@ -205,7 +270,7 @@ func verifyAnswers(sys *repro.System, res *semopt.Result, parallel int, tracer *
 		}
 		if no != nn {
 			mismatches++
-			fmt.Fprintf(os.Stderr, "verify: MISMATCH %s: %d tuples original, %d optimized\n", pred, no, nn)
+			fmt.Fprintf(os.Stderr, "verify: MISMATCH %s: %d tuples original, %d %s\n", pred, no, nn, label)
 			continue
 		}
 		if ro == nil {
@@ -214,20 +279,59 @@ func verifyAnswers(sys *repro.System, res *semopt.Result, parallel int, tracer *
 		for _, t := range ro.Tuples() {
 			if !rn.Contains(t) {
 				mismatches++
-				fmt.Fprintf(os.Stderr, "verify: MISMATCH %s: tuple %s missing from optimized\n", pred, t)
+				fmt.Fprintf(os.Stderr, "verify: MISMATCH %s: tuple %s missing from %s\n", pred, t, label)
 				break
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "verify: original  %s (iterations=%d derived=%d inserted=%d)\n",
-		dOrig, stOrig.Iterations, stOrig.Derived, stOrig.Inserted)
-	fmt.Fprintf(os.Stderr, "verify: optimized %s (iterations=%d derived=%d inserted=%d)\n",
-		dOpt, stOpt.Iterations, stOpt.Derived, stOpt.Inserted)
-	if mismatches > 0 {
-		return fmt.Errorf("verify: %d predicate(s) disagree between original and optimized", mismatches)
+	return mismatches
+}
+
+// compareGoal checks that db agrees with base on the goal predicate's
+// tuples matching the goal's ground arguments — the only answers a
+// magic-rewritten program is required to compute.
+func compareGoal(base, db *repro.DB, goal ast.Atom) int {
+	rb, rm := base.Relation(goal.Pred), db.Relation(goal.Pred)
+	matches := func(t storage.Tuple) bool {
+		for i, a := range goal.Args {
+			if _, isVar := a.(ast.Var); isVar {
+				continue
+			}
+			v, ok := storage.LookupTerm(a)
+			if !ok || i >= len(t) || t[i] != v {
+				return false
+			}
+		}
+		return true
 	}
-	fmt.Fprintln(os.Stderr, "verify: answers agree on every visible predicate")
-	return nil
+	mismatches := 0
+	var nb, nm int
+	if rb != nil {
+		for _, t := range rb.Tuples() {
+			if !matches(t) {
+				continue
+			}
+			nb++
+			if rm == nil || !rm.Contains(t) {
+				if mismatches == 0 {
+					fmt.Fprintf(os.Stderr, "verify: MISMATCH %s: goal answer %s missing from magic\n", goal.Pred, t)
+				}
+				mismatches++
+			}
+		}
+	}
+	if rm != nil {
+		for _, t := range rm.Tuples() {
+			if matches(t) {
+				nm++
+			}
+		}
+	}
+	if nm != nb {
+		fmt.Fprintf(os.Stderr, "verify: MISMATCH %s: %d goal answers original, %d magic\n", goal.Pred, nb, nm)
+		return mismatches + 1
+	}
+	return mismatches
 }
 
 // printLabeled prints one rule per line, prefixed with its label.

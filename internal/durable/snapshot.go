@@ -55,6 +55,15 @@ type Meta struct {
 	// explicit reload reproduces the same pipeline.
 	Optimize   bool     `json:"optimize,omitempty"`
 	SmallPreds []string `json:"small_preds,omitempty"`
+	// Plan, PlanChosen and Goal persist the cost-based planner's mode,
+	// verdict and the query goal it planned for (internal/planner), so
+	// a recovered session serves the same program without re-planning.
+	// The candidate cost table is deliberately not persisted — it
+	// described load-time data, and the stats surface marks recovered
+	// decisions as such.
+	Plan       string `json:"plan,omitempty"`
+	PlanChosen string `json:"plan_chosen,omitempty"`
+	Goal       string `json:"goal,omitempty"`
 	// Rules, ICs and Optimized mirror the load response counters.
 	Rules     int  `json:"rules"`
 	ICs       int  `json:"ics"`

@@ -1,0 +1,93 @@
+// Cost model: the one estimator shared by the engine's per-rule join
+// decisions (body ordering, GJ-vs-binary under JoinAuto) and the
+// cost-based rewrite planner (internal/planner). The engine's built-in
+// estimator reads live relation sizes and lazily built column indexes;
+// a CostModel layers better information on top — typically the exact
+// per-column statistics sketches maintained by internal/storage — so
+// join choice and rewrite choice price work with the same numbers.
+package eval
+
+import (
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// CostModel supplies cardinality and selectivity estimates to the
+// engine. Every method reports ok=false when it has no information,
+// in which case the engine falls back to its index-derived estimate.
+type CostModel interface {
+	// Rows estimates the cardinality of pred.
+	Rows(pred string) (float64, bool)
+	// Distinct estimates the distinct-value count of pred's column col.
+	Distinct(pred string, col int) (float64, bool)
+	// Selectivity estimates the fraction of pred's tuples whose column
+	// col equals the constant term t.
+	Selectivity(pred string, col int, t ast.Term) (float64, bool)
+}
+
+// SetCostModel installs (or clears, with nil) the estimator consulted
+// by body ordering and the JoinAuto GJ-vs-binary decision. Call before
+// Run; the model is read at plan time only.
+func (e *Engine) SetCostModel(cm CostModel) { e.cost = cm }
+
+// StatsCostModel answers from the per-relation statistics sketches of a
+// storage database (Relation.EnsureStats). Relations without stats
+// report unknown, so enabling stats on the EDB only — the cheap,
+// incrementally maintained case — degrades gracefully for IDB atoms.
+type StatsCostModel struct {
+	DB *storage.Database
+}
+
+// Rows implements CostModel.
+func (m StatsCostModel) Rows(pred string) (float64, bool) {
+	if s := m.DB.StatsOf(pred); s != nil {
+		return float64(s.Rows()), true
+	}
+	return 0, false
+}
+
+// Distinct implements CostModel.
+func (m StatsCostModel) Distinct(pred string, col int) (float64, bool) {
+	if s := m.DB.StatsOf(pred); s != nil {
+		return float64(s.Distinct(col)), true
+	}
+	return 0, false
+}
+
+// Selectivity implements CostModel.
+func (m StatsCostModel) Selectivity(pred string, col int, t ast.Term) (float64, bool) {
+	s := m.DB.StatsOf(pred)
+	if s == nil {
+		return 0, false
+	}
+	v, ok := storage.LookupTerm(t)
+	if !ok {
+		// The constant was never interned: no stored tuple can hold it.
+		return 0, true
+	}
+	return s.Selectivity(col, v), true
+}
+
+// gjMinRows is the smallest relation size at which Generic Join's
+// per-level seek overhead can beat binary index joins on a cyclic body.
+// Below it the intermediate results binary joins materialize are tiny
+// anyway, so JoinAuto keeps the cheaper binary plan when a cost model
+// can price the body.
+const gjMinRows = 32
+
+// gjPaysOff prices a cyclic body under the cost model: Generic Join is
+// kept unless every body relation is estimated below gjMinRows rows.
+// Atoms the model cannot price count as large (preserving the
+// cost-model-free behavior of routing every cyclic body through GJ).
+func gjPaysOff(cm CostModel, c *compiled) bool {
+	for _, op := range c.ops {
+		if op.kind != stepScan || op.pred == "" {
+			continue
+		}
+		rows, ok := cm.Rows(op.pred)
+		if !ok || rows >= gjMinRows {
+			return true
+		}
+	}
+	return false
+}

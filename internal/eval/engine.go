@@ -133,6 +133,11 @@ type Engine struct {
 	// stratum (see SetRankSink). Like InsertFilter it is invoked
 	// single-threaded in every mode.
 	rankSink func(pred string, t storage.Tuple, layer int)
+
+	// cost, when non-nil, refines plan-time estimates (see SetCostModel
+	// in cost.go): body ordering prefers its selectivities and the
+	// JoinAuto GJ-vs-binary decision consults it.
+	cost CostModel
 }
 
 // New creates an engine for prog over db. The program is validated for
@@ -324,26 +329,42 @@ func (e *Engine) sccOrder() [][]string {
 // the distinct-value count of its most selective bound column.
 // Relations still being computed are typically empty at plan time,
 // which makes their atoms cheap to order early — they are exactly the
-// small (delta-like) side of the join.
+// small (delta-like) side of the join. When a cost model is installed
+// (SetCostModel) its distinct counts and exact constant selectivities
+// are preferred over building a column index just to count it; the
+// live relation size stays authoritative either way.
 func (e *Engine) estimator() estimator {
+	cm := e.cost
 	return func(a ast.Atom, bound map[ast.Var]bool) float64 {
 		rel := e.db.Relation(a.Pred)
 		if rel == nil || rel.Len() == 0 {
 			return 0
 		}
-		best := float64(rel.Len())
+		rows := float64(rel.Len())
+		best := rows
 		for i, t := range a.Args {
-			isBound := true
+			f := -1.0
 			if v, ok := t.(ast.Var); ok {
-				isBound = bound[v]
-			}
-			if !isBound {
-				continue
-			}
-			if distinct := len(rel.EnsureIndex(i)); distinct > 0 {
-				if f := float64(rel.Len()) / float64(distinct); f < best {
-					best = f
+				if !bound[v] {
+					continue
 				}
+				if cm != nil {
+					if d, ok := cm.Distinct(a.Pred, i); ok && d > 0 {
+						f = rows / d
+					}
+				}
+			} else if cm != nil {
+				if s, ok := cm.Selectivity(a.Pred, i, t); ok {
+					f = rows * s
+				}
+			}
+			if f < 0 {
+				if distinct := len(rel.EnsureIndex(i)); distinct > 0 {
+					f = rows / float64(distinct)
+				}
+			}
+			if f >= 0 && f < best {
+				best = f
 			}
 		}
 		return best

@@ -57,6 +57,10 @@ func (e *Engine) attachGJ(c *compiled) {
 		e.stats.BinaryPlanned++
 		return
 	}
+	if e.joinMode == JoinAuto && e.cost != nil && !gjPaysOff(e.cost, c) {
+		e.stats.BinaryPlanned++
+		return
+	}
 	if g, ok := compileGJ(c); ok {
 		c.gj = g
 		e.stats.GJPlanned++

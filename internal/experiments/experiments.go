@@ -103,6 +103,10 @@ type Config struct {
 	// JoinMode selects the rule-body execution strategy for every
 	// measured run: auto (Generic Join on cyclic bodies), binary, or gj.
 	JoinMode eval.JoinMode
+	// Plan stamps every record's plan provenance and, for E13, pins the
+	// planner's choice: "" or "auto" lets the cost model choose, a
+	// variant name ("orig", "iso", "opt", "magic", "bounded") forces it.
+	Plan string
 }
 
 func (c Config) seed() int64 {
@@ -124,7 +128,12 @@ type BenchRecord struct {
 	NumCPU     int `json:"num_cpu"`
 	// Engine names the join strategy that actually executed: "gj" when
 	// any rule fired through the Generic Join path, "binary" otherwise.
-	Engine  string          `json:"engine"`
+	Engine string `json:"engine"`
+	// Plan names the planner variant this record's program corresponds
+	// to ("orig", "opt", ...; E13 tags each candidate it measures), or
+	// the -plan mode the whole run was invoked with. Empty for records
+	// that predate plan selection.
+	Plan    string          `json:"plan,omitempty"`
 	NsPerOp int64           `json:"ns_per_op"`
 	Stats   eval.Stats      `json:"stats"`
 	Strata  []StratumRecord `json:"strata,omitempty"`
@@ -280,7 +289,8 @@ func runMeasured(cfg Config, id, label string, prog *ast.Program, db *storage.Da
 	cfg.Rec.add(BenchRecord{
 		Experiment: id, Label: label, Parallel: parallel,
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-		Engine:  engine,
+		Engine: engine,
+		Plan:   cfg.Plan,
 		NsPerOp: best.Nanoseconds(), Stats: bestStats,
 		Strata:  strataRecords(bestInfo),
 		Metrics: metrics,
@@ -358,17 +368,17 @@ func E1AtomElimination(cfg Config) Table {
 		for _, exec := range []float64{0.1, 0.9} {
 			db := workload.OrgDB(rng, 2, sh.levels, sh.branch, exec)
 			lab := fmt.Sprintf("levels=%d,branch=%d,exec=%v", sh.levels, sh.branch, exec)
-			d1, s1, err := runMeasured(cfg, "E1", lab+"/orig", res.Rectified, db)
+			d1, s1, err := runMeasured(withPlan(cfg, "orig"), "E1", lab+"/orig", res.Rectified, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
 			}
-			d2, s2, err := runMeasured(cfg, "E1", lab+"/opt", res.Optimized, db)
+			d2, s2, err := runMeasured(withPlan(cfg, "opt"), "E1", lab+"/opt", res.Optimized, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
 			}
-			dIso, _, err := runMeasured(cfg, "E1", lab+"/iso", iso.Prog, db)
+			dIso, _, err := runMeasured(withPlan(cfg, "iso"), "E1", lab+"/iso", iso.Prog, db)
 			if err != nil {
 				t.Notes = append(t.Notes, err.Error())
 				continue
@@ -594,10 +604,10 @@ func E5MagicComparison(cfg Config) Table {
 			continue
 		}
 		lab := fmt.Sprintf("fam=%d,depth=%d", sh.fam, sh.depth)
-		dPlain, sPlain, _ := runMeasured(cfg, "E5", lab+"/plain", plainProg, db)
-		dMagic, sMagic, _ := runMeasured(cfg, "E5", lab+"/magic", magicProg, db)
-		dSem, _, _ := runMeasured(cfg, "E5", lab+"/semantic", semProg, db)
-		dBoth, _, _ := runMeasured(cfg, "E5", lab+"/magic+sem", magicSem, db)
+		dPlain, sPlain, _ := runMeasured(withPlan(cfg, "orig"), "E5", lab+"/plain", plainProg, db)
+		dMagic, sMagic, _ := runMeasured(withPlan(cfg, "magic"), "E5", lab+"/magic", magicProg, db)
+		dSem, _, _ := runMeasured(withPlan(cfg, "opt"), "E5", lab+"/semantic", semProg, db)
+		dBoth, _, _ := runMeasured(withPlan(cfg, "magic"), "E5", lab+"/magic+sem", magicSem, db)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(sh.fam), fmt.Sprint(sh.depth),
 			ms(dPlain), ms(dMagic), ms(dSem), ms(dBoth),

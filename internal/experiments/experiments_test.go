@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -105,6 +106,52 @@ func TestTableString(t *testing.T) {
 	for _, want := range []string{"EX — t", "claim: c", "a", "bb", "note: n"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+// E13 pins the planner-vs-oracle acceptance bar end to end: in every
+// selectivity regime auto's pick must measure within 10% of the best
+// hand-picked variant, the regimes with a clear winner must be decided
+// exactly, and every measured record must carry plan provenance.
+func TestPlannerSelectionQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	rec := &Recorder{}
+	tab := E13PlannerSelection(Config{Quick: true, Rec: rec})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (notes: %v)", len(tab.Rows), tab.Notes)
+	}
+	wantChosen := map[string]string{
+		"org/exec=0.1":       "orig",
+		"org/exec=0.9":       "orig",
+		"routes/selective":   "opt",
+		"routes/goal-bound":  "magic",
+		"bounded/closed-par": "bounded",
+	}
+	for _, r := range tab.Rows {
+		scenario, chosen, vs := r[0], r[2], r[7]
+		if want, ok := wantChosen[scenario]; ok && chosen != want {
+			t.Errorf("%s: chose %s, want %s", scenario, chosen, want)
+		}
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(vs, "x"), 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable vs-oracle %q", scenario, vs)
+		}
+		if ratio > 1.10 {
+			t.Errorf("%s: chosen plan measured %.2fx the oracle (>10%% off)", scenario, ratio)
+		}
+	}
+	if len(rec.Records) == 0 {
+		t.Fatal("no records collected")
+	}
+	for _, r := range rec.Records {
+		if r.Experiment != "E13" {
+			t.Errorf("record experiment = %q", r.Experiment)
+		}
+		if r.Plan == "" {
+			t.Errorf("record %s: no plan provenance", r.Label)
 		}
 	}
 }

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/planner"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// withPlan returns cfg with the plan-provenance stamp set, so a
+// measured run's BenchRecord names the planner variant its program
+// corresponds to.
+func withPlan(cfg Config, plan string) Config {
+	cfg.Plan = plan
+	return cfg
+}
+
+// plannerCase is one E13 scenario: a program, its constraints, a
+// database regime, and optionally a bound goal (which unlocks the
+// magic-sets candidate).
+type plannerCase struct {
+	name string
+	prog *ast.Program
+	ics  []ast.IC
+	db   *storage.Database
+	goal *ast.Atom
+}
+
+// e13Cases builds the selectivity regimes the planner must navigate:
+// the organization DB where the constraint is vacuous and orig must
+// win, the routes scenario that flips between orig and opt on data
+// selectivity alone, a goal-bound routes query where magic sets win,
+// and a transitively closed parent relation whose recursion is
+// provably bounded.
+func e13Cases(cfg Config) ([]plannerCase, error) {
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	var cases []plannerCase
+
+	org := workload.Organization()
+	levels := 8
+	if cfg.Quick {
+		levels = 6
+	}
+	for _, exec := range []float64{0.1, 0.9} {
+		cases = append(cases, plannerCase{
+			name: fmt.Sprintf("org/exec=%v", exec),
+			prog: org.Program, ics: org.ICs,
+			db: workload.OrgDB(rng, 2, levels, 2, exec),
+		})
+	}
+
+	routes := workload.Routes()
+	chains, depth := 4, 30
+	if cfg.Quick {
+		chains, depth = 3, 16
+	}
+	cases = append(cases,
+		plannerCase{
+			name: "routes/vacuous",
+			prog: routes.Program, ics: routes.ICs,
+			db: workload.RoutesDB(rng, chains, depth, 0),
+		},
+		plannerCase{
+			name: "routes/selective",
+			prog: routes.Program, ics: routes.ICs,
+			db: workload.RoutesDB(rng, chains, depth, 8),
+		})
+
+	goal := ast.NewAtom("reach", ast.Sym("c0_0"), ast.Var("Y"))
+	gChains, gDepth := 8, 40
+	if cfg.Quick {
+		gChains, gDepth = 6, 24
+	}
+	cases = append(cases, plannerCase{
+		name: "routes/goal-bound",
+		prog: routes.Program, ics: routes.ICs,
+		db:   workload.RoutesDB(rng, gChains, gDepth, 0),
+		goal: &goal,
+	})
+
+	res, err := parser.Parse(`
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+par(X, Z), par(Z, Y) -> par(X, Y).
+`)
+	if err != nil {
+		return nil, err
+	}
+	closed := storage.NewDatabase()
+	people := 14
+	if cfg.Quick {
+		people = 8
+	}
+	for i := 0; i < people; i++ {
+		for j := i + 1; j < people; j++ {
+			closed.Add("par", ast.Sym(fmt.Sprintf("p%d", i)), ast.Sym(fmt.Sprintf("p%d", j)))
+		}
+	}
+	cases = append(cases, plannerCase{
+		name: "bounded/closed-par",
+		prog: res.Program, ics: res.ICs,
+		db: closed,
+	})
+	return cases, nil
+}
+
+// E13PlannerSelection — cost-based recursive plan selection: the
+// planner's estimate-driven pick vs an oracle that measures every
+// candidate. "vs oracle" is the measured probe ratio of the chosen
+// plan to the best one; 1.00x means auto found the optimum.
+func E13PlannerSelection(cfg Config) Table {
+	t := Table{
+		ID:    "E13",
+		Title: "Cost-based plan selection vs measured oracle",
+		Claim: "EDB statistics plus residue selectivity sampling pick the measured-best rewrite in every regime; no single variant does",
+		Columns: []string{"scenario", "edb", "chosen", "est cost", "chosen probes",
+			"oracle", "oracle probes", "vs oracle"},
+	}
+	cases, err := e13Cases(cfg)
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	pinned := planner.Auto
+	if cfg.Plan != "" {
+		v, err := planner.ParseVariant(cfg.Plan)
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return t
+		}
+		pinned = v
+	}
+	oracleWins := 0
+	for _, c := range cases {
+		popts := planner.Options{ICs: c.ics, Goal: c.goal}
+		if pinned != planner.Auto {
+			popts.Force = pinned
+		}
+		d, err := planner.Plan(c.prog, c.db, popts)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", c.name, err))
+			continue
+		}
+		// The oracle: measure every available candidate and take the
+		// lowest probe count. Probes are deterministic, unlike wall time.
+		type measured struct {
+			variant planner.Variant
+			probes  int64
+		}
+		var runs []measured
+		var chosen measured
+		for _, cand := range d.Candidates {
+			if cand.Program == nil {
+				continue
+			}
+			_, st, err := runMeasured(withPlan(cfg, string(cand.Variant)), "E13",
+				c.name+"/"+string(cand.Variant), cand.Program, c.db)
+			if err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s/%s: %s", c.name, cand.Variant, err))
+				continue
+			}
+			m := measured{cand.Variant, st.Probes + st.IndexProbes}
+			runs = append(runs, m)
+			if cand.Variant == d.Chosen {
+				chosen = m
+			}
+		}
+		if len(runs) == 0 {
+			continue
+		}
+		oracle := runs[0]
+		for _, m := range runs[1:] {
+			if m.probes < oracle.probes {
+				oracle = m
+			}
+		}
+		if chosen.variant == oracle.variant {
+			oracleWins++
+		}
+		vs := "-"
+		if oracle.probes > 0 {
+			vs = fmt.Sprintf("%.2fx", float64(chosen.probes)/float64(oracle.probes))
+		}
+		est := "-"
+		if cand := d.Candidate(d.Chosen); cand != nil {
+			est = fmt.Sprintf("%.0f", cand.Cost)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, fmt.Sprint(c.db.TotalTuples()), string(d.Chosen), est,
+			fmt.Sprint(chosen.probes), string(oracle.variant), fmt.Sprint(oracle.probes), vs,
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("planner matched the oracle on %d/%d scenarios", oracleWins, len(t.Rows)))
+	return t
+}

@@ -1,0 +1,112 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/unfold"
+)
+
+// Boundedness detection (after Mazowiecki et al.'s program-boundedness
+// framing): a recursion is bounded at depth k when no proof tree
+// deeper than k derives anything new, in which case the recursive
+// predicate is definable by the finite union of its depth-<=k
+// unfoldings and the recursion compiles away entirely.
+//
+// The test implemented here is the classical sufficient condition via
+// uniform containment: enumerate the closed expansion sequences (those
+// ending in an exit rule) up to length k+1 and check that every
+// length-(k+1) sequence clause is uniformly contained — a containment
+// chase under the integrity constraints (chase.Contained) — in some
+// closed clause of length <= k. Uniform containment is preserved under
+// composition for the paper's linear programs, so collapsing level k+1
+// collapses every deeper level and the depth-<=k unfoldings are the
+// whole fixpoint. The condition is sufficient, not complete: a false
+// answer means "not provably bounded at this depth", never that the
+// program is unbounded.
+
+// BoundedRewrite tries to prove prog's recursion bounded at some depth
+// k <= maxDepth under the constraints and, on success, returns the
+// equivalent non-recursive program: every rule of the recursive
+// predicate is replaced by the closed sequence clauses of length <= k.
+// The program must be rectified (unfolding requires it). ok is false
+// when the program is not recursive at all, has mutual recursion
+// (outside the paper's class), or resists the proof.
+func BoundedRewrite(prog *ast.Program, ics []ast.IC, maxDepth, chaseSteps int) (*ast.Program, int, bool, error) {
+	if chaseSteps <= 0 {
+		chaseSteps = chase.DefaultMaxSteps
+	}
+	recs := prog.RecursivePreds()
+	if len(recs) != 1 {
+		return nil, 0, false, nil
+	}
+	var pred string
+	for p := range recs {
+		pred = p
+	}
+
+	// Closed sequence clauses by length: closed[l] holds the depth-l
+	// proof shapes, rendered as non-recursive rules.
+	closed := make([][]ast.Rule, maxDepth+2)
+	for _, seq := range unfold.Sequences(prog, pred, maxDepth+1) {
+		u, err := unfold.Unfold(prog, seq)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("bounded: unfold %s: %w", seq, err)
+		}
+		if u.Recursive != nil {
+			continue
+		}
+		l := len(seq)
+		closed[l] = append(closed[l], u.AsRule(fmt.Sprintf("b_%s", seq)))
+	}
+
+	for k := 1; k <= maxDepth; k++ {
+		if len(closed[k+1]) == 0 {
+			// No closed shape of depth k+1 at all: the recursion cannot
+			// close there, which only happens when there is no exit rule
+			// (the recursive predicate is empty) — the depth-<=k clauses
+			// are trivially complete.
+			return boundedProgram(prog, pred, closed, k), k, true, nil
+		}
+		allContained := true
+		for _, longer := range closed[k+1] {
+			sub := chase.FromRule(longer)
+			contained := false
+			for l := 1; l <= k && !contained; l++ {
+				for _, shorter := range closed[l] {
+					if yes, _ := chase.Contained(sub, chase.FromRule(shorter), ics, chaseSteps); yes {
+						contained = true
+						break
+					}
+				}
+			}
+			if !contained {
+				allContained = false
+				break
+			}
+		}
+		if allContained {
+			return boundedProgram(prog, pred, closed, k), k, true, nil
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// boundedProgram assembles the non-recursive equivalent: all rules not
+// defining pred, plus the closed sequence clauses of length <= k.
+func boundedProgram(prog *ast.Program, pred string, closed [][]ast.Rule, k int) *ast.Program {
+	out := &ast.Program{}
+	for _, r := range prog.Rules {
+		if r.Head.Pred != pred {
+			out.Rules = append(out.Rules, r.Clone())
+		}
+	}
+	for l := 1; l <= k; l++ {
+		for _, r := range closed[l] {
+			out.Rules = append(out.Rules, r.Clone())
+		}
+	}
+	out.EnsureLabels()
+	return out
+}

@@ -1,0 +1,358 @@
+package planner
+
+import (
+	"math"
+
+	"repro/internal/ast"
+	"repro/internal/storage"
+)
+
+// The cost model: a cardinality-fixpoint abstract interpretation of
+// the program over the EDB statistics sketches.
+//
+// Cardinalities. Every EDB predicate starts at its exact row count;
+// every other predicate at 0. Each iteration re-prices every rule
+// bottom-up — the rule's output estimate is the frame count of a
+// greedy left-deep join (the same ordering policy the engine's
+// planBody uses) capped by the product of the head columns' distinct
+// counts — and raises the head predicate's estimate to the maximum
+// seen. Estimates only grow and are capped, so the loop converges; it
+// mirrors how semi-naive evaluation grows relations to fixpoint.
+//
+// Probes. With cardinalities at their fixpoint, each rule is priced
+// once more and the scan/probe work is summed: a body atom probed with
+// fanout f under F live frames contributes F·(1+f) probes. This
+// approximates total semi-naive work because each derived tuple flows
+// through every delta plan exactly once, which is what joining the
+// full fixpoint relations once also counts.
+//
+// Selectivities. Join and filter factors come from the exact
+// per-column sketches where available (EDB), from sampling
+// (sampleSelectivity — the IC violation-rate sampler pricing residue
+// checks on relations without sketches), and from the uniformity
+// fallback rows/distinct elsewhere. Residue checks inserted by the
+// paper's transformation are priced like any other literal: a
+// comparison against a constant costs its exact value frequency, a
+// membership check costs a probe per frame — which is precisely how
+// `opt` loses to `orig` when constraints are non-selective.
+const (
+	costMaxIters = 40
+	costCardCap  = 1e15
+	// sampleLimit bounds the violation-rate sampler's scan.
+	sampleLimit = 512
+)
+
+// Estimate is the cost model's output for one program.
+type Estimate struct {
+	// Cost approximates the engine probe count to reach fixpoint.
+	Cost float64
+	// Cards is the estimated fixpoint cardinality per predicate.
+	Cards map[string]float64
+}
+
+// EstimateCost prices a program over the database's statistics. It
+// never mutates db beyond building statistics sketches on relations
+// that already exist (Relation.EnsureStats).
+func EstimateCost(p *ast.Program, db *storage.Database) Estimate {
+	c := newCoster(p, db)
+	for it := 0; it < costMaxIters; it++ {
+		changed := false
+		out := map[string]float64{}
+		for _, r := range p.Rules {
+			o, _ := c.rule(r)
+			out[r.Head.Pred] += o
+		}
+		for h, o := range out {
+			o = math.Min(o, costCardCap)
+			if o > c.cards[h]*1.001+0.5 {
+				c.cards[h] = o
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	total := 0.0
+	for _, r := range p.Rules {
+		_, cost := c.rule(r)
+		total += cost
+	}
+	return Estimate{Cost: total, Cards: c.cards}
+}
+
+// prov records where a bound variable came from: the binding column's
+// distinct count, plus the relation's sketch when the binder was an
+// EDB atom (filters on that variable then read exact frequencies).
+type prov struct {
+	distinct float64
+	stats    *storage.RelStats
+	col      int
+}
+
+type coster struct {
+	db     *storage.Database
+	cards  map[string]float64
+	arity  map[string]int
+	domain float64 // global distinct-constant estimate, the cap fallback
+}
+
+func newCoster(p *ast.Program, db *storage.Database) *coster {
+	c := &coster{db: db, cards: map[string]float64{}, arity: map[string]int{}, domain: 2}
+	for _, pred := range db.Preds() {
+		rel := db.Relation(pred)
+		c.cards[pred] = float64(rel.Len())
+		c.arity[pred] = rel.Arity
+		if s := rel.Stats(); s != nil {
+			for i := 0; i < rel.Arity; i++ {
+				if d := float64(s.Distinct(i)); d > c.domain {
+					c.domain = d
+				}
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		c.arity[r.Head.Pred] = len(r.Head.Args)
+	}
+	return c
+}
+
+func (c *coster) stats(pred string) *storage.RelStats {
+	if rel := c.db.Relation(pred); rel != nil {
+		return rel.Stats()
+	}
+	return nil
+}
+
+// distinct estimates the distinct-value count of pred's column col:
+// exact from the sketch, otherwise the uniform guess rows^(1/arity)
+// (a relation of N tuples over k columns touches about N^(1/k)
+// distinct values per column when tuples spread evenly).
+func (c *coster) distinct(pred string, col int) float64 {
+	if s := c.stats(pred); s != nil {
+		return math.Max(1, float64(s.Distinct(col)))
+	}
+	rows := c.cards[pred]
+	if rows <= 1 {
+		return 1
+	}
+	ar := c.arity[pred]
+	if ar <= 1 {
+		return rows
+	}
+	return math.Max(1, math.Pow(rows, 1/float64(ar)))
+}
+
+// constSel estimates the fraction of pred's rows whose column col
+// holds the constant t: exact from the sketch, sampled from the live
+// relation when only tuples exist, else the uniformity fallback.
+func (c *coster) constSel(pred string, col int, t ast.Term) float64 {
+	if s := c.stats(pred); s != nil {
+		v, ok := storage.LookupTerm(t)
+		if !ok {
+			return 0 // a constant the database never interned matches nothing
+		}
+		return s.Selectivity(col, v)
+	}
+	if rel := c.db.Relation(pred); rel != nil && rel.Len() > 0 {
+		return sampleSelectivity(rel, col, t)
+	}
+	return 1 / math.Max(2, c.distinct(pred, col))
+}
+
+// sampleSelectivity is the violation-rate sampler: it scans up to
+// sampleLimit tuples of rel and returns the fraction whose column col
+// equals t. The planner uses it to price residue conditions against
+// relations that have no statistics sketch (derived relations, or
+// databases loaded without stats).
+func sampleSelectivity(rel *storage.Relation, col int, t ast.Term) float64 {
+	v, ok := storage.LookupTerm(t)
+	if !ok {
+		return 0
+	}
+	tuples := rel.Tuples()
+	n := len(tuples)
+	if n == 0 {
+		return 0
+	}
+	stride := 1
+	if n > sampleLimit {
+		stride = n / sampleLimit
+	}
+	seen, hits := 0, 0
+	for i := 0; i < n; i += stride {
+		seen++
+		if tuples[i][col] == v {
+			hits++
+		}
+	}
+	return float64(hits) / float64(seen)
+}
+
+// fanout estimates the matches one frame finds in atom a given the
+// bound variables: rows scaled by a factor per bound column — exact
+// frequency for constants, 1/max(d_col, d_source) for join columns
+// (uniformity plus containment: the probe value ranges over the
+// larger of the two distinct sets).
+func (c *coster) fanout(a ast.Atom, bound map[ast.Var]prov) float64 {
+	rows := c.cards[a.Pred]
+	if rows <= 0 {
+		return 0
+	}
+	f := rows
+	seen := map[ast.Var]bool{}
+	for i, t := range a.Args {
+		if v, ok := t.(ast.Var); ok {
+			if pr, b := bound[v]; b {
+				d := math.Max(c.distinct(a.Pred, i), 1)
+				f /= math.Max(d, math.Max(pr.distinct, 1))
+			} else if seen[v] {
+				f /= math.Max(2, c.distinct(a.Pred, i))
+			} else {
+				seen[v] = true
+			}
+			continue
+		}
+		f *= c.constSel(a.Pred, i, t)
+	}
+	return f
+}
+
+// filterFactor estimates the surviving fraction of frames after an
+// evaluable literal. Equality against a constant reads the bound
+// variable's source column frequency — the exact E1 signal: pricing
+// `R = executive` at the frequency of executive ranks is what flips
+// the orig/opt decision with the constraint's selectivity.
+func (c *coster) filterFactor(l ast.Literal, bound map[ast.Var]prov) float64 {
+	op := l.Atom.Pred
+	if l.Neg {
+		op = ast.NegateOp(op)
+	}
+	sel := -1.0
+	if len(l.Atom.Args) == 2 {
+		x, y := l.Atom.Args[0], l.Atom.Args[1]
+		if _, ok := x.(ast.Var); !ok {
+			x, y = y, x // normalize: variable (if any) first
+		}
+		if v, ok := x.(ast.Var); ok {
+			if _, yVar := y.(ast.Var); !yVar {
+				if pr, b := bound[v]; b {
+					if pr.stats != nil {
+						if val, known := storage.LookupTerm(y); known {
+							sel = pr.stats.Selectivity(pr.col, val)
+						} else {
+							sel = 0
+						}
+					} else {
+						sel = 1 / math.Max(2, pr.distinct)
+					}
+				}
+			} else if pv, vb := bound[v], bound[y.(ast.Var)]; true {
+				sel = 1 / math.Max(2, math.Max(pv.distinct, vb.distinct))
+			}
+		}
+	}
+	switch op {
+	case ast.OpEq:
+		if sel >= 0 {
+			return clamp01(sel)
+		}
+		return 0.1
+	case ast.OpNe:
+		if sel >= 0 {
+			return clamp01(1 - sel)
+		}
+		return 0.9
+	default: // <, <=, >, >=: the standard range guess
+		return 1.0 / 3
+	}
+}
+
+func clamp01(x float64) float64 { return math.Min(1, math.Max(0, x)) }
+
+// rule prices one rule: the greedy left-deep join over its positive
+// database atoms (lowest estimated fanout next, evaluable and negated
+// literals flushed as soon as their variables bind — the engine's
+// planBody policy) and returns the output-cardinality estimate capped
+// by the head columns' distinct counts, plus the probe cost.
+func (c *coster) rule(r ast.Rule) (out, cost float64) {
+	if r.IsFact() {
+		return 1, 0
+	}
+	var atoms, filters []ast.Literal
+	for _, l := range r.Body {
+		if l.Atom.IsEvaluable() || l.Neg {
+			filters = append(filters, l)
+		} else {
+			atoms = append(atoms, l)
+		}
+	}
+	bound := map[ast.Var]prov{}
+	applied := make([]bool, len(filters))
+	used := make([]bool, len(atoms))
+	frames := 1.0
+	flush := func() {
+		for i, f := range filters {
+			if applied[i] || !literalBound(f, bound) {
+				continue
+			}
+			applied[i] = true
+			if f.Atom.IsEvaluable() {
+				frames *= c.filterFactor(f, bound)
+			} else {
+				// Negated database literal: one membership probe per
+				// frame, then the coin-flip survival guess.
+				cost += frames
+				frames *= 0.5
+			}
+		}
+	}
+	for range atoms {
+		flush()
+		best, bestF := -1, math.Inf(1)
+		for i, l := range atoms {
+			if used[i] {
+				continue
+			}
+			if f := c.fanout(l.Atom, bound); f < bestF {
+				best, bestF = i, f
+			}
+		}
+		a := atoms[best].Atom
+		used[best] = true
+		cost += frames * (1 + bestF)
+		frames *= bestF
+		for i, t := range a.Args {
+			if v, ok := t.(ast.Var); ok {
+				if _, b := bound[v]; !b {
+					bound[v] = prov{distinct: c.distinct(a.Pred, i), stats: c.stats(a.Pred), col: i}
+				}
+			}
+		}
+	}
+	flush()
+
+	headCap := 1.0
+	for _, t := range r.Head.Args {
+		if v, ok := t.(ast.Var); ok {
+			if pr, b := bound[v]; b {
+				headCap *= math.Max(1, pr.distinct)
+			} else {
+				headCap *= c.domain
+			}
+		}
+	}
+	return math.Min(frames, headCap), cost
+}
+
+// literalBound reports whether every variable of l is bound.
+func literalBound(l ast.Literal, bound map[ast.Var]prov) bool {
+	for _, t := range l.Atom.Args {
+		if v, ok := t.(ast.Var); ok {
+			if _, b := bound[v]; !b {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -32,6 +32,7 @@ package serve
 import (
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/planner"
 )
 
 // Stable machine-readable error codes carried by every non-2xx reply.
@@ -117,19 +118,32 @@ type LoadRequest struct {
 	// SmallPreds names database predicates treated as small relations
 	// for §4(2) atom introduction.
 	SmallPreds []string `json:"small_preds,omitempty"`
+	// Plan selects the session's evaluation plan from the rewrite
+	// space: "auto" (cost-based), "orig", "iso", "opt", "magic" or
+	// "bounded". Empty falls back to the server's configured default;
+	// if that is empty too, the legacy Optimize flag decides. When set,
+	// Plan supersedes Optimize.
+	Plan string `json:"plan,omitempty"`
+	// Goal is a query goal atom (e.g. `reach(a, Y)`) scoping the
+	// session to that goal's answers; a goal binding at least one
+	// argument makes the magic-sets plan available to the planner.
+	Goal string `json:"goal,omitempty"`
 }
 
 // LoadResponse reports the loaded program and its initial fixpoint.
 type LoadResponse struct {
-	Session   string     `json:"session,omitempty"`
-	Rules     int        `json:"rules"`
-	ICs       int        `json:"ics"`
-	Optimized bool       `json:"optimized"`
-	Reports   []string   `json:"reports,omitempty"`
-	Notes     []string   `json:"notes,omitempty"`
-	EDBTuples int        `json:"edb_tuples"`
-	IDBTuples int        `json:"idb_tuples"`
-	Stats     eval.Stats `json:"stats"`
+	Session   string   `json:"session,omitempty"`
+	Rules     int      `json:"rules"`
+	ICs       int      `json:"ics"`
+	Optimized bool     `json:"optimized"`
+	Reports   []string `json:"reports,omitempty"`
+	Notes     []string `json:"notes,omitempty"`
+	// Plan reports the planner's decision when the load ran plan
+	// selection (LoadRequest.Plan or the server default).
+	Plan      *planner.Decision `json:"plan,omitempty"`
+	EDBTuples int               `json:"edb_tuples"`
+	IDBTuples int               `json:"idb_tuples"`
+	Stats     eval.Stats        `json:"stats"`
 }
 
 // QueryRequest asks for the tuples matching a goal atom, e.g.
@@ -271,12 +285,35 @@ type SessionStats struct {
 	// Eval accumulates the engine counters of every evaluation the
 	// session has run (load, maintenance, recompute).
 	Eval eval.Stats `json:"eval"`
+	// Planner is present when the session was loaded through plan
+	// selection: the chosen variant, why, and every candidate's cost.
+	Planner *PlannerStats `json:"planner,omitempty"`
 	// Durability is present only on sessions backed by a durable store
 	// (see DurabilityStats).
 	Durability *DurabilityStats `json:"durability,omitempty"`
 	// Replication is present when the session ships (leader with live
 	// slots) or receives (follower) a replication stream.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// PlannerStats surfaces a session's plan-selection state in
+// /v1/sessions/{name}/stats: what was requested, what the planner
+// chose and why, every candidate's estimate, and how often the
+// adaptive path has re-planned.
+type PlannerStats struct {
+	// Requested is the plan mode the load asked for ("auto" or a
+	// pinned variant).
+	Requested string `json:"requested"`
+	Chosen    string `json:"chosen"`
+	Reason    string `json:"reason"`
+	Goal      string `json:"goal,omitempty"`
+	// Candidates carries each variant's estimated (or measured) cost;
+	// unavailable candidates report why instead. Absent on sessions
+	// recovered from a checkpoint (the decision is not persisted).
+	Candidates []planner.Candidate `json:"candidates,omitempty"`
+	CompileNs  int64               `json:"compile_ns,omitempty"`
+	// Replans counts adaptive plan swaps since load.
+	Replans int64 `json:"replans"`
 }
 
 // CheckpointResponse reports an explicit checkpoint request: the

@@ -171,8 +171,10 @@ func (s *Server) commitBatch(sess *session, batch []*commitReq) {
 	} else {
 		s.commitGrouped(sess, p, live)
 	}
-	// Checkpoint cadence rides the commit path (mu still held): after
-	// enough logged batches, fold the WAL into a fresh snapshot file.
+	// Adaptive re-plan cadence, then checkpoint cadence, both on the
+	// commit path with mu still held. Replan first: an adopted plan
+	// switch checkpoints itself, which resets the checkpoint counter.
+	sess.maybeReplan(context.Background())
 	sess.maybeCheckpoint()
 	s.hCommit.ObserveSince(commitStart)
 

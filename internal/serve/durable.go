@@ -10,6 +10,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/parser"
+	"repro/internal/planner"
 	"repro/internal/storage"
 )
 
@@ -87,6 +88,11 @@ func (sess *session) snapshotForCheckpoint() *durable.Snapshot {
 		meta.Rules = p.rules
 		meta.ICs = p.ics
 		meta.Optimized = p.optimized
+		meta.Plan = p.plan
+		meta.PlanChosen = string(p.variant)
+		if p.goal != nil {
+			meta.Goal = p.goal.String()
+		}
 	}
 	snap := &durable.Snapshot{Meta: meta, DB: sess.db, Seed: sess.seedIDB}
 	if sess.zs != nil {
@@ -268,6 +274,19 @@ func (s *Server) recoverSession(ctx context.Context, name string) (RecoveryRepor
 	sess.seq.Store(res.Snapshot.Meta.Seq)
 	sess.recovered.Store(true)
 	sess.lastCkptNano.Store(time.Now().UnixNano())
+	if lp.planned() {
+		// Planned sessions keep their statistics sketches alive across a
+		// restart: re-derive them from the recovered relations (exactly as
+		// cheap as the decode that just happened) so the engine cost model
+		// reads current figures and WAL replay below maintains them
+		// incrementally from here on. Same scope as planner.Plan at load:
+		// the predicates the program actually reads.
+		for pred := range lp.active.EDBPreds() {
+			if rel := sess.db.Relation(pred); rel != nil {
+				rel.EnsureStats()
+			}
+		}
+	}
 	if res.TornTail {
 		sess.tornTail.Store(true)
 	}
@@ -358,7 +377,7 @@ func programFromMeta(meta durable.Meta) (*loadedProgram, error) {
 	}
 	active := parsed.Program
 	active.EnsureLabels()
-	return &loadedProgram{
+	lp := &loadedProgram{
 		active:     active,
 		idb:        active.IDBPreds(),
 		rules:      meta.Rules,
@@ -367,7 +386,17 @@ func programFromMeta(meta durable.Meta) (*loadedProgram, error) {
 		source:     meta.Program,
 		optimize:   meta.Optimize,
 		smallPreds: meta.SmallPreds,
-	}, nil
+		plan:       meta.Plan,
+		variant:    planner.Variant(meta.PlanChosen),
+	}
+	if meta.Goal != "" {
+		g, err := parser.ParseAtom(meta.Goal)
+		if err != nil {
+			return nil, fmt.Errorf("parse checkpointed goal: %w", err)
+		}
+		lp.goal = &g
+	}
+	return lp, nil
 }
 
 // DurabilityStats is the durability section of a session's stats.

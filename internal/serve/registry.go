@@ -107,6 +107,8 @@ func (s *Server) LoadSession(ctx context.Context, name string, req LoadRequest) 
 	sess.seedIDB = seedIDB
 	sess.dirty = false
 	sess.prog.Store(lp)
+	sess.sinceReplan = 0
+	sess.fixpointCost.Store(resp.Stats.Probes + resp.Stats.IndexProbes)
 	sess.cache.purge()
 	sess.publish()
 	// A (re)load resets the session's state wholesale, so an open
@@ -153,6 +155,8 @@ func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storag
 			Rules:      lp.rules,
 			ICs:        lp.ics,
 			Optimized:  lp.optimized,
+			Plan:       lp.plan,
+			PlanChosen: string(lp.variant),
 			// The live database reports generation 0; what must stay
 			// monotonic across restarts is the last PUBLISHED snapshot
 			// generation, so record that.
@@ -163,6 +167,9 @@ func (s *Server) checkpointNewState(sess *session, lp *loadedProgram, db *storag
 		Ranks: exportRanks(zs),
 	}
 	snap.Meta.HasRanks = true
+	if lp.goal != nil {
+		snap.Meta.Goal = lp.goal.String()
+	}
 	if err := sess.dur.Checkpoint(snap); err != nil {
 		sess.ckptFailures.Add(1)
 		return err

@@ -100,6 +100,17 @@ type Config struct {
 	// subscribers are refused with 429 and a Retry-After. <= 0 means
 	// DefaultMaxSubscribers.
 	MaxSubscribers int
+	// Plan is the default plan-selection mode for loads that do not set
+	// LoadRequest.Plan: "" keeps the legacy behavior (the Optimize flag
+	// decides), "auto" runs the cost-based planner, any variant name
+	// pins that plan. See internal/planner.
+	Plan string
+	// ReplanEvery, when positive, re-runs the planner every that many
+	// committed write batches on sessions loaded with plan=auto,
+	// feeding the incumbent's live measured cost into the decision; a
+	// changed verdict rebuilds the fixpoint under the new plan and
+	// swaps it atomically. 0 disables adaptive re-planning.
+	ReplanEvery int
 }
 
 const (
@@ -190,6 +201,7 @@ type Server struct {
 	vRequests   *obs.CounterVec // {route, code}
 	vCache      *obs.CounterVec // {session, event=hit|miss|evict}
 	vPlanner    *obs.CounterVec // {mode=gj|binary} per-plan join decisions
+	vPlanChoice *obs.CounterVec // {variant} cost-based plan selections
 	vRejections *obs.CounterVec // {kind=query|write} admission refusals
 
 	accessLog *jsonLog
@@ -303,6 +315,7 @@ func New(cfg Config) *Server {
 	s.vRequests = s.metrics.CounterVec("serve.requests", "route", "code")
 	s.vCache = s.metrics.CounterVec("serve.cache", "session", "event")
 	s.vPlanner = s.metrics.CounterVec("serve.planner_rules", "mode")
+	s.vPlanChoice = s.metrics.CounterVec("serve.planner_choice", "variant")
 	s.vRejections = s.metrics.CounterVec("serve.rejections", "kind")
 	s.accessLog = newJSONLog(cfg.AccessLog)
 

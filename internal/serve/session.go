@@ -11,6 +11,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/parser"
+	"repro/internal/planner"
 	"repro/internal/replicate"
 	"repro/internal/residue"
 	"repro/internal/semopt"
@@ -31,6 +32,31 @@ type loadedProgram struct {
 	source     string
 	optimize   bool
 	smallPreds []string
+	// plan is the requested plan mode ("" = planner off); decision is
+	// the planner's verdict, which the adaptive re-plan path revisits.
+	// orig, parsedICs, goal and smallMap preserve the planner's inputs
+	// so a re-plan can enumerate the same space against live data.
+	// decision is nil on sessions recovered from a checkpoint — the
+	// chosen program is restored verbatim, but the candidate table is
+	// not persisted and adaptive re-planning resumes only on an
+	// explicit reload.
+	plan      string
+	variant   planner.Variant // chosen plan ("" when the planner is off)
+	decision  *planner.Decision
+	orig      *ast.Program
+	parsedICs []ast.IC
+	goal      *ast.Atom
+	smallMap  map[string]bool
+}
+
+// planned reports whether the session runs under plan selection.
+func (lp *loadedProgram) planned() bool { return lp.plan != "" }
+
+// adaptive reports whether the adaptive re-plan path may revisit the
+// decision: only auto mode (a pinned variant is a user instruction)
+// with a live decision to compare against.
+func (lp *loadedProgram) adaptive() bool {
+	return lp.plan == string(planner.Auto) && lp.decision != nil
 }
 
 // session is one named program served by the daemon: an authoritative
@@ -119,6 +145,18 @@ type session struct {
 
 	statsMu   sync.Mutex
 	evalStats eval.Stats
+
+	// Adaptive re-planning state (auto-plan sessions only). replans
+	// counts adopted plan switches; sinceReplan counts committed write
+	// batches since the planner last looked, reset on every re-plan
+	// check. Both only touched by the committer under mu, but replans
+	// is an atomic so stats can read it lock-free.
+	replans     atomic.Int64
+	sinceReplan int64
+	// fixpointCost is the probe count of the incumbent plan's last full
+	// fixpoint evaluation — the measured figure the re-planner feeds
+	// back as the incumbent's cost.
+	fixpointCost atomic.Int64
 }
 
 var (
@@ -194,6 +232,9 @@ func (sess *session) engine(prog *ast.Program, db *storage.Database) *eval.Engin
 	}
 	e.SetJoinMode(sess.srv.cfg.JoinMode)
 	e.SetTracer(sess.srv.cfg.Tracer)
+	if p := sess.prog.Load(); p != nil && p.planned() {
+		e.SetCostModel(eval.StatsCostModel{DB: db})
+	}
 	return e
 }
 
@@ -272,6 +313,24 @@ func (sess *session) stats() SessionStats {
 	if p := sess.prog.Load(); p != nil {
 		st.Rules = p.rules
 		st.Optimized = p.optimized
+		if p.planned() {
+			ps := &PlannerStats{
+				Requested: p.plan,
+				Chosen:    string(p.variant),
+				Replans:   sess.replans.Load(),
+			}
+			if p.goal != nil {
+				ps.Goal = p.goal.String()
+			}
+			if d := p.decision; d != nil {
+				ps.Reason = d.Reason
+				ps.Candidates = d.Candidates
+				ps.CompileNs = int64(d.CompileTime)
+			} else {
+				ps.Reason = "plan restored from checkpoint"
+			}
+			st.Planner = ps
+		}
 	}
 	if db := sess.snap.Load(); db != nil {
 		st.Relations = db.Sizes()
@@ -308,11 +367,50 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 
 	resp := &LoadResponse{Rules: len(rules), ICs: len(parsed.ICs)}
 	active := prog
-	if req.Optimize {
-		small := make(map[string]bool, len(req.SmallPreds))
-		for _, p := range req.SmallPreds {
-			small[p] = true
+	small := make(map[string]bool, len(req.SmallPreds))
+	for _, p := range req.SmallPreds {
+		small[p] = true
+	}
+
+	// The request's plan mode wins over the server default; both empty
+	// keeps the legacy behavior where the Optimize flag alone decides.
+	planMode := req.Plan
+	if planMode == "" {
+		planMode = s.cfg.Plan
+	}
+	var (
+		decision *planner.Decision
+		variant  planner.Variant
+		goal     *ast.Atom
+	)
+	switch {
+	case planMode != "":
+		v, err := planner.ParseVariant(planMode)
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
 		}
+		planMode = string(v)
+		if req.Goal != "" {
+			g, err := parser.ParseAtom(req.Goal)
+			if err != nil {
+				return nil, nil, nil, nil, nil, fmt.Errorf("goal: %w", err)
+			}
+			goal = &g
+		}
+		popts := planner.Options{ICs: parsed.ICs, SmallPreds: small, Goal: goal}
+		if v != planner.Auto {
+			popts.Force = v
+		}
+		d, err := planner.Plan(prog, db, popts)
+		if err != nil {
+			return nil, nil, nil, nil, nil, fmt.Errorf("plan: %w", err)
+		}
+		decision, variant = d, d.Chosen
+		active = d.Program()
+		resp.Plan = d
+		resp.Optimized = d.Chosen != planner.Orig
+		s.vPlanChoice.With(string(d.Chosen)).Inc()
+	case req.Optimize:
 		res, err := semopt.Optimize(prog, parsed.ICs, semopt.Options{
 			Residue: residue.Options{IntroducePreds: small},
 			Tracer:  s.cfg.Tracer,
@@ -337,6 +435,13 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 		source:     req.Program,
 		optimize:   req.Optimize,
 		smallPreds: req.SmallPreds,
+		plan:       planMode,
+		variant:    variant,
+		decision:   decision,
+		orig:       prog,
+		parsedICs:  parsed.ICs,
+		goal:       goal,
+		smallMap:   small,
 	}
 	// Facts stated for derived predicates are part of the program, not
 	// of the updatable EDB; freeze them for recomputation.
@@ -357,6 +462,11 @@ func (s *Server) buildProgram(ctx context.Context, req LoadRequest) (*loadedProg
 	}
 	eng.SetJoinMode(s.cfg.JoinMode)
 	eng.SetTracer(s.cfg.Tracer)
+	if lp.planned() {
+		// Planned sessions have statistics sketches enabled (planner.Plan
+		// turns them on); share them with JoinAuto's GJ-vs-binary choice.
+		eng.SetCostModel(eval.StatsCostModel{DB: db})
+	}
 	eng.SetRankSink(zs.Record)
 	if err := eng.RunContext(ctx); err != nil {
 		return nil, nil, nil, nil, nil, fmt.Errorf("evaluate: %w", err)
@@ -664,5 +774,7 @@ func (sess *session) recompute(ctx context.Context) (eval.Stats, error) {
 	}
 	sess.db = fresh
 	sess.zs = zs
-	return eng.Stats(), nil
+	st := eng.Stats()
+	sess.fixpointCost.Store(st.Probes + st.IndexProbes)
+	return st, nil
 }

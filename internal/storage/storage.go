@@ -403,6 +403,10 @@ type Relation struct {
 	// objects — catch-up replaces an entry with a freshly merged one, so
 	// snapshot holders can keep reading the old object.
 	sorted map[string]*SortedIndex
+	// stats, when non-nil, is the planner's statistics sketch
+	// (stats.go), maintained in place by Insert/Remove. It is never
+	// shared with snapshot views, so detach need not copy it.
+	stats *RelStats
 	// cow marks the backing structures as shared with a snapshot
 	// (Database.Snapshot). Every mutating method calls detach first,
 	// which deep-copies the shared state, so snapshot holders can read
@@ -500,6 +504,9 @@ func (r *Relation) InsertHashed(t Tuple, h uint64) bool {
 			idx[t[col]] = append(idx[t[col]], pos)
 		}
 	}
+	if r.stats != nil {
+		r.stats.add(t)
+	}
 	return true
 }
 
@@ -551,6 +558,9 @@ func (r *Relation) Remove(t Tuple) bool {
 			r.colIndex[i] = nil
 		}
 		r.sorted = nil
+		if r.stats != nil {
+			r.stats.remove(t)
+		}
 	}
 	return ok
 }

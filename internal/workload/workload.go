@@ -296,3 +296,50 @@ honors(Stud) :- graduated(Stud, College), topten(College).
 	db.Add("topten", ast.Sym("mit"))
 	return Scenario{Name: "honors", Program: prog, ICs: ics, Query: mustAtom("honors(S)")}, db
 }
+
+// Routes is the planner's selectivity scenario: reachability over
+// gated hops. The recursion only continues through open waypoints, and
+// the constraint records that every hop into an open waypoint is paved
+// — so the evaluable residue `R = paved` can be introduced (§4(2))
+// into the recursive rule, where it screens frames *before* the open()
+// membership probe. Whether that pays depends entirely on the data:
+// with no dead spurs the filter passes everything and `orig` is the
+// right plan; with many unpaved dead-end spurs it skips most open()
+// probes and `opt` wins. This is the cost-model regression scenario —
+// the same program flips between plans on selectivity alone.
+func Routes() Scenario {
+	prog, ics := mustParse(`
+reach(X, Y) :- hop(X, Y, R).
+reach(X, Y) :- reach(X, Z), hop(Z, Y, R), open(Y).
+hop(Z, Y, R), open(Y) -> R = paved.
+`)
+	return Scenario{
+		Name:    "routes",
+		Program: prog,
+		ICs:     ics,
+		Query:   mustAtom("reach(X, Y)"),
+	}
+}
+
+// RoutesDB builds `chains` paved waypoint chains of the given depth,
+// plus `spurs` dead-end hops per waypoint onto closed nodes with
+// non-paved surfaces. The constraint holds by construction: only chain
+// hops land on open waypoints, and they are all paved. spurs controls
+// the selectivity of the `R = paved` residue: 0 makes it vacuous (all
+// hops paved), larger values make it prune almost everything.
+func RoutesDB(rng *rand.Rand, chains, depth, spurs int) *storage.Database {
+	db := storage.NewDatabase()
+	surfaces := []ast.Sym{"gravel", "dirt"}
+	for c := 0; c < chains; c++ {
+		node := func(j int) ast.Sym { return ast.Sym(fmt.Sprintf("c%d_%d", c, j)) }
+		for j := 0; j < depth; j++ {
+			db.Add("hop", node(j), node(j+1), ast.Sym("paved"))
+			db.Add("open", node(j+1))
+			for s := 0; s < spurs; s++ {
+				dead := ast.Sym(fmt.Sprintf("d%d_%d_%d", c, j, s))
+				db.Add("hop", node(j), dead, surfaces[rng.Intn(len(surfaces))])
+			}
+		}
+	}
+	return db
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/magic"
 	"repro/internal/obs"
 	"repro/internal/parser"
+	"repro/internal/planner"
 	"repro/internal/residue"
 	"repro/internal/semopt"
 	"repro/internal/storage"
@@ -215,6 +216,56 @@ func (s *System) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
 	}
 	s.optimized = res.Optimized
 	return res, nil
+}
+
+// PlanDecision is the cost-based planner's verdict: chosen variant plus
+// every candidate's estimate (see internal/planner).
+type PlanDecision = planner.Decision
+
+// PlanOptions configures System.Plan.
+type PlanOptions struct {
+	// Variant pins one plan ("orig", "iso", "opt", "magic", "bounded");
+	// "" or "auto" lets the cost model choose.
+	Variant string
+	// Goal, when non-empty, is the bound query goal (source syntax,
+	// e.g. "anc(ann, Y)") that makes the magic-sets candidate
+	// available. A magic plan computes only the goal's answers.
+	Goal string
+	// SmallPreds names database predicates treated as small relations
+	// for §4(2) atom introduction, as in Optimize.
+	SmallPreds map[string]bool
+}
+
+// Plan runs cost-based plan selection over the system's program,
+// integrity constraints and current database: the rewrite space (the
+// original program, the paper's iso/opt transformations, magic sets
+// for a bound goal, and a non-recursive plan when the recursion is
+// provably bounded) is enumerated and priced against EDB statistics,
+// and the winner becomes the active program for subsequent Run/Query
+// calls — superseding any earlier Optimize result. Facts must already
+// be loaded: the estimates read the data.
+func (s *System) Plan(opts PlanOptions) (*PlanDecision, error) {
+	v, err := planner.ParseVariant(opts.Variant)
+	if err != nil {
+		return nil, err
+	}
+	popts := planner.Options{ICs: s.ICs, SmallPreds: opts.SmallPreds}
+	if v != planner.Auto {
+		popts.Force = v
+	}
+	if opts.Goal != "" {
+		g, err := parser.ParseAtom(opts.Goal)
+		if err != nil {
+			return nil, fmt.Errorf("repro: bad goal: %w", err)
+		}
+		popts.Goal = &g
+	}
+	d, err := planner.Plan(s.Program, s.DB, popts)
+	if err != nil {
+		return nil, err
+	}
+	s.optimized = d.Program()
+	return d, nil
 }
 
 // ActiveProgram returns the program Run will evaluate: the optimized
